@@ -1,0 +1,92 @@
+// Design-choice ablations beyond the paper's Fig. 4 (the choices DESIGN.md
+// calls out): fairness-penalty form (symmetric |v| hinge vs the paper's
+// literal [v]_+), the regularized notion (DDP vs DEO), spectral
+// normalization of the feature extractor on/off, and GDA covariance
+// shrinkage. All on the NYSF stream with full FACTION.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace faction;
+using namespace faction::bench;
+
+struct Variant {
+  std::string name;
+  ExperimentDefaults defaults;
+};
+
+int Run() {
+  const BenchScale scale = GetBenchScale();
+  const Result<std::vector<std::vector<Dataset>>> streams =
+      BuildStreams("nysf", scale);
+  if (!streams.ok()) {
+    std::fprintf(stderr, "stream build failed: %s\n",
+                 streams.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<Variant> variants;
+  variants.push_back({"baseline (symmetric DDP, SN on, shrink 0.1)",
+                      scale.defaults});
+  {
+    Variant v{"literal [v]+ penalty", scale.defaults};
+    v.defaults.symmetric_penalty = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"DEO notion", scale.defaults};
+    v.defaults.notion = FairnessNotion::kDeo;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"spectral norm off", scale.defaults};
+    v.defaults.spectral_norm = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"shrinkage 0.0", scale.defaults};
+    v.defaults.covariance_shrinkage = 0.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"shrinkage 0.5", scale.defaults};
+    v.defaults.covariance_shrinkage = 0.5;
+    variants.push_back(v);
+  }
+
+  std::cout << "=== Design-choice ablations: FACTION on NYSF ===\n";
+  Table table({"variant", "accuracy", "DDP", "EOD", "MI"});
+  for (const Variant& variant : variants) {
+    std::vector<double> acc, ddp, eod, mi;
+    for (std::size_t rep = 0; rep < streams.value().size(); ++rep) {
+      const Result<RunResult> run =
+          RunMethodOnStream("FACTION", streams.value()[rep],
+                            variant.defaults, 42 + 13 * rep);
+      if (!run.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", variant.name.c_str(),
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      acc.push_back(run.value().summary.mean_accuracy);
+      ddp.push_back(run.value().summary.mean_ddp);
+      eod.push_back(run.value().summary.mean_eod);
+      mi.push_back(run.value().summary.mean_mi);
+    }
+    table.AddRow({variant.name, FormatMeanStd(Mean(acc), StdDev(acc), 3),
+                  FormatMeanStd(Mean(ddp), StdDev(ddp), 3),
+                  FormatMeanStd(Mean(eod), StdDev(eod), 3),
+                  FormatMeanStd(Mean(mi), StdDev(mi), 3)});
+    std::cerr << "[bench] " << variant.name << " done\n";
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

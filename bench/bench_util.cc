@@ -1,0 +1,146 @@
+#include "bench/bench_util.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace faction {
+namespace bench {
+
+BenchScale GetBenchScale() {
+  BenchScale scale;
+  const char* env = std::getenv("FACTION_BENCH_SCALE");
+  if (env != nullptr && std::strcmp(env, "full") == 0) {
+    scale.full = true;
+    scale.samples_per_task = 2000;
+    scale.repetitions = 5;
+  }
+  return scale;
+}
+
+Result<std::vector<std::vector<Dataset>>> BuildStreams(
+    const std::string& dataset, const BenchScale& scale) {
+  std::vector<std::vector<Dataset>> streams;
+  for (std::size_t rep = 0; rep < scale.repetitions; ++rep) {
+    StreamScale ss;
+    ss.samples_per_task = scale.samples_per_task;
+    ss.seed = 1000 + 77 * rep;
+    FACTION_ASSIGN_OR_RETURN(std::vector<Dataset> stream,
+                             MakePaperStream(dataset, ss));
+    streams.push_back(std::move(stream));
+  }
+  return streams;
+}
+
+Result<std::vector<MethodResult>> RunMethods(
+    const std::vector<std::string>& methods,
+    const std::vector<std::vector<Dataset>>& streams_per_rep,
+    const ExperimentDefaults& defaults) {
+  if (streams_per_rep.empty()) {
+    return Status::InvalidArgument("RunMethods: no streams");
+  }
+  const std::size_t num_tasks = streams_per_rep[0].size();
+  std::vector<MethodResult> out;
+  for (const std::string& method : methods) {
+    MethodResult mr;
+    mr.method = method;
+    mr.accuracy.assign(num_tasks, 0.0);
+    mr.ddp.assign(num_tasks, 0.0);
+    mr.eod.assign(num_tasks, 0.0);
+    mr.mi.assign(num_tasks, 0.0);
+    std::vector<double> rep_acc, rep_ddp, rep_eod, rep_mi;
+    for (std::size_t rep = 0; rep < streams_per_rep.size(); ++rep) {
+      FACTION_ASSIGN_OR_RETURN(
+          RunResult run, RunMethodOnStream(method, streams_per_rep[rep],
+                                           defaults, 42 + 13 * rep));
+      for (std::size_t t = 0; t < run.per_task.size() && t < num_tasks;
+           ++t) {
+        mr.accuracy[t] += run.per_task[t].accuracy;
+        mr.ddp[t] += run.per_task[t].ddp;
+        mr.eod[t] += run.per_task[t].eod;
+        mr.mi[t] += run.per_task[t].mi;
+      }
+      rep_acc.push_back(run.summary.mean_accuracy);
+      rep_ddp.push_back(run.summary.mean_ddp);
+      rep_eod.push_back(run.summary.mean_eod);
+      rep_mi.push_back(run.summary.mean_mi);
+      mr.mean_seconds += run.total_seconds;
+    }
+    const double reps = static_cast<double>(streams_per_rep.size());
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      mr.accuracy[t] /= reps;
+      mr.ddp[t] /= reps;
+      mr.eod[t] /= reps;
+      mr.mi[t] /= reps;
+    }
+    mr.mean_accuracy = Mean(rep_acc);
+    mr.std_accuracy = StdDev(rep_acc);
+    mr.mean_ddp = Mean(rep_ddp);
+    mr.std_ddp = StdDev(rep_ddp);
+    mr.mean_eod = Mean(rep_eod);
+    mr.std_eod = StdDev(rep_eod);
+    mr.mean_mi = Mean(rep_mi);
+    mr.std_mi = StdDev(rep_mi);
+    mr.mean_seconds /= reps;
+    std::cerr << "[bench] finished " << method << " ("
+              << FormatCell(mr.mean_seconds, 1) << " s/run)\n";
+    out.push_back(std::move(mr));
+  }
+  return out;
+}
+
+namespace {
+
+void PrintSeries(const std::string& metric,
+                 const std::vector<MethodResult>& results,
+                 const std::vector<double> MethodResult::* series) {
+  std::vector<std::string> headers = {"task"};
+  for (const MethodResult& r : results) headers.push_back(r.method);
+  Table table(std::move(headers));
+  const std::size_t num_tasks =
+      results.empty() ? 0 : (results[0].*series).size();
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    std::vector<std::string> row = {std::to_string(t + 1)};
+    for (const MethodResult& r : results) {
+      row.push_back(FormatCell((r.*series)[t], 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::cout << "\n--- per-task " << metric << " ---\n";
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+void PrintFig2Report(const std::string& dataset,
+                     const std::vector<MethodResult>& results) {
+  std::cout << "=== Fig. 2 reproduction: " << dataset
+            << " (accuracy higher is better; DDP/EOD/MI lower is better)"
+            << " ===\n";
+  PrintSeries("accuracy", results, &MethodResult::accuracy);
+  PrintSeries("DDP", results, &MethodResult::ddp);
+  PrintSeries("EOD", results, &MethodResult::eod);
+  PrintSeries("MI", results, &MethodResult::mi);
+  PrintSummary("stream means over tasks (mean ± std across runs)", results);
+}
+
+void PrintSummary(const std::string& title,
+                  const std::vector<MethodResult>& results) {
+  std::cout << "\n--- " << title << " ---\n";
+  Table table({"method", "acc", "DDP", "EOD", "MI", "runtime(s)"});
+  for (const MethodResult& r : results) {
+    table.AddRow({r.method, FormatMeanStd(r.mean_accuracy, r.std_accuracy, 3),
+                  FormatMeanStd(r.mean_ddp, r.std_ddp, 3),
+                  FormatMeanStd(r.mean_eod, r.std_eod, 3),
+                  FormatMeanStd(r.mean_mi, r.std_mi, 3),
+                  FormatCell(r.mean_seconds, 1)});
+  }
+  table.Print(std::cout);
+  std::cout.flush();
+}
+
+}  // namespace bench
+}  // namespace faction

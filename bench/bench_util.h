@@ -1,0 +1,68 @@
+#ifndef FACTION_BENCH_BENCH_UTIL_H_
+#define FACTION_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/presets.h"
+#include "data/streams.h"
+
+namespace faction {
+namespace bench {
+
+/// Scale of a bench run. The default ("quick") keeps every binary runnable
+/// on a single CPU core in seconds-to-minutes; FACTION_BENCH_SCALE=full
+/// switches to paper scale (larger tasks, 5 repetitions — Sec. V-A3).
+struct BenchScale {
+  std::size_t samples_per_task = 600;
+  std::size_t repetitions = 2;
+  ExperimentDefaults defaults;
+  bool full = false;
+};
+
+/// Reads FACTION_BENCH_SCALE from the environment ("quick" default,
+/// "full" for paper scale).
+BenchScale GetBenchScale();
+
+/// Per-method aggregate over repetitions.
+struct MethodResult {
+  std::string method;
+  /// Per-task metric series, averaged over repetitions.
+  std::vector<double> accuracy;
+  std::vector<double> ddp;
+  std::vector<double> eod;
+  std::vector<double> mi;
+  /// Stream-level mean +- std across repetitions.
+  double mean_accuracy = 0.0, std_accuracy = 0.0;
+  double mean_ddp = 0.0, std_ddp = 0.0;
+  double mean_eod = 0.0, std_eod = 0.0;
+  double mean_mi = 0.0, std_mi = 0.0;
+  double mean_seconds = 0.0;
+};
+
+/// Runs every method over fresh streams (one per repetition) built by
+/// `make_stream(rep_seed)`, and aggregates. Streams are identical across
+/// methods within a repetition so comparisons are paired.
+Result<std::vector<MethodResult>> RunMethods(
+    const std::vector<std::string>& methods,
+    const std::vector<std::vector<Dataset>>& streams_per_rep,
+    const ExperimentDefaults& defaults);
+
+/// Builds `repetitions` streams for a named paper dataset.
+Result<std::vector<std::vector<Dataset>>> BuildStreams(
+    const std::string& dataset, const BenchScale& scale);
+
+/// Prints the Fig. 2 panels for one dataset: per-task series for accuracy,
+/// DDP, EOD and MI (one table per metric; columns = methods), followed by
+/// the stream-level summary.
+void PrintFig2Report(const std::string& dataset,
+                     const std::vector<MethodResult>& results);
+
+/// Prints the stream-level summary table only.
+void PrintSummary(const std::string& title,
+                  const std::vector<MethodResult>& results);
+
+}  // namespace bench
+}  // namespace faction
+
+#endif  // FACTION_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,38 @@
+#ifndef FACTION_BENCH_FIG2_COMMON_H_
+#define FACTION_BENCH_FIG2_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace faction {
+namespace bench {
+
+/// Shared driver for the five Fig. 2 binaries: build the dataset's streams,
+/// run all eight methods, print the per-task panels and summary. Returns a
+/// process exit code.
+inline int RunFig2(const std::string& dataset) {
+  const BenchScale scale = GetBenchScale();
+  const Result<std::vector<std::vector<Dataset>>> streams =
+      BuildStreams(dataset, scale);
+  if (!streams.ok()) {
+    std::fprintf(stderr, "stream build failed: %s\n",
+                 streams.status().ToString().c_str());
+    return 1;
+  }
+  const Result<std::vector<MethodResult>> results =
+      RunMethods(AllMethodNames(), streams.value(), scale.defaults);
+  if (!results.ok()) {
+    std::fprintf(stderr, "bench failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+  PrintFig2Report(dataset, results.value());
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace faction
+
+#endif  // FACTION_BENCH_FIG2_COMMON_H_

@@ -1,0 +1,5 @@
+// Fig. 2 reproduction for the rcmnist stream: per-task accuracy, DDP, EOD and
+// MI for all eight methods (FACTION + 7 baselines).
+#include "bench/fig2_common.h"
+
+int main() { return faction::bench::RunFig2("rcmnist"); }

@@ -1,0 +1,89 @@
+// Fig. 3 reproduction: fairness-accuracy trade-off of the four
+// fairness-aware methods under their key parameter sweeps (on the NYSF
+// stream). Points toward the top-left (high accuracy, low EOD) are
+// preferred; the paper's claim is that FACTION's frontier dominates.
+//
+// Sweeps (paper Sec. V-B): FACTION mu {0.3, 0.5, 0.7, 1.4, 2.8};
+// FAL l {64, 96, 128, 196, 256}; FAL-CUR beta {0.3, 0.4, 0.5, 0.6, 0.7};
+// Decoupled threshold alpha {0.1, 0.2, 0.4, 0.6, 0.8}.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace faction;
+using namespace faction::bench;
+
+struct SweepPoint {
+  std::string method;
+  std::string param;
+  double value = 0.0;
+};
+
+int Run() {
+  const BenchScale scale = GetBenchScale();
+  const Result<std::vector<std::vector<Dataset>>> streams =
+      BuildStreams("nysf", scale);
+  if (!streams.ok()) {
+    std::fprintf(stderr, "stream build failed: %s\n",
+                 streams.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<SweepPoint> sweep;
+  for (double mu : {0.3, 0.5, 0.7, 1.4, 2.8}) {
+    sweep.push_back({"FACTION", "mu", mu});
+  }
+  for (double l : {64.0, 96.0, 128.0, 196.0, 256.0}) {
+    sweep.push_back({"FAL", "l", l});
+  }
+  for (double beta : {0.3, 0.4, 0.5, 0.6, 0.7}) {
+    sweep.push_back({"FAL-CUR", "beta", beta});
+  }
+  for (double alpha : {0.1, 0.2, 0.4, 0.6, 0.8}) {
+    sweep.push_back({"Decoupled", "alpha", alpha});
+  }
+
+  std::cout << "=== Fig. 3 reproduction: fairness-accuracy trade-offs on "
+               "NYSF (top-left preferred) ===\n";
+  Table table({"method", "param", "value", "accuracy", "EOD"});
+  for (const SweepPoint& point : sweep) {
+    ExperimentDefaults defaults = scale.defaults;
+    if (point.method == "FACTION") {
+      defaults.mu = point.value;
+    } else if (point.method == "FAL") {
+      defaults.fal_reference_size = static_cast<std::size_t>(point.value);
+    } else if (point.method == "FAL-CUR") {
+      defaults.falcur_beta = point.value;
+    } else {
+      defaults.decoupled_threshold = point.value;
+    }
+    std::vector<double> accs, eods;
+    for (std::size_t rep = 0; rep < streams.value().size(); ++rep) {
+      const Result<RunResult> run = RunMethodOnStream(
+          point.method, streams.value()[rep], defaults, 42 + 13 * rep);
+      if (!run.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", point.method.c_str(),
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      accs.push_back(run.value().summary.mean_accuracy);
+      eods.push_back(run.value().summary.mean_eod);
+    }
+    table.AddRow({point.method, point.param, FormatCell(point.value, 2),
+                  FormatMeanStd(Mean(accs), StdDev(accs), 3),
+                  FormatMeanStd(Mean(eods), StdDev(eods), 3)});
+    std::cerr << "[bench] " << point.method << " " << point.param << "="
+              << FormatCell(point.value, 2) << " done\n";
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

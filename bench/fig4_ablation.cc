@@ -1,0 +1,40 @@
+// Fig. 4 reproduction: ablation study on all five datasets. Variants:
+// full FACTION, "w/o fair select" (no Delta g term in Eq. 6),
+// "w/o fair reg" (no Eq. 9 penalty), and "w/o fair select & fair reg".
+// Expected shape: every simplified variant is less fair than the full
+// system on most datasets.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace faction;
+  using namespace faction::bench;
+
+  const BenchScale scale = GetBenchScale();
+  const std::vector<std::string> variants = {
+      "FACTION", "w/o fair select", "w/o fair reg",
+      "w/o fair select & fair reg"};
+
+  std::cout << "=== Fig. 4 reproduction: FACTION ablations across datasets "
+               "(lower fairness metrics are better) ===\n";
+  for (const std::string& dataset : PaperDatasetNames()) {
+    const Result<std::vector<std::vector<Dataset>>> streams =
+        BuildStreams(dataset, scale);
+    if (!streams.ok()) {
+      std::fprintf(stderr, "stream build failed (%s): %s\n", dataset.c_str(),
+                   streams.status().ToString().c_str());
+      return 1;
+    }
+    const Result<std::vector<MethodResult>> results =
+        RunMethods(variants, streams.value(), scale.defaults);
+    if (!results.ok()) {
+      std::fprintf(stderr, "bench failed (%s): %s\n", dataset.c_str(),
+                   results.status().ToString().c_str());
+      return 1;
+    }
+    PrintSummary("dataset: " + dataset, results.value());
+  }
+  return 0;
+}

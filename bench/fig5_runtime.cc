@@ -1,0 +1,73 @@
+// Fig. 5 reproduction: empirical runtimes.
+//   (a) the four fairness-aware models on every dataset — expected
+//       ordering FAL > FAL-CUR > FACTION > Decoupled;
+//   (b) FACTION versus its simplified variants — runtime grows as
+//       components are added but stays below 2x Random.
+// Absolute numbers differ from the paper's V100 testbed; the claim under
+// test is the relative ordering, which is driven by algorithmic component
+// counts rather than hardware.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace faction;
+using namespace faction::bench;
+
+int RunPanel(const char* title, const std::vector<std::string>& methods,
+             const BenchScale& scale) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::vector<std::string> headers = {"dataset"};
+  for (const std::string& m : methods) headers.push_back(m);
+  Table table(std::move(headers));
+  for (const std::string& dataset : PaperDatasetNames()) {
+    const Result<std::vector<std::vector<Dataset>>> streams =
+        BuildStreams(dataset, scale);
+    if (!streams.ok()) {
+      std::fprintf(stderr, "stream build failed: %s\n",
+                   streams.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::string> row = {dataset};
+    for (const std::string& method : methods) {
+      double total = 0.0;
+      for (std::size_t rep = 0; rep < streams.value().size(); ++rep) {
+        const Result<RunResult> run = RunMethodOnStream(
+            method, streams.value()[rep], scale.defaults, 42 + 13 * rep);
+        if (!run.ok()) {
+          std::fprintf(stderr, "%s failed: %s\n", method.c_str(),
+                       run.status().ToString().c_str());
+          return 1;
+        }
+        total += run.value().total_seconds;
+      }
+      row.push_back(
+          FormatCell(total / static_cast<double>(streams.value().size()), 2));
+      std::cerr << "[bench] " << dataset << " / " << method << " done\n";
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  BenchScale scale = GetBenchScale();
+  // Runtime panels need one repetition per cell; medians of repeated runs
+  // are reported at full scale.
+  if (!scale.full) scale.repetitions = 1;
+
+  if (RunPanel(
+          "Fig. 5a: runtimes (seconds/run) of fairness-aware models",
+          FairnessAwareMethodNames(), scale) != 0) {
+    return 1;
+  }
+  return RunPanel(
+      "Fig. 5b: runtimes (seconds/run) of FACTION's ablated variants",
+      AblationVariantNames(), scale);
+}

@@ -1,0 +1,170 @@
+// Component microbenchmarks (google-benchmark): the per-piece cost model
+// behind the Fig. 5 runtime comparisons — GDA density fitting, FACTION
+// scoring, training steps, metric evaluation, and clustering.
+#include <benchmark/benchmark.h>
+
+#include "cluster/kmeans.h"
+#include "core/fair_score.h"
+#include "data/streams.h"
+#include "density/fair_density.h"
+#include "fairness/metrics.h"
+#include "fairness/relaxed.h"
+#include "nn/trainer.h"
+#include "stream/evaluator.h"
+
+namespace faction {
+namespace {
+
+Dataset MakePool(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  StationaryConfig config;
+  config.scale.samples_per_task = n;
+  config.scale.seed = seed;
+  config.dim = dim;
+  config.num_tasks = 1;
+  Result<std::vector<Dataset>> stream = MakeStationaryStream(config);
+  FACTION_CHECK(stream.ok());
+  return std::move(stream.value()[0]);
+}
+
+void BM_GaussianFit(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = static_cast<std::size_t>(state.range(1));
+  const Dataset pool = MakePool(n, d, 1);
+  CovarianceConfig config;
+  for (auto _ : state) {
+    Result<Gaussian> g = Gaussian::Fit(pool.features(), config);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_GaussianFit)->Args({200, 8})->Args({800, 16})->Args({800, 32});
+
+void BM_FairDensityFit(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Dataset pool = MakePool(n, 16, 2);
+  CovarianceConfig config;
+  for (auto _ : state) {
+    Result<FairDensityEstimator> est = FairDensityEstimator::Fit(
+        pool.features(), pool.labels(), pool.sensitive(), config);
+    benchmark::DoNotOptimize(est);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_FairDensityFit)->Arg(200)->Arg(800)->Arg(3200);
+
+void BM_FactionScoring(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const bool fair_select = state.range(1) != 0;
+  const Dataset pool = MakePool(400, 16, 3);
+  const Dataset candidates = MakePool(n, 16, 4);
+  CovarianceConfig config;
+  Result<FairDensityEstimator> est = FairDensityEstimator::Fit(
+      pool.features(), pool.labels(), pool.sensitive(), config);
+  FACTION_CHECK(est.ok());
+  Matrix proba(n, 2, 0.5);
+  for (auto _ : state) {
+    Result<std::vector<FactionScore>> scores = ComputeFactionScores(
+        est.value(), candidates.features(), proba, 0.5, fair_select);
+    benchmark::DoNotOptimize(scores);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_FactionScoring)
+    ->Args({400, 1})
+    ->Args({1600, 1})
+    ->Args({400, 0})
+    ->Args({1600, 0});
+
+void BM_TrainEpoch(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const bool fairness = state.range(1) != 0;
+  const Dataset pool = MakePool(n, 16, 5);
+  Rng rng(7);
+  MlpConfig mconfig;
+  mconfig.input_dim = 16;
+  mconfig.hidden_dims = {48, 16};
+  mconfig.spectral.enabled = true;
+  TrainConfig tconfig;
+  tconfig.epochs = 1;
+  tconfig.use_fairness_penalty = fairness;
+  tconfig.fairness.mu = 0.6;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng model_rng(11);
+    MlpClassifier model(mconfig, &model_rng);
+    state.ResumeTiming();
+    Result<TrainReport> report =
+        TrainClassifier(&model, pool, tconfig, &rng);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_TrainEpoch)->Args({800, 0})->Args({800, 1});
+
+void BM_EvaluateOnTask(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Dataset task = MakePool(n, 16, 6);
+  Rng rng(13);
+  MlpConfig mconfig;
+  mconfig.input_dim = 16;
+  mconfig.hidden_dims = {48, 16};
+  MlpClassifier model(mconfig, &rng);
+  for (auto _ : state) {
+    Result<TaskMetrics> metrics =
+        EvaluateOnTask(model, task, FairnessNotion::kDdp);
+    benchmark::DoNotOptimize(metrics);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_EvaluateOnTask)->Arg(600)->Arg(2400);
+
+void BM_FairKMeans(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Dataset pool = MakePool(n, 16, 8);
+  KMeansConfig config;
+  config.k = 50;
+  Rng rng(17);
+  for (auto _ : state) {
+    Result<Clustering> clustering = FairKMeans(
+        pool.features(), pool.sensitive(), config, 0.1, &rng);
+    benchmark::DoNotOptimize(clustering);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_FairKMeans)->Arg(400)->Arg(1600);
+
+void BM_RelaxedFairness(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Dataset pool = MakePool(n, 8, 9);
+  std::vector<double> scores(n, 0.5);
+  for (auto _ : state) {
+    Result<double> v = RelaxedFairness(FairnessNotion::kDdp, scores,
+                                       pool.sensitive(), pool.labels());
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_RelaxedFairness)->Arg(1000)->Arg(10000);
+
+void BM_FairnessMetrics(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Dataset pool = MakePool(n, 8, 10);
+  std::vector<int> yhat(pool.labels());
+  for (auto _ : state) {
+    Result<double> ddp =
+        DemographicParityDifference(yhat, pool.sensitive());
+    Result<double> eod =
+        EqualizedOddsDifference(yhat, pool.labels(), pool.sensitive());
+    Result<double> mi = MutualInformation(yhat, pool.sensitive());
+    benchmark::DoNotOptimize(ddp);
+    benchmark::DoNotOptimize(eod);
+    benchmark::DoNotOptimize(mi);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_FairnessMetrics)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace faction
+
+BENCHMARK_MAIN();

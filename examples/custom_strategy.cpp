@@ -1,0 +1,114 @@
+// Implementing a custom query strategy against the public API.
+//
+// The QueryStrategy interface (stream/strategy.h) is the library's
+// extension point: anything that can rank unlabeled candidates can drive
+// the online protocol. This example builds a "margin + group balance"
+// strategy — pick low-margin samples, but keep the queried set balanced
+// across sensitive groups — and runs it head-to-head with FACTION and
+// Entropy-AL.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <numeric>
+
+#include "baselines/uncertainty.h"
+#include "core/presets.h"
+#include "data/streams.h"
+#include "stream/online_learner.h"
+#include "stream/strategy.h"
+
+namespace {
+
+using namespace faction;
+
+// A custom strategy only needs name() and SelectBatch(). The context gives
+// read access to the current model, the labeled pool, and the unlabeled
+// candidates' features / sensitive attributes (never their labels).
+class BalancedMarginStrategy : public QueryStrategy {
+ public:
+  std::string name() const override { return "BalancedMargin"; }
+
+  Result<std::vector<std::size_t>> SelectBatch(
+      const SelectionContext& context, std::size_t batch) override {
+    const Matrix proba =
+        context.model->PredictProba(*context.candidate_features);
+    const std::vector<double> uncertainty = MarginUncertainty(proba);
+    const std::vector<int>& sensitive = *context.candidate_sensitive;
+
+    // Rank candidates by margin uncertainty within each sensitive group,
+    // then alternate between groups so each acquisition batch is balanced.
+    std::vector<std::size_t> order(uncertainty.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return uncertainty[a] > uncertainty[b];
+                     });
+    std::vector<std::size_t> group_pos, group_neg;
+    for (std::size_t idx : order) {
+      (sensitive[idx] == 1 ? group_pos : group_neg).push_back(idx);
+    }
+    std::vector<std::size_t> picked;
+    std::size_t i = 0, j = 0;
+    while (picked.size() < batch && (i < group_pos.size() ||
+                                     j < group_neg.size())) {
+      if (i < group_pos.size()) picked.push_back(group_pos[i++]);
+      if (picked.size() < batch && j < group_neg.size()) {
+        picked.push_back(group_neg[j++]);
+      }
+    }
+    return picked;
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace faction;
+
+  NysfConfig config;
+  config.scale.samples_per_task = 400;
+  config.scale.seed = 3;
+  const Result<std::vector<Dataset>> stream = MakeNysfStream(config);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "stream: %s\n", stream.status().ToString().c_str());
+    return 1;
+  }
+
+  ExperimentDefaults defaults;
+  defaults.budget_per_task = 100;
+  defaults.acquisition_batch = 25;
+
+  std::printf("method          accuracy  DDP    EOD    MI\n");
+
+  // Run the custom strategy through the same OnlineLearner the built-in
+  // methods use. Balanced *acquisition* alone is a weak fairness lever —
+  // compare it with FACTION's density-based selection + regularization.
+  {
+    BalancedMarginStrategy strategy;
+    OnlineLearnerConfig learner_config = MakeLearnerConfig(
+        defaults, stream.value()[0].dim(), "Random", /*seed=*/5);
+    OnlineLearner learner(learner_config, &strategy);
+    const Result<RunResult> run = learner.Run(stream.value());
+    if (!run.ok()) {
+      std::fprintf(stderr, "custom: %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    const StreamSummary& s = run.value().summary;
+    std::printf("%-15s %.3f     %.3f  %.3f  %.3f\n", "BalancedMargin",
+                s.mean_accuracy, s.mean_ddp, s.mean_eod, s.mean_mi);
+  }
+
+  for (const char* method : {"FACTION", "Entropy-AL"}) {
+    const Result<RunResult> run =
+        RunMethodOnStream(method, stream.value(), defaults, 5);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s: %s\n", method,
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    const StreamSummary& s = run.value().summary;
+    std::printf("%-15s %.3f     %.3f  %.3f  %.3f\n", method,
+                s.mean_accuracy, s.mean_ddp, s.mean_eod, s.mean_mi);
+  }
+  return 0;
+}

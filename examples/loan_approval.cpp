@@ -1,0 +1,106 @@
+// Loan approval under economic drift: a domain-specific scenario built
+// directly from the library's environment primitives rather than a
+// packaged benchmark stream.
+//
+// A lender screens loan applications arriving quarterly. The sensitive
+// attribute is applicant age group (young = +1 / old = -1); the label is
+// repayment. Economic conditions drift across quarters (boom, cooling,
+// recession, recovery), shifting the applicant feature distribution, and
+// the historical data is biased: young applicants are over-represented
+// among approved/repaid records (Sec. IV-B's loan example).
+//
+// The example contrasts FACTION with Random selection and with DDU
+// (epistemic-only), showing the fairness gap on each quarter.
+#include <cstdio>
+#include <iostream>
+
+#include "core/presets.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace faction;
+
+  constexpr std::size_t kDim = 10;
+  Rng rng(2024);
+
+  // Applicant feature prototypes: repayers vs defaulters.
+  const auto protos = DrawPrototypes(2, kDim, 1.5, &rng);
+  // Age displaces income/credit-history style features: the sensitive
+  // attribute is partially inferable from the application.
+  std::vector<double> age_offset(kDim, 0.0);
+  age_offset[0] = 0.9;
+  age_offset[3] = -0.7;
+
+  // Four macro-economic environments; each shifts the feature space and
+  // modulates the repayment base rate.
+  struct Quarter {
+    const char* name;
+    double shift_scale;
+    double repay_rate;
+  };
+  const Quarter quarters[] = {{"boom", 0.0, 0.62},
+                              {"cooling", 0.6, 0.52},
+                              {"recession", 1.2, 0.40},
+                              {"recovery", 0.7, 0.55}};
+  const auto drift = DrawPrototypes(1, kDim, 1.0, &rng)[0];
+
+  std::vector<EnvironmentSpec> envs;
+  std::vector<TaskPlan> plan;
+  for (int q = 0; q < 4; ++q) {
+    EnvironmentSpec env;
+    env.class0_mean = protos[0];
+    env.class1_mean = protos[1];
+    env.group_offset = age_offset;
+    env.noise = 0.8;
+    env.bias = 0.62;  // young applicants over-represented among repaid
+    env.positive_fraction = quarters[q].repay_rate;
+    env.shift.assign(kDim, 0.0);
+    for (std::size_t j = 0; j < kDim; ++j) {
+      env.shift[j] = quarters[q].shift_scale * drift[j];
+    }
+    // Three monthly batches per quarter.
+    for (int month = 0; month < 3; ++month) {
+      plan.push_back(TaskPlan{q, 500});
+    }
+    envs.push_back(std::move(env));
+  }
+  const Result<std::vector<Dataset>> stream =
+      GenerateStream(envs, plan, &rng);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "stream: %s\n", stream.status().ToString().c_str());
+    return 1;
+  }
+
+  ExperimentDefaults defaults;
+  defaults.budget_per_task = 120;
+  defaults.acquisition_batch = 30;
+
+  std::cout << "Loan approval stream: 4 quarters x 3 monthly batches, "
+               "age as the sensitive attribute\n\n";
+  std::cout << "method     quarter  accuracy  DDP    EOD\n";
+  for (const char* method : {"FACTION", "DDU", "Random"}) {
+    const Result<RunResult> run =
+        RunMethodOnStream(method, stream.value(), defaults, 99);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s: %s\n", method,
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    // Aggregate the three monthly batches of each quarter.
+    for (int q = 0; q < 4; ++q) {
+      double acc = 0.0, ddp = 0.0, eod = 0.0;
+      for (int month = 0; month < 3; ++month) {
+        const TaskMetrics& m = run.value().per_task[q * 3 + month];
+        acc += m.accuracy / 3.0;
+        ddp += m.ddp / 3.0;
+        eod += m.eod / 3.0;
+      }
+      std::printf("%-10s %-8s %.3f     %.3f  %.3f\n", method,
+                  quarters[q].name, acc, ddp, eod);
+    }
+    std::printf("\n");
+  }
+  std::cout << "FACTION should hold DDP/EOD well below DDU and Random on\n"
+               "every quarter while staying close in accuracy.\n";
+  return 0;
+}

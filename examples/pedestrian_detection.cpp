@@ -1,0 +1,92 @@
+// Pedestrian detection with shifting camera conditions — the paper's
+// motivating example (Sec. I). A detector consumes feature vectors
+// extracted from camera crops; lighting/scene conditions change across the
+// day (morning / noon / dusk / night), and the demographic mix (age group,
+// the sensitive attribute) varies with location and hour. Labels (is this
+// a pedestrian crossing event?) are expensive, so only a small budget per
+// batch can be annotated.
+//
+// This example highlights environment *adaptation*: it prints the accuracy
+// drop each method suffers on the first batch after a condition change and
+// how quickly it recovers, plus the fairness metrics across age groups.
+#include <cstdio>
+#include <iostream>
+
+#include "core/presets.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace faction;
+
+  constexpr std::size_t kDim = 14;
+  Rng rng(7);
+
+  const auto protos = DrawPrototypes(2, kDim, 1.8, &rng);
+  std::vector<double> age_offset(kDim, 0.0);
+  age_offset[1] = 0.8;   // gait/size cues correlate with age group
+  age_offset[5] = -0.6;
+
+  // Lighting environments rotate the feature space (sensor response) and
+  // shift it (exposure), a covariate shift the detector must absorb.
+  const char* conditions[] = {"morning", "noon", "dusk", "night"};
+  const auto shifts = DrawPrototypes(4, kDim, 1.4, &rng);
+  std::vector<EnvironmentSpec> envs;
+  std::vector<TaskPlan> plan;
+  for (int e = 0; e < 4; ++e) {
+    EnvironmentSpec env;
+    env.class0_mean = protos[0];
+    env.class1_mean = protos[1];
+    env.group_offset = age_offset;
+    env.noise = 0.75;
+    env.bias = 0.6;  // children under-represented in historical labels
+    env.rotation = PairwiseRotation(kDim, 12.0 * e);
+    env.shift = shifts[e];
+    for (int b = 0; b < 3; ++b) plan.push_back(TaskPlan{e, 450});
+    envs.push_back(std::move(env));
+  }
+  const Result<std::vector<Dataset>> stream =
+      GenerateStream(envs, plan, &rng);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "stream: %s\n", stream.status().ToString().c_str());
+    return 1;
+  }
+
+  ExperimentDefaults defaults;
+  defaults.budget_per_task = 120;
+  defaults.acquisition_batch = 30;
+
+  std::cout << "Pedestrian detection: 4 lighting conditions x 3 batches, "
+               "age group as the sensitive attribute\n\n";
+  for (const char* method : {"FACTION", "QuFUR", "Entropy-AL"}) {
+    const Result<RunResult> run =
+        RunMethodOnStream(method, stream.value(), defaults, 31);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s: %s\n", method,
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", method);
+    std::printf("  condition  on-shift acc  recovered acc  DDP (mean)\n");
+    for (int e = 0; e < 4; ++e) {
+      const TaskMetrics& first = run.value().per_task[e * 3];
+      const TaskMetrics& last = run.value().per_task[e * 3 + 2];
+      const double mean_ddp = (run.value().per_task[e * 3].ddp +
+                               run.value().per_task[e * 3 + 1].ddp +
+                               run.value().per_task[e * 3 + 2].ddp) /
+                              3.0;
+      std::printf("  %-9s  %.3f         %.3f          %.3f\n",
+                  conditions[e], first.accuracy, last.accuracy, mean_ddp);
+    }
+    std::printf("  stream means: acc=%.3f DDP=%.3f EOD=%.3f\n\n",
+                run.value().summary.mean_accuracy,
+                run.value().summary.mean_ddp,
+                run.value().summary.mean_eod);
+  }
+  std::cout
+      << "\"on-shift acc\" is measured on the first batch after a lighting\n"
+         "change, before the learner adapts; \"recovered acc\" after two\n"
+         "budgeted annotation rounds in that condition. FACTION's density\n"
+         "scoring targets OOD samples, so it recovers while also keeping\n"
+         "DDP low across age groups.\n";
+  return 0;
+}

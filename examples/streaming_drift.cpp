@@ -1,0 +1,97 @@
+// Single-sample streaming with drift monitoring: the Sec. IV-D extension
+// end-to-end. Samples arrive one at a time (no task batching); FACTION's
+// streaming variant decides per arrival whether to buy the label, while a
+// density-based drift detector watches for environment changes over
+// windows of arrivals and reports when the world shifted.
+#include <cstdio>
+#include <vector>
+
+#include "core/streaming_faction.h"
+#include "data/synthetic.h"
+#include "stream/drift.h"
+
+int main() {
+  using namespace faction;
+
+  constexpr std::size_t kDim = 8;
+  Rng rng(11);
+  const auto protos = DrawPrototypes(2, kDim, 1.6, &rng);
+
+  // Two environments: the second is a shifted world the stream cuts over
+  // to midway.
+  EnvironmentSpec before;
+  before.class0_mean = protos[0];
+  before.class1_mean = protos[1];
+  before.group_offset.assign(kDim, 0.0);
+  before.group_offset[0] = 0.9;
+  before.noise = 0.7;
+  before.bias = 0.65;
+  EnvironmentSpec after = before;
+  after.shift.assign(kDim, 6.0);
+
+  StreamingFactionConfig config;
+  config.model.input_dim = kDim;
+  config.model.hidden_dims = {16, 8};
+  config.warm_start = 60;
+  config.refit_interval = 30;
+  config.alpha = 1.5;
+  config.seed = 5;
+  StreamingFaction streaming(config);
+
+  DriftDetectorConfig dconfig;
+  dconfig.threshold = 2.5;
+  DriftDetector detector(dconfig);
+
+  constexpr int kTotal = 1200;
+  constexpr int kCutover = 600;
+  constexpr int kWindow = 50;
+  int window_count = 0;
+  int window_index = 0;
+  int queries_in_window = 0;
+  std::printf(
+      "arrival  queried(last %d)  mean score stat  drift?\n", kWindow);
+  for (int i = 0; i < kTotal; ++i) {
+    const EnvironmentSpec& env = i < kCutover ? before : after;
+    Example e = SampleFromEnvironment(env, i < kCutover ? 0 : 1, &rng);
+    const Result<bool> query = streaming.ShouldQuery(e);
+    if (!query.ok()) {
+      std::fprintf(stderr, "stream error: %s\n",
+                   query.status().ToString().c_str());
+      return 1;
+    }
+    if (query.value()) {
+      ++queries_in_window;
+      if (!streaming.ProvideLabel(e).ok()) return 1;
+    }
+    ++window_count;
+    if (window_count == kWindow) {
+      // Per-window drift statistic: the *negative query rate*. FACTION
+      // queries more when arrivals look unfamiliar (low density), so a
+      // spike in queries — a drop of this statistic — signals an
+      // environment change.
+      const double stat =
+          -static_cast<double>(queries_in_window) / kWindow;
+      ++window_index;
+      // The first windows are dominated by the always-query warm start;
+      // feeding them to the detector would inflate its baseline variance.
+      const bool drift = window_index <= 3 ? false : detector.Observe(stat);
+      std::printf("%7d  %6d            %+.3f            %s\n", i + 1,
+                  queries_in_window, stat, drift ? "DRIFT" : "-");
+      if (drift) {
+        std::printf(
+            "         -> environment change detected near arrival %d "
+            "(true cutover at %d)\n",
+            i + 1, kCutover);
+        detector.Reset();
+      }
+      window_count = 0;
+      queries_in_window = 0;
+    }
+  }
+  std::printf(
+      "\nqueried %zu of %zu arrivals; the query-rate spike after the\n"
+      "cutover is FACTION's epistemic signal reacting to the new "
+      "environment.\n",
+      streaming.queries_made(), streaming.samples_seen());
+  return 0;
+}

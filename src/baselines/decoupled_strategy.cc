@@ -1,0 +1,95 @@
+#include "baselines/decoupled_strategy.h"
+
+#include <cmath>
+
+#include "stream/selection.h"
+
+namespace faction {
+
+namespace {
+
+// Gathers the sub-pool with the given sensitive value.
+Dataset GroupPool(const Dataset& pool, int sensitive) {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (pool.sensitive()[i] == sensitive) idx.push_back(i);
+  }
+  return pool.Subset(idx);
+}
+
+}  // namespace
+
+Result<std::vector<std::size_t>> DecoupledStrategy::SelectBatch(
+    const SelectionContext& context, std::size_t batch) {
+  const Matrix& candidates = *context.candidate_features;
+  const std::size_t n = candidates.rows();
+  if (n == 0) return std::vector<std::size_t>{};
+
+  const Dataset pool_pos = GroupPool(*context.labeled_pool, 1);
+  const Dataset pool_neg = GroupPool(*context.labeled_pool, -1);
+  if (pool_pos.empty() || pool_neg.empty()) {
+    // One group has no labels yet: disagreement is undefined; fall back to
+    // a random batch for this iteration.
+    std::vector<std::size_t> perm;
+    context.rng->Permutation(n, &perm);
+    perm.resize(std::min(batch, n));
+    return perm;
+  }
+
+  MlpConfig probe_config;
+  probe_config.input_dim = candidates.cols();
+  probe_config.hidden_dims = config_.probe_hidden;
+  probe_config.num_classes = 2;
+
+  TrainConfig train;
+  train.epochs = config_.probe_epochs;
+  train.batch_size = config_.probe_batch;
+  train.learning_rate = config_.probe_lr;
+  train.use_fairness_penalty = false;
+
+  Rng rng_pos = context.rng->Fork();
+  Rng rng_neg = context.rng->Fork();
+  MlpClassifier probe_pos(probe_config, &rng_pos);
+  MlpClassifier probe_neg(probe_config, &rng_neg);
+  FACTION_RETURN_IF_ERROR(
+      TrainClassifier(&probe_pos, pool_pos, train, &rng_pos).status());
+  FACTION_RETURN_IF_ERROR(
+      TrainClassifier(&probe_neg, pool_neg, train, &rng_neg).status());
+
+  const Matrix proba_pos = probe_pos.PredictProba(candidates);
+  const Matrix proba_neg = probe_neg.PredictProba(candidates);
+  std::vector<double> disagreement(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    disagreement[i] = std::fabs(proba_pos(i, 1) - proba_neg(i, 1));
+  }
+
+  // The threshold acts as a quality bar: every candidate whose decoupled
+  // models disagree by at least alpha is equally promising, and the batch
+  // is drawn uniformly among them (higher alpha = a stricter, smaller
+  // candidate set). When too few pass, the batch is topped up with the
+  // highest sub-threshold disagreements.
+  std::vector<std::size_t> passers, rest;
+  for (std::size_t i = 0; i < n; ++i) {
+    (disagreement[i] >= config_.threshold ? passers : rest).push_back(i);
+  }
+  std::vector<std::size_t> picked;
+  if (!passers.empty()) {
+    std::vector<std::size_t> perm;
+    context.rng->Permutation(passers.size(), &perm);
+    for (std::size_t k = 0; k < perm.size() && picked.size() < batch; ++k) {
+      picked.push_back(passers[perm[k]]);
+    }
+  }
+  if (picked.size() < batch && !rest.empty()) {
+    std::vector<double> rest_scores(rest.size());
+    for (std::size_t k = 0; k < rest.size(); ++k) {
+      rest_scores[k] = disagreement[rest[k]];
+    }
+    for (std::size_t k : TopK(rest_scores, batch - picked.size())) {
+      picked.push_back(rest[k]);
+    }
+  }
+  return picked;
+}
+
+}  // namespace faction

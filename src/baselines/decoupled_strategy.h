@@ -1,0 +1,48 @@
+#ifndef FACTION_BASELINES_DECOUPLED_STRATEGY_H_
+#define FACTION_BASELINES_DECOUPLED_STRATEGY_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/trainer.h"
+#include "stream/strategy.h"
+
+namespace faction {
+
+/// Configuration of the Decoupled baseline (D-FA^2L, Cao & Lan).
+struct DecoupledConfig {
+  /// Disagreement threshold alpha: candidates whose two group models
+  /// disagree by at least this much are preferred (Fig. 3 sweeps
+  /// {0.1 .. 0.8}).
+  double threshold = 0.2;
+  /// Architecture of the two lightweight per-group probes.
+  std::vector<std::size_t> probe_hidden = {16};
+  /// Training recipe for the probes at each acquisition iteration.
+  int probe_epochs = 2;
+  double probe_lr = 0.05;
+  std::size_t probe_batch = 32;
+};
+
+/// Decoupled fairness-aware AL: two probe models are fitted on the labeled
+/// pool restricted to each sensitive group; candidates where the two
+/// decoupled models disagree most about the positive-class probability are
+/// the most promising for fairness (the groups are treated differently
+/// there). Candidates above the threshold are ranked by disagreement; the
+/// batch is topped up with the next-highest disagreements if too few pass.
+class DecoupledStrategy : public QueryStrategy {
+ public:
+  explicit DecoupledStrategy(const DecoupledConfig& config)
+      : config_(config) {}
+
+  std::string name() const override { return "Decoupled"; }
+
+  Result<std::vector<std::size_t>> SelectBatch(
+      const SelectionContext& context, std::size_t batch) override;
+
+ private:
+  DecoupledConfig config_;
+};
+
+}  // namespace faction
+
+#endif  // FACTION_BASELINES_DECOUPLED_STRATEGY_H_

@@ -1,0 +1,104 @@
+#include "baselines/fal_strategy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "baselines/uncertainty.h"
+#include "fairness/metrics.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "stream/selection.h"
+
+namespace faction {
+
+namespace {
+
+// |DDP| of the model's hard predictions over the reference rows; 0 when a
+// group is missing.
+double ReferenceDisparity(const FeatureClassifier& model, const Matrix& refs,
+                          const std::vector<int>& ref_sensitive) {
+  const std::vector<int> yhat = model.Predict(refs);
+  const Result<double> ddp = DemographicParityDifference(yhat, ref_sensitive);
+  return ddp.ok() ? ddp.value() : 0.0;
+}
+
+// One SGD step on the single example (x, y) applied to a copy of `model`;
+// returns the updated copy.
+std::unique_ptr<FeatureClassifier> LookaheadStep(
+    const FeatureClassifier& model, const std::vector<double>& x, int y,
+    double lr, Rng* rng) {
+  std::unique_ptr<FeatureClassifier> copy = model.CloneArchitecture(rng);
+  copy->CopyParametersFrom(model);
+  Matrix batch = Matrix::FromRowVector(x);
+  const Matrix logits = copy->Forward(batch);
+  Matrix dlogits;
+  SoftmaxCrossEntropy(logits, {y}, &dlogits);
+  copy->ZeroGrad();
+  copy->Backward(dlogits);
+  SgdOptimizer opt(lr);
+  opt.Step(copy->Parameters(), copy->Gradients());
+  return copy;
+}
+
+}  // namespace
+
+Result<std::vector<std::size_t>> FalStrategy::SelectBatch(
+    const SelectionContext& context, std::size_t batch) {
+  const Matrix& candidates = *context.candidate_features;
+  const std::vector<int>& sensitive = *context.candidate_sensitive;
+  const std::size_t n = candidates.rows();
+  if (n == 0) return std::vector<std::size_t>{};
+
+  const Matrix proba = context.model->PredictProba(candidates);
+  const std::vector<double> entropy = PredictiveEntropy(proba);
+
+  // Reference subsample of size l drawn from the candidate pool: the set on
+  // which fairness impact is measured.
+  const std::size_t l = std::min(config_.reference_size, n);
+  std::vector<std::size_t> perm;
+  context.rng->Permutation(n, &perm);
+  Matrix refs(l, candidates.cols());
+  std::vector<int> ref_sensitive(l);
+  for (std::size_t i = 0; i < l; ++i) {
+    std::copy(candidates.row_data(perm[i]),
+              candidates.row_data(perm[i]) + candidates.cols(),
+              refs.row_data(i));
+    ref_sensitive[i] = sensitive[perm[i]];
+  }
+  const double base_disparity =
+      ReferenceDisparity(*context.model, refs, ref_sensitive);
+
+  // Expected Fairness is evaluated for the highest-entropy shortlist only.
+  const std::size_t shortlist_size =
+      std::min(n, std::max(batch, config_.candidate_factor * batch));
+  const std::vector<std::size_t> shortlist = TopK(entropy, shortlist_size);
+
+  std::vector<double> fairness_gain(n, 0.0);
+  for (std::size_t pos : shortlist) {
+    const std::vector<double> x = candidates.Row(pos);
+    double expected_disparity = 0.0;
+    for (int y = 0; y < 2; ++y) {
+      const double weight = proba(pos, static_cast<std::size_t>(y));
+      if (weight < 1e-4) continue;  // negligible branch
+      const std::unique_ptr<FeatureClassifier> updated = LookaheadStep(
+          *context.model, x, y, config_.lookahead_lr, context.rng);
+      expected_disparity +=
+          weight * ReferenceDisparity(*updated, refs, ref_sensitive);
+    }
+    fairness_gain[pos] = base_disparity - expected_disparity;
+  }
+
+  // Final ranking: normalized entropy blended with normalized expected
+  // fairness gain; only shortlisted candidates can win the fairness term.
+  const std::vector<double> entropy_norm = MinMaxNormalize(entropy);
+  const std::vector<double> gain_norm = MinMaxNormalize(fairness_gain);
+  std::vector<double> score(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    score[i] = config_.entropy_weight * entropy_norm[i] +
+               (1.0 - config_.entropy_weight) * gain_norm[i];
+  }
+  return TopK(score, batch);
+}
+
+}  // namespace faction

@@ -1,0 +1,48 @@
+#ifndef FACTION_BASELINES_FAL_STRATEGY_H_
+#define FACTION_BASELINES_FAL_STRATEGY_H_
+
+#include <string>
+
+#include "stream/strategy.h"
+
+namespace faction {
+
+/// Configuration of the FAL baseline (Anahideh et al., "Fair Active
+/// Learning").
+struct FalConfig {
+  /// Reference-set size l used to estimate Expected Fairness — the method's
+  /// key trade-off parameter (Fig. 3 sweeps {64, 96, 128, 196, 256}).
+  std::size_t reference_size = 128;
+  /// Mixing weight between (normalized) entropy and expected-fairness gain
+  /// in the final ranking.
+  double entropy_weight = 0.5;
+  /// Expected Fairness is evaluated only for the `candidate_factor * batch`
+  /// highest-entropy candidates to bound the per-iteration cost.
+  std::size_t candidate_factor = 4;
+  /// Learning rate of the one-step look-ahead update.
+  double lookahead_lr = 0.05;
+};
+
+/// FAL selects samples by "Expected Fairness": for each candidate it
+/// simulates acquiring the label (one gradient step on a model copy for
+/// each hypothetical label, weighted by the model's posterior) and measures
+/// the resulting change of demographic disparity on a reference subsample.
+/// This look-ahead is what makes FAL the most expensive method in the
+/// paper's runtime comparison (Fig. 5a); the adaptation here preserves that
+/// cost profile.
+class FalStrategy : public QueryStrategy {
+ public:
+  explicit FalStrategy(const FalConfig& config) : config_(config) {}
+
+  std::string name() const override { return "FAL"; }
+
+  Result<std::vector<std::size_t>> SelectBatch(
+      const SelectionContext& context, std::size_t batch) override;
+
+ private:
+  FalConfig config_;
+};
+
+}  // namespace faction
+
+#endif  // FACTION_BASELINES_FAL_STRATEGY_H_

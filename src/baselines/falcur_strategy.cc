@@ -1,0 +1,84 @@
+#include "baselines/falcur_strategy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/uncertainty.h"
+#include "stream/selection.h"
+#include "tensor/ops.h"
+
+namespace faction {
+
+Result<std::vector<std::size_t>> FalCurStrategy::SelectBatch(
+    const SelectionContext& context, std::size_t batch) {
+  const Matrix& candidates = *context.candidate_features;
+  const std::size_t n = candidates.rows();
+  if (n == 0) return std::vector<std::size_t>{};
+  if (n <= batch) {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+
+  // Fair clustering over the learned feature space.
+  const Matrix features = context.model->ExtractFeatures(candidates);
+  KMeansConfig kconfig = config_.kmeans;
+  kconfig.k = config_.num_clusters > 0 ? config_.num_clusters : batch;
+  FACTION_ASSIGN_OR_RETURN(
+      Clustering clustering,
+      FairKMeans(features, *context.candidate_sensitive, kconfig,
+                 config_.balance_slack, context.rng));
+
+  // Uncertainty and representativeness per candidate.
+  const Matrix proba = context.model->PredictProba(candidates);
+  const std::vector<double> uncertainty =
+      MinMaxNormalize(PredictiveEntropy(proba));
+  std::vector<double> dist(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = clustering.assignment[i];
+    double acc = 0.0;
+    for (std::size_t j = 0; j < features.cols(); ++j) {
+      const double d = features(i, j) - clustering.centroids(c, j);
+      acc += d * d;
+    }
+    dist[i] = std::sqrt(acc);
+  }
+  // Representativeness: closer to the centroid = more representative.
+  std::vector<double> representativeness = MinMaxNormalize(dist);
+  for (double& r : representativeness) r = 1.0 - r;
+
+  std::vector<double> score(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    score[i] = config_.beta * uncertainty[i] +
+               (1.0 - config_.beta) * representativeness[i];
+  }
+
+  // Round-robin across clusters, each time taking the cluster's best
+  // remaining candidate, so the batch spans the (balanced) clusters.
+  const std::size_t k = clustering.centroids.rows();
+  std::vector<std::vector<std::size_t>> by_cluster(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    by_cluster[clustering.assignment[i]].push_back(i);
+  }
+  for (auto& members : by_cluster) {
+    std::stable_sort(members.begin(), members.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return score[a] > score[b];
+                     });
+  }
+  std::vector<std::size_t> picked;
+  std::vector<std::size_t> cursor(k, 0);
+  while (picked.size() < batch) {
+    bool advanced = false;
+    for (std::size_t c = 0; c < k && picked.size() < batch; ++c) {
+      if (cursor[c] < by_cluster[c].size()) {
+        picked.push_back(by_cluster[c][cursor[c]++]);
+        advanced = true;
+      }
+    }
+    if (!advanced) break;
+  }
+  return picked;
+}
+
+}  // namespace faction

@@ -1,0 +1,44 @@
+#ifndef FACTION_BASELINES_FALCUR_STRATEGY_H_
+#define FACTION_BASELINES_FALCUR_STRATEGY_H_
+
+#include <string>
+
+#include "cluster/kmeans.h"
+#include "stream/strategy.h"
+
+namespace faction {
+
+/// Configuration of the FAL-CUR baseline (Fajri et al.).
+struct FalCurConfig {
+  /// beta: weight of uncertainty versus representativeness in the
+  /// per-sample score — the Fig. 3 trade-off parameter ({0.3 .. 0.7}).
+  double beta = 0.5;
+  /// Number of fair clusters; 0 means one cluster per acquisition slot.
+  std::size_t num_clusters = 0;
+  /// Admissible deviation of a cluster's group ratio from the global one.
+  double balance_slack = 0.1;
+  KMeansConfig kmeans;
+};
+
+/// FAL-CUR: fair clustering + uncertainty + representativeness. Candidates
+/// are clustered with balance-constrained k-means on the feature space;
+/// each candidate is scored beta * uncertainty + (1 - beta) *
+/// representativeness (inverse distance to its centroid), and acquisition
+/// round-robins over clusters taking each cluster's best remaining
+/// candidate — the mechanism that spreads queries across (fair) clusters.
+class FalCurStrategy : public QueryStrategy {
+ public:
+  explicit FalCurStrategy(const FalCurConfig& config) : config_(config) {}
+
+  std::string name() const override { return "FAL-CUR"; }
+
+  Result<std::vector<std::size_t>> SelectBatch(
+      const SelectionContext& context, std::size_t batch) override;
+
+ private:
+  FalCurConfig config_;
+};
+
+}  // namespace faction
+
+#endif  // FACTION_BASELINES_FALCUR_STRATEGY_H_

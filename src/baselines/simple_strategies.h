@@ -1,0 +1,62 @@
+#ifndef FACTION_BASELINES_SIMPLE_STRATEGIES_H_
+#define FACTION_BASELINES_SIMPLE_STRATEGIES_H_
+
+#include <string>
+
+#include "density/gaussian.h"
+#include "stream/strategy.h"
+
+namespace faction {
+
+/// Naive baseline: uniformly random acquisition.
+class RandomStrategy : public QueryStrategy {
+ public:
+  std::string name() const override { return "Random"; }
+  Result<std::vector<std::size_t>> SelectBatch(
+      const SelectionContext& context, std::size_t batch) override;
+};
+
+/// Classical Entropy-AL (Settles): deterministically pick the candidates
+/// with the highest predictive entropy.
+class EntropyStrategy : public QueryStrategy {
+ public:
+  std::string name() const override { return "Entropy-AL"; }
+  Result<std::vector<std::size_t>> SelectBatch(
+      const SelectionContext& context, std::size_t batch) override;
+};
+
+/// QuFUR (Chen et al.): active online learning that converts per-sample
+/// uncertainty into a query *probability* and acquires via Bernoulli
+/// trials, which makes it robust to hidden domain shifts. Our adaptation
+/// uses predictive entropy as the uncertainty functional.
+class QufurStrategy : public QueryStrategy {
+ public:
+  /// `alpha` is the query-rate multiplier (same role as FACTION's alpha).
+  explicit QufurStrategy(double alpha = 3.0) : alpha_(alpha) {}
+  std::string name() const override { return "QuFUR"; }
+  Result<std::vector<std::size_t>> SelectBatch(
+      const SelectionContext& context, std::size_t batch) override;
+
+ private:
+  double alpha_;
+};
+
+/// DDU (Mukhoti et al.): deep deterministic uncertainty. Fits a per-class
+/// GDA density on the feature space of the labeled pool and queries the
+/// candidates with the lowest marginal density (highest epistemic
+/// uncertainty). Fairness-unaware by construction.
+class DduStrategy : public QueryStrategy {
+ public:
+  explicit DduStrategy(const CovarianceConfig& covariance = {})
+      : covariance_(covariance) {}
+  std::string name() const override { return "DDU"; }
+  Result<std::vector<std::size_t>> SelectBatch(
+      const SelectionContext& context, std::size_t batch) override;
+
+ private:
+  CovarianceConfig covariance_;
+};
+
+}  // namespace faction
+
+#endif  // FACTION_BASELINES_SIMPLE_STRATEGIES_H_

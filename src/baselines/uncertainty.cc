@@ -1,0 +1,39 @@
+#include "baselines/uncertainty.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace faction {
+
+std::vector<double> PredictiveEntropy(const Matrix& proba) {
+  std::vector<double> out(proba.rows(), 0.0);
+  for (std::size_t i = 0; i < proba.rows(); ++i) {
+    const double* row = proba.row_data(i);
+    double h = 0.0;
+    for (std::size_t j = 0; j < proba.cols(); ++j) {
+      if (row[j] > 1e-12) h -= row[j] * std::log(row[j]);
+    }
+    out[i] = h;
+  }
+  return out;
+}
+
+std::vector<double> MarginUncertainty(const Matrix& proba) {
+  std::vector<double> out(proba.rows(), 0.0);
+  for (std::size_t i = 0; i < proba.rows(); ++i) {
+    const double* row = proba.row_data(i);
+    double top1 = -1.0, top2 = -1.0;
+    for (std::size_t j = 0; j < proba.cols(); ++j) {
+      if (row[j] > top1) {
+        top2 = top1;
+        top1 = row[j];
+      } else if (row[j] > top2) {
+        top2 = row[j];
+      }
+    }
+    out[i] = 1.0 - (top1 - std::max(top2, 0.0));
+  }
+  return out;
+}
+
+}  // namespace faction

@@ -1,0 +1,21 @@
+#ifndef FACTION_BASELINES_UNCERTAINTY_H_
+#define FACTION_BASELINES_UNCERTAINTY_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace faction {
+
+/// Shannon entropy (nats) of each row of a probability matrix. The
+/// classical uncertainty measure behind Entropy-AL and QuFUR's query
+/// probabilities.
+std::vector<double> PredictiveEntropy(const Matrix& proba);
+
+/// Margin uncertainty: 1 - (p_top1 - p_top2) per row; higher = more
+/// uncertain.
+std::vector<double> MarginUncertainty(const Matrix& proba);
+
+}  // namespace faction
+
+#endif  // FACTION_BASELINES_UNCERTAINTY_H_

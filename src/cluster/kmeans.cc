@@ -1,0 +1,196 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.h"
+
+namespace faction {
+
+namespace {
+
+double RowDistance2(const Matrix& points, std::size_t row,
+                    const Matrix& centroids, std::size_t c) {
+  const double* p = points.row_data(row);
+  const double* q = centroids.row_data(c);
+  double acc = 0.0;
+  for (std::size_t j = 0; j < points.cols(); ++j) {
+    const double d = p[j] - q[j];
+    acc += d * d;
+  }
+  return acc;
+}
+
+// k-means++ seeding: first center uniform, later centers proportional to
+// squared distance from the nearest existing center.
+Matrix SeedPlusPlus(const Matrix& points, std::size_t k, Rng* rng) {
+  const std::size_t n = points.rows();
+  Matrix centroids(k, points.cols());
+  std::vector<double> d2(n, std::numeric_limits<double>::max());
+  std::size_t first = static_cast<std::size_t>(rng->UniformInt(n));
+  centroids.SetRow(0, points.Row(first));
+  for (std::size_t c = 1; c < k; ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      d2[i] = std::min(d2[i], RowDistance2(points, i, centroids, c - 1));
+    }
+    const std::size_t next = rng->Categorical(d2);
+    centroids.SetRow(c, points.Row(next));
+  }
+  return centroids;
+}
+
+// One Lloyd assignment + update sweep; returns squared center movement.
+double LloydSweep(const Matrix& points, Clustering* state) {
+  const std::size_t n = points.rows();
+  const std::size_t k = state->centroids.rows();
+  const std::size_t d = points.cols();
+  state->assignment.resize(n);
+  state->inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::max();
+    std::size_t arg = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double dist = RowDistance2(points, i, state->centroids, c);
+      if (dist < best) {
+        best = dist;
+        arg = c;
+      }
+    }
+    state->assignment[i] = arg;
+    state->inertia += best;
+  }
+  Matrix fresh(k, d);
+  state->sizes.assign(k, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = state->assignment[i];
+    ++state->sizes[c];
+    const double* p = points.row_data(i);
+    double* q = fresh.row_data(c);
+    for (std::size_t j = 0; j < d; ++j) q[j] += p[j];
+  }
+  double movement = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (state->sizes[c] == 0) {
+      // Keep empty clusters where they are; repair happens via seeding in
+      // later sweeps if points migrate.
+      fresh.SetRow(c, state->centroids.Row(c));
+      continue;
+    }
+    double* q = fresh.row_data(c);
+    for (std::size_t j = 0; j < d; ++j) {
+      q[j] /= static_cast<double>(state->sizes[c]);
+      const double delta = q[j] - state->centroids(c, j);
+      movement += delta * delta;
+    }
+  }
+  state->centroids = std::move(fresh);
+  return movement;
+}
+
+}  // namespace
+
+Result<Clustering> KMeans(const Matrix& points, const KMeansConfig& config,
+                          Rng* rng) {
+  if (points.rows() == 0) {
+    return Status::InvalidArgument("KMeans: no points");
+  }
+  if (config.k == 0) {
+    return Status::InvalidArgument("KMeans: k must be positive");
+  }
+  const std::size_t k = std::min(config.k, points.rows());
+  Clustering state;
+  state.centroids = SeedPlusPlus(points, k, rng);
+  for (int it = 0; it < config.max_iterations; ++it) {
+    const double movement = LloydSweep(points, &state);
+    state.iterations = it + 1;
+    if (movement < config.tolerance * config.tolerance) break;
+  }
+  return state;
+}
+
+std::vector<double> ClusterGroupRatios(const Clustering& clustering,
+                                       const std::vector<int>& sensitive) {
+  const std::size_t k = clustering.centroids.rows();
+  std::vector<double> pos(k, 0.0), total(k, 0.0);
+  double global_pos = 0.0;
+  for (std::size_t i = 0; i < clustering.assignment.size(); ++i) {
+    const std::size_t c = clustering.assignment[i];
+    total[c] += 1.0;
+    if (sensitive[i] == 1) {
+      pos[c] += 1.0;
+      global_pos += 1.0;
+    }
+  }
+  const double global_ratio =
+      clustering.assignment.empty()
+          ? 0.5
+          : global_pos / static_cast<double>(clustering.assignment.size());
+  std::vector<double> ratios(k, global_ratio);
+  for (std::size_t c = 0; c < k; ++c) {
+    if (total[c] > 0.0) ratios[c] = pos[c] / total[c];
+  }
+  return ratios;
+}
+
+Result<Clustering> FairKMeans(const Matrix& points,
+                              const std::vector<int>& sensitive,
+                              const KMeansConfig& config,
+                              double balance_slack, Rng* rng) {
+  if (sensitive.size() != points.rows()) {
+    return Status::InvalidArgument("FairKMeans: sensitive size mismatch");
+  }
+  FACTION_ASSIGN_OR_RETURN(Clustering state, KMeans(points, config, rng));
+  const std::size_t k = state.centroids.rows();
+  const std::size_t n = points.rows();
+  double global_pos = 0.0;
+  for (int s : sensitive) global_pos += s == 1 ? 1.0 : 0.0;
+  const double global_ratio = n > 0 ? global_pos / static_cast<double>(n) : 0.5;
+
+  // Balance repair: move members of the over-represented group in the most
+  // unbalanced cluster to their second-nearest centroid. Bounded sweeps
+  // keep this O(n * k) per sweep.
+  const int max_moves = static_cast<int>(n);
+  for (int move = 0; move < max_moves; ++move) {
+    const std::vector<double> ratios = ClusterGroupRatios(state, sensitive);
+    // Find the cluster with the largest imbalance beyond the slack.
+    std::size_t worst = k;
+    double worst_gap = balance_slack;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (state.sizes[c] < 2) continue;
+      const double gap = std::fabs(ratios[c] - global_ratio);
+      if (gap > worst_gap) {
+        worst_gap = gap;
+        worst = c;
+      }
+    }
+    if (worst == k) break;  // all clusters within slack
+    const int over_group = ratios[worst] > global_ratio ? 1 : -1;
+    // Cheapest admissible move: the over-group member of `worst` whose
+    // second-nearest centroid is closest.
+    double best_cost = std::numeric_limits<double>::max();
+    std::size_t best_point = n;
+    std::size_t best_target = k;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (state.assignment[i] != worst || sensitive[i] != over_group) {
+        continue;
+      }
+      for (std::size_t c = 0; c < k; ++c) {
+        if (c == worst) continue;
+        const double cost = RowDistance2(points, i, state.centroids, c);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_point = i;
+          best_target = c;
+        }
+      }
+    }
+    if (best_point == n) break;  // no admissible move
+    state.assignment[best_point] = best_target;
+    --state.sizes[worst];
+    ++state.sizes[best_target];
+  }
+  return state;
+}
+
+}  // namespace faction

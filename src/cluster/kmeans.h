@@ -1,0 +1,51 @@
+#ifndef FACTION_CLUSTER_KMEANS_H_
+#define FACTION_CLUSTER_KMEANS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace faction {
+
+/// Configuration for (fair) k-means clustering.
+struct KMeansConfig {
+  std::size_t k = 4;
+  int max_iterations = 50;
+  /// Relative center-movement threshold for convergence.
+  double tolerance = 1e-4;
+};
+
+/// Result of a clustering run.
+struct Clustering {
+  Matrix centroids;                     ///< k x d
+  std::vector<std::size_t> assignment;  ///< cluster id per point
+  std::vector<std::size_t> sizes;       ///< points per cluster
+  double inertia = 0.0;                 ///< sum of squared distances
+  int iterations = 0;
+};
+
+/// Lloyd's k-means with k-means++ seeding. Fails when there are no points
+/// or k == 0; when k exceeds the number of points, k is reduced to it.
+Result<Clustering> KMeans(const Matrix& points, const KMeansConfig& config,
+                          Rng* rng);
+
+/// Fairness-aware k-means used by the FAL-CUR baseline: standard Lloyd
+/// updates followed by a balance-repair step that moves points of the
+/// over-represented sensitive group from unbalanced clusters to their
+/// second-nearest centroid until each cluster's group ratio is within
+/// `balance_slack` of the global ratio (or no admissible move remains).
+Result<Clustering> FairKMeans(const Matrix& points,
+                              const std::vector<int>& sensitive,
+                              const KMeansConfig& config,
+                              double balance_slack, Rng* rng);
+
+/// Share of points with s == +1 per cluster; clusters with no members get
+/// the global ratio.
+std::vector<double> ClusterGroupRatios(const Clustering& clustering,
+                                       const std::vector<int>& sensitive);
+
+}  // namespace faction
+
+#endif  // FACTION_CLUSTER_KMEANS_H_

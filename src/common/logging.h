@@ -1,0 +1,68 @@
+#ifndef FACTION_COMMON_LOGGING_H_
+#define FACTION_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace faction {
+
+/// Log severities, ascending.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity that is emitted. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum severity.
+LogLevel GetLogLevel();
+
+/// Emits one formatted log line to stderr if `level` passes the filter.
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+namespace internal_logging {
+
+/// Stream-style accumulator used by the FACTION_LOG macro; writes on
+/// destruction.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace faction
+
+/// Usage: FACTION_LOG(kInfo) << "fitted " << n << " components";
+#define FACTION_LOG(severity)                                     \
+  ::faction::internal_logging::LogStream(                         \
+      ::faction::LogLevel::severity, __FILE__, __LINE__)
+
+/// Aborts with a message when `cond` is false. Used for programmer-error
+/// invariants that should never fail in correct code (not for input
+/// validation, which returns Status).
+#define FACTION_CHECK(cond)                                             \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::faction::LogMessage(::faction::LogLevel::kError, __FILE__,      \
+                            __LINE__, "CHECK failed: " #cond);          \
+      ::std::abort();                                                   \
+    }                                                                   \
+  } while (0)
+
+#endif  // FACTION_COMMON_LOGGING_H_

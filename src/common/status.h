@@ -1,0 +1,129 @@
+#ifndef FACTION_COMMON_STATUS_H_
+#define FACTION_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace faction {
+
+/// Error categories used across the library. Modeled after the RocksDB /
+/// Arrow convention of returning rich status objects instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kOutOfRange,
+  kNotFound,
+  kInternal,
+  kNumericalError,
+  kResourceExhausted,
+};
+
+/// Returns a short human-readable name for a status code ("Ok",
+/// "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A Status carries the outcome of an operation that can fail. The library
+/// does not use exceptions; every fallible public function returns Status or
+/// Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. A kOk code with a
+  /// message is allowed but unusual.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "Code: message" for logging.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> is either a value or an error Status. Accessing the value of an
+/// error result is a programming error (checked in debug via assert-like
+/// abort in ValueOrDie semantics; use ok() first).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value, so `return value;` works.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the error status; OK when the result holds a value.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(payload_);
+  }
+
+  /// Returns the contained value. Precondition: ok().
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  /// Returns the value or a fallback when this holds an error.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define FACTION_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::faction::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluates a Result<T> expression, propagating errors, and binds the value.
+#define FACTION_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto FACTION_CONCAT_(res_, __LINE__) = (expr); \
+  if (!FACTION_CONCAT_(res_, __LINE__).ok())     \
+    return FACTION_CONCAT_(res_, __LINE__).status(); \
+  lhs = std::move(FACTION_CONCAT_(res_, __LINE__)).value()
+
+#define FACTION_CONCAT_INNER_(a, b) a##b
+#define FACTION_CONCAT_(a, b) FACTION_CONCAT_INNER_(a, b)
+
+}  // namespace faction
+
+#endif  // FACTION_COMMON_STATUS_H_

@@ -1,0 +1,43 @@
+#ifndef FACTION_COMMON_TABLE_H_
+#define FACTION_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace faction {
+
+/// Minimal text-table builder used by the bench harnesses to print the rows
+/// the paper reports (Fig. 2 series, Table I, ...). Cells are strings; use
+/// FormatCell helpers for numbers. Also exports CSV for downstream plotting.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the row is padded or truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+
+  /// Writes an aligned, pipe-separated rendering.
+  void Print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing commas or quotes).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimal places.
+std::string FormatCell(double value, int decimals = 4);
+
+/// Formats "mean ± std" the way the paper reports repeated runs.
+std::string FormatMeanStd(double mean, double std, int decimals = 4);
+
+}  // namespace faction
+
+#endif  // FACTION_COMMON_TABLE_H_

@@ -1,0 +1,32 @@
+#ifndef FACTION_COMMON_TIMER_H_
+#define FACTION_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace faction {
+
+/// Monotonic wall-clock stopwatch used by the runtime experiments (Fig. 5,
+/// Table I). Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace faction
+
+#endif  // FACTION_COMMON_TIMER_H_

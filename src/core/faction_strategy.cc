@@ -1,0 +1,64 @@
+#include "core/faction_strategy.h"
+
+#include "common/logging.h"
+#include "density/fair_density.h"
+#include "stream/selection.h"
+
+namespace faction {
+
+FactionStrategy::FactionStrategy(const FactionStrategyConfig& config)
+    : config_(config) {}
+
+std::string FactionStrategy::name() const {
+  if (!config_.name_override.empty()) return config_.name_override;
+  return config_.fair_select ? "FACTION" : "FACTION(w/o fair select)";
+}
+
+Result<std::vector<std::size_t>> FactionStrategy::SelectBatch(
+    const SelectionContext& context, std::size_t batch) {
+  const Dataset& pool = *context.labeled_pool;
+  const Matrix& candidates = *context.candidate_features;
+  const std::size_t n = candidates.rows();
+  if (n == 0) return std::vector<std::size_t>{};
+  if (pool.empty()) {
+    // No labeled data yet: nothing to fit a density on; fall back to a
+    // uniform random batch (only reachable with warm_start = 0).
+    std::vector<std::size_t> perm;
+    context.rng->Permutation(n, &perm);
+    perm.resize(std::min(batch, n));
+    return perm;
+  }
+
+  // Feature space of the current extractor r(., theta_temp).
+  const Matrix pool_z = context.model->ExtractFeatures(pool.features());
+  const Result<FairDensityEstimator> fit = FairDensityEstimator::Fit(
+      pool_z, pool.labels(), pool.sensitive(), config_.covariance);
+  if (!fit.ok()) {
+    // Degenerate pool (e.g. a single class so far): fall back to random
+    // acquisition for this iteration rather than failing the run.
+    FACTION_LOG(kWarning) << "FACTION density fit failed ("
+                          << fit.status().ToString()
+                          << "); falling back to random batch";
+    std::vector<std::size_t> perm;
+    context.rng->Permutation(n, &perm);
+    perm.resize(std::min(batch, n));
+    return perm;
+  }
+
+  const Matrix cand_z = context.model->ExtractFeatures(candidates);
+  const Matrix proba = context.model->PredictProba(candidates);
+  FACTION_ASSIGN_OR_RETURN(
+      std::vector<FactionScore> scores,
+      ComputeFactionScores(fit.value(), cand_z, proba, config_.lambda,
+                           config_.fair_select));
+
+  // Eq. 7: omega(x) = 1 - Normalize(u(x)); lower u = higher probability.
+  std::vector<double> u(n);
+  for (std::size_t i = 0; i < n; ++i) u[i] = scores[i].u;
+  std::vector<double> omega = MinMaxNormalize(u);
+  for (double& w : omega) w = 1.0 - w;
+
+  return BernoulliSelect(omega, config_.alpha, batch, context.rng);
+}
+
+}  // namespace faction

@@ -1,0 +1,52 @@
+#ifndef FACTION_CORE_FACTION_STRATEGY_H_
+#define FACTION_CORE_FACTION_STRATEGY_H_
+
+#include <string>
+
+#include "core/fair_score.h"
+#include "density/gaussian.h"
+#include "stream/strategy.h"
+
+namespace faction {
+
+/// Configuration of the FACTION query strategy (Sec. IV-C/IV-D).
+struct FactionStrategyConfig {
+  /// lambda of Eq. 6: trade-off between epistemic uncertainty g(z) and the
+  /// weighted unfairness term.
+  double lambda = 1.0;
+  /// alpha of Algorithm 1 line 29: query-rate multiplier in the Bernoulli
+  /// trials.
+  double alpha = 3.0;
+  /// Ablation switch: with false, the Delta g_c term is dropped from u(x)
+  /// ("w/o Fair Select").
+  bool fair_select = true;
+  /// Covariance regularization for the GDA components.
+  CovarianceConfig covariance;
+  /// Optional display-name override (used by the ablation benches).
+  std::string name_override;
+};
+
+/// FACTION's sample selection: fit the (class x sensitive) GDA density
+/// estimator on the labeled pool's feature space, score every candidate by
+/// Eq. 6, convert to probabilities via Eq. 7, and acquire with Bernoulli
+/// trials (Algorithm 1 lines 19-36).
+///
+/// The fairness *regularizer* half of FACTION lives in the learner's
+/// TrainConfig (use_fairness_penalty); see MakeFactionLearnerConfig in
+/// core/presets.h for the standard pairing.
+class FactionStrategy : public QueryStrategy {
+ public:
+  explicit FactionStrategy(const FactionStrategyConfig& config);
+
+  std::string name() const override;
+
+  Result<std::vector<std::size_t>> SelectBatch(
+      const SelectionContext& context, std::size_t batch) override;
+
+ private:
+  FactionStrategyConfig config_;
+};
+
+}  // namespace faction
+
+#endif  // FACTION_CORE_FACTION_STRATEGY_H_

@@ -1,0 +1,110 @@
+#include "core/fair_score.h"
+
+#include <cmath>
+#include <limits>
+
+#include "stream/selection.h"
+#include "tensor/ops.h"
+
+namespace faction {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// log |e^a - e^b| computed stably; -inf when either input is -inf or the
+// difference vanishes.
+double LogAbsExpDiff(double a, double b) {
+  if (!std::isfinite(a) || !std::isfinite(b)) {
+    if (std::isfinite(a)) return a;  // |e^a - 0|
+    if (std::isfinite(b)) return b;
+    return kNegInf;
+  }
+  const double hi = a > b ? a : b;
+  const double lo = a > b ? b : a;
+  const double gap = hi - lo;
+  if (gap < 1e-300) return kNegInf;  // identical densities
+  // |e^hi - e^lo| = e^hi * (1 - e^{-gap}).
+  return hi + std::log1p(-std::exp(-gap));
+}
+
+// Min-max normalizes `values` treating -inf entries as the minimum: they
+// map to 0. All-(-inf) or constant batches map to all-0.5 (every candidate
+// equally preferable on this term).
+std::vector<double> NormalizeLogTerm(const std::vector<double>& values) {
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = kNegInf;
+  for (double v : values) {
+    if (!std::isfinite(v)) continue;
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  std::vector<double> out(values.size(), 0.5);
+  if (!std::isfinite(mx) || mx - mn < 1e-300) {
+    // No finite spread; but map -inf (no signal) below the rest.
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (!std::isfinite(values[i]) && std::isfinite(mx)) out[i] = 0.0;
+    }
+    return out;
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] =
+        std::isfinite(values[i]) ? (values[i] - mn) / (mx - mn) : 0.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<FactionScore>> ComputeFactionScores(
+    const FairDensityEstimator& estimator, const Matrix& features,
+    const Matrix& class_proba, double lambda, bool fair_select) {
+  const std::size_t n = features.rows();
+  constexpr int kClasses = FairDensityEstimator::kNumClasses;
+  if (class_proba.rows() != n ||
+      class_proba.cols() != static_cast<std::size_t>(kClasses)) {
+    return Status::InvalidArgument(
+        "ComputeFactionScores: class_proba shape mismatch");
+  }
+  if (features.cols() != estimator.dim()) {
+    return Status::InvalidArgument(
+        "ComputeFactionScores: feature dimension mismatch");
+  }
+
+  std::vector<FactionScore> out(n);
+  std::vector<double> log_density(n), log_unfair(n, kNegInf);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<double> z = features.Row(i);
+    log_density[i] = estimator.LogMarginalDensity(z);
+    if (fair_select) {
+      // log sum_c p_c * Delta g_c(z) via log-sum-exp over classes. The
+      // Delta g components are only evaluated when fair selection is on —
+      // this is the genuine extra cost of FACTION's fairness term over
+      // pure epistemic scoring (Fig. 5b's "w/o fair select" gap).
+      std::vector<double> terms;
+      terms.reserve(kClasses);
+      for (int c = 0; c < kClasses; ++c) {
+        double lp = 0.0, ln = 0.0;
+        estimator.ComponentLogDensities(z, c, &lp, &ln);
+        const double log_delta = LogAbsExpDiff(lp, ln);
+        const double pc = class_proba(i, static_cast<std::size_t>(c));
+        if (std::isfinite(log_delta) && pc > 1e-12) {
+          terms.push_back(std::log(pc) + log_delta);
+        }
+      }
+      if (!terms.empty()) log_unfair[i] = LogSumExp(terms);
+    }
+    out[i].log_density = log_density[i];
+    out[i].log_unfairness = log_unfair[i];
+  }
+
+  const std::vector<double> density_norm = NormalizeLogTerm(log_density);
+  const std::vector<double> unfair_norm = NormalizeLogTerm(log_unfair);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].u = density_norm[i] -
+               (fair_select ? lambda * unfair_norm[i] : 0.0);
+  }
+  return out;
+}
+
+}  // namespace faction

@@ -1,0 +1,48 @@
+#ifndef FACTION_CORE_FAIR_SCORE_H_
+#define FACTION_CORE_FAIR_SCORE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "density/fair_density.h"
+#include "tensor/matrix.h"
+
+namespace faction {
+
+/// Per-candidate breakdown of FACTION's query score (Eq. 6):
+///   u(x) = g(z) - lambda * sum_c p_c^x * Delta g_c(z).
+///
+/// Implementation-fidelity note: Eq. 6 combines raw densities. In feature
+/// spaces of moderate dimension raw Gaussian densities span hundreds of
+/// orders of magnitude, so the literal combination is numerically
+/// degenerate (almost every candidate's density underflows relative to the
+/// batch maximum and the score collapses onto the fairness term regardless
+/// of lambda). This implementation therefore works per batch in the log
+/// domain: each term is computed as a log-density, min-max normalized
+/// across the batch (a strictly monotone per-term transform), and then
+/// combined as u = norm(log g) - lambda * norm(log unfairness). Selection
+/// order within each term is identical to the raw formulation; lambda
+/// meaningfully balances the two terms. See DESIGN.md.
+struct FactionScore {
+  double u = 0.0;  ///< combined score; lower = query first
+  /// log g(z) (Eq. 3, log domain).
+  double log_density = 0.0;
+  /// log sum_c p_c^x * Delta g_c(z) (Eqs. 4-6, log domain); -infinity when
+  /// every class's cross-group gap is zero or unavailable.
+  double log_unfairness = 0.0;
+};
+
+/// Computes FACTION scores for a batch of feature vectors.
+///
+/// `features` holds one z per row; `class_proba` holds the softmax
+/// probabilities p_c^x from the previous-step classifier h_{t-1} (same row
+/// count, one column per class). With `fair_select` false the unfairness
+/// term is dropped entirely (the paper's "w/o Fair Select" ablation) and
+/// its component densities are not even evaluated.
+Result<std::vector<FactionScore>> ComputeFactionScores(
+    const FairDensityEstimator& estimator, const Matrix& features,
+    const Matrix& class_proba, double lambda, bool fair_select);
+
+}  // namespace faction
+
+#endif  // FACTION_CORE_FAIR_SCORE_H_

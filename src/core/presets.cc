@@ -1,0 +1,139 @@
+#include "core/presets.h"
+
+#include "baselines/decoupled_strategy.h"
+#include "baselines/fal_strategy.h"
+#include "baselines/falcur_strategy.h"
+#include "baselines/simple_strategies.h"
+
+namespace faction {
+
+const std::vector<std::string>& AllMethodNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "FACTION", "FAL",        "FAL-CUR", "Decoupled",
+      "QuFUR",   "DDU",        "Entropy-AL", "Random"};
+  return *names;
+}
+
+const std::vector<std::string>& FairnessAwareMethodNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "FACTION", "FAL", "FAL-CUR", "Decoupled"};
+  return *names;
+}
+
+const std::vector<std::string>& AblationVariantNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "Random", "w/o fair select & fair reg", "w/o fair reg",
+      "w/o fair select", "FACTION"};
+  return *names;
+}
+
+Result<std::unique_ptr<QueryStrategy>> MakeStrategy(
+    const std::string& method, const ExperimentDefaults& defaults) {
+  if (method == "FACTION" || method == "w/o fair reg") {
+    // Full fair selection; "w/o fair reg" only disables the loss penalty.
+    FactionStrategyConfig config;
+    config.lambda = defaults.lambda;
+    config.alpha = defaults.alpha;
+    config.fair_select = true;
+    config.covariance.shrinkage = defaults.covariance_shrinkage;
+    config.name_override = method;
+    return std::unique_ptr<QueryStrategy>(new FactionStrategy(config));
+  }
+  if (method == "w/o fair select" ||
+      method == "w/o fair select & fair reg") {
+    // Pure epistemic-uncertainty selection (Delta g dropped).
+    FactionStrategyConfig config;
+    config.lambda = defaults.lambda;
+    config.alpha = defaults.alpha;
+    config.fair_select = false;
+    config.covariance.shrinkage = defaults.covariance_shrinkage;
+    config.name_override = method;
+    return std::unique_ptr<QueryStrategy>(new FactionStrategy(config));
+  }
+  if (method == "FAL") {
+    FalConfig config;
+    config.reference_size = defaults.fal_reference_size;
+    return std::unique_ptr<QueryStrategy>(new FalStrategy(config));
+  }
+  if (method == "FAL-CUR") {
+    FalCurConfig config;
+    config.beta = defaults.falcur_beta;
+    return std::unique_ptr<QueryStrategy>(new FalCurStrategy(config));
+  }
+  if (method == "Decoupled") {
+    DecoupledConfig config;
+    config.threshold = defaults.decoupled_threshold;
+    return std::unique_ptr<QueryStrategy>(new DecoupledStrategy(config));
+  }
+  if (method == "QuFUR") {
+    return std::unique_ptr<QueryStrategy>(
+        new QufurStrategy(defaults.qufur_alpha));
+  }
+  if (method == "DDU") {
+    return std::unique_ptr<QueryStrategy>(new DduStrategy());
+  }
+  if (method == "Entropy-AL") {
+    return std::unique_ptr<QueryStrategy>(new EntropyStrategy());
+  }
+  if (method == "Random") {
+    return std::unique_ptr<QueryStrategy>(new RandomStrategy());
+  }
+  return Status::NotFound("unknown method: " + method);
+}
+
+bool MethodUsesFairnessPenalty(const std::string& method) {
+  return method == "FACTION" || method == "w/o fair select";
+}
+
+OnlineLearnerConfig MakeLearnerConfig(const ExperimentDefaults& defaults,
+                                      std::size_t input_dim,
+                                      const std::string& method,
+                                      std::uint64_t seed) {
+  OnlineLearnerConfig config;
+  config.budget_per_task = defaults.budget_per_task;
+  config.acquisition_batch = defaults.acquisition_batch;
+  config.warm_start = defaults.warm_start;
+  config.seed = seed;
+
+  config.model.input_dim = input_dim;
+  config.model.hidden_dims = defaults.hidden_dims;
+  config.model.num_classes = 2;
+  config.model.spectral.enabled = defaults.spectral_norm;
+  config.model.spectral.coeff = defaults.spectral_coeff;
+
+  config.train.epochs = defaults.epochs;
+  config.train.batch_size = defaults.train_batch;
+  config.train.learning_rate = defaults.learning_rate;
+  config.train.momentum = defaults.momentum;
+  config.train.weight_decay = defaults.weight_decay;
+  config.train.use_fairness_penalty = MethodUsesFairnessPenalty(method);
+  config.train.fairness.notion = defaults.notion;
+  config.train.fairness.mu = defaults.mu;
+  config.train.fairness.epsilon = defaults.epsilon;
+  config.train.fairness.symmetric = defaults.symmetric_penalty;
+  config.notion = defaults.notion;
+
+  // The regret oracle (when enabled) gets a slightly longer recipe since it
+  // fits a single task once.
+  config.oracle_train = config.train;
+  config.oracle_train.use_fairness_penalty = false;
+  config.oracle_train.epochs = defaults.epochs * 2;
+  return config;
+}
+
+Result<RunResult> RunMethodOnStream(const std::string& method,
+                                    const std::vector<Dataset>& tasks,
+                                    const ExperimentDefaults& defaults,
+                                    std::uint64_t seed) {
+  if (tasks.empty()) {
+    return Status::InvalidArgument("RunMethodOnStream: no tasks");
+  }
+  FACTION_ASSIGN_OR_RETURN(std::unique_ptr<QueryStrategy> strategy,
+                           MakeStrategy(method, defaults));
+  const OnlineLearnerConfig config =
+      MakeLearnerConfig(defaults, tasks[0].dim(), method, seed);
+  OnlineLearner learner(config, strategy.get());
+  return learner.Run(tasks);
+}
+
+}  // namespace faction

@@ -1,0 +1,90 @@
+#ifndef FACTION_CORE_PRESETS_H_
+#define FACTION_CORE_PRESETS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/faction_strategy.h"
+#include "stream/online_learner.h"
+
+namespace faction {
+
+/// Shared experiment defaults following Sec. V-A3: B = 200, A = 50, warm
+/// start 100, MLP backbone, constant learning rate; FACTION hyperparameters
+/// within the paper's tuning ranges.
+struct ExperimentDefaults {
+  std::size_t budget_per_task = 200;
+  std::size_t acquisition_batch = 50;
+  std::size_t warm_start = 100;
+
+  /// Backbone (input_dim is overwritten per dataset).
+  std::vector<std::size_t> hidden_dims = {48, 16};
+  bool spectral_norm = true;
+  double spectral_coeff = 3.0;
+
+  /// Per-AL-iteration training recipe.
+  int epochs = 3;
+  std::size_t train_batch = 64;
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  double weight_decay = 1e-4;
+
+  /// FACTION hyperparameters (Eq. 6 / Eq. 9 / Alg. 1).
+  double lambda = 0.5;
+  double alpha = 3.0;
+  double mu = 0.6;
+  double epsilon = 0.04;
+  /// Fairness notion for the regularizer and violation tracking (Eq. 1
+  /// instantiated as DDP in the paper's experiments; DEO also supported).
+  FairnessNotion notion = FairnessNotion::kDdp;
+  /// Penalty form: symmetric [|v|-eps]_+ (default) vs the paper's literal
+  /// [v]_+ - eps (see FairnessPenaltyConfig::symmetric).
+  bool symmetric_penalty = true;
+  /// Covariance shrinkage of FACTION's GDA components.
+  double covariance_shrinkage = 0.1;
+
+  /// Baseline hyperparameters at their mid-sweep values.
+  std::size_t fal_reference_size = 128;   ///< FAL's l
+  double falcur_beta = 0.5;               ///< FAL-CUR's beta
+  double decoupled_threshold = 0.2;       ///< Decoupled's alpha
+  double qufur_alpha = 3.0;
+};
+
+/// The eight methods of Fig. 2, in the paper's order.
+const std::vector<std::string>& AllMethodNames();
+
+/// The four fairness-aware methods of Fig. 3 / Fig. 5a.
+const std::vector<std::string>& FairnessAwareMethodNames();
+
+/// FACTION ablation variants of Fig. 4 / Fig. 5b / Table I.
+const std::vector<std::string>& AblationVariantNames();
+
+/// Builds the query strategy for a method name ("FACTION", "FAL",
+/// "FAL-CUR", "Decoupled", "QuFUR", "DDU", "Entropy-AL", "Random", and the
+/// ablation variants "w/o fair select", "w/o fair reg",
+/// "w/o fair select & fair reg"). Fails on unknown names.
+Result<std::unique_ptr<QueryStrategy>> MakeStrategy(
+    const std::string& method, const ExperimentDefaults& defaults);
+
+/// Whether the method trains with the fairness-regularized loss (Eq. 9):
+/// true for FACTION and its "w/o fair select" variant only.
+bool MethodUsesFairnessPenalty(const std::string& method);
+
+/// Builds the learner configuration for a method over inputs of the given
+/// dimension; `seed` also controls model init and all stochastic choices.
+OnlineLearnerConfig MakeLearnerConfig(const ExperimentDefaults& defaults,
+                                      std::size_t input_dim,
+                                      const std::string& method,
+                                      std::uint64_t seed);
+
+/// Convenience driver: builds the strategy + learner for `method` and runs
+/// it over the task stream.
+Result<RunResult> RunMethodOnStream(const std::string& method,
+                                    const std::vector<Dataset>& tasks,
+                                    const ExperimentDefaults& defaults,
+                                    std::uint64_t seed);
+
+}  // namespace faction
+
+#endif  // FACTION_CORE_PRESETS_H_

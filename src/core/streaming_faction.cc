@@ -1,0 +1,128 @@
+#include "core/streaming_faction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace faction {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// log |e^a - e^b|, stable; mirrors the batch scorer's helper.
+double LogAbsExpDiff(double a, double b) {
+  if (!std::isfinite(a) || !std::isfinite(b)) {
+    if (std::isfinite(a)) return a;
+    if (std::isfinite(b)) return b;
+    return kNegInf;
+  }
+  const double hi = std::max(a, b);
+  const double gap = std::fabs(a - b);
+  if (gap < 1e-300) return kNegInf;
+  return hi + std::log1p(-std::exp(-gap));
+}
+
+}  // namespace
+
+StreamingFaction::StreamingFaction(const StreamingFactionConfig& config)
+    : config_(config), rng_(config.seed), pool_(config.model.input_dim) {
+  Rng model_rng = rng_.Fork();
+  model_ = std::make_unique<MlpClassifier>(config_.model, &model_rng);
+}
+
+double StreamingFaction::ScoreSample(const std::vector<double>& x) const {
+  const Matrix z =
+      model_->ExtractFeatures(Matrix::FromRowVector(x));
+  const std::vector<double> zv = z.Row(0);
+  const double log_density = estimator_->LogMarginalDensity(zv);
+  // log sum_c p_c * Delta g_c(z).
+  const Matrix proba = model_->PredictProba(Matrix::FromRowVector(x));
+  std::vector<double> terms;
+  for (int c = 0; c < FairDensityEstimator::kNumClasses; ++c) {
+    double lp = 0.0, ln = 0.0;
+    estimator_->ComponentLogDensities(zv, c, &lp, &ln);
+    const double log_delta = LogAbsExpDiff(lp, ln);
+    const double pc = proba(0, static_cast<std::size_t>(c));
+    if (std::isfinite(log_delta) && pc > 1e-12) {
+      terms.push_back(std::log(pc) + log_delta);
+    }
+  }
+  const double log_unfair = terms.empty() ? kNegInf : LogSumExp(terms);
+  // Combine in the log domain; the incremental normalizer downstream
+  // performs the range normalization Eq. 7 needs. Missing unfairness
+  // signal contributes nothing.
+  double u = std::isfinite(log_density) ? log_density : -1e3;
+  if (std::isfinite(log_unfair)) u -= config_.lambda * log_unfair;
+  return u;
+}
+
+Result<bool> StreamingFaction::ShouldQuery(const Example& example) {
+  if (example.x.size() != config_.model.input_dim) {
+    return Status::InvalidArgument(
+        "StreamingFaction: sample dimension mismatch");
+  }
+  ++seen_;
+  // Warm start: always acquire until the pool can support the machinery.
+  if (queried_ < config_.warm_start) {
+    ++queried_;
+    return true;
+  }
+  if (!estimator_.has_value()) {
+    // Machinery not ready (e.g. refit failed on a degenerate pool): fall
+    // back to a fixed-rate coin matching alpha's scale.
+    const bool take = rng_.Bernoulli(std::min(1.0, config_.alpha * 0.25));
+    if (take) ++queried_;
+    return take;
+  }
+  const double u = ScoreSample(example.x);
+  const bool warmed = normalizer_.count() >= config_.burn_in;
+  const double omega = 1.0 - normalizer_.Normalize(u);
+  normalizer_.Observe(u);
+  if (!warmed) return false;
+  const bool take =
+      rng_.Bernoulli(std::min(config_.alpha * omega, 1.0));
+  if (take) ++queried_;
+  return take;
+}
+
+Status StreamingFaction::ProvideLabel(const Example& example) {
+  FACTION_RETURN_IF_ERROR(pool_.Append(example));
+  ++labels_since_refit_;
+  if (labels_since_refit_ >= config_.refit_interval ||
+      (!trained_once_ && pool_.size() >= config_.warm_start)) {
+    FACTION_RETURN_IF_ERROR(Refit());
+    labels_since_refit_ = 0;
+  }
+  return Status::Ok();
+}
+
+Status StreamingFaction::Refit() {
+  FACTION_RETURN_IF_ERROR(
+      TrainClassifier(model_.get(), pool_, config_.train, &rng_).status());
+  trained_once_ = true;
+  const Matrix pool_z = model_->ExtractFeatures(pool_.features());
+  Result<FairDensityEstimator> fit = FairDensityEstimator::Fit(
+      pool_z, pool_.labels(), pool_.sensitive(), config_.covariance);
+  if (fit.ok()) {
+    estimator_ = std::move(fit).value();
+    // Scores live in the new feature space: the old range is stale.
+    normalizer_.Reset();
+  } else {
+    FACTION_LOG(kWarning) << "StreamingFaction: density refit failed ("
+                          << fit.status().ToString() << ")";
+  }
+  return Status::Ok();
+}
+
+Result<int> StreamingFaction::Predict(const std::vector<double>& x) const {
+  if (x.size() != config_.model.input_dim) {
+    return Status::InvalidArgument("StreamingFaction: dimension mismatch");
+  }
+  return model_->Predict(Matrix::FromRowVector(x))[0];
+}
+
+}  // namespace faction

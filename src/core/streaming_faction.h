@@ -1,0 +1,98 @@
+#ifndef FACTION_CORE_STREAMING_FACTION_H_
+#define FACTION_CORE_STREAMING_FACTION_H_
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "density/fair_density.h"
+#include "nn/trainer.h"
+#include "stream/incremental.h"
+
+namespace faction {
+
+/// Configuration of the single-sample-arrival FACTION variant.
+struct StreamingFactionConfig {
+  MlpConfig model;
+  TrainConfig train;
+  /// Eq. 6 trade-off and Algorithm 1's query-rate multiplier.
+  double lambda = 0.5;
+  double alpha = 3.0;
+  CovarianceConfig covariance;
+  /// The first `warm_start` arrivals are always queried, seeding the
+  /// labeled pool.
+  std::size_t warm_start = 50;
+  /// Arrivals consumed by the incremental normalizer before probabilistic
+  /// decisions start (Sec. IV-D's running range warm-up).
+  std::size_t burn_in = 8;
+  /// Retrain the classifier and refit the density estimator after this
+  /// many new labels.
+  std::size_t refit_interval = 25;
+  std::uint64_t seed = 1;
+};
+
+/// FACTION for samples arriving one at a time (the extension sketched in
+/// Sec. IV-D): the score u(x) of each arrival is normalized against the
+/// *incremental* range of all scores gathered so far instead of a batch
+/// range, and the Bernoulli query rule is applied per sample. The labeled
+/// pool, classifier, and (class x sensitive) density estimator are
+/// refreshed every `refit_interval` acquisitions.
+///
+/// Usage per arrival:
+///   if (streaming.ShouldQuery(example_without_label).value()) {
+///     example.label = AskTheOracle(...);
+///     streaming.ProvideLabel(example);
+///   }
+class StreamingFaction {
+ public:
+  explicit StreamingFaction(const StreamingFactionConfig& config);
+
+  StreamingFaction(StreamingFaction&&) = default;
+  StreamingFaction(const StreamingFaction&) = delete;
+  StreamingFaction& operator=(const StreamingFaction&) = delete;
+
+  /// Decides whether to query the label of the arriving sample (its label
+  /// field is ignored). Fails on dimension mismatch.
+  Result<bool> ShouldQuery(const Example& example);
+
+  /// Feeds back a labeled sample that was queried. Triggers a refit when
+  /// the interval is reached.
+  Status ProvideLabel(const Example& example);
+
+  /// Predicts the class of a feature vector with the current model.
+  Result<int> Predict(const std::vector<double>& x) const;
+
+  const MlpClassifier& model() const { return *model_; }
+  std::size_t samples_seen() const { return seen_; }
+  std::size_t queries_made() const { return queried_; }
+  std::size_t pool_size() const { return pool_.size(); }
+  bool has_estimator() const { return estimator_.has_value(); }
+
+ private:
+  /// Retrains the classifier on the pool and refits the density estimator
+  /// in the new feature space.
+  Status Refit();
+
+  /// FACTION's u(x) for one sample in the current feature space, log
+  /// domain (same construction as the batch scorer, without the batch
+  /// normalization — the incremental normalizer takes that role).
+  double ScoreSample(const std::vector<double>& x) const;
+
+  StreamingFactionConfig config_;
+  Rng rng_;
+  std::unique_ptr<MlpClassifier> model_;
+  Dataset pool_;
+  std::optional<FairDensityEstimator> estimator_;
+  IncrementalNormalizer normalizer_;
+  std::size_t seen_ = 0;
+  std::size_t queried_ = 0;
+  std::size_t labels_since_refit_ = 0;
+  bool trained_once_ = false;
+};
+
+}  // namespace faction
+
+#endif  // FACTION_CORE_STREAMING_FACTION_H_

@@ -1,0 +1,117 @@
+#include "data/dataset.h"
+
+namespace faction {
+
+const Matrix& Dataset::features() const {
+  if (features_.rows() != size()) {
+    Matrix compact(size(), dim_);
+    for (std::size_t i = 0; i < size(); ++i) {
+      std::copy(features_.row_data(i), features_.row_data(i) + dim_,
+                compact.row_data(i));
+    }
+    features_ = std::move(compact);
+  }
+  return features_;
+}
+
+Status Dataset::Append(const Example& example) {
+  if (dim_ == 0 && features_.rows() == 0) {
+    dim_ = example.x.size();
+  }
+  if (example.x.size() != dim_) {
+    return Status::InvalidArgument(
+        "example dimension " + std::to_string(example.x.size()) +
+        " does not match dataset dimension " + std::to_string(dim_));
+  }
+  if (example.sensitive != -1 && example.sensitive != 1) {
+    return Status::InvalidArgument("sensitive attribute must be -1 or +1");
+  }
+  if (example.label != 0 && example.label != 1) {
+    return Status::InvalidArgument("label must be 0 or 1");
+  }
+  // Grow the feature matrix by one row. Matrix::Resize zero-fills, so copy
+  // through a staging matrix; amortize by doubling capacity.
+  const std::size_t n = labels_.size();
+  if (features_.rows() <= n) {
+    Matrix grown(n == 0 ? 8 : n * 2, dim_);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::copy(features_.row_data(i), features_.row_data(i) + dim_,
+                grown.row_data(i));
+    }
+    features_ = std::move(grown);
+  }
+  std::copy(example.x.begin(), example.x.end(), features_.row_data(n));
+  labels_.push_back(example.label);
+  sensitive_.push_back(example.sensitive);
+  environments_.push_back(example.environment);
+  return Status::Ok();
+}
+
+Status Dataset::AppendAll(const Dataset& other) {
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    FACTION_RETURN_IF_ERROR(Append(other.Get(i)));
+  }
+  return Status::Ok();
+}
+
+Example Dataset::Get(std::size_t i) const {
+  FACTION_CHECK(i < size());
+  Example e;
+  e.x.assign(features_.row_data(i), features_.row_data(i) + dim_);
+  e.label = labels_[i];
+  e.sensitive = sensitive_[i];
+  e.environment = environments_[i];
+  return e;
+}
+
+Dataset Dataset::Subset(const std::vector<std::size_t>& indices) const {
+  Dataset out(dim_);
+  for (std::size_t idx : indices) {
+    const Status st = out.Append(Get(idx));
+    FACTION_CHECK(st.ok());
+  }
+  return out;
+}
+
+double Dataset::GroupFraction() const {
+  if (empty()) return 0.0;
+  std::size_t pos = 0;
+  for (int s : sensitive_) {
+    if (s == 1) ++pos;
+  }
+  return static_cast<double>(pos) / static_cast<double>(size());
+}
+
+double Dataset::PositiveFraction() const {
+  if (empty()) return 0.0;
+  std::size_t pos = 0;
+  for (int y : labels_) {
+    if (y == 1) ++pos;
+  }
+  return static_cast<double>(pos) / static_cast<double>(size());
+}
+
+std::size_t Dataset::CountGroup(int label, int sensitive) const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (labels_[i] == label && sensitive_[i] == sensitive) ++count;
+  }
+  return count;
+}
+
+double Dataset::JointProbability(int label, int sensitive) const {
+  if (empty()) return 0.0;
+  return static_cast<double>(CountGroup(label, sensitive)) /
+         static_cast<double>(size());
+}
+
+bool Dataset::HasAllGroups() const {
+  for (int y : {0, 1}) {
+    for (int s : {-1, 1}) {
+      if (CountGroup(y, s) == 0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace faction

@@ -1,0 +1,119 @@
+#include "data/images.h"
+
+#include <cmath>
+
+namespace faction {
+
+std::vector<std::vector<std::uint8_t>> MakeDigitStencils(
+    std::size_t count, const ImageShape& shape, std::size_t pixels,
+    Rng* rng) {
+  std::vector<std::vector<std::uint8_t>> stencils;
+  stencils.reserve(count);
+  const int h = static_cast<int>(shape.height);
+  const int w = static_cast<int>(shape.width);
+  for (std::size_t k = 0; k < count; ++k) {
+    std::vector<std::uint8_t> bitmap(shape.height * shape.width, 0);
+    // Random walk from near the center, marking pixels as it goes; a
+    // second walk adds a distinguishing stroke.
+    for (int walk = 0; walk < 2; ++walk) {
+      int r = h / 2 + static_cast<int>(rng->UniformInt(3)) - 1;
+      int c = w / 2 + static_cast<int>(rng->UniformInt(3)) - 1;
+      const std::size_t steps = pixels / 2 + 2;
+      for (std::size_t s = 0; s < steps; ++s) {
+        bitmap[static_cast<std::size_t>(r) * shape.width +
+               static_cast<std::size_t>(c)] = 1;
+        const int dir = static_cast<int>(rng->UniformInt(4));
+        const int dr = dir == 0 ? -1 : dir == 1 ? 1 : 0;
+        const int dc = dir == 2 ? -1 : dir == 3 ? 1 : 0;
+        r = std::min(h - 1, std::max(0, r + dr));
+        c = std::min(w - 1, std::max(0, c + dc));
+      }
+    }
+    stencils.push_back(std::move(bitmap));
+  }
+  return stencils;
+}
+
+std::vector<double> RenderDigitImage(const std::vector<std::uint8_t>& stencil,
+                                     const ImageShape& shape, int channel,
+                                     double rotation_deg, double pixel_noise,
+                                     Rng* rng) {
+  FACTION_CHECK(stencil.size() == shape.height * shape.width);
+  FACTION_CHECK(channel >= 0 &&
+                static_cast<std::size_t>(channel) < shape.channels);
+  std::vector<double> image(shape.Flat(), 0.0);
+  const double rad = rotation_deg * M_PI / 180.0;
+  const double cosr = std::cos(rad);
+  const double sinr = std::sin(rad);
+  const double cy = (static_cast<double>(shape.height) - 1.0) / 2.0;
+  const double cx = (static_cast<double>(shape.width) - 1.0) / 2.0;
+  double* plane =
+      image.data() + static_cast<std::size_t>(channel) * shape.height *
+                         shape.width;
+  // Inverse-map each destination pixel to the unrotated stencil
+  // (nearest neighbor), i.e. a true spatial rotation of the glyph.
+  for (std::size_t r = 0; r < shape.height; ++r) {
+    for (std::size_t c = 0; c < shape.width; ++c) {
+      const double dy = static_cast<double>(r) - cy;
+      const double dx = static_cast<double>(c) - cx;
+      const double sy = cosr * dy + sinr * dx + cy;
+      const double sx = -sinr * dy + cosr * dx + cx;
+      const long ry = std::lround(sy);
+      const long rx = std::lround(sx);
+      if (ry < 0 || rx < 0 || ry >= static_cast<long>(shape.height) ||
+          rx >= static_cast<long>(shape.width)) {
+        continue;
+      }
+      if (stencil[static_cast<std::size_t>(ry) * shape.width +
+                  static_cast<std::size_t>(rx)] != 0) {
+        plane[r * shape.width + c] = 1.0;
+      }
+    }
+  }
+  if (pixel_noise > 0.0) {
+    for (double& v : image) v += rng->Gaussian(0.0, pixel_noise);
+  }
+  return image;
+}
+
+Result<std::vector<Dataset>> MakeRcmnistImageStream(
+    const RcmnistImageConfig& config) {
+  if (config.biases.size() != config.rotations_deg.size()) {
+    return Status::InvalidArgument(
+        "rcmnist images: biases and rotations must align");
+  }
+  if (config.shape.channels < 2) {
+    return Status::InvalidArgument(
+        "rcmnist images: need >= 2 channels (red/green)");
+  }
+  Rng rng(config.scale.seed);
+  const auto stencils =
+      MakeDigitStencils(10, config.shape, config.stencil_pixels, &rng);
+
+  std::vector<Dataset> tasks;
+  for (std::size_t env = 0; env < config.biases.size(); ++env) {
+    for (std::size_t t = 0; t < config.tasks_per_environment; ++t) {
+      Dataset task(config.shape.Flat());
+      for (std::size_t i = 0; i < config.scale.samples_per_task; ++i) {
+        const std::size_t digit = rng.UniformInt(10);
+        Example e;
+        e.environment = static_cast<int>(env);
+        e.label = digit < 5 ? 0 : 1;
+        const double p_pos =
+            e.label == 1 ? config.biases[env] : 1.0 - config.biases[env];
+        e.sensitive = rng.Bernoulli(p_pos) ? 1 : -1;
+        // Red channel (0) for s=+1, green (1) for s=-1: the color
+        // shortcut of the colored-MNIST construction.
+        const int channel = e.sensitive == 1 ? 0 : 1;
+        e.x = RenderDigitImage(stencils[digit], config.shape, channel,
+                               config.rotations_deg[env],
+                               config.pixel_noise, &rng);
+        FACTION_RETURN_IF_ERROR(task.Append(e));
+      }
+      tasks.push_back(std::move(task));
+    }
+  }
+  return tasks;
+}
+
+}  // namespace faction

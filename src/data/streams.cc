@@ -1,0 +1,252 @@
+#include "data/streams.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+
+namespace faction {
+
+namespace {
+
+// Builds the shared group offset: the sensitive attribute displaces a few
+// leading feature dimensions so s is partially inferable from x — the
+// precondition for demographic disparity to appear in an unconstrained
+// learner.
+std::vector<double> MakeGroupOffset(std::size_t dim, double strength,
+                                    Rng* rng) {
+  std::vector<double> offset(dim, 0.0);
+  const std::size_t active = dim < 4 ? dim : 4;
+  for (std::size_t j = 0; j < active; ++j) {
+    offset[j] = strength * (rng->Bernoulli(0.5) ? 1.0 : -1.0);
+  }
+  return offset;
+}
+
+std::vector<TaskPlan> RepeatEnvironments(std::size_t num_envs,
+                                         std::size_t tasks_per_env,
+                                         std::size_t samples) {
+  std::vector<TaskPlan> plan;
+  for (std::size_t e = 0; e < num_envs; ++e) {
+    for (std::size_t t = 0; t < tasks_per_env; ++t) {
+      plan.push_back(TaskPlan{static_cast<int>(e), samples});
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+Result<std::vector<Dataset>> MakeRcmnistStream(const RcmnistConfig& config) {
+  if (config.biases.size() != config.rotations_deg.size()) {
+    return Status::InvalidArgument(
+        "rcmnist: biases and rotations must align");
+  }
+  Rng rng(config.scale.seed);
+  // Ten digit prototypes; digits 0-4 map to label 0, digits 5-9 to label 1.
+  // The binary-class means are the centroids of each digit group, which
+  // keeps within-class multimodality (as real digit features would have).
+  const auto protos = DrawPrototypes(10, config.dim, 2.2, &rng);
+  std::vector<double> mean0(config.dim, 0.0), mean1(config.dim, 0.0);
+  for (std::size_t k = 0; k < 10; ++k) {
+    for (std::size_t j = 0; j < config.dim; ++j) {
+      (k < 5 ? mean0 : mean1)[j] += protos[k][j] / 5.0;
+    }
+  }
+  const std::vector<double> group_offset =
+      MakeGroupOffset(config.dim, 0.8, &rng);
+
+  std::vector<EnvironmentSpec> envs;
+  for (std::size_t e = 0; e < config.biases.size(); ++e) {
+    EnvironmentSpec env;
+    env.class0_mean = mean0;
+    env.class1_mean = mean1;
+    env.group_offset = group_offset;
+    env.noise = 0.7;
+    env.bias = config.biases[e];
+    // The last feature is the digit "color" channel (the sensitive
+    // shortcut the colored-MNIST construction plants).
+    env.sensitive_channel = static_cast<int>(config.dim) - 1;
+    env.channel_noise = 0.1;
+    env.rotation = PairwiseRotation(config.dim, config.rotations_deg[e]);
+    envs.push_back(std::move(env));
+  }
+  return GenerateStream(envs,
+                        RepeatEnvironments(envs.size(),
+                                           config.tasks_per_environment,
+                                           config.scale.samples_per_task),
+                        &rng);
+}
+
+Result<std::vector<Dataset>> MakeCelebaStream(const CelebaConfig& config) {
+  Rng rng(config.scale.seed);
+  const auto base = DrawPrototypes(2, config.dim, 1.8, &rng);
+  const std::vector<double> group_offset =
+      MakeGroupOffset(config.dim, 1.0, &rng);
+  // Two latent binary factors (Young, Smiling) define 4 environments, each
+  // shifting the feature distribution along its own direction.
+  const auto factors = DrawPrototypes(2, config.dim, 1.2, &rng);
+  std::vector<EnvironmentSpec> envs;
+  for (int young : {0, 1}) {
+    for (int smiling : {0, 1}) {
+      EnvironmentSpec env;
+      env.class0_mean = base[0];
+      env.class1_mean = base[1];
+      env.group_offset = group_offset;
+      env.noise = 0.8;
+      env.bias = config.bias;
+      env.shift.assign(config.dim, 0.0);
+      for (std::size_t j = 0; j < config.dim; ++j) {
+        env.shift[j] = (young != 0 ? factors[0][j] : -factors[0][j]) +
+                       (smiling != 0 ? factors[1][j] : -factors[1][j]);
+      }
+      envs.push_back(std::move(env));
+    }
+  }
+  return GenerateStream(envs,
+                        RepeatEnvironments(envs.size(),
+                                           config.tasks_per_environment,
+                                           config.scale.samples_per_task),
+                        &rng);
+}
+
+Result<std::vector<Dataset>> MakeFairfaceStream(const FairfaceConfig& config) {
+  Rng rng(config.scale.seed);
+  const auto base = DrawPrototypes(2, config.dim, 1.6, &rng);
+  const std::vector<double> group_offset =
+      MakeGroupOffset(config.dim, 0.9, &rng);
+  const auto race_shifts =
+      DrawPrototypes(config.num_environments, config.dim, 1.5, &rng);
+  std::vector<EnvironmentSpec> envs;
+  for (std::size_t e = 0; e < config.num_environments; ++e) {
+    EnvironmentSpec env;
+    env.class0_mean = base[0];
+    env.class1_mean = base[1];
+    env.group_offset = group_offset;
+    env.noise = 0.8;
+    env.bias = config.bias;
+    // Age>50 is the minority class in face datasets.
+    env.positive_fraction = 0.35;
+    env.shift = race_shifts[e];
+    envs.push_back(std::move(env));
+  }
+  return GenerateStream(envs,
+                        RepeatEnvironments(envs.size(),
+                                           config.tasks_per_environment,
+                                           config.scale.samples_per_task),
+                        &rng);
+}
+
+Result<std::vector<Dataset>> MakeFfhqStream(const FfhqConfig& config) {
+  Rng rng(config.scale.seed);
+  const auto base = DrawPrototypes(2, config.dim, 1.7, &rng);
+  const std::vector<double> group_offset =
+      MakeGroupOffset(config.dim, 0.9, &rng);
+  // Four facial-expression environments.
+  const auto expr_shifts = DrawPrototypes(4, config.dim, 1.3, &rng);
+  std::vector<EnvironmentSpec> envs;
+  for (std::size_t e = 0; e < 4; ++e) {
+    EnvironmentSpec env;
+    env.class0_mean = base[0];
+    env.class1_mean = base[1];
+    env.group_offset = group_offset;
+    env.noise = 0.75;
+    env.bias = config.bias;
+    env.positive_fraction = 0.4;
+    env.shift = expr_shifts[e];
+    envs.push_back(std::move(env));
+  }
+  return GenerateStream(envs,
+                        RepeatEnvironments(envs.size(),
+                                           config.tasks_per_environment,
+                                           config.scale.samples_per_task),
+                        &rng);
+}
+
+Result<std::vector<Dataset>> MakeNysfStream(const NysfConfig& config) {
+  Rng rng(config.scale.seed);
+  const auto base = DrawPrototypes(2, config.dim, 1.4, &rng);
+  const std::vector<double> group_offset =
+      MakeGroupOffset(config.dim, 1.1, &rng);
+  const auto area_shifts =
+      DrawPrototypes(config.num_areas, config.dim, 1.4, &rng);
+  // Quarterly drift direction, applied incrementally within each area.
+  const auto drift = DrawPrototypes(1, config.dim, 0.5, &rng)[0];
+
+  std::vector<EnvironmentSpec> envs;
+  std::vector<TaskPlan> plan;
+  for (std::size_t area = 0; area < config.num_areas; ++area) {
+    for (std::size_t quarter = 0; quarter < config.num_quarters; ++quarter) {
+      EnvironmentSpec env;
+      env.class0_mean = base[0];
+      env.class1_mean = base[1];
+      env.group_offset = group_offset;
+      env.noise = 0.85;
+      env.bias = config.bias;
+      // Frisk decisions are the minority outcome.
+      env.positive_fraction = 0.35;
+      env.shift.assign(config.dim, 0.0);
+      for (std::size_t j = 0; j < config.dim; ++j) {
+        env.shift[j] = area_shifts[area][j] +
+                       static_cast<double>(quarter) * drift[j];
+      }
+      plan.push_back(TaskPlan{static_cast<int>(envs.size()),
+                              config.scale.samples_per_task});
+      envs.push_back(std::move(env));
+    }
+  }
+  return GenerateStream(envs, plan, &rng);
+}
+
+Result<std::vector<Dataset>> MakeStationaryStream(
+    const StationaryConfig& config) {
+  Rng rng(config.scale.seed);
+  const auto base = DrawPrototypes(2, config.dim, 1.6, &rng);
+  EnvironmentSpec env;
+  env.class0_mean = base[0];
+  env.class1_mean = base[1];
+  env.group_offset = MakeGroupOffset(config.dim, 0.9, &rng);
+  env.noise = 0.8;
+  env.bias = config.bias;
+  std::vector<TaskPlan> plan(config.num_tasks,
+                             TaskPlan{0, config.scale.samples_per_task});
+  return GenerateStream({env}, plan, &rng);
+}
+
+const std::vector<std::string>& PaperDatasetNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "rcmnist", "celeba", "ffhq", "fairface", "nysf"};
+  return *names;
+}
+
+Result<std::vector<Dataset>> MakePaperStream(const std::string& name,
+                                             const StreamScale& scale) {
+  if (name == "rcmnist") {
+    RcmnistConfig c;
+    c.scale = scale;
+    return MakeRcmnistStream(c);
+  }
+  if (name == "celeba") {
+    CelebaConfig c;
+    c.scale = scale;
+    return MakeCelebaStream(c);
+  }
+  if (name == "fairface") {
+    FairfaceConfig c;
+    c.scale = scale;
+    return MakeFairfaceStream(c);
+  }
+  if (name == "ffhq") {
+    FfhqConfig c;
+    c.scale = scale;
+    return MakeFfhqStream(c);
+  }
+  if (name == "nysf") {
+    NysfConfig c;
+    c.scale = scale;
+    return MakeNysfStream(c);
+  }
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+}  // namespace faction

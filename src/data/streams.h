@@ -1,0 +1,100 @@
+#ifndef FACTION_DATA_STREAMS_H_
+#define FACTION_DATA_STREAMS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace faction {
+
+/// Scale knobs shared by all dataset streams. Paper scale: each task holds
+/// roughly 10x the query budget (B = 200); the reduced default keeps the
+/// single-core benches fast while preserving task >> budget.
+struct StreamScale {
+  std::size_t samples_per_task = 600;
+  std::uint64_t seed = 7;
+};
+
+/// Rotated Colored MNIST substitute (Sec. V-A1): 4 environments — feature
+/// rotations of {0, 15, 30, 45} degrees — with label-color correlation
+/// coefficients {0.9, 0.8, 0.7, 0.6}; digit color is the sensitive
+/// attribute, carried by a dedicated feature channel. 3 tasks per
+/// environment = 12 sequential tasks.
+struct RcmnistConfig {
+  StreamScale scale;
+  std::size_t dim = 16;
+  /// Per-environment label-sensitive correlation (paper's coefficients).
+  std::vector<double> biases = {0.9, 0.8, 0.7, 0.6};
+  std::vector<double> rotations_deg = {0.0, 15.0, 30.0, 45.0};
+  std::size_t tasks_per_environment = 3;
+};
+Result<std::vector<Dataset>> MakeRcmnistStream(const RcmnistConfig& config);
+
+/// CelebA substitute: environments are the 4 combinations of two latent
+/// binary factors (Young x Smiling) shifting the feature distribution;
+/// s = Male, y = Attractive, 12 tasks.
+struct CelebaConfig {
+  StreamScale scale;
+  std::size_t dim = 18;
+  double bias = 0.64;
+  std::size_t tasks_per_environment = 3;
+};
+Result<std::vector<Dataset>> MakeCelebaStream(const CelebaConfig& config);
+
+/// FairFace substitute: 7 racial-group environments (cluster mean shifts),
+/// s = gender, y = age>50; 3 tasks per environment = 21 tasks.
+struct FairfaceConfig {
+  StreamScale scale;
+  std::size_t dim = 16;
+  double bias = 0.6;
+  std::size_t num_environments = 7;
+  std::size_t tasks_per_environment = 3;
+};
+Result<std::vector<Dataset>> MakeFairfaceStream(const FairfaceConfig& config);
+
+/// FFHQ-Features substitute: 4 facial-expression environments, s = gender,
+/// y = age>50; 12 tasks.
+struct FfhqConfig {
+  StreamScale scale;
+  std::size_t dim = 16;
+  double bias = 0.62;
+  std::size_t tasks_per_environment = 3;
+};
+Result<std::vector<Dataset>> MakeFfhqStream(const FfhqConfig& config);
+
+/// New York Stop-and-Frisk substitute: tabular stream over 4 geographic
+/// areas x 4 yearly quarters = 16 tasks; s = race, y = frisked, with
+/// group-dependent base rates (historical bias) and quarterly drift.
+struct NysfConfig {
+  StreamScale scale;
+  std::size_t dim = 12;
+  double bias = 0.6;
+  std::size_t num_areas = 4;
+  std::size_t num_quarters = 4;
+};
+Result<std::vector<Dataset>> MakeNysfStream(const NysfConfig& config);
+
+/// Stationary single-environment stream of T tasks, used by the Theorem 1
+/// validation bench (m = 1, |I_u| = T).
+struct StationaryConfig {
+  StreamScale scale;
+  std::size_t dim = 12;
+  double bias = 0.7;
+  std::size_t num_tasks = 16;
+};
+Result<std::vector<Dataset>> MakeStationaryStream(
+    const StationaryConfig& config);
+
+/// Names of the five paper datasets, in the order Fig. 2 reports them.
+const std::vector<std::string>& PaperDatasetNames();
+
+/// Builds the stream for a paper dataset by name ("rcmnist", "celeba",
+/// "fairface", "ffhq", "nysf") at the given scale.
+Result<std::vector<Dataset>> MakePaperStream(const std::string& name,
+                                             const StreamScale& scale);
+
+}  // namespace faction
+
+#endif  // FACTION_DATA_STREAMS_H_

@@ -1,0 +1,125 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+namespace faction {
+
+Example SampleFromEnvironment(const EnvironmentSpec& env, int env_id,
+                              Rng* rng) {
+  const std::size_t d = env.class0_mean.size();
+  Example e;
+  e.environment = env_id;
+  e.label = rng->Bernoulli(env.positive_fraction) ? 1 : 0;
+  const double p_pos = e.label == 1 ? env.bias : 1.0 - env.bias;
+  e.sensitive = rng->Bernoulli(p_pos) ? 1 : -1;
+
+  const std::vector<double>& mean =
+      e.label == 1 ? env.class1_mean : env.class0_mean;
+  e.x.resize(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    double offset = 0.0;
+    if (j < env.group_offset.size()) {
+      offset = 0.5 * static_cast<double>(e.sensitive) * env.group_offset[j];
+    }
+    e.x[j] = mean[j] + offset + rng->Gaussian(0.0, env.noise);
+  }
+  if (env.sensitive_channel >= 0 &&
+      static_cast<std::size_t>(env.sensitive_channel) < d) {
+    int channel = e.sensitive;
+    if (rng->Bernoulli(env.channel_noise)) channel = -channel;
+    e.x[static_cast<std::size_t>(env.sensitive_channel)] =
+        static_cast<double>(channel);
+  }
+  if (!env.rotation.empty()) {
+    std::vector<double> rotated(d, 0.0);
+    for (std::size_t i = 0; i < d; ++i) {
+      const double* row = env.rotation.row_data(i);
+      double acc = 0.0;
+      for (std::size_t j = 0; j < d; ++j) acc += row[j] * e.x[j];
+      rotated[i] = acc;
+    }
+    e.x = std::move(rotated);
+  }
+  for (std::size_t j = 0; j < env.shift.size() && j < d; ++j) {
+    e.x[j] += env.shift[j];
+  }
+  return e;
+}
+
+Result<std::vector<Dataset>> GenerateStream(
+    const std::vector<EnvironmentSpec>& environments,
+    const std::vector<TaskPlan>& plan, Rng* rng) {
+  if (environments.empty()) {
+    return Status::InvalidArgument("GenerateStream: no environments");
+  }
+  const std::size_t d = environments[0].class0_mean.size();
+  for (const auto& env : environments) {
+    if (env.class0_mean.size() != d || env.class1_mean.size() != d) {
+      return Status::InvalidArgument(
+          "GenerateStream: inconsistent environment dimensions");
+    }
+    if (env.bias < 0.0 || env.bias > 1.0) {
+      return Status::InvalidArgument("GenerateStream: bias must be in [0,1]");
+    }
+    if (!env.rotation.empty() &&
+        (env.rotation.rows() != d || env.rotation.cols() != d)) {
+      return Status::InvalidArgument(
+          "GenerateStream: rotation must be d x d");
+    }
+  }
+  std::vector<Dataset> tasks;
+  tasks.reserve(plan.size());
+  for (const TaskPlan& tp : plan) {
+    if (tp.environment < 0 ||
+        static_cast<std::size_t>(tp.environment) >= environments.size()) {
+      return Status::OutOfRange("GenerateStream: unknown environment " +
+                                std::to_string(tp.environment));
+    }
+    Dataset task(d);
+    const EnvironmentSpec& env =
+        environments[static_cast<std::size_t>(tp.environment)];
+    for (std::size_t i = 0; i < tp.num_samples; ++i) {
+      FACTION_RETURN_IF_ERROR(
+          task.Append(SampleFromEnvironment(env, tp.environment, rng)));
+    }
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+Matrix PairwiseRotation(std::size_t dim, double degrees) {
+  const double rad = degrees * M_PI / 180.0;
+  const double c = std::cos(rad);
+  const double s = std::sin(rad);
+  Matrix rot = Matrix::Identity(dim);
+  for (std::size_t j = 0; j + 1 < dim; j += 2) {
+    rot(j, j) = c;
+    rot(j, j + 1) = -s;
+    rot(j + 1, j) = s;
+    rot(j + 1, j + 1) = c;
+  }
+  return rot;
+}
+
+std::vector<std::vector<double>> DrawPrototypes(std::size_t count,
+                                                std::size_t dim, double radius,
+                                                Rng* rng) {
+  std::vector<std::vector<double>> protos;
+  protos.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    std::vector<double> v(dim);
+    double norm2 = 0.0;
+    for (std::size_t j = 0; j < dim; ++j) {
+      v[j] = rng->Gaussian();
+      norm2 += v[j] * v[j];
+    }
+    const double norm = std::sqrt(norm2);
+    for (std::size_t j = 0; j < dim; ++j) {
+      v[j] = norm > 1e-12 ? radius * v[j] / norm : 0.0;
+    }
+    protos.push_back(std::move(v));
+  }
+  return protos;
+}
+
+}  // namespace faction

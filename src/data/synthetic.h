@@ -1,0 +1,72 @@
+#ifndef FACTION_DATA_SYNTHETIC_H_
+#define FACTION_DATA_SYNTHETIC_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "tensor/matrix.h"
+
+namespace faction {
+
+/// One environment of a changing-environments stream: a joint distribution
+/// over (x, s, y) that the generator can sample from. Environments model the
+/// paper's rotation angles (RCMNIST), attribute combinations (CelebA /
+/// FFHQ), racial groups (FairFace), and area x quarter cells (NYSF).
+///
+/// Sampling procedure per example:
+///   1. y ~ Bernoulli(positive_fraction)
+///   2. s = +1 with probability `bias` when y == 1, else with probability
+///      (1 - bias): `bias` is the label-sensitive correlation coefficient of
+///      the RCMNIST construction (0.5 = unbiased, 0.9 = highly biased).
+///   3. x = class prototype mean + (s/2) * group_offset + N(0, noise^2 I)
+///   4. if sensitive_channel >= 0, feature[sensitive_channel] additionally
+///      encodes s corrupted with flip probability channel_noise (the "digit
+///      color" shortcut feature).
+///   5. x <- rotation * x + shift  (environment-specific covariate shift)
+struct EnvironmentSpec {
+  std::vector<double> class0_mean;
+  std::vector<double> class1_mean;
+  std::vector<double> group_offset;  ///< how s displaces features
+  double noise = 0.6;
+  double bias = 0.7;                 ///< P(s=+1 | y=1); 1-bias for y=0
+  double positive_fraction = 0.5;
+  int sensitive_channel = -1;        ///< feature index carrying s, or -1
+  double channel_noise = 0.1;        ///< flip probability of that channel
+  Matrix rotation;                   ///< d x d; empty = identity
+  std::vector<double> shift;         ///< additive; empty = zero
+};
+
+/// The task plan of a stream: which environment each task draws from and
+/// how many samples it contains.
+struct TaskPlan {
+  int environment = 0;
+  std::size_t num_samples = 600;
+};
+
+/// Draws one example from the environment. `env_id` is recorded in the
+/// example's environment field.
+Example SampleFromEnvironment(const EnvironmentSpec& env, int env_id,
+                              Rng* rng);
+
+/// Materializes a full task sequence: one Dataset per TaskPlan entry.
+/// Fails when a plan references an unknown environment or dimensions are
+/// inconsistent across environments.
+Result<std::vector<Dataset>> GenerateStream(
+    const std::vector<EnvironmentSpec>& environments,
+    const std::vector<TaskPlan>& plan, Rng* rng);
+
+/// Returns a d x d rotation matrix rotating consecutive coordinate pairs
+/// (0,1), (2,3), ... by `degrees`. Used by the RCMNIST substitute.
+Matrix PairwiseRotation(std::size_t dim, double degrees);
+
+/// Draws `count` prototype mean vectors on a sphere of the given radius,
+/// spread apart by rejection; deterministic given the rng.
+std::vector<std::vector<double>> DrawPrototypes(std::size_t count,
+                                                std::size_t dim, double radius,
+                                                Rng* rng);
+
+}  // namespace faction
+
+#endif  // FACTION_DATA_SYNTHETIC_H_

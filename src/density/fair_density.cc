@@ -1,0 +1,178 @@
+#include "density/fair_density.h"
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.h"
+
+namespace faction {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Gathers the rows of `features` whose index passes `pred` into a matrix.
+template <typename Pred>
+Matrix GatherRows(const Matrix& features, Pred pred) {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < features.rows(); ++i) {
+    if (pred(i)) idx.push_back(i);
+  }
+  Matrix out(idx.size(), features.cols());
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    std::copy(features.row_data(idx[r]),
+              features.row_data(idx[r]) + features.cols(), out.row_data(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<FairDensityEstimator> FairDensityEstimator::Fit(
+    const Matrix& features, const std::vector<int>& labels,
+    const std::vector<int>& sensitive, const CovarianceConfig& config) {
+  const std::size_t n = features.rows();
+  if (n == 0) {
+    return Status::InvalidArgument("FairDensityEstimator: no samples");
+  }
+  if (labels.size() != n || sensitive.size() != n) {
+    return Status::InvalidArgument(
+        "FairDensityEstimator: labels/sensitive size mismatch");
+  }
+
+  FairDensityEstimator est;
+  est.dim_ = features.cols();
+  const int total = kNumClasses * kNumGroups;
+  est.components_.resize(total);
+  est.present_.assign(total, false);
+  est.weights_.assign(total, 0.0);
+
+  std::size_t fitted = 0;
+  for (int y = 0; y < kNumClasses; ++y) {
+    for (int s : {-1, 1}) {
+      const int idx = ComponentIndex(y, s);
+      const Matrix rows = GatherRows(features, [&](std::size_t i) {
+        return labels[i] == y && sensitive[i] == s;
+      });
+      est.weights_[idx] =
+          static_cast<double>(rows.rows()) / static_cast<double>(n);
+      if (rows.rows() == 0) continue;
+      FACTION_ASSIGN_OR_RETURN(Gaussian g, Gaussian::Fit(rows, config));
+      est.components_[idx] = std::move(g);
+      est.present_[idx] = true;
+      ++fitted;
+    }
+  }
+  if (fitted == 0) {
+    return Status::FailedPrecondition(
+        "FairDensityEstimator: no component has samples");
+  }
+  return est;
+}
+
+bool FairDensityEstimator::HasComponent(int label, int sensitive) const {
+  return present_[ComponentIndex(label, sensitive)];
+}
+
+double FairDensityEstimator::LogComponentDensity(const std::vector<double>& z,
+                                                 int label,
+                                                 int sensitive) const {
+  const int idx = ComponentIndex(label, sensitive);
+  if (!present_[idx]) return kNegInf;
+  return components_[idx].LogPdf(z);
+}
+
+double FairDensityEstimator::Weight(int label, int sensitive) const {
+  return weights_[ComponentIndex(label, sensitive)];
+}
+
+double FairDensityEstimator::LogMarginalDensity(
+    const std::vector<double>& z) const {
+  std::vector<double> terms;
+  terms.reserve(components_.size());
+  for (int y = 0; y < kNumClasses; ++y) {
+    for (int s : {-1, 1}) {
+      const int idx = ComponentIndex(y, s);
+      if (!present_[idx] || weights_[idx] <= 0.0) continue;
+      terms.push_back(components_[idx].LogPdf(z) + std::log(weights_[idx]));
+    }
+  }
+  if (terms.empty()) return kNegInf;
+  return LogSumExp(terms);
+}
+
+void FairDensityEstimator::ComponentLogDensities(const std::vector<double>& z,
+                                                 int label, double* log_pos,
+                                                 double* log_neg) const {
+  *log_pos = LogComponentDensity(z, label, 1);
+  *log_neg = LogComponentDensity(z, label, -1);
+}
+
+double FairDensityEstimator::DeltaG(const std::vector<double>& z,
+                                    int label) const {
+  double lp = 0.0, ln = 0.0;
+  ComponentLogDensities(z, label, &lp, &ln);
+  const double dp = std::isinf(lp) ? 0.0 : std::exp(lp);
+  const double dn = std::isinf(ln) ? 0.0 : std::exp(ln);
+  return std::fabs(dp - dn);
+}
+
+double FairDensityEstimator::MarginalDensity(
+    const std::vector<double>& z) const {
+  const double lg = LogMarginalDensity(z);
+  return std::isinf(lg) ? 0.0 : std::exp(lg);
+}
+
+Result<ClassDensityEstimator> ClassDensityEstimator::Fit(
+    const Matrix& features, const std::vector<int>& labels,
+    const CovarianceConfig& config) {
+  const std::size_t n = features.rows();
+  if (n == 0) {
+    return Status::InvalidArgument("ClassDensityEstimator: no samples");
+  }
+  if (labels.size() != n) {
+    return Status::InvalidArgument(
+        "ClassDensityEstimator: labels size mismatch");
+  }
+  ClassDensityEstimator est;
+  est.dim_ = features.cols();
+  est.components_.resize(FairDensityEstimator::kNumClasses);
+  est.present_.assign(FairDensityEstimator::kNumClasses, false);
+  est.weights_.assign(FairDensityEstimator::kNumClasses, 0.0);
+  std::size_t fitted = 0;
+  for (int y = 0; y < FairDensityEstimator::kNumClasses; ++y) {
+    const Matrix rows =
+        GatherRows(features, [&](std::size_t i) { return labels[i] == y; });
+    est.weights_[y] =
+        static_cast<double>(rows.rows()) / static_cast<double>(n);
+    if (rows.rows() == 0) continue;
+    FACTION_ASSIGN_OR_RETURN(Gaussian g, Gaussian::Fit(rows, config));
+    est.components_[y] = std::move(g);
+    est.present_[y] = true;
+    ++fitted;
+  }
+  if (fitted == 0) {
+    return Status::FailedPrecondition(
+        "ClassDensityEstimator: no class has samples");
+  }
+  return est;
+}
+
+double ClassDensityEstimator::LogClassDensity(const std::vector<double>& z,
+                                              int label) const {
+  if (!present_[label]) return kNegInf;
+  return components_[label].LogPdf(z);
+}
+
+double ClassDensityEstimator::LogMarginalDensity(
+    const std::vector<double>& z) const {
+  std::vector<double> terms;
+  for (int y = 0; y < FairDensityEstimator::kNumClasses; ++y) {
+    if (!present_[y] || weights_[y] <= 0.0) continue;
+    terms.push_back(components_[y].LogPdf(z) + std::log(weights_[y]));
+  }
+  if (terms.empty()) return kNegInf;
+  return LogSumExp(terms);
+}
+
+}  // namespace faction

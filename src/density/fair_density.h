@@ -1,0 +1,109 @@
+#ifndef FACTION_DENSITY_FAIR_DENSITY_H_
+#define FACTION_DENSITY_FAIR_DENSITY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "density/gaussian.h"
+#include "tensor/matrix.h"
+
+namespace faction {
+
+/// The paper's fairness-aware density estimator G(z) (Sec. IV-B): a
+/// GDA-fitted Gaussian mixture with one component per (class y, sensitive s)
+/// combination, weighted by the empirical joint p(y, s) (Eq. 3).
+///
+/// Fitted on feature vectors z = r(x, theta) of the labeled pool; evaluated
+/// on unlabeled candidates to obtain
+///   - the marginal density g(z), measuring epistemic uncertainty (low
+///     density = high uncertainty / OOD), and
+///   - the per-class cross-group gaps Delta g_c(z) = |g(z|c,+1) - g(z|c,-1)|
+///     (Eqs. 4-5), the paper's per-sample unfairness measure.
+///
+/// All evaluation is done in log space; the scorer re-exponentiates with a
+/// shared per-batch shift, which leaves FACTION's min-max-normalized score
+/// invariant while avoiding underflow for far-OOD samples.
+class FairDensityEstimator {
+ public:
+  /// Number of classes (fixed binary in this implementation, matching the
+  /// paper's experiments) and sensitive values.
+  static constexpr int kNumClasses = 2;
+  static constexpr int kNumGroups = 2;  // s in {-1, +1}
+
+  FairDensityEstimator() = default;
+
+  /// Fits the C x S components from labeled feature vectors. Components
+  /// with no samples are marked missing: their conditional density is 0
+  /// (log-density -inf) and their mixture weight is 0, which matches the
+  /// empirical p(y,s) = 0. Fails when every component would be empty or
+  /// inputs are inconsistent.
+  static Result<FairDensityEstimator> Fit(const Matrix& features,
+                                          const std::vector<int>& labels,
+                                          const std::vector<int>& sensitive,
+                                          const CovarianceConfig& config);
+
+  std::size_t dim() const { return dim_; }
+
+  /// True when the (y, s) component was fitted from at least one sample.
+  bool HasComponent(int label, int sensitive) const;
+
+  /// log g(z | y, s); -infinity for missing components.
+  double LogComponentDensity(const std::vector<double>& z, int label,
+                             int sensitive) const;
+
+  /// Mixture weight p(y, s).
+  double Weight(int label, int sensitive) const;
+
+  /// log g(z) = log sum_{y,s} g(z|y,s) p(y,s) (Eq. 3, log space).
+  double LogMarginalDensity(const std::vector<double>& z) const;
+
+  /// Log-space description of Delta g_c(z): returns the pair of component
+  /// log-densities (log g(z|c,+1), log g(z|c,-1)). The scorer combines them
+  /// after the shared batch shift. Missing components contribute -inf.
+  void ComponentLogDensities(const std::vector<double>& z, int label,
+                             double* log_pos, double* log_neg) const;
+
+  /// Direct (unshifted) Delta g_c(z) = |g(z|c,+1) - g(z|c,-1)|. Convenient
+  /// for tests and small-dimensional use; may underflow far from the data.
+  double DeltaG(const std::vector<double>& z, int label) const;
+
+  /// Direct (unshifted) marginal density g(z).
+  double MarginalDensity(const std::vector<double>& z) const;
+
+ private:
+  static int ComponentIndex(int label, int sensitive) {
+    return label * kNumGroups + (sensitive == 1 ? 1 : 0);
+  }
+
+  std::size_t dim_ = 0;
+  std::vector<Gaussian> components_;  // size C*S, indexed by ComponentIndex
+  std::vector<bool> present_;
+  std::vector<double> weights_;  // empirical p(y, s)
+};
+
+/// Per-class density estimator used by the DDU baseline (Mukhoti et al.):
+/// identical machinery but with one component per class only.
+class ClassDensityEstimator {
+ public:
+  static Result<ClassDensityEstimator> Fit(const Matrix& features,
+                                           const std::vector<int>& labels,
+                                           const CovarianceConfig& config);
+
+  std::size_t dim() const { return dim_; }
+
+  /// log g(z | y); -infinity for classes absent from the fit.
+  double LogClassDensity(const std::vector<double>& z, int label) const;
+
+  /// log g(z) = log sum_y g(z|y) p(y).
+  double LogMarginalDensity(const std::vector<double>& z) const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<Gaussian> components_;
+  std::vector<bool> present_;
+  std::vector<double> weights_;
+};
+
+}  // namespace faction
+
+#endif  // FACTION_DENSITY_FAIR_DENSITY_H_

@@ -1,0 +1,92 @@
+#include "density/gaussian.h"
+
+#include <cmath>
+
+#include "tensor/linalg.h"
+
+namespace faction {
+
+Result<Gaussian> Gaussian::Fit(const Matrix& samples,
+                               const CovarianceConfig& config,
+                               double fallback_scale) {
+  const std::size_t n = samples.rows();
+  const std::size_t d = samples.cols();
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("Gaussian::Fit requires samples");
+  }
+  Gaussian g;
+  g.mean_.assign(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = samples.row_data(i);
+    for (std::size_t j = 0; j < d; ++j) g.mean_[j] += row[j];
+  }
+  for (double& m : g.mean_) m /= static_cast<double>(n);
+
+  Matrix cov(d, d);
+  if (n >= 2) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* row = samples.row_data(i);
+      for (std::size_t a = 0; a < d; ++a) {
+        const double da = row[a] - g.mean_[a];
+        for (std::size_t b = 0; b <= a; ++b) {
+          cov(a, b) += da * (row[b] - g.mean_[b]);
+        }
+      }
+    }
+    for (std::size_t a = 0; a < d; ++a) {
+      for (std::size_t b = 0; b <= a; ++b) {
+        cov(a, b) /= static_cast<double>(n);
+        cov(b, a) = cov(a, b);
+      }
+    }
+    // Shrinkage toward the scaled identity.
+    double trace = 0.0;
+    for (std::size_t a = 0; a < d; ++a) trace += cov(a, a);
+    const double iso = trace / static_cast<double>(d);
+    const double rho = config.shrinkage;
+    for (std::size_t a = 0; a < d; ++a) {
+      for (std::size_t b = 0; b < d; ++b) {
+        cov(a, b) *= 1.0 - rho;
+        if (a == b) cov(a, b) += rho * iso;
+      }
+    }
+  } else {
+    // A single sample carries no covariance information.
+    for (std::size_t a = 0; a < d; ++a) cov(a, a) = fallback_scale;
+  }
+
+  // Progressive jitter until the Cholesky succeeds.
+  double jitter = config.jitter;
+  for (int attempt = 0; attempt <= config.max_jitter_doublings; ++attempt) {
+    Matrix regularized = cov;
+    for (std::size_t a = 0; a < d; ++a) regularized(a, a) += jitter;
+    Result<Matrix> chol = Cholesky(regularized);
+    if (chol.ok()) {
+      g.chol_ = std::move(chol).value();
+      g.log_det_ = LogDetFromCholesky(g.chol_);
+      return g;
+    }
+    jitter = jitter > 0.0 ? jitter * 2.0 : 1e-8;
+  }
+  return Status::NumericalError(
+      "Gaussian::Fit: covariance not positive definite even after jitter");
+}
+
+double Gaussian::MahalanobisSquared(const std::vector<double>& z) const {
+  FACTION_CHECK(z.size() == dim());
+  std::vector<double> centered(dim());
+  for (std::size_t j = 0; j < dim(); ++j) centered[j] = z[j] - mean_[j];
+  // Solve L y = (z - mu); then |y|^2 is the Mahalanobis square.
+  const std::vector<double> y = ForwardSolve(chol_, centered);
+  double acc = 0.0;
+  for (double v : y) acc += v * v;
+  return acc;
+}
+
+double Gaussian::LogPdf(const std::vector<double>& z) const {
+  static constexpr double kLog2Pi = 1.8378770664093453;
+  const double maha = MahalanobisSquared(z);
+  return -0.5 * (static_cast<double>(dim()) * kLog2Pi + log_det_ + maha);
+}
+
+}  // namespace faction

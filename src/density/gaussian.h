@@ -1,0 +1,56 @@
+#ifndef FACTION_DENSITY_GAUSSIAN_H_
+#define FACTION_DENSITY_GAUSSIAN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace faction {
+
+/// Regularization for covariance estimates fitted from few samples — the
+/// situation FACTION is always in early in the stream, when a (class,
+/// sensitive) component may hold only a handful of labeled examples.
+struct CovarianceConfig {
+  /// Shrinkage toward the scaled identity: Sigma_reg =
+  /// (1-shrinkage)*Sigma + shrinkage*(tr(Sigma)/d)*I.
+  double shrinkage = 0.1;
+  /// Absolute jitter added to the diagonal; doubled on Cholesky failure up
+  /// to max_jitter_doublings times.
+  double jitter = 1e-6;
+  int max_jitter_doublings = 20;
+};
+
+/// Multivariate Gaussian fitted by maximum likelihood with shrinkage, used
+/// as the class/sensitive-conditional density g(z | y, s) in the paper's
+/// GDA-based estimator (Sec. IV-B).
+class Gaussian {
+ public:
+  Gaussian() = default;
+
+  /// Fits mean and regularized covariance from the rows of `samples`.
+  /// With a single sample the covariance falls back to the identity scaled
+  /// by `fallback_scale`. Fails on zero samples.
+  static Result<Gaussian> Fit(const Matrix& samples,
+                              const CovarianceConfig& config,
+                              double fallback_scale = 1.0);
+
+  /// log N(z; mean, cov). Precondition: z.size() == dim().
+  double LogPdf(const std::vector<double>& z) const;
+
+  /// Squared Mahalanobis distance (z-mu)^T Sigma^-1 (z-mu).
+  double MahalanobisSquared(const std::vector<double>& z) const;
+
+  std::size_t dim() const { return mean_.size(); }
+  const std::vector<double>& mean() const { return mean_; }
+  double log_det() const { return log_det_; }
+
+ private:
+  std::vector<double> mean_;
+  Matrix chol_;  // lower Cholesky factor of the regularized covariance
+  double log_det_ = 0.0;
+};
+
+}  // namespace faction
+
+#endif  // FACTION_DENSITY_GAUSSIAN_H_

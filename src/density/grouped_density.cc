@@ -1,0 +1,190 @@
+#include "density/grouped_density.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.h"
+
+namespace faction {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+std::size_t GroupedDensityEstimator::GroupPosition(int sensitive) const {
+  for (std::size_t i = 0; i < sensitive_values_.size(); ++i) {
+    if (sensitive_values_[i] == sensitive) return i;
+  }
+  return sensitive_values_.size();
+}
+
+Result<GroupedDensityEstimator> GroupedDensityEstimator::Fit(
+    const Matrix& features, const std::vector<int>& labels,
+    const std::vector<int>& sensitive, int num_classes,
+    std::vector<int> sensitive_values, const CovarianceConfig& config) {
+  const std::size_t n = features.rows();
+  if (n == 0) {
+    return Status::InvalidArgument("GroupedDensityEstimator: no samples");
+  }
+  if (labels.size() != n || sensitive.size() != n) {
+    return Status::InvalidArgument(
+        "GroupedDensityEstimator: labels/sensitive size mismatch");
+  }
+  if (num_classes < 2 || sensitive_values.empty()) {
+    return Status::InvalidArgument(
+        "GroupedDensityEstimator: need >= 2 classes and >= 1 sensitive "
+        "value");
+  }
+  // Sensitive values must be unique.
+  std::vector<int> sorted = sensitive_values;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return Status::InvalidArgument(
+        "GroupedDensityEstimator: duplicate sensitive values");
+  }
+
+  GroupedDensityEstimator est;
+  est.dim_ = features.cols();
+  est.num_classes_ = num_classes;
+  est.sensitive_values_ = std::move(sensitive_values);
+  const std::size_t num_groups = est.sensitive_values_.size();
+  const std::size_t total = static_cast<std::size_t>(num_classes) * num_groups;
+  est.components_.resize(total);
+  est.present_.assign(total, false);
+  est.weights_.assign(total, 0.0);
+
+  // Validate inputs and bucket row indices per component.
+  std::vector<std::vector<std::size_t>> buckets(total);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (labels[i] < 0 || labels[i] >= num_classes) {
+      return Status::OutOfRange("GroupedDensityEstimator: label " +
+                                std::to_string(labels[i]) +
+                                " outside [0, C)");
+    }
+    const std::size_t group = est.GroupPosition(sensitive[i]);
+    if (group == num_groups) {
+      return Status::OutOfRange(
+          "GroupedDensityEstimator: sensitive value " +
+          std::to_string(sensitive[i]) + " not in the declared set");
+    }
+    buckets[est.ComponentIndex(labels[i], group)].push_back(i);
+  }
+
+  std::size_t fitted = 0;
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    est.weights_[idx] = static_cast<double>(buckets[idx].size()) /
+                        static_cast<double>(n);
+    if (buckets[idx].empty()) continue;
+    Matrix rows(buckets[idx].size(), est.dim_);
+    for (std::size_t r = 0; r < buckets[idx].size(); ++r) {
+      std::copy(features.row_data(buckets[idx][r]),
+                features.row_data(buckets[idx][r]) + est.dim_,
+                rows.row_data(r));
+    }
+    FACTION_ASSIGN_OR_RETURN(Gaussian g, Gaussian::Fit(rows, config));
+    est.components_[idx] = std::move(g);
+    est.present_[idx] = true;
+    ++fitted;
+  }
+  if (fitted == 0) {
+    return Status::FailedPrecondition(
+        "GroupedDensityEstimator: no component has samples");
+  }
+  return est;
+}
+
+bool GroupedDensityEstimator::HasComponent(int label, int sensitive) const {
+  const std::size_t group = GroupPosition(sensitive);
+  if (group == sensitive_values_.size() || label < 0 ||
+      label >= num_classes_) {
+    return false;
+  }
+  return present_[ComponentIndex(label, group)];
+}
+
+double GroupedDensityEstimator::LogComponentDensity(
+    const std::vector<double>& z, int label, int sensitive) const {
+  const std::size_t group = GroupPosition(sensitive);
+  if (group == sensitive_values_.size() || label < 0 ||
+      label >= num_classes_) {
+    return kNegInf;
+  }
+  const int idx = ComponentIndex(label, group);
+  return present_[idx] ? components_[idx].LogPdf(z) : kNegInf;
+}
+
+double GroupedDensityEstimator::Weight(int label, int sensitive) const {
+  const std::size_t group = GroupPosition(sensitive);
+  if (group == sensitive_values_.size() || label < 0 ||
+      label >= num_classes_) {
+    return 0.0;
+  }
+  return weights_[ComponentIndex(label, group)];
+}
+
+double GroupedDensityEstimator::LogMarginalDensity(
+    const std::vector<double>& z) const {
+  std::vector<double> terms;
+  for (int y = 0; y < num_classes_; ++y) {
+    for (std::size_t g = 0; g < sensitive_values_.size(); ++g) {
+      const int idx = ComponentIndex(y, g);
+      if (!present_[idx] || weights_[idx] <= 0.0) continue;
+      terms.push_back(components_[idx].LogPdf(z) + std::log(weights_[idx]));
+    }
+  }
+  if (terms.empty()) return kNegInf;
+  return LogSumExp(terms);
+}
+
+double GroupedDensityEstimator::DeltaG(const std::vector<double>& z,
+                                       int label) const {
+  if (label < 0 || label >= num_classes_) return 0.0;
+  // Collect raw densities (0 for missing components).
+  std::vector<double> densities;
+  std::size_t with_signal = 0;
+  for (std::size_t g = 0; g < sensitive_values_.size(); ++g) {
+    const int idx = ComponentIndex(label, g);
+    if (present_[idx]) {
+      densities.push_back(std::exp(components_[idx].LogPdf(z)));
+      ++with_signal;
+    } else {
+      densities.push_back(0.0);
+    }
+  }
+  if (with_signal == 0 || sensitive_values_.size() < 2) return 0.0;
+  const auto [mn, mx] =
+      std::minmax_element(densities.begin(), densities.end());
+  return *mx - *mn;
+}
+
+double GroupedDensityEstimator::LogDeltaG(const std::vector<double>& z,
+                                          int label) const {
+  if (label < 0 || label >= num_classes_ || sensitive_values_.size() < 2) {
+    return kNegInf;
+  }
+  // max pairwise |g - g'| = g_max - g_min; compute log(g_max - g_min)
+  // stably from the log densities.
+  double log_max = kNegInf;
+  double log_min = std::numeric_limits<double>::infinity();
+  bool any_missing = false;
+  for (std::size_t g = 0; g < sensitive_values_.size(); ++g) {
+    const int idx = ComponentIndex(label, g);
+    if (!present_[idx]) {
+      any_missing = true;
+      continue;
+    }
+    const double lp = components_[idx].LogPdf(z);
+    log_max = std::max(log_max, lp);
+    log_min = std::min(log_min, lp);
+  }
+  if (!std::isfinite(log_max)) return kNegInf;  // no fitted group
+  if (any_missing) return log_max;              // gap against density 0
+  const double gap = log_max - log_min;
+  if (gap < 1e-300) return kNegInf;
+  return log_max + std::log1p(-std::exp(-gap));
+}
+
+}  // namespace faction

@@ -1,0 +1,86 @@
+#ifndef FACTION_DENSITY_GROUPED_DENSITY_H_
+#define FACTION_DENSITY_GROUPED_DENSITY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "density/gaussian.h"
+#include "tensor/matrix.h"
+
+namespace faction {
+
+/// Generalized form of the paper's fairness-aware density estimator
+/// (Sec. IV-B): one GDA component per (class, sensitive-value) pair for an
+/// arbitrary number of classes C and arbitrary discrete sensitive values.
+/// The paper's experiments fix C = 2 and S = {-1, +1}
+/// (FairDensityEstimator); this class implements the multi-class /
+/// multi-valued extension the paper leaves as future work.
+///
+/// The per-class unfairness Delta g_c generalizes to the maximum pairwise
+/// cross-group gap:
+///   Delta g_c(z) = max_{s, s'} | g(z|c, s) - g(z|c, s') |
+/// which reduces to Eqs. 4-5 in the binary-sensitive case.
+class GroupedDensityEstimator {
+ public:
+  GroupedDensityEstimator() = default;
+
+  /// Fits components for `num_classes` classes and the given set of
+  /// sensitive values. Labels must lie in [0, num_classes); sensitive
+  /// values must appear in `sensitive_values`. Components with no samples
+  /// are missing (zero weight, -inf log-density). Fails when inputs are
+  /// inconsistent or every component would be empty.
+  static Result<GroupedDensityEstimator> Fit(
+      const Matrix& features, const std::vector<int>& labels,
+      const std::vector<int>& sensitive, int num_classes,
+      std::vector<int> sensitive_values, const CovarianceConfig& config);
+
+  std::size_t dim() const { return dim_; }
+  int num_classes() const { return num_classes_; }
+  const std::vector<int>& sensitive_values() const {
+    return sensitive_values_;
+  }
+
+  /// True when the (label, sensitive) component was fitted from data.
+  bool HasComponent(int label, int sensitive) const;
+
+  /// log g(z | y, s); -infinity when the component is missing. `sensitive`
+  /// must be one of sensitive_values().
+  double LogComponentDensity(const std::vector<double>& z, int label,
+                             int sensitive) const;
+
+  /// Empirical mixture weight p(y, s).
+  double Weight(int label, int sensitive) const;
+
+  /// log g(z) = log sum_{y,s} g(z|y,s) p(y,s).
+  double LogMarginalDensity(const std::vector<double>& z) const;
+
+  /// Generalized per-class unfairness: the maximum pairwise cross-group
+  /// density gap for class `label`, in the *raw* density domain. Missing
+  /// components are treated as density 0 and participate in the pairwise
+  /// max only when at least one other component of the class exists.
+  /// Returns 0 when fewer than two groups have any signal.
+  double DeltaG(const std::vector<double>& z, int label) const;
+
+  /// Log-domain variant of DeltaG: log max pairwise |g - g'|, computed
+  /// stably; -infinity when no pair differs.
+  double LogDeltaG(const std::vector<double>& z, int label) const;
+
+ private:
+  int ComponentIndex(int label, std::size_t group_pos) const {
+    return label * static_cast<int>(sensitive_values_.size()) +
+           static_cast<int>(group_pos);
+  }
+  /// Position of a sensitive value in sensitive_values_, or npos.
+  std::size_t GroupPosition(int sensitive) const;
+
+  std::size_t dim_ = 0;
+  int num_classes_ = 0;
+  std::vector<int> sensitive_values_;
+  std::vector<Gaussian> components_;
+  std::vector<bool> present_;
+  std::vector<double> weights_;
+};
+
+}  // namespace faction
+
+#endif  // FACTION_DENSITY_GROUPED_DENSITY_H_

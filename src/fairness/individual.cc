@@ -1,0 +1,96 @@
+#include "fairness/individual.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace faction {
+
+namespace {
+
+struct PairTerm {
+  std::size_t i;
+  std::size_t j;
+  double similarity;
+};
+
+Result<std::vector<PairTerm>> CollectPairs(
+    const Matrix& inputs, const IndividualFairnessConfig& config) {
+  const std::size_t n = inputs.rows();
+  std::vector<PairTerm> pairs;
+  const double denom = 2.0 * config.bandwidth * config.bandwidth;
+  if (denom <= 0.0) {
+    return Status::InvalidArgument(
+        "individual fairness: bandwidth must be positive");
+  }
+  for (std::size_t i = 0; i < n && pairs.size() < config.max_pairs; ++i) {
+    for (std::size_t j = i + 1; j < n && pairs.size() < config.max_pairs;
+         ++j) {
+      double dist2 = 0.0;
+      const double* a = inputs.row_data(i);
+      const double* b = inputs.row_data(j);
+      for (std::size_t k = 0; k < inputs.cols(); ++k) {
+        const double d = a[k] - b[k];
+        dist2 += d * d;
+      }
+      const double sim = std::exp(-dist2 / denom);
+      if (sim >= config.similarity_cutoff) {
+        pairs.push_back({i, j, sim});
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace
+
+Result<double> AddIndividualFairnessPenalty(
+    const Matrix& inputs, const Matrix& logits,
+    const IndividualFairnessConfig& config, Matrix* dlogits) {
+  if (logits.cols() != 2) {
+    return Status::InvalidArgument(
+        "individual fairness: binary classification required");
+  }
+  if (inputs.rows() != logits.rows()) {
+    return Status::InvalidArgument("individual fairness: row mismatch");
+  }
+  if (dlogits->rows() != logits.rows() ||
+      dlogits->cols() != logits.cols()) {
+    return Status::InvalidArgument(
+        "individual fairness: dlogits shape mismatch");
+  }
+  FACTION_ASSIGN_OR_RETURN(std::vector<PairTerm> pairs,
+                           CollectPairs(inputs, config));
+  if (pairs.empty()) return 0.0;
+
+  const Matrix proba = SoftmaxRows(logits);
+  double penalty = 0.0;
+  const double scale =
+      config.weight / static_cast<double>(pairs.size());
+  for (const PairTerm& pair : pairs) {
+    const double hi = proba(pair.i, 1);
+    const double hj = proba(pair.j, 1);
+    const double gap = hi - hj;
+    penalty += pair.similarity * gap * gap;
+    // d/dh_i = 2 w gap; chain through the softmax:
+    // dh/dlogit_0 = -h(1-h) is wrong sign-wise; dh/dlogit_1 = h(1-h),
+    // dh/dlogit_0 = -h*p0 with p0 = 1-h, i.e. -h(1-h).
+    const double base = 2.0 * scale * pair.similarity * gap;
+    const double di = base * hi * (1.0 - hi);
+    const double dj = -base * hj * (1.0 - hj);
+    (*dlogits)(pair.i, 1) += di;
+    (*dlogits)(pair.i, 0) -= di;
+    (*dlogits)(pair.j, 1) += dj;
+    (*dlogits)(pair.j, 0) -= dj;
+  }
+  return config.weight * penalty / static_cast<double>(pairs.size());
+}
+
+Result<double> IndividualFairnessPenalty(
+    const Matrix& inputs, const Matrix& logits,
+    const IndividualFairnessConfig& config) {
+  Matrix scratch(logits.rows(), logits.cols(), 0.0);
+  return AddIndividualFairnessPenalty(inputs, logits, config, &scratch);
+}
+
+}  // namespace faction

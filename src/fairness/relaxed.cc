@@ -1,0 +1,77 @@
+#include "fairness/relaxed.h"
+
+#include <cmath>
+
+namespace faction {
+
+namespace {
+
+constexpr double kMinGroupMass = 1e-9;
+
+}  // namespace
+
+Result<std::vector<double>> RelaxedFairnessCoefficients(
+    FairnessNotion notion, const std::vector<int>& sensitive,
+    const std::vector<int>& labels, std::size_t* m_out) {
+  const std::size_t n = sensitive.size();
+  if (n == 0) {
+    return Status::InvalidArgument("relaxed fairness: empty input");
+  }
+  if (notion == FairnessNotion::kDeo && labels.size() != n) {
+    return Status::InvalidArgument(
+        "relaxed fairness (DEO): labels required and must match size");
+  }
+
+  // Which samples contribute, and the empirical p_hat_1 over them.
+  std::vector<char> active(n, 1);
+  if (notion == FairnessNotion::kDeo) {
+    for (std::size_t i = 0; i < n; ++i) active[i] = labels[i] == 1 ? 1 : 0;
+  }
+  std::size_t m = 0;
+  std::size_t group_pos = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!active[i]) continue;
+    ++m;
+    if (sensitive[i] == 1) ++group_pos;
+  }
+  if (m == 0) {
+    return Status::FailedPrecondition(
+        "relaxed fairness: no contributing samples");
+  }
+  const double p1 = static_cast<double>(group_pos) / static_cast<double>(m);
+  const double mass = p1 * (1.0 - p1);
+  if (mass < kMinGroupMass) {
+    return Status::FailedPrecondition(
+        "relaxed fairness: a sensitive group is (nearly) empty, p1=" +
+        std::to_string(p1));
+  }
+
+  std::vector<double> coeffs(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!active[i]) continue;
+    const double indicator = sensitive[i] == 1 ? 1.0 : 0.0;
+    coeffs[i] = (indicator - p1) / mass;
+  }
+  if (m_out != nullptr) *m_out = m;
+  return coeffs;
+}
+
+Result<double> RelaxedFairness(FairnessNotion notion,
+                               const std::vector<double>& scores,
+                               const std::vector<int>& sensitive,
+                               const std::vector<int>& labels) {
+  if (scores.size() != sensitive.size()) {
+    return Status::InvalidArgument("relaxed fairness: size mismatch");
+  }
+  std::size_t m = 0;
+  FACTION_ASSIGN_OR_RETURN(
+      std::vector<double> coeffs,
+      RelaxedFairnessCoefficients(notion, sensitive, labels, &m));
+  double acc = 0.0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    acc += coeffs[i] * scores[i];
+  }
+  return acc / static_cast<double>(m);
+}
+
+}  // namespace faction

@@ -1,0 +1,46 @@
+#ifndef FACTION_FAIRNESS_RELAXED_H_
+#define FACTION_FAIRNESS_RELAXED_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace faction {
+
+/// Which linear relaxation of Definition 1 to instantiate.
+///   kDdp: p_hat_1 = P(s=+1), averaged over all samples (difference of
+///         demographic parity).
+///   kDeo: p_hat_1 = P(y=1, s=+1), averaged over positive-label samples
+///         (difference of equality of opportunity).
+enum class FairnessNotion { kDdp, kDeo };
+
+/// The linear approximated fairness notion of Eq. 1 (Lohaus et al.):
+///
+///   v(D, theta) = E[ 1/(p1(1-p1)) * ((s+1)/2 - p1) * h(x, theta) ]
+///
+/// where h(x, theta) is the real-valued classifier score for the positive
+/// class. v is linear in the scores, hence convex and differentiable — it is
+/// the quantity FACTION regularizes in the loss (Eq. 8-9).
+///
+/// `scores` is the per-sample score h (in this library: the model's softmax
+/// probability of class 1). For kDeo, `labels` must be provided and only
+/// samples with y=1 contribute. Returns an error when a required group is
+/// empty (p1 degenerate).
+Result<double> RelaxedFairness(FairnessNotion notion,
+                               const std::vector<double>& scores,
+                               const std::vector<int>& sensitive,
+                               const std::vector<int>& labels);
+
+/// Per-sample coefficients c_i such that v = (1/M) * sum_i c_i * h_i, where
+/// M is the number of contributing samples (all samples for kDdp, positive
+/// samples for kDeo). Non-contributing samples receive coefficient 0.
+///
+/// dv/dh_i = c_i / M, so callers can backpropagate v through the score head
+/// without recomputing group statistics. `m_out` receives M.
+Result<std::vector<double>> RelaxedFairnessCoefficients(
+    FairnessNotion notion, const std::vector<int>& sensitive,
+    const std::vector<int>& labels, std::size_t* m_out);
+
+}  // namespace faction
+
+#endif  // FACTION_FAIRNESS_RELAXED_H_

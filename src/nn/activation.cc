@@ -1,0 +1,35 @@
+#include "nn/activation.h"
+
+#include "common/logging.h"
+
+namespace faction {
+
+Matrix Relu::Forward(const Matrix& x) {
+  mask_.Resize(x.rows(), x.cols());
+  Matrix out = x;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] > 0.0) {
+      mask_.data()[i] = 1.0;
+    } else {
+      out.data()[i] = 0.0;
+    }
+  }
+  return out;
+}
+
+Matrix Relu::ForwardInference(const Matrix& x) {
+  Matrix out = x;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] < 0.0) out.data()[i] = 0.0;
+  }
+  return out;
+}
+
+Matrix Relu::Backward(const Matrix& dy) const {
+  FACTION_CHECK(dy.rows() == mask_.rows() && dy.cols() == mask_.cols());
+  Matrix dx = dy;
+  for (std::size_t i = 0; i < dx.size(); ++i) dx.data()[i] *= mask_.data()[i];
+  return dx;
+}
+
+}  // namespace faction

@@ -1,0 +1,45 @@
+#include "nn/classifier.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace faction {
+
+void FeatureClassifier::CopyParametersFrom(const FeatureClassifier& other) {
+  auto* src = const_cast<FeatureClassifier*>(&other);
+  std::vector<Matrix*> from = src->Parameters();
+  std::vector<Matrix*> to = Parameters();
+  FACTION_CHECK(from.size() == to.size());
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    FACTION_CHECK(from[i]->rows() == to[i]->rows() &&
+                  from[i]->cols() == to[i]->cols());
+    *to[i] = *from[i];
+  }
+}
+
+Matrix FeatureClassifier::PredictProba(const Matrix& x) const {
+  return SoftmaxRows(Logits(x));
+}
+
+std::vector<int> FeatureClassifier::Predict(const Matrix& x) const {
+  const Matrix logits = Logits(x);
+  std::vector<int> out(logits.rows());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const double* row = logits.row_data(i);
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < logits.cols(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[i] = static_cast<int>(best);
+  }
+  return out;
+}
+
+std::size_t FeatureClassifier::ParameterCount() const {
+  auto* self = const_cast<FeatureClassifier*>(this);
+  std::size_t count = 0;
+  for (Matrix* p : self->Parameters()) count += p->size();
+  return count;
+}
+
+}  // namespace faction

@@ -1,0 +1,63 @@
+#ifndef FACTION_NN_CLASSIFIER_H_
+#define FACTION_NN_CLASSIFIER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+
+namespace faction {
+
+/// Abstract classifier-with-a-feature-space: the contract FACTION's
+/// machinery needs from a backbone. Two implementations ship with the
+/// library — the spectral-normalized MLP (the paper's tabular backbone)
+/// and a small CNN (standing in for the paper's ResNet-18 on image
+/// streams). The density estimator, the selection strategies, and the
+/// online learner all program against this interface, so a new backbone
+/// only has to implement it.
+class FeatureClassifier {
+ public:
+  virtual ~FeatureClassifier() = default;
+
+  virtual std::size_t input_dim() const = 0;
+  virtual std::size_t feature_dim() const = 0;
+  virtual std::size_t num_classes() const = 0;
+
+  /// Training forward pass: logits (n x num_classes); caches activations
+  /// for Backward.
+  virtual Matrix Forward(const Matrix& x) = 0;
+
+  /// Inference-only logits.
+  virtual Matrix Logits(const Matrix& x) const = 0;
+
+  /// Feature vectors z = r(x, theta) (n x feature_dim), inference path.
+  virtual Matrix ExtractFeatures(const Matrix& x) const = 0;
+
+  /// Backpropagates dL/dlogits from the last Forward.
+  virtual void Backward(const Matrix& dlogits) = 0;
+
+  virtual void ZeroGrad() = 0;
+  virtual std::vector<Matrix*> Parameters() = 0;
+  virtual std::vector<Matrix*> Gradients() = 0;
+
+  /// Fresh instance with the same architecture and new random weights.
+  virtual std::unique_ptr<FeatureClassifier> CloneArchitecture(
+      Rng* rng) const = 0;
+
+  /// Copies parameters from an architecture-identical classifier.
+  void CopyParametersFrom(const FeatureClassifier& other);
+
+  /// Row-wise softmax class probabilities (inference path).
+  Matrix PredictProba(const Matrix& x) const;
+
+  /// Argmax class predictions (inference path).
+  std::vector<int> Predict(const Matrix& x) const;
+
+  /// Total scalar parameter count.
+  std::size_t ParameterCount() const;
+};
+
+}  // namespace faction
+
+#endif  // FACTION_NN_CLASSIFIER_H_

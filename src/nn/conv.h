@@ -1,0 +1,129 @@
+#ifndef FACTION_NN_CONV_H_
+#define FACTION_NN_CONV_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/activation.h"
+#include "nn/classifier.h"
+#include "nn/linear.h"
+#include "tensor/image.h"
+#include "tensor/matrix.h"
+
+namespace faction {
+
+/// 3x3 same-padding convolution (stride 1) with cached activations for
+/// backprop. Small and direct — sized for the low-resolution synthetic
+/// image streams, not for ImageNet.
+class Conv2d {
+ public:
+  Conv2d(const ImageShape& in, std::size_t out_channels, Rng* rng);
+
+  const ImageShape& input_shape() const { return in_; }
+  ImageShape output_shape() const {
+    return ImageShape{out_channels_, in_.height, in_.width};
+  }
+
+  /// x: (n x in.Flat()) -> (n x out.Flat()); caches x for Backward.
+  Matrix Forward(const Matrix& x);
+
+  /// Inference path (no cache).
+  Matrix ForwardInference(const Matrix& x) const;
+
+  /// dL/dy -> dL/dx, accumulating weight/bias gradients.
+  Matrix Backward(const Matrix& dy);
+
+  void ZeroGrad();
+  Matrix* weight() { return &w_; }
+  Matrix* bias() { return &b_; }
+  Matrix* weight_grad() { return &gw_; }
+  Matrix* bias_grad() { return &gb_; }
+
+  static constexpr std::size_t kKernel = 3;
+
+ private:
+  Matrix Apply(const Matrix& x) const;
+
+  ImageShape in_;
+  std::size_t out_channels_;
+  Matrix w_;   // (out_channels x in_channels*3*3)
+  Matrix b_;   // (1 x out_channels)
+  Matrix gw_;
+  Matrix gb_;
+  Matrix cached_input_;
+};
+
+/// 2x2 max pooling with stride 2 (input height/width must be even).
+class MaxPool2d {
+ public:
+  explicit MaxPool2d(const ImageShape& in);
+
+  ImageShape output_shape() const {
+    return ImageShape{in_.channels, in_.height / 2, in_.width / 2};
+  }
+
+  Matrix Forward(const Matrix& x);
+  Matrix ForwardInference(const Matrix& x) const;
+  Matrix Backward(const Matrix& dy) const;
+
+ private:
+  Matrix Apply(const Matrix& x, std::vector<std::size_t>* argmax) const;
+
+  ImageShape in_;
+  std::vector<std::size_t> cached_argmax_;  // flat source index per output
+  std::size_t cached_rows_ = 0;
+};
+
+/// Configuration of the small CNN backbone: two conv+pool stages followed
+/// by a (optionally spectral-normalized) feature layer, standing in for
+/// the paper's spectral-normalized ResNet-18 on image streams (see
+/// DESIGN.md's substitution table).
+struct ConvNetConfig {
+  ImageShape input;
+  std::size_t conv1_filters = 8;
+  std::size_t conv2_filters = 8;
+  std::size_t feature_dim = 16;
+  std::size_t num_classes = 2;
+  SpectralNormConfig spectral;  ///< applied to the feature Linear
+};
+
+/// CNN classifier implementing the FeatureClassifier contract; usable as a
+/// drop-in backbone for the online learner via
+/// OnlineLearnerConfig::model_factory.
+class ConvNetClassifier : public FeatureClassifier {
+ public:
+  ConvNetClassifier(const ConvNetConfig& config, Rng* rng);
+
+  const ConvNetConfig& config() const { return config_; }
+  std::size_t input_dim() const override { return config_.input.Flat(); }
+  std::size_t feature_dim() const override { return config_.feature_dim; }
+  std::size_t num_classes() const override { return config_.num_classes; }
+
+  Matrix Forward(const Matrix& x) override;
+  Matrix Logits(const Matrix& x) const override;
+  Matrix ExtractFeatures(const Matrix& x) const override;
+  void Backward(const Matrix& dlogits) override;
+  void ZeroGrad() override;
+  std::vector<Matrix*> Parameters() override;
+  std::vector<Matrix*> Gradients() override;
+  std::unique_ptr<FeatureClassifier> CloneArchitecture(
+      Rng* rng) const override;
+
+ private:
+  ConvNetConfig config_;
+  std::unique_ptr<Conv2d> conv1_;
+  Relu relu1_;
+  std::unique_ptr<MaxPool2d> pool1_;
+  std::unique_ptr<Conv2d> conv2_;
+  Relu relu2_;
+  std::unique_ptr<MaxPool2d> pool2_;
+  std::unique_ptr<Linear> fc_;  // flattened -> feature_dim
+  Relu relu3_;
+  std::unique_ptr<Linear> head_;
+};
+
+}  // namespace faction
+
+#endif  // FACTION_NN_CONV_H_

@@ -1,0 +1,82 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "tensor/linalg.h"
+#include "tensor/ops.h"
+
+namespace faction {
+
+Linear::Linear(std::size_t in_dim, std::size_t out_dim,
+               const SpectralNormConfig& sn, Rng* rng)
+    : sn_(sn),
+      w_(out_dim, in_dim),
+      b_(1, out_dim),
+      gw_(out_dim, in_dim),
+      gb_(1, out_dim),
+      sn_rng_(rng->Fork()) {
+  // He initialization: N(0, 2/fan_in), appropriate for ReLU stacks.
+  const double std = std::sqrt(2.0 / static_cast<double>(in_dim));
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    w_.data()[i] = rng->Gaussian(0.0, std);
+  }
+}
+
+void Linear::RefreshSpectralScale() {
+  if (!sn_.enabled) {
+    scale_ = 1.0;
+    return;
+  }
+  const SpectralEstimate est =
+      PowerIteration(w_, sn_u_, sn_.power_iterations, &sn_rng_);
+  sn_u_ = est.u;
+  sigma_ = est.sigma;
+  scale_ = sigma_ > sn_.coeff && sigma_ > 0.0 ? sn_.coeff / sigma_ : 1.0;
+}
+
+Matrix Linear::Forward(const Matrix& x) {
+  FACTION_CHECK(x.cols() == in_dim());
+  RefreshSpectralScale();
+  cached_input_ = x;
+  Matrix y = MatMulBt(x, w_);
+  if (scale_ != 1.0) {
+    for (std::size_t i = 0; i < y.size(); ++i) y.data()[i] *= scale_;
+  }
+  AddRowBroadcast(&y, b_.Row(0));
+  return y;
+}
+
+Matrix Linear::ForwardInference(const Matrix& x) const {
+  FACTION_CHECK(x.cols() == in_dim());
+  Matrix y = MatMulBt(x, w_);
+  if (scale_ != 1.0) {
+    for (std::size_t i = 0; i < y.size(); ++i) y.data()[i] *= scale_;
+  }
+  Matrix out = y;
+  AddRowBroadcast(&out, b_.Row(0));
+  return out;
+}
+
+Matrix Linear::Backward(const Matrix& dy) {
+  FACTION_CHECK(dy.rows() == cached_input_.rows());
+  FACTION_CHECK(dy.cols() == out_dim());
+  // dW_eff = dy^T x; with W_eff = scale*W (scale treated as constant),
+  // dW = scale * dW_eff.
+  Matrix dw = MatMulAt(dy, cached_input_);
+  AddScaled(&gw_, dw, scale_);
+  const std::vector<double> db = ColSums(dy);
+  for (std::size_t j = 0; j < b_.cols(); ++j) gb_(0, j) += db[j];
+  // dx = dy * W_eff = scale * dy * W.
+  Matrix dx = MatMul(dy, w_);
+  if (scale_ != 1.0) {
+    for (std::size_t i = 0; i < dx.size(); ++i) dx.data()[i] *= scale_;
+  }
+  return dx;
+}
+
+void Linear::ZeroGrad() {
+  gw_.Fill(0.0);
+  gb_.Fill(0.0);
+}
+
+}  // namespace faction

@@ -1,0 +1,101 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace faction {
+
+double SoftmaxCrossEntropy(const Matrix& logits,
+                           const std::vector<int>& labels, Matrix* dlogits) {
+  FACTION_CHECK(logits.rows() == labels.size());
+  const std::size_t n = logits.rows();
+  const std::size_t c = logits.cols();
+  const Matrix logp = LogSoftmaxRows(logits);
+  double loss = 0.0;
+  dlogits->Resize(n, c);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int y = labels[i];
+    FACTION_CHECK(y >= 0 && static_cast<std::size_t>(y) < c);
+    loss -= logp(i, static_cast<std::size_t>(y));
+    double* drow = dlogits->row_data(i);
+    const double* lrow = logp.row_data(i);
+    for (std::size_t j = 0; j < c; ++j) {
+      drow[j] = std::exp(lrow[j]);  // softmax probability
+    }
+    drow[static_cast<std::size_t>(y)] -= 1.0;
+    for (std::size_t j = 0; j < c; ++j) drow[j] /= static_cast<double>(n);
+  }
+  return loss / static_cast<double>(n);
+}
+
+Result<double> AddFairnessPenalty(const Matrix& logits,
+                                  const std::vector<int>& labels,
+                                  const std::vector<int>& sensitive,
+                                  const FairnessPenaltyConfig& config,
+                                  Matrix* dlogits) {
+  if (logits.cols() != 2) {
+    return Status::InvalidArgument(
+        "fairness penalty requires binary classification (2 logits)");
+  }
+  if (logits.rows() != sensitive.size() ||
+      dlogits->rows() != logits.rows() || dlogits->cols() != logits.cols()) {
+    return Status::InvalidArgument("fairness penalty: shape mismatch");
+  }
+  const std::size_t n = logits.rows();
+
+  std::size_t m = 0;
+  FACTION_ASSIGN_OR_RETURN(
+      std::vector<double> coeffs,
+      RelaxedFairnessCoefficients(config.notion, sensitive, labels, &m));
+
+  // Scores h_i = softmax probability of class 1; v = (1/M) sum c_i h_i.
+  const Matrix proba = SoftmaxRows(logits);
+  double v = 0.0;
+  for (std::size_t i = 0; i < n; ++i) v += coeffs[i] * proba(i, 1);
+  v /= static_cast<double>(m);
+
+  // Penalty value and its derivative w.r.t. v.
+  double penalty = 0.0;
+  double dpen_dv = 0.0;
+  if (config.symmetric) {
+    const double excess = std::fabs(v) - config.epsilon;
+    if (excess > 0.0) {
+      penalty = excess;
+      dpen_dv = v > 0.0 ? 1.0 : -1.0;
+    }
+  } else {
+    // Literal Eq. 8-9 form: L_fair = [v]_+, total adds mu*([v]_+ - eps).
+    if (v > 0.0) {
+      penalty = v;
+      dpen_dv = 1.0;
+    }
+    penalty -= config.epsilon;
+  }
+
+  if (dpen_dv != 0.0) {
+    // dv/dlogit_{i,k} = (c_i / M) * p1_i * (delta_{1k} - p_{ik}).
+    const double scale = config.mu * dpen_dv / static_cast<double>(m);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (coeffs[i] == 0.0) continue;
+      const double p0 = proba(i, 0);
+      const double p1 = proba(i, 1);
+      const double base = scale * coeffs[i] * p1;
+      (*dlogits)(i, 0) += base * (-p0);
+      (*dlogits)(i, 1) += base * (1.0 - p1);
+    }
+  }
+  return config.mu * penalty;
+}
+
+double SoftmaxNll(const Matrix& logits, const std::vector<int>& labels) {
+  FACTION_CHECK(logits.rows() == labels.size());
+  const Matrix logp = LogSoftmaxRows(logits);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    loss -= logp(i, static_cast<std::size_t>(labels[i]));
+  }
+  return logits.rows() > 0 ? loss / static_cast<double>(logits.rows()) : 0.0;
+}
+
+}  // namespace faction

@@ -1,0 +1,52 @@
+#ifndef FACTION_NN_LOSS_H_
+#define FACTION_NN_LOSS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "fairness/relaxed.h"
+#include "tensor/matrix.h"
+
+namespace faction {
+
+/// Mean softmax cross-entropy over the batch. Writes dL/dlogits (already
+/// divided by the batch size) into *dlogits (resized to match). Returns the
+/// scalar loss.
+double SoftmaxCrossEntropy(const Matrix& logits, const std::vector<int>& labels,
+                           Matrix* dlogits);
+
+/// Configuration of the fairness regularizer of Eqs. 8-9:
+///   L_total = L_CE + mu * (L_fair - epsilon),  L_fair = [v(D, theta)]_+.
+struct FairnessPenaltyConfig {
+  FairnessNotion notion = FairnessNotion::kDdp;
+  /// Trade-off weight mu of Eq. 9.
+  double mu = 1.0;
+  /// Constraint slack epsilon of Eq. 9: violations below epsilon are free.
+  double epsilon = 0.01;
+  /// When true, penalize |v| (both directions of disparity) via
+  /// [|v| - epsilon]_+; when false, use the paper's literal [v]_+ - epsilon.
+  /// Symmetric is the default because DDP is a magnitude.
+  bool symmetric = true;
+};
+
+/// Evaluates the fairness penalty on a batch and accumulates its gradient
+/// (scaled by mu) into *dlogits, which must already hold the cross-entropy
+/// gradient with matching shape. The score h(x, theta) is the softmax
+/// probability of class 1, so this requires num_classes == 2.
+///
+/// Returns the penalty value added to the total loss. Returns an error when
+/// the batch cannot support the notion (e.g. a sensitive group is absent) —
+/// callers typically skip the penalty for that batch.
+Result<double> AddFairnessPenalty(const Matrix& logits,
+                                  const std::vector<int>& labels,
+                                  const std::vector<int>& sensitive,
+                                  const FairnessPenaltyConfig& config,
+                                  Matrix* dlogits);
+
+/// Convenience: mean negative log-likelihood of the true labels under the
+/// softmax (no gradient); used for regret tracking.
+double SoftmaxNll(const Matrix& logits, const std::vector<int>& labels);
+
+}  // namespace faction
+
+#endif  // FACTION_NN_LOSS_H_

@@ -1,0 +1,84 @@
+#include "nn/mlp.h"
+
+#include "tensor/ops.h"
+
+namespace faction {
+
+MlpClassifier::MlpClassifier(const MlpConfig& config, Rng* rng)
+    : config_(config) {
+  FACTION_CHECK(config_.num_classes >= 2);
+  std::size_t in = config_.input_dim;
+  for (std::size_t width : config_.hidden_dims) {
+    hidden_.push_back(
+        std::make_unique<Linear>(in, width, config_.spectral, rng));
+    relus_.emplace_back();
+    in = width;
+  }
+  // The classification head is never spectrally normalized: the Lipschitz
+  // constraint is a property of the feature extractor only.
+  SpectralNormConfig no_sn;
+  head_ = std::make_unique<Linear>(in, config_.num_classes, no_sn, rng);
+}
+
+Matrix MlpClassifier::Forward(const Matrix& x) {
+  Matrix h = x;
+  for (std::size_t i = 0; i < hidden_.size(); ++i) {
+    h = relus_[i].Forward(hidden_[i]->Forward(h));
+  }
+  last_features_ = h;
+  return head_->Forward(h);
+}
+
+Matrix MlpClassifier::Logits(const Matrix& x) const {
+  Matrix h = x;
+  for (const auto& lin : hidden_) {
+    h = Relu::ForwardInference(lin->ForwardInference(h));
+  }
+  return head_->ForwardInference(h);
+}
+
+Matrix MlpClassifier::ExtractFeatures(const Matrix& x) const {
+  Matrix h = x;
+  for (const auto& lin : hidden_) {
+    h = Relu::ForwardInference(lin->ForwardInference(h));
+  }
+  return h;
+}
+
+void MlpClassifier::Backward(const Matrix& dlogits) {
+  Matrix d = head_->Backward(dlogits);
+  for (std::size_t ii = hidden_.size(); ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    d = relus_[i].Backward(d);
+    d = hidden_[i]->Backward(d);
+  }
+}
+
+void MlpClassifier::ZeroGrad() {
+  for (auto& lin : hidden_) lin->ZeroGrad();
+  head_->ZeroGrad();
+}
+
+std::vector<Matrix*> MlpClassifier::Parameters() {
+  std::vector<Matrix*> out;
+  for (auto& lin : hidden_) {
+    out.push_back(lin->weight());
+    out.push_back(lin->bias());
+  }
+  out.push_back(head_->weight());
+  out.push_back(head_->bias());
+  return out;
+}
+
+std::vector<Matrix*> MlpClassifier::Gradients() {
+  std::vector<Matrix*> out;
+  for (auto& lin : hidden_) {
+    out.push_back(lin->weight_grad());
+    out.push_back(lin->bias_grad());
+  }
+  out.push_back(head_->weight_grad());
+  out.push_back(head_->bias_grad());
+  return out;
+}
+
+}  // namespace faction

@@ -1,0 +1,119 @@
+#include "nn/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace faction {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+constexpr char kMagic[] = "faction-mlp";
+
+}  // namespace
+
+Status SaveModel(const MlpClassifier& model, std::ostream& os) {
+  const MlpConfig& config = model.config();
+  os << kMagic << " v" << kFormatVersion << "\n";
+  os << "input_dim " << config.input_dim << "\n";
+  os << "num_classes " << config.num_classes << "\n";
+  os << "hidden";
+  for (std::size_t width : config.hidden_dims) os << ' ' << width;
+  os << "\n";
+  os << "spectral " << (config.spectral.enabled ? 1 : 0) << ' '
+     << config.spectral.coeff << ' ' << config.spectral.power_iterations
+     << "\n";
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  auto* mutable_model = const_cast<MlpClassifier*>(&model);
+  const std::vector<Matrix*> params = mutable_model->Parameters();
+  os << "tensors " << params.size() << "\n";
+  for (const Matrix* p : params) {
+    os << p->rows() << ' ' << p->cols();
+    for (std::size_t i = 0; i < p->size(); ++i) os << ' ' << p->data()[i];
+    os << "\n";
+  }
+  if (!os.good()) return Status::Internal("SaveModel: stream write failed");
+  return Status::Ok();
+}
+
+Result<MlpClassifier> LoadModel(std::istream& is) {
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != kMagic) {
+    return Status::InvalidArgument("LoadModel: bad magic header");
+  }
+  if (version != "v" + std::to_string(kFormatVersion)) {
+    return Status::InvalidArgument("LoadModel: unsupported version " +
+                                   version);
+  }
+  MlpConfig config;
+  std::string key;
+  if (!(is >> key >> config.input_dim) || key != "input_dim") {
+    return Status::InvalidArgument("LoadModel: missing input_dim");
+  }
+  if (!(is >> key >> config.num_classes) || key != "num_classes") {
+    return Status::InvalidArgument("LoadModel: missing num_classes");
+  }
+  if (!(is >> key) || key != "hidden") {
+    return Status::InvalidArgument("LoadModel: missing hidden widths");
+  }
+  config.hidden_dims.clear();
+  // Hidden widths run to the end of the line.
+  std::string rest;
+  std::getline(is, rest);
+  std::istringstream hidden(rest);
+  std::size_t width = 0;
+  while (hidden >> width) config.hidden_dims.push_back(width);
+  int spectral_enabled = 0;
+  if (!(is >> key >> spectral_enabled >> config.spectral.coeff >>
+        config.spectral.power_iterations) ||
+      key != "spectral") {
+    return Status::InvalidArgument("LoadModel: missing spectral config");
+  }
+  config.spectral.enabled = spectral_enabled != 0;
+
+  std::size_t tensor_count = 0;
+  if (!(is >> key >> tensor_count) || key != "tensors") {
+    return Status::InvalidArgument("LoadModel: missing tensor count");
+  }
+  Rng rng(0);  // initialization is immediately overwritten
+  MlpClassifier model(config, &rng);
+  const std::vector<Matrix*> params = model.Parameters();
+  if (params.size() != tensor_count) {
+    return Status::InvalidArgument(
+        "LoadModel: tensor count " + std::to_string(tensor_count) +
+        " does not match architecture (" + std::to_string(params.size()) +
+        ")");
+  }
+  for (Matrix* p : params) {
+    std::size_t rows = 0, cols = 0;
+    if (!(is >> rows >> cols) || rows != p->rows() || cols != p->cols()) {
+      return Status::InvalidArgument("LoadModel: tensor shape mismatch");
+    }
+    for (std::size_t i = 0; i < p->size(); ++i) {
+      if (!(is >> p->data()[i])) {
+        return Status::InvalidArgument("LoadModel: truncated tensor data");
+      }
+    }
+  }
+  return model;
+}
+
+Status SaveModelToFile(const MlpClassifier& model, const std::string& path) {
+  std::ofstream os(path);
+  if (!os.is_open()) {
+    return Status::NotFound("SaveModelToFile: cannot open " + path);
+  }
+  return SaveModel(model, os);
+}
+
+Result<MlpClassifier> LoadModelFromFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.is_open()) {
+    return Status::NotFound("LoadModelFromFile: cannot open " + path);
+  }
+  return LoadModel(is);
+}
+
+}  // namespace faction

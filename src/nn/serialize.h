@@ -1,0 +1,31 @@
+#ifndef FACTION_NN_SERIALIZE_H_
+#define FACTION_NN_SERIALIZE_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "nn/mlp.h"
+
+namespace faction {
+
+/// Serializes the classifier (architecture + parameters) to a versioned
+/// text format. Deployed online learners use this to checkpoint theta_t
+/// between tasks or hand a trained model to a serving process.
+Status SaveModel(const MlpClassifier& model, std::ostream& os);
+
+/// Reads a model back. Fails with a descriptive status on format or
+/// version mismatches; the parameters are restored bit-for-bit modulo
+/// decimal round-trip (the format prints with max_digits10 precision, so
+/// doubles survive exactly).
+Result<MlpClassifier> LoadModel(std::istream& is);
+
+/// Convenience wrappers over files.
+Status SaveModelToFile(const MlpClassifier& model, const std::string& path);
+Result<MlpClassifier> LoadModelFromFile(const std::string& path);
+
+}  // namespace faction
+
+#endif  // FACTION_NN_SERIALIZE_H_

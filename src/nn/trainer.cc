@@ -1,0 +1,84 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+
+#include "nn/optimizer.h"
+
+namespace faction {
+
+Result<TrainReport> TrainClassifier(FeatureClassifier* model,
+                                    const Dataset& labeled,
+                                    const TrainConfig& config, Rng* rng) {
+  if (labeled.empty()) {
+    return Status::FailedPrecondition("cannot train on an empty dataset");
+  }
+  if (labeled.dim() != model->input_dim()) {
+    return Status::InvalidArgument(
+        "dataset dimension " + std::to_string(labeled.dim()) +
+        " does not match model input " +
+        std::to_string(model->input_dim()));
+  }
+  if (config.epochs <= 0 || config.batch_size == 0) {
+    return Status::InvalidArgument("epochs and batch_size must be positive");
+  }
+
+  SgdOptimizer opt(config.learning_rate, config.momentum,
+                   config.weight_decay);
+  const std::vector<Matrix*> params = model->Parameters();
+  const std::vector<Matrix*> grads = model->Gradients();
+
+  TrainReport report;
+  const std::size_t n = labeled.size();
+  std::vector<std::size_t> order;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng->Permutation(n, &order);
+    double epoch_loss = 0.0, epoch_ce = 0.0, epoch_pen = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < n; start += config.batch_size) {
+      const std::size_t end = std::min(n, start + config.batch_size);
+      const std::size_t bs = end - start;
+      Matrix x(bs, labeled.dim());
+      std::vector<int> y(bs), s(bs);
+      for (std::size_t i = 0; i < bs; ++i) {
+        const std::size_t idx = order[start + i];
+        std::copy(labeled.features().row_data(idx),
+                  labeled.features().row_data(idx) + labeled.dim(),
+                  x.row_data(i));
+        y[i] = labeled.labels()[idx];
+        s[i] = labeled.sensitive()[idx];
+      }
+      const Matrix logits = model->Forward(x);
+      Matrix dlogits;
+      const double ce = SoftmaxCrossEntropy(logits, y, &dlogits);
+      double penalty = 0.0;
+      if (config.use_fairness_penalty) {
+        const Result<double> pen =
+            AddFairnessPenalty(logits, y, s, config.fairness, &dlogits);
+        // Batches lacking a sensitive group cannot support the notion; the
+        // penalty is simply skipped for them.
+        if (pen.ok()) penalty = pen.value();
+      }
+      if (config.use_individual_penalty) {
+        const Result<double> pen = AddIndividualFairnessPenalty(
+            x, logits, config.individual, &dlogits);
+        if (pen.ok()) penalty += pen.value();
+      }
+      model->ZeroGrad();
+      model->Backward(dlogits);
+      opt.Step(params, grads);
+      ++report.steps;
+      epoch_ce += ce;
+      epoch_pen += penalty;
+      epoch_loss += ce + penalty;
+      ++batches;
+    }
+    if (batches > 0) {
+      report.final_loss = epoch_loss / static_cast<double>(batches);
+      report.final_ce = epoch_ce / static_cast<double>(batches);
+      report.final_penalty = epoch_pen / static_cast<double>(batches);
+    }
+  }
+  return report;
+}
+
+}  // namespace faction

@@ -1,0 +1,36 @@
+#include "stream/drift.h"
+
+#include <cmath>
+
+namespace faction {
+
+bool DriftDetector::Observe(double value) {
+  if (stats_.count() >= config_.min_history) {
+    const double spread =
+        stats_.stddev() > config_.min_std ? stats_.stddev() : config_.min_std;
+    if (value < stats_.mean() - config_.threshold * spread) {
+      return true;  // drift: keep the pre-drift statistics intact
+    }
+  }
+  stats_.Add(value);
+  return false;
+}
+
+void DriftDetector::Reset() { stats_ = RunningStat(); }
+
+double MeanLogDensity(const FairDensityEstimator& estimator,
+                      const Matrix& features) {
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < features.rows(); ++i) {
+    const double lg = estimator.LogMarginalDensity(features.Row(i));
+    if (std::isfinite(lg)) {
+      sum += lg;
+      ++counted;
+    }
+  }
+  if (counted == 0) return -1e300;
+  return sum / static_cast<double>(counted);
+}
+
+}  // namespace faction

@@ -1,0 +1,71 @@
+#include "stream/evaluator.h"
+
+#include <cmath>
+
+#include "fairness/metrics.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace faction {
+
+Result<TaskMetrics> EvaluateOnTask(const FeatureClassifier& model,
+                                   const Dataset& task,
+                                   FairnessNotion notion) {
+  if (task.empty()) {
+    return Status::InvalidArgument("EvaluateOnTask: empty task");
+  }
+  TaskMetrics m;
+  m.environment = task.environments()[0];
+
+  const Matrix logits = model.Logits(task.features());
+  std::vector<int> yhat(task.size());
+  for (std::size_t i = 0; i < task.size(); ++i) {
+    yhat[i] = logits(i, 1) > logits(i, 0) ? 1 : 0;
+  }
+
+  FACTION_ASSIGN_OR_RETURN(m.accuracy, Accuracy(yhat, task.labels()));
+  m.nll = SoftmaxNll(logits, task.labels());
+
+  // Fairness metrics can be undefined on degenerate tasks (one group or
+  // one label). Report 0 in that case rather than failing the run.
+  const Result<double> ddp =
+      DemographicParityDifference(yhat, task.sensitive());
+  m.ddp = ddp.ok() ? ddp.value() : 0.0;
+  const Result<double> eod =
+      EqualizedOddsDifference(yhat, task.labels(), task.sensitive());
+  m.eod = eod.ok() ? eod.value() : 0.0;
+  const Result<double> mi = MutualInformation(yhat, task.sensitive());
+  m.mi = mi.ok() ? mi.value() : 0.0;
+
+  // Violation term of Theorem 1: [v(D_t, theta_t)]_+ on the relaxed notion,
+  // scored with the model's class-1 probabilities.
+  const Matrix proba = SoftmaxRows(logits);
+  std::vector<double> scores(task.size());
+  for (std::size_t i = 0; i < task.size(); ++i) scores[i] = proba(i, 1);
+  const Result<double> v =
+      RelaxedFairness(notion, scores, task.sensitive(), task.labels());
+  if (v.ok()) m.fairness_violation = std::max(0.0, v.value());
+
+  return m;
+}
+
+StreamSummary Summarize(const std::vector<TaskMetrics>& per_task) {
+  StreamSummary s;
+  if (per_task.empty()) return s;
+  for (const TaskMetrics& m : per_task) {
+    s.mean_accuracy += m.accuracy;
+    s.mean_ddp += m.ddp;
+    s.mean_eod += m.eod;
+    s.mean_mi += m.mi;
+    s.total_seconds += m.seconds;
+    s.total_queries += m.queries_used;
+  }
+  const double n = static_cast<double>(per_task.size());
+  s.mean_accuracy /= n;
+  s.mean_ddp /= n;
+  s.mean_eod /= n;
+  s.mean_mi /= n;
+  return s;
+}
+
+}  // namespace faction

@@ -1,0 +1,52 @@
+#ifndef FACTION_STREAM_EVALUATOR_H_
+#define FACTION_STREAM_EVALUATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "fairness/relaxed.h"
+#include "nn/classifier.h"
+
+namespace faction {
+
+/// Metrics recorded for one task, mirroring the panels of Fig. 2 plus the
+/// quantities Theorem 1 bounds.
+struct TaskMetrics {
+  int task_index = 0;
+  int environment = 0;
+  double accuracy = 0.0;
+  double ddp = 0.0;  ///< demographic parity difference
+  double eod = 0.0;  ///< equalized odds difference
+  double mi = 0.0;   ///< mutual information I(yhat; s)
+  double nll = 0.0;  ///< mean negative log-likelihood (instantaneous loss)
+  /// [v(D_t, theta_t)]_+ with the relaxed DDP notion — the per-task term of
+  /// the cumulative fairness violation V in Theorem 1.
+  double fairness_violation = 0.0;
+  std::size_t queries_used = 0;
+  double seconds = 0.0;  ///< wall-clock spent on this task
+};
+
+/// Evaluates the model on a full task (the paper evaluates each incoming
+/// task on all of its samples before adaptation). `notion` instantiates the
+/// violation term. Fairness metrics that are undefined on the task (e.g. a
+/// single-group task) are reported as 0.
+Result<TaskMetrics> EvaluateOnTask(const FeatureClassifier& model,
+                                   const Dataset& task,
+                                   FairnessNotion notion);
+
+/// Aggregates per-task metrics into stream-level means (Table I reports
+/// the mean across all tasks).
+struct StreamSummary {
+  double mean_accuracy = 0.0;
+  double mean_ddp = 0.0;
+  double mean_eod = 0.0;
+  double mean_mi = 0.0;
+  double total_seconds = 0.0;
+  std::size_t total_queries = 0;
+};
+StreamSummary Summarize(const std::vector<TaskMetrics>& per_task);
+
+}  // namespace faction
+
+#endif  // FACTION_STREAM_EVALUATOR_H_

@@ -1,0 +1,63 @@
+#ifndef FACTION_STREAM_INCREMENTAL_H_
+#define FACTION_STREAM_INCREMENTAL_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+
+namespace faction {
+
+/// Incremental score normalizer for the single-sample arrival setting the
+/// paper sketches in Sec. IV-D: "samples arriving individually, where the
+/// normalization range can be updated incrementally with all gathered
+/// scores." Tracks the running min/max of every score observed so far and
+/// normalizes each new score against that range.
+class IncrementalNormalizer {
+ public:
+  /// Records a score, expanding the running range.
+  void Observe(double score);
+
+  /// Normalizes a score against the running range: (x - min)/(max - min),
+  /// clamped to [0, 1]. Before any observation (or with a degenerate
+  /// range) every score maps to 0.5.
+  double Normalize(double score) const;
+
+  std::size_t count() const { return count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Forgets the range (e.g. on an explicit environment-change signal).
+  void Reset();
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Per-sample query decision for the single-sample protocol: maintains the
+/// incremental range over u(x) scores and runs the paper's Bernoulli rule
+/// omega = 1 - Normalize(u), p = min(alpha * omega, 1) on each arrival.
+class OnlineQueryDecider {
+ public:
+  /// `alpha` is the query-rate multiplier of Algorithm 1 line 29;
+  /// `burn_in` arrivals are always observed (never queried) so the range
+  /// is meaningful before the first decision.
+  OnlineQueryDecider(double alpha, std::size_t burn_in = 8);
+
+  /// Feeds one score; returns true when the sample's label should be
+  /// queried. The score is observed (range updated) in either case.
+  bool ShouldQuery(double score, Rng* rng);
+
+  std::size_t seen() const { return normalizer_.count(); }
+  const IncrementalNormalizer& normalizer() const { return normalizer_; }
+
+ private:
+  double alpha_;
+  std::size_t burn_in_;
+  IncrementalNormalizer normalizer_;
+};
+
+}  // namespace faction
+
+#endif  // FACTION_STREAM_INCREMENTAL_H_

@@ -1,0 +1,197 @@
+#include "stream/online_learner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/timer.h"
+#include "nn/loss.h"
+#include "stream/oracle.h"
+
+namespace faction {
+
+namespace {
+
+// Builds the candidate view (features + sensitive + environment of
+// unlabeled samples) for the strategy.
+void BuildCandidateView(const Dataset& task,
+                        const std::vector<std::size_t>& unlabeled,
+                        Matrix* features, std::vector<int>* sensitive,
+                        std::vector<int>* environments) {
+  features->Resize(unlabeled.size(), task.dim());
+  sensitive->resize(unlabeled.size());
+  environments->resize(unlabeled.size());
+  for (std::size_t i = 0; i < unlabeled.size(); ++i) {
+    const std::size_t idx = unlabeled[i];
+    std::copy(task.features().row_data(idx),
+              task.features().row_data(idx) + task.dim(),
+              features->row_data(i));
+    (*sensitive)[i] = task.sensitive()[idx];
+    (*environments)[i] = task.environments()[idx];
+  }
+}
+
+}  // namespace
+
+OnlineLearner::OnlineLearner(OnlineLearnerConfig config,
+                             QueryStrategy* strategy)
+    : config_(std::move(config)), strategy_(strategy) {
+  FACTION_CHECK(strategy_ != nullptr);
+}
+
+Result<RunResult> OnlineLearner::Run(const std::vector<Dataset>& tasks) {
+  if (tasks.empty()) {
+    return Status::InvalidArgument("OnlineLearner: no tasks");
+  }
+  if (config_.acquisition_batch == 0 ||
+      config_.budget_per_task < config_.acquisition_batch) {
+    return Status::InvalidArgument(
+        "OnlineLearner: need 0 < acquisition_batch <= budget_per_task");
+  }
+  const std::size_t dim = tasks[0].dim();
+  Rng rng(config_.seed);
+  Rng model_rng = rng.Fork();
+  std::unique_ptr<FeatureClassifier> model_owner =
+      config_.model_factory
+          ? config_.model_factory(&model_rng)
+          : std::make_unique<MlpClassifier>(config_.model, &model_rng);
+  FeatureClassifier& model = *model_owner;
+  if (dim != model.input_dim()) {
+    return Status::InvalidArgument(
+        "OnlineLearner: model input_dim does not match task dimension");
+  }
+  Dataset pool(dim);
+
+  RunResult result;
+  result.strategy_name = strategy_->name();
+  Timer total_timer;
+
+  TrainConfig train = config_.train;
+  const double base_lr = train.learning_rate;
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const Dataset& task = tasks[t];
+    if (task.dim() != dim) {
+      return Status::InvalidArgument("OnlineLearner: task dimension drift");
+    }
+    if (config_.lr_decay_power > 0.0) {
+      train.learning_rate =
+          base_lr /
+          std::pow(static_cast<double>(t + 1), config_.lr_decay_power);
+    }
+    Timer task_timer;
+    LabelOracle oracle(task, config_.budget_per_task);
+
+    if (t == 0 && config_.warm_start > 0) {
+      // Free warm-start labels, identical protocol for every method.
+      std::vector<std::size_t> perm;
+      rng.Permutation(task.size(), &perm);
+      const std::size_t take = std::min(config_.warm_start, task.size());
+      for (std::size_t i = 0; i < take; ++i) {
+        FACTION_ASSIGN_OR_RETURN(int label, oracle.RevealFree(perm[i]));
+        Example e = task.Get(perm[i]);
+        e.label = label;
+        FACTION_RETURN_IF_ERROR(pool.Append(e));
+      }
+      FACTION_RETURN_IF_ERROR(
+          TrainClassifier(&model, pool, train, &rng).status());
+    }
+
+    // Line 4 of Algorithm 1: record performance of theta_{t-1} on D_t^U.
+    FACTION_ASSIGN_OR_RETURN(TaskMetrics metrics,
+                             EvaluateOnTask(model, task, config_.notion));
+    metrics.task_index = static_cast<int>(t);
+
+    // AL iterations: train, score, acquire A labels, repeat until B used.
+    while (oracle.budget_remaining() >= 1 && oracle.num_unlabeled() > 0) {
+      if (!pool.empty()) {
+        FACTION_RETURN_IF_ERROR(
+            TrainClassifier(&model, pool, train, &rng).status());
+      }
+      const std::vector<std::size_t> unlabeled = oracle.UnlabeledIndices();
+      Matrix cand_features;
+      std::vector<int> cand_sensitive, cand_envs;
+      BuildCandidateView(task, unlabeled, &cand_features, &cand_sensitive,
+                         &cand_envs);
+      SelectionContext ctx;
+      ctx.model = &model;
+      ctx.labeled_pool = &pool;
+      ctx.candidate_features = &cand_features;
+      ctx.candidate_sensitive = &cand_sensitive;
+      ctx.candidate_environments = &cand_envs;
+      ctx.rng = &rng;
+      const std::size_t want =
+          std::min({config_.acquisition_batch, oracle.budget_remaining(),
+                    unlabeled.size()});
+      FACTION_ASSIGN_OR_RETURN(std::vector<std::size_t> picked,
+                               strategy_->SelectBatch(ctx, want));
+      if (picked.empty()) break;  // strategy declined; avoid spinning
+      if (picked.size() > want) picked.resize(want);
+      for (std::size_t pos : picked) {
+        if (pos >= unlabeled.size()) {
+          return Status::Internal(strategy_->name() +
+                                  ": selected position out of range");
+        }
+        const std::size_t idx = unlabeled[pos];
+        FACTION_ASSIGN_OR_RETURN(int label, oracle.QueryLabel(idx));
+        Example e = task.Get(idx);
+        e.label = label;
+        FACTION_RETURN_IF_ERROR(pool.Append(e));
+      }
+    }
+    // Sliding-window eviction keeps the pool (and the per-iteration
+    // training cost) bounded on long streams.
+    if (config_.max_pool_size > 0 && pool.size() > config_.max_pool_size) {
+      std::vector<std::size_t> keep;
+      for (std::size_t i = pool.size() - config_.max_pool_size;
+           i < pool.size(); ++i) {
+        keep.push_back(i);
+      }
+      pool = pool.Subset(keep);
+    }
+
+    // theta_t <- theta_temp (line 39): fold in the final acquisitions so
+    // the next task is met with everything learned from this one.
+    if (!pool.empty()) {
+      FACTION_RETURN_IF_ERROR(
+          TrainClassifier(&model, pool, train, &rng).status());
+    }
+
+    metrics.queries_used = oracle.queries_used();
+    metrics.seconds = task_timer.ElapsedSeconds();
+    result.cumulative_violation += metrics.fairness_violation;
+
+    if (config_.dual_ascent && train.use_fairness_penalty) {
+      // Long-term-constraints dual update: the multiplier grows while the
+      // constraint is violated beyond the slack and shrinks otherwise.
+      train.fairness.mu = std::max(
+          0.0, train.fairness.mu +
+                   config_.dual_step * (metrics.fairness_violation -
+                                        train.fairness.epsilon));
+    }
+
+    if (config_.track_regret) {
+      // f*_t: a fresh model fitted on the fully labeled task approximates
+      // the per-task optimal loss.
+      Rng oracle_rng = rng.Fork();
+      std::unique_ptr<FeatureClassifier> oracle_model =
+          model.CloneArchitecture(&oracle_rng);
+      FACTION_RETURN_IF_ERROR(
+          TrainClassifier(oracle_model.get(), task, config_.oracle_train,
+                          &oracle_rng)
+              .status());
+      const Matrix oracle_logits = oracle_model->Logits(task.features());
+      const double best_nll = SoftmaxNll(oracle_logits, task.labels());
+      const double increment = std::max(0.0, metrics.nll - best_nll);
+      result.regret_increments.push_back(increment);
+      result.cumulative_regret += increment;
+    }
+
+    result.per_task.push_back(metrics);
+  }
+
+  result.summary = Summarize(result.per_task);
+  result.total_queries = result.summary.total_queries;
+  result.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace faction

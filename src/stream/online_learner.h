@@ -1,0 +1,92 @@
+#ifndef FACTION_STREAM_ONLINE_LEARNER_H_
+#define FACTION_STREAM_ONLINE_LEARNER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "nn/trainer.h"
+#include "stream/evaluator.h"
+#include "stream/strategy.h"
+
+namespace faction {
+
+/// Configuration of the fair active online learning protocol (Sec. IV-A and
+/// Algorithm 1). Defaults follow the paper: B = 200, A = 50, warm start of
+/// 100 free random labels, constant learning rate.
+struct OnlineLearnerConfig {
+  std::size_t budget_per_task = 200;   ///< B
+  std::size_t acquisition_batch = 50;  ///< A
+  std::size_t warm_start = 100;        ///< free initial labels (task 0)
+  /// Bound on the labeled pool D_t (0 = unlimited, the paper's setting of
+  /// training on all labels gathered so far). When positive, the oldest
+  /// labeled examples are evicted first (sliding window), bounding both
+  /// memory and per-iteration training cost on long streams.
+  std::size_t max_pool_size = 0;
+  MlpConfig model;
+  /// Optional backbone override: when set, the learner (and its regret
+  /// oracle) build the classifier from this factory instead of the MLP
+  /// config above — e.g. the CNN backbone for image streams.
+  std::function<std::unique_ptr<FeatureClassifier>(Rng*)> model_factory;
+  TrainConfig train;
+  /// Notion instantiated for the violation tracking (the loss penalty's
+  /// notion lives in train.fairness.notion).
+  FairnessNotion notion = FairnessNotion::kDdp;
+  /// When true, each task additionally fits a fresh model on the fully
+  /// labeled task to estimate the per-task optimal loss f*_t and track
+  /// regret (Eq. 2). Costly; used by the Theorem 1 bench.
+  bool track_regret = false;
+  /// Training configuration for the per-task regret oracle model.
+  TrainConfig oracle_train;
+  /// Theorem 1 machinery (used by the theory bench; off for the practical
+  /// system): dual ascent on the fairness multiplier,
+  ///   mu_{t+1} = [mu_t + dual_step * ([v_t]_+ - epsilon)]_+,
+  /// which is the long-term-constraints treatment (Yi et al.) the paper's
+  /// proof follows; a constant mu only drives the violation to an
+  /// equilibrium, not to zero.
+  bool dual_ascent = false;
+  double dual_step = 0.5;
+  /// Decaying learning-rate schedule gamma_t = gamma_0 / (1+t)^power; the
+  /// theorem uses power 0.5. 0 keeps the paper's constant rate.
+  double lr_decay_power = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of driving one strategy across a task stream.
+struct RunResult {
+  std::string strategy_name;
+  std::vector<TaskMetrics> per_task;
+  StreamSummary summary;
+  /// Per-task regret increments f_t(D_t^U, theta_t) - f*_t(D_t^U), clamped
+  /// at 0 (empty unless track_regret).
+  std::vector<double> regret_increments;
+  double cumulative_regret = 0.0;
+  /// Cumulative fairness violation V = sum_t [v(D_t, theta_t)]_+.
+  double cumulative_violation = 0.0;
+  std::size_t total_queries = 0;
+  double total_seconds = 0.0;
+};
+
+/// Drives Algorithm 1: per task, evaluate-then-adapt; within a task, loop
+/// {train on the labeled pool, select A candidates via the strategy, query
+/// them} until the budget B is exhausted. The strategy only ever sees
+/// unlabeled candidates' features/sensitive/environment.
+class OnlineLearner {
+ public:
+  /// The strategy is borrowed and must outlive Run().
+  OnlineLearner(OnlineLearnerConfig config, QueryStrategy* strategy);
+
+  /// Runs the full protocol over the task sequence.
+  Result<RunResult> Run(const std::vector<Dataset>& tasks);
+
+ private:
+  OnlineLearnerConfig config_;
+  QueryStrategy* strategy_;
+};
+
+}  // namespace faction
+
+#endif  // FACTION_STREAM_ONLINE_LEARNER_H_

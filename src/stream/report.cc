@@ -1,0 +1,92 @@
+#include "stream/report.h"
+
+#include "common/table.h"
+
+namespace faction {
+
+std::vector<EnvironmentSummary> SummarizeByEnvironment(
+    const RunResult& run) {
+  std::vector<EnvironmentSummary> out;
+  std::map<int, std::size_t> position;
+  for (const TaskMetrics& m : run.per_task) {
+    auto it = position.find(m.environment);
+    if (it == position.end()) {
+      position[m.environment] = out.size();
+      EnvironmentSummary s;
+      s.environment = m.environment;
+      s.first_task_accuracy = m.accuracy;
+      out.push_back(s);
+      it = position.find(m.environment);
+    }
+    EnvironmentSummary& s = out[it->second];
+    ++s.num_tasks;
+    s.mean_accuracy += m.accuracy;
+    s.mean_ddp += m.ddp;
+    s.mean_eod += m.eod;
+    s.mean_mi += m.mi;
+    s.last_task_accuracy = m.accuracy;
+  }
+  for (EnvironmentSummary& s : out) {
+    const double n = static_cast<double>(s.num_tasks);
+    s.mean_accuracy /= n;
+    s.mean_ddp /= n;
+    s.mean_eod /= n;
+    s.mean_mi /= n;
+  }
+  return out;
+}
+
+void WriteMarkdownReport(const RunResult& run, std::ostream& os) {
+  os << "# Run report: " << run.strategy_name << "\n\n";
+  os << "- tasks: " << run.per_task.size() << "\n";
+  os << "- total queries: " << run.total_queries << "\n";
+  os << "- wall clock: " << FormatCell(run.total_seconds, 2) << " s\n";
+  os << "- stream means: accuracy "
+     << FormatCell(run.summary.mean_accuracy, 3) << ", DDP "
+     << FormatCell(run.summary.mean_ddp, 3) << ", EOD "
+     << FormatCell(run.summary.mean_eod, 3) << ", MI "
+     << FormatCell(run.summary.mean_mi, 3) << "\n\n";
+
+  os << "## Per environment\n\n";
+  Table env_table({"env", "tasks", "acc", "DDP", "EOD", "MI",
+                   "on-shift acc", "recovered acc"});
+  for (const EnvironmentSummary& s : SummarizeByEnvironment(run)) {
+    env_table.AddRow({std::to_string(s.environment),
+                      std::to_string(s.num_tasks),
+                      FormatCell(s.mean_accuracy, 3),
+                      FormatCell(s.mean_ddp, 3), FormatCell(s.mean_eod, 3),
+                      FormatCell(s.mean_mi, 3),
+                      FormatCell(s.first_task_accuracy, 3),
+                      FormatCell(s.last_task_accuracy, 3)});
+  }
+  env_table.Print(os);
+
+  os << "\n## Per task\n\n";
+  Table task_table({"task", "env", "acc", "DDP", "EOD", "MI", "queries"});
+  for (const TaskMetrics& m : run.per_task) {
+    task_table.AddRow({std::to_string(m.task_index + 1),
+                       std::to_string(m.environment),
+                       FormatCell(m.accuracy, 3), FormatCell(m.ddp, 3),
+                       FormatCell(m.eod, 3), FormatCell(m.mi, 3),
+                       std::to_string(m.queries_used)});
+  }
+  task_table.Print(os);
+}
+
+void WriteComparisonReport(const std::vector<RunResult>& runs,
+                           std::ostream& os) {
+  os << "# Method comparison\n\n";
+  Table table({"method", "acc", "DDP", "EOD", "MI", "queries", "seconds"});
+  for (const RunResult& run : runs) {
+    table.AddRow({run.strategy_name,
+                  FormatCell(run.summary.mean_accuracy, 3),
+                  FormatCell(run.summary.mean_ddp, 3),
+                  FormatCell(run.summary.mean_eod, 3),
+                  FormatCell(run.summary.mean_mi, 3),
+                  std::to_string(run.total_queries),
+                  FormatCell(run.total_seconds, 2)});
+  }
+  table.Print(os);
+}
+
+}  // namespace faction

@@ -1,0 +1,46 @@
+#ifndef FACTION_STREAM_REPORT_H_
+#define FACTION_STREAM_REPORT_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stream/online_learner.h"
+
+namespace faction {
+
+/// Per-environment aggregate of a run: the changing-environments view of
+/// the results (Fig. 2's per-task curves collapse within each
+/// environment).
+struct EnvironmentSummary {
+  int environment = 0;
+  std::size_t num_tasks = 0;
+  double mean_accuracy = 0.0;
+  double mean_ddp = 0.0;
+  double mean_eod = 0.0;
+  double mean_mi = 0.0;
+  /// Accuracy on the first task after entering the environment (the
+  /// "on-shift" number) versus the last task within it ("recovered").
+  double first_task_accuracy = 0.0;
+  double last_task_accuracy = 0.0;
+};
+
+/// Groups a run's per-task metrics by environment, preserving first
+/// appearance order.
+std::vector<EnvironmentSummary> SummarizeByEnvironment(
+    const RunResult& run);
+
+/// Renders a markdown report of a run: stream-level summary, per-
+/// environment table, and per-task series. Suitable for dropping into a
+/// results log or issue.
+void WriteMarkdownReport(const RunResult& run, std::ostream& os);
+
+/// Compares several runs (e.g. different methods on the same stream) into
+/// one markdown table of stream-level means.
+void WriteComparisonReport(const std::vector<RunResult>& runs,
+                           std::ostream& os);
+
+}  // namespace faction
+
+#endif  // FACTION_STREAM_REPORT_H_

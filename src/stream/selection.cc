@@ -1,0 +1,77 @@
+#include "stream/selection.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace faction {
+
+std::vector<double> MinMaxNormalize(const std::vector<double>& scores) {
+  std::vector<double> out(scores.size(), 0.5);
+  if (scores.empty()) return out;
+  const auto [mn_it, mx_it] = std::minmax_element(scores.begin(), scores.end());
+  const double mn = *mn_it;
+  const double mx = *mx_it;
+  if (mx - mn < 1e-300) return out;  // constant scores
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    out[i] = (scores[i] - mn) / (mx - mn);
+  }
+  return out;
+}
+
+std::vector<std::size_t> BernoulliSelect(const std::vector<double>& omega,
+                                         double alpha, std::size_t batch,
+                                         Rng* rng) {
+  std::vector<std::size_t> order(omega.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return omega[a] > omega[b];
+                   });
+  std::vector<std::size_t> accepted;
+  std::vector<bool> taken(omega.size(), false);
+  const std::size_t want = std::min(batch, omega.size());
+  // Cycle over the (sorted) pool until the acquisition batch is filled.
+  // When alpha and all omegas are 0 the trials never fire; guard with a
+  // pass counter that falls back to deterministic acceptance.
+  int passes_without_progress = 0;
+  while (accepted.size() < want && passes_without_progress < 64) {
+    bool progressed = false;
+    for (std::size_t idx : order) {
+      if (accepted.size() >= want) break;
+      if (taken[idx]) continue;
+      const double p = std::min(alpha * omega[idx], 1.0);
+      if (rng->Bernoulli(p)) {
+        taken[idx] = true;
+        accepted.push_back(idx);
+        progressed = true;
+      }
+    }
+    passes_without_progress = progressed ? 0 : passes_without_progress + 1;
+  }
+  // Degenerate probabilities: fill deterministically in omega order so the
+  // learner still honors its acquisition size.
+  if (accepted.size() < want) {
+    for (std::size_t idx : order) {
+      if (accepted.size() >= want) break;
+      if (!taken[idx]) {
+        taken[idx] = true;
+        accepted.push_back(idx);
+      }
+    }
+  }
+  return accepted;
+}
+
+std::vector<std::size_t> TopK(const std::vector<double>& scores,
+                              std::size_t k) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return scores[a] > scores[b];
+                   });
+  if (order.size() > k) order.resize(k);
+  return order;
+}
+
+}  // namespace faction

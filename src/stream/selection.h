@@ -1,0 +1,34 @@
+#ifndef FACTION_STREAM_SELECTION_H_
+#define FACTION_STREAM_SELECTION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace faction {
+
+/// Min-max normalizes scores into [0, 1]. A constant vector maps to all
+/// 0.5 (every sample equally preferable). This is the Normalize of Eq. 7;
+/// it is invariant to positive affine transforms of the scores, which is
+/// what lets the density scorer apply a shared per-batch log-space shift.
+std::vector<double> MinMaxNormalize(const std::vector<double>& scores);
+
+/// The paper's probabilistic acquisition loop (Algorithm 1, lines 25-36):
+/// candidates are visited in descending probability order, each subjected
+/// to a Bernoulli trial with p = min(alpha * omega, 1), cycling until
+/// `batch` candidates are accepted (or the pool is exhausted).
+///
+/// `omega` holds the selection probabilities (already 1 - Normalize(u)).
+/// Returns positions into `omega` of the accepted candidates.
+std::vector<std::size_t> BernoulliSelect(const std::vector<double>& omega,
+                                         double alpha, std::size_t batch,
+                                         Rng* rng);
+
+/// Deterministic top-k by score (descending). Ties broken by index order.
+/// Used by the deterministic baselines (Entropy-AL, DDU, FAL, ...).
+std::vector<std::size_t> TopK(const std::vector<double>& scores,
+                              std::size_t k);
+
+}  // namespace faction
+
+#endif  // FACTION_STREAM_SELECTION_H_

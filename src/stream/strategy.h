@@ -1,0 +1,52 @@
+#ifndef FACTION_STREAM_STRATEGY_H_
+#define FACTION_STREAM_STRATEGY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "nn/classifier.h"
+#include "tensor/matrix.h"
+
+namespace faction {
+
+/// Everything a query strategy may look at when choosing which candidates
+/// to label within one acquisition iteration. Candidate labels are *not*
+/// available — that is the point of active learning; the sensitive
+/// attribute and environment are observable.
+struct SelectionContext {
+  /// Classifier theta_{t-1}/theta_temp trained on the labeled pool so far.
+  const FeatureClassifier* model = nullptr;
+  /// The labeled pool D_t accumulated across tasks (with labels).
+  const Dataset* labeled_pool = nullptr;
+  /// Raw features x of the unlabeled candidates, one row each.
+  const Matrix* candidate_features = nullptr;
+  /// Sensitive attribute of each candidate (+1 / -1).
+  const std::vector<int>* candidate_sensitive = nullptr;
+  /// Environment id of each candidate.
+  const std::vector<int>* candidate_environments = nullptr;
+  Rng* rng = nullptr;
+};
+
+/// Interface implemented by FACTION and every baseline: pick up to `batch`
+/// candidates (positions into the context's candidate arrays) to query.
+/// Strategies may keep internal state across calls (e.g. Decoupled's
+/// per-group models).
+class QueryStrategy {
+ public:
+  virtual ~QueryStrategy() = default;
+
+  /// Display name used in result tables ("FACTION", "QuFUR", ...).
+  virtual std::string name() const = 0;
+
+  /// Selects up to `batch` candidate positions. Returning fewer than
+  /// `batch` is allowed only when the pool is smaller than `batch`.
+  virtual Result<std::vector<std::size_t>> SelectBatch(
+      const SelectionContext& context, std::size_t batch) = 0;
+};
+
+}  // namespace faction
+
+#endif  // FACTION_STREAM_STRATEGY_H_

@@ -1,0 +1,20 @@
+#ifndef FACTION_TENSOR_IMAGE_H_
+#define FACTION_TENSOR_IMAGE_H_
+
+#include <cstddef>
+
+namespace faction {
+
+/// Shape of an image batch: each Matrix row is one image flattened in
+/// (channel, row, col) order. Shared by the image generators (data/) and
+/// the CNN layers (nn/).
+struct ImageShape {
+  std::size_t channels = 1;
+  std::size_t height = 8;
+  std::size_t width = 8;
+  std::size_t Flat() const { return channels * height * width; }
+};
+
+}  // namespace faction
+
+#endif  // FACTION_TENSOR_IMAGE_H_

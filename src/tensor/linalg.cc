@@ -1,0 +1,149 @@
+#include "tensor/linalg.h"
+
+#include <cmath>
+
+namespace faction {
+
+Result<Matrix> Cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) {
+          return Status::NumericalError(
+              "matrix is not positive definite (pivot " +
+              std::to_string(sum) + " at " + std::to_string(i) + ")");
+        }
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> ForwardSolve(const Matrix& lower,
+                                 const std::vector<double>& b) {
+  const std::size_t n = lower.rows();
+  FACTION_CHECK(b.size() == n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    const double* row = lower.row_data(i);
+    for (std::size_t k = 0; k < i; ++k) sum -= row[k] * y[k];
+    y[i] = sum / row[i];
+  }
+  return y;
+}
+
+std::vector<double> BackSolveTranspose(const Matrix& lower,
+                                       const std::vector<double>& y) {
+  const std::size_t n = lower.rows();
+  FACTION_CHECK(y.size() == n);
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= lower(k, i) * x[k];
+    x[i] = sum / lower(i, i);
+  }
+  return x;
+}
+
+std::vector<double> CholeskySolve(const Matrix& lower,
+                                  const std::vector<double>& b) {
+  return BackSolveTranspose(lower, ForwardSolve(lower, b));
+}
+
+double LogDetFromCholesky(const Matrix& lower) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < lower.rows(); ++i) {
+    acc += std::log(lower(i, i));
+  }
+  return 2.0 * acc;
+}
+
+Result<Matrix> SpdInverse(const Matrix& a) {
+  FACTION_ASSIGN_OR_RETURN(Matrix l, Cholesky(a));
+  const std::size_t n = a.rows();
+  Matrix inv(n, n);
+  std::vector<double> e(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    e[j] = 1.0;
+    const std::vector<double> col = CholeskySolve(l, e);
+    for (std::size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+    e[j] = 0.0;
+  }
+  return inv;
+}
+
+SpectralEstimate PowerIteration(const Matrix& w, const std::vector<double>& u0,
+                                int iters, Rng* rng) {
+  const std::size_t rows = w.rows();
+  const std::size_t cols = w.cols();
+  SpectralEstimate est;
+  est.u.assign(rows, 0.0);
+  est.v.assign(cols, 0.0);
+  if (rows == 0 || cols == 0) return est;
+
+  std::vector<double> u(rows);
+  if (u0.size() == rows) {
+    u = u0;
+  } else {
+    for (auto& x : u) x = rng->Gaussian();
+  }
+  auto normalize = [](std::vector<double>* v) {
+    double n2 = 0.0;
+    for (double x : *v) n2 += x * x;
+    const double norm = std::sqrt(n2);
+    if (norm < 1e-12) {
+      // Degenerate direction: restart from a unit basis vector.
+      std::fill(v->begin(), v->end(), 0.0);
+      (*v)[0] = 1.0;
+      return;
+    }
+    for (double& x : *v) x /= norm;
+  };
+  normalize(&u);
+
+  std::vector<double> v(cols);
+  for (int it = 0; it < iters; ++it) {
+    // v = W^T u
+    std::fill(v.begin(), v.end(), 0.0);
+    for (std::size_t i = 0; i < rows; ++i) {
+      const double* row = w.row_data(i);
+      const double ui = u[i];
+      for (std::size_t j = 0; j < cols; ++j) v[j] += row[j] * ui;
+    }
+    normalize(&v);
+    // u = W v
+    for (std::size_t i = 0; i < rows; ++i) {
+      const double* row = w.row_data(i);
+      double acc = 0.0;
+      for (std::size_t j = 0; j < cols; ++j) acc += row[j] * v[j];
+      u[i] = acc;
+    }
+    normalize(&u);
+  }
+  // sigma = u^T W v
+  double sigma = 0.0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double* row = w.row_data(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) acc += row[j] * v[j];
+    sigma += u[i] * acc;
+  }
+  est.sigma = std::fabs(sigma);
+  est.u = std::move(u);
+  est.v = std::move(v);
+  return est;
+}
+
+}  // namespace faction

@@ -1,0 +1,52 @@
+#ifndef FACTION_TENSOR_LINALG_H_
+#define FACTION_TENSOR_LINALG_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace faction {
+
+/// Cholesky factor L (lower triangular, A = L L^T) of a symmetric
+/// positive-definite matrix. Fails with NumericalError when A is not SPD
+/// within tolerance.
+Result<Matrix> Cholesky(const Matrix& a);
+
+/// Solves L y = b for lower-triangular L (forward substitution).
+std::vector<double> ForwardSolve(const Matrix& lower,
+                                 const std::vector<double>& b);
+
+/// Solves L^T x = y for lower-triangular L (back substitution on the
+/// transpose).
+std::vector<double> BackSolveTranspose(const Matrix& lower,
+                                       const std::vector<double>& y);
+
+/// Solves A x = b given the Cholesky factor of SPD A.
+std::vector<double> CholeskySolve(const Matrix& lower,
+                                  const std::vector<double>& b);
+
+/// log(det(A)) from the Cholesky factor: 2 * sum(log(L_ii)).
+double LogDetFromCholesky(const Matrix& lower);
+
+/// Inverse of an SPD matrix via its Cholesky factorization.
+Result<Matrix> SpdInverse(const Matrix& a);
+
+/// Result of a power-iteration estimate of the largest singular value.
+struct SpectralEstimate {
+  double sigma = 0.0;            ///< estimated largest singular value
+  std::vector<double> u;         ///< left singular vector estimate
+  std::vector<double> v;         ///< right singular vector estimate
+};
+
+/// Estimates the spectral norm (largest singular value) of `w` by power
+/// iteration, warm-started from `u0` when its size matches w.rows(). This is
+/// the primitive behind spectral normalization in the feature extractor
+/// (Miyato et al., as adopted by the paper's DDU-style backbone).
+SpectralEstimate PowerIteration(const Matrix& w, const std::vector<double>& u0,
+                                int iters, Rng* rng);
+
+}  // namespace faction
+
+#endif  // FACTION_TENSOR_LINALG_H_

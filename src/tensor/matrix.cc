@@ -1,0 +1,57 @@
+#include "tensor/matrix.h"
+
+namespace faction {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ > 0 ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    FACTION_CHECK(row.size() == cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+double& Matrix::At(std::size_t r, std::size_t c) {
+  FACTION_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::At(std::size_t r, std::size_t c) const {
+  FACTION_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+std::vector<double> Matrix::Row(std::size_t r) const {
+  FACTION_CHECK(r < rows_);
+  return std::vector<double>(row_data(r), row_data(r) + cols_);
+}
+
+void Matrix::SetRow(std::size_t r, const std::vector<double>& values) {
+  FACTION_CHECK(r < rows_ && values.size() == cols_);
+  std::copy(values.begin(), values.end(), row_data(r));
+}
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::Resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::FromRowVector(const std::vector<double>& v) {
+  Matrix m(1, v.size());
+  m.SetRow(0, v);
+  return m;
+}
+
+}  // namespace faction

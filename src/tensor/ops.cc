@@ -1,0 +1,201 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace faction {
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  FACTION_CHECK(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  // ikj loop order keeps the inner loop streaming over contiguous rows.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_data(i);
+    double* orow = out.row_data(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.row_data(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        orow[j] += aik * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix MatMulBt(const Matrix& a, const Matrix& b) {
+  FACTION_CHECK(a.cols() == b.cols());
+  Matrix out(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_data(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.row_data(j);
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      out(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Matrix MatMulAt(const Matrix& a, const Matrix& b) {
+  FACTION_CHECK(a.rows() == b.rows());
+  Matrix out(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.row_data(k);
+    const double* brow = b.row_data(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* orow = out.row_data(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        orow[j] += aki * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Transpose(const Matrix& m) {
+  Matrix out(m.cols(), m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) out(j, i) = m(i, j);
+  }
+  return out;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  FACTION_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix out = a;
+  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] += b.data()[i];
+  return out;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  FACTION_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix out = a;
+  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] -= b.data()[i];
+  return out;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  FACTION_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix out = a;
+  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] *= b.data()[i];
+  return out;
+}
+
+Matrix Scale(const Matrix& m, double s) {
+  Matrix out = m;
+  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] *= s;
+  return out;
+}
+
+void AddScaled(Matrix* a, const Matrix& b, double s) {
+  FACTION_CHECK(a->rows() == b.rows() && a->cols() == b.cols());
+  for (std::size_t i = 0; i < a->size(); ++i) a->data()[i] += s * b.data()[i];
+}
+
+void AddRowBroadcast(Matrix* m, const std::vector<double>& row) {
+  FACTION_CHECK(row.size() == m->cols());
+  for (std::size_t i = 0; i < m->rows(); ++i) {
+    double* r = m->row_data(i);
+    for (std::size_t j = 0; j < m->cols(); ++j) r[j] += row[j];
+  }
+}
+
+std::vector<double> ColSums(const Matrix& m) {
+  std::vector<double> out(m.cols(), 0.0);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* r = m.row_data(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) out[j] += r[j];
+  }
+  return out;
+}
+
+std::vector<double> RowSums(const Matrix& m) {
+  std::vector<double> out(m.rows(), 0.0);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* r = m.row_data(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) out[i] += r[j];
+  }
+  return out;
+}
+
+double FrobeniusNorm2(const Matrix& m) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i) acc += m.data()[i] * m.data()[i];
+  return acc;
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  FACTION_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return worst;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  FACTION_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  FACTION_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+Matrix SoftmaxRows(const Matrix& logits) {
+  Matrix out = logits;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    double* r = out.row_data(i);
+    double mx = r[0];
+    for (std::size_t j = 1; j < out.cols(); ++j) mx = std::max(mx, r[j]);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < out.cols(); ++j) {
+      r[j] = std::exp(r[j] - mx);
+      sum += r[j];
+    }
+    for (std::size_t j = 0; j < out.cols(); ++j) r[j] /= sum;
+  }
+  return out;
+}
+
+Matrix LogSoftmaxRows(const Matrix& logits) {
+  Matrix out = logits;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    double* r = out.row_data(i);
+    double mx = r[0];
+    for (std::size_t j = 1; j < out.cols(); ++j) mx = std::max(mx, r[j]);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < out.cols(); ++j) sum += std::exp(r[j] - mx);
+    const double lse = mx + std::log(sum);
+    for (std::size_t j = 0; j < out.cols(); ++j) r[j] -= lse;
+  }
+  return out;
+}
+
+double LogSumExp(const std::vector<double>& xs) {
+  FACTION_CHECK(!xs.empty());
+  double mx = xs[0];
+  for (double x : xs) mx = std::max(mx, x);
+  if (!std::isfinite(mx)) return mx;
+  double sum = 0.0;
+  for (double x : xs) sum += std::exp(x - mx);
+  return mx + std::log(sum);
+}
+
+}  // namespace faction

@@ -1,0 +1,73 @@
+#ifndef FACTION_TENSOR_OPS_H_
+#define FACTION_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace faction {
+
+/// Matrix product a*b. Precondition: a.cols() == b.rows().
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// a * b^T without materializing the transpose.
+Matrix MatMulBt(const Matrix& a, const Matrix& b);
+
+/// a^T * b without materializing the transpose.
+Matrix MatMulAt(const Matrix& a, const Matrix& b);
+
+/// Transpose.
+Matrix Transpose(const Matrix& m);
+
+/// Elementwise sum. Shapes must match.
+Matrix Add(const Matrix& a, const Matrix& b);
+
+/// Elementwise difference. Shapes must match.
+Matrix Sub(const Matrix& a, const Matrix& b);
+
+/// Elementwise (Hadamard) product. Shapes must match.
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+
+/// Scalar multiple.
+Matrix Scale(const Matrix& m, double s);
+
+/// In-place a += s*b (axpy). Shapes must match.
+void AddScaled(Matrix* a, const Matrix& b, double s);
+
+/// Adds a length-cols row vector to every row of m (broadcast), in place.
+void AddRowBroadcast(Matrix* m, const std::vector<double>& row);
+
+/// Column-wise sums: returns a vector of length m.cols().
+std::vector<double> ColSums(const Matrix& m);
+
+/// Row-wise sums: returns a vector of length m.rows().
+std::vector<double> RowSums(const Matrix& m);
+
+/// Sum of squares of all elements (squared Frobenius norm).
+double FrobeniusNorm2(const Matrix& m);
+
+/// Max |a - b| over matching elements; used heavily in tests.
+double MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+/// Dot product of equal-length vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm of a vector.
+double Norm2(const std::vector<double>& v);
+
+/// Squared Euclidean distance between equal-length vectors.
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// Row-wise softmax of a logits matrix (numerically stable).
+Matrix SoftmaxRows(const Matrix& logits);
+
+/// Row-wise log-softmax of a logits matrix (numerically stable).
+Matrix LogSoftmaxRows(const Matrix& logits);
+
+/// log(sum(exp(xs))) computed stably.
+double LogSumExp(const std::vector<double>& xs);
+
+}  // namespace faction
+
+#endif  // FACTION_TENSOR_OPS_H_

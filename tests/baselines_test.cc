@@ -1,0 +1,324 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "baselines/decoupled_strategy.h"
+#include "baselines/fal_strategy.h"
+#include "baselines/falcur_strategy.h"
+#include "baselines/simple_strategies.h"
+#include "baselines/uncertainty.h"
+#include "common/rng.h"
+#include "data/streams.h"
+#include "gtest/gtest.h"
+#include "nn/trainer.h"
+
+namespace faction {
+namespace {
+
+// Shared fixture: a labeled pool, a briefly trained model, and a candidate
+// batch, wired into a SelectionContext.
+class StrategyFixture {
+ public:
+  explicit StrategyFixture(std::uint64_t seed = 1, std::size_t pool_n = 150,
+                           std::size_t cand_n = 80)
+      : rng_(seed) {
+    StationaryConfig config;
+    config.scale.samples_per_task = pool_n + cand_n;
+    config.scale.seed = seed + 100;
+    config.dim = 6;
+    config.num_tasks = 1;
+    Result<std::vector<Dataset>> stream = MakeStationaryStream(config);
+    FACTION_CHECK(stream.ok());
+    const Dataset& all = stream.value()[0];
+    std::vector<std::size_t> pool_idx, cand_idx;
+    for (std::size_t i = 0; i < pool_n; ++i) pool_idx.push_back(i);
+    for (std::size_t i = pool_n; i < pool_n + cand_n; ++i) {
+      cand_idx.push_back(i);
+    }
+    pool_ = all.Subset(pool_idx);
+    const Dataset cand = all.Subset(cand_idx);
+    cand_features_ = cand.features();
+    cand_sensitive_ = cand.sensitive();
+    cand_envs_ = cand.environments();
+
+    MlpConfig mconfig;
+    mconfig.input_dim = 6;
+    mconfig.hidden_dims = {12, 6};
+    Rng model_rng(seed + 7);
+    model_ = std::make_unique<MlpClassifier>(mconfig, &model_rng);
+    TrainConfig tconfig;
+    tconfig.epochs = 3;
+    Rng train_rng(seed + 13);
+    FACTION_CHECK(
+        TrainClassifier(model_.get(), pool_, tconfig, &train_rng).ok());
+  }
+
+  SelectionContext Context() {
+    SelectionContext ctx;
+    ctx.model = model_.get();
+    ctx.labeled_pool = &pool_;
+    ctx.candidate_features = &cand_features_;
+    ctx.candidate_sensitive = &cand_sensitive_;
+    ctx.candidate_environments = &cand_envs_;
+    ctx.rng = &rng_;
+    return ctx;
+  }
+
+  std::size_t num_candidates() const { return cand_features_.rows(); }
+  const Matrix& candidates() const { return cand_features_; }
+  const MlpClassifier& model() const { return *model_; }
+  Dataset* mutable_pool() { return &pool_; }
+
+ private:
+  Rng rng_;
+  Dataset pool_;
+  Matrix cand_features_;
+  std::vector<int> cand_sensitive_;
+  std::vector<int> cand_envs_;
+  std::unique_ptr<MlpClassifier> model_;
+};
+
+void ExpectValidBatch(const Result<std::vector<std::size_t>>& picked,
+                      std::size_t batch, std::size_t pool) {
+  ASSERT_TRUE(picked.ok()) << picked.status().ToString();
+  EXPECT_EQ(picked.value().size(), std::min(batch, pool));
+  std::set<std::size_t> unique(picked.value().begin(), picked.value().end());
+  EXPECT_EQ(unique.size(), picked.value().size()) << "duplicate selections";
+  for (std::size_t idx : picked.value()) EXPECT_LT(idx, pool);
+}
+
+// ----------------------------------------------------------- Uncertainty
+
+TEST(UncertaintyTest, EntropyExtremes) {
+  Matrix proba(2, 2);
+  proba(0, 0) = 0.5;
+  proba(0, 1) = 0.5;
+  proba(1, 0) = 1.0;
+  proba(1, 1) = 0.0;
+  const std::vector<double> h = PredictiveEntropy(proba);
+  EXPECT_NEAR(h[0], std::log(2.0), 1e-12);
+  EXPECT_NEAR(h[1], 0.0, 1e-12);
+}
+
+TEST(UncertaintyTest, MarginExtremes) {
+  Matrix proba(2, 2);
+  proba(0, 0) = 0.5;
+  proba(0, 1) = 0.5;
+  proba(1, 0) = 0.95;
+  proba(1, 1) = 0.05;
+  const std::vector<double> m = MarginUncertainty(proba);
+  EXPECT_NEAR(m[0], 1.0, 1e-12);
+  EXPECT_NEAR(m[1], 0.1, 1e-12);
+}
+
+TEST(UncertaintyTest, EntropyMonotoneInAmbiguity) {
+  Matrix proba(3, 2);
+  proba(0, 0) = 0.9;
+  proba(0, 1) = 0.1;
+  proba(1, 0) = 0.7;
+  proba(1, 1) = 0.3;
+  proba(2, 0) = 0.55;
+  proba(2, 1) = 0.45;
+  const std::vector<double> h = PredictiveEntropy(proba);
+  EXPECT_LT(h[0], h[1]);
+  EXPECT_LT(h[1], h[2]);
+}
+
+// -------------------------------------------------------------- Random
+
+TEST(RandomStrategyTest, ValidBatch) {
+  StrategyFixture fx(1);
+  RandomStrategy strategy;
+  ExpectValidBatch(strategy.SelectBatch(fx.Context(), 20), 20,
+                   fx.num_candidates());
+}
+
+TEST(RandomStrategyTest, BatchLargerThanPool) {
+  StrategyFixture fx(2, 60, 10);
+  RandomStrategy strategy;
+  ExpectValidBatch(strategy.SelectBatch(fx.Context(), 50), 50, 10);
+}
+
+// -------------------------------------------------------------- Entropy
+
+TEST(EntropyStrategyTest, PicksHighestEntropy) {
+  StrategyFixture fx(3);
+  EntropyStrategy strategy;
+  SelectionContext ctx = fx.Context();
+  const Result<std::vector<std::size_t>> picked =
+      strategy.SelectBatch(ctx, 10);
+  ExpectValidBatch(picked, 10, fx.num_candidates());
+  // Every selected candidate has entropy >= every unselected one.
+  const Matrix proba = fx.model().PredictProba(fx.candidates());
+  const std::vector<double> h = PredictiveEntropy(proba);
+  double min_selected = 1e9;
+  for (std::size_t idx : picked.value()) {
+    min_selected = std::min(min_selected, h[idx]);
+  }
+  std::set<std::size_t> chosen(picked.value().begin(), picked.value().end());
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    if (chosen.count(i) == 0) {
+      EXPECT_LE(h[i], min_selected + 1e-12);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- QuFUR
+
+TEST(QufurStrategyTest, ValidBatchAndStochastic) {
+  StrategyFixture fx(4);
+  QufurStrategy strategy(2.0);
+  ExpectValidBatch(strategy.SelectBatch(fx.Context(), 15), 15,
+                   fx.num_candidates());
+  EXPECT_EQ(strategy.name(), "QuFUR");
+}
+
+// ------------------------------------------------------------------ DDU
+
+TEST(DduStrategyTest, ValidBatch) {
+  StrategyFixture fx(5);
+  DduStrategy strategy;
+  ExpectValidBatch(strategy.SelectBatch(fx.Context(), 25), 25,
+                   fx.num_candidates());
+}
+
+TEST(DduStrategyTest, PrefersOodCandidates) {
+  StrategyFixture fx(6, 200, 40);
+  // Replace half the candidates with far-OOD points.
+  Matrix cands = fx.candidates();
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < cands.cols(); ++j) {
+      cands(i, j) = 40.0 + static_cast<double>(i);
+    }
+  }
+  SelectionContext ctx = fx.Context();
+  ctx.candidate_features = &cands;
+  DduStrategy strategy;
+  const Result<std::vector<std::size_t>> picked =
+      strategy.SelectBatch(ctx, 20);
+  ASSERT_TRUE(picked.ok());
+  std::size_t ood_hits = 0;
+  for (std::size_t idx : picked.value()) {
+    if (idx < 20) ++ood_hits;
+  }
+  EXPECT_GE(ood_hits, 18u);
+}
+
+TEST(DduStrategyTest, EmptyPoolFallsBackToRandom) {
+  StrategyFixture fx(7);
+  Dataset empty(6);
+  SelectionContext ctx = fx.Context();
+  ctx.labeled_pool = &empty;
+  DduStrategy strategy;
+  ExpectValidBatch(strategy.SelectBatch(ctx, 10), 10, fx.num_candidates());
+}
+
+// ------------------------------------------------------------------ FAL
+
+TEST(FalStrategyTest, ValidBatch) {
+  StrategyFixture fx(8);
+  FalConfig config;
+  config.reference_size = 32;
+  FalStrategy strategy(config);
+  ExpectValidBatch(strategy.SelectBatch(fx.Context(), 12), 12,
+                   fx.num_candidates());
+}
+
+TEST(FalStrategyTest, EmptyCandidates) {
+  StrategyFixture fx(9);
+  Matrix empty(0, 6);
+  SelectionContext ctx = fx.Context();
+  ctx.candidate_features = &empty;
+  std::vector<int> no_sensitive;
+  ctx.candidate_sensitive = &no_sensitive;
+  FalStrategy strategy(FalConfig{});
+  const Result<std::vector<std::size_t>> picked =
+      strategy.SelectBatch(ctx, 10);
+  ASSERT_TRUE(picked.ok());
+  EXPECT_TRUE(picked.value().empty());
+}
+
+// -------------------------------------------------------------- FAL-CUR
+
+TEST(FalCurStrategyTest, ValidBatch) {
+  StrategyFixture fx(10);
+  FalCurConfig config;
+  config.beta = 0.5;
+  FalCurStrategy strategy(config);
+  ExpectValidBatch(strategy.SelectBatch(fx.Context(), 16), 16,
+                   fx.num_candidates());
+}
+
+TEST(FalCurStrategyTest, SmallPoolShortCircuits) {
+  StrategyFixture fx(11, 80, 8);
+  FalCurStrategy strategy(FalCurConfig{});
+  const Result<std::vector<std::size_t>> picked =
+      strategy.SelectBatch(fx.Context(), 20);
+  ASSERT_TRUE(picked.ok());
+  EXPECT_EQ(picked.value().size(), 8u);
+}
+
+TEST(FalCurStrategyTest, SpreadsAcrossClusters) {
+  // With k = batch clusters, the round-robin must touch many clusters.
+  StrategyFixture fx(12, 150, 100);
+  FalCurConfig config;
+  config.num_clusters = 10;
+  FalCurStrategy strategy(config);
+  const Result<std::vector<std::size_t>> picked =
+      strategy.SelectBatch(fx.Context(), 10);
+  ExpectValidBatch(picked, 10, fx.num_candidates());
+}
+
+// ------------------------------------------------------------ Decoupled
+
+TEST(DecoupledStrategyTest, ValidBatch) {
+  StrategyFixture fx(13);
+  DecoupledConfig config;
+  DecoupledStrategy strategy(config);
+  ExpectValidBatch(strategy.SelectBatch(fx.Context(), 14), 14,
+                   fx.num_candidates());
+}
+
+TEST(DecoupledStrategyTest, SingleGroupPoolFallsBack) {
+  StrategyFixture fx(14);
+  // Restrict the pool to a single sensitive group.
+  std::vector<std::size_t> only_pos;
+  for (std::size_t i = 0; i < fx.mutable_pool()->size(); ++i) {
+    if (fx.mutable_pool()->sensitive()[i] == 1) only_pos.push_back(i);
+  }
+  Dataset pos_pool = fx.mutable_pool()->Subset(only_pos);
+  SelectionContext ctx = fx.Context();
+  ctx.labeled_pool = &pos_pool;
+  DecoupledStrategy strategy(DecoupledConfig{});
+  ExpectValidBatch(strategy.SelectBatch(ctx, 10), 10, fx.num_candidates());
+}
+
+// All strategies under one parameterized sweep of batch sizes.
+class BatchSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatchSizeSweep, EveryStrategyHonorsBatch) {
+  StrategyFixture fx(15);
+  const std::size_t batch = GetParam();
+  RandomStrategy random;
+  EntropyStrategy entropy;
+  QufurStrategy qufur(2.0);
+  DduStrategy ddu;
+  FalConfig fal_config;
+  fal_config.reference_size = 24;
+  FalStrategy fal(fal_config);
+  FalCurStrategy falcur(FalCurConfig{});
+  DecoupledStrategy decoupled(DecoupledConfig{});
+  std::vector<QueryStrategy*> strategies = {
+      &random, &entropy, &qufur, &ddu, &fal, &falcur, &decoupled};
+  for (QueryStrategy* strategy : strategies) {
+    SelectionContext ctx = fx.Context();
+    ExpectValidBatch(strategy->SelectBatch(ctx, batch), batch,
+                     fx.num_candidates());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BatchSizeSweep,
+                         ::testing::Values(1, 5, 25, 80));
+
+}  // namespace
+}  // namespace faction

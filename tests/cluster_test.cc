@@ -1,0 +1,205 @@
+#include <cmath>
+#include <set>
+
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+
+namespace faction {
+namespace {
+
+// Three well-separated blobs in 2-d, with a per-point sensitive value.
+void MakeBlobs(std::size_t per_blob, Matrix* points,
+               std::vector<int>* sensitive, Rng* rng,
+               double group_skew = 0.5) {
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  points->Resize(per_blob * 3, 2);
+  sensitive->clear();
+  std::size_t row = 0;
+  for (int b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      (*points)(row, 0) = rng->Gaussian(centers[b][0], 0.5);
+      (*points)(row, 1) = rng->Gaussian(centers[b][1], 0.5);
+      // Blob-dependent skew makes clusters naturally unbalanced.
+      const double p = b == 0 ? group_skew : 1.0 - group_skew;
+      sensitive->push_back(rng->Bernoulli(p) ? 1 : -1);
+      ++row;
+    }
+  }
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  Rng rng(1);
+  Matrix points;
+  std::vector<int> sensitive;
+  MakeBlobs(50, &points, &sensitive, &rng);
+  KMeansConfig config;
+  config.k = 3;
+  const Result<Clustering> result = KMeans(points, config, &rng);
+  ASSERT_TRUE(result.ok());
+  // Every blob maps to a single cluster.
+  for (int b = 0; b < 3; ++b) {
+    std::set<std::size_t> ids;
+    for (std::size_t i = 0; i < 50; ++i) {
+      ids.insert(result.value().assignment[b * 50 + i]);
+    }
+    EXPECT_EQ(ids.size(), 1u) << "blob " << b << " split across clusters";
+  }
+  // And distinct blobs map to distinct clusters.
+  std::set<std::size_t> all(result.value().assignment.begin(),
+                            result.value().assignment.end());
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(KMeansTest, InertiaBelowNaiveAssignment) {
+  Rng rng(2);
+  Matrix points;
+  std::vector<int> sensitive;
+  MakeBlobs(40, &points, &sensitive, &rng);
+  KMeansConfig config;
+  config.k = 3;
+  const Result<Clustering> result = KMeans(points, config, &rng);
+  ASSERT_TRUE(result.ok());
+  // Inertia of a single global centroid is far larger.
+  std::vector<double> centroid(2, 0.0);
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    centroid[0] += points(i, 0) / points.rows();
+    centroid[1] += points(i, 1) / points.rows();
+  }
+  double single = 0.0;
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    single += SquaredDistance(points.Row(i), centroid);
+  }
+  EXPECT_LT(result.value().inertia, single * 0.2);
+}
+
+TEST(KMeansTest, SizesSumToN) {
+  Rng rng(3);
+  Matrix points;
+  std::vector<int> sensitive;
+  MakeBlobs(30, &points, &sensitive, &rng);
+  KMeansConfig config;
+  config.k = 5;
+  const Result<Clustering> result = KMeans(points, config, &rng);
+  ASSERT_TRUE(result.ok());
+  std::size_t total = 0;
+  for (std::size_t s : result.value().sizes) total += s;
+  EXPECT_EQ(total, 90u);
+}
+
+TEST(KMeansTest, KLargerThanNReduced) {
+  Rng rng(4);
+  Matrix points(3, 2);
+  points(0, 0) = 0.0;
+  points(1, 0) = 5.0;
+  points(2, 0) = 10.0;
+  KMeansConfig config;
+  config.k = 10;
+  const Result<Clustering> result = KMeans(points, config, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().centroids.rows(), 3u);
+}
+
+TEST(KMeansTest, RejectsDegenerateInputs) {
+  Rng rng(5);
+  KMeansConfig config;
+  EXPECT_FALSE(KMeans(Matrix(0, 2), config, &rng).ok());
+  config.k = 0;
+  EXPECT_FALSE(KMeans(Matrix(5, 2), config, &rng).ok());
+}
+
+TEST(KMeansTest, SinglePointSingleCluster) {
+  Rng rng(6);
+  Matrix points(1, 3, 2.0);
+  KMeansConfig config;
+  config.k = 1;
+  const Result<Clustering> result = KMeans(points, config, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().assignment[0], 0u);
+  EXPECT_NEAR(result.value().inertia, 0.0, 1e-12);
+}
+
+TEST(ClusterRatiosTest, ComputedPerCluster) {
+  Clustering clustering;
+  clustering.centroids = Matrix(2, 1);
+  clustering.assignment = {0, 0, 0, 1, 1};
+  clustering.sizes = {3, 2};
+  const std::vector<int> sensitive = {1, 1, -1, -1, -1};
+  const std::vector<double> ratios =
+      ClusterGroupRatios(clustering, sensitive);
+  EXPECT_NEAR(ratios[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(ratios[1], 0.0, 1e-12);
+}
+
+TEST(FairKMeansTest, ImprovesWorstClusterBalance) {
+  Rng rng(7);
+  Matrix points;
+  std::vector<int> sensitive;
+  // Strong skew: blob 0 is 90% group +1, others 10%.
+  MakeBlobs(60, &points, &sensitive, &rng, 0.9);
+  KMeansConfig config;
+  config.k = 3;
+  double global = 0.0;
+  for (int s : sensitive) global += s == 1 ? 1.0 : 0.0;
+  global /= sensitive.size();
+
+  Rng rng_plain(100), rng_fair(100);
+  const Result<Clustering> plain = KMeans(points, config, &rng_plain);
+  const Result<Clustering> fair =
+      FairKMeans(points, sensitive, config, 0.1, &rng_fair);
+  ASSERT_TRUE(plain.ok() && fair.ok());
+  auto worst_gap = [&](const Clustering& c) {
+    double worst = 0.0;
+    for (double r : ClusterGroupRatios(c, sensitive)) {
+      worst = std::max(worst, std::fabs(r - global));
+    }
+    return worst;
+  };
+  EXPECT_LT(worst_gap(fair.value()), worst_gap(plain.value()));
+}
+
+TEST(FairKMeansTest, SizesStayConsistentAfterRepair) {
+  Rng rng(8);
+  Matrix points;
+  std::vector<int> sensitive;
+  MakeBlobs(40, &points, &sensitive, &rng, 0.85);
+  KMeansConfig config;
+  config.k = 3;
+  const Result<Clustering> fair =
+      FairKMeans(points, sensitive, config, 0.05, &rng);
+  ASSERT_TRUE(fair.ok());
+  std::vector<std::size_t> counted(fair.value().centroids.rows(), 0);
+  for (std::size_t c : fair.value().assignment) ++counted[c];
+  EXPECT_EQ(counted, fair.value().sizes);
+}
+
+TEST(FairKMeansTest, RejectsMismatchedSensitive) {
+  Rng rng(9);
+  Matrix points(10, 2);
+  KMeansConfig config;
+  EXPECT_FALSE(FairKMeans(points, {1, -1}, config, 0.1, &rng).ok());
+}
+
+TEST(FairKMeansTest, AlreadyBalancedUntouched) {
+  // Alternating groups everywhere: every cluster is balanced; the repair
+  // step must not move anything (assignment equals plain k-means).
+  Rng rng(10);
+  Matrix points;
+  std::vector<int> sensitive;
+  MakeBlobs(40, &points, &sensitive, &rng, 0.5);
+  for (std::size_t i = 0; i < sensitive.size(); ++i) {
+    sensitive[i] = i % 2 == 0 ? 1 : -1;
+  }
+  KMeansConfig config;
+  config.k = 3;
+  Rng rng_plain(55), rng_fair(55);
+  const Result<Clustering> plain = KMeans(points, config, &rng_plain);
+  const Result<Clustering> fair =
+      FairKMeans(points, sensitive, config, 0.1, &rng_fair);
+  ASSERT_TRUE(plain.ok() && fair.ok());
+  EXPECT_EQ(plain.value().assignment, fair.value().assignment);
+}
+
+}  // namespace
+}  // namespace faction

@@ -1,0 +1,319 @@
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/table.h"
+#include "gtest/gtest.h"
+
+namespace faction {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad dim");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad dim");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad dim");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kFailedPrecondition, StatusCode::kOutOfRange,
+        StatusCode::kNotFound, StatusCode::kInternal,
+        StatusCode::kNumericalError, StatusCode::kResourceExhausted}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  FACTION_ASSIGN_OR_RETURN(int h, Half(x));
+  FACTION_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+  Result<int> bad = Quarter(6);  // 6/2 = 3, odd
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(5));
+  EXPECT_EQ(seen.size(), 5u);
+  for (std::uint64_t v : seen) EXPECT_LT(v, 5u);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(13);
+  const int n = 20000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.08);
+}
+
+TEST(RngTest, GaussianScaled) {
+  Rng rng(17);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(29);
+  std::vector<std::size_t> perm;
+  rng.Permutation(50, &perm);
+  ASSERT_EQ(perm.size(), 50u);
+  std::set<std::size_t> unique(perm.begin(), perm.end());
+  EXPECT_EQ(unique.size(), 50u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 49u);
+}
+
+TEST(RngTest, PermutationEmptyAndSingleton) {
+  Rng rng(31);
+  std::vector<std::size_t> perm;
+  rng.Permutation(0, &perm);
+  EXPECT_TRUE(perm.empty());
+  rng.Permutation(1, &perm);
+  ASSERT_EQ(perm.size(), 1u);
+  EXPECT_EQ(perm[0], 0u);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(37);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, CategoricalAllZeroFallsBackToUniform) {
+  Rng rng(41);
+  const std::vector<double> weights = {0.0, 0.0, 0.0, 0.0};
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.Categorical(weights));
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(43);
+  Rng child = parent.Fork();
+  // The child stream differs from the parent's continuation.
+  bool differs = false;
+  for (int i = 0; i < 16; ++i) {
+    if (parent.NextU64() != child.NextU64()) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+// ----------------------------------------------------------------- Stats
+
+TEST(StatsTest, RunningStatMatchesDirect) {
+  RunningStat stat;
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 10.0};
+  for (double x : xs) stat.Add(x);
+  EXPECT_EQ(stat.count(), xs.size());
+  EXPECT_NEAR(stat.mean(), Mean(xs), 1e-12);
+  EXPECT_NEAR(stat.stddev(), StdDev(xs), 1e-12);
+}
+
+TEST(StatsTest, EmptyAndSingleton) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(StdDev({}), 0.0);
+  EXPECT_EQ(StdDev({5.0}), 0.0);
+  RunningStat stat;
+  EXPECT_EQ(stat.variance(), 0.0);
+  stat.Add(2.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+  EXPECT_EQ(stat.mean(), 2.0);
+}
+
+TEST(StatsTest, OlsSlopeRecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i + 1.0);
+  }
+  EXPECT_NEAR(OlsSlope(x, y), 3.0, 1e-12);
+}
+
+TEST(StatsTest, OlsSlopeDegenerate) {
+  EXPECT_EQ(OlsSlope({1.0}, {2.0}), 0.0);
+  EXPECT_EQ(OlsSlope({2.0, 2.0, 2.0}, {1.0, 5.0, 9.0}), 0.0);
+}
+
+TEST(StatsTest, OlsSlopeLogLogExponent) {
+  // y = c * t^0.5 should fit slope 0.5 in log-log space.
+  std::vector<double> lx, ly;
+  for (int t = 1; t <= 64; t *= 2) {
+    lx.push_back(std::log(static_cast<double>(t)));
+    ly.push_back(std::log(2.0 * std::sqrt(static_cast<double>(t))));
+  }
+  EXPECT_NEAR(OlsSlope(lx, ly), 0.5, 1e-9);
+}
+
+// ----------------------------------------------------------------- Table
+
+TEST(TableTest, PrintAligned) {
+  Table t({"method", "acc"});
+  t.AddRow({"FACTION", "0.83"});
+  t.AddRow({"Random", "0.81"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("FACTION"), std::string::npos);
+  EXPECT_NE(out.find("| method"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 2u);
+}
+
+TEST(TableTest, RowPaddedToHeaderWidth) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(TableTest, CsvQuoting) {
+  Table t({"name", "note"});
+  t.AddRow({"x,y", "say \"hi\""});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, FormatHelpers) {
+  EXPECT_EQ(FormatCell(0.12345, 2), "0.12");
+  EXPECT_EQ(FormatCell(1.0, 0), "1");
+  EXPECT_EQ(FormatMeanStd(0.5, 0.25, 2), "0.50 ± 0.25");
+}
+
+// --------------------------------------------------------------- Logging
+
+TEST(LoggingTest, LevelFilterRoundTrip) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(before);
+}
+
+}  // namespace
+}  // namespace faction

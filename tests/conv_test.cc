@@ -1,0 +1,398 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/presets.h"
+#include "data/images.h"
+#include "gtest/gtest.h"
+#include "nn/conv.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "stream/online_learner.h"
+#include "tensor/ops.h"
+
+namespace faction {
+namespace {
+
+// ---------------------------------------------------------------- Conv2d
+
+TEST(Conv2dTest, IdentityKernelPassesThrough) {
+  Rng rng(1);
+  const ImageShape shape{1, 4, 4};
+  Conv2d conv(shape, 1, &rng);
+  // Kernel = delta at the center, zero bias: output equals input.
+  conv.weight()->Fill(0.0);
+  (*conv.weight())(0, 4) = 1.0;  // center of the 3x3 kernel
+  conv.bias()->Fill(0.0);
+  Matrix x(2, 16);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Gaussian();
+  const Matrix y = conv.Forward(x);
+  EXPECT_LT(MaxAbsDiff(x, y), 1e-12);
+}
+
+TEST(Conv2dTest, BiasAddsEverywhere) {
+  Rng rng(2);
+  const ImageShape shape{1, 4, 4};
+  Conv2d conv(shape, 2, &rng);
+  conv.weight()->Fill(0.0);
+  (*conv.bias())(0, 0) = 1.5;
+  (*conv.bias())(0, 1) = -0.5;
+  Matrix x(1, 16, 0.0);
+  const Matrix y = conv.Forward(x);
+  ASSERT_EQ(y.cols(), 32u);
+  for (std::size_t j = 0; j < 16; ++j) {
+    EXPECT_EQ(y(0, j), 1.5);
+    EXPECT_EQ(y(0, 16 + j), -0.5);
+  }
+}
+
+TEST(Conv2dTest, PaddingZerosOutsideBorder) {
+  Rng rng(3);
+  const ImageShape shape{1, 4, 4};
+  Conv2d conv(shape, 1, &rng);
+  // Kernel that picks the top-left neighbor.
+  conv.weight()->Fill(0.0);
+  (*conv.weight())(0, 0) = 1.0;
+  conv.bias()->Fill(0.0);
+  Matrix x(1, 16, 1.0);
+  const Matrix y = conv.Forward(x);
+  // At pixel (0,0) the top-left neighbor is padding: 0.
+  EXPECT_EQ(y(0, 0), 0.0);
+  // At interior pixel (1,1) it is x(0,0) = 1.
+  EXPECT_EQ(y(0, 5), 1.0);
+}
+
+TEST(Conv2dTest, GradientCheck) {
+  Rng rng(4);
+  const ImageShape shape{2, 4, 4};
+  Conv2d conv(shape, 2, &rng);
+  Matrix x(2, shape.Flat());
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Gaussian();
+
+  auto loss_of = [&]() {
+    const Matrix y = conv.ForwardInference(x);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      acc += y.data()[i] * y.data()[i];  // L = sum(y^2)
+    }
+    return 0.5 * acc;
+  };
+  conv.ZeroGrad();
+  const Matrix y = conv.Forward(x);
+  const Matrix dx = conv.Backward(y);  // dL/dy = y
+
+  const double eps = 1e-6;
+  // Spot-check weight gradients.
+  for (std::size_t k = 0; k < conv.weight()->size(); k += 5) {
+    const double orig = conv.weight()->data()[k];
+    conv.weight()->data()[k] = orig + eps;
+    const double up = loss_of();
+    conv.weight()->data()[k] = orig - eps;
+    const double down = loss_of();
+    conv.weight()->data()[k] = orig;
+    EXPECT_NEAR(conv.weight_grad()->data()[k], (up - down) / (2 * eps),
+                1e-4)
+        << "weight " << k;
+  }
+  // Spot-check input gradients numerically.
+  for (std::size_t k = 0; k < x.size(); k += 7) {
+    const double orig = x.data()[k];
+    x.data()[k] = orig + eps;
+    const double up = loss_of();
+    x.data()[k] = orig - eps;
+    const double down = loss_of();
+    x.data()[k] = orig;
+    EXPECT_NEAR(dx.data()[k], (up - down) / (2 * eps), 1e-4)
+        << "input " << k;
+  }
+}
+
+// -------------------------------------------------------------- MaxPool
+
+TEST(MaxPoolTest, PicksBlockMaxima) {
+  const ImageShape shape{1, 4, 4};
+  MaxPool2d pool(shape);
+  Matrix x(1, 16, 0.0);
+  x(0, 0) = 5.0;   // block (0,0)
+  x(0, 6) = 3.0;   // block (0,1): positions 2,3,6,7
+  x(0, 9) = -1.0;  // block (1,0): all others 0 -> max 0
+  x(0, 15) = 7.0;  // block (1,1)
+  const Matrix y = pool.Forward(x);
+  ASSERT_EQ(y.cols(), 4u);
+  EXPECT_EQ(y(0, 0), 5.0);
+  EXPECT_EQ(y(0, 1), 3.0);
+  EXPECT_EQ(y(0, 2), 0.0);
+  EXPECT_EQ(y(0, 3), 7.0);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmax) {
+  const ImageShape shape{1, 4, 4};
+  MaxPool2d pool(shape);
+  Matrix x(1, 16, 0.0);
+  x(0, 5) = 9.0;  // block (0,0) argmax at flat index 5
+  pool.Forward(x);
+  Matrix dy(1, 4, 0.0);
+  dy(0, 0) = 2.0;
+  const Matrix dx = pool.Backward(dy);
+  EXPECT_EQ(dx(0, 5), 2.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < dx.size(); ++i) total += std::fabs(dx.data()[i]);
+  EXPECT_EQ(total, 2.0);
+}
+
+TEST(MaxPoolTest, InferenceMatchesForward) {
+  Rng rng(5);
+  const ImageShape shape{2, 4, 4};
+  MaxPool2d pool(shape);
+  Matrix x(3, shape.Flat());
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Gaussian();
+  EXPECT_LT(MaxAbsDiff(pool.Forward(x), pool.ForwardInference(x)), 1e-15);
+}
+
+// -------------------------------------------------------------- ConvNet
+
+ConvNetConfig SmallConvConfig() {
+  ConvNetConfig config;
+  config.input = ImageShape{2, 8, 8};
+  config.conv1_filters = 4;
+  config.conv2_filters = 4;
+  config.feature_dim = 8;
+  return config;
+}
+
+TEST(ConvNetTest, ShapesAndInterface) {
+  Rng rng(6);
+  ConvNetClassifier net(SmallConvConfig(), &rng);
+  EXPECT_EQ(net.input_dim(), 128u);
+  EXPECT_EQ(net.feature_dim(), 8u);
+  EXPECT_EQ(net.num_classes(), 2u);
+  Matrix x(3, 128, 0.1);
+  const Matrix logits = net.Forward(x);
+  EXPECT_EQ(logits.rows(), 3u);
+  EXPECT_EQ(logits.cols(), 2u);
+  EXPECT_LT(MaxAbsDiff(logits, net.Logits(x)), 1e-12);
+  const Matrix z = net.ExtractFeatures(x);
+  EXPECT_EQ(z.cols(), 8u);
+  EXPECT_EQ(net.Parameters().size(), 8u);
+}
+
+TEST(ConvNetTest, FullGradientCheck) {
+  Rng rng(7);
+  ConvNetConfig config = SmallConvConfig();
+  config.input = ImageShape{1, 4, 4};
+  config.conv1_filters = 2;
+  config.conv2_filters = 2;
+  config.feature_dim = 4;
+  ConvNetClassifier net(config, &rng);
+  Matrix x(2, 16);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Gaussian();
+  const std::vector<int> labels = {0, 1};
+
+  auto loss_of = [&]() { return SoftmaxNll(net.Logits(x), labels); };
+  const Matrix logits = net.Forward(x);
+  Matrix dlogits;
+  SoftmaxCrossEntropy(logits, labels, &dlogits);
+  net.ZeroGrad();
+  net.Backward(dlogits);
+
+  const std::vector<Matrix*> params = net.Parameters();
+  const std::vector<Matrix*> grads = net.Gradients();
+  const double eps = 1e-6;
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    const std::size_t stride =
+        std::max<std::size_t>(1, params[p]->size() / 4);
+    for (std::size_t k = 0; k < params[p]->size(); k += stride) {
+      const double orig = params[p]->data()[k];
+      params[p]->data()[k] = orig + eps;
+      const double up = loss_of();
+      params[p]->data()[k] = orig - eps;
+      const double down = loss_of();
+      params[p]->data()[k] = orig;
+      EXPECT_NEAR(grads[p]->data()[k], (up - down) / (2 * eps), 2e-4)
+          << "param " << p << " entry " << k;
+    }
+  }
+}
+
+TEST(ConvNetTest, CloneAndCopy) {
+  Rng rng_a(8), rng_b(9);
+  ConvNetClassifier a(SmallConvConfig(), &rng_a);
+  std::unique_ptr<FeatureClassifier> b = a.CloneArchitecture(&rng_b);
+  Matrix x(2, 128, 0.2);
+  EXPECT_GT(MaxAbsDiff(a.Logits(x), b->Logits(x)), 1e-9);
+  b->CopyParametersFrom(a);
+  EXPECT_LT(MaxAbsDiff(a.Logits(x), b->Logits(x)), 1e-12);
+}
+
+TEST(ConvNetTest, LearnsColorChannelShortcut) {
+  // Images whose class is encoded purely by which channel is lit: a CNN
+  // must learn this quickly.
+  Rng rng(10);
+  ConvNetConfig config = SmallConvConfig();
+  ConvNetClassifier net(config, &rng);
+  const ImageShape shape = config.input;
+  auto make_batch = [&](std::size_t n, Matrix* x, std::vector<int>* y) {
+    x->Resize(n, shape.Flat());
+    y->resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int label = rng.Bernoulli(0.5) ? 1 : 0;
+      (*y)[i] = label;
+      for (std::size_t j = 0; j < 64; ++j) {
+        (*x)(i, label * 64 + j) = 1.0 + rng.Gaussian(0.0, 0.1);
+        (*x)(i, (1 - label) * 64 + j) = rng.Gaussian(0.0, 0.1);
+      }
+    }
+  };
+  SgdOptimizer opt(0.05, 0.9);
+  for (int step = 0; step < 60; ++step) {
+    Matrix x;
+    std::vector<int> y;
+    make_batch(32, &x, &y);
+    const Matrix logits = net.Forward(x);
+    Matrix dlogits;
+    SoftmaxCrossEntropy(logits, y, &dlogits);
+    net.ZeroGrad();
+    net.Backward(dlogits);
+    opt.Step(net.Parameters(), net.Gradients());
+  }
+  Matrix x;
+  std::vector<int> y;
+  make_batch(200, &x, &y);
+  const std::vector<int> pred = net.Predict(x);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (pred[i] == y[i]) ++hits;
+  }
+  EXPECT_GT(static_cast<double>(hits) / 200.0, 0.95);
+}
+
+// --------------------------------------------------------- Image stream
+
+TEST(ImageStreamTest, ShapesAndStructure) {
+  RcmnistImageConfig config;
+  config.scale.samples_per_task = 60;
+  config.scale.seed = 5;
+  const Result<std::vector<Dataset>> stream =
+      MakeRcmnistImageStream(config);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  EXPECT_EQ(stream.value().size(), 12u);
+  for (const Dataset& task : stream.value()) {
+    EXPECT_EQ(task.dim(), 128u);
+    EXPECT_EQ(task.size(), 60u);
+  }
+}
+
+TEST(ImageStreamTest, ColorChannelMatchesSensitive) {
+  RcmnistImageConfig config;
+  config.scale.samples_per_task = 120;
+  config.scale.seed = 6;
+  config.pixel_noise = 0.0;
+  const Result<std::vector<Dataset>> stream =
+      MakeRcmnistImageStream(config);
+  ASSERT_TRUE(stream.ok());
+  const Dataset& task = stream.value()[0];
+  for (std::size_t i = 0; i < task.size(); ++i) {
+    double red = 0.0, green = 0.0;
+    for (std::size_t j = 0; j < 64; ++j) {
+      red += task.features()(i, j);
+      green += task.features()(i, 64 + j);
+    }
+    if (task.sensitive()[i] == 1) {
+      EXPECT_GT(red, green);
+    } else {
+      EXPECT_GT(green, red);
+    }
+  }
+}
+
+TEST(ImageStreamTest, BiasRealized) {
+  RcmnistImageConfig config;
+  config.scale.samples_per_task = 3000;
+  config.scale.seed = 7;
+  config.tasks_per_environment = 1;
+  const Result<std::vector<Dataset>> stream =
+      MakeRcmnistImageStream(config);
+  ASSERT_TRUE(stream.ok());
+  const Dataset& env0 = stream.value()[0];
+  std::size_t n1 = 0, pos1 = 0;
+  for (std::size_t i = 0; i < env0.size(); ++i) {
+    if (env0.labels()[i] == 1) {
+      ++n1;
+      if (env0.sensitive()[i] == 1) ++pos1;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(pos1) / n1, 0.9, 0.03);
+}
+
+TEST(ImageStreamTest, RotationMovesPixels) {
+  Rng rng(8);
+  const ImageShape shape{2, 8, 8};
+  const auto stencils = MakeDigitStencils(1, shape, 14, &rng);
+  const std::vector<double> base =
+      RenderDigitImage(stencils[0], shape, 0, 0.0, 0.0, &rng);
+  const std::vector<double> rotated =
+      RenderDigitImage(stencils[0], shape, 0, 45.0, 0.0, &rng);
+  double diff = 0.0, mass_base = 0.0, mass_rot = 0.0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    diff += std::fabs(base[i] - rotated[i]);
+    mass_base += base[i];
+    mass_rot += rotated[i];
+  }
+  EXPECT_GT(diff, 1.0);          // the glyph moved
+  EXPECT_GT(mass_rot, 2.0);      // but did not vanish
+  EXPECT_GT(mass_base, 2.0);
+}
+
+TEST(ImageStreamTest, ValidationErrors) {
+  RcmnistImageConfig config;
+  config.biases = {0.9};
+  config.rotations_deg = {0.0, 15.0};
+  EXPECT_FALSE(MakeRcmnistImageStream(config).ok());
+  RcmnistImageConfig mono;
+  mono.shape = ImageShape{1, 8, 8};
+  EXPECT_FALSE(MakeRcmnistImageStream(mono).ok());
+}
+
+// --------------------------------------- CNN backbone on the image stream
+
+TEST(ConvNetIntegrationTest, FactionWithCnnBackbone) {
+  RcmnistImageConfig stream_config;
+  stream_config.scale.samples_per_task = 90;
+  stream_config.scale.seed = 9;
+  stream_config.biases = {0.8, 0.7};
+  stream_config.rotations_deg = {0.0, 30.0};
+  stream_config.tasks_per_environment = 1;
+  const Result<std::vector<Dataset>> stream =
+      MakeRcmnistImageStream(stream_config);
+  ASSERT_TRUE(stream.ok());
+
+  ExperimentDefaults defaults;
+  defaults.budget_per_task = 30;
+  defaults.acquisition_batch = 15;
+  defaults.warm_start = 30;
+  defaults.epochs = 2;
+  Result<std::unique_ptr<QueryStrategy>> strategy =
+      MakeStrategy("FACTION", defaults);
+  ASSERT_TRUE(strategy.ok());
+  OnlineLearnerConfig config =
+      MakeLearnerConfig(defaults, 128, "FACTION", 11);
+  config.model_factory = [](Rng* rng) {
+    ConvNetConfig net;
+    net.input = ImageShape{2, 8, 8};
+    net.conv1_filters = 4;
+    net.conv2_filters = 4;
+    net.feature_dim = 8;
+    return std::unique_ptr<FeatureClassifier>(
+        new ConvNetClassifier(net, rng));
+  };
+  OnlineLearner learner(config, strategy.value().get());
+  const Result<RunResult> run = learner.Run(stream.value());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().per_task.size(), 2u);
+  for (const TaskMetrics& m : run.value().per_task) {
+    EXPECT_GE(m.accuracy, 0.0);
+    EXPECT_LE(m.accuracy, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace faction

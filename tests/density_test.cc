@@ -1,0 +1,328 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "density/fair_density.h"
+#include "density/gaussian.h"
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+
+namespace faction {
+namespace {
+
+Matrix DrawSamples(std::size_t n, const std::vector<double>& mean,
+                   double stddev, Rng* rng) {
+  Matrix out(n, mean.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < mean.size(); ++j) {
+      out(i, j) = rng->Gaussian(mean[j], stddev);
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- Gaussian
+
+TEST(GaussianTest, RecoversMean) {
+  Rng rng(1);
+  const std::vector<double> mean = {2.0, -1.0, 0.5};
+  const Matrix samples = DrawSamples(5000, mean, 1.0, &rng);
+  CovarianceConfig config;
+  config.shrinkage = 0.0;
+  const Result<Gaussian> g = Gaussian::Fit(samples, config);
+  ASSERT_TRUE(g.ok());
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(g.value().mean()[j], mean[j], 0.05);
+  }
+}
+
+TEST(GaussianTest, LogPdfMatchesStandardNormal) {
+  // Fit on many standard-normal samples; at the origin the density should
+  // approach the analytic N(0, I) value.
+  Rng rng(2);
+  const std::vector<double> mean = {0.0, 0.0};
+  const Matrix samples = DrawSamples(20000, mean, 1.0, &rng);
+  CovarianceConfig config;
+  config.shrinkage = 0.0;
+  const Result<Gaussian> g = Gaussian::Fit(samples, config);
+  ASSERT_TRUE(g.ok());
+  const double expect = -std::log(2.0 * M_PI);  // log N(0; 0, I) in 2-d
+  EXPECT_NEAR(g.value().LogPdf({0.0, 0.0}), expect, 0.05);
+}
+
+TEST(GaussianTest, DensityDecaysWithDistance) {
+  Rng rng(3);
+  const Matrix samples = DrawSamples(500, {0.0, 0.0, 0.0, 0.0}, 1.0, &rng);
+  CovarianceConfig config;
+  const Result<Gaussian> g = Gaussian::Fit(samples, config);
+  ASSERT_TRUE(g.ok());
+  const double near = g.value().LogPdf({0.1, 0.0, 0.0, 0.0});
+  const double far = g.value().LogPdf({5.0, 5.0, 5.0, 5.0});
+  EXPECT_GT(near, far + 10.0);
+}
+
+TEST(GaussianTest, MahalanobisOfMeanIsZero) {
+  Rng rng(4);
+  const Matrix samples = DrawSamples(200, {1.0, 2.0}, 0.5, &rng);
+  CovarianceConfig config;
+  const Result<Gaussian> g = Gaussian::Fit(samples, config);
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(g.value().MahalanobisSquared(g.value().mean()), 0.0, 1e-12);
+}
+
+TEST(GaussianTest, SingleSampleFallsBackToIdentity) {
+  Matrix samples(1, 3);
+  samples(0, 0) = 1.0;
+  samples(0, 1) = 2.0;
+  samples(0, 2) = 3.0;
+  CovarianceConfig config;
+  const Result<Gaussian> g = Gaussian::Fit(samples, config, 2.0);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().mean(), (std::vector<double>{1.0, 2.0, 3.0}));
+  // Identity * 2 => Mahalanobis of (mean + e0) is 1/2.
+  EXPECT_NEAR(g.value().MahalanobisSquared({2.0, 2.0, 3.0}), 0.5, 1e-6);
+}
+
+TEST(GaussianTest, DegenerateDataSurvivesViaJitter) {
+  // All samples identical: covariance is zero; jitter must rescue the fit.
+  Matrix samples(50, 4, 3.0);
+  CovarianceConfig config;
+  const Result<Gaussian> g = Gaussian::Fit(samples, config);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_TRUE(std::isfinite(g.value().LogPdf({3.0, 3.0, 3.0, 3.0})));
+}
+
+TEST(GaussianTest, CollinearDataSurvives) {
+  // Samples on a line: rank-1 covariance.
+  Matrix samples(100, 3);
+  Rng rng(5);
+  for (std::size_t i = 0; i < 100; ++i) {
+    const double t = rng.Gaussian();
+    samples(i, 0) = t;
+    samples(i, 1) = 2.0 * t;
+    samples(i, 2) = -t;
+  }
+  CovarianceConfig config;
+  const Result<Gaussian> g = Gaussian::Fit(samples, config);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(std::isfinite(g.value().LogPdf({0.0, 0.0, 0.0})));
+}
+
+TEST(GaussianTest, RejectsEmpty) {
+  const Matrix samples(0, 3);
+  CovarianceConfig config;
+  EXPECT_FALSE(Gaussian::Fit(samples, config).ok());
+}
+
+TEST(GaussianTest, ShrinkageMovesTowardIsotropy) {
+  // Strongly anisotropic data; heavy shrinkage should pull the two
+  // principal variances together, reducing |logpdf| asymmetry.
+  Rng rng(6);
+  Matrix samples(2000, 2);
+  for (std::size_t i = 0; i < 2000; ++i) {
+    samples(i, 0) = rng.Gaussian(0.0, 3.0);
+    samples(i, 1) = rng.Gaussian(0.0, 0.3);
+  }
+  CovarianceConfig none;
+  none.shrinkage = 0.0;
+  CovarianceConfig heavy;
+  heavy.shrinkage = 0.9;
+  const Result<Gaussian> g0 = Gaussian::Fit(samples, none);
+  const Result<Gaussian> g1 = Gaussian::Fit(samples, heavy);
+  ASSERT_TRUE(g0.ok() && g1.ok());
+  // Along the low-variance axis the unshrunk fit reacts much more.
+  const double react0 = g0.value().MahalanobisSquared({0.0, 1.0});
+  const double react1 = g1.value().MahalanobisSquared({0.0, 1.0});
+  EXPECT_GT(react0, react1 * 2.0);
+}
+
+// -------------------------------------------------- FairDensityEstimator
+
+// A labeled pool with controllable group/class separation.
+struct PoolSpec {
+  std::size_t per_cell = 100;
+  double group_gap = 2.0;  // distance between sensitive groups
+  double class_gap = 4.0;  // distance between classes
+};
+
+void BuildPool(const PoolSpec& spec, Rng* rng, Matrix* features,
+               std::vector<int>* labels, std::vector<int>* sensitive) {
+  const std::size_t total = spec.per_cell * 4;
+  features->Resize(total, 2);
+  labels->clear();
+  sensitive->clear();
+  std::size_t row = 0;
+  for (int y = 0; y < 2; ++y) {
+    for (int s : {-1, 1}) {
+      for (std::size_t i = 0; i < spec.per_cell; ++i) {
+        (*features)(row, 0) =
+            rng->Gaussian(y * spec.class_gap, 0.6);
+        (*features)(row, 1) =
+            rng->Gaussian(s * spec.group_gap / 2.0, 0.6);
+        labels->push_back(y);
+        sensitive->push_back(s);
+        ++row;
+      }
+    }
+  }
+}
+
+TEST(FairDensityTest, WeightsMatchEmpiricalJoint) {
+  Rng rng(7);
+  Matrix features;
+  std::vector<int> labels, sensitive;
+  BuildPool({}, &rng, &features, &labels, &sensitive);
+  CovarianceConfig config;
+  const Result<FairDensityEstimator> est =
+      FairDensityEstimator::Fit(features, labels, sensitive, config);
+  ASSERT_TRUE(est.ok());
+  for (int y = 0; y < 2; ++y) {
+    for (int s : {-1, 1}) {
+      EXPECT_TRUE(est.value().HasComponent(y, s));
+      EXPECT_NEAR(est.value().Weight(y, s), 0.25, 1e-12);
+    }
+  }
+}
+
+TEST(FairDensityTest, MarginalIsMixtureOfComponents) {
+  Rng rng(8);
+  Matrix features;
+  std::vector<int> labels, sensitive;
+  BuildPool({}, &rng, &features, &labels, &sensitive);
+  CovarianceConfig config;
+  const Result<FairDensityEstimator> est =
+      FairDensityEstimator::Fit(features, labels, sensitive, config);
+  ASSERT_TRUE(est.ok());
+  const std::vector<double> z = {0.5, 0.5};
+  double mixture = 0.0;
+  for (int y = 0; y < 2; ++y) {
+    for (int s : {-1, 1}) {
+      mixture += est.value().Weight(y, s) *
+                 std::exp(est.value().LogComponentDensity(z, y, s));
+    }
+  }
+  EXPECT_NEAR(std::exp(est.value().LogMarginalDensity(z)), mixture, 1e-9);
+}
+
+TEST(FairDensityTest, OodSampleHasLowerDensity) {
+  Rng rng(9);
+  Matrix features;
+  std::vector<int> labels, sensitive;
+  BuildPool({}, &rng, &features, &labels, &sensitive);
+  CovarianceConfig config;
+  const Result<FairDensityEstimator> est =
+      FairDensityEstimator::Fit(features, labels, sensitive, config);
+  ASSERT_TRUE(est.ok());
+  const double in_dist = est.value().LogMarginalDensity({0.0, 1.0});
+  const double ood = est.value().LogMarginalDensity({30.0, -30.0});
+  EXPECT_GT(in_dist, ood + 50.0);
+}
+
+TEST(FairDensityTest, DeltaGZeroWhenGroupsCoincide) {
+  // group_gap = 0: both sensitive components of each class share the same
+  // distribution, so Delta g_c must be tiny everywhere in-distribution.
+  Rng rng(10);
+  Matrix features;
+  std::vector<int> labels, sensitive;
+  PoolSpec spec;
+  spec.group_gap = 0.0;
+  spec.per_cell = 400;
+  BuildPool(spec, &rng, &features, &labels, &sensitive);
+  CovarianceConfig config;
+  config.shrinkage = 0.3;  // stabilize the comparison
+  const Result<FairDensityEstimator> est =
+      FairDensityEstimator::Fit(features, labels, sensitive, config);
+  ASSERT_TRUE(est.ok());
+  const std::vector<double> z = {0.0, 0.0};
+  const double delta = est.value().DeltaG(z, 0);
+  const double density = std::exp(est.value().LogComponentDensity(z, 0, 1));
+  EXPECT_LT(delta, density * 0.35);
+}
+
+TEST(FairDensityTest, DeltaGLargeWhenGroupsSeparate) {
+  Rng rng(11);
+  Matrix features;
+  std::vector<int> labels, sensitive;
+  PoolSpec spec;
+  spec.group_gap = 4.0;
+  BuildPool(spec, &rng, &features, &labels, &sensitive);
+  CovarianceConfig config;
+  const Result<FairDensityEstimator> est =
+      FairDensityEstimator::Fit(features, labels, sensitive, config);
+  ASSERT_TRUE(est.ok());
+  // At the +1-group's center of class 0, the +1 component dominates.
+  const std::vector<double> z = {0.0, 2.0};
+  const double lp = est.value().LogComponentDensity(z, 0, 1);
+  const double ln = est.value().LogComponentDensity(z, 0, -1);
+  EXPECT_GT(lp, ln + 2.0);
+  EXPECT_GT(est.value().DeltaG(z, 0), 0.0);
+}
+
+TEST(FairDensityTest, MissingComponentIsHandled) {
+  // No (y=1, s=-1) cell in the pool.
+  Matrix features(30, 2);
+  std::vector<int> labels, sensitive;
+  Rng rng(12);
+  for (std::size_t i = 0; i < 30; ++i) {
+    features(i, 0) = rng.Gaussian();
+    features(i, 1) = rng.Gaussian();
+    labels.push_back(i % 2);
+    sensitive.push_back(i % 2 == 1 ? 1 : (i % 4 == 0 ? 1 : -1));
+  }
+  CovarianceConfig config;
+  const Result<FairDensityEstimator> est =
+      FairDensityEstimator::Fit(features, labels, sensitive, config);
+  ASSERT_TRUE(est.ok());
+  EXPECT_FALSE(est.value().HasComponent(1, -1));
+  EXPECT_EQ(est.value().Weight(1, -1), 0.0);
+  const std::vector<double> z = {0.0, 0.0};
+  EXPECT_TRUE(std::isinf(est.value().LogComponentDensity(z, 1, -1)));
+  EXPECT_TRUE(std::isfinite(est.value().LogMarginalDensity(z)));
+}
+
+TEST(FairDensityTest, RejectsBadInputs) {
+  CovarianceConfig config;
+  EXPECT_FALSE(
+      FairDensityEstimator::Fit(Matrix(0, 2), {}, {}, config).ok());
+  Matrix features(2, 2);
+  EXPECT_FALSE(
+      FairDensityEstimator::Fit(features, {0}, {1, -1}, config).ok());
+}
+
+// ------------------------------------------------ ClassDensityEstimator
+
+TEST(ClassDensityTest, MarginalAndClassDensities) {
+  Rng rng(13);
+  Matrix features;
+  std::vector<int> labels, sensitive;
+  BuildPool({}, &rng, &features, &labels, &sensitive);
+  CovarianceConfig config;
+  const Result<ClassDensityEstimator> est =
+      ClassDensityEstimator::Fit(features, labels, config);
+  ASSERT_TRUE(est.ok());
+  // Near class-1's center, class 1's density dominates.
+  const std::vector<double> z = {4.0, 0.0};
+  EXPECT_GT(est.value().LogClassDensity(z, 1),
+            est.value().LogClassDensity(z, 0) + 2.0);
+  EXPECT_TRUE(std::isfinite(est.value().LogMarginalDensity(z)));
+}
+
+TEST(ClassDensityTest, OodDetection) {
+  Rng rng(14);
+  Matrix features;
+  std::vector<int> labels, sensitive;
+  BuildPool({}, &rng, &features, &labels, &sensitive);
+  CovarianceConfig config;
+  const Result<ClassDensityEstimator> est =
+      ClassDensityEstimator::Fit(features, labels, config);
+  ASSERT_TRUE(est.ok());
+  EXPECT_GT(est.value().LogMarginalDensity({2.0, 0.0}),
+            est.value().LogMarginalDensity({50.0, 50.0}) + 100.0);
+}
+
+TEST(ClassDensityTest, RejectsEmpty) {
+  CovarianceConfig config;
+  EXPECT_FALSE(ClassDensityEstimator::Fit(Matrix(0, 2), {}, config).ok());
+}
+
+}  // namespace
+}  // namespace faction

@@ -1,0 +1,185 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/streams.h"
+#include "gtest/gtest.h"
+#include "stream/drift.h"
+#include "stream/online_learner.h"
+#include "core/presets.h"
+
+namespace faction {
+namespace {
+
+// ---------------------------------------------------------- DriftDetector
+
+TEST(DriftDetectorTest, NoFlagOnStableSignal) {
+  DriftDetector detector;
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(detector.Observe(rng.Gaussian(-10.0, 0.5)));
+  }
+  EXPECT_EQ(detector.history(), 50u);
+}
+
+TEST(DriftDetectorTest, FlagsAbruptDrop) {
+  DriftDetector detector;
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_FALSE(detector.Observe(rng.Gaussian(-10.0, 0.5)));
+  }
+  EXPECT_TRUE(detector.Observe(-40.0));
+  // The drift value is excluded from the history.
+  EXPECT_EQ(detector.history(), 20u);
+}
+
+TEST(DriftDetectorTest, NoDetectionBeforeMinHistory) {
+  DriftDetectorConfig config;
+  config.min_history = 5;
+  DriftDetector detector(config);
+  EXPECT_FALSE(detector.Observe(-10.0));
+  EXPECT_FALSE(detector.Observe(-10.0));
+  EXPECT_FALSE(detector.Observe(-1000.0));  // still warming up
+}
+
+TEST(DriftDetectorTest, UpwardJumpIsNotDrift) {
+  DriftDetector detector;
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) detector.Observe(rng.Gaussian(-10.0, 0.5));
+  // Density going *up* means the data got more familiar — never a drift.
+  EXPECT_FALSE(detector.Observe(100.0));
+}
+
+TEST(DriftDetectorTest, MinStdGuardsConstantHistory) {
+  DriftDetectorConfig config;
+  config.threshold = 3.0;
+  config.min_std = 1.0;
+  DriftDetector detector(config);
+  for (int i = 0; i < 10; ++i) detector.Observe(-10.0);  // zero variance
+  // A drop of 2 is within 3 * min_std = 3: no flag.
+  EXPECT_FALSE(detector.Observe(-12.0));
+  // A drop of 5 exceeds it.
+  EXPECT_TRUE(detector.Observe(-15.0));
+}
+
+TEST(DriftDetectorTest, ResetForgets) {
+  DriftDetector detector;
+  for (int i = 0; i < 10; ++i) detector.Observe(-10.0);
+  detector.Reset();
+  EXPECT_EQ(detector.history(), 0u);
+  EXPECT_FALSE(detector.Observe(-1000.0));  // fresh warm-up
+}
+
+// --------------------------------------------------------- MeanLogDensity
+
+TEST(MeanLogDensityTest, ShiftedBatchScoresLower) {
+  // Fit an estimator on centered data, then compare the statistic on an
+  // in-distribution batch vs a shifted one.
+  Rng rng(4);
+  Matrix features(240, 3);
+  std::vector<int> labels, sensitive;
+  for (std::size_t i = 0; i < 240; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) features(i, j) = rng.Gaussian();
+    labels.push_back(static_cast<int>(i % 2));
+    sensitive.push_back((i / 2) % 2 == 0 ? 1 : -1);
+  }
+  CovarianceConfig config;
+  const Result<FairDensityEstimator> est =
+      FairDensityEstimator::Fit(features, labels, sensitive, config);
+  ASSERT_TRUE(est.ok());
+  Matrix in_dist(50, 3), shifted(50, 3);
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      in_dist(i, j) = rng.Gaussian();
+      shifted(i, j) = rng.Gaussian(8.0, 1.0);
+    }
+  }
+  EXPECT_GT(MeanLogDensity(est.value(), in_dist),
+            MeanLogDensity(est.value(), shifted) + 10.0);
+}
+
+TEST(MeanLogDensityTest, DetectsEnvironmentChangeOnStream) {
+  // End-to-end: a detector fed per-task mean log-densities flags the task
+  // where the environment rotates.
+  RcmnistConfig config;
+  config.scale.samples_per_task = 300;
+  config.scale.seed = 9;
+  config.rotations_deg = {0.0, 90.0};  // one dramatic shift
+  config.biases = {0.7, 0.7};
+  const Result<std::vector<Dataset>> stream = MakeRcmnistStream(config);
+  ASSERT_TRUE(stream.ok());
+  // Fit the estimator on environment 0's first task (raw features as z).
+  const Dataset& base = stream.value()[0];
+  CovarianceConfig cov;
+  const Result<FairDensityEstimator> est = FairDensityEstimator::Fit(
+      base.features(), base.labels(), base.sensitive(), cov);
+  ASSERT_TRUE(est.ok());
+  DriftDetectorConfig dconfig;
+  dconfig.threshold = 2.0;
+  dconfig.min_history = 2;
+  DriftDetector detector(dconfig);
+  // Tasks 0-2 are environment 0: stable statistic. Task 3 rotates by 90
+  // degrees: the statistic collapses and the detector fires.
+  bool flagged_stable = false;
+  for (int t = 0; t < 3; ++t) {
+    flagged_stable |= detector.Observe(
+        MeanLogDensity(est.value(), stream.value()[t].features()));
+  }
+  EXPECT_FALSE(flagged_stable);
+  EXPECT_TRUE(detector.Observe(
+      MeanLogDensity(est.value(), stream.value()[3].features())));
+}
+
+// ------------------------------------------------------------- Pool cap
+
+TEST(PoolCapTest, BoundedPoolStillLearns) {
+  StationaryConfig sconfig;
+  sconfig.scale.samples_per_task = 150;
+  sconfig.scale.seed = 11;
+  sconfig.dim = 6;
+  sconfig.num_tasks = 4;
+  const Result<std::vector<Dataset>> stream = MakeStationaryStream(sconfig);
+  ASSERT_TRUE(stream.ok());
+
+  ExperimentDefaults defaults;
+  defaults.budget_per_task = 40;
+  defaults.acquisition_batch = 20;
+  defaults.warm_start = 40;
+  defaults.hidden_dims = {12, 6};
+  defaults.epochs = 2;
+  Result<std::unique_ptr<QueryStrategy>> strategy =
+      MakeStrategy("Random", defaults);
+  ASSERT_TRUE(strategy.ok());
+  OnlineLearnerConfig config = MakeLearnerConfig(defaults, 6, "Random", 3);
+  config.max_pool_size = 80;  // far below 40 + 4*40 unbounded growth
+  OnlineLearner learner(config, strategy.value().get());
+  const Result<RunResult> run = learner.Run(stream.value());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  // Learning still happens on the bounded window.
+  EXPECT_GT(run.value().per_task.back().accuracy, 0.6);
+}
+
+TEST(PoolCapTest, CapZeroIsUnlimited) {
+  StationaryConfig sconfig;
+  sconfig.scale.samples_per_task = 120;
+  sconfig.scale.seed = 13;
+  sconfig.dim = 6;
+  sconfig.num_tasks = 2;
+  const Result<std::vector<Dataset>> stream = MakeStationaryStream(sconfig);
+  ASSERT_TRUE(stream.ok());
+  ExperimentDefaults defaults;
+  defaults.budget_per_task = 20;
+  defaults.acquisition_batch = 10;
+  defaults.warm_start = 20;
+  defaults.hidden_dims = {12, 6};
+  defaults.epochs = 1;
+  Result<std::unique_ptr<QueryStrategy>> strategy =
+      MakeStrategy("Random", defaults);
+  ASSERT_TRUE(strategy.ok());
+  OnlineLearnerConfig config = MakeLearnerConfig(defaults, 6, "Random", 5);
+  config.max_pool_size = 0;
+  OnlineLearner learner(config, strategy.value().get());
+  EXPECT_TRUE(learner.Run(stream.value()).ok());
+}
+
+}  // namespace
+}  // namespace faction

@@ -1,0 +1,261 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "fairness/metrics.h"
+#include "fairness/relaxed.h"
+#include "gtest/gtest.h"
+
+namespace faction {
+namespace {
+
+// ------------------------------------------------------------------ DDP
+
+TEST(DdpTest, HandComputedValue) {
+  // Group +1: rates 2/3 positive; group -1: 1/3 positive. DDP = 1/3.
+  const std::vector<int> yhat = {1, 1, 0, 1, 0, 0};
+  const std::vector<int> s = {1, 1, 1, -1, -1, -1};
+  const Result<double> ddp = DemographicParityDifference(yhat, s);
+  ASSERT_TRUE(ddp.ok());
+  EXPECT_NEAR(ddp.value(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(DdpTest, ZeroWhenRatesEqual) {
+  const std::vector<int> yhat = {1, 0, 1, 0};
+  const std::vector<int> s = {1, 1, -1, -1};
+  EXPECT_NEAR(DemographicParityDifference(yhat, s).value(), 0.0, 1e-12);
+}
+
+TEST(DdpTest, MaximalDisparity) {
+  const std::vector<int> yhat = {1, 1, 0, 0};
+  const std::vector<int> s = {1, 1, -1, -1};
+  EXPECT_NEAR(DemographicParityDifference(yhat, s).value(), 1.0, 1e-12);
+}
+
+TEST(DdpTest, SymmetricInGroups) {
+  const std::vector<int> yhat = {1, 0, 0, 0, 1, 1};
+  const std::vector<int> s = {1, 1, 1, -1, -1, -1};
+  std::vector<int> flipped(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) flipped[i] = -s[i];
+  EXPECT_NEAR(DemographicParityDifference(yhat, s).value(),
+              DemographicParityDifference(yhat, flipped).value(), 1e-12);
+}
+
+TEST(DdpTest, UndefinedOnSingleGroup) {
+  const Result<double> ddp =
+      DemographicParityDifference({1, 0}, {1, 1});
+  ASSERT_FALSE(ddp.ok());
+  EXPECT_EQ(ddp.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DdpTest, RejectsEmptyAndMismatched) {
+  EXPECT_FALSE(DemographicParityDifference({}, {}).ok());
+  EXPECT_FALSE(DemographicParityDifference({1}, {1, -1}).ok());
+}
+
+// ------------------------------------------------------------------ EOD
+
+TEST(EodTest, HandComputedValue) {
+  // y=1 cell: group +1 TPR 1.0 (1/1), group -1 TPR 0.0 (0/1) -> gap 1.0.
+  // y=0 cell: both FPR 0 -> gap 0. EOD = 1.0.
+  const std::vector<int> yhat = {1, 0, 0, 0};
+  const std::vector<int> y = {1, 1, 0, 0};
+  const std::vector<int> s = {1, -1, 1, -1};
+  const Result<double> eod = EqualizedOddsDifference(yhat, y, s);
+  ASSERT_TRUE(eod.ok());
+  EXPECT_NEAR(eod.value(), 1.0, 1e-12);
+}
+
+TEST(EodTest, PerfectEqualizedOdds) {
+  // Identical conditional behavior across groups.
+  const std::vector<int> yhat = {1, 0, 1, 0, 0, 1, 0, 1};
+  const std::vector<int> y = {1, 1, 1, 1, 0, 0, 0, 0};
+  const std::vector<int> s = {1, 1, -1, -1, 1, 1, -1, -1};
+  EXPECT_NEAR(EqualizedOddsDifference(yhat, y, s).value(), 0.0, 1e-12);
+}
+
+TEST(EodTest, TakesMaxOverLabelCells) {
+  // y=1: TPR +1 = 1, TPR -1 = 1 -> gap 0.
+  // y=0: FPR +1 = 1, FPR -1 = 0 -> gap 1.
+  const std::vector<int> yhat = {1, 1, 1, 0};
+  const std::vector<int> y = {1, 1, 0, 0};
+  const std::vector<int> s = {1, -1, 1, -1};
+  EXPECT_NEAR(EqualizedOddsDifference(yhat, y, s).value(), 1.0, 1e-12);
+}
+
+TEST(EodTest, SkipsNonComparableCells) {
+  // Only the y=1 cell has both groups.
+  const std::vector<int> yhat = {1, 0, 1};
+  const std::vector<int> y = {1, 1, 0};
+  const std::vector<int> s = {1, -1, 1};
+  const Result<double> eod = EqualizedOddsDifference(yhat, y, s);
+  ASSERT_TRUE(eod.ok());
+  EXPECT_NEAR(eod.value(), 1.0, 1e-12);
+}
+
+TEST(EodTest, UndefinedWhenNoComparableCell) {
+  const std::vector<int> yhat = {1, 0};
+  const std::vector<int> y = {1, 0};
+  const std::vector<int> s = {1, 1};
+  EXPECT_FALSE(EqualizedOddsDifference(yhat, y, s).ok());
+}
+
+// ------------------------------------------------------------------- MI
+
+TEST(MiTest, ZeroForIndependence) {
+  // yhat independent of s by construction.
+  const std::vector<int> yhat = {1, 1, 0, 0};
+  const std::vector<int> s = {1, -1, 1, -1};
+  EXPECT_NEAR(MutualInformation(yhat, s).value(), 0.0, 1e-12);
+}
+
+TEST(MiTest, MaximalForPerfectCorrelation) {
+  const std::vector<int> yhat = {1, 1, 0, 0};
+  const std::vector<int> s = {1, 1, -1, -1};
+  // I = H(yhat) = log 2 for a deterministic relationship.
+  EXPECT_NEAR(MutualInformation(yhat, s).value(), std::log(2.0), 1e-12);
+}
+
+TEST(MiTest, HandComputedAsymmetricCase) {
+  // Joint: (1,+): 2/6, (1,-): 1/6, (0,+): 1/6, (0,-): 2/6.
+  const std::vector<int> yhat = {1, 1, 1, 0, 0, 0};
+  const std::vector<int> s = {1, 1, -1, 1, -1, -1};
+  double expect = 0.0;
+  const double joint[2][2] = {{2.0 / 6, 1.0 / 6}, {1.0 / 6, 2.0 / 6}};
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      expect += joint[a][b] * std::log(joint[a][b] / (0.5 * 0.5));
+    }
+  }
+  EXPECT_NEAR(MutualInformation(yhat, s).value(), expect, 1e-12);
+}
+
+TEST(MiTest, NonNegativeOnRandomInputs) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int> yhat(40), s(40);
+    for (int i = 0; i < 40; ++i) {
+      yhat[i] = rng.Bernoulli(0.4) ? 1 : 0;
+      s[i] = rng.Bernoulli(0.6) ? 1 : -1;
+    }
+    const Result<double> mi = MutualInformation(yhat, s);
+    ASSERT_TRUE(mi.ok());
+    EXPECT_GE(mi.value(), 0.0);
+    EXPECT_LE(mi.value(), std::log(2.0) + 1e-12);
+  }
+}
+
+// -------------------------------------------------------------- Accuracy
+
+TEST(AccuracyTest, Basic) {
+  EXPECT_NEAR(Accuracy({1, 0, 1, 1}, {1, 0, 0, 1}).value(), 0.75, 1e-12);
+  EXPECT_NEAR(Accuracy({0}, {0}).value(), 1.0, 1e-12);
+  EXPECT_FALSE(Accuracy({}, {}).ok());
+}
+
+// ------------------------------------------------------- RelaxedFairness
+
+TEST(RelaxedTest, CoefficientsSumToZero) {
+  // sum_i c_i = (n1*(1-p1) - n-1*p1)/(p1(1-p1)) ... = 0 by construction.
+  const std::vector<int> s = {1, 1, -1, -1, -1, 1, 1};
+  std::size_t m = 0;
+  const Result<std::vector<double>> coeffs =
+      RelaxedFairnessCoefficients(FairnessNotion::kDdp, s, {}, &m);
+  ASSERT_TRUE(coeffs.ok());
+  EXPECT_EQ(m, s.size());
+  double sum = 0.0;
+  for (double c : coeffs.value()) sum += c;
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+TEST(RelaxedTest, DdpValueIsGroupMeanDifference) {
+  // For balanced groups, v = E[h | s=+1] - E[h | s=-1].
+  const std::vector<int> s = {1, 1, -1, -1};
+  const std::vector<double> scores = {0.9, 0.7, 0.2, 0.4};
+  const Result<double> v =
+      RelaxedFairness(FairnessNotion::kDdp, scores, s, {});
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(v.value(), (0.8 - 0.3), 1e-9);
+}
+
+TEST(RelaxedTest, ZeroForGroupIndependentScores) {
+  const std::vector<int> s = {1, -1, 1, -1, 1, -1};
+  const std::vector<double> scores = {0.5, 0.5, 0.2, 0.2, 0.8, 0.8};
+  const Result<double> v =
+      RelaxedFairness(FairnessNotion::kDdp, scores, s, {});
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(v.value(), 0.0, 1e-9);
+}
+
+TEST(RelaxedTest, SignTracksFavoredGroup) {
+  const std::vector<int> s = {1, 1, -1, -1};
+  const Result<double> favor_pos =
+      RelaxedFairness(FairnessNotion::kDdp, {0.9, 0.9, 0.1, 0.1}, s, {});
+  const Result<double> favor_neg =
+      RelaxedFairness(FairnessNotion::kDdp, {0.1, 0.1, 0.9, 0.9}, s, {});
+  ASSERT_TRUE(favor_pos.ok() && favor_neg.ok());
+  EXPECT_GT(favor_pos.value(), 0.0);
+  EXPECT_LT(favor_neg.value(), 0.0);
+  EXPECT_NEAR(favor_pos.value(), -favor_neg.value(), 1e-9);
+}
+
+TEST(RelaxedTest, DeoOnlyUsesPositives) {
+  const std::vector<int> s = {1, -1, 1, -1};
+  const std::vector<int> y = {1, 1, 0, 0};
+  // Scores on y=0 samples must not matter for DEO.
+  const Result<double> a = RelaxedFairness(FairnessNotion::kDeo,
+                                           {0.9, 0.3, 0.0, 0.0}, s, y);
+  const Result<double> b = RelaxedFairness(FairnessNotion::kDeo,
+                                           {0.9, 0.3, 1.0, 1.0}, s, y);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NEAR(a.value(), b.value(), 1e-12);
+  EXPECT_NEAR(a.value(), 0.9 - 0.3, 1e-9);
+}
+
+TEST(RelaxedTest, DeoRequiresLabels) {
+  const std::vector<int> s = {1, -1};
+  EXPECT_FALSE(
+      RelaxedFairness(FairnessNotion::kDeo, {0.5, 0.5}, s, {}).ok());
+}
+
+TEST(RelaxedTest, FailsOnSingleGroup) {
+  const std::vector<int> s = {1, 1, 1};
+  const Result<double> v =
+      RelaxedFairness(FairnessNotion::kDdp, {0.1, 0.2, 0.3}, s, {});
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RelaxedTest, FailsOnEmptyOrMismatch) {
+  EXPECT_FALSE(RelaxedFairness(FairnessNotion::kDdp, {}, {}, {}).ok());
+  EXPECT_FALSE(
+      RelaxedFairness(FairnessNotion::kDdp, {0.5}, {1, -1}, {}).ok());
+}
+
+TEST(RelaxedTest, DeoFailsWithoutPositives) {
+  const std::vector<int> s = {1, -1};
+  const std::vector<int> y = {0, 0};
+  EXPECT_FALSE(
+      RelaxedFairness(FairnessNotion::kDeo, {0.5, 0.5}, s, y).ok());
+}
+
+// Property: the relaxed DDP of hard 0/1 scores equals the signed DDP.
+TEST(RelaxedTest, HardScoresRecoverSignedDdp) {
+  Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<int> s(60), yhat(60);
+    std::vector<double> scores(60);
+    for (int i = 0; i < 60; ++i) {
+      s[i] = rng.Bernoulli(0.5) ? 1 : -1;
+      yhat[i] = rng.Bernoulli(0.5) ? 1 : 0;
+      scores[i] = yhat[i];
+    }
+    const Result<double> v =
+        RelaxedFairness(FairnessNotion::kDdp, scores, s, {});
+    const Result<double> ddp = DemographicParityDifference(yhat, s);
+    if (!v.ok() || !ddp.ok()) continue;
+    EXPECT_NEAR(std::fabs(v.value()), ddp.value(), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace faction

@@ -1,0 +1,150 @@
+#include <memory>
+
+#include "core/presets.h"
+#include "data/streams.h"
+#include "gtest/gtest.h"
+
+namespace faction {
+namespace {
+
+// Small-but-real end-to-end runs: every method drives the full Algorithm 1
+// protocol over a miniature stream.
+
+ExperimentDefaults TinyDefaults() {
+  ExperimentDefaults d;
+  d.budget_per_task = 40;
+  d.acquisition_batch = 20;
+  d.warm_start = 40;
+  d.hidden_dims = {24, 8};
+  d.epochs = 2;
+  d.train_batch = 32;
+  return d;
+}
+
+std::vector<Dataset> TinyStream(std::uint64_t seed = 5) {
+  StationaryConfig config;
+  config.scale.samples_per_task = 120;
+  config.scale.seed = seed;
+  config.dim = 8;
+  config.num_tasks = 3;
+  Result<std::vector<Dataset>> stream = MakeStationaryStream(config);
+  EXPECT_TRUE(stream.ok()) << stream.status().ToString();
+  return stream.value();
+}
+
+class MethodEndToEnd : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MethodEndToEnd, RunsAndProducesMetrics) {
+  const std::vector<Dataset> tasks = TinyStream();
+  const Result<RunResult> run =
+      RunMethodOnStream(GetParam(), tasks, TinyDefaults(), 11);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const RunResult& r = run.value();
+  EXPECT_EQ(r.per_task.size(), tasks.size());
+  for (const TaskMetrics& m : r.per_task) {
+    EXPECT_GE(m.accuracy, 0.0);
+    EXPECT_LE(m.accuracy, 1.0);
+    EXPECT_GE(m.ddp, 0.0);
+    EXPECT_LE(m.ddp, 1.0);
+    EXPECT_GE(m.eod, 0.0);
+    EXPECT_LE(m.eod, 1.0);
+    EXPECT_GE(m.mi, 0.0);
+  }
+  // Every task consumed its full budget (pool is far larger than B).
+  for (const TaskMetrics& m : r.per_task) {
+    EXPECT_EQ(m.queries_used, TinyDefaults().budget_per_task);
+  }
+  EXPECT_GT(r.total_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, MethodEndToEnd,
+    ::testing::Values("FACTION", "FAL", "FAL-CUR", "Decoupled", "QuFUR",
+                      "DDU", "Entropy-AL", "Random", "w/o fair select",
+                      "w/o fair reg", "w/o fair select & fair reg"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(IntegrationTest, LearningBeatsChanceOnStationaryStream) {
+  const std::vector<Dataset> tasks = TinyStream(9);
+  const Result<RunResult> run =
+      RunMethodOnStream("FACTION", tasks, TinyDefaults(), 3);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  // By the last task the model has seen labeled data from two prior tasks
+  // of the same distribution; it must beat chance comfortably.
+  EXPECT_GT(run.value().per_task.back().accuracy, 0.65);
+}
+
+TEST(IntegrationTest, DeterministicGivenSeed) {
+  const std::vector<Dataset> tasks = TinyStream(13);
+  const Result<RunResult> a =
+      RunMethodOnStream("FACTION", tasks, TinyDefaults(), 17);
+  const Result<RunResult> b =
+      RunMethodOnStream("FACTION", tasks, TinyDefaults(), 17);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a.value().per_task.size(), b.value().per_task.size());
+  for (std::size_t i = 0; i < a.value().per_task.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.value().per_task[i].accuracy,
+                     b.value().per_task[i].accuracy);
+    EXPECT_DOUBLE_EQ(a.value().per_task[i].ddp, b.value().per_task[i].ddp);
+  }
+}
+
+TEST(IntegrationTest, SeedChangesRun) {
+  const std::vector<Dataset> tasks = TinyStream(13);
+  const Result<RunResult> a =
+      RunMethodOnStream("FACTION", tasks, TinyDefaults(), 1);
+  const Result<RunResult> b =
+      RunMethodOnStream("FACTION", tasks, TinyDefaults(), 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.value().per_task.size(); ++i) {
+    if (a.value().per_task[i].accuracy != b.value().per_task[i].accuracy) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(IntegrationTest, RegretTrackingProducesIncrements) {
+  const std::vector<Dataset> tasks = TinyStream(21);
+  ExperimentDefaults d = TinyDefaults();
+  Result<std::unique_ptr<QueryStrategy>> strategy = MakeStrategy("FACTION", d);
+  ASSERT_TRUE(strategy.ok());
+  OnlineLearnerConfig config =
+      MakeLearnerConfig(d, tasks[0].dim(), "FACTION", 5);
+  config.track_regret = true;
+  OnlineLearner learner(config, strategy.value().get());
+  const Result<RunResult> run = learner.Run(tasks);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().regret_increments.size(), tasks.size());
+  for (double inc : run.value().regret_increments) EXPECT_GE(inc, 0.0);
+  EXPECT_GE(run.value().cumulative_regret, 0.0);
+}
+
+TEST(IntegrationTest, UnknownMethodRejected) {
+  const std::vector<Dataset> tasks = TinyStream(23);
+  const Result<RunResult> run =
+      RunMethodOnStream("NoSuchMethod", tasks, TinyDefaults(), 1);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kNotFound);
+}
+
+TEST(IntegrationTest, MismatchedModelDimensionRejected) {
+  const std::vector<Dataset> tasks = TinyStream(25);
+  ExperimentDefaults d = TinyDefaults();
+  Result<std::unique_ptr<QueryStrategy>> strategy = MakeStrategy("Random", d);
+  ASSERT_TRUE(strategy.ok());
+  OnlineLearnerConfig config =
+      MakeLearnerConfig(d, tasks[0].dim() + 1, "Random", 5);
+  OnlineLearner learner(config, strategy.value().get());
+  EXPECT_FALSE(learner.Run(tasks).ok());
+}
+
+}  // namespace
+}  // namespace faction

@@ -1,0 +1,600 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/streams.h"
+#include "gtest/gtest.h"
+#include "nn/activation.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "nn/trainer.h"
+#include "tensor/linalg.h"
+#include "tensor/ops.h"
+
+namespace faction {
+namespace {
+
+// ---------------------------------------------------------------- Linear
+
+TEST(LinearTest, ForwardShapeAndBias) {
+  Rng rng(1);
+  SpectralNormConfig no_sn;
+  Linear lin(3, 2, no_sn, &rng);
+  lin.bias()->Fill(0.5);
+  Matrix x(4, 3, 1.0);
+  const Matrix y = lin.Forward(x);
+  EXPECT_EQ(y.rows(), 4u);
+  EXPECT_EQ(y.cols(), 2u);
+  // y = sum of weights per output + bias.
+  const Matrix& w = *lin.weight();
+  for (std::size_t j = 0; j < 2; ++j) {
+    double expect = 0.5;
+    for (std::size_t k = 0; k < 3; ++k) expect += w(j, k);
+    EXPECT_NEAR(y(0, j), expect, 1e-12);
+  }
+}
+
+TEST(LinearTest, ForwardInferenceMatchesForward) {
+  Rng rng(2);
+  SpectralNormConfig no_sn;
+  Linear lin(5, 4, no_sn, &rng);
+  Matrix x(3, 5);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Gaussian();
+  const Matrix a = lin.Forward(x);
+  const Matrix b = lin.ForwardInference(x);
+  EXPECT_LT(MaxAbsDiff(a, b), 1e-12);
+}
+
+// Finite-difference gradient check for the Linear layer.
+TEST(LinearTest, GradientCheck) {
+  Rng rng(3);
+  SpectralNormConfig no_sn;
+  Linear lin(4, 3, no_sn, &rng);
+  Matrix x(2, 4);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Gaussian();
+  // Scalar objective: L = sum(y).
+  auto loss_of = [&](Linear& layer) {
+    const Matrix y = layer.ForwardInference(x);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) acc += y.data()[i];
+    return acc;
+  };
+  lin.ZeroGrad();
+  const Matrix y = lin.Forward(x);
+  Matrix dy(y.rows(), y.cols(), 1.0);
+  const Matrix dx = lin.Backward(dy);
+
+  const double eps = 1e-6;
+  // Weight gradient.
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      const double orig = (*lin.weight())(r, c);
+      (*lin.weight())(r, c) = orig + eps;
+      const double up = loss_of(lin);
+      (*lin.weight())(r, c) = orig - eps;
+      const double down = loss_of(lin);
+      (*lin.weight())(r, c) = orig;
+      const double numeric = (up - down) / (2.0 * eps);
+      EXPECT_NEAR((*lin.weight_grad())(r, c), numeric, 1e-4);
+    }
+  }
+  // Bias gradient: each bias column receives batch-size contributions.
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR((*lin.bias_grad())(0, c), 2.0, 1e-9);
+  }
+  // Input gradient.
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      double expect = 0.0;
+      for (std::size_t j = 0; j < 3; ++j) expect += (*lin.weight())(j, c);
+      EXPECT_NEAR(dx(r, c), expect, 1e-9);
+    }
+  }
+}
+
+TEST(LinearTest, SpectralNormCapsWeightScale) {
+  Rng rng(4);
+  SpectralNormConfig sn;
+  sn.enabled = true;
+  sn.coeff = 1.0;
+  sn.power_iterations = 30;
+  Linear lin(6, 6, sn, &rng);
+  // Inflate the weights so sigma clearly exceeds the budget.
+  for (std::size_t i = 0; i < lin.weight()->size(); ++i) {
+    lin.weight()->data()[i] *= 10.0;
+  }
+  Matrix x(2, 6);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Gaussian();
+  lin.Forward(x);
+  EXPECT_GT(lin.last_sigma(), 1.0);
+  EXPECT_LT(lin.last_scale(), 1.0);
+  EXPECT_NEAR(lin.last_scale() * lin.last_sigma(), sn.coeff, 0.05);
+}
+
+TEST(LinearTest, SpectralNormIdleBelowBudget) {
+  Rng rng(5);
+  SpectralNormConfig sn;
+  sn.enabled = true;
+  sn.coeff = 1000.0;  // budget far above any initialization
+  Linear lin(4, 4, sn, &rng);
+  Matrix x(1, 4, 1.0);
+  lin.Forward(x);
+  EXPECT_EQ(lin.last_scale(), 1.0);
+}
+
+TEST(LinearTest, ZeroGradClears) {
+  Rng rng(6);
+  SpectralNormConfig no_sn;
+  Linear lin(2, 2, no_sn, &rng);
+  Matrix x(1, 2, 1.0);
+  lin.Forward(x);
+  Matrix dy(1, 2, 1.0);
+  lin.Backward(dy);
+  EXPECT_GT(FrobeniusNorm2(*lin.weight_grad()), 0.0);
+  lin.ZeroGrad();
+  EXPECT_EQ(FrobeniusNorm2(*lin.weight_grad()), 0.0);
+  EXPECT_EQ(FrobeniusNorm2(*lin.bias_grad()), 0.0);
+}
+
+// ------------------------------------------------------------------ ReLU
+
+TEST(ReluTest, ForwardClamps) {
+  Relu relu;
+  const Matrix x = {{-1.0, 2.0}, {0.0, -3.0}};
+  const Matrix y = relu.Forward(x);
+  EXPECT_EQ(y(0, 0), 0.0);
+  EXPECT_EQ(y(0, 1), 2.0);
+  EXPECT_EQ(y(1, 0), 0.0);
+  EXPECT_EQ(y(1, 1), 0.0);
+}
+
+TEST(ReluTest, BackwardMasks) {
+  Relu relu;
+  const Matrix x = {{-1.0, 2.0, 0.5}};
+  relu.Forward(x);
+  const Matrix dy = {{10.0, 10.0, 10.0}};
+  const Matrix dx = relu.Backward(dy);
+  EXPECT_EQ(dx(0, 0), 0.0);
+  EXPECT_EQ(dx(0, 1), 10.0);
+  EXPECT_EQ(dx(0, 2), 10.0);
+}
+
+TEST(ReluTest, InferenceMatchesForward) {
+  Relu relu;
+  const Matrix x = {{-2.0, 3.0}, {4.0, -5.0}};
+  EXPECT_LT(MaxAbsDiff(relu.Forward(x), Relu::ForwardInference(x)), 1e-15);
+}
+
+// ------------------------------------------------------------------- MLP
+
+MlpConfig SmallConfig() {
+  MlpConfig config;
+  config.input_dim = 5;
+  config.hidden_dims = {8, 4};
+  config.num_classes = 2;
+  return config;
+}
+
+TEST(MlpTest, ShapesAndFeatureDim) {
+  Rng rng(7);
+  MlpClassifier model(SmallConfig(), &rng);
+  EXPECT_EQ(model.feature_dim(), 4u);
+  Matrix x(3, 5, 0.3);
+  const Matrix logits = model.Forward(x);
+  EXPECT_EQ(logits.rows(), 3u);
+  EXPECT_EQ(logits.cols(), 2u);
+  EXPECT_EQ(model.last_features().rows(), 3u);
+  EXPECT_EQ(model.last_features().cols(), 4u);
+  const Matrix z = model.ExtractFeatures(x);
+  EXPECT_LT(MaxAbsDiff(z, model.last_features()), 1e-12);
+}
+
+TEST(MlpTest, LogitsMatchForward) {
+  Rng rng(8);
+  MlpClassifier model(SmallConfig(), &rng);
+  Matrix x(4, 5);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Gaussian();
+  const Matrix a = model.Forward(x);
+  const Matrix b = model.Logits(x);
+  EXPECT_LT(MaxAbsDiff(a, b), 1e-12);
+}
+
+TEST(MlpTest, PredictArgmaxOfProba) {
+  Rng rng(9);
+  MlpClassifier model(SmallConfig(), &rng);
+  Matrix x(6, 5);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Gaussian();
+  const Matrix proba = model.PredictProba(x);
+  const std::vector<int> pred = model.Predict(x);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const int argmax = proba(i, 1) > proba(i, 0) ? 1 : 0;
+    EXPECT_EQ(pred[i], argmax);
+    EXPECT_NEAR(proba(i, 0) + proba(i, 1), 1.0, 1e-12);
+  }
+}
+
+// End-to-end gradient check through the full MLP with cross-entropy.
+TEST(MlpTest, FullGradientCheck) {
+  Rng rng(10);
+  MlpConfig config = SmallConfig();
+  MlpClassifier model(config, &rng);
+  Matrix x(3, 5);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Gaussian();
+  const std::vector<int> labels = {0, 1, 1};
+
+  auto loss_of = [&]() {
+    return SoftmaxNll(model.Logits(x), labels);
+  };
+  const Matrix logits = model.Forward(x);
+  Matrix dlogits;
+  SoftmaxCrossEntropy(logits, labels, &dlogits);
+  model.ZeroGrad();
+  model.Backward(dlogits);
+
+  const std::vector<Matrix*> params = model.Parameters();
+  const std::vector<Matrix*> grads = model.Gradients();
+  const double eps = 1e-6;
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    // Spot-check a few entries of every parameter tensor.
+    const std::size_t stride = std::max<std::size_t>(1, params[p]->size() / 5);
+    for (std::size_t k = 0; k < params[p]->size(); k += stride) {
+      const double orig = params[p]->data()[k];
+      params[p]->data()[k] = orig + eps;
+      const double up = loss_of();
+      params[p]->data()[k] = orig - eps;
+      const double down = loss_of();
+      params[p]->data()[k] = orig;
+      const double numeric = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(grads[p]->data()[k], numeric, 1e-4)
+          << "param " << p << " entry " << k;
+    }
+  }
+}
+
+TEST(MlpTest, LinearModelWhenNoHidden) {
+  Rng rng(11);
+  MlpConfig config;
+  config.input_dim = 4;
+  config.hidden_dims = {};
+  MlpClassifier model(config, &rng);
+  EXPECT_EQ(model.feature_dim(), 4u);
+  Matrix x(2, 4, 0.5);
+  // Features of a linear model are the raw inputs.
+  EXPECT_LT(MaxAbsDiff(model.ExtractFeatures(x), x), 1e-15);
+  const Matrix logits = model.Logits(x);
+  EXPECT_EQ(logits.cols(), 2u);
+}
+
+TEST(MlpTest, CopyParametersMatchesOutputs) {
+  Rng rng_a(12), rng_b(13);
+  MlpClassifier a(SmallConfig(), &rng_a);
+  MlpClassifier b(SmallConfig(), &rng_b);
+  Matrix x(2, 5, 0.7);
+  EXPECT_GT(MaxAbsDiff(a.Logits(x), b.Logits(x)), 1e-6);
+  b.CopyParametersFrom(a);
+  EXPECT_LT(MaxAbsDiff(a.Logits(x), b.Logits(x)), 1e-12);
+}
+
+TEST(MlpTest, ParameterCount) {
+  Rng rng(14);
+  MlpClassifier model(SmallConfig(), &rng);
+  // 5->8 (48) + 8->4 (36) + 4->2 (10) = 94.
+  EXPECT_EQ(model.ParameterCount(), 94u);
+}
+
+// ------------------------------------------------------------------ Loss
+
+TEST(LossTest, CrossEntropyKnownValue) {
+  // Uniform logits over 2 classes: loss = log(2).
+  const Matrix logits(3, 2, 0.0);
+  Matrix dlogits;
+  const double loss = SoftmaxCrossEntropy(logits, {0, 1, 0}, &dlogits);
+  EXPECT_NEAR(loss, std::log(2.0), 1e-12);
+  // Gradient: (p - onehot)/n.
+  EXPECT_NEAR(dlogits(0, 0), (0.5 - 1.0) / 3.0, 1e-12);
+  EXPECT_NEAR(dlogits(0, 1), 0.5 / 3.0, 1e-12);
+}
+
+TEST(LossTest, CrossEntropyGradientCheck) {
+  Rng rng(15);
+  Matrix logits(4, 3);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    logits.data()[i] = rng.Gaussian();
+  }
+  const std::vector<int> labels = {2, 0, 1, 2};
+  Matrix dlogits;
+  SoftmaxCrossEntropy(logits, labels, &dlogits);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Matrix up = logits, down = logits;
+    up.data()[i] += eps;
+    down.data()[i] -= eps;
+    Matrix scratch;
+    const double lu = SoftmaxCrossEntropy(up, labels, &scratch);
+    const double ld = SoftmaxCrossEntropy(down, labels, &scratch);
+    EXPECT_NEAR(dlogits.data()[i], (lu - ld) / (2.0 * eps), 1e-6);
+  }
+}
+
+TEST(LossTest, NllMatchesCrossEntropyValue) {
+  Rng rng(16);
+  Matrix logits(5, 2);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    logits.data()[i] = rng.Gaussian();
+  }
+  const std::vector<int> labels = {0, 1, 1, 0, 1};
+  Matrix dlogits;
+  EXPECT_NEAR(SoftmaxCrossEntropy(logits, labels, &dlogits),
+              SoftmaxNll(logits, labels), 1e-12);
+}
+
+TEST(LossTest, FairnessPenaltyZeroWhenBalanced) {
+  // Identical score distribution across groups => v = 0 => no penalty.
+  const Matrix logits = {{1.0, -1.0}, {1.0, -1.0}, {-1.0, 1.0}, {-1.0, 1.0}};
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const std::vector<int> sensitive = {1, -1, 1, -1};
+  Matrix dlogits(4, 2, 0.0);
+  FairnessPenaltyConfig config;
+  config.epsilon = 0.0;
+  const Result<double> pen =
+      AddFairnessPenalty(logits, labels, sensitive, config, &dlogits);
+  ASSERT_TRUE(pen.ok()) << pen.status().ToString();
+  EXPECT_NEAR(pen.value(), 0.0, 1e-9);
+  EXPECT_NEAR(FrobeniusNorm2(dlogits), 0.0, 1e-12);
+}
+
+TEST(LossTest, FairnessPenaltyPositiveWhenGroupFavored) {
+  // Group +1 receives confident class-1 scores; group -1 class-0.
+  const Matrix logits = {{-3.0, 3.0}, {-3.0, 3.0}, {3.0, -3.0}, {3.0, -3.0}};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  const std::vector<int> sensitive = {1, 1, -1, -1};
+  Matrix dlogits(4, 2, 0.0);
+  FairnessPenaltyConfig config;
+  config.mu = 1.0;
+  config.epsilon = 0.0;
+  const Result<double> pen =
+      AddFairnessPenalty(logits, labels, sensitive, config, &dlogits);
+  ASSERT_TRUE(pen.ok());
+  EXPECT_GT(pen.value(), 0.5);
+  EXPECT_GT(FrobeniusNorm2(dlogits), 0.0);
+}
+
+TEST(LossTest, FairnessPenaltyGradientCheck) {
+  Rng rng(17);
+  Matrix logits(6, 2);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    logits.data()[i] = rng.Gaussian();
+  }
+  const std::vector<int> labels = {0, 1, 0, 1, 1, 0};
+  const std::vector<int> sensitive = {1, 1, -1, -1, 1, -1};
+  FairnessPenaltyConfig config;
+  config.mu = 0.8;
+  config.epsilon = 0.0;
+
+  auto penalty_of = [&](const Matrix& l) {
+    Matrix scratch(l.rows(), l.cols(), 0.0);
+    const Result<double> pen =
+        AddFairnessPenalty(l, labels, sensitive, config, &scratch);
+    return pen.value_or(0.0);
+  };
+  Matrix dlogits(6, 2, 0.0);
+  const Result<double> pen =
+      AddFairnessPenalty(logits, labels, sensitive, config, &dlogits);
+  ASSERT_TRUE(pen.ok());
+  // Skip the check if the penalty sits exactly at the hinge kink.
+  if (std::fabs(penalty_of(logits)) > 1e-6) {
+    const double eps = 1e-6;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+      Matrix up = logits, down = logits;
+      up.data()[i] += eps;
+      down.data()[i] -= eps;
+      EXPECT_NEAR(dlogits.data()[i],
+                  (penalty_of(up) - penalty_of(down)) / (2.0 * eps), 1e-5);
+    }
+  }
+}
+
+TEST(LossTest, FairnessPenaltyRequiresBinary) {
+  const Matrix logits(2, 3, 0.0);
+  Matrix dlogits(2, 3, 0.0);
+  FairnessPenaltyConfig config;
+  const Result<double> pen =
+      AddFairnessPenalty(logits, {0, 1}, {1, -1}, config, &dlogits);
+  EXPECT_FALSE(pen.ok());
+}
+
+TEST(LossTest, FairnessPenaltySingleGroupFails) {
+  const Matrix logits(2, 2, 0.0);
+  Matrix dlogits(2, 2, 0.0);
+  FairnessPenaltyConfig config;
+  const Result<double> pen =
+      AddFairnessPenalty(logits, {0, 1}, {1, 1}, config, &dlogits);
+  EXPECT_FALSE(pen.ok());
+}
+
+TEST(LossTest, LiteralPenaltyIgnoresNegativeV) {
+  // Disparity favoring group -1 gives v < 0: the literal [v]_+ form stays
+  // inactive while the symmetric form penalizes.
+  const Matrix logits = {{3.0, -3.0}, {3.0, -3.0}, {-3.0, 3.0}, {-3.0, 3.0}};
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const std::vector<int> sensitive = {1, 1, -1, -1};  // group -1 favored
+  FairnessPenaltyConfig literal;
+  literal.symmetric = false;
+  literal.epsilon = 0.0;
+  Matrix d1(4, 2, 0.0);
+  const Result<double> p_lit =
+      AddFairnessPenalty(logits, labels, sensitive, literal, &d1);
+  ASSERT_TRUE(p_lit.ok());
+  EXPECT_NEAR(p_lit.value(), 0.0, 1e-9);
+
+  FairnessPenaltyConfig symmetric;
+  symmetric.symmetric = true;
+  symmetric.epsilon = 0.0;
+  Matrix d2(4, 2, 0.0);
+  const Result<double> p_sym =
+      AddFairnessPenalty(logits, labels, sensitive, symmetric, &d2);
+  ASSERT_TRUE(p_sym.ok());
+  EXPECT_GT(p_sym.value(), 0.1);
+}
+
+// ------------------------------------------------------------- Optimizer
+
+TEST(OptimizerTest, SgdPlainStep) {
+  Matrix p = {{1.0, 2.0}};
+  Matrix g = {{0.5, -0.5}};
+  SgdOptimizer opt(0.1);
+  opt.Step({&p}, {&g});
+  EXPECT_NEAR(p(0, 0), 0.95, 1e-12);
+  EXPECT_NEAR(p(0, 1), 2.05, 1e-12);
+}
+
+TEST(OptimizerTest, SgdMomentumAccumulates) {
+  Matrix p = {{0.0}};
+  Matrix g = {{1.0}};
+  SgdOptimizer opt(1.0, 0.9);
+  opt.Step({&p}, {&g});
+  EXPECT_NEAR(p(0, 0), -1.0, 1e-12);  // v = 1
+  opt.Step({&p}, {&g});
+  EXPECT_NEAR(p(0, 0), -2.9, 1e-12);  // v = 1.9
+}
+
+TEST(OptimizerTest, SgdWeightDecayShrinks) {
+  Matrix p = {{10.0}};
+  Matrix g = {{0.0}};
+  SgdOptimizer opt(0.1, 0.0, 0.5);
+  opt.Step({&p}, {&g});
+  EXPECT_NEAR(p(0, 0), 10.0 * (1.0 - 0.05), 1e-12);
+}
+
+TEST(OptimizerTest, AdamConvergesOnQuadratic) {
+  // Minimize f(x) = (x - 3)^2; gradient 2(x-3).
+  Matrix p = {{0.0}};
+  AdamOptimizer opt(0.1);
+  for (int i = 0; i < 500; ++i) {
+    Matrix g = {{2.0 * (p(0, 0) - 3.0)}};
+    opt.Step({&p}, {&g});
+  }
+  EXPECT_NEAR(p(0, 0), 3.0, 1e-3);
+}
+
+TEST(OptimizerTest, SgdConvergesOnQuadratic) {
+  Matrix p = {{-5.0}};
+  SgdOptimizer opt(0.1, 0.9);
+  for (int i = 0; i < 400; ++i) {
+    Matrix g = {{2.0 * (p(0, 0) - 3.0)}};
+    opt.Step({&p}, {&g});
+  }
+  EXPECT_NEAR(p(0, 0), 3.0, 1e-4);
+}
+
+TEST(OptimizerTest, LearningRateMutable) {
+  SgdOptimizer opt(0.1);
+  EXPECT_EQ(opt.learning_rate(), 0.1);
+  opt.set_learning_rate(0.01);
+  EXPECT_EQ(opt.learning_rate(), 0.01);
+}
+
+// --------------------------------------------------------------- Trainer
+
+Dataset TrainerPool(std::size_t n, std::uint64_t seed) {
+  StationaryConfig config;
+  config.scale.samples_per_task = n;
+  config.scale.seed = seed;
+  config.dim = 8;
+  config.num_tasks = 1;
+  Result<std::vector<Dataset>> stream = MakeStationaryStream(config);
+  EXPECT_TRUE(stream.ok());
+  return std::move(stream.value()[0]);
+}
+
+TEST(TrainerTest, LossDecreases) {
+  const Dataset pool = TrainerPool(300, 31);
+  Rng rng(18);
+  MlpConfig mconfig;
+  mconfig.input_dim = 8;
+  mconfig.hidden_dims = {16, 8};
+  MlpClassifier model(mconfig, &rng);
+  const double before = SoftmaxNll(model.Logits(pool.features()),
+                                   pool.labels());
+  TrainConfig tconfig;
+  tconfig.epochs = 10;
+  Rng train_rng(19);
+  const Result<TrainReport> report =
+      TrainClassifier(&model, pool, tconfig, &train_rng);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const double after =
+      SoftmaxNll(model.Logits(pool.features()), pool.labels());
+  EXPECT_LT(after, before * 0.8);
+  EXPECT_GT(report.value().steps, 0);
+}
+
+TEST(TrainerTest, FairnessPenaltyReducesDisparity) {
+  const Dataset pool = TrainerPool(600, 33);
+  TrainConfig plain;
+  plain.epochs = 12;
+  TrainConfig fair = plain;
+  fair.use_fairness_penalty = true;
+  fair.fairness.mu = 2.0;
+  fair.fairness.epsilon = 0.0;
+
+  auto disparity_of = [&](const TrainConfig& config, std::uint64_t seed) {
+    Rng rng(seed);
+    MlpConfig mconfig;
+    mconfig.input_dim = 8;
+    mconfig.hidden_dims = {16, 8};
+    MlpClassifier model(mconfig, &rng);
+    Rng train_rng(seed + 1);
+    const Result<TrainReport> report =
+        TrainClassifier(&model, pool, config, &train_rng);
+    EXPECT_TRUE(report.ok());
+    const Matrix proba = model.PredictProba(pool.features());
+    std::vector<double> scores(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) scores[i] = proba(i, 1);
+    const Result<double> v = RelaxedFairness(
+        FairnessNotion::kDdp, scores, pool.sensitive(), pool.labels());
+    EXPECT_TRUE(v.ok());
+    return std::fabs(v.value_or(0.0));
+  };
+  const double plain_v = disparity_of(plain, 100);
+  const double fair_v = disparity_of(fair, 100);
+  EXPECT_LT(fair_v, plain_v * 0.7)
+      << "plain=" << plain_v << " fair=" << fair_v;
+}
+
+TEST(TrainerTest, RejectsEmptyDataset) {
+  Rng rng(20);
+  MlpConfig mconfig;
+  mconfig.input_dim = 8;
+  MlpClassifier model(mconfig, &rng);
+  Dataset empty(8);
+  TrainConfig tconfig;
+  EXPECT_FALSE(TrainClassifier(&model, empty, tconfig, &rng).ok());
+}
+
+TEST(TrainerTest, RejectsDimensionMismatch) {
+  const Dataset pool = TrainerPool(50, 35);
+  Rng rng(21);
+  MlpConfig mconfig;
+  mconfig.input_dim = 12;  // pool is 8-dimensional
+  MlpClassifier model(mconfig, &rng);
+  TrainConfig tconfig;
+  EXPECT_FALSE(TrainClassifier(&model, pool, tconfig, &rng).ok());
+}
+
+TEST(TrainerTest, RejectsBadHyperparameters) {
+  const Dataset pool = TrainerPool(50, 37);
+  Rng rng(22);
+  MlpConfig mconfig;
+  mconfig.input_dim = 8;
+  MlpClassifier model(mconfig, &rng);
+  TrainConfig tconfig;
+  tconfig.epochs = 0;
+  EXPECT_FALSE(TrainClassifier(&model, pool, tconfig, &rng).ok());
+  tconfig.epochs = 1;
+  tconfig.batch_size = 0;
+  EXPECT_FALSE(TrainClassifier(&model, pool, tconfig, &rng).ok());
+}
+
+}  // namespace
+}  // namespace faction

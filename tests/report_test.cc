@@ -1,0 +1,146 @@
+#include <sstream>
+
+#include "fairness/metrics.h"
+#include "gtest/gtest.h"
+#include "stream/report.h"
+
+namespace faction {
+namespace {
+
+RunResult MakeRun() {
+  RunResult run;
+  run.strategy_name = "FACTION";
+  auto add = [&](int idx, int env, double acc, double ddp) {
+    TaskMetrics m;
+    m.task_index = idx;
+    m.environment = env;
+    m.accuracy = acc;
+    m.ddp = ddp;
+    m.eod = ddp / 2.0;
+    m.mi = ddp / 10.0;
+    m.queries_used = 100;
+    run.per_task.push_back(m);
+  };
+  add(0, 0, 0.70, 0.20);
+  add(1, 0, 0.80, 0.10);
+  add(2, 1, 0.60, 0.30);
+  add(3, 1, 0.75, 0.20);
+  add(4, 1, 0.85, 0.10);
+  run.summary = Summarize(run.per_task);
+  run.total_queries = run.summary.total_queries;
+  return run;
+}
+
+TEST(ReportTest, SummarizeByEnvironmentGroupsAndAverages) {
+  const RunResult run = MakeRun();
+  const std::vector<EnvironmentSummary> envs = SummarizeByEnvironment(run);
+  ASSERT_EQ(envs.size(), 2u);
+  EXPECT_EQ(envs[0].environment, 0);
+  EXPECT_EQ(envs[0].num_tasks, 2u);
+  EXPECT_NEAR(envs[0].mean_accuracy, 0.75, 1e-12);
+  EXPECT_NEAR(envs[0].first_task_accuracy, 0.70, 1e-12);
+  EXPECT_NEAR(envs[0].last_task_accuracy, 0.80, 1e-12);
+  EXPECT_EQ(envs[1].environment, 1);
+  EXPECT_EQ(envs[1].num_tasks, 3u);
+  EXPECT_NEAR(envs[1].mean_accuracy, (0.60 + 0.75 + 0.85) / 3.0, 1e-12);
+  EXPECT_NEAR(envs[1].mean_ddp, 0.20, 1e-12);
+  EXPECT_NEAR(envs[1].first_task_accuracy, 0.60, 1e-12);
+  EXPECT_NEAR(envs[1].last_task_accuracy, 0.85, 1e-12);
+}
+
+TEST(ReportTest, EmptyRunYieldsNoEnvironments) {
+  RunResult run;
+  EXPECT_TRUE(SummarizeByEnvironment(run).empty());
+}
+
+TEST(ReportTest, MarkdownReportContainsSections) {
+  const RunResult run = MakeRun();
+  std::ostringstream os;
+  WriteMarkdownReport(run, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# Run report: FACTION"), std::string::npos);
+  EXPECT_NE(out.find("## Per environment"), std::string::npos);
+  EXPECT_NE(out.find("## Per task"), std::string::npos);
+  EXPECT_NE(out.find("on-shift acc"), std::string::npos);
+  EXPECT_NE(out.find("total queries: 500"), std::string::npos);
+}
+
+TEST(ReportTest, ComparisonReportListsMethods) {
+  RunResult a = MakeRun();
+  RunResult b = MakeRun();
+  b.strategy_name = "Random";
+  std::ostringstream os;
+  WriteComparisonReport({a, b}, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("FACTION"), std::string::npos);
+  EXPECT_NE(out.find("Random"), std::string::npos);
+}
+
+// ------------------------------------------------- GroupCalibrationGap
+
+TEST(CalibrationTest, PerfectlyCalibratedGroupsHaveZeroGap) {
+  // Both groups: score 0.2 -> 20% positive, score 0.8 -> 80% positive.
+  std::vector<double> scores;
+  std::vector<int> labels, sensitive;
+  for (int g : {-1, 1}) {
+    for (int rep = 0; rep < 10; ++rep) {
+      scores.push_back(0.25);
+      labels.push_back(rep < 2 ? 1 : 0);  // 20%
+      sensitive.push_back(g);
+      scores.push_back(0.85);
+      labels.push_back(rep < 8 ? 1 : 0);  // 80%
+      sensitive.push_back(g);
+    }
+  }
+  const Result<double> gap =
+      GroupCalibrationGap(scores, labels, sensitive, 10);
+  ASSERT_TRUE(gap.ok()) << gap.status().ToString();
+  EXPECT_NEAR(gap.value(), 0.0, 1e-12);
+}
+
+TEST(CalibrationTest, MiscalibratedGroupDetected) {
+  // Same scores, but group +1's outcomes are all positive while group
+  // -1's are all negative in the same bin.
+  std::vector<double> scores;
+  std::vector<int> labels, sensitive;
+  for (int rep = 0; rep < 10; ++rep) {
+    scores.push_back(0.55);
+    labels.push_back(1);
+    sensitive.push_back(1);
+    scores.push_back(0.55);
+    labels.push_back(0);
+    sensitive.push_back(-1);
+  }
+  const Result<double> gap =
+      GroupCalibrationGap(scores, labels, sensitive, 10);
+  ASSERT_TRUE(gap.ok());
+  EXPECT_NEAR(gap.value(), 1.0, 1e-12);
+}
+
+TEST(CalibrationTest, ScoresClampedToUnitInterval) {
+  const std::vector<double> scores = {-0.5, 1.5, 0.5, 0.5};
+  const std::vector<int> labels = {0, 1, 1, 0};
+  const std::vector<int> sensitive = {1, -1, 1, -1};
+  // -0.5 lands in the first bin (group +1 only), 1.5 in the last (group
+  // -1 only): only the 0.5 bin is comparable.
+  const Result<double> gap =
+      GroupCalibrationGap(scores, labels, sensitive, 10);
+  ASSERT_TRUE(gap.ok());
+  EXPECT_NEAR(gap.value(), 1.0, 1e-12);
+}
+
+TEST(CalibrationTest, NoComparableBinFails) {
+  const std::vector<double> scores = {0.1, 0.9};
+  const std::vector<int> labels = {0, 1};
+  const std::vector<int> sensitive = {1, -1};
+  EXPECT_FALSE(GroupCalibrationGap(scores, labels, sensitive, 10).ok());
+}
+
+TEST(CalibrationTest, ValidationErrors) {
+  EXPECT_FALSE(GroupCalibrationGap({}, {}, {}, 10).ok());
+  EXPECT_FALSE(GroupCalibrationGap({0.5}, {1}, {1}, 0).ok());
+  EXPECT_FALSE(GroupCalibrationGap({0.5, 0.5}, {1}, {1, -1}, 10).ok());
+}
+
+}  // namespace
+}  // namespace faction

@@ -1,0 +1,179 @@
+// Failure-injection and degenerate-input robustness: the full pipeline
+// must survive (or fail loudly with a Status, never crash) on streams that
+// violate the comfortable assumptions — single-group tasks, constant
+// features, tasks barely larger than the budget, and adversarial label
+// distributions.
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/presets.h"
+#include "data/dataset.h"
+#include "data/streams.h"
+#include "gtest/gtest.h"
+#include "stream/online_learner.h"
+
+namespace faction {
+namespace {
+
+ExperimentDefaults TinyDefaults() {
+  ExperimentDefaults d;
+  d.budget_per_task = 20;
+  d.acquisition_batch = 10;
+  d.warm_start = 20;
+  d.hidden_dims = {12, 6};
+  d.epochs = 2;
+  return d;
+}
+
+Dataset MakeTask(std::size_t n, std::size_t dim, Rng* rng,
+                 double group_fraction = 0.5, double positive = 0.5,
+                 double feature_scale = 1.0, int environment = 0) {
+  Dataset task(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    Example e;
+    e.environment = environment;
+    e.label = rng->Bernoulli(positive) ? 1 : 0;
+    e.sensitive = rng->Bernoulli(group_fraction) ? 1 : -1;
+    e.x.resize(dim);
+    for (double& v : e.x) {
+      v = feature_scale * rng->Gaussian() +
+          (e.label == 1 ? 1.0 : -1.0);
+    }
+    FACTION_CHECK(task.Append(e).ok());
+  }
+  return task;
+}
+
+class AllMethodsRobustness : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllMethodsRobustness, SingleGroupTaskSurvives) {
+  Rng rng(1);
+  std::vector<Dataset> tasks;
+  tasks.push_back(MakeTask(80, 6, &rng));
+  // Second task: only sensitive group +1 present.
+  tasks.push_back(MakeTask(80, 6, &rng, /*group_fraction=*/1.0));
+  tasks.push_back(MakeTask(80, 6, &rng));
+  const Result<RunResult> run =
+      RunMethodOnStream(GetParam(), tasks, TinyDefaults(), 7);
+  ASSERT_TRUE(run.ok()) << GetParam() << ": " << run.status().ToString();
+  EXPECT_EQ(run.value().per_task.size(), 3u);
+  // Fairness metrics on the degenerate task are reported as 0, not NaN.
+  EXPECT_EQ(run.value().per_task[1].ddp, 0.0);
+  EXPECT_FALSE(std::isnan(run.value().per_task[1].mi));
+}
+
+TEST_P(AllMethodsRobustness, HeavyClassImbalanceSurvives) {
+  Rng rng(2);
+  std::vector<Dataset> tasks;
+  // 95% negative labels: tiny positive cells in the density estimator.
+  for (int t = 0; t < 2; ++t) {
+    tasks.push_back(MakeTask(100, 6, &rng, 0.5, /*positive=*/0.05));
+  }
+  const Result<RunResult> run =
+      RunMethodOnStream(GetParam(), tasks, TinyDefaults(), 9);
+  ASSERT_TRUE(run.ok()) << GetParam() << ": " << run.status().ToString();
+}
+
+TEST_P(AllMethodsRobustness, NearConstantFeaturesSurvive) {
+  Rng rng(3);
+  std::vector<Dataset> tasks;
+  // Features with almost no variance: degenerate covariances exercise the
+  // jitter fallback throughout.
+  for (int t = 0; t < 2; ++t) {
+    tasks.push_back(MakeTask(80, 6, &rng, 0.5, 0.5,
+                             /*feature_scale=*/1e-7));
+  }
+  const Result<RunResult> run =
+      RunMethodOnStream(GetParam(), tasks, TinyDefaults(), 11);
+  ASSERT_TRUE(run.ok()) << GetParam() << ": " << run.status().ToString();
+}
+
+TEST_P(AllMethodsRobustness, TaskBarelyAboveBudget) {
+  Rng rng(4);
+  std::vector<Dataset> tasks;
+  // Task 0: warm start (20) + budget (20) consumes 40 of 44 samples.
+  tasks.push_back(MakeTask(44, 6, &rng));
+  tasks.push_back(MakeTask(44, 6, &rng));
+  const Result<RunResult> run =
+      RunMethodOnStream(GetParam(), tasks, TinyDefaults(), 13);
+  ASSERT_TRUE(run.ok()) << GetParam() << ": " << run.status().ToString();
+  EXPECT_LE(run.value().per_task[0].queries_used, 20u);
+  EXPECT_EQ(run.value().per_task[1].queries_used, 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, AllMethodsRobustness,
+    ::testing::Values("FACTION", "FAL", "FAL-CUR", "Decoupled", "QuFUR",
+                      "DDU", "Entropy-AL", "Random"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(RobustnessTest, EnvironmentWhiplash) {
+  // Environments alternate wildly every task; FACTION must track without
+  // numerical failures and with finite metrics throughout.
+  Rng rng(5);
+  std::vector<Dataset> tasks;
+  for (int t = 0; t < 6; ++t) {
+    Dataset task(6);
+    for (std::size_t i = 0; i < 90; ++i) {
+      Example e;
+      e.environment = t % 2;
+      e.label = rng.Bernoulli(0.5) ? 1 : 0;
+      e.sensitive = rng.Bernoulli(0.5) ? 1 : -1;
+      e.x.assign(6, t % 2 == 0 ? 0.0 : 15.0);  // violent covariate jumps
+      for (double& v : e.x) v += rng.Gaussian() + (e.label == 1 ? 1.0 : 0.0);
+      FACTION_CHECK(task.Append(e).ok());
+    }
+    tasks.push_back(std::move(task));
+  }
+  const Result<RunResult> run =
+      RunMethodOnStream("FACTION", tasks, TinyDefaults(), 17);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  for (const TaskMetrics& m : run.value().per_task) {
+    EXPECT_TRUE(std::isfinite(m.nll));
+    EXPECT_TRUE(std::isfinite(m.ddp));
+  }
+}
+
+TEST(RobustnessTest, MixedDimensionStreamRejected) {
+  Rng rng(6);
+  std::vector<Dataset> tasks;
+  tasks.push_back(MakeTask(60, 6, &rng));
+  tasks.push_back(MakeTask(60, 4, &rng));  // dimension drift
+  const Result<RunResult> run =
+      RunMethodOnStream("Random", tasks, TinyDefaults(), 19);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RobustnessTest, WarmStartLargerThanTask) {
+  Rng rng(7);
+  std::vector<Dataset> tasks;
+  tasks.push_back(MakeTask(15, 6, &rng));  // smaller than warm_start=20
+  tasks.push_back(MakeTask(60, 6, &rng));
+  const Result<RunResult> run =
+      RunMethodOnStream("FACTION", tasks, TinyDefaults(), 21);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  // The whole first task is consumed by the (clamped) warm start.
+  EXPECT_EQ(run.value().per_task[0].queries_used, 0u);
+}
+
+TEST(RobustnessTest, SingleSampleTask) {
+  Rng rng(8);
+  std::vector<Dataset> tasks;
+  tasks.push_back(MakeTask(60, 6, &rng));
+  tasks.push_back(MakeTask(1, 6, &rng));
+  tasks.push_back(MakeTask(60, 6, &rng));
+  const Result<RunResult> run =
+      RunMethodOnStream("FACTION", tasks, TinyDefaults(), 23);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().per_task.size(), 3u);
+}
+
+}  // namespace
+}  // namespace faction

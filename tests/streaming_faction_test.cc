@@ -1,0 +1,169 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/streaming_faction.h"
+#include "data/streams.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+
+namespace faction {
+namespace {
+
+StreamingFactionConfig SmallConfig(std::size_t dim = 6) {
+  StreamingFactionConfig config;
+  config.model.input_dim = dim;
+  config.model.hidden_dims = {12, 6};
+  config.train.epochs = 2;
+  config.warm_start = 30;
+  config.burn_in = 5;
+  config.refit_interval = 20;
+  config.seed = 3;
+  return config;
+}
+
+EnvironmentSpec SmallEnv(std::size_t dim, Rng* rng) {
+  const auto protos = DrawPrototypes(2, dim, 1.6, rng);
+  EnvironmentSpec env;
+  env.class0_mean = protos[0];
+  env.class1_mean = protos[1];
+  env.group_offset.assign(dim, 0.0);
+  env.group_offset[0] = 0.9;
+  env.noise = 0.7;
+  env.bias = 0.65;
+  return env;
+}
+
+TEST(StreamingFactionTest, WarmStartAlwaysQueries) {
+  StreamingFaction streaming(SmallConfig());
+  Rng rng(1);
+  const EnvironmentSpec env = SmallEnv(6, &rng);
+  for (int i = 0; i < 30; ++i) {
+    Example e = SampleFromEnvironment(env, 0, &rng);
+    const Result<bool> query = streaming.ShouldQuery(e);
+    ASSERT_TRUE(query.ok());
+    EXPECT_TRUE(query.value()) << "warm-start arrival " << i;
+    ASSERT_TRUE(streaming.ProvideLabel(e).ok());
+  }
+  EXPECT_EQ(streaming.queries_made(), 30u);
+  EXPECT_EQ(streaming.pool_size(), 30u);
+  EXPECT_TRUE(streaming.has_estimator());
+}
+
+TEST(StreamingFactionTest, QueriesAreSelectiveAfterWarmStart) {
+  StreamingFactionConfig config = SmallConfig();
+  config.alpha = 1.0;
+  StreamingFaction streaming(config);
+  Rng rng(2);
+  const EnvironmentSpec env = SmallEnv(6, &rng);
+  std::size_t queried = 0, total = 0;
+  for (int i = 0; i < 600; ++i) {
+    Example e = SampleFromEnvironment(env, 0, &rng);
+    const Result<bool> query = streaming.ShouldQuery(e);
+    ASSERT_TRUE(query.ok());
+    if (i >= 30) {
+      ++total;
+      if (query.value()) ++queried;
+    }
+    if (query.value()) {
+      ASSERT_TRUE(streaming.ProvideLabel(e).ok());
+    }
+  }
+  // Selective: queries a strict subset, but not nothing.
+  EXPECT_GT(queried, 10u);
+  EXPECT_LT(queried, total * 9 / 10);
+  EXPECT_EQ(streaming.samples_seen(), 600u);
+}
+
+TEST(StreamingFactionTest, LearnsTheTask) {
+  StreamingFactionConfig config = SmallConfig();
+  StreamingFaction streaming(config);
+  Rng rng(3);
+  const EnvironmentSpec env = SmallEnv(6, &rng);
+  for (int i = 0; i < 800; ++i) {
+    Example e = SampleFromEnvironment(env, 0, &rng);
+    if (streaming.ShouldQuery(e).value_or(false)) {
+      ASSERT_TRUE(streaming.ProvideLabel(e).ok());
+    }
+  }
+  // Held-out accuracy beats chance comfortably.
+  std::size_t hits = 0;
+  const std::size_t eval_n = 500;
+  for (std::size_t i = 0; i < eval_n; ++i) {
+    const Example e = SampleFromEnvironment(env, 0, &rng);
+    const Result<int> pred = streaming.Predict(e.x);
+    ASSERT_TRUE(pred.ok());
+    if (pred.value() == e.label) ++hits;
+  }
+  EXPECT_GT(static_cast<double>(hits) / eval_n, 0.7);
+}
+
+TEST(StreamingFactionTest, OodArrivalsQueriedMoreOften) {
+  // After adapting to one environment, arrivals from a far-shifted one
+  // should be queried at a visibly higher rate (epistemic spike).
+  StreamingFactionConfig config = SmallConfig();
+  config.alpha = 1.0;
+  config.refit_interval = 1000000;  // freeze after initial fit
+  StreamingFaction streaming(config);
+  Rng rng(4);
+  EnvironmentSpec env = SmallEnv(6, &rng);
+  for (int i = 0; i < 60; ++i) {
+    Example e = SampleFromEnvironment(env, 0, &rng);
+    if (streaming.ShouldQuery(e).value_or(false)) {
+      ASSERT_TRUE(streaming.ProvideLabel(e).ok());
+    }
+  }
+  ASSERT_TRUE(streaming.has_estimator());
+  // Prime the normalizer range with in-distribution arrivals (decisions
+  // discarded).
+  std::size_t in_hits = 0, in_total = 0;
+  for (int i = 0; i < 300; ++i) {
+    Example e = SampleFromEnvironment(env, 0, &rng);
+    ++in_total;
+    if (streaming.ShouldQuery(e).value_or(false)) ++in_hits;
+  }
+  EnvironmentSpec shifted = env;
+  shifted.shift.assign(6, 12.0);
+  std::size_t ood_hits = 0, ood_total = 0;
+  for (int i = 0; i < 300; ++i) {
+    Example e = SampleFromEnvironment(shifted, 1, &rng);
+    ++ood_total;
+    if (streaming.ShouldQuery(e).value_or(false)) ++ood_hits;
+  }
+  const double in_rate = static_cast<double>(in_hits) / in_total;
+  const double ood_rate = static_cast<double>(ood_hits) / ood_total;
+  EXPECT_GT(ood_rate, in_rate * 1.5)
+      << "in=" << in_rate << " ood=" << ood_rate;
+}
+
+TEST(StreamingFactionTest, RejectsWrongDimension) {
+  StreamingFaction streaming(SmallConfig(6));
+  Example e;
+  e.x.assign(4, 0.0);
+  EXPECT_FALSE(streaming.ShouldQuery(e).ok());
+  EXPECT_FALSE(streaming.Predict({1.0, 2.0}).ok());
+}
+
+TEST(StreamingFactionTest, DeterministicGivenSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    StreamingFactionConfig config = SmallConfig();
+    config.seed = seed;
+    StreamingFaction streaming(config);
+    Rng rng(9);
+    EnvironmentSpec env;
+    Rng env_rng(10);
+    env = SmallEnv(6, &env_rng);
+    std::vector<bool> decisions;
+    for (int i = 0; i < 200; ++i) {
+      Example e = SampleFromEnvironment(env, 0, &rng);
+      const bool q = streaming.ShouldQuery(e).value_or(false);
+      decisions.push_back(q);
+      if (q) streaming.ProvideLabel(e).ok();
+    }
+    return decisions;
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+  EXPECT_NE(run_once(42), run_once(43));
+}
+
+}  // namespace
+}  // namespace faction
