@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libfaction_benchutil.a"
+  "../lib/libfaction_benchutil.pdb"
+  "CMakeFiles/faction_benchutil.dir/bench_util.cc.o"
+  "CMakeFiles/faction_benchutil.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faction_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libfaction_benchutil.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_celeba.dir/fig2_celeba.cc.o"
+  "CMakeFiles/fig2_celeba.dir/fig2_celeba.cc.o.d"
+  "fig2_celeba"
+  "fig2_celeba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_celeba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

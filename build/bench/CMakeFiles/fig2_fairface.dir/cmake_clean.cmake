@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_fairface.dir/fig2_fairface.cc.o"
+  "CMakeFiles/fig2_fairface.dir/fig2_fairface.cc.o.d"
+  "fig2_fairface"
+  "fig2_fairface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_fairface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

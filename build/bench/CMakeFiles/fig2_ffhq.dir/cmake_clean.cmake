@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_ffhq.dir/fig2_ffhq.cc.o"
+  "CMakeFiles/fig2_ffhq.dir/fig2_ffhq.cc.o.d"
+  "fig2_ffhq"
+  "fig2_ffhq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ffhq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_nysf.dir/fig2_nysf.cc.o"
+  "CMakeFiles/fig2_nysf.dir/fig2_nysf.cc.o.d"
+  "fig2_nysf"
+  "fig2_nysf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_nysf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_rcmnist.dir/fig2_rcmnist.cc.o"
+  "CMakeFiles/fig2_rcmnist.dir/fig2_rcmnist.cc.o.d"
+  "fig2_rcmnist"
+  "fig2_rcmnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_rcmnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

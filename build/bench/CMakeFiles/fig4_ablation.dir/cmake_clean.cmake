@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ablation.dir/fig4_ablation.cc.o"
+  "CMakeFiles/fig4_ablation.dir/fig4_ablation.cc.o.d"
+  "fig4_ablation"
+  "fig4_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

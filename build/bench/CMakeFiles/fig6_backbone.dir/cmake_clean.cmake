@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_backbone.dir/fig6_backbone.cc.o"
+  "CMakeFiles/fig6_backbone.dir/fig6_backbone.cc.o.d"
+  "fig6_backbone"
+  "fig6_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

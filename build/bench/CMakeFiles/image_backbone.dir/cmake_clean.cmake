@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_backbone.dir/image_backbone.cc.o"
+  "CMakeFiles/image_backbone.dir/image_backbone.cc.o.d"
+  "image_backbone"
+  "image_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_nysf.dir/table1_nysf.cc.o"
+  "CMakeFiles/table1_nysf.dir/table1_nysf.cc.o.d"
+  "table1_nysf"
+  "table1_nysf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_nysf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

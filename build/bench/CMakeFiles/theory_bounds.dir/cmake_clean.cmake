@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_bounds.dir/theory_bounds.cc.o"
+  "CMakeFiles/theory_bounds.dir/theory_bounds.cc.o.d"
+  "theory_bounds"
+  "theory_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faction_cli.dir/faction_cli.cpp.o"
+  "CMakeFiles/faction_cli.dir/faction_cli.cpp.o.d"
+  "faction_cli"
+  "faction_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faction_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pedestrian_detection.dir/pedestrian_detection.cpp.o"
+  "CMakeFiles/pedestrian_detection.dir/pedestrian_detection.cpp.o.d"
+  "pedestrian_detection"
+  "pedestrian_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pedestrian_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_drift.dir/streaming_drift.cpp.o"
+  "CMakeFiles/streaming_drift.dir/streaming_drift.cpp.o.d"
+  "streaming_drift"
+  "streaming_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faction_baselines.dir/decoupled_strategy.cc.o"
+  "CMakeFiles/faction_baselines.dir/decoupled_strategy.cc.o.d"
+  "CMakeFiles/faction_baselines.dir/fal_strategy.cc.o"
+  "CMakeFiles/faction_baselines.dir/fal_strategy.cc.o.d"
+  "CMakeFiles/faction_baselines.dir/falcur_strategy.cc.o"
+  "CMakeFiles/faction_baselines.dir/falcur_strategy.cc.o.d"
+  "CMakeFiles/faction_baselines.dir/simple_strategies.cc.o"
+  "CMakeFiles/faction_baselines.dir/simple_strategies.cc.o.d"
+  "CMakeFiles/faction_baselines.dir/uncertainty.cc.o"
+  "CMakeFiles/faction_baselines.dir/uncertainty.cc.o.d"
+  "libfaction_baselines.a"
+  "libfaction_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faction_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faction_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/faction_cluster.dir/kmeans.cc.o.d"
+  "libfaction_cluster.a"
+  "libfaction_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faction_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faction_common.dir/logging.cc.o"
+  "CMakeFiles/faction_common.dir/logging.cc.o.d"
+  "CMakeFiles/faction_common.dir/rng.cc.o"
+  "CMakeFiles/faction_common.dir/rng.cc.o.d"
+  "CMakeFiles/faction_common.dir/stats.cc.o"
+  "CMakeFiles/faction_common.dir/stats.cc.o.d"
+  "CMakeFiles/faction_common.dir/status.cc.o"
+  "CMakeFiles/faction_common.dir/status.cc.o.d"
+  "CMakeFiles/faction_common.dir/table.cc.o"
+  "CMakeFiles/faction_common.dir/table.cc.o.d"
+  "libfaction_common.a"
+  "libfaction_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faction_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faction_core.dir/faction_strategy.cc.o"
+  "CMakeFiles/faction_core.dir/faction_strategy.cc.o.d"
+  "CMakeFiles/faction_core.dir/fair_score.cc.o"
+  "CMakeFiles/faction_core.dir/fair_score.cc.o.d"
+  "CMakeFiles/faction_core.dir/presets.cc.o"
+  "CMakeFiles/faction_core.dir/presets.cc.o.d"
+  "CMakeFiles/faction_core.dir/streaming_faction.cc.o"
+  "CMakeFiles/faction_core.dir/streaming_faction.cc.o.d"
+  "libfaction_core.a"
+  "libfaction_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faction_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

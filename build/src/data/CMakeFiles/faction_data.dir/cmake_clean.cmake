@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faction_data.dir/dataset.cc.o"
+  "CMakeFiles/faction_data.dir/dataset.cc.o.d"
+  "CMakeFiles/faction_data.dir/images.cc.o"
+  "CMakeFiles/faction_data.dir/images.cc.o.d"
+  "CMakeFiles/faction_data.dir/streams.cc.o"
+  "CMakeFiles/faction_data.dir/streams.cc.o.d"
+  "CMakeFiles/faction_data.dir/synthetic.cc.o"
+  "CMakeFiles/faction_data.dir/synthetic.cc.o.d"
+  "libfaction_data.a"
+  "libfaction_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faction_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/density/fair_density.cc" "src/density/CMakeFiles/faction_density.dir/fair_density.cc.o" "gcc" "src/density/CMakeFiles/faction_density.dir/fair_density.cc.o.d"
+  "/root/repo/src/density/gaussian.cc" "src/density/CMakeFiles/faction_density.dir/gaussian.cc.o" "gcc" "src/density/CMakeFiles/faction_density.dir/gaussian.cc.o.d"
+  "/root/repo/src/density/grouped_density.cc" "src/density/CMakeFiles/faction_density.dir/grouped_density.cc.o" "gcc" "src/density/CMakeFiles/faction_density.dir/grouped_density.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/faction_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/faction_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

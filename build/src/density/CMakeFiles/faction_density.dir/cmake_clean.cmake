@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faction_density.dir/fair_density.cc.o"
+  "CMakeFiles/faction_density.dir/fair_density.cc.o.d"
+  "CMakeFiles/faction_density.dir/gaussian.cc.o"
+  "CMakeFiles/faction_density.dir/gaussian.cc.o.d"
+  "CMakeFiles/faction_density.dir/grouped_density.cc.o"
+  "CMakeFiles/faction_density.dir/grouped_density.cc.o.d"
+  "libfaction_density.a"
+  "libfaction_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faction_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fairness/individual.cc" "src/fairness/CMakeFiles/faction_fairness.dir/individual.cc.o" "gcc" "src/fairness/CMakeFiles/faction_fairness.dir/individual.cc.o.d"
+  "/root/repo/src/fairness/metrics.cc" "src/fairness/CMakeFiles/faction_fairness.dir/metrics.cc.o" "gcc" "src/fairness/CMakeFiles/faction_fairness.dir/metrics.cc.o.d"
+  "/root/repo/src/fairness/relaxed.cc" "src/fairness/CMakeFiles/faction_fairness.dir/relaxed.cc.o" "gcc" "src/fairness/CMakeFiles/faction_fairness.dir/relaxed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/faction_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/faction_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faction_fairness.dir/individual.cc.o"
+  "CMakeFiles/faction_fairness.dir/individual.cc.o.d"
+  "CMakeFiles/faction_fairness.dir/metrics.cc.o"
+  "CMakeFiles/faction_fairness.dir/metrics.cc.o.d"
+  "CMakeFiles/faction_fairness.dir/relaxed.cc.o"
+  "CMakeFiles/faction_fairness.dir/relaxed.cc.o.d"
+  "libfaction_fairness.a"
+  "libfaction_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faction_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

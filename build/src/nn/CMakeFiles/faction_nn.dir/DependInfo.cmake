@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cc" "src/nn/CMakeFiles/faction_nn.dir/activation.cc.o" "gcc" "src/nn/CMakeFiles/faction_nn.dir/activation.cc.o.d"
+  "/root/repo/src/nn/classifier.cc" "src/nn/CMakeFiles/faction_nn.dir/classifier.cc.o" "gcc" "src/nn/CMakeFiles/faction_nn.dir/classifier.cc.o.d"
+  "/root/repo/src/nn/conv.cc" "src/nn/CMakeFiles/faction_nn.dir/conv.cc.o" "gcc" "src/nn/CMakeFiles/faction_nn.dir/conv.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/faction_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/faction_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/faction_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/faction_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/nn/CMakeFiles/faction_nn.dir/mlp.cc.o" "gcc" "src/nn/CMakeFiles/faction_nn.dir/mlp.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/faction_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/faction_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/faction_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/faction_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/nn/CMakeFiles/faction_nn.dir/trainer.cc.o" "gcc" "src/nn/CMakeFiles/faction_nn.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/faction_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/fairness/CMakeFiles/faction_fairness.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/faction_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/faction_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faction_nn.dir/activation.cc.o"
+  "CMakeFiles/faction_nn.dir/activation.cc.o.d"
+  "CMakeFiles/faction_nn.dir/classifier.cc.o"
+  "CMakeFiles/faction_nn.dir/classifier.cc.o.d"
+  "CMakeFiles/faction_nn.dir/conv.cc.o"
+  "CMakeFiles/faction_nn.dir/conv.cc.o.d"
+  "CMakeFiles/faction_nn.dir/linear.cc.o"
+  "CMakeFiles/faction_nn.dir/linear.cc.o.d"
+  "CMakeFiles/faction_nn.dir/loss.cc.o"
+  "CMakeFiles/faction_nn.dir/loss.cc.o.d"
+  "CMakeFiles/faction_nn.dir/mlp.cc.o"
+  "CMakeFiles/faction_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/faction_nn.dir/optimizer.cc.o"
+  "CMakeFiles/faction_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/faction_nn.dir/serialize.cc.o"
+  "CMakeFiles/faction_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/faction_nn.dir/trainer.cc.o"
+  "CMakeFiles/faction_nn.dir/trainer.cc.o.d"
+  "libfaction_nn.a"
+  "libfaction_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faction_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/drift.cc" "src/stream/CMakeFiles/faction_stream.dir/drift.cc.o" "gcc" "src/stream/CMakeFiles/faction_stream.dir/drift.cc.o.d"
+  "/root/repo/src/stream/evaluator.cc" "src/stream/CMakeFiles/faction_stream.dir/evaluator.cc.o" "gcc" "src/stream/CMakeFiles/faction_stream.dir/evaluator.cc.o.d"
+  "/root/repo/src/stream/incremental.cc" "src/stream/CMakeFiles/faction_stream.dir/incremental.cc.o" "gcc" "src/stream/CMakeFiles/faction_stream.dir/incremental.cc.o.d"
+  "/root/repo/src/stream/online_learner.cc" "src/stream/CMakeFiles/faction_stream.dir/online_learner.cc.o" "gcc" "src/stream/CMakeFiles/faction_stream.dir/online_learner.cc.o.d"
+  "/root/repo/src/stream/oracle.cc" "src/stream/CMakeFiles/faction_stream.dir/oracle.cc.o" "gcc" "src/stream/CMakeFiles/faction_stream.dir/oracle.cc.o.d"
+  "/root/repo/src/stream/report.cc" "src/stream/CMakeFiles/faction_stream.dir/report.cc.o" "gcc" "src/stream/CMakeFiles/faction_stream.dir/report.cc.o.d"
+  "/root/repo/src/stream/selection.cc" "src/stream/CMakeFiles/faction_stream.dir/selection.cc.o" "gcc" "src/stream/CMakeFiles/faction_stream.dir/selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/faction_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/faction_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/fairness/CMakeFiles/faction_fairness.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/faction_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/faction_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faction_stream.dir/drift.cc.o"
+  "CMakeFiles/faction_stream.dir/drift.cc.o.d"
+  "CMakeFiles/faction_stream.dir/evaluator.cc.o"
+  "CMakeFiles/faction_stream.dir/evaluator.cc.o.d"
+  "CMakeFiles/faction_stream.dir/incremental.cc.o"
+  "CMakeFiles/faction_stream.dir/incremental.cc.o.d"
+  "CMakeFiles/faction_stream.dir/online_learner.cc.o"
+  "CMakeFiles/faction_stream.dir/online_learner.cc.o.d"
+  "CMakeFiles/faction_stream.dir/oracle.cc.o"
+  "CMakeFiles/faction_stream.dir/oracle.cc.o.d"
+  "CMakeFiles/faction_stream.dir/report.cc.o"
+  "CMakeFiles/faction_stream.dir/report.cc.o.d"
+  "CMakeFiles/faction_stream.dir/selection.cc.o"
+  "CMakeFiles/faction_stream.dir/selection.cc.o.d"
+  "libfaction_stream.a"
+  "libfaction_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faction_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

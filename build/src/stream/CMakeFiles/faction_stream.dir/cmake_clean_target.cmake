@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfaction_stream.a"
+)

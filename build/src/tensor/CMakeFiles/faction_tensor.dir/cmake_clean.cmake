@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faction_tensor.dir/linalg.cc.o"
+  "CMakeFiles/faction_tensor.dir/linalg.cc.o.d"
+  "CMakeFiles/faction_tensor.dir/matrix.cc.o"
+  "CMakeFiles/faction_tensor.dir/matrix.cc.o.d"
+  "CMakeFiles/faction_tensor.dir/ops.cc.o"
+  "CMakeFiles/faction_tensor.dir/ops.cc.o.d"
+  "libfaction_tensor.a"
+  "libfaction_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faction_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

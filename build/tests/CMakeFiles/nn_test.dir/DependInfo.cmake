@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn_test.cc" "tests/CMakeFiles/nn_test.dir/nn_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/faction_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/faction_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/faction_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/faction_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/density/CMakeFiles/faction_density.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/faction_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/faction_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/fairness/CMakeFiles/faction_fairness.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/faction_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/faction_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_faction_test.dir/streaming_faction_test.cc.o"
+  "CMakeFiles/streaming_faction_test.dir/streaming_faction_test.cc.o.d"
+  "streaming_faction_test"
+  "streaming_faction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_faction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
