@@ -59,7 +59,7 @@ int Run() {
         net.spectral.enabled = defaults.spectral_norm;
         net.spectral.coeff = defaults.spectral_coeff;
         return std::unique_ptr<FeatureClassifier>(
-            new ConvNetClassifier(net, rng));
+            std::make_unique<ConvNetClassifier>(net, rng));
       };
       OnlineLearner learner(config, strategy.value().get());
       const Result<RunResult> run = learner.Run(stream.value());

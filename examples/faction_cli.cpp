@@ -1,6 +1,6 @@
 // faction_cli — run any method on any benchmark stream from the shell.
 //
-//   $ ./build/examples/faction_cli --dataset nysf --method FACTION \
+//   $ ./build/examples/faction_cli --dataset nysf --method FACTION
 //         --budget 200 --acquisition 50 --samples 600 --seed 42 [--csv]
 //
 // Prints the per-task metric table (and optionally CSV for plotting).

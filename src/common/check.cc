@@ -1,0 +1,52 @@
+#include "common/check.h"
+
+#include <cstdlib>
+
+namespace faction {
+namespace internal_check {
+
+namespace {
+
+[[noreturn]] void FailWith(const char* file, int line,
+                           const std::string& message) {
+  LogMessage(LogLevel::kError, file, line, message);
+  std::abort();
+}
+
+}  // namespace
+
+void CheckFailed(const char* file, int line, const std::string& message) {
+  FailWith(file, line, message);
+}
+
+void CheckOpFailed(const char* file, int line, const char* expr,
+                   const std::string& lhs, const std::string& rhs) {
+  FailWith(file, line,
+           std::string(expr) + " (lhs=" + lhs + ", rhs=" + rhs + ")");
+}
+
+void CheckFiniteFailed(const char* file, int line, const char* expr,
+                       double value) {
+  FailWith(file, line, std::string("CHECK_FINITE failed: ") + expr + " = " +
+                           std::to_string(value));
+}
+
+void ShapeMismatch(const char* file, int line, const char* expr,
+                   std::size_t got_rows, std::size_t got_cols,
+                   std::size_t want_rows, std::size_t want_cols) {
+  FailWith(file, line,
+           std::string("CHECK_SHAPE failed: ") + expr + " (got " +
+               std::to_string(got_rows) + "x" + std::to_string(got_cols) +
+               ", want " + std::to_string(want_rows) + "x" +
+               std::to_string(want_cols) + ")");
+}
+
+void LengthMismatch(const char* file, int line, const char* expr,
+                    std::size_t got, std::size_t want) {
+  FailWith(file, line, std::string("CHECK_LEN failed: ") + expr + " (got " +
+                           std::to_string(got) + ", want " +
+                           std::to_string(want) + ")");
+}
+
+}  // namespace internal_check
+}  // namespace faction

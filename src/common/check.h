@@ -1,0 +1,184 @@
+#ifndef FACTION_COMMON_CHECK_H_
+#define FACTION_COMMON_CHECK_H_
+
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+#include "common/logging.h"
+
+// Contracts layer: runtime invariant checks for programmer errors.
+//
+// FACTION_CHECK*  — always on, abort with a diagnostic. Use at module entry
+//                   points and in cold code where the cost is irrelevant.
+// FACTION_DCHECK* — compiled out in NDEBUG builds (unless
+//                   FACTION_FORCE_DCHECKS is defined, as the sanitizer
+//                   presets do). Use on hot paths: inner loops, unchecked
+//                   element access, per-sample density evaluation.
+//
+// These are for invariants that only a bug can violate. Validation of
+// user-supplied input belongs in Status/Result returns, not here.
+
+namespace faction {
+namespace internal_check {
+
+/// Logs `message` at error severity and aborts.
+[[noreturn]] void CheckFailed(const char* file, int line,
+                              const std::string& message);
+
+/// Stringifies a checked value for failure messages; resolves to the
+/// decimal representation for arithmetic types.
+template <typename T>
+std::string CheckValue(const T& v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+[[noreturn]] void CheckOpFailed(const char* file, int line, const char* expr,
+                                const std::string& lhs,
+                                const std::string& rhs);
+
+[[noreturn]] void CheckFiniteFailed(const char* file, int line,
+                                    const char* expr, double value);
+
+[[noreturn]] void ShapeMismatch(const char* file, int line, const char* expr,
+                                std::size_t got_rows, std::size_t got_cols,
+                                std::size_t want_rows, std::size_t want_cols);
+
+[[noreturn]] void LengthMismatch(const char* file, int line, const char* expr,
+                                 std::size_t got, std::size_t want);
+
+}  // namespace internal_check
+}  // namespace faction
+
+/// Aborts with a message when `cond` is false. Used for programmer-error
+/// invariants that should never fail in correct code (not for input
+/// validation, which returns Status).
+#define FACTION_CHECK(cond)                                             \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::faction::internal_check::CheckFailed(__FILE__, __LINE__,        \
+                                             "CHECK failed: " #cond);   \
+    }                                                                   \
+  } while (0)
+
+/// Binary comparison checks; on failure both operand values are printed.
+/// Operands are evaluated exactly once. Mixed signed/unsigned comparisons
+/// warn under -Werror just like the raw operator would — cast at the call
+/// site when the types differ.
+#define FACTION_CHECK_OP_(op, a, b)                                        \
+  do {                                                                     \
+    const auto& faction_check_a_ = (a);                                    \
+    const auto& faction_check_b_ = (b);                                    \
+    if (!(faction_check_a_ op faction_check_b_)) {                         \
+      ::faction::internal_check::CheckOpFailed(                            \
+          __FILE__, __LINE__, "CHECK failed: " #a " " #op " " #b,          \
+          ::faction::internal_check::CheckValue(faction_check_a_),         \
+          ::faction::internal_check::CheckValue(faction_check_b_));        \
+    }                                                                      \
+  } while (0)
+
+#define FACTION_CHECK_EQ(a, b) FACTION_CHECK_OP_(==, a, b)
+#define FACTION_CHECK_NE(a, b) FACTION_CHECK_OP_(!=, a, b)
+#define FACTION_CHECK_LT(a, b) FACTION_CHECK_OP_(<, a, b)
+#define FACTION_CHECK_LE(a, b) FACTION_CHECK_OP_(<=, a, b)
+#define FACTION_CHECK_GT(a, b) FACTION_CHECK_OP_(>, a, b)
+#define FACTION_CHECK_GE(a, b) FACTION_CHECK_OP_(>=, a, b)
+
+/// Aborts when `x` is NaN or infinite. Guards the numeric core (densities,
+/// losses, query scores) against silently propagating garbage.
+#define FACTION_CHECK_FINITE(x)                                           \
+  do {                                                                    \
+    const double faction_check_v_ = static_cast<double>(x);               \
+    if (!::std::isfinite(faction_check_v_)) {                             \
+      ::faction::internal_check::CheckFiniteFailed(__FILE__, __LINE__,    \
+                                                   #x, faction_check_v_); \
+    }                                                                     \
+  } while (0)
+
+/// Shape assertions for anything exposing rows()/cols() (Matrix, views).
+#define FACTION_CHECK_SHAPE(m, r, c)                                         \
+  do {                                                                       \
+    const auto& faction_check_m_ = (m);                                      \
+    const std::size_t faction_check_r_ = static_cast<std::size_t>(r);        \
+    const std::size_t faction_check_c_ = static_cast<std::size_t>(c);        \
+    if (faction_check_m_.rows() != faction_check_r_ ||                       \
+        faction_check_m_.cols() != faction_check_c_) {                       \
+      ::faction::internal_check::ShapeMismatch(                              \
+          __FILE__, __LINE__, #m " is " #r "x" #c, faction_check_m_.rows(),  \
+          faction_check_m_.cols(), faction_check_r_, faction_check_c_);      \
+    }                                                                        \
+  } while (0)
+
+/// Asserts that two matrices have identical shape.
+#define FACTION_CHECK_SAME_SHAPE(a, b)                                      \
+  do {                                                                      \
+    const auto& faction_check_sa_ = (a);                                    \
+    const auto& faction_check_sb_ = (b);                                    \
+    if (faction_check_sa_.rows() != faction_check_sb_.rows() ||             \
+        faction_check_sa_.cols() != faction_check_sb_.cols()) {             \
+      ::faction::internal_check::ShapeMismatch(                             \
+          __FILE__, __LINE__, #a " same shape as " #b,                      \
+          faction_check_sa_.rows(), faction_check_sa_.cols(),               \
+          faction_check_sb_.rows(), faction_check_sb_.cols());              \
+    }                                                                       \
+  } while (0)
+
+/// Asserts that a sized container (vector, span) has exactly `n` elements.
+#define FACTION_CHECK_LEN(v, n)                                             \
+  do {                                                                      \
+    const std::size_t faction_check_got_ = (v).size();                      \
+    const std::size_t faction_check_want_ = static_cast<std::size_t>(n);    \
+    if (faction_check_got_ != faction_check_want_) {                        \
+      ::faction::internal_check::LengthMismatch(                            \
+          __FILE__, __LINE__, #v " has length " #n, faction_check_got_,     \
+          faction_check_want_);                                             \
+    }                                                                       \
+  } while (0)
+
+// Debug-only variants. Enabled when NDEBUG is off (Debug/sanitizer builds)
+// or when FACTION_FORCE_DCHECKS is defined; in Release they compile to a
+// dead branch so operands must still compile but cost nothing.
+#if !defined(NDEBUG) || defined(FACTION_FORCE_DCHECKS)
+#define FACTION_DCHECKS_ENABLED 1
+#else
+#define FACTION_DCHECKS_ENABLED 0
+#endif
+
+#if FACTION_DCHECKS_ENABLED
+#define FACTION_DCHECK(cond) FACTION_CHECK(cond)
+#define FACTION_DCHECK_EQ(a, b) FACTION_CHECK_EQ(a, b)
+#define FACTION_DCHECK_NE(a, b) FACTION_CHECK_NE(a, b)
+#define FACTION_DCHECK_LT(a, b) FACTION_CHECK_LT(a, b)
+#define FACTION_DCHECK_LE(a, b) FACTION_CHECK_LE(a, b)
+#define FACTION_DCHECK_GT(a, b) FACTION_CHECK_GT(a, b)
+#define FACTION_DCHECK_GE(a, b) FACTION_CHECK_GE(a, b)
+#define FACTION_DCHECK_FINITE(x) FACTION_CHECK_FINITE(x)
+#define FACTION_DCHECK_SHAPE(m, r, c) FACTION_CHECK_SHAPE(m, r, c)
+#define FACTION_DCHECK_SAME_SHAPE(a, b) FACTION_CHECK_SAME_SHAPE(a, b)
+#define FACTION_DCHECK_LEN(v, n) FACTION_CHECK_LEN(v, n)
+#else
+#define FACTION_DCHECK_DISCARD_(...)         \
+  do {                                       \
+    if (false) {                             \
+      static_cast<void>(__VA_ARGS__);        \
+    }                                        \
+  } while (0)
+#define FACTION_DCHECK(cond) FACTION_DCHECK_DISCARD_(cond)
+#define FACTION_DCHECK_EQ(a, b) FACTION_DCHECK_DISCARD_((a) == (b))
+#define FACTION_DCHECK_NE(a, b) FACTION_DCHECK_DISCARD_((a) != (b))
+#define FACTION_DCHECK_LT(a, b) FACTION_DCHECK_DISCARD_((a) < (b))
+#define FACTION_DCHECK_LE(a, b) FACTION_DCHECK_DISCARD_((a) <= (b))
+#define FACTION_DCHECK_GT(a, b) FACTION_DCHECK_DISCARD_((a) > (b))
+#define FACTION_DCHECK_GE(a, b) FACTION_DCHECK_DISCARD_((a) >= (b))
+#define FACTION_DCHECK_FINITE(x) FACTION_DCHECK_DISCARD_(x)
+#define FACTION_DCHECK_SHAPE(m, r, c) \
+  FACTION_DCHECK_DISCARD_((m).rows() + (r) + (c))
+#define FACTION_DCHECK_SAME_SHAPE(a, b) \
+  FACTION_DCHECK_DISCARD_((a).rows() + (b).rows())
+#define FACTION_DCHECK_LEN(v, n) FACTION_DCHECK_DISCARD_((v).size() + (n))
+#endif  // FACTION_DCHECKS_ENABLED
+
+#endif  // FACTION_COMMON_CHECK_H_

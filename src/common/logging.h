@@ -53,16 +53,7 @@ class LogStream {
   ::faction::internal_logging::LogStream(                         \
       ::faction::LogLevel::severity, __FILE__, __LINE__)
 
-/// Aborts with a message when `cond` is false. Used for programmer-error
-/// invariants that should never fail in correct code (not for input
-/// validation, which returns Status).
-#define FACTION_CHECK(cond)                                             \
-  do {                                                                  \
-    if (!(cond)) {                                                      \
-      ::faction::LogMessage(::faction::LogLevel::kError, __FILE__,      \
-                            __LINE__, "CHECK failed: " #cond);          \
-      ::std::abort();                                                   \
-    }                                                                   \
-  } while (0)
+// FACTION_CHECK and its variants live in common/check.h, the contracts
+// layer built on top of this logger.
 
 #endif  // FACTION_COMMON_LOGGING_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/check.h"
 #include "stream/selection.h"
 #include "tensor/ops.h"
 
@@ -103,6 +104,9 @@ Result<std::vector<FactionScore>> ComputeFactionScores(
   for (std::size_t i = 0; i < n; ++i) {
     out[i].u = density_norm[i] -
                (fair_select ? lambda * unfair_norm[i] : 0.0);
+    // Eq. 6 query scores feed directly into top-k selection; a NaN here
+    // would silently poison the acquisition ranking.
+    FACTION_DCHECK_FINITE(out[i].u);
   }
   return out;
 }

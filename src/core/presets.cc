@@ -1,5 +1,7 @@
 #include "core/presets.h"
 
+#include <memory>
+
 #include "baselines/decoupled_strategy.h"
 #include "baselines/fal_strategy.h"
 #include "baselines/falcur_strategy.h"
@@ -8,23 +10,23 @@
 namespace faction {
 
 const std::vector<std::string>& AllMethodNames() {
-  static const std::vector<std::string>* names = new std::vector<std::string>{
+  static const std::vector<std::string> names = {
       "FACTION", "FAL",        "FAL-CUR", "Decoupled",
       "QuFUR",   "DDU",        "Entropy-AL", "Random"};
-  return *names;
+  return names;
 }
 
 const std::vector<std::string>& FairnessAwareMethodNames() {
-  static const std::vector<std::string>* names = new std::vector<std::string>{
-      "FACTION", "FAL", "FAL-CUR", "Decoupled"};
-  return *names;
+  static const std::vector<std::string> names = {"FACTION", "FAL", "FAL-CUR",
+                                                 "Decoupled"};
+  return names;
 }
 
 const std::vector<std::string>& AblationVariantNames() {
-  static const std::vector<std::string>* names = new std::vector<std::string>{
+  static const std::vector<std::string> names = {
       "Random", "w/o fair select & fair reg", "w/o fair reg",
       "w/o fair select", "FACTION"};
-  return *names;
+  return names;
 }
 
 Result<std::unique_ptr<QueryStrategy>> MakeStrategy(
@@ -37,7 +39,8 @@ Result<std::unique_ptr<QueryStrategy>> MakeStrategy(
     config.fair_select = true;
     config.covariance.shrinkage = defaults.covariance_shrinkage;
     config.name_override = method;
-    return std::unique_ptr<QueryStrategy>(new FactionStrategy(config));
+    return std::unique_ptr<QueryStrategy>(
+        std::make_unique<FactionStrategy>(config));
   }
   if (method == "w/o fair select" ||
       method == "w/o fair select & fair reg") {
@@ -48,35 +51,39 @@ Result<std::unique_ptr<QueryStrategy>> MakeStrategy(
     config.fair_select = false;
     config.covariance.shrinkage = defaults.covariance_shrinkage;
     config.name_override = method;
-    return std::unique_ptr<QueryStrategy>(new FactionStrategy(config));
+    return std::unique_ptr<QueryStrategy>(
+        std::make_unique<FactionStrategy>(config));
   }
   if (method == "FAL") {
     FalConfig config;
     config.reference_size = defaults.fal_reference_size;
-    return std::unique_ptr<QueryStrategy>(new FalStrategy(config));
+    return std::unique_ptr<QueryStrategy>(
+        std::make_unique<FalStrategy>(config));
   }
   if (method == "FAL-CUR") {
     FalCurConfig config;
     config.beta = defaults.falcur_beta;
-    return std::unique_ptr<QueryStrategy>(new FalCurStrategy(config));
+    return std::unique_ptr<QueryStrategy>(
+        std::make_unique<FalCurStrategy>(config));
   }
   if (method == "Decoupled") {
     DecoupledConfig config;
     config.threshold = defaults.decoupled_threshold;
-    return std::unique_ptr<QueryStrategy>(new DecoupledStrategy(config));
+    return std::unique_ptr<QueryStrategy>(
+        std::make_unique<DecoupledStrategy>(config));
   }
   if (method == "QuFUR") {
     return std::unique_ptr<QueryStrategy>(
-        new QufurStrategy(defaults.qufur_alpha));
+        std::make_unique<QufurStrategy>(defaults.qufur_alpha));
   }
   if (method == "DDU") {
-    return std::unique_ptr<QueryStrategy>(new DduStrategy());
+    return std::unique_ptr<QueryStrategy>(std::make_unique<DduStrategy>());
   }
   if (method == "Entropy-AL") {
-    return std::unique_ptr<QueryStrategy>(new EntropyStrategy());
+    return std::unique_ptr<QueryStrategy>(std::make_unique<EntropyStrategy>());
   }
   if (method == "Random") {
-    return std::unique_ptr<QueryStrategy>(new RandomStrategy());
+    return std::unique_ptr<QueryStrategy>(std::make_unique<RandomStrategy>());
   }
   return Status::NotFound("unknown method: " + method);
 }

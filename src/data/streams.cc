@@ -214,9 +214,9 @@ Result<std::vector<Dataset>> MakeStationaryStream(
 }
 
 const std::vector<std::string>& PaperDatasetNames() {
-  static const std::vector<std::string>* names = new std::vector<std::string>{
-      "rcmnist", "celeba", "ffhq", "fairface", "nysf"};
-  return *names;
+  static const std::vector<std::string> names = {"rcmnist", "celeba", "ffhq",
+                                                 "fairface", "nysf"};
+  return names;
 }
 
 Result<std::vector<Dataset>> MakePaperStream(const std::string& name,

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/check.h"
 #include "tensor/ops.h"
 
 namespace faction {
@@ -77,6 +78,7 @@ bool FairDensityEstimator::HasComponent(int label, int sensitive) const {
 double FairDensityEstimator::LogComponentDensity(const std::vector<double>& z,
                                                  int label,
                                                  int sensitive) const {
+  FACTION_DCHECK_LEN(z, dim_);
   const int idx = ComponentIndex(label, sensitive);
   if (!present_[idx]) return kNegInf;
   return components_[idx].LogPdf(z);
@@ -88,6 +90,7 @@ double FairDensityEstimator::Weight(int label, int sensitive) const {
 
 double FairDensityEstimator::LogMarginalDensity(
     const std::vector<double>& z) const {
+  FACTION_DCHECK_LEN(z, dim_);
   std::vector<double> terms;
   terms.reserve(components_.size());
   for (int y = 0; y < kNumClasses; ++y) {
@@ -160,6 +163,9 @@ Result<ClassDensityEstimator> ClassDensityEstimator::Fit(
 
 double ClassDensityEstimator::LogClassDensity(const std::vector<double>& z,
                                               int label) const {
+  FACTION_DCHECK_LEN(z, dim_);
+  FACTION_CHECK_GE(label, 0);
+  FACTION_CHECK_LT(label, FairDensityEstimator::kNumClasses);
   if (!present_[label]) return kNegInf;
   return components_[label].LogPdf(z);
 }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/check.h"
+
 #include "tensor/linalg.h"
 
 namespace faction {
@@ -64,6 +66,7 @@ Result<Gaussian> Gaussian::Fit(const Matrix& samples,
     if (chol.ok()) {
       g.chol_ = std::move(chol).value();
       g.log_det_ = LogDetFromCholesky(g.chol_);
+      FACTION_DCHECK_FINITE(g.log_det_);
       return g;
     }
     jitter = jitter > 0.0 ? jitter * 2.0 : 1e-8;
@@ -73,13 +76,14 @@ Result<Gaussian> Gaussian::Fit(const Matrix& samples,
 }
 
 double Gaussian::MahalanobisSquared(const std::vector<double>& z) const {
-  FACTION_CHECK(z.size() == dim());
+  FACTION_CHECK_LEN(z, dim());
   std::vector<double> centered(dim());
   for (std::size_t j = 0; j < dim(); ++j) centered[j] = z[j] - mean_[j];
   // Solve L y = (z - mu); then |y|^2 is the Mahalanobis square.
   const std::vector<double> y = ForwardSolve(chol_, centered);
   double acc = 0.0;
   for (double v : y) acc += v * v;
+  FACTION_DCHECK_FINITE(acc);
   return acc;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/check.h"
 #include "tensor/ops.h"
 
 namespace faction {
@@ -107,6 +108,7 @@ bool GroupedDensityEstimator::HasComponent(int label, int sensitive) const {
 
 double GroupedDensityEstimator::LogComponentDensity(
     const std::vector<double>& z, int label, int sensitive) const {
+  FACTION_DCHECK_LEN(z, dim_);
   const std::size_t group = GroupPosition(sensitive);
   if (group == sensitive_values_.size() || label < 0 ||
       label >= num_classes_) {
@@ -127,6 +129,7 @@ double GroupedDensityEstimator::Weight(int label, int sensitive) const {
 
 double GroupedDensityEstimator::LogMarginalDensity(
     const std::vector<double>& z) const {
+  FACTION_DCHECK_LEN(z, dim_);
   std::vector<double> terms;
   for (int y = 0; y < num_classes_; ++y) {
     for (std::size_t g = 0; g < sensitive_values_.size(); ++g) {
@@ -141,6 +144,7 @@ double GroupedDensityEstimator::LogMarginalDensity(
 
 double GroupedDensityEstimator::DeltaG(const std::vector<double>& z,
                                        int label) const {
+  FACTION_DCHECK_LEN(z, dim_);
   if (label < 0 || label >= num_classes_) return 0.0;
   // Collect raw densities (0 for missing components).
   std::vector<double> densities;
@@ -162,6 +166,7 @@ double GroupedDensityEstimator::DeltaG(const std::vector<double>& z,
 
 double GroupedDensityEstimator::LogDeltaG(const std::vector<double>& z,
                                           int label) const {
+  FACTION_DCHECK_LEN(z, dim_);
   if (label < 0 || label >= num_classes_ || sensitive_values_.size() < 2) {
     return kNegInf;
   }

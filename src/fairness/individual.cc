@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.h"
 #include "tensor/ops.h"
 
 namespace faction {
@@ -47,6 +48,7 @@ Result<std::vector<PairTerm>> CollectPairs(
 Result<double> AddIndividualFairnessPenalty(
     const Matrix& inputs, const Matrix& logits,
     const IndividualFairnessConfig& config, Matrix* dlogits) {
+  FACTION_CHECK(dlogits != nullptr);
   if (logits.cols() != 2) {
     return Status::InvalidArgument(
         "individual fairness: binary classification required");
@@ -83,6 +85,7 @@ Result<double> AddIndividualFairnessPenalty(
     (*dlogits)(pair.j, 1) += dj;
     (*dlogits)(pair.j, 0) -= dj;
   }
+  FACTION_DCHECK_FINITE(penalty);
   return config.weight * penalty / static_cast<double>(pairs.size());
 }
 

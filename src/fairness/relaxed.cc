@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/check.h"
+
 namespace faction {
 
 namespace {
@@ -71,6 +73,7 @@ Result<double> RelaxedFairness(FairnessNotion notion,
   for (std::size_t i = 0; i < scores.size(); ++i) {
     acc += coeffs[i] * scores[i];
   }
+  FACTION_DCHECK_FINITE(acc);
   return acc / static_cast<double>(m);
 }
 

@@ -1,6 +1,6 @@
 #include "nn/activation.h"
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace faction {
 
@@ -26,7 +26,7 @@ Matrix Relu::ForwardInference(const Matrix& x) {
 }
 
 Matrix Relu::Backward(const Matrix& dy) const {
-  FACTION_CHECK(dy.rows() == mask_.rows() && dy.cols() == mask_.cols());
+  FACTION_CHECK_SAME_SHAPE(dy, mask_);
   Matrix dx = dy;
   for (std::size_t i = 0; i < dx.size(); ++i) dx.data()[i] *= mask_.data()[i];
   return dx;

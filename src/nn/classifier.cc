@@ -1,6 +1,6 @@
 #include "nn/classifier.h"
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "tensor/ops.h"
 
 namespace faction {
@@ -9,10 +9,9 @@ void FeatureClassifier::CopyParametersFrom(const FeatureClassifier& other) {
   auto* src = const_cast<FeatureClassifier*>(&other);
   std::vector<Matrix*> from = src->Parameters();
   std::vector<Matrix*> to = Parameters();
-  FACTION_CHECK(from.size() == to.size());
+  FACTION_CHECK_LEN(from, to.size());
   for (std::size_t i = 0; i < from.size(); ++i) {
-    FACTION_CHECK(from[i]->rows() == to[i]->rows() &&
-                  from[i]->cols() == to[i]->cols());
+    FACTION_CHECK_SAME_SHAPE(*from[i], *to[i]);
     *to[i] = *from[i];
   }
 }

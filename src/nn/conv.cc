@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/check.h"
+
 namespace faction {
 
 namespace {
@@ -26,7 +28,7 @@ Conv2d::Conv2d(const ImageShape& in, std::size_t out_channels, Rng* rng)
 }
 
 Matrix Conv2d::Apply(const Matrix& x) const {
-  FACTION_CHECK(x.cols() == in_.Flat());
+  FACTION_CHECK_EQ(x.cols(), in_.Flat());
   const std::size_t n = x.rows();
   const std::size_t h = in_.height;
   const std::size_t w = in_.width;
@@ -76,7 +78,8 @@ Matrix Conv2d::Backward(const Matrix& dy) {
   const std::size_t n = cached_input_.rows();
   const std::size_t h = in_.height;
   const std::size_t w = in_.width;
-  FACTION_CHECK(dy.rows() == n && dy.cols() == out_channels_ * h * w);
+  FACTION_CHECK_EQ(dy.rows(), n);
+  FACTION_CHECK_EQ(dy.cols(), out_channels_ * h * w);
   Matrix dx(n, in_.Flat());
   for (std::size_t s = 0; s < n; ++s) {
     const double* img = cached_input_.row_data(s);

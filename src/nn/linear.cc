@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/check.h"
+
 #include "tensor/linalg.h"
 #include "tensor/ops.h"
 
@@ -31,11 +33,12 @@ void Linear::RefreshSpectralScale() {
       PowerIteration(w_, sn_u_, sn_.power_iterations, &sn_rng_);
   sn_u_ = est.u;
   sigma_ = est.sigma;
+  FACTION_DCHECK_FINITE(sigma_);
   scale_ = sigma_ > sn_.coeff && sigma_ > 0.0 ? sn_.coeff / sigma_ : 1.0;
 }
 
 Matrix Linear::Forward(const Matrix& x) {
-  FACTION_CHECK(x.cols() == in_dim());
+  FACTION_CHECK_EQ(x.cols(), in_dim());
   RefreshSpectralScale();
   cached_input_ = x;
   Matrix y = MatMulBt(x, w_);
@@ -47,7 +50,7 @@ Matrix Linear::Forward(const Matrix& x) {
 }
 
 Matrix Linear::ForwardInference(const Matrix& x) const {
-  FACTION_CHECK(x.cols() == in_dim());
+  FACTION_CHECK_EQ(x.cols(), in_dim());
   Matrix y = MatMulBt(x, w_);
   if (scale_ != 1.0) {
     for (std::size_t i = 0; i < y.size(); ++i) y.data()[i] *= scale_;
@@ -58,8 +61,8 @@ Matrix Linear::ForwardInference(const Matrix& x) const {
 }
 
 Matrix Linear::Backward(const Matrix& dy) {
-  FACTION_CHECK(dy.rows() == cached_input_.rows());
-  FACTION_CHECK(dy.cols() == out_dim());
+  FACTION_CHECK_EQ(dy.rows(), cached_input_.rows());
+  FACTION_CHECK_EQ(dy.cols(), out_dim());
   // dW_eff = dy^T x; with W_eff = scale*W (scale treated as constant),
   // dW = scale * dW_eff.
   Matrix dw = MatMulAt(dy, cached_input_);

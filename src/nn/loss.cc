@@ -2,13 +2,16 @@
 
 #include <cmath>
 
+#include "common/check.h"
+
 #include "tensor/ops.h"
 
 namespace faction {
 
 double SoftmaxCrossEntropy(const Matrix& logits,
                            const std::vector<int>& labels, Matrix* dlogits) {
-  FACTION_CHECK(logits.rows() == labels.size());
+  FACTION_CHECK(dlogits != nullptr);
+  FACTION_CHECK_LEN(labels, logits.rows());
   const std::size_t n = logits.rows();
   const std::size_t c = logits.cols();
   const Matrix logp = LogSoftmaxRows(logits);
@@ -16,7 +19,8 @@ double SoftmaxCrossEntropy(const Matrix& logits,
   dlogits->Resize(n, c);
   for (std::size_t i = 0; i < n; ++i) {
     const int y = labels[i];
-    FACTION_CHECK(y >= 0 && static_cast<std::size_t>(y) < c);
+    FACTION_CHECK_GE(y, 0);
+    FACTION_CHECK_LT(static_cast<std::size_t>(y), c);
     loss -= logp(i, static_cast<std::size_t>(y));
     double* drow = dlogits->row_data(i);
     const double* lrow = logp.row_data(i);
@@ -26,7 +30,9 @@ double SoftmaxCrossEntropy(const Matrix& logits,
     drow[static_cast<std::size_t>(y)] -= 1.0;
     for (std::size_t j = 0; j < c; ++j) drow[j] /= static_cast<double>(n);
   }
-  return loss / static_cast<double>(n);
+  const double mean_loss = loss / static_cast<double>(n);
+  FACTION_DCHECK_FINITE(mean_loss);
+  return mean_loss;
 }
 
 Result<double> AddFairnessPenalty(const Matrix& logits,
@@ -34,6 +40,7 @@ Result<double> AddFairnessPenalty(const Matrix& logits,
                                   const std::vector<int>& sensitive,
                                   const FairnessPenaltyConfig& config,
                                   Matrix* dlogits) {
+  FACTION_CHECK(dlogits != nullptr);
   if (logits.cols() != 2) {
     return Status::InvalidArgument(
         "fairness penalty requires binary classification (2 logits)");
@@ -54,6 +61,7 @@ Result<double> AddFairnessPenalty(const Matrix& logits,
   double v = 0.0;
   for (std::size_t i = 0; i < n; ++i) v += coeffs[i] * proba(i, 1);
   v /= static_cast<double>(m);
+  FACTION_DCHECK_FINITE(v);
 
   // Penalty value and its derivative w.r.t. v.
   double penalty = 0.0;
@@ -89,7 +97,7 @@ Result<double> AddFairnessPenalty(const Matrix& logits,
 }
 
 double SoftmaxNll(const Matrix& logits, const std::vector<int>& labels) {
-  FACTION_CHECK(logits.rows() == labels.size());
+  FACTION_CHECK_LEN(labels, logits.rows());
   const Matrix logp = LogSoftmaxRows(logits);
   double loss = 0.0;
   for (std::size_t i = 0; i < logits.rows(); ++i) {

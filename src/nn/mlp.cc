@@ -1,12 +1,13 @@
 #include "nn/mlp.h"
 
+#include "common/check.h"
 #include "tensor/ops.h"
 
 namespace faction {
 
 MlpClassifier::MlpClassifier(const MlpConfig& config, Rng* rng)
     : config_(config) {
-  FACTION_CHECK(config_.num_classes >= 2);
+  FACTION_CHECK_GE(config_.num_classes, std::size_t{2});
   std::size_t in = config_.input_dim;
   for (std::size_t width : config_.hidden_dims) {
     hidden_.push_back(
@@ -21,6 +22,7 @@ MlpClassifier::MlpClassifier(const MlpConfig& config, Rng* rng)
 }
 
 Matrix MlpClassifier::Forward(const Matrix& x) {
+  FACTION_CHECK_EQ(x.cols(), config_.input_dim);
   Matrix h = x;
   for (std::size_t i = 0; i < hidden_.size(); ++i) {
     h = relus_[i].Forward(hidden_[i]->Forward(h));

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace faction {
 
@@ -11,14 +11,14 @@ SgdOptimizer::SgdOptimizer(double lr, double momentum, double weight_decay)
 
 void SgdOptimizer::Step(const std::vector<Matrix*>& params,
                         const std::vector<Matrix*>& grads) {
-  FACTION_CHECK(params.size() == grads.size());
+  FACTION_CHECK_LEN(grads, params.size());
   if (velocity_.empty() && momentum_ != 0.0) {
     for (Matrix* p : params) velocity_.emplace_back(p->rows(), p->cols());
   }
   for (std::size_t i = 0; i < params.size(); ++i) {
     Matrix& p = *params[i];
     const Matrix& g = *grads[i];
-    FACTION_CHECK(p.rows() == g.rows() && p.cols() == g.cols());
+    FACTION_CHECK_SAME_SHAPE(p, g);
     if (weight_decay_ != 0.0) {
       for (std::size_t k = 0; k < p.size(); ++k) {
         p.data()[k] *= 1.0 - lr_ * weight_decay_;
@@ -48,7 +48,7 @@ AdamOptimizer::AdamOptimizer(double lr, double beta1, double beta2, double eps,
 
 void AdamOptimizer::Step(const std::vector<Matrix*>& params,
                          const std::vector<Matrix*>& grads) {
-  FACTION_CHECK(params.size() == grads.size());
+  FACTION_CHECK_LEN(grads, params.size());
   if (m_.empty()) {
     for (Matrix* p : params) {
       m_.emplace_back(p->rows(), p->cols());
@@ -61,7 +61,7 @@ void AdamOptimizer::Step(const std::vector<Matrix*>& params,
   for (std::size_t i = 0; i < params.size(); ++i) {
     Matrix& p = *params[i];
     const Matrix& g = *grads[i];
-    FACTION_CHECK(p.rows() == g.rows() && p.cols() == g.cols());
+    FACTION_CHECK_SAME_SHAPE(p, g);
     Matrix& m = m_[i];
     Matrix& v = v_[i];
     for (std::size_t k = 0; k < p.size(); ++k) {

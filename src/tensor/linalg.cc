@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/check.h"
+
 namespace faction {
 
 Result<Matrix> Cholesky(const Matrix& a) {
@@ -32,7 +34,8 @@ Result<Matrix> Cholesky(const Matrix& a) {
 std::vector<double> ForwardSolve(const Matrix& lower,
                                  const std::vector<double>& b) {
   const std::size_t n = lower.rows();
-  FACTION_CHECK(b.size() == n);
+  FACTION_DCHECK_EQ(lower.cols(), n);
+  FACTION_CHECK_LEN(b, n);
   std::vector<double> y(n);
   for (std::size_t i = 0; i < n; ++i) {
     double sum = b[i];
@@ -46,7 +49,8 @@ std::vector<double> ForwardSolve(const Matrix& lower,
 std::vector<double> BackSolveTranspose(const Matrix& lower,
                                        const std::vector<double>& y) {
   const std::size_t n = lower.rows();
-  FACTION_CHECK(y.size() == n);
+  FACTION_DCHECK_EQ(lower.cols(), n);
+  FACTION_CHECK_LEN(y, n);
   std::vector<double> x(n);
   for (std::size_t ii = n; ii > 0; --ii) {
     const std::size_t i = ii - 1;
@@ -63,6 +67,7 @@ std::vector<double> CholeskySolve(const Matrix& lower,
 }
 
 double LogDetFromCholesky(const Matrix& lower) {
+  FACTION_DCHECK_EQ(lower.rows(), lower.cols());
   double acc = 0.0;
   for (std::size_t i = 0; i < lower.rows(); ++i) {
     acc += std::log(lower(i, i));
@@ -86,6 +91,8 @@ Result<Matrix> SpdInverse(const Matrix& a) {
 
 SpectralEstimate PowerIteration(const Matrix& w, const std::vector<double>& u0,
                                 int iters, Rng* rng) {
+  FACTION_CHECK(rng != nullptr);
+  FACTION_CHECK_GE(iters, 0);
   const std::size_t rows = w.rows();
   const std::size_t cols = w.cols();
   SpectralEstimate est;

@@ -7,28 +7,31 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
   cols_ = rows_ > 0 ? init.begin()->size() : 0;
   data_.reserve(rows_ * cols_);
   for (const auto& row : init) {
-    FACTION_CHECK(row.size() == cols_);
+    FACTION_CHECK_EQ(row.size(), cols_);
     data_.insert(data_.end(), row.begin(), row.end());
   }
 }
 
 double& Matrix::At(std::size_t r, std::size_t c) {
-  FACTION_CHECK(r < rows_ && c < cols_);
+  FACTION_CHECK_LT(r, rows_);
+  FACTION_CHECK_LT(c, cols_);
   return data_[r * cols_ + c];
 }
 
 double Matrix::At(std::size_t r, std::size_t c) const {
-  FACTION_CHECK(r < rows_ && c < cols_);
+  FACTION_CHECK_LT(r, rows_);
+  FACTION_CHECK_LT(c, cols_);
   return data_[r * cols_ + c];
 }
 
 std::vector<double> Matrix::Row(std::size_t r) const {
-  FACTION_CHECK(r < rows_);
+  FACTION_CHECK_LT(r, rows_);
   return std::vector<double>(row_data(r), row_data(r) + cols_);
 }
 
 void Matrix::SetRow(std::size_t r, const std::vector<double>& values) {
-  FACTION_CHECK(r < rows_ && values.size() == cols_);
+  FACTION_CHECK_LT(r, rows_);
+  FACTION_CHECK_LEN(values, cols_);
   std::copy(values.begin(), values.end(), row_data(r));
 }
 

@@ -5,7 +5,7 @@
 #include <initializer_list>
 #include <vector>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace faction {
 
@@ -36,11 +36,16 @@ class Matrix {
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
-  /// Unchecked element access (hot paths).
+  /// Element access; bounds-checked only in debug/sanitizer builds
+  /// (hot paths).
   double& operator()(std::size_t r, std::size_t c) {
+    FACTION_DCHECK_LT(r, rows_);
+    FACTION_DCHECK_LT(c, cols_);
     return data_[r * cols_ + c];
   }
   double operator()(std::size_t r, std::size_t c) const {
+    FACTION_DCHECK_LT(r, rows_);
+    FACTION_DCHECK_LT(c, cols_);
     return data_[r * cols_ + c];
   }
 
@@ -52,9 +57,14 @@ class Matrix {
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
 
-  /// Pointer to the start of row r.
-  double* row_data(std::size_t r) { return data_.data() + r * cols_; }
+  /// Pointer to the start of row r; r is bounds-checked only in
+  /// debug/sanitizer builds.
+  double* row_data(std::size_t r) {
+    FACTION_DCHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
   const double* row_data(std::size_t r) const {
+    FACTION_DCHECK_LT(r, rows_);
     return data_.data() + r * cols_;
   }
 

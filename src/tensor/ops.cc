@@ -1,12 +1,14 @@
 #include "tensor/ops.h"
 
+#include "common/check.h"
+
 #include <algorithm>
 #include <cmath>
 
 namespace faction {
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
-  FACTION_CHECK(a.cols() == b.rows());
+  FACTION_CHECK_EQ(a.cols(), b.rows());
   Matrix out(a.rows(), b.cols());
   // ikj loop order keeps the inner loop streaming over contiguous rows.
   for (std::size_t i = 0; i < a.rows(); ++i) {
@@ -25,7 +27,7 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 }
 
 Matrix MatMulBt(const Matrix& a, const Matrix& b) {
-  FACTION_CHECK(a.cols() == b.cols());
+  FACTION_CHECK_EQ(a.cols(), b.cols());
   Matrix out(a.rows(), b.rows());
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double* arow = a.row_data(i);
@@ -40,7 +42,7 @@ Matrix MatMulBt(const Matrix& a, const Matrix& b) {
 }
 
 Matrix MatMulAt(const Matrix& a, const Matrix& b) {
-  FACTION_CHECK(a.rows() == b.rows());
+  FACTION_CHECK_EQ(a.rows(), b.rows());
   Matrix out(a.cols(), b.cols());
   for (std::size_t k = 0; k < a.rows(); ++k) {
     const double* arow = a.row_data(k);
@@ -66,21 +68,21 @@ Matrix Transpose(const Matrix& m) {
 }
 
 Matrix Add(const Matrix& a, const Matrix& b) {
-  FACTION_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  FACTION_CHECK_SAME_SHAPE(a, b);
   Matrix out = a;
   for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] += b.data()[i];
   return out;
 }
 
 Matrix Sub(const Matrix& a, const Matrix& b) {
-  FACTION_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  FACTION_CHECK_SAME_SHAPE(a, b);
   Matrix out = a;
   for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] -= b.data()[i];
   return out;
 }
 
 Matrix Hadamard(const Matrix& a, const Matrix& b) {
-  FACTION_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  FACTION_CHECK_SAME_SHAPE(a, b);
   Matrix out = a;
   for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] *= b.data()[i];
   return out;
@@ -93,12 +95,12 @@ Matrix Scale(const Matrix& m, double s) {
 }
 
 void AddScaled(Matrix* a, const Matrix& b, double s) {
-  FACTION_CHECK(a->rows() == b.rows() && a->cols() == b.cols());
+  FACTION_CHECK_SAME_SHAPE(*a, b);
   for (std::size_t i = 0; i < a->size(); ++i) a->data()[i] += s * b.data()[i];
 }
 
 void AddRowBroadcast(Matrix* m, const std::vector<double>& row) {
-  FACTION_CHECK(row.size() == m->cols());
+  FACTION_CHECK_LEN(row, m->cols());
   for (std::size_t i = 0; i < m->rows(); ++i) {
     double* r = m->row_data(i);
     for (std::size_t j = 0; j < m->cols(); ++j) r[j] += row[j];
@@ -130,7 +132,7 @@ double FrobeniusNorm2(const Matrix& m) {
 }
 
 double MaxAbsDiff(const Matrix& a, const Matrix& b) {
-  FACTION_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  FACTION_CHECK_SAME_SHAPE(a, b);
   double worst = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     worst = std::max(worst, std::fabs(a.data()[i] - b.data()[i]));
@@ -139,7 +141,7 @@ double MaxAbsDiff(const Matrix& a, const Matrix& b) {
 }
 
 double Dot(const std::vector<double>& a, const std::vector<double>& b) {
-  FACTION_CHECK(a.size() == b.size());
+  FACTION_CHECK_LEN(b, a.size());
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
   return acc;
@@ -149,7 +151,7 @@ double Norm2(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
 
 double SquaredDistance(const std::vector<double>& a,
                        const std::vector<double>& b) {
-  FACTION_CHECK(a.size() == b.size());
+  FACTION_CHECK_LEN(b, a.size());
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     const double d = a[i] - b[i];

@@ -1,0 +1,184 @@
+// Tests for the contracts layer (common/check.h): the always-on FACTION_CHECK*
+// macros must abort with a diagnostic naming the failed condition, the
+// FACTION_DCHECK* variants must be active exactly when FACTION_DCHECKS_ENABLED
+// says so, and the shape-checked Matrix/linalg entry points must abort on
+// mismatched operands.
+
+#include "common/check.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/linalg.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+
+namespace faction {
+namespace {
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  FACTION_CHECK(true);
+  FACTION_CHECK_EQ(1, 1);
+  FACTION_CHECK_NE(1, 2);
+  FACTION_CHECK_LT(1, 2);
+  FACTION_CHECK_LE(2, 2);
+  FACTION_CHECK_GT(3, 2);
+  FACTION_CHECK_GE(3, 3);
+  FACTION_CHECK_FINITE(0.0);
+  FACTION_CHECK_FINITE(-1e300);
+  const std::vector<double> v{1.0, 2.0};
+  FACTION_CHECK_LEN(v, 2);
+  const Matrix a(2, 3);
+  FACTION_CHECK_SHAPE(a, 2, 3);
+  const Matrix b(2, 3);
+  FACTION_CHECK_SAME_SHAPE(a, b);
+}
+
+TEST(CheckDeathTest, CheckAbortsWithCondition) {
+  EXPECT_DEATH(FACTION_CHECK(1 + 1 == 3), "CHECK failed: 1 \\+ 1 == 3");
+}
+
+TEST(CheckDeathTest, CheckEqPrintsBothOperands) {
+  const int lhs = 3;
+  const int rhs = 7;
+  EXPECT_DEATH(FACTION_CHECK_EQ(lhs, rhs), "lhs=3.*rhs=7");
+}
+
+TEST(CheckDeathTest, CheckNeAborts) {
+  EXPECT_DEATH(FACTION_CHECK_NE(5, 5), "CHECK failed: 5 != 5");
+}
+
+TEST(CheckDeathTest, CheckLtAborts) {
+  EXPECT_DEATH(FACTION_CHECK_LT(2, 2), "CHECK failed: 2 < 2");
+}
+
+TEST(CheckDeathTest, CheckLeAborts) {
+  EXPECT_DEATH(FACTION_CHECK_LE(3, 2), "CHECK failed: 3 <= 2");
+}
+
+TEST(CheckDeathTest, CheckGtAborts) {
+  EXPECT_DEATH(FACTION_CHECK_GT(2, 2), "CHECK failed: 2 > 2");
+}
+
+TEST(CheckDeathTest, CheckGeAborts) {
+  EXPECT_DEATH(FACTION_CHECK_GE(1, 2), "CHECK failed: 1 >= 2");
+}
+
+TEST(CheckDeathTest, CheckOpEvaluatesOperandsOnce) {
+  int calls = 0;
+  auto bump = [&calls]() { return ++calls; };
+  FACTION_CHECK_GE(bump(), 1);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckDeathTest, CheckFiniteRejectsNan) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH(FACTION_CHECK_FINITE(nan), "CHECK_FINITE failed: nan");
+}
+
+TEST(CheckDeathTest, CheckFiniteRejectsInfinity) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DEATH(FACTION_CHECK_FINITE(inf), "CHECK_FINITE failed: inf");
+}
+
+TEST(CheckDeathTest, CheckLenReportsGotAndWant) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DEATH(FACTION_CHECK_LEN(v, 5), "got 3, want 5");
+}
+
+TEST(CheckDeathTest, CheckShapeReportsGotAndWant) {
+  const Matrix m(2, 3);
+  EXPECT_DEATH(FACTION_CHECK_SHAPE(m, 4, 4), "got 2x3, want 4x4");
+}
+
+TEST(CheckDeathTest, CheckSameShapeAborts) {
+  const Matrix a(2, 3);
+  const Matrix b(3, 2);
+  EXPECT_DEATH(FACTION_CHECK_SAME_SHAPE(a, b), "got 2x3, want 3x2");
+}
+
+// --- DCHECK behavior depends on the build mode --------------------------
+
+#if FACTION_DCHECKS_ENABLED
+
+TEST(CheckDeathTest, DcheckAbortsWhenEnabled) {
+  EXPECT_DEATH(FACTION_DCHECK(false), "CHECK failed");
+}
+
+TEST(CheckDeathTest, DcheckEqAbortsWhenEnabled) {
+  EXPECT_DEATH(FACTION_DCHECK_EQ(1, 2), "lhs=1.*rhs=2");
+}
+
+TEST(CheckDeathTest, DcheckFiniteAbortsWhenEnabled) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH(FACTION_DCHECK_FINITE(nan), "CHECK_FINITE failed");
+}
+
+TEST(CheckDeathTest, MatrixOperatorBoundsCheckedWhenEnabled) {
+  const Matrix m(2, 2);
+  EXPECT_DEATH(m(2, 0), "CHECK failed");
+  EXPECT_DEATH(m(0, 2), "CHECK failed");
+}
+
+#else  // !FACTION_DCHECKS_ENABLED
+
+TEST(CheckTest, DcheckCompiledOutInRelease) {
+  // Operands must still compile but must not be evaluated.
+  int calls = 0;
+  auto bump = [&calls]() { return ++calls; };
+  FACTION_DCHECK(bump() > 0);
+  FACTION_DCHECK_EQ(bump(), 0);
+  FACTION_DCHECK_FINITE(static_cast<double>(bump()));
+  EXPECT_EQ(calls, 0);
+}
+
+#endif  // FACTION_DCHECKS_ENABLED
+
+// --- Shape contracts on the deployed numeric entry points ---------------
+
+TEST(CheckDeathTest, MatrixAtOutOfRangeAborts) {
+  Matrix m(2, 2);
+  EXPECT_DEATH(m.At(2, 0), "CHECK failed: r < rows_");
+  EXPECT_DEATH(m.At(0, 5), "CHECK failed: c < cols_");
+}
+
+TEST(CheckDeathTest, MatrixSetRowWrongLengthAborts) {
+  Matrix m(2, 3);
+  EXPECT_DEATH(m.SetRow(0, {1.0, 2.0}), "got 2, want 3");
+  EXPECT_DEATH(m.SetRow(9, {1.0, 2.0, 3.0}), "CHECK failed: r < rows_");
+}
+
+TEST(CheckDeathTest, MatrixInitializerListRaggedAborts) {
+  EXPECT_DEATH((Matrix{{1.0, 2.0}, {3.0}}), "CHECK failed");
+}
+
+TEST(CheckDeathTest, MatMulInnerDimMismatchAborts) {
+  const Matrix a(2, 3);
+  const Matrix b(4, 2);
+  EXPECT_DEATH(MatMul(a, b), "a.cols\\(\\) == b.rows\\(\\)");
+}
+
+TEST(CheckDeathTest, AddShapeMismatchAborts) {
+  const Matrix a(2, 3);
+  const Matrix b(3, 2);
+  EXPECT_DEATH(Add(a, b), "got 2x3, want 3x2");
+}
+
+TEST(CheckDeathTest, DotLengthMismatchAborts) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_DEATH(Dot(a, b), "CHECK_LEN failed");
+}
+
+TEST(CheckDeathTest, ForwardSolveLengthMismatchAborts) {
+  const Matrix lower = Matrix::Identity(3);
+  const std::vector<double> b{1.0};
+  EXPECT_DEATH(ForwardSolve(lower, b), "CHECK_LEN failed");
+}
+
+}  // namespace
+}  // namespace faction

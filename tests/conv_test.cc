@@ -382,7 +382,7 @@ TEST(ConvNetIntegrationTest, FactionWithCnnBackbone) {
     net.conv2_filters = 4;
     net.feature_dim = 8;
     return std::unique_ptr<FeatureClassifier>(
-        new ConvNetClassifier(net, rng));
+        std::make_unique<ConvNetClassifier>(net, rng));
   };
   OnlineLearner learner(config, strategy.value().get());
   const Result<RunResult> run = learner.Run(stream.value());

@@ -146,7 +146,9 @@ TEST_P(SelectionProperty, TopKMatchesSortPrefix) {
   std::vector<bool> chosen(scores.size(), false);
   for (std::size_t idx : top) chosen[idx] = true;
   for (std::size_t i = 0; i < scores.size(); ++i) {
-    if (!chosen[i]) EXPECT_LE(scores[i], min_top + 1e-12);
+    if (!chosen[i]) {
+      EXPECT_LE(scores[i], min_top + 1e-12);
+    }
   }
 }
 

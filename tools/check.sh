@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# check.sh — single driver for the FACTION correctness-tooling suites.
+#
+# Usage: tools/check.sh [suite...]
+#
+# Suites:
+#   release  Release build with -Werror, then ctest
+#   asan     ASan+UBSan build (DCHECKs forced on), then ctest
+#   tsan     TSan build (DCHECKs forced on), then ctest
+#   debug    Debug build (DCHECKs on via !NDEBUG), then ctest
+#   lint     tools/lint.py repo lint over src/ tests/ bench/ examples/
+#   tidy     clang-tidy over src/ (skipped with a notice if not installed)
+#   format   clang-format --dry-run check (skipped if not installed)
+#   all      release + asan + lint + tidy + format (default)
+#
+# Every suite exits non-zero on the first failure.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+log() { printf '\n\033[1m== %s ==\033[0m\n' "$*"; }
+
+run_preset() {
+  local preset="$1"
+  log "configure [$preset]"
+  cmake --preset "$preset" >/dev/null
+  log "build [$preset]"
+  cmake --build --preset "$preset" -j "$JOBS"
+  log "ctest [$preset]"
+  ctest --preset "$preset" -j "$JOBS"
+}
+
+run_lint() {
+  log "repo lint (tools/lint.py)"
+  python3 tools/lint.py
+}
+
+run_tidy() {
+  log "clang-tidy"
+  local tidy=""
+  for cand in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+              clang-tidy-16 clang-tidy-15; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      tidy="$cand"
+      break
+    fi
+  done
+  if [[ -z "$tidy" ]]; then
+    echo "clang-tidy not installed; skipping (CI runs it)."
+    return 0
+  fi
+  # clang-tidy needs a compile database; the release preset exports one.
+  if [[ ! -f build/release/compile_commands.json ]]; then
+    cmake --preset release >/dev/null
+  fi
+  local files
+  files="$(find src -name '*.cc' | sort)"
+  # shellcheck disable=SC2086
+  "$tidy" -p build/release --quiet --warnings-as-errors='*' $files
+}
+
+run_format() {
+  log "clang-format check"
+  local fmt=""
+  for cand in clang-format clang-format-19 clang-format-18 clang-format-17 \
+              clang-format-16 clang-format-15; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      fmt="$cand"
+      break
+    fi
+  done
+  if [[ -z "$fmt" ]]; then
+    echo "clang-format not installed; skipping (CI runs it)."
+    return 0
+  fi
+  find src tests bench examples \
+      \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) -print0 |
+    xargs -0 "$fmt" --dry-run --Werror
+}
+
+suites=("$@")
+if [[ ${#suites[@]} -eq 0 ]]; then
+  suites=(all)
+fi
+
+for suite in "${suites[@]}"; do
+  case "$suite" in
+    release|asan|tsan|debug) run_preset "$suite" ;;
+    lint) run_lint ;;
+    tidy) run_tidy ;;
+    format) run_format ;;
+    all)
+      run_preset release
+      run_preset asan
+      run_lint
+      run_tidy
+      run_format
+      ;;
+    *)
+      echo "unknown suite: $suite" >&2
+      echo "valid: release asan tsan debug lint tidy format all" >&2
+      exit 2
+      ;;
+  esac
+done
+
+log "all requested suites passed"

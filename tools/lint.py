@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Repo lint: project-specific correctness rules for the FACTION codebase.
+
+Rules (each reported as file:line: message):
+  include-guard   every header carries the canonical FACTION_<PATH>_H_ guard
+  no-rand         rand()/srand() are banned outside src/common/rng.* — all
+                  randomness flows through the seeded faction::Rng
+  no-raw-new      no raw `new` / `delete`; use make_unique / containers
+                  (`= delete` for deleted members is fine)
+  no-assert       no bare assert(); use FACTION_CHECK* / FACTION_DCHECK*
+                  from common/check.h so failures are logged before abort
+
+Exit status: 0 when clean, 1 when any finding is reported.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+EXTENSIONS = {".cc", ".h", ".cpp"}
+
+RAND_ALLOWED = {Path("src/common/rng.h"), Path("src/common/rng.cc")}
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line breaks.
+
+    Keeps the remaining code at the same line/column so findings point at
+    the true location. A simple state machine is plenty for this codebase
+    (no raw strings, no trigraphs).
+    """
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if ch == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(ch)
+        elif state == "line_comment":
+            if ch == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if ch == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if ch == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if ch == quote:
+                state = "code"
+            out.append("\n" if ch == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def expected_guard(rel: Path) -> str:
+    parts = list(rel.parts)
+    if parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    stem = re.sub(r"\.h$", "", stem)
+    token = re.sub(r"[^A-Za-z0-9]", "_", stem).upper()
+    return f"FACTION_{token}_H_"
+
+
+def check_include_guard(rel: Path, text: str, findings: list) -> None:
+    guard = expected_guard(rel)
+    lines = text.splitlines()
+    ifndef = f"#ifndef {guard}"
+    define = f"#define {guard}"
+    endif = f"#endif  // {guard}"
+    if ifndef not in lines:
+        findings.append((rel, 1, f"missing or wrong include guard; want '{ifndef}'"))
+        return
+    idx = lines.index(ifndef)
+    if idx + 1 >= len(lines) or lines[idx + 1] != define:
+        findings.append((rel, idx + 2, f"'#ifndef {guard}' must be followed by '{define}'"))
+    if not any(line.startswith(endif) for line in lines):
+        findings.append((rel, len(lines), f"missing closing '{endif}'"))
+
+
+RAND_RE = re.compile(r"(?<![\w:])s?rand\s*\(")
+NEW_RE = re.compile(r"(?<![\w_])new\b")
+ASSERT_RE = re.compile(r"(?<![\w_])assert\s*\(")
+ASSERT_INCLUDE_RE = re.compile(r'#\s*include\s*[<"](cassert|assert\.h)[>"]')
+
+
+def check_code_rules(rel: Path, code: str, findings: list) -> None:
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        if rel not in RAND_ALLOWED and RAND_RE.search(line):
+            findings.append(
+                (rel, lineno, "rand()/srand() banned outside common/rng; use faction::Rng"))
+        m = NEW_RE.search(line)
+        if m:
+            findings.append(
+                (rel, lineno, "raw `new` banned; use std::make_unique or a container"))
+        # `= delete;` (deleted members) is legitimate; flag only delete-expressions.
+        if re.search(r"(?<![\w_=])delete\s+[\w_*(]", line) and "= delete" not in line:
+            findings.append((rel, lineno, "raw `delete` banned; use RAII owners"))
+        if ASSERT_RE.search(line):
+            findings.append(
+                (rel, lineno, "bare assert() banned; use FACTION_CHECK*/FACTION_DCHECK*"))
+        if ASSERT_INCLUDE_RE.search(line):
+            findings.append(
+                (rel, lineno, "<cassert> include banned; use common/check.h"))
+
+
+def main() -> int:
+    findings = []
+    for dirname in SOURCE_DIRS:
+        base = ROOT / dirname
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in EXTENSIONS or not path.is_file():
+                continue
+            rel = path.relative_to(ROOT)
+            text = path.read_text(encoding="utf-8")
+            if path.suffix == ".h":
+                check_include_guard(rel, text, findings)
+            check_code_rules(rel, strip_comments_and_strings(text), findings)
+
+    for rel, lineno, message in findings:
+        print(f"{rel}:{lineno}: {message}")
+    if findings:
+        print(f"\ntools/lint.py: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("tools/lint.py: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
