@@ -3,14 +3,22 @@
 // scoring, training steps, metric evaluation, and clustering.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <limits>
+#include <vector>
+
 #include "cluster/kmeans.h"
+#include "common/rng.h"
 #include "core/fair_score.h"
 #include "data/streams.h"
 #include "density/fair_density.h"
 #include "fairness/metrics.h"
 #include "fairness/relaxed.h"
+#include "nn/conv.h"
 #include "nn/trainer.h"
 #include "stream/evaluator.h"
+#include "tensor/image.h"
+#include "tensor/ops.h"
 
 namespace faction {
 namespace {
@@ -163,6 +171,136 @@ void BM_FairnessMetrics(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
 }
 BENCHMARK(BM_FairnessMetrics)->Arg(1000)->Arg(10000);
+
+// ------------------------------------------- parallel compute layer (PR 2)
+
+Matrix RandomMatrix(std::size_t rows, std::size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng->Gaussian();
+  return m;
+}
+
+// The pre-parallel serial GEMM (seed ops.cc, ikj order with the zero-skip
+// branch), kept verbatim as the speedup baseline for BENCH_PR2.json.
+Matrix SeedMatMul(const Matrix& a, const Matrix& b) {
+  FACTION_CHECK_EQ(a.cols(), b.rows());
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_data(i);
+    double* orow = out.row_data(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.row_data(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        orow[j] += aik * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  Rng rng(31);
+  const Matrix a = RandomMatrix(800, 256, &rng);
+  const Matrix b = RandomMatrix(256, 256, &rng);
+  for (auto _ : state) {
+    Matrix c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 800 * 256 * 256);
+}
+BENCHMARK(BM_MatMul);
+
+void BM_MatMulSeed(benchmark::State& state) {
+  Rng rng(31);
+  const Matrix a = RandomMatrix(800, 256, &rng);
+  const Matrix b = RandomMatrix(256, 256, &rng);
+  for (auto _ : state) {
+    Matrix c = SeedMatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 800 * 256 * 256);
+}
+BENCHMARK(BM_MatMulSeed);
+
+void BM_Conv2dApply(benchmark::State& state) {
+  Rng rng(33);
+  const ImageShape shape{3, 16, 16};
+  Conv2d conv(shape, 8, &rng);
+  const Matrix x = RandomMatrix(128, shape.Flat(), &rng);
+  for (auto _ : state) {
+    Matrix y = conv.ForwardInference(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_Conv2dApply);
+
+// Whole-pool FACTION scoring through the batched path (one blocked solve
+// per mixture component shared by the density and fairness terms).
+void BM_PoolScoring(benchmark::State& state) {
+  const std::size_t n = 2000;
+  const Dataset pool = MakePool(400, 16, 35);
+  const Dataset candidates = MakePool(n, 16, 36);
+  CovarianceConfig config;
+  Result<FairDensityEstimator> est = FairDensityEstimator::Fit(
+      pool.features(), pool.labels(), pool.sensitive(), config);
+  FACTION_CHECK(est.ok());
+  Matrix proba(n, 2, 0.5);
+  for (auto _ : state) {
+    Result<std::vector<FactionScore>> scores = ComputeFactionScores(
+        est.value(), candidates.features(), proba, 0.5, true);
+    benchmark::DoNotOptimize(scores);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_PoolScoring);
+
+// The legacy per-sample scoring loop (pre-batching): a marginal-density
+// solve per sample plus a second per-component solve pass for the fairness
+// term — the BENCH_PR2.json baseline for BM_PoolScoring.
+void BM_PoolScoringPerSample(benchmark::State& state) {
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  const std::size_t n = 2000;
+  const Dataset pool = MakePool(400, 16, 35);
+  const Dataset candidates = MakePool(n, 16, 36);
+  CovarianceConfig config;
+  Result<FairDensityEstimator> fit = FairDensityEstimator::Fit(
+      pool.features(), pool.labels(), pool.sensitive(), config);
+  FACTION_CHECK(fit.ok());
+  const FairDensityEstimator& est = fit.value();
+  Matrix proba(n, 2, 0.5);
+  for (auto _ : state) {
+    std::vector<double> log_density(n), log_unfair(n, kNegInf);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::vector<double> z = candidates.features().Row(i);
+      log_density[i] = est.LogMarginalDensity(z);
+      std::vector<double> terms;
+      for (int c = 0; c < FairDensityEstimator::kNumClasses; ++c) {
+        double lp = 0.0, ln = 0.0;
+        est.ComponentLogDensities(z, c, &lp, &ln);
+        double log_delta = kNegInf;
+        if (std::isfinite(lp) && std::isfinite(ln)) {
+          const double hi = lp > ln ? lp : ln;
+          const double gap = hi - (lp > ln ? ln : lp);
+          if (gap >= 1e-300) log_delta = hi + std::log1p(-std::exp(-gap));
+        } else if (std::isfinite(lp) || std::isfinite(ln)) {
+          log_delta = std::isfinite(lp) ? lp : ln;
+        }
+        const double pc = proba(i, static_cast<std::size_t>(c));
+        if (std::isfinite(log_delta) && pc > 1e-12) {
+          terms.push_back(std::log(pc) + log_delta);
+        }
+      }
+      if (!terms.empty()) log_unfair[i] = LogSumExp(terms);
+    }
+    benchmark::DoNotOptimize(log_density.data());
+    benchmark::DoNotOptimize(log_unfair.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_PoolScoringPerSample);
 
 }  // namespace
 }  // namespace faction

@@ -62,11 +62,14 @@ Result<std::vector<std::size_t>> DduStrategy::SelectBatch(
   const Matrix cand_z =
       context.model->ExtractFeatures(*context.candidate_features);
   // Score by negative log density: the lowest-density (most epistemically
-  // uncertain) candidates are queried first.
+  // uncertain) candidates are queried first. Batched: one blocked solve
+  // per class component for the whole candidate pool.
+  const std::vector<double> lgs =
+      fit.value().LogMarginalDensityBatch(cand_z);
   std::vector<double> scores(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const double lg = fit.value().LogMarginalDensity(cand_z.Row(i));
-    scores[i] = std::isfinite(lg) ? -lg : std::numeric_limits<double>::max();
+    scores[i] = std::isfinite(lgs[i]) ? -lgs[i]
+                                      : std::numeric_limits<double>::max();
   }
   return TopK(scores, batch);
 }

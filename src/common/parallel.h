@@ -1,0 +1,65 @@
+#ifndef FACTION_COMMON_PARALLEL_H_
+#define FACTION_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+// Deterministic parallel execution layer.
+//
+// A single persistent thread pool (no per-call thread spawns) backs
+// ParallelFor. The determinism contract:
+//
+//   * The index range is split into chunks of `grain` consecutive indices.
+//     The chunk layout depends ONLY on (begin, end, grain) — never on the
+//     thread count — so chunk-indexed partial results (e.g. per-chunk
+//     gradient buffers combined in chunk order) are reproducible.
+//   * Each chunk is executed by exactly one thread; chunks never split.
+//   * The body must write only to chunk-disjoint outputs (no shared
+//     accumulators). Reductions go through per-chunk partials combined in
+//     chunk order by the caller.
+//
+// Under this contract every result is bitwise identical for any thread
+// count, including the serial path. FACTION_NUM_THREADS configures the
+// worker count (default: hardware concurrency; 1 forces the serial path).
+//
+// Grain-size guidance: pick the smallest grain whose per-chunk work is
+// ~10us or more (a few thousand double ops). Too-small grains waste time on
+// chunk bookkeeping; too-large grains starve threads on short ranges.
+//
+// Nested ParallelFor calls are safe: a call made from inside a parallel
+// body runs serially inline on the calling worker.
+
+namespace faction {
+
+/// Number of threads the parallel layer may use (>= 1). Resolved once from
+/// FACTION_NUM_THREADS (default: hardware concurrency).
+int ParallelThreadCount();
+
+/// Overrides the thread count at runtime and rebuilds the pool; used by
+/// tests and embedders. Values < 1 clamp to 1. Must not be called from
+/// inside a ParallelFor body.
+void SetParallelThreadCount(int n);
+
+/// Number of chunks ParallelFor will form for this range/grain. Callers
+/// sizing per-chunk partial buffers use this; it is independent of the
+/// thread count.
+std::size_t ParallelChunkCount(std::size_t begin, std::size_t end,
+                               std::size_t grain);
+
+/// Runs fn(chunk_begin, chunk_end) over consecutive chunks of at most
+/// `grain` indices covering [begin, end). See the determinism contract
+/// above. The first exception thrown by any chunk is rethrown on the
+/// calling thread after all chunks retire.
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// As ParallelFor, additionally passing the chunk index:
+/// fn(chunk, chunk_begin, chunk_end). Use when the body writes per-chunk
+/// partial results that the caller combines in chunk order.
+void ParallelForChunks(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+}  // namespace faction
+
+#endif  // FACTION_COMMON_PARALLEL_H_

@@ -47,6 +47,8 @@ Result<std::vector<std::size_t>> FactionStrategy::SelectBatch(
 
   const Matrix cand_z = context.model->ExtractFeatures(candidates);
   const Matrix proba = context.model->PredictProba(candidates);
+  // Scores the whole candidate pool in one batched, parallel pass (see
+  // core/fair_score.cc); bitwise deterministic for any thread count.
   FACTION_ASSIGN_OR_RETURN(
       std::vector<FactionScore> scores,
       ComputeFactionScores(fit.value(), cand_z, proba, config_.lambda,

@@ -1,9 +1,11 @@
 #include "core/fair_score.h"
 
+#include <array>
 #include <cmath>
 #include <limits>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "stream/selection.h"
 #include "tensor/ops.h"
 
@@ -73,28 +75,44 @@ Result<std::vector<FactionScore>> ComputeFactionScores(
   }
 
   std::vector<FactionScore> out(n);
+  if (n == 0) return out;
+
+  // One batched component pass for the whole pool: each present component's
+  // log-densities come from a single blocked triangular solve
+  // (density/gaussian.cc) instead of per-sample solves with per-call
+  // temporaries. The marginal and the fairness term both read this matrix,
+  // so fair selection no longer re-evaluates any Gaussian — the legacy
+  // per-sample path solved every component a second time through
+  // ComponentLogDensities when fair_select was on.
+  Matrix comp;
+  estimator.ComponentLogPdfBatch(features, &comp);
+
   std::vector<double> log_density(n), log_unfair(n, kNegInf);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::vector<double> z = features.Row(i);
-    log_density[i] = estimator.LogMarginalDensity(z);
-    if (fair_select) {
-      // log sum_c p_c * Delta g_c(z) via log-sum-exp over classes. The
-      // Delta g components are only evaluated when fair selection is on —
-      // this is the genuine extra cost of FACTION's fairness term over
-      // pure epistemic scoring (Fig. 5b's "w/o fair select" gap).
-      std::vector<double> terms;
-      terms.reserve(kClasses);
-      for (int c = 0; c < kClasses; ++c) {
-        double lp = 0.0, ln = 0.0;
-        estimator.ComponentLogDensities(z, c, &lp, &ln);
-        const double log_delta = LogAbsExpDiff(lp, ln);
-        const double pc = class_proba(i, static_cast<std::size_t>(c));
-        if (std::isfinite(log_delta) && pc > 1e-12) {
-          terms.push_back(std::log(pc) + log_delta);
+  estimator.LogMarginalFromComponents(comp, log_density.data());
+
+  if (fair_select) {
+    constexpr std::size_t kScoreGrain = 1024;
+    ParallelFor(0, n, kScoreGrain, [&](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        // log sum_c p_c * Delta g_c(z) via log-sum-exp over classes
+        // (Eqs. 4-6), allocation-free on the per-sample path.
+        std::array<double, kClasses> terms;
+        std::size_t nt = 0;
+        const double* crow = comp.row_data(i);
+        for (int c = 0; c < kClasses; ++c) {
+          const double lp = crow[FairDensityEstimator::ComponentIndex(c, 1)];
+          const double ln = crow[FairDensityEstimator::ComponentIndex(c, -1)];
+          const double log_delta = LogAbsExpDiff(lp, ln);
+          const double pc = class_proba(i, static_cast<std::size_t>(c));
+          if (std::isfinite(log_delta) && pc > 1e-12) {
+            terms[nt++] = std::log(pc) + log_delta;
+          }
         }
+        if (nt > 0) log_unfair[i] = LogSumExp(terms.data(), nt);
       }
-      if (!terms.empty()) log_unfair[i] = LogSumExp(terms);
-    }
+    });
+  }
+  for (std::size_t i = 0; i < n; ++i) {
     out[i].log_density = log_density[i];
     out[i].log_unfairness = log_unfair[i];
   }

@@ -37,8 +37,12 @@ struct FactionScore {
 /// `features` holds one z per row; `class_proba` holds the softmax
 /// probabilities p_c^x from the previous-step classifier h_{t-1} (same row
 /// count, one column per class). With `fair_select` false the unfairness
-/// term is dropped entirely (the paper's "w/o Fair Select" ablation) and
-/// its component densities are not even evaluated.
+/// term is dropped entirely (the paper's "w/o Fair Select" ablation).
+///
+/// The whole pool is scored in one batched pass: component log-densities
+/// are computed once per component via blocked triangular solves and shared
+/// between the marginal-density and unfairness terms. Scores are bitwise
+/// identical for any FACTION_NUM_THREADS setting.
 Result<std::vector<FactionScore>> ComputeFactionScores(
     const FairDensityEstimator& estimator, const Matrix& features,
     const Matrix& class_proba, double lambda, bool fair_select);

@@ -1,9 +1,12 @@
 #include "density/fair_density.h"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "tensor/ops.h"
 
 namespace faction {
@@ -12,13 +15,9 @@ namespace {
 
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
-// Gathers the rows of `features` whose index passes `pred` into a matrix.
-template <typename Pred>
-Matrix GatherRows(const Matrix& features, Pred pred) {
-  std::vector<std::size_t> idx;
-  for (std::size_t i = 0; i < features.rows(); ++i) {
-    if (pred(i)) idx.push_back(i);
-  }
+// Copies the listed rows of `features` into a dense matrix for Gaussian::Fit.
+Matrix GatherRows(const Matrix& features,
+                  const std::vector<std::size_t>& idx) {
   Matrix out(idx.size(), features.cols());
   for (std::size_t r = 0; r < idx.size(); ++r) {
     std::copy(features.row_data(idx[r]),
@@ -47,22 +46,33 @@ Result<FairDensityEstimator> FairDensityEstimator::Fit(
   est.components_.resize(total);
   est.present_.assign(total, false);
   est.weights_.assign(total, 0.0);
+  est.log_weights_.assign(total, kNegInf);
+
+  // Single pass over the samples: bucket each usable row by component
+  // instead of re-scanning all n rows once per component. Rows with labels
+  // or sensitive values outside the binary domain fall in no bucket, as
+  // before.
+  std::array<std::vector<std::size_t>, kNumClasses * kNumGroups> buckets;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (labels[i] < 0 || labels[i] >= kNumClasses) continue;
+    if (sensitive[i] != 1 && sensitive[i] != -1) continue;
+    buckets[ComponentIndex(labels[i], sensitive[i])].push_back(i);
+  }
 
   std::size_t fitted = 0;
-  for (int y = 0; y < kNumClasses; ++y) {
-    for (int s : {-1, 1}) {
-      const int idx = ComponentIndex(y, s);
-      const Matrix rows = GatherRows(features, [&](std::size_t i) {
-        return labels[i] == y && sensitive[i] == s;
-      });
-      est.weights_[idx] =
-          static_cast<double>(rows.rows()) / static_cast<double>(n);
-      if (rows.rows() == 0) continue;
-      FACTION_ASSIGN_OR_RETURN(Gaussian g, Gaussian::Fit(rows, config));
-      est.components_[idx] = std::move(g);
-      est.present_[idx] = true;
-      ++fitted;
+  for (int idx = 0; idx < total; ++idx) {
+    const std::vector<std::size_t>& bucket = buckets[idx];
+    est.weights_[idx] =
+        static_cast<double>(bucket.size()) / static_cast<double>(n);
+    if (est.weights_[idx] > 0.0) {
+      est.log_weights_[idx] = std::log(est.weights_[idx]);
     }
+    if (bucket.empty()) continue;
+    FACTION_ASSIGN_OR_RETURN(
+        Gaussian g, Gaussian::Fit(GatherRows(features, bucket), config));
+    est.components_[idx] = std::move(g);
+    est.present_[idx] = true;
+    ++fitted;
   }
   if (fitted == 0) {
     return Status::FailedPrecondition(
@@ -104,6 +114,57 @@ double FairDensityEstimator::LogMarginalDensity(
   return LogSumExp(terms);
 }
 
+void FairDensityEstimator::ComponentLogPdfBatch(const Matrix& zs,
+                                                Matrix* out) const {
+  FACTION_CHECK_EQ(zs.cols(), dim_);
+  const std::size_t n = zs.rows();
+  const std::size_t total = components_.size();
+  *out = Matrix(n, total);
+  if (n == 0) return;
+  std::vector<double> col(n);
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    if (!present_[idx]) {
+      for (std::size_t i = 0; i < n; ++i) (*out)(i, idx) = kNegInf;
+      continue;
+    }
+    // One blocked triangular solve for the whole batch.
+    components_[idx].LogPdfBatch(zs, col.data());
+    for (std::size_t i = 0; i < n; ++i) (*out)(i, idx) = col[i];
+  }
+}
+
+void FairDensityEstimator::LogMarginalFromComponents(const Matrix& comp,
+                                                     double* out) const {
+  const std::size_t total = components_.size();
+  FACTION_CHECK_EQ(comp.cols(), total);
+  const std::size_t n = comp.rows();
+  if (n == 0) return;
+  constexpr std::size_t kCombineGrain = 1024;
+  ParallelFor(0, n, kCombineGrain, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      // Terms in ascending component order — exactly the order the
+      // per-sample LogMarginalDensity loop pushes them.
+      std::array<double, kNumClasses * kNumGroups> terms;
+      std::size_t nt = 0;
+      const double* row = comp.row_data(i);
+      for (std::size_t idx = 0; idx < total; ++idx) {
+        if (!present_[idx] || weights_[idx] <= 0.0) continue;
+        terms[nt++] = row[idx] + log_weights_[idx];
+      }
+      out[i] = nt == 0 ? kNegInf : LogSumExp(terms.data(), nt);
+    }
+  });
+}
+
+std::vector<double> FairDensityEstimator::LogMarginalDensityBatch(
+    const Matrix& zs) const {
+  Matrix comp;
+  ComponentLogPdfBatch(zs, &comp);
+  std::vector<double> out(zs.rows());
+  LogMarginalFromComponents(comp, out.data());
+  return out;
+}
+
 void FairDensityEstimator::ComponentLogDensities(const std::vector<double>& z,
                                                  int label, double* log_pos,
                                                  double* log_neg) const {
@@ -142,14 +203,26 @@ Result<ClassDensityEstimator> ClassDensityEstimator::Fit(
   est.components_.resize(FairDensityEstimator::kNumClasses);
   est.present_.assign(FairDensityEstimator::kNumClasses, false);
   est.weights_.assign(FairDensityEstimator::kNumClasses, 0.0);
+  est.log_weights_.assign(FairDensityEstimator::kNumClasses, kNegInf);
+  std::array<std::vector<std::size_t>, FairDensityEstimator::kNumClasses>
+      buckets;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (labels[i] < 0 || labels[i] >= FairDensityEstimator::kNumClasses) {
+      continue;
+    }
+    buckets[labels[i]].push_back(i);
+  }
   std::size_t fitted = 0;
   for (int y = 0; y < FairDensityEstimator::kNumClasses; ++y) {
-    const Matrix rows =
-        GatherRows(features, [&](std::size_t i) { return labels[i] == y; });
+    const std::vector<std::size_t>& bucket = buckets[y];
     est.weights_[y] =
-        static_cast<double>(rows.rows()) / static_cast<double>(n);
-    if (rows.rows() == 0) continue;
-    FACTION_ASSIGN_OR_RETURN(Gaussian g, Gaussian::Fit(rows, config));
+        static_cast<double>(bucket.size()) / static_cast<double>(n);
+    if (est.weights_[y] > 0.0) {
+      est.log_weights_[y] = std::log(est.weights_[y]);
+    }
+    if (bucket.empty()) continue;
+    FACTION_ASSIGN_OR_RETURN(
+        Gaussian g, Gaussian::Fit(GatherRows(features, bucket), config));
     est.components_[y] = std::move(g);
     est.present_[y] = true;
     ++fitted;
@@ -179,6 +252,42 @@ double ClassDensityEstimator::LogMarginalDensity(
   }
   if (terms.empty()) return kNegInf;
   return LogSumExp(terms);
+}
+
+void ClassDensityEstimator::LogMarginalDensityBatch(const Matrix& zs,
+                                                    double* out) const {
+  FACTION_CHECK_EQ(zs.cols(), dim_);
+  const std::size_t n = zs.rows();
+  if (n == 0) return;
+  std::vector<std::size_t> active;  // ascending class order, as per sample
+  for (std::size_t y = 0; y < components_.size(); ++y) {
+    if (present_[y] && weights_[y] > 0.0) active.push_back(y);
+  }
+  if (active.empty()) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = kNegInf;
+    return;
+  }
+  Matrix comp(active.size(), n);
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    components_[active[a]].LogPdfBatch(zs, comp.row_data(a));
+  }
+  constexpr std::size_t kCombineGrain = 1024;
+  ParallelFor(0, n, kCombineGrain, [&](std::size_t i0, std::size_t i1) {
+    std::array<double, FairDensityEstimator::kNumClasses> terms;
+    for (std::size_t i = i0; i < i1; ++i) {
+      for (std::size_t a = 0; a < active.size(); ++a) {
+        terms[a] = comp(a, i) + log_weights_[active[a]];
+      }
+      out[i] = LogSumExp(terms.data(), active.size());
+    }
+  });
+}
+
+std::vector<double> ClassDensityEstimator::LogMarginalDensityBatch(
+    const Matrix& zs) const {
+  std::vector<double> out(zs.rows());
+  LogMarginalDensityBatch(zs, out.data());
+  return out;
 }
 
 }  // namespace faction

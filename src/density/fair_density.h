@@ -32,6 +32,12 @@ class FairDensityEstimator {
 
   FairDensityEstimator() = default;
 
+  /// Flat index of the (label, sensitive) component; column order of the
+  /// batched evaluation below and term order of every LogSumExp combine.
+  static int ComponentIndex(int label, int sensitive) {
+    return label * kNumGroups + (sensitive == 1 ? 1 : 0);
+  }
+
   /// Fits the C x S components from labeled feature vectors. Components
   /// with no samples are marked missing: their conditional density is 0
   /// (log-density -inf) and their mixture weight is 0, which matches the
@@ -57,6 +63,21 @@ class FairDensityEstimator {
   /// log g(z) = log sum_{y,s} g(z|y,s) p(y,s) (Eq. 3, log space).
   double LogMarginalDensity(const std::vector<double>& z) const;
 
+  /// Batched component log-densities for every row of `zs`: fills `out`
+  /// (resized to zs.rows() x kNumClasses*kNumGroups) so that
+  /// out(i, ComponentIndex(y, s)) = log g(z_i | y, s), with -inf columns
+  /// for missing components. One blocked triangular solve per component
+  /// for the whole batch; bitwise identical to per-sample LogPdf calls for
+  /// any thread count.
+  void ComponentLogPdfBatch(const Matrix& zs, Matrix* out) const;
+
+  /// Combines a ComponentLogPdfBatch matrix into per-sample marginals:
+  /// out[i] = log g(z_i), bitwise identical to LogMarginalDensity.
+  void LogMarginalFromComponents(const Matrix& comp, double* out) const;
+
+  /// Batched LogMarginalDensity over the rows of `zs`.
+  std::vector<double> LogMarginalDensityBatch(const Matrix& zs) const;
+
   /// Log-space description of Delta g_c(z): returns the pair of component
   /// log-densities (log g(z|c,+1), log g(z|c,-1)). The scorer combines them
   /// after the shared batch shift. Missing components contribute -inf.
@@ -71,14 +92,11 @@ class FairDensityEstimator {
   double MarginalDensity(const std::vector<double>& z) const;
 
  private:
-  static int ComponentIndex(int label, int sensitive) {
-    return label * kNumGroups + (sensitive == 1 ? 1 : 0);
-  }
-
   std::size_t dim_ = 0;
   std::vector<Gaussian> components_;  // size C*S, indexed by ComponentIndex
   std::vector<bool> present_;
-  std::vector<double> weights_;  // empirical p(y, s)
+  std::vector<double> weights_;      // empirical p(y, s)
+  std::vector<double> log_weights_;  // log(weights_), -inf at zero weight
 };
 
 /// Per-class density estimator used by the DDU baseline (Mukhoti et al.):
@@ -97,11 +115,17 @@ class ClassDensityEstimator {
   /// log g(z) = log sum_y g(z|y) p(y).
   double LogMarginalDensity(const std::vector<double>& z) const;
 
+  /// Batched LogMarginalDensity over the rows of `zs`; bitwise identical
+  /// to the per-sample path for any thread count.
+  void LogMarginalDensityBatch(const Matrix& zs, double* out) const;
+  std::vector<double> LogMarginalDensityBatch(const Matrix& zs) const;
+
  private:
   std::size_t dim_ = 0;
   std::vector<Gaussian> components_;
   std::vector<bool> present_;
   std::vector<double> weights_;
+  std::vector<double> log_weights_;
 };
 
 }  // namespace faction

@@ -38,6 +38,17 @@ class Gaussian {
   /// log N(z; mean, cov). Precondition: z.size() == dim().
   double LogPdf(const std::vector<double>& z) const;
 
+  /// Batched LogPdf over the rows of `zs` (n x dim()): one blocked
+  /// triangular solve against the cached Cholesky factor per sample block
+  /// instead of n per-sample solves with per-call temporaries. Follows the
+  /// exact per-sample operation order of LogPdf, runs in parallel over
+  /// sample blocks, and is bitwise deterministic for any thread count.
+  /// Writes zs.rows() values into `out`.
+  void LogPdfBatch(const Matrix& zs, double* out) const;
+
+  /// Convenience allocation form of the batched evaluation.
+  std::vector<double> LogPdfBatch(const Matrix& zs) const;
+
   /// Squared Mahalanobis distance (z-mu)^T Sigma^-1 (z-mu).
   double MahalanobisSquared(const std::vector<double>& z) const;
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "tensor/ops.h"
 
 namespace faction {
@@ -15,11 +16,23 @@ constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
 }  // namespace
 
-std::size_t GroupedDensityEstimator::GroupPosition(int sensitive) const {
+void GroupedDensityEstimator::BuildGroupLookup() {
+  group_lookup_.clear();
+  group_lookup_.reserve(sensitive_values_.size());
   for (std::size_t i = 0; i < sensitive_values_.size(); ++i) {
-    if (sensitive_values_[i] == sensitive) return i;
+    group_lookup_.emplace_back(sensitive_values_[i], i);
   }
-  return sensitive_values_.size();
+  std::sort(group_lookup_.begin(), group_lookup_.end());
+}
+
+std::size_t GroupedDensityEstimator::GroupPosition(int sensitive) const {
+  const auto it = std::lower_bound(
+      group_lookup_.begin(), group_lookup_.end(), sensitive,
+      [](const std::pair<int, std::size_t>& e, int v) { return e.first < v; });
+  if (it == group_lookup_.end() || it->first != sensitive) {
+    return sensitive_values_.size();
+  }
+  return it->second;
 }
 
 Result<GroupedDensityEstimator> GroupedDensityEstimator::Fit(
@@ -51,11 +64,13 @@ Result<GroupedDensityEstimator> GroupedDensityEstimator::Fit(
   est.dim_ = features.cols();
   est.num_classes_ = num_classes;
   est.sensitive_values_ = std::move(sensitive_values);
+  est.BuildGroupLookup();
   const std::size_t num_groups = est.sensitive_values_.size();
   const std::size_t total = static_cast<std::size_t>(num_classes) * num_groups;
   est.components_.resize(total);
   est.present_.assign(total, false);
   est.weights_.assign(total, 0.0);
+  est.log_weights_.assign(total, kNegInf);
 
   // Validate inputs and bucket row indices per component.
   std::vector<std::vector<std::size_t>> buckets(total);
@@ -78,6 +93,9 @@ Result<GroupedDensityEstimator> GroupedDensityEstimator::Fit(
   for (std::size_t idx = 0; idx < total; ++idx) {
     est.weights_[idx] = static_cast<double>(buckets[idx].size()) /
                         static_cast<double>(n);
+    if (est.weights_[idx] > 0.0) {
+      est.log_weights_[idx] = std::log(est.weights_[idx]);
+    }
     if (buckets[idx].empty()) continue;
     Matrix rows(buckets[idx].size(), est.dim_);
     for (std::size_t r = 0; r < buckets[idx].size(); ++r) {
@@ -190,6 +208,103 @@ double GroupedDensityEstimator::LogDeltaG(const std::vector<double>& z,
   const double gap = log_max - log_min;
   if (gap < 1e-300) return kNegInf;
   return log_max + std::log1p(-std::exp(-gap));
+}
+
+void GroupedDensityEstimator::LogMarginalDensityBatch(const Matrix& zs,
+                                                      double* out) const {
+  FACTION_CHECK_EQ(zs.cols(), dim_);
+  const std::size_t n = zs.rows();
+  if (n == 0) return;
+  // Active components in ascending index order — the same term order the
+  // per-sample path uses, so the LogSumExp combine is bitwise identical.
+  std::vector<std::size_t> active;
+  for (std::size_t idx = 0; idx < components_.size(); ++idx) {
+    if (present_[idx] && weights_[idx] > 0.0) active.push_back(idx);
+  }
+  if (active.empty()) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = kNegInf;
+    return;
+  }
+  // One blocked solve per active component for the whole batch, instead of
+  // n per-sample solves with per-call temporaries.
+  Matrix comp(active.size(), n);
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    components_[active[a]].LogPdfBatch(zs, comp.row_data(a));
+  }
+  constexpr std::size_t kCombineGrain = 512;
+  ParallelFor(0, n, kCombineGrain, [&](std::size_t i0, std::size_t i1) {
+    std::vector<double> terms(active.size());
+    for (std::size_t i = i0; i < i1; ++i) {
+      for (std::size_t a = 0; a < active.size(); ++a) {
+        terms[a] = comp(a, i) + log_weights_[active[a]];
+      }
+      out[i] = LogSumExp(terms.data(), terms.size());
+    }
+  });
+}
+
+std::vector<double> GroupedDensityEstimator::LogMarginalDensityBatch(
+    const Matrix& zs) const {
+  std::vector<double> out(zs.rows());
+  LogMarginalDensityBatch(zs, out.data());
+  return out;
+}
+
+void GroupedDensityEstimator::LogDeltaGBatch(const Matrix& zs, int label,
+                                             double* out) const {
+  FACTION_CHECK_EQ(zs.cols(), dim_);
+  const std::size_t n = zs.rows();
+  if (n == 0) return;
+  if (label < 0 || label >= num_classes_ || sensitive_values_.size() < 2) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = kNegInf;
+    return;
+  }
+  std::vector<std::size_t> fitted;  // present components of this class
+  bool any_missing = false;
+  for (std::size_t g = 0; g < sensitive_values_.size(); ++g) {
+    const std::size_t idx = ComponentIndex(label, g);
+    if (present_[idx]) {
+      fitted.push_back(idx);
+    } else {
+      any_missing = true;
+    }
+  }
+  if (fitted.empty()) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = kNegInf;
+    return;
+  }
+  Matrix comp(fitted.size(), n);
+  for (std::size_t a = 0; a < fitted.size(); ++a) {
+    components_[fitted[a]].LogPdfBatch(zs, comp.row_data(a));
+  }
+  constexpr std::size_t kCombineGrain = 1024;
+  ParallelFor(0, n, kCombineGrain, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      double log_max = kNegInf;
+      double log_min = std::numeric_limits<double>::infinity();
+      for (std::size_t a = 0; a < fitted.size(); ++a) {
+        const double lp = comp(a, i);
+        log_max = std::max(log_max, lp);
+        log_min = std::min(log_min, lp);
+      }
+      if (!std::isfinite(log_max)) {
+        out[i] = kNegInf;
+      } else if (any_missing) {
+        out[i] = log_max;  // gap against density 0
+      } else {
+        const double gap = log_max - log_min;
+        out[i] =
+            gap < 1e-300 ? kNegInf : log_max + std::log1p(-std::exp(-gap));
+      }
+    }
+  });
+}
+
+std::vector<double> GroupedDensityEstimator::LogDeltaGBatch(const Matrix& zs,
+                                                            int label) const {
+  std::vector<double> out(zs.rows());
+  LogDeltaGBatch(zs, label, out.data());
+  return out;
 }
 
 }  // namespace faction

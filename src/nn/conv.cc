@@ -1,15 +1,24 @@
 #include "nn/conv.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace faction {
 
 namespace {
 
 constexpr int kPad = 1;  // same padding for the 3x3 kernel
+
+// Samples per parallel chunk. Forward work is sample-disjoint so grain 1
+// would be fine; the backward pass allocates one weight/bias partial per
+// chunk, so a larger grain bounds that scratch memory. The chunk layout
+// (and therefore the gradient accumulation order) depends only on this
+// constant, never on the thread count.
+constexpr std::size_t kSampleGrain = 4;
 
 }  // namespace
 
@@ -33,7 +42,9 @@ Matrix Conv2d::Apply(const Matrix& x) const {
   const std::size_t h = in_.height;
   const std::size_t w = in_.width;
   Matrix out(n, out_channels_ * h * w);
-  for (std::size_t s = 0; s < n; ++s) {
+  // One sample is fully convolved by one chunk; output rows are disjoint,
+  // so the result is bitwise identical for any thread count.
+  const auto apply_sample = [&](std::size_t s) {
     const double* img = x.row_data(s);
     double* dst = out.row_data(s);
     for (std::size_t oc = 0; oc < out_channels_; ++oc) {
@@ -63,7 +74,10 @@ Matrix Conv2d::Apply(const Matrix& x) const {
         }
       }
     }
-  }
+  };
+  ParallelFor(0, n, kSampleGrain, [&](std::size_t s0, std::size_t s1) {
+    for (std::size_t s = s0; s < s1; ++s) apply_sample(s);
+  });
   return out;
 }
 
@@ -81,13 +95,22 @@ Matrix Conv2d::Backward(const Matrix& dy) {
   FACTION_CHECK_EQ(dy.rows(), n);
   FACTION_CHECK_EQ(dy.cols(), out_channels_ * h * w);
   Matrix dx(n, in_.Flat());
-  for (std::size_t s = 0; s < n; ++s) {
+  // dx rows are sample-disjoint, but the weight/bias gradients are shared
+  // across samples. Each chunk therefore accumulates into its own partial
+  // buffers, combined below in chunk order. The chunk layout depends only
+  // on kSampleGrain, so the accumulation order — and the result — is
+  // bitwise identical for any thread count.
+  const std::size_t nchunks = ParallelChunkCount(0, n, kSampleGrain);
+  Matrix gw_partial(nchunks, w_.size());
+  Matrix gb_partial(nchunks, out_channels_);
+  const auto backward_sample = [&](std::size_t s, double* gw_chunk,
+                                   double* gb_chunk) {
     const double* img = cached_input_.row_data(s);
     const double* grad = dy.row_data(s);
     double* dimg = dx.row_data(s);
     for (std::size_t oc = 0; oc < out_channels_; ++oc) {
       const double* kernel = w_.row_data(oc);
-      double* gkernel = gw_.row_data(oc);
+      double* gkernel = gw_chunk + oc * w_.cols();
       double gbias = 0.0;
       for (std::size_t r = 0; r < h; ++r) {
         for (std::size_t c = 0; c < w; ++c) {
@@ -116,8 +139,24 @@ Matrix Conv2d::Backward(const Matrix& dy) {
           }
         }
       }
-      gb_(0, oc) += gbias;
+      gb_chunk[oc] += gbias;
     }
+  };
+  ParallelForChunks(
+      0, n, kSampleGrain,
+      [&](std::size_t chunk, std::size_t s0, std::size_t s1) {
+        double* gw_chunk = gw_partial.row_data(chunk);
+        double* gb_chunk = gb_partial.row_data(chunk);
+        for (std::size_t s = s0; s < s1; ++s) {
+          backward_sample(s, gw_chunk, gb_chunk);
+        }
+      });
+  for (std::size_t chunk = 0; chunk < nchunks; ++chunk) {
+    const double* pw = gw_partial.row_data(chunk);
+    double* gw = gw_.data();
+    for (std::size_t i = 0; i < w_.size(); ++i) gw[i] += pw[i];
+    const double* pb = gb_partial.row_data(chunk);
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) gb_(0, oc) += pb[oc];
   }
   return dx;
 }

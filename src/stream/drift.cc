@@ -20,10 +20,12 @@ void DriftDetector::Reset() { stats_ = RunningStat(); }
 
 double MeanLogDensity(const FairDensityEstimator& estimator,
                       const Matrix& features) {
+  // Batched evaluation: one blocked solve per mixture component for the
+  // whole window instead of per-row solves.
+  const std::vector<double> lgs = estimator.LogMarginalDensityBatch(features);
   double sum = 0.0;
   std::size_t counted = 0;
-  for (std::size_t i = 0; i < features.rows(); ++i) {
-    const double lg = estimator.LogMarginalDensity(features.Row(i));
+  for (const double lg : lgs) {
     if (std::isfinite(lg)) {
       sum += lg;
       ++counted;

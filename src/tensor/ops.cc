@@ -1,127 +1,231 @@
 #include "tensor/ops.h"
 
-#include "common/check.h"
-
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+#include "common/parallel.h"
+
 namespace faction {
+
+namespace {
+
+// Parallel grain sizes. Chunk layout depends only on these constants and
+// the problem shape — never on the thread count — which is what keeps every
+// op bitwise deterministic across thread counts (see common/parallel.h).
+constexpr std::size_t kGemmRowGrain = 8;   // output rows per chunk
+constexpr std::size_t kGemmKBlock = 64;    // k panel kept hot across rows
+constexpr std::size_t kRowGrain = 64;      // rows per chunk, rowwise ops
+constexpr std::size_t kColGrain = 64;      // cols per chunk, columnwise ops
+constexpr std::size_t kElemGrain = 1 << 14;  // flat elements per chunk
+constexpr std::size_t kTransposeTile = 32;
+
+}  // namespace
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   FACTION_CHECK_EQ(a.cols(), b.rows());
   Matrix out(a.rows(), b.cols());
-  // ikj loop order keeps the inner loop streaming over contiguous rows.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.row_data(i);
-    double* orow = out.row_data(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = arow[k];
-      if (aik == 0.0) continue;
-      const double* brow = b.row_data(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) {
-        orow[j] += aik * brow[j];
+  const std::size_t kk = a.cols();
+  const std::size_t nn = b.cols();
+  // Cache-blocked ikj kernel, parallel over row panels: each output row is
+  // produced by exactly one chunk, and the k accumulation order is fixed by
+  // the block size and the 4-wide unroll, so the result is identical for
+  // any thread count. The inner loop is a dense 4-row axpy — no zero-skip
+  // branch (it mispredicts on dense data).
+  ParallelFor(0, a.rows(), kGemmRowGrain,
+              [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t k0 = 0; k0 < kk; k0 += kGemmKBlock) {
+      const std::size_t k1 = std::min(kk, k0 + kGemmKBlock);
+      for (std::size_t i = r0; i < r1; ++i) {
+        const double* arow = a.row_data(i);
+        double* orow = out.row_data(i);
+        std::size_t k = k0;
+        for (; k + 4 <= k1; k += 4) {
+          const double a0 = arow[k];
+          const double a1 = arow[k + 1];
+          const double a2 = arow[k + 2];
+          const double a3 = arow[k + 3];
+          const double* b0 = b.row_data(k);
+          const double* b1 = b.row_data(k + 1);
+          const double* b2 = b.row_data(k + 2);
+          const double* b3 = b.row_data(k + 3);
+          for (std::size_t j = 0; j < nn; ++j) {
+            orow[j] +=
+                (a0 * b0[j] + a1 * b1[j]) + (a2 * b2[j] + a3 * b3[j]);
+          }
+        }
+        for (; k < k1; ++k) {
+          const double ak = arow[k];
+          const double* brow = b.row_data(k);
+          for (std::size_t j = 0; j < nn; ++j) orow[j] += ak * brow[j];
+        }
       }
     }
-  }
+  });
   return out;
 }
 
 Matrix MatMulBt(const Matrix& a, const Matrix& b) {
   FACTION_CHECK_EQ(a.cols(), b.cols());
   Matrix out(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.row_data(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.row_data(j);
-      double acc = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
-      out(i, j) = acc;
+  const std::size_t kk = a.cols();
+  ParallelFor(0, a.rows(), kGemmRowGrain,
+              [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const double* arow = a.row_data(i);
+      double* orow = out.row_data(i);
+      for (std::size_t j = 0; j < b.rows(); ++j) {
+        const double* brow = b.row_data(j);
+        // Four partial dot products combined in a fixed order.
+        double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+        std::size_t k = 0;
+        for (; k + 4 <= kk; k += 4) {
+          s0 += arow[k] * brow[k];
+          s1 += arow[k + 1] * brow[k + 1];
+          s2 += arow[k + 2] * brow[k + 2];
+          s3 += arow[k + 3] * brow[k + 3];
+        }
+        double acc = (s0 + s1) + (s2 + s3);
+        for (; k < kk; ++k) acc += arow[k] * brow[k];
+        orow[j] = acc;
+      }
     }
-  }
+  });
   return out;
 }
 
 Matrix MatMulAt(const Matrix& a, const Matrix& b) {
   FACTION_CHECK_EQ(a.rows(), b.rows());
   Matrix out(a.cols(), b.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const double* arow = a.row_data(k);
-    const double* brow = b.row_data(k);
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
-      double* orow = out.row_data(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) {
-        orow[j] += aki * brow[j];
+  const std::size_t mm = a.rows();
+  const std::size_t nn = b.cols();
+  // Parallel over panels of output rows (= columns of a). Within a panel k
+  // runs over the shared dimension with the panel of `out` as the in-cache
+  // accumulator tile; every out element sees the same ascending-k order as
+  // the serial kernel. Dense inner loop, no zero-skip branch.
+  ParallelFor(0, a.cols(), kGemmRowGrain,
+              [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t k = 0; k < mm; ++k) {
+      const double* arow = a.row_data(k);
+      const double* brow = b.row_data(k);
+      for (std::size_t i = r0; i < r1; ++i) {
+        const double aki = arow[i];
+        double* orow = out.row_data(i);
+        for (std::size_t j = 0; j < nn; ++j) orow[j] += aki * brow[j];
       }
     }
-  }
+  });
   return out;
 }
 
 Matrix Transpose(const Matrix& m) {
   Matrix out(m.cols(), m.rows());
-  for (std::size_t i = 0; i < m.rows(); ++i) {
-    for (std::size_t j = 0; j < m.cols(); ++j) out(j, i) = m(i, j);
-  }
+  // Tiled transpose, parallel over output row panels.
+  ParallelFor(0, m.cols(), kTransposeTile,
+              [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t i0 = 0; i0 < m.rows(); i0 += kTransposeTile) {
+      const std::size_t i1 = std::min(m.rows(), i0 + kTransposeTile);
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double* row = m.row_data(i);
+        for (std::size_t j = c0; j < c1; ++j) out(j, i) = row[j];
+      }
+    }
+  });
   return out;
 }
 
 Matrix Add(const Matrix& a, const Matrix& b) {
   FACTION_CHECK_SAME_SHAPE(a, b);
   Matrix out = a;
-  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] += b.data()[i];
+  double* dst = out.data();
+  const double* src = b.data();
+  ParallelFor(0, out.size(), kElemGrain,
+              [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) dst[i] += src[i];
+  });
   return out;
 }
 
 Matrix Sub(const Matrix& a, const Matrix& b) {
   FACTION_CHECK_SAME_SHAPE(a, b);
   Matrix out = a;
-  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] -= b.data()[i];
+  double* dst = out.data();
+  const double* src = b.data();
+  ParallelFor(0, out.size(), kElemGrain,
+              [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) dst[i] -= src[i];
+  });
   return out;
 }
 
 Matrix Hadamard(const Matrix& a, const Matrix& b) {
   FACTION_CHECK_SAME_SHAPE(a, b);
   Matrix out = a;
-  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] *= b.data()[i];
+  double* dst = out.data();
+  const double* src = b.data();
+  ParallelFor(0, out.size(), kElemGrain,
+              [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) dst[i] *= src[i];
+  });
   return out;
 }
 
 Matrix Scale(const Matrix& m, double s) {
   Matrix out = m;
-  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] *= s;
+  double* dst = out.data();
+  ParallelFor(0, out.size(), kElemGrain,
+              [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) dst[i] *= s;
+  });
   return out;
 }
 
 void AddScaled(Matrix* a, const Matrix& b, double s) {
   FACTION_CHECK_SAME_SHAPE(*a, b);
-  for (std::size_t i = 0; i < a->size(); ++i) a->data()[i] += s * b.data()[i];
+  double* dst = a->data();
+  const double* src = b.data();
+  ParallelFor(0, a->size(), kElemGrain,
+              [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) dst[i] += s * src[i];
+  });
 }
 
 void AddRowBroadcast(Matrix* m, const std::vector<double>& row) {
   FACTION_CHECK_LEN(row, m->cols());
-  for (std::size_t i = 0; i < m->rows(); ++i) {
-    double* r = m->row_data(i);
-    for (std::size_t j = 0; j < m->cols(); ++j) r[j] += row[j];
-  }
+  ParallelFor(0, m->rows(), kRowGrain,
+              [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      double* r = m->row_data(i);
+      for (std::size_t j = 0; j < m->cols(); ++j) r[j] += row[j];
+    }
+  });
 }
 
 std::vector<double> ColSums(const Matrix& m) {
   std::vector<double> out(m.cols(), 0.0);
-  for (std::size_t i = 0; i < m.rows(); ++i) {
-    const double* r = m.row_data(i);
-    for (std::size_t j = 0; j < m.cols(); ++j) out[j] += r[j];
-  }
+  // Parallel over column panels: each column's sum is accumulated by one
+  // chunk in ascending row order, exactly as the serial loop did.
+  double* sums = out.data();
+  ParallelFor(0, m.cols(), kColGrain,
+              [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      const double* r = m.row_data(i);
+      for (std::size_t j = c0; j < c1; ++j) sums[j] += r[j];
+    }
+  });
   return out;
 }
 
 std::vector<double> RowSums(const Matrix& m) {
   std::vector<double> out(m.rows(), 0.0);
-  for (std::size_t i = 0; i < m.rows(); ++i) {
-    const double* r = m.row_data(i);
-    for (std::size_t j = 0; j < m.cols(); ++j) out[i] += r[j];
-  }
+  double* sums = out.data();
+  ParallelFor(0, m.rows(), kRowGrain,
+              [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const double* r = m.row_data(i);
+      for (std::size_t j = 0; j < m.cols(); ++j) sums[i] += r[j];
+    }
+  });
   return out;
 }
 
@@ -162,42 +266,53 @@ double SquaredDistance(const std::vector<double>& a,
 
 Matrix SoftmaxRows(const Matrix& logits) {
   Matrix out = logits;
-  for (std::size_t i = 0; i < out.rows(); ++i) {
-    double* r = out.row_data(i);
-    double mx = r[0];
-    for (std::size_t j = 1; j < out.cols(); ++j) mx = std::max(mx, r[j]);
-    double sum = 0.0;
-    for (std::size_t j = 0; j < out.cols(); ++j) {
-      r[j] = std::exp(r[j] - mx);
-      sum += r[j];
+  ParallelFor(0, out.rows(), kRowGrain,
+              [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      double* r = out.row_data(i);
+      double mx = r[0];
+      for (std::size_t j = 1; j < out.cols(); ++j) mx = std::max(mx, r[j]);
+      double sum = 0.0;
+      for (std::size_t j = 0; j < out.cols(); ++j) {
+        r[j] = std::exp(r[j] - mx);
+        sum += r[j];
+      }
+      for (std::size_t j = 0; j < out.cols(); ++j) r[j] /= sum;
     }
-    for (std::size_t j = 0; j < out.cols(); ++j) r[j] /= sum;
-  }
+  });
   return out;
 }
 
 Matrix LogSoftmaxRows(const Matrix& logits) {
   Matrix out = logits;
-  for (std::size_t i = 0; i < out.rows(); ++i) {
-    double* r = out.row_data(i);
-    double mx = r[0];
-    for (std::size_t j = 1; j < out.cols(); ++j) mx = std::max(mx, r[j]);
-    double sum = 0.0;
-    for (std::size_t j = 0; j < out.cols(); ++j) sum += std::exp(r[j] - mx);
-    const double lse = mx + std::log(sum);
-    for (std::size_t j = 0; j < out.cols(); ++j) r[j] -= lse;
-  }
+  ParallelFor(0, out.rows(), kRowGrain,
+              [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      double* r = out.row_data(i);
+      double mx = r[0];
+      for (std::size_t j = 1; j < out.cols(); ++j) mx = std::max(mx, r[j]);
+      double sum = 0.0;
+      for (std::size_t j = 0; j < out.cols(); ++j) sum += std::exp(r[j] - mx);
+      const double lse = mx + std::log(sum);
+      for (std::size_t j = 0; j < out.cols(); ++j) r[j] -= lse;
+    }
+  });
   return out;
+}
+
+double LogSumExp(const double* xs, std::size_t n) {
+  FACTION_CHECK(n > 0);
+  double mx = xs[0];
+  for (std::size_t i = 0; i < n; ++i) mx = std::max(mx, xs[i]);
+  if (!std::isfinite(mx)) return mx;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += std::exp(xs[i] - mx);
+  return mx + std::log(sum);
 }
 
 double LogSumExp(const std::vector<double>& xs) {
   FACTION_CHECK(!xs.empty());
-  double mx = xs[0];
-  for (double x : xs) mx = std::max(mx, x);
-  if (!std::isfinite(mx)) return mx;
-  double sum = 0.0;
-  for (double x : xs) sum += std::exp(x - mx);
-  return mx + std::log(sum);
+  return LogSumExp(xs.data(), xs.size());
 }
 
 }  // namespace faction

@@ -8,6 +8,12 @@
 namespace faction {
 
 /// Matrix product a*b. Precondition: a.cols() == b.rows().
+///
+/// The GEMM-shaped ops (MatMul/MatMulBt/MatMulAt/Transpose) and the
+/// rowwise/elementwise ops below run as cache-blocked kernels on the shared
+/// thread pool (common/parallel.h). Results are bitwise identical for any
+/// FACTION_NUM_THREADS setting: every output element is produced by exactly
+/// one chunk in an order fixed by the problem shape.
 Matrix MatMul(const Matrix& a, const Matrix& b);
 
 /// a * b^T without materializing the transpose.
@@ -67,6 +73,10 @@ Matrix LogSoftmaxRows(const Matrix& logits);
 
 /// log(sum(exp(xs))) computed stably.
 double LogSumExp(const std::vector<double>& xs);
+
+/// Allocation-free overload over a raw span; n must be > 0. Used by the
+/// batched density scorers on their per-sample hot path.
+double LogSumExp(const double* xs, std::size_t n);
 
 }  // namespace faction
 

@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# bench.sh — parallel-layer benchmark driver (PR 2).
+#
+# Builds bench/micro_components in a dedicated native-tuned Release tree
+# (build/bench), runs the parallel-layer benchmarks at FACTION_NUM_THREADS=1
+# and at the default thread count, and merges both runs plus the derived
+# speedups into BENCH_PR2.json at the repo root.
+#
+# Reported speedups:
+#   * BM_MatMul        — blocked parallel kernel at default threads vs the
+#                        seed serial kernel (BM_MatMulSeed) at 1 thread.
+#   * BM_Conv2dApply   — default threads vs 1 thread (pure thread scaling).
+#   * BM_PoolScoring   — batched scoring at default threads vs the legacy
+#                        per-sample loop (BM_PoolScoringPerSample) at 1
+#                        thread.
+#
+# Usage: tools/bench.sh [--min-time SECONDS]
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+MIN_TIME="0.2"
+if [[ "${1:-}" == "--min-time" ]]; then
+  MIN_TIME="$2"
+fi
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+BUILD_DIR="build/bench"
+FILTER='BM_MatMul|BM_Conv2dApply|BM_PoolScoring'
+
+printf '\n\033[1m== configure+build [bench: Release, native arch] ==\033[0m\n'
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DFACTION_NATIVE_ARCH=ON \
+  >/dev/null
+cmake --build "$BUILD_DIR" --target micro_components -j "$JOBS" >/dev/null
+
+run_bench() {
+  local threads="$1" out="$2"
+  printf '\033[1m== run [FACTION_NUM_THREADS=%s] ==\033[0m\n' "$threads"
+  if [[ "$threads" == "default" ]]; then
+    "$BUILD_DIR/bench/micro_components" \
+      --benchmark_filter="$FILTER" \
+      --benchmark_min_time="$MIN_TIME" \
+      --benchmark_out="$out" --benchmark_out_format=json \
+      --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
+  else
+    FACTION_NUM_THREADS="$threads" "$BUILD_DIR/bench/micro_components" \
+      --benchmark_filter="$FILTER" \
+      --benchmark_min_time="$MIN_TIME" \
+      --benchmark_out="$out" --benchmark_out_format=json \
+      --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
+  fi
+}
+
+run_bench 1 "$BUILD_DIR/bench_t1.json"
+run_bench default "$BUILD_DIR/bench_tdefault.json"
+
+python3 - "$BUILD_DIR/bench_t1.json" "$BUILD_DIR/bench_tdefault.json" \
+  BENCH_PR2.json <<'EOF'
+import json
+import os
+import sys
+
+t1_path, tdef_path, out_path = sys.argv[1:4]
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for b in doc["benchmarks"]:
+        if b.get("aggregate_name") == "median":
+            times[b["run_name"]] = b["real_time"]
+    return doc["context"], times
+
+
+ctx1, t1 = load(t1_path)
+ctxd, tdef = load(tdef_path)
+
+
+def speedup(base, new):
+    return round(base / new, 3) if new else None
+
+
+report = {
+    "meta": {
+        "date": ctxd.get("date"),
+        "host_cpus": ctxd.get("num_cpus"),
+        "mhz_per_cpu": ctxd.get("mhz_per_cpu"),
+        "build": "Release + FACTION_NATIVE_ARCH",
+        "time_unit": "ns (median of 3 repetitions, real time)",
+        "note": (
+            "Speedups marked 'vs seed'/'vs per-sample' compare the new "
+            "kernel at default threads against the retained baseline "
+            "implementation at 1 thread; 'thread_scaling' isolates the "
+            "1-thread vs default-thread ratio of the same kernel. On a "
+            "single-CPU host thread_scaling is ~1 by construction."
+        ),
+    },
+    "threads_1": {k: round(v, 1) for k, v in sorted(t1.items())},
+    "threads_default": {k: round(v, 1) for k, v in sorted(tdef.items())},
+    "speedups": {
+        "BM_MatMul_vs_seed": speedup(t1["BM_MatMulSeed"], tdef["BM_MatMul"]),
+        "BM_PoolScoring_vs_per_sample": speedup(
+            t1["BM_PoolScoringPerSample"], tdef["BM_PoolScoring"]
+        ),
+        "thread_scaling": {
+            name: speedup(t1[name], tdef[name])
+            for name in ("BM_MatMul", "BM_Conv2dApply", "BM_PoolScoring")
+        },
+    },
+}
+
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+print(json.dumps(report["speedups"], indent=2))
+EOF
