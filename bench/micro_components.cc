@@ -3,9 +3,12 @@
 // scoring, training steps, metric evaluation, and clustering.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <vector>
+
+#include "common/workspace.h"
 
 #include "cluster/kmeans.h"
 #include "common/rng.h"
@@ -301,6 +304,112 @@ void BM_PoolScoringPerSample(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
 }
 BENCHMARK(BM_PoolScoringPerSample);
+
+// ---------------- GEMM conv, workspace trainer, incremental refits (PR 3)
+
+// Serial naive convolution loops: the bitwise-parity baseline for the
+// im2col/GEMM lowering (speedup pair for BENCH_PR3.json).
+void BM_Conv2dNaive(benchmark::State& state) {
+  Rng rng(33);
+  const ImageShape shape{3, 16, 16};
+  Conv2d conv(shape, 8, &rng);
+  const Matrix x = RandomMatrix(128, shape.Flat(), &rng);
+  for (auto _ : state) {
+    Matrix y = conv.ApplyNaive(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_Conv2dNaive);
+
+// Same convolution through the im2col-lowered GEMM path (identical inputs
+// and — bitwise — identical outputs to BM_Conv2dNaive).
+void BM_Conv2dIm2col(benchmark::State& state) {
+  Rng rng(33);
+  const ImageShape shape{3, 16, 16};
+  Conv2d conv(shape, 8, &rng);
+  const Matrix x = RandomMatrix(128, shape.Flat(), &rng);
+  for (auto _ : state) {
+    Matrix y = conv.ForwardInference(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_Conv2dIm2col);
+
+// One full training pass with the persistent Workspace the online learner
+// uses: steady-state iterations reuse every batch/gradient buffer.
+void BM_TrainStep(benchmark::State& state) {
+  const std::size_t n = 800;
+  const Dataset pool = MakePool(n, 16, 5);
+  Rng rng(7);
+  MlpConfig mconfig;
+  mconfig.input_dim = 16;
+  mconfig.hidden_dims = {48, 16};
+  mconfig.spectral.enabled = true;
+  TrainConfig tconfig;
+  tconfig.epochs = 1;
+  Workspace workspace;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng model_rng(11);
+    MlpClassifier model(mconfig, &model_rng);
+    state.ResumeTiming();
+    Result<TrainReport> report =
+        TrainClassifier(&model, pool, tconfig, &rng, &workspace);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_TrainStep);
+
+// Full batch refit of the GDA estimator on a pool of `n` rows — the cost
+// FACTION used to pay every acquisition round.
+void BM_DensityRefitBatch(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Dataset pool = MakePool(n, 16, 41);
+  CovarianceConfig config;
+  for (auto _ : state) {
+    Result<FairDensityEstimator> est = FairDensityEstimator::Fit(
+        pool.features(), pool.labels(), pool.sensitive(), config);
+    benchmark::DoNotOptimize(est);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_DensityRefitBatch)->Arg(2400);
+
+// Incremental refit: one acquisition round folds A=25 new rows into the
+// sufficient statistics of a pool already holding `n` rows. Cost is
+// O(A d^2) + one Cholesky per touched component, independent of n.
+void BM_DensityRefitIncremental(benchmark::State& state) {
+  constexpr std::size_t kAcquisition = 25;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t dim = 16;
+  const Dataset pool = MakePool(n, dim, 41);
+  const Dataset fresh = MakePool(400, dim, 42);
+  CovarianceConfig config;
+  Result<FairDensityEstimator> est = FairDensityEstimator::Fit(
+      pool.features(), pool.labels(), pool.sensitive(), config);
+  FACTION_CHECK(est.ok());
+  Matrix rows(kAcquisition, dim);
+  std::vector<int> ys(kAcquisition), ss(kAcquisition);
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kAcquisition; ++i) {
+      const std::size_t idx = (cursor + i) % fresh.size();
+      std::copy(fresh.features().row_data(idx),
+                fresh.features().row_data(idx) + dim, rows.row_data(i));
+      ys[i] = fresh.labels()[idx];
+      ss[i] = fresh.sensitive()[idx];
+    }
+    cursor = (cursor + kAcquisition) % fresh.size();
+    const Status updated = est.value().Update(rows, ys, ss, config);
+    FACTION_CHECK(updated.ok());
+    benchmark::DoNotOptimize(est);
+  }
+  state.SetItemsProcessed(state.iterations() * kAcquisition);
+}
+BENCHMARK(BM_DensityRefitIncremental)->Arg(2400);
 
 }  // namespace
 }  // namespace faction

@@ -48,5 +48,17 @@ void LengthMismatch(const char* file, int line, const char* expr,
                            std::to_string(want) + ")");
 }
 
+void CheckAllFinite(const char* file, int line, const char* expr,
+                    const double* values, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(values[i])) {
+      FailWith(file, line, std::string("CHECK_FINITE_ALL failed: ") + expr +
+                               "[" + std::to_string(i) + "] = " +
+                               std::to_string(values[i]) + " (of " +
+                               std::to_string(n) + " elements)");
+    }
+  }
+}
+
 }  // namespace internal_check
 }  // namespace faction

@@ -50,6 +50,13 @@ std::string CheckValue(const T& v) {
 [[noreturn]] void LengthMismatch(const char* file, int line, const char* expr,
                                  std::size_t got, std::size_t want);
 
+/// Scans `values[0, n)` and aborts (via CheckFiniteFailed with the offending
+/// index folded into the message) when any element is NaN or infinite.
+/// One call validates a whole buffer, so hot loops need no per-element
+/// branch; release-mode codegen of the surrounding loop is unaffected.
+void CheckAllFinite(const char* file, int line, const char* expr,
+                    const double* values, std::size_t n);
+
 }  // namespace internal_check
 }  // namespace faction
 
@@ -97,6 +104,14 @@ std::string CheckValue(const T& v) {
                                                    #x, faction_check_v_); \
     }                                                                     \
   } while (0)
+
+/// Aborts when any of the n doubles starting at `ptr` is NaN or infinite.
+/// Prefer this over FACTION_CHECK_FINITE inside per-element loops: validate
+/// the finished buffer once instead of branching on every element.
+#define FACTION_CHECK_FINITE_ALL(ptr, n)                                  \
+  ::faction::internal_check::CheckAllFinite(__FILE__, __LINE__, #ptr,     \
+                                            (ptr),                        \
+                                            static_cast<std::size_t>(n))
 
 /// Shape assertions for anything exposing rows()/cols() (Matrix, views).
 #define FACTION_CHECK_SHAPE(m, r, c)                                         \
@@ -156,6 +171,7 @@ std::string CheckValue(const T& v) {
 #define FACTION_DCHECK_GT(a, b) FACTION_CHECK_GT(a, b)
 #define FACTION_DCHECK_GE(a, b) FACTION_CHECK_GE(a, b)
 #define FACTION_DCHECK_FINITE(x) FACTION_CHECK_FINITE(x)
+#define FACTION_DCHECK_FINITE_ALL(ptr, n) FACTION_CHECK_FINITE_ALL(ptr, n)
 #define FACTION_DCHECK_SHAPE(m, r, c) FACTION_CHECK_SHAPE(m, r, c)
 #define FACTION_DCHECK_SAME_SHAPE(a, b) FACTION_CHECK_SAME_SHAPE(a, b)
 #define FACTION_DCHECK_LEN(v, n) FACTION_CHECK_LEN(v, n)
@@ -174,6 +190,7 @@ std::string CheckValue(const T& v) {
 #define FACTION_DCHECK_GT(a, b) FACTION_DCHECK_DISCARD_((a) > (b))
 #define FACTION_DCHECK_GE(a, b) FACTION_DCHECK_DISCARD_((a) >= (b))
 #define FACTION_DCHECK_FINITE(x) FACTION_DCHECK_DISCARD_(x)
+#define FACTION_DCHECK_FINITE_ALL(ptr, n) FACTION_DCHECK_DISCARD_((ptr) + (n))
 #define FACTION_DCHECK_SHAPE(m, r, c) \
   FACTION_DCHECK_DISCARD_((m).rows() + (r) + (c))
 #define FACTION_DCHECK_SAME_SHAPE(a, b) \

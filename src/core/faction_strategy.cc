@@ -1,7 +1,8 @@
 #include "core/faction_strategy.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
-#include "density/fair_density.h"
 #include "stream/selection.h"
 
 namespace faction {
@@ -12,6 +13,65 @@ FactionStrategy::FactionStrategy(const FactionStrategyConfig& config)
 std::string FactionStrategy::name() const {
   if (!config_.name_override.empty()) return config_.name_override;
   return config_.fair_select ? "FACTION" : "FACTION(w/o fair select)";
+}
+
+const FairDensityEstimator* FactionStrategy::EstimatorFor(
+    const SelectionContext& context) {
+  const Dataset& pool = *context.labeled_pool;
+  bool need_full = !config_.incremental_density || !estimator_.has_value() ||
+                   pool.size() < fitted_rows_ ||
+                   updates_since_fit_ >= config_.density_resync_interval;
+  if (!need_full) {
+    if (pool.size() == fitted_rows_) {
+      // Pool unchanged since the last (re)fit: the cache is current.
+      return &estimator_.value();
+    }
+    // Fold only the rows labeled since the last fit, embedded in the
+    // *current* feature space. Rows absorbed earlier keep their older
+    // embeddings — the staleness the resync interval bounds.
+    const std::size_t added = pool.size() - fitted_rows_;
+    Matrix fresh(added, pool.dim());
+    std::vector<int> labels(added), sensitive(added);
+    for (std::size_t i = 0; i < added; ++i) {
+      const std::size_t idx = fitted_rows_ + i;
+      std::copy(pool.features().row_data(idx),
+                pool.features().row_data(idx) + pool.dim(),
+                fresh.row_data(i));
+      labels[i] = pool.labels()[idx];
+      sensitive[i] = pool.sensitive()[idx];
+    }
+    const Matrix fresh_z = context.model->ExtractFeatures(fresh);
+    const Status updated =
+        estimator_->Update(fresh_z, labels, sensitive, config_.covariance);
+    if (updated.ok()) {
+      fitted_rows_ = pool.size();
+      ++updates_since_fit_;
+      return &estimator_.value();
+    }
+    // A failed update leaves the statistics partially folded: discard the
+    // cache and resync with a full batch fit below.
+    FACTION_LOG(kWarning) << "FACTION incremental density update failed ("
+                          << updated.ToString()
+                          << "); falling back to full refit";
+    need_full = true;
+  }
+
+  const Matrix pool_z = context.model->ExtractFeatures(pool.features());
+  Result<FairDensityEstimator> fit = FairDensityEstimator::Fit(
+      pool_z, pool.labels(), pool.sensitive(), config_.covariance);
+  if (!fit.ok()) {
+    FACTION_LOG(kWarning) << "FACTION density fit failed ("
+                          << fit.status().ToString()
+                          << "); falling back to random batch";
+    estimator_.reset();
+    fitted_rows_ = 0;
+    updates_since_fit_ = 0;
+    return nullptr;
+  }
+  estimator_ = std::move(fit).value();
+  fitted_rows_ = pool.size();
+  updates_since_fit_ = 0;
+  return &estimator_.value();
 }
 
 Result<std::vector<std::size_t>> FactionStrategy::SelectBatch(
@@ -29,16 +89,13 @@ Result<std::vector<std::size_t>> FactionStrategy::SelectBatch(
     return perm;
   }
 
-  // Feature space of the current extractor r(., theta_temp).
-  const Matrix pool_z = context.model->ExtractFeatures(pool.features());
-  const Result<FairDensityEstimator> fit = FairDensityEstimator::Fit(
-      pool_z, pool.labels(), pool.sensitive(), config_.covariance);
-  if (!fit.ok()) {
+  // Density estimator in the feature space of the current extractor
+  // r(., theta_temp) — batch-fitted or incrementally refreshed depending
+  // on the config.
+  const FairDensityEstimator* est = EstimatorFor(context);
+  if (est == nullptr) {
     // Degenerate pool (e.g. a single class so far): fall back to random
     // acquisition for this iteration rather than failing the run.
-    FACTION_LOG(kWarning) << "FACTION density fit failed ("
-                          << fit.status().ToString()
-                          << "); falling back to random batch";
     std::vector<std::size_t> perm;
     context.rng->Permutation(n, &perm);
     perm.resize(std::min(batch, n));
@@ -51,7 +108,7 @@ Result<std::vector<std::size_t>> FactionStrategy::SelectBatch(
   // core/fair_score.cc); bitwise deterministic for any thread count.
   FACTION_ASSIGN_OR_RETURN(
       std::vector<FactionScore> scores,
-      ComputeFactionScores(fit.value(), cand_z, proba, config_.lambda,
+      ComputeFactionScores(*est, cand_z, proba, config_.lambda,
                            config_.fair_select));
 
   // Eq. 7: omega(x) = 1 - Normalize(u(x)); lower u = higher probability.

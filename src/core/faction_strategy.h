@@ -1,9 +1,11 @@
 #ifndef FACTION_CORE_FACTION_STRATEGY_H_
 #define FACTION_CORE_FACTION_STRATEGY_H_
 
+#include <optional>
 #include <string>
 
 #include "core/fair_score.h"
+#include "density/fair_density.h"
 #include "density/gaussian.h"
 #include "stream/strategy.h"
 
@@ -22,6 +24,18 @@ struct FactionStrategyConfig {
   bool fair_select = true;
   /// Covariance regularization for the GDA components.
   CovarianceConfig covariance;
+  /// When true (the default), the GDA estimator is refitted incrementally
+  /// between acquisition rounds: only the features of rows labeled since
+  /// the last fit are extracted and folded into the per-component
+  /// sufficient statistics (O(new * d^2) plus one Cholesky per touched
+  /// component), instead of re-extracting and re-scanning the whole pool.
+  /// Old rows keep the feature embedding they had when absorbed, so the
+  /// estimator drifts from the retrained extractor; a full refit every
+  /// `density_resync_interval` rounds bounds that staleness. With false,
+  /// every round performs the batch fit (the parity oracle).
+  bool incremental_density = true;
+  /// Incremental rounds between full batch refits (staleness bound).
+  std::size_t density_resync_interval = 8;
   /// Optional display-name override (used by the ablation benches).
   std::string name_override;
 };
@@ -44,7 +58,19 @@ class FactionStrategy : public QueryStrategy {
       const SelectionContext& context, std::size_t batch) override;
 
  private:
+  /// Returns the estimator to score with: the incremental path folds newly
+  /// labeled rows into the cached estimator, falling back to (and
+  /// periodically resyncing with) the full batch fit. Returns nullptr when
+  /// no estimator can be fitted (degenerate pool) — callers fall back to
+  /// random acquisition.
+  const FairDensityEstimator* EstimatorFor(const SelectionContext& context);
+
   FactionStrategyConfig config_;
+  // Incremental-refit state: the cached estimator, how many pool rows it
+  // has absorbed, and how many incremental rounds since the last full fit.
+  std::optional<FairDensityEstimator> estimator_;
+  std::size_t fitted_rows_ = 0;
+  std::size_t updates_since_fit_ = 0;
 };
 
 }  // namespace faction

@@ -29,7 +29,10 @@ double LogAbsExpDiff(double a, double b) {
 }  // namespace
 
 StreamingFaction::StreamingFaction(const StreamingFactionConfig& config)
-    : config_(config), rng_(config.seed), pool_(config.model.input_dim) {
+    : config_(config),
+      rng_(config.seed),
+      pool_(config.model.input_dim),
+      train_workspace_(std::make_unique<Workspace>()) {
   Rng model_rng = rng_.Fork();
   model_ = std::make_unique<MlpClassifier>(config_.model, &model_rng);
 }
@@ -96,13 +99,34 @@ Status StreamingFaction::ProvideLabel(const Example& example) {
       (!trained_once_ && pool_.size() >= config_.warm_start)) {
     FACTION_RETURN_IF_ERROR(Refit());
     labels_since_refit_ = 0;
+    return Status::Ok();
+  }
+  if (config_.incremental_density && estimator_.has_value()) {
+    // Fold the fresh label into the density estimator right away (O(d^2)
+    // sufficient-statistics update) so acquisition decisions between full
+    // refits see every label bought so far, not a frozen snapshot.
+    const Matrix z =
+        model_->ExtractFeatures(Matrix::FromRowVector(example.x));
+    const Status updated =
+        estimator_->Update(z, {example.label}, {example.sensitive},
+                           config_.covariance);
+    if (!updated.ok()) {
+      // Partially folded statistics are unusable; drop the estimator and
+      // let the next scheduled Refit rebuild it.
+      FACTION_LOG(kWarning)
+          << "StreamingFaction: incremental density update failed ("
+          << updated.ToString() << "); awaiting full refit";
+      estimator_.reset();
+    }
   }
   return Status::Ok();
 }
 
 Status StreamingFaction::Refit() {
   FACTION_RETURN_IF_ERROR(
-      TrainClassifier(model_.get(), pool_, config_.train, &rng_).status());
+      TrainClassifier(model_.get(), pool_, config_.train, &rng_,
+                      train_workspace_.get())
+          .status());
   trained_once_ = true;
   const Matrix pool_z = model_->ExtractFeatures(pool_.features());
   Result<FairDensityEstimator> fit = FairDensityEstimator::Fit(

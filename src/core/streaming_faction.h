@@ -31,6 +31,12 @@ struct StreamingFactionConfig {
   /// Retrain the classifier and refit the density estimator after this
   /// many new labels.
   std::size_t refit_interval = 25;
+  /// When true (the default), every labeled arrival between full refits is
+  /// folded into the density estimator's sufficient statistics in the
+  /// current feature space (O(d^2) per sample) instead of leaving the
+  /// estimator frozen until the next refit. The periodic full Refit still
+  /// resyncs everything against the retrained extractor.
+  bool incremental_density = true;
   std::uint64_t seed = 1;
 };
 
@@ -85,6 +91,9 @@ class StreamingFaction {
   Rng rng_;
   std::unique_ptr<MlpClassifier> model_;
   Dataset pool_;
+  /// Persistent arena for TrainClassifier's per-step temporaries; owned
+  /// via unique_ptr so StreamingFaction stays movable.
+  std::unique_ptr<Workspace> train_workspace_;
   std::optional<FairDensityEstimator> estimator_;
   IncrementalNormalizer normalizer_;
   std::size_t seen_ = 0;

@@ -45,8 +45,8 @@ Result<FairDensityEstimator> FairDensityEstimator::Fit(
   const int total = kNumClasses * kNumGroups;
   est.components_.resize(total);
   est.present_.assign(total, false);
-  est.weights_.assign(total, 0.0);
-  est.log_weights_.assign(total, kNegInf);
+  est.counts_.assign(total, 0);
+  est.total_ = n;
 
   // Single pass over the samples: bucket each usable row by component
   // instead of re-scanning all n rows once per component. Rows with labels
@@ -62,11 +62,7 @@ Result<FairDensityEstimator> FairDensityEstimator::Fit(
   std::size_t fitted = 0;
   for (int idx = 0; idx < total; ++idx) {
     const std::vector<std::size_t>& bucket = buckets[idx];
-    est.weights_[idx] =
-        static_cast<double>(bucket.size()) / static_cast<double>(n);
-    if (est.weights_[idx] > 0.0) {
-      est.log_weights_[idx] = std::log(est.weights_[idx]);
-    }
+    est.counts_[idx] = bucket.size();
     if (bucket.empty()) continue;
     FACTION_ASSIGN_OR_RETURN(
         Gaussian g, Gaussian::Fit(GatherRows(features, bucket), config));
@@ -78,7 +74,63 @@ Result<FairDensityEstimator> FairDensityEstimator::Fit(
     return Status::FailedPrecondition(
         "FairDensityEstimator: no component has samples");
   }
+  est.RefreshWeights();
   return est;
+}
+
+void FairDensityEstimator::RefreshWeights() {
+  const std::size_t total = counts_.size();
+  weights_.assign(total, 0.0);
+  log_weights_.assign(total, kNegInf);
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    weights_[idx] =
+        static_cast<double>(counts_[idx]) / static_cast<double>(total_);
+    if (weights_[idx] > 0.0) log_weights_[idx] = std::log(weights_[idx]);
+  }
+}
+
+Status FairDensityEstimator::Update(const Matrix& features,
+                                    const std::vector<int>& labels,
+                                    const std::vector<int>& sensitive,
+                                    const CovarianceConfig& config) {
+  if (total_ == 0) {
+    return Status::FailedPrecondition(
+        "FairDensityEstimator::Update requires a prior successful Fit");
+  }
+  const std::size_t n = features.rows();
+  if (labels.size() != n || sensitive.size() != n) {
+    return Status::InvalidArgument(
+        "FairDensityEstimator::Update: labels/sensitive size mismatch");
+  }
+  if (n == 0) return Status::Ok();
+  if (features.cols() != dim_) {
+    return Status::InvalidArgument(
+        "FairDensityEstimator::Update: dimension mismatch");
+  }
+
+  std::array<std::vector<std::size_t>, kNumClasses * kNumGroups> buckets;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (labels[i] < 0 || labels[i] >= kNumClasses) continue;
+    if (sensitive[i] != 1 && sensitive[i] != -1) continue;
+    buckets[ComponentIndex(labels[i], sensitive[i])].push_back(i);
+  }
+  total_ += n;
+  for (std::size_t idx = 0; idx < components_.size(); ++idx) {
+    const std::vector<std::size_t>& bucket = buckets[idx];
+    if (bucket.empty()) continue;  // untouched: cached factor stays valid
+    counts_[idx] += bucket.size();
+    const Matrix rows = GatherRows(features, bucket);
+    if (present_[idx]) {
+      FACTION_RETURN_IF_ERROR(components_[idx].Update(rows, config));
+    } else {
+      // A component seen for the first time mid-stream is fitted fresh.
+      FACTION_ASSIGN_OR_RETURN(Gaussian g, Gaussian::Fit(rows, config));
+      components_[idx] = std::move(g);
+      present_[idx] = true;
+    }
+  }
+  RefreshWeights();
+  return Status::Ok();
 }
 
 bool FairDensityEstimator::HasComponent(int label, int sensitive) const {
@@ -202,8 +254,8 @@ Result<ClassDensityEstimator> ClassDensityEstimator::Fit(
   est.dim_ = features.cols();
   est.components_.resize(FairDensityEstimator::kNumClasses);
   est.present_.assign(FairDensityEstimator::kNumClasses, false);
-  est.weights_.assign(FairDensityEstimator::kNumClasses, 0.0);
-  est.log_weights_.assign(FairDensityEstimator::kNumClasses, kNegInf);
+  est.counts_.assign(FairDensityEstimator::kNumClasses, 0);
+  est.total_ = n;
   std::array<std::vector<std::size_t>, FairDensityEstimator::kNumClasses>
       buckets;
   for (std::size_t i = 0; i < n; ++i) {
@@ -215,11 +267,7 @@ Result<ClassDensityEstimator> ClassDensityEstimator::Fit(
   std::size_t fitted = 0;
   for (int y = 0; y < FairDensityEstimator::kNumClasses; ++y) {
     const std::vector<std::size_t>& bucket = buckets[y];
-    est.weights_[y] =
-        static_cast<double>(bucket.size()) / static_cast<double>(n);
-    if (est.weights_[y] > 0.0) {
-      est.log_weights_[y] = std::log(est.weights_[y]);
-    }
+    est.counts_[y] = bucket.size();
     if (bucket.empty()) continue;
     FACTION_ASSIGN_OR_RETURN(
         Gaussian g, Gaussian::Fit(GatherRows(features, bucket), config));
@@ -231,7 +279,62 @@ Result<ClassDensityEstimator> ClassDensityEstimator::Fit(
     return Status::FailedPrecondition(
         "ClassDensityEstimator: no class has samples");
   }
+  est.RefreshWeights();
   return est;
+}
+
+void ClassDensityEstimator::RefreshWeights() {
+  const std::size_t total = counts_.size();
+  weights_.assign(total, 0.0);
+  log_weights_.assign(total, kNegInf);
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    weights_[idx] =
+        static_cast<double>(counts_[idx]) / static_cast<double>(total_);
+    if (weights_[idx] > 0.0) log_weights_[idx] = std::log(weights_[idx]);
+  }
+}
+
+Status ClassDensityEstimator::Update(const Matrix& features,
+                                     const std::vector<int>& labels,
+                                     const CovarianceConfig& config) {
+  if (total_ == 0) {
+    return Status::FailedPrecondition(
+        "ClassDensityEstimator::Update requires a prior successful Fit");
+  }
+  const std::size_t n = features.rows();
+  if (labels.size() != n) {
+    return Status::InvalidArgument(
+        "ClassDensityEstimator::Update: labels size mismatch");
+  }
+  if (n == 0) return Status::Ok();
+  if (features.cols() != dim_) {
+    return Status::InvalidArgument(
+        "ClassDensityEstimator::Update: dimension mismatch");
+  }
+  std::array<std::vector<std::size_t>, FairDensityEstimator::kNumClasses>
+      buckets;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (labels[i] < 0 || labels[i] >= FairDensityEstimator::kNumClasses) {
+      continue;
+    }
+    buckets[labels[i]].push_back(i);
+  }
+  total_ += n;
+  for (std::size_t y = 0; y < components_.size(); ++y) {
+    const std::vector<std::size_t>& bucket = buckets[y];
+    if (bucket.empty()) continue;
+    counts_[y] += bucket.size();
+    const Matrix rows = GatherRows(features, bucket);
+    if (present_[y]) {
+      FACTION_RETURN_IF_ERROR(components_[y].Update(rows, config));
+    } else {
+      FACTION_ASSIGN_OR_RETURN(Gaussian g, Gaussian::Fit(rows, config));
+      components_[y] = std::move(g);
+      present_[y] = true;
+    }
+  }
+  RefreshWeights();
+  return Status::Ok();
 }
 
 double ClassDensityEstimator::LogClassDensity(const std::vector<double>& z,

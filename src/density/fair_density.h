@@ -48,6 +48,22 @@ class FairDensityEstimator {
                                           const std::vector<int>& sensitive,
                                           const CovarianceConfig& config);
 
+  /// Incrementally absorbs newly labeled feature vectors: each touched
+  /// component folds its rows via Gaussian::Update (O(rows * d^2) plus one
+  /// Cholesky per touched component, instead of re-scanning the whole
+  /// pool), previously empty components are fitted fresh, and all mixture
+  /// weights are refreshed from the running counts. Components untouched
+  /// by the batch keep their cached factorization. Requires a prior
+  /// successful Fit; on error the estimator should be considered stale and
+  /// re-Fit from scratch.
+  Status Update(const Matrix& features, const std::vector<int>& labels,
+                const std::vector<int>& sensitive,
+                const CovarianceConfig& config);
+
+  /// Total samples absorbed (Fit plus every Update), including rows whose
+  /// label/sensitive values fell outside the binary domain.
+  std::size_t total_count() const { return total_; }
+
   std::size_t dim() const { return dim_; }
 
   /// True when the (y, s) component was fitted from at least one sample.
@@ -92,11 +108,16 @@ class FairDensityEstimator {
   double MarginalDensity(const std::vector<double>& z) const;
 
  private:
+  /// Recomputes weights_/log_weights_ from counts_/total_.
+  void RefreshWeights();
+
   std::size_t dim_ = 0;
   std::vector<Gaussian> components_;  // size C*S, indexed by ComponentIndex
   std::vector<bool> present_;
   std::vector<double> weights_;      // empirical p(y, s)
   std::vector<double> log_weights_;  // log(weights_), -inf at zero weight
+  std::vector<std::size_t> counts_;  // per-component sample counts
+  std::size_t total_ = 0;            // all samples seen, incl. off-domain
 };
 
 /// Per-class density estimator used by the DDU baseline (Mukhoti et al.):
@@ -106,6 +127,12 @@ class ClassDensityEstimator {
   static Result<ClassDensityEstimator> Fit(const Matrix& features,
                                            const std::vector<int>& labels,
                                            const CovarianceConfig& config);
+
+  /// Per-class analogue of FairDensityEstimator::Update.
+  Status Update(const Matrix& features, const std::vector<int>& labels,
+                const CovarianceConfig& config);
+
+  std::size_t total_count() const { return total_; }
 
   std::size_t dim() const { return dim_; }
 
@@ -121,11 +148,15 @@ class ClassDensityEstimator {
   std::vector<double> LogMarginalDensityBatch(const Matrix& zs) const;
 
  private:
+  void RefreshWeights();
+
   std::size_t dim_ = 0;
   std::vector<Gaussian> components_;
   std::vector<bool> present_;
   std::vector<double> weights_;
   std::vector<double> log_weights_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
 };
 
 }  // namespace faction

@@ -18,28 +18,47 @@ Result<Gaussian> Gaussian::Fit(const Matrix& samples,
     return Status::InvalidArgument("Gaussian::Fit requires samples");
   }
   Gaussian g;
-  g.mean_.assign(d, 0.0);
+  g.count_ = n;
+  g.sum_.assign(d, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     const double* row = samples.row_data(i);
-    for (std::size_t j = 0; j < d; ++j) g.mean_[j] += row[j];
+    for (std::size_t j = 0; j < d; ++j) g.sum_[j] += row[j];
   }
-  for (double& m : g.mean_) m /= static_cast<double>(n);
+  g.mean_.resize(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    g.mean_[j] = g.sum_[j] / static_cast<double>(n);
+  }
 
   Matrix cov(d, d);
+  g.scatter_ = Matrix(d, d);
   if (n >= 2) {
     for (std::size_t i = 0; i < n; ++i) {
       const double* row = samples.row_data(i);
       for (std::size_t a = 0; a < d; ++a) {
         const double da = row[a] - g.mean_[a];
+        double* cov_a = cov.row_data(a);
         for (std::size_t b = 0; b <= a; ++b) {
-          cov(a, b) += da * (row[b] - g.mean_[b]);
+          cov_a[b] += da * (row[b] - g.mean_[b]);
         }
       }
     }
+    // Derive the raw scatter sum_i x_i x_i^T from the centered one before
+    // the in-place normalization below destroys it:
+    //   S_raw = S_c + (sum sum^T)/n.
     for (std::size_t a = 0; a < d; ++a) {
+      const double* cov_a = cov.row_data(a);
+      double* sc_a = g.scatter_.row_data(a);
       for (std::size_t b = 0; b <= a; ++b) {
-        cov(a, b) /= static_cast<double>(n);
-        cov(b, a) = cov(a, b);
+        sc_a[b] =
+            cov_a[b] + g.sum_[a] * g.sum_[b] / static_cast<double>(n);
+        g.scatter_(b, a) = sc_a[b];
+      }
+    }
+    for (std::size_t a = 0; a < d; ++a) {
+      double* cov_a = cov.row_data(a);
+      for (std::size_t b = 0; b <= a; ++b) {
+        cov_a[b] /= static_cast<double>(n);
+        cov(b, a) = cov_a[b];
       }
     }
     // Shrinkage toward the scaled identity.
@@ -48,16 +67,94 @@ Result<Gaussian> Gaussian::Fit(const Matrix& samples,
     const double iso = trace / static_cast<double>(d);
     const double rho = config.shrinkage;
     for (std::size_t a = 0; a < d; ++a) {
+      double* cov_a = cov.row_data(a);
       for (std::size_t b = 0; b < d; ++b) {
-        cov(a, b) *= 1.0 - rho;
-        if (a == b) cov(a, b) += rho * iso;
+        cov_a[b] *= 1.0 - rho;
+        if (a == b) cov_a[b] += rho * iso;
       }
     }
   } else {
-    // A single sample carries no covariance information.
+    // A single sample carries no covariance information, but its raw
+    // scatter is exactly x x^T = sum sum^T.
+    for (std::size_t a = 0; a < d; ++a) {
+      double* sc_a = g.scatter_.row_data(a);
+      for (std::size_t b = 0; b <= a; ++b) {
+        sc_a[b] = g.sum_[a] * g.sum_[b];
+        g.scatter_(b, a) = sc_a[b];
+      }
+    }
     for (std::size_t a = 0; a < d; ++a) cov(a, a) = fallback_scale;
   }
 
+  FACTION_RETURN_IF_ERROR(g.FactorCovariance(cov, config));
+  return g;
+}
+
+Status Gaussian::Update(const Matrix& new_samples,
+                        const CovarianceConfig& config,
+                        double fallback_scale) {
+  if (count_ == 0) {
+    return Status::FailedPrecondition(
+        "Gaussian::Update requires a prior successful Fit");
+  }
+  const std::size_t d = dim();
+  if (new_samples.cols() != d) {
+    return Status::InvalidArgument("Gaussian::Update: dimension mismatch");
+  }
+  const std::size_t added = new_samples.rows();
+  if (added == 0) return Status::Ok();
+
+  // Fold the new rows into the raw moments: O(added * d^2), independent of
+  // how many samples were absorbed before.
+  for (std::size_t i = 0; i < added; ++i) {
+    const double* row = new_samples.row_data(i);
+    for (std::size_t a = 0; a < d; ++a) {
+      const double va = row[a];
+      sum_[a] += va;
+      double* sc_a = scatter_.row_data(a);
+      for (std::size_t b = 0; b <= a; ++b) sc_a[b] += va * row[b];
+    }
+  }
+  count_ += added;
+  const double n = static_cast<double>(count_);
+  for (std::size_t j = 0; j < d; ++j) mean_[j] = sum_[j] / n;
+  for (std::size_t a = 0; a < d; ++a) {
+    const double* sc_a = scatter_.row_data(a);
+    for (std::size_t b = 0; b < a; ++b) scatter_(b, a) = sc_a[b];
+  }
+
+  Matrix cov(d, d);
+  if (count_ >= 2) {
+    // Covariance from the raw moments (scatter/n - mean mean^T): the same
+    // estimator as the batch two-pass computation up to rounding.
+    for (std::size_t a = 0; a < d; ++a) {
+      const double* sc_a = scatter_.row_data(a);
+      double* cov_a = cov.row_data(a);
+      for (std::size_t b = 0; b <= a; ++b) {
+        cov_a[b] = sc_a[b] / n - mean_[a] * mean_[b];
+        cov(b, a) = cov_a[b];
+      }
+    }
+    double trace = 0.0;
+    for (std::size_t a = 0; a < d; ++a) trace += cov(a, a);
+    const double iso = trace / static_cast<double>(d);
+    const double rho = config.shrinkage;
+    for (std::size_t a = 0; a < d; ++a) {
+      double* cov_a = cov.row_data(a);
+      for (std::size_t b = 0; b < d; ++b) {
+        cov_a[b] *= 1.0 - rho;
+        if (a == b) cov_a[b] += rho * iso;
+      }
+    }
+  } else {
+    for (std::size_t a = 0; a < d; ++a) cov(a, a) = fallback_scale;
+  }
+  return FactorCovariance(cov, config);
+}
+
+Status Gaussian::FactorCovariance(const Matrix& cov,
+                                  const CovarianceConfig& config) {
+  const std::size_t d = cov.rows();
   // Progressive jitter until the Cholesky succeeds.
   double jitter = config.jitter;
   for (int attempt = 0; attempt <= config.max_jitter_doublings; ++attempt) {
@@ -65,15 +162,15 @@ Result<Gaussian> Gaussian::Fit(const Matrix& samples,
     for (std::size_t a = 0; a < d; ++a) regularized(a, a) += jitter;
     Result<Matrix> chol = Cholesky(regularized);
     if (chol.ok()) {
-      g.chol_ = std::move(chol).value();
-      g.log_det_ = LogDetFromCholesky(g.chol_);
-      FACTION_DCHECK_FINITE(g.log_det_);
-      return g;
+      chol_ = std::move(chol).value();
+      log_det_ = LogDetFromCholesky(chol_);
+      FACTION_DCHECK_FINITE(log_det_);
+      return Status::Ok();
     }
     jitter = jitter > 0.0 ? jitter * 2.0 : 1e-8;
   }
   return Status::NumericalError(
-      "Gaussian::Fit: covariance not positive definite even after jitter");
+      "Gaussian: covariance not positive definite even after jitter");
 }
 
 double Gaussian::MahalanobisSquared(const std::vector<double>& z) const {
@@ -134,9 +231,11 @@ void Gaussian::LogPdfBatch(const Matrix& zs, double* out) const {
         const double v = y[j * width + t];
         maha += v * v;
       }
-      FACTION_DCHECK_FINITE(maha);
       out[s0 + t] = -0.5 * (base + maha);
     }
+    // One finiteness sweep per block instead of one check per sample in
+    // the hot accumulation loop.
+    FACTION_DCHECK_FINITE_ALL(out + s0, width);
   });
 }
 

@@ -31,9 +31,29 @@ class Gaussian {
   /// Fits mean and regularized covariance from the rows of `samples`.
   /// With a single sample the covariance falls back to the identity scaled
   /// by `fallback_scale`. Fails on zero samples.
+  ///
+  /// Also records the sufficient statistics (count, coordinate sums, raw
+  /// second-moment scatter) that Update() folds new samples into. The
+  /// batch numerics are unchanged: mean and covariance still come from the
+  /// two-pass centered computation.
   static Result<Gaussian> Fit(const Matrix& samples,
                               const CovarianceConfig& config,
                               double fallback_scale = 1.0);
+
+  /// Incrementally folds the rows of `new_samples` into the fitted
+  /// Gaussian: O(A * d^2) to update the sufficient statistics for A new
+  /// rows plus one O(d^3) Cholesky re-factorization, independent of how
+  /// many samples were already absorbed. The refreshed covariance is
+  /// derived from the raw moments (scatter/n - mean mean^T), which is
+  /// algebraically identical to the batch two-pass estimate but associates
+  /// differently, so incremental and batch fits agree to rounding (the
+  /// means agree bitwise when rows arrive in the same order). Requires a
+  /// prior successful Fit and matching dimension.
+  Status Update(const Matrix& new_samples, const CovarianceConfig& config,
+                double fallback_scale = 1.0);
+
+  /// Number of samples absorbed so far (via Fit plus every Update).
+  std::size_t count() const { return count_; }
 
   /// log N(z; mean, cov). Precondition: z.size() == dim().
   double LogPdf(const std::vector<double>& z) const;
@@ -57,9 +77,21 @@ class Gaussian {
   double log_det() const { return log_det_; }
 
  private:
+  /// Applies progressive diagonal jitter to `cov` until the Cholesky
+  /// succeeds, then caches the factor and log-determinant. Shared tail of
+  /// Fit and Update.
+  Status FactorCovariance(const Matrix& cov, const CovarianceConfig& config);
+
   std::vector<double> mean_;
   Matrix chol_;  // lower Cholesky factor of the regularized covariance
   double log_det_ = 0.0;
+
+  // Sufficient statistics for incremental refits: sample count, per-
+  // coordinate sums, and the raw second moment sum_i x_i x_i^T (lower
+  // triangle authoritative, kept symmetric).
+  std::size_t count_ = 0;
+  std::vector<double> sum_;
+  Matrix scatter_;
 };
 
 }  // namespace faction

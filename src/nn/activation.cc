@@ -5,16 +5,23 @@
 namespace faction {
 
 Matrix Relu::Forward(const Matrix& x) {
-  mask_.Resize(x.rows(), x.cols());
   Matrix out = x;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    if (out.data()[i] > 0.0) {
-      mask_.data()[i] = 1.0;
+  ForwardInPlace(&out);
+  return out;
+}
+
+void Relu::ForwardInPlace(Matrix* x) {
+  mask_.ResizeForOverwrite(x->rows(), x->cols());
+  double* v = x->data();
+  double* m = mask_.data();
+  for (std::size_t i = 0; i < x->size(); ++i) {
+    if (v[i] > 0.0) {
+      m[i] = 1.0;
     } else {
-      out.data()[i] = 0.0;
+      v[i] = 0.0;
+      m[i] = 0.0;
     }
   }
-  return out;
 }
 
 Matrix Relu::ForwardInference(const Matrix& x) {
@@ -26,10 +33,16 @@ Matrix Relu::ForwardInference(const Matrix& x) {
 }
 
 Matrix Relu::Backward(const Matrix& dy) const {
-  FACTION_CHECK_SAME_SHAPE(dy, mask_);
   Matrix dx = dy;
-  for (std::size_t i = 0; i < dx.size(); ++i) dx.data()[i] *= mask_.data()[i];
+  BackwardInPlace(&dx);
   return dx;
+}
+
+void Relu::BackwardInPlace(Matrix* dy) const {
+  FACTION_CHECK_SAME_SHAPE(*dy, mask_);
+  double* v = dy->data();
+  const double* m = mask_.data();
+  for (std::size_t i = 0; i < dy->size(); ++i) v[i] *= m[i];
 }
 
 }  // namespace faction

@@ -11,13 +11,13 @@ namespace faction {
 
 namespace {
 
-constexpr int kPad = 1;  // same padding for the 3x3 kernel
+constexpr std::size_t kPad = 1;  // same padding for the 3x3 kernel
 
 // Samples per parallel chunk. Forward work is sample-disjoint so grain 1
-// would be fine; the backward pass allocates one weight/bias partial per
-// chunk, so a larger grain bounds that scratch memory. The chunk layout
-// (and therefore the gradient accumulation order) depends only on this
-// constant, never on the thread count.
+// would be fine; the backward pass keeps one weight/bias partial and one
+// im2col scratch per chunk, so a larger grain bounds that scratch memory.
+// The chunk layout (and therefore the gradient accumulation order) depends
+// only on this constant, never on the thread count.
 constexpr std::size_t kSampleGrain = 4;
 
 }  // namespace
@@ -36,48 +36,54 @@ Conv2d::Conv2d(const ImageShape& in, std::size_t out_channels, Rng* rng)
   }
 }
 
+ConvGeometry Conv2d::Geometry() const {
+  ConvGeometry g;
+  g.in_channels = in_.channels;
+  g.height = in_.height;
+  g.width = in_.width;
+  g.kernel = kKernel;
+  g.stride = 1;
+  g.pad = kPad;
+  return g;
+}
+
+void Conv2d::EnsureScratch(std::size_t nchunks) const {
+  if (scratch_.size() < nchunks) scratch_.resize(nchunks);
+}
+
 Matrix Conv2d::Apply(const Matrix& x) const {
   FACTION_CHECK_EQ(x.cols(), in_.Flat());
   const std::size_t n = x.rows();
-  const std::size_t h = in_.height;
-  const std::size_t w = in_.width;
-  Matrix out(n, out_channels_ * h * w);
-  // One sample is fully convolved by one chunk; output rows are disjoint,
-  // so the result is bitwise identical for any thread count.
-  const auto apply_sample = [&](std::size_t s) {
-    const double* img = x.row_data(s);
-    double* dst = out.row_data(s);
-    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      const double* kernel = w_.row_data(oc);
-      const double bias = b_(0, oc);
-      for (std::size_t r = 0; r < h; ++r) {
-        for (std::size_t c = 0; c < w; ++c) {
-          double acc = bias;
-          std::size_t kidx = 0;
-          for (std::size_t ic = 0; ic < in_.channels; ++ic) {
-            const double* plane = img + ic * h * w;
-            for (int dr = -kPad; dr <= kPad; ++dr) {
-              const int rr = static_cast<int>(r) + dr;
-              for (int dc = -kPad; dc <= kPad; ++dc, ++kidx) {
-                const int cc = static_cast<int>(c) + dc;
-                if (rr < 0 || cc < 0 || rr >= static_cast<int>(h) ||
-                    cc >= static_cast<int>(w)) {
-                  continue;
-                }
-                acc += kernel[kidx] *
-                       plane[static_cast<std::size_t>(rr) * w +
-                             static_cast<std::size_t>(cc)];
-              }
-            }
-          }
-          dst[oc * h * w + r * w + c] = acc;
+  const ConvGeometry g = Geometry();
+  Matrix out(n, out_channels_ * g.OutPositions());
+  // One sample is fully convolved by one chunk; output rows are disjoint
+  // and each chunk owns its im2col scratch, so the result is bitwise
+  // identical for any thread count. The scratch pool persists across
+  // calls (steady-state minibatches allocate nothing), which also means a
+  // Conv2d must not be driven from two threads at once — consistent with
+  // Forward() caching the input.
+  const std::size_t nchunks = ParallelChunkCount(0, n, kSampleGrain);
+  EnsureScratch(nchunks);
+  ParallelForChunks(
+      0, n, kSampleGrain,
+      [&](std::size_t chunk, std::size_t s0, std::size_t s1) {
+        ConvScratch* scratch = &scratch_[chunk];
+        for (std::size_t s = s0; s < s1; ++s) {
+          GemmConvForward(g, out_channels_, x.row_data(s), w_.data(),
+                          b_.row_data(0), out.row_data(s), scratch);
         }
-      }
-    }
-  };
-  ParallelFor(0, n, kSampleGrain, [&](std::size_t s0, std::size_t s1) {
-    for (std::size_t s = s0; s < s1; ++s) apply_sample(s);
-  });
+      });
+  return out;
+}
+
+Matrix Conv2d::ApplyNaive(const Matrix& x) const {
+  FACTION_CHECK_EQ(x.cols(), in_.Flat());
+  const ConvGeometry g = Geometry();
+  Matrix out(x.rows(), out_channels_ * g.OutPositions());
+  for (std::size_t s = 0; s < x.rows(); ++s) {
+    NaiveConvForward(g, out_channels_, x.row_data(s), w_.data(),
+                     b_.row_data(0), out.row_data(s));
+  }
   return out;
 }
 
@@ -90,72 +96,37 @@ Matrix Conv2d::ForwardInference(const Matrix& x) const { return Apply(x); }
 
 Matrix Conv2d::Backward(const Matrix& dy) {
   const std::size_t n = cached_input_.rows();
-  const std::size_t h = in_.height;
-  const std::size_t w = in_.width;
+  const ConvGeometry g = Geometry();
   FACTION_CHECK_EQ(dy.rows(), n);
-  FACTION_CHECK_EQ(dy.cols(), out_channels_ * h * w);
+  FACTION_CHECK_EQ(dy.cols(), out_channels_ * g.OutPositions());
   Matrix dx(n, in_.Flat());
   // dx rows are sample-disjoint, but the weight/bias gradients are shared
   // across samples. Each chunk therefore accumulates into its own partial
-  // buffers, combined below in chunk order. The chunk layout depends only
-  // on kSampleGrain, so the accumulation order — and the result — is
-  // bitwise identical for any thread count.
+  // buffers (persistent members, zeroed per call), combined below in chunk
+  // order. The chunk layout depends only on kSampleGrain, so the
+  // accumulation order — and the result — is bitwise identical for any
+  // thread count.
   const std::size_t nchunks = ParallelChunkCount(0, n, kSampleGrain);
-  Matrix gw_partial(nchunks, w_.size());
-  Matrix gb_partial(nchunks, out_channels_);
-  const auto backward_sample = [&](std::size_t s, double* gw_chunk,
-                                   double* gb_chunk) {
-    const double* img = cached_input_.row_data(s);
-    const double* grad = dy.row_data(s);
-    double* dimg = dx.row_data(s);
-    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      const double* kernel = w_.row_data(oc);
-      double* gkernel = gw_chunk + oc * w_.cols();
-      double gbias = 0.0;
-      for (std::size_t r = 0; r < h; ++r) {
-        for (std::size_t c = 0; c < w; ++c) {
-          const double g = grad[oc * h * w + r * w + c];
-          if (g == 0.0) continue;
-          gbias += g;
-          std::size_t kidx = 0;
-          for (std::size_t ic = 0; ic < in_.channels; ++ic) {
-            const double* plane = img + ic * h * w;
-            double* dplane = dimg + ic * h * w;
-            for (int dr = -kPad; dr <= kPad; ++dr) {
-              const int rr = static_cast<int>(r) + dr;
-              for (int dc = -kPad; dc <= kPad; ++dc, ++kidx) {
-                const int cc = static_cast<int>(c) + dc;
-                if (rr < 0 || cc < 0 || rr >= static_cast<int>(h) ||
-                    cc >= static_cast<int>(w)) {
-                  continue;
-                }
-                const std::size_t src =
-                    static_cast<std::size_t>(rr) * w +
-                    static_cast<std::size_t>(cc);
-                gkernel[kidx] += g * plane[src];
-                dplane[src] += g * kernel[kidx];
-              }
-            }
-          }
-        }
-      }
-      gb_chunk[oc] += gbias;
-    }
-  };
+  EnsureScratch(nchunks);
+  gw_partial_.Resize(nchunks, w_.size());
+  gb_partial_.Resize(nchunks, out_channels_);
   ParallelForChunks(
       0, n, kSampleGrain,
       [&](std::size_t chunk, std::size_t s0, std::size_t s1) {
-        double* gw_chunk = gw_partial.row_data(chunk);
-        double* gb_chunk = gb_partial.row_data(chunk);
+        double* gw_chunk = gw_partial_.row_data(chunk);
+        double* gb_chunk = gb_partial_.row_data(chunk);
+        ConvScratch* scratch = &scratch_[chunk];
         for (std::size_t s = s0; s < s1; ++s) {
-          backward_sample(s, gw_chunk, gb_chunk);
+          GemmConvBackward(g, out_channels_, cached_input_.row_data(s),
+                           w_.data(), dy.row_data(s), dx.row_data(s),
+                           gw_chunk, gb_chunk, scratch);
         }
       });
   for (std::size_t chunk = 0; chunk < nchunks; ++chunk) {
-    const double* pw = gw_partial.row_data(chunk);
+    const double* pw = gw_partial_.row_data(chunk);
     double* gw = gw_.data();
     for (std::size_t i = 0; i < w_.size(); ++i) gw[i] += pw[i];
-    const double* pb = gb_partial.row_data(chunk);
+    const double* pb = gb_partial_.row_data(chunk);
     for (std::size_t oc = 0; oc < out_channels_; ++oc) gb_(0, oc) += pb[oc];
   }
   return dx;

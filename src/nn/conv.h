@@ -8,15 +8,19 @@
 #include "common/rng.h"
 #include "nn/activation.h"
 #include "nn/classifier.h"
+#include "nn/conv_kernels.h"
 #include "nn/linear.h"
 #include "tensor/image.h"
+#include "tensor/im2col.h"
 #include "tensor/matrix.h"
 
 namespace faction {
 
 /// 3x3 same-padding convolution (stride 1) with cached activations for
-/// backprop. Small and direct — sized for the low-resolution synthetic
-/// image streams, not for ImageNet.
+/// backprop. Forward/Backward run on the GEMM-lowered im2col kernels from
+/// nn/conv_kernels.h (bitwise identical to the retained naive reference,
+/// see ApplyNaive), parallel over samples with per-chunk scratch reused
+/// across minibatches.
 class Conv2d {
  public:
   Conv2d(const ImageShape& in, std::size_t out_channels, Rng* rng);
@@ -41,10 +45,20 @@ class Conv2d {
   Matrix* weight_grad() { return &gw_; }
   Matrix* bias_grad() { return &gb_; }
 
+  /// Serial naive-loop forward, retained as the bitwise-parity reference
+  /// for the GEMM-lowered path (parity pinned by tests and benchmarked as
+  /// BM_Conv2dNaive).
+  Matrix ApplyNaive(const Matrix& x) const;
+
   static constexpr std::size_t kKernel = 3;
 
  private:
   Matrix Apply(const Matrix& x) const;
+  ConvGeometry Geometry() const;
+  /// Grows the per-chunk scratch pool to `nchunks` entries; called before
+  /// every parallel region so worker chunk `i` can use scratch_[i] without
+  /// synchronization.
+  void EnsureScratch(std::size_t nchunks) const;
 
   ImageShape in_;
   std::size_t out_channels_;
@@ -53,6 +67,12 @@ class Conv2d {
   Matrix gw_;
   Matrix gb_;
   Matrix cached_input_;
+  // Per-parallel-chunk im2col scratch, reused across minibatches. mutable:
+  // scratch only, never observable state. Chunk-disjoint by construction.
+  mutable std::vector<ConvScratch> scratch_;
+  // Per-chunk gradient partials (see Backward), reused across steps.
+  Matrix gw_partial_;
+  Matrix gb_partial_;
 };
 
 /// 2x2 max pooling with stride 2 (input height/width must be even).

@@ -1,0 +1,193 @@
+#include "nn/conv_kernels.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace faction {
+
+namespace {
+
+using std::ptrdiff_t;
+
+inline ptrdiff_t InCoord(std::size_t out, std::size_t delta,
+                         std::size_t stride, std::size_t pad) {
+  return static_cast<ptrdiff_t>(out * stride + delta) -
+         static_cast<ptrdiff_t>(pad);
+}
+
+}  // namespace
+
+void NaiveConvForward(const ConvGeometry& g, std::size_t out_channels,
+                      const double* x, const double* w, const double* bias,
+                      double* y) {
+  FACTION_DCHECK(g.Valid());
+  const std::size_t oh = g.OutHeight();
+  const std::size_t ow = g.OutWidth();
+  const std::size_t ohw = oh * ow;
+  const std::size_t patch = g.PatchSize();
+  const ptrdiff_t h = static_cast<ptrdiff_t>(g.height);
+  const ptrdiff_t wid = static_cast<ptrdiff_t>(g.width);
+  for (std::size_t oc = 0; oc < out_channels; ++oc) {
+    const double* kernel = w + oc * patch;
+    const double b = bias[oc];
+    double* dst = y + oc * ohw;
+    for (std::size_t orow = 0; orow < oh; ++orow) {
+      for (std::size_t ocol = 0; ocol < ow; ++ocol) {
+        double acc = b;
+        std::size_t kidx = 0;
+        for (std::size_t ic = 0; ic < g.in_channels; ++ic) {
+          const double* plane = x + ic * g.height * g.width;
+          for (std::size_t dr = 0; dr < g.kernel; ++dr) {
+            const ptrdiff_t rr = InCoord(orow, dr, g.stride, g.pad);
+            for (std::size_t dc = 0; dc < g.kernel; ++dc, ++kidx) {
+              const ptrdiff_t cc = InCoord(ocol, dc, g.stride, g.pad);
+              if (rr < 0 || cc < 0 || rr >= h || cc >= wid) continue;
+              acc += kernel[kidx] *
+                     plane[static_cast<std::size_t>(rr) * g.width +
+                           static_cast<std::size_t>(cc)];
+            }
+          }
+        }
+        dst[orow * ow + ocol] = acc;
+      }
+    }
+  }
+}
+
+void NaiveConvBackward(const ConvGeometry& g, std::size_t out_channels,
+                       const double* x, const double* w, const double* dy,
+                       double* dx, double* gw, double* gb) {
+  FACTION_DCHECK(g.Valid());
+  const std::size_t oh = g.OutHeight();
+  const std::size_t ow = g.OutWidth();
+  const std::size_t ohw = oh * ow;
+  const std::size_t patch = g.PatchSize();
+  const ptrdiff_t h = static_cast<ptrdiff_t>(g.height);
+  const ptrdiff_t wid = static_cast<ptrdiff_t>(g.width);
+  std::fill(dx, dx + g.InFlat(), 0.0);
+  for (std::size_t oc = 0; oc < out_channels; ++oc) {
+    const double* kernel = w + oc * patch;
+    double* gkernel = gw + oc * patch;
+    const double* grad = dy + oc * ohw;
+    double gbias = 0.0;
+    for (std::size_t orow = 0; orow < oh; ++orow) {
+      for (std::size_t ocol = 0; ocol < ow; ++ocol) {
+        const double gval = grad[orow * ow + ocol];
+        if (gval == 0.0) continue;
+        gbias += gval;
+        std::size_t kidx = 0;
+        for (std::size_t ic = 0; ic < g.in_channels; ++ic) {
+          const double* plane = x + ic * g.height * g.width;
+          double* dplane = dx + ic * g.height * g.width;
+          for (std::size_t dr = 0; dr < g.kernel; ++dr) {
+            const ptrdiff_t rr = InCoord(orow, dr, g.stride, g.pad);
+            for (std::size_t dc = 0; dc < g.kernel; ++dc, ++kidx) {
+              const ptrdiff_t cc = InCoord(ocol, dc, g.stride, g.pad);
+              if (rr < 0 || cc < 0 || rr >= h || cc >= wid) continue;
+              const std::size_t src =
+                  static_cast<std::size_t>(rr) * g.width +
+                  static_cast<std::size_t>(cc);
+              gkernel[kidx] += gval * plane[src];
+              dplane[src] += gval * kernel[kidx];
+            }
+          }
+        }
+      }
+    }
+    gb[oc] += gbias;
+  }
+}
+
+void GemmConvForward(const ConvGeometry& g, std::size_t out_channels,
+                     const double* x, const double* w, const double* bias,
+                     double* y, ConvScratch* scratch) {
+  FACTION_DCHECK(g.Valid());
+  const std::size_t ohw = g.OutPositions();
+  const std::size_t patch = g.PatchSize();
+  scratch->col.resize(patch * ohw);
+  double* col = scratch->col.data();
+  Im2Col(x, g, col);
+  for (std::size_t oc = 0; oc < out_channels; ++oc) {
+    const double* kernel = w + oc * patch;
+    double* dst = y + oc * ohw;
+    std::fill(dst, dst + ohw, bias[oc]);
+    // Ascending-k axpy panels reproduce the naive kernel's accumulation
+    // order per output element: acc = bias, then += w[k]*tap(k) for k
+    // ascending. Padding taps contribute exact zeros (see header).
+    for (std::size_t k = 0; k < patch; ++k) {
+      const double wk = kernel[k];
+      const double* crow = col + k * ohw;
+      for (std::size_t j = 0; j < ohw; ++j) dst[j] += wk * crow[j];
+    }
+  }
+}
+
+void GemmConvBackward(const ConvGeometry& g, std::size_t out_channels,
+                      const double* x, const double* w, const double* dy,
+                      double* dx, double* gw, double* gb,
+                      ConvScratch* scratch) {
+  FACTION_DCHECK(g.Valid());
+  const std::size_t oh = g.OutHeight();
+  const std::size_t ow = g.OutWidth();
+  const std::size_t ohw = oh * ow;
+  const std::size_t patch = g.PatchSize();
+  // dW/db: position-major patches make the per-position update a
+  // unit-stride axpy over the whole filter. Contributions arrive in
+  // ascending output-position order per element — same as naive.
+  scratch->colt.resize(ohw * patch);
+  double* colt = scratch->colt.data();
+  Im2ColRows(x, g, colt);
+  for (std::size_t oc = 0; oc < out_channels; ++oc) {
+    double* gkernel = gw + oc * patch;
+    const double* grad = dy + oc * ohw;
+    double gbias = 0.0;
+    for (std::size_t o = 0; o < ohw; ++o) {
+      const double gval = grad[o];
+      if (gval == 0.0) continue;
+      gbias += gval;
+      const double* prow = colt + o * patch;
+      for (std::size_t k = 0; k < patch; ++k) gkernel[k] += gval * prow[k];
+    }
+    gb[oc] += gbias;
+  }
+  // dX: scatter through a padded image so the bounds branch leaves the
+  // inner loop entirely. Every interior pixel receives exactly the same
+  // contribution sequence, in the same (oc, o, k) order, as the naive
+  // kernel; out-of-range taps land in the padding ring and are dropped
+  // when the interior is copied out.
+  const std::size_t ph = g.height + 2 * g.pad;
+  const std::size_t pw = g.width + 2 * g.pad;
+  scratch->padded.assign(g.in_channels * ph * pw, 0.0);
+  double* padded = scratch->padded.data();
+  for (std::size_t oc = 0; oc < out_channels; ++oc) {
+    const double* kernel = w + oc * patch;
+    const double* grad = dy + oc * ohw;
+    for (std::size_t orow = 0; orow < oh; ++orow) {
+      for (std::size_t ocol = 0; ocol < ow; ++ocol) {
+        const double gval = grad[orow * ow + ocol];
+        if (gval == 0.0) continue;
+        std::size_t kidx = 0;
+        for (std::size_t ic = 0; ic < g.in_channels; ++ic) {
+          double* corner = padded + ic * ph * pw + orow * g.stride * pw +
+                           ocol * g.stride;
+          for (std::size_t dr = 0; dr < g.kernel; ++dr) {
+            double* drow = corner + dr * pw;
+            for (std::size_t dc = 0; dc < g.kernel; ++dc, ++kidx) {
+              drow[dc] += gval * kernel[kidx];
+            }
+          }
+        }
+      }
+    }
+  }
+  for (std::size_t ic = 0; ic < g.in_channels; ++ic) {
+    const double* src = padded + ic * ph * pw + g.pad * pw + g.pad;
+    double* dst = dx + ic * g.height * g.width;
+    for (std::size_t r = 0; r < g.height; ++r) {
+      std::copy(src + r * pw, src + r * pw + g.width, dst + r * g.width);
+    }
+  }
+}
+
+}  // namespace faction

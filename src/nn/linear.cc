@@ -38,15 +38,26 @@ void Linear::RefreshSpectralScale() {
 }
 
 Matrix Linear::Forward(const Matrix& x) {
+  Matrix y;
+  ForwardInto(x, &y);
+  return y;
+}
+
+void Linear::ForwardInto(const Matrix& x, Matrix* y) {
   FACTION_CHECK_EQ(x.cols(), in_dim());
   RefreshSpectralScale();
-  cached_input_ = x;
-  Matrix y = MatMulBt(x, w_);
+  cached_input_ = x;  // vector copy-assign: reuses capacity, no alloc
+  MatMulBtInto(x, w_, y);
   if (scale_ != 1.0) {
-    for (std::size_t i = 0; i < y.size(); ++i) y.data()[i] *= scale_;
+    for (std::size_t i = 0; i < y->size(); ++i) y->data()[i] *= scale_;
   }
-  AddRowBroadcast(&y, b_.Row(0));
-  return y;
+  // Bias broadcast straight from b_'s storage (the vector-building
+  // AddRowBroadcast overload would allocate per call).
+  const double* bias = b_.row_data(0);
+  for (std::size_t i = 0; i < y->rows(); ++i) {
+    double* r = y->row_data(i);
+    for (std::size_t j = 0; j < y->cols(); ++j) r[j] += bias[j];
+  }
 }
 
 Matrix Linear::ForwardInference(const Matrix& x) const {
@@ -61,20 +72,25 @@ Matrix Linear::ForwardInference(const Matrix& x) const {
 }
 
 Matrix Linear::Backward(const Matrix& dy) {
+  Matrix dx;
+  BackwardInto(dy, &dx);
+  return dx;
+}
+
+void Linear::BackwardInto(const Matrix& dy, Matrix* dx) {
   FACTION_CHECK_EQ(dy.rows(), cached_input_.rows());
   FACTION_CHECK_EQ(dy.cols(), out_dim());
   // dW_eff = dy^T x; with W_eff = scale*W (scale treated as constant),
   // dW = scale * dW_eff.
-  Matrix dw = MatMulAt(dy, cached_input_);
-  AddScaled(&gw_, dw, scale_);
-  const std::vector<double> db = ColSums(dy);
-  for (std::size_t j = 0; j < b_.cols(); ++j) gb_(0, j) += db[j];
+  MatMulAtInto(dy, cached_input_, &dw_scratch_);
+  AddScaled(&gw_, dw_scratch_, scale_);
+  ColSumsInto(dy, &db_scratch_);
+  for (std::size_t j = 0; j < b_.cols(); ++j) gb_(0, j) += db_scratch_[j];
   // dx = dy * W_eff = scale * dy * W.
-  Matrix dx = MatMul(dy, w_);
+  MatMulInto(dy, w_, dx);
   if (scale_ != 1.0) {
-    for (std::size_t i = 0; i < dx.size(); ++i) dx.data()[i] *= scale_;
+    for (std::size_t i = 0; i < dx->size(); ++i) dx->data()[i] *= scale_;
   }
-  return dx;
 }
 
 void Linear::ZeroGrad() {

@@ -40,6 +40,10 @@ class Linear {
   /// Forward; for pure inference ForwardInference avoids the cache.
   Matrix Forward(const Matrix& x);
 
+  /// Allocation-free training forward: writes the output into *y (resized,
+  /// capacity retained; must not alias x). Value-identical to Forward.
+  void ForwardInto(const Matrix& x, Matrix* y);
+
   /// Forward pass without caching (const). Uses the effective (normalized)
   /// weight computed from the current persistent power-iteration state.
   Matrix ForwardInference(const Matrix& x) const;
@@ -47,6 +51,10 @@ class Linear {
   /// Backpropagates dL/dy, accumulating weight gradients, and returns
   /// dL/dx. Must follow a Forward call with the matching batch.
   Matrix Backward(const Matrix& dy);
+
+  /// Allocation-free variant of Backward: writes dL/dx into *dx (must not
+  /// alias dy). Gradient temporaries live in persistent member scratch.
+  void BackwardInto(const Matrix& dy, Matrix* dx);
 
   /// Clears accumulated gradients.
   void ZeroGrad();
@@ -76,6 +84,8 @@ class Linear {
   Matrix gw_;  // gradient accumulator, same shape as w_
   Matrix gb_;  // gradient accumulator, same shape as b_
   Matrix cached_input_;
+  Matrix dw_scratch_;              // dy^T x temporary, reused across steps
+  std::vector<double> db_scratch_;  // column sums of dy, reused across steps
   std::vector<double> sn_u_;  // persistent power-iteration vector
   Rng sn_rng_;
   double scale_ = 1.0;

@@ -12,8 +12,25 @@ namespace faction {
 /// Mean softmax cross-entropy over the batch. Writes dL/dlogits (already
 /// divided by the batch size) into *dlogits (resized to match). Returns the
 /// scalar loss.
+///
+/// Two-pass reference path: materializes LogSoftmaxRows, then derives the
+/// loss and gradient from it. Retained as the parity oracle for
+/// FusedSoftmaxCrossEntropy (tests pin the two to identical results).
 double SoftmaxCrossEntropy(const Matrix& logits, const std::vector<int>& labels,
                            Matrix* dlogits);
+
+/// Fused log-softmax + cross-entropy + gradient in one pass over the batch:
+/// no intermediate log-probability matrix is materialized; per-row losses
+/// land in *row_loss_scratch (optional, resized; pass a Workspace buffer to
+/// make the call allocation-free) and are reduced serially in row order, so
+/// the loss is bitwise identical to the reference for any thread count.
+/// Per-element numerics replicate SoftmaxCrossEntropy exactly: gradient and
+/// loss are bitwise equal to the two-pass path.
+double FusedSoftmaxCrossEntropy(const Matrix& logits,
+                                const std::vector<int>& labels,
+                                Matrix* dlogits,
+                                std::vector<double>* row_loss_scratch =
+                                    nullptr);
 
 /// Configuration of the fairness regularizer of Eqs. 8-9:
 ///   L_total = L_CE + mu * (L_fair - epsilon),  L_fair = [v(D, theta)]_+.

@@ -1,5 +1,7 @@
 #include "nn/mlp.h"
 
+#include <utility>
+
 #include "common/check.h"
 #include "tensor/ops.h"
 
@@ -19,16 +21,21 @@ MlpClassifier::MlpClassifier(const MlpConfig& config, Rng* rng)
   // constraint is a property of the feature extractor only.
   SpectralNormConfig no_sn;
   head_ = std::make_unique<Linear>(in, config_.num_classes, no_sn, rng);
+  acts_.resize(hidden_.size());
 }
 
 Matrix MlpClassifier::Forward(const Matrix& x) {
   FACTION_CHECK_EQ(x.cols(), config_.input_dim);
-  Matrix h = x;
+  const Matrix* h = &x;
   for (std::size_t i = 0; i < hidden_.size(); ++i) {
-    h = relus_[i].Forward(hidden_[i]->Forward(h));
+    hidden_[i]->ForwardInto(*h, &acts_[i]);
+    relus_[i].ForwardInPlace(&acts_[i]);
+    h = &acts_[i];
   }
-  last_features_ = h;
-  return head_->Forward(h);
+  last_features_ = *h;  // reuses capacity across same-shape batches
+  Matrix logits;
+  head_->ForwardInto(*h, &logits);
+  return logits;
 }
 
 Matrix MlpClassifier::Logits(const Matrix& x) const {
@@ -48,11 +55,12 @@ Matrix MlpClassifier::ExtractFeatures(const Matrix& x) const {
 }
 
 void MlpClassifier::Backward(const Matrix& dlogits) {
-  Matrix d = head_->Backward(dlogits);
+  head_->BackwardInto(dlogits, &dbuf_);
   for (std::size_t ii = hidden_.size(); ii > 0; --ii) {
     const std::size_t i = ii - 1;
-    d = relus_[i].Backward(d);
-    d = hidden_[i]->Backward(d);
+    relus_[i].BackwardInPlace(&dbuf_);
+    hidden_[i]->BackwardInto(dbuf_, &dbuf_swap_);
+    std::swap(dbuf_, dbuf_swap_);
   }
 }
 

@@ -84,6 +84,13 @@ class MlpClassifier : public FeatureClassifier {
   std::vector<Relu> relus_;
   std::unique_ptr<Linear> head_;
   Matrix last_features_;
+  // Persistent training buffers (reused across minibatches): one
+  // activation per hidden layer, plus a gradient ping-pong pair for
+  // Backward. Capacity is retained, so steady-state steps allocate only
+  // the returned logits matrix.
+  std::vector<Matrix> acts_;
+  Matrix dbuf_;
+  Matrix dbuf_swap_;
 };
 
 }  // namespace faction

@@ -8,7 +8,8 @@ namespace faction {
 
 Result<TrainReport> TrainClassifier(FeatureClassifier* model,
                                     const Dataset& labeled,
-                                    const TrainConfig& config, Rng* rng) {
+                                    const TrainConfig& config, Rng* rng,
+                                    Workspace* workspace) {
   if (labeled.empty()) {
     return Status::FailedPrecondition("cannot train on an empty dataset");
   }
@@ -29,42 +30,57 @@ Result<TrainReport> TrainClassifier(FeatureClassifier* model,
 
   TrainReport report;
   const std::size_t n = labeled.size();
-  std::vector<std::size_t> order;
+  // All per-step temporaries come from the arena: sized once to the max
+  // batch and reused across minibatches, epochs, and (with a caller-owned
+  // workspace) across retraining rounds. Every buffer is fully overwritten
+  // before use, so reuse cannot change results.
+  Workspace local_workspace;
+  Workspace& arena = workspace != nullptr ? *workspace : local_workspace;
+  const std::size_t max_bs = std::min(n, config.batch_size);
+  Matrix* x = arena.MatrixFor("trainer.x", max_bs, labeled.dim());
+  Matrix* dlogits = arena.MatrixFor("trainer.dlogits", max_bs,
+                                    model->num_classes());
+  std::vector<int>* y = arena.IntsFor("trainer.y", max_bs);
+  std::vector<int>* s = arena.IntsFor("trainer.s", max_bs);
+  std::vector<double>* row_loss = arena.DoublesFor("trainer.row_loss",
+                                                   max_bs);
+  std::vector<std::size_t>* order = arena.SizesFor("trainer.order", n);
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    rng->Permutation(n, &order);
+    rng->Permutation(n, order);
     double epoch_loss = 0.0, epoch_ce = 0.0, epoch_pen = 0.0;
     std::size_t batches = 0;
     for (std::size_t start = 0; start < n; start += config.batch_size) {
       const std::size_t end = std::min(n, start + config.batch_size);
       const std::size_t bs = end - start;
-      Matrix x(bs, labeled.dim());
-      std::vector<int> y(bs), s(bs);
+      x->ResizeForOverwrite(bs, labeled.dim());
+      y->resize(bs);
+      s->resize(bs);
       for (std::size_t i = 0; i < bs; ++i) {
-        const std::size_t idx = order[start + i];
+        const std::size_t idx = (*order)[start + i];
         std::copy(labeled.features().row_data(idx),
                   labeled.features().row_data(idx) + labeled.dim(),
-                  x.row_data(i));
-        y[i] = labeled.labels()[idx];
-        s[i] = labeled.sensitive()[idx];
+                  x->row_data(i));
+        (*y)[i] = labeled.labels()[idx];
+        (*s)[i] = labeled.sensitive()[idx];
       }
-      const Matrix logits = model->Forward(x);
-      Matrix dlogits;
-      const double ce = SoftmaxCrossEntropy(logits, y, &dlogits);
+      const Matrix logits = model->Forward(*x);
+      const double ce = FusedSoftmaxCrossEntropy(logits, *y, dlogits,
+                                                 row_loss);
       double penalty = 0.0;
       if (config.use_fairness_penalty) {
         const Result<double> pen =
-            AddFairnessPenalty(logits, y, s, config.fairness, &dlogits);
+            AddFairnessPenalty(logits, *y, *s, config.fairness, dlogits);
         // Batches lacking a sensitive group cannot support the notion; the
         // penalty is simply skipped for them.
         if (pen.ok()) penalty = pen.value();
       }
       if (config.use_individual_penalty) {
         const Result<double> pen = AddIndividualFairnessPenalty(
-            x, logits, config.individual, &dlogits);
+            *x, logits, config.individual, dlogits);
         if (pen.ok()) penalty += pen.value();
       }
       model->ZeroGrad();
-      model->Backward(dlogits);
+      model->Backward(*dlogits);
       opt.Step(params, grads);
       ++report.steps;
       epoch_ce += ce;

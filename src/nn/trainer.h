@@ -3,6 +3,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/workspace.h"
 #include "data/dataset.h"
 #include "fairness/individual.h"
 #include "nn/loss.h"
@@ -43,9 +44,19 @@ struct TrainReport {
 /// Batches that cannot support the fairness notion (e.g. single-group
 /// batches) silently skip the penalty, matching the practical behaviour of
 /// the reference implementation.
+///
+/// All per-step temporaries (batch gather buffer, label/sensitive vectors,
+/// the shuffled index order, dlogits, per-row loss scratch) live in a
+/// Workspace and are reused across minibatches and epochs. Pass a
+/// persistent `workspace` to also reuse them across calls — the online
+/// learner retrains every round, so this removes the per-round allocation
+/// churn; results are identical with or without it (buffers are fully
+/// overwritten each step). When `workspace` is null a call-local arena is
+/// used.
 Result<TrainReport> TrainClassifier(FeatureClassifier* model,
                                     const Dataset& labeled,
-                                    const TrainConfig& config, Rng* rng);
+                                    const TrainConfig& config, Rng* rng,
+                                    Workspace* workspace = nullptr);
 
 }  // namespace faction
 

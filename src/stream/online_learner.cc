@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/timer.h"
+#include "common/workspace.h"
 #include "nn/loss.h"
 #include "stream/oracle.h"
 
@@ -60,6 +61,10 @@ Result<RunResult> OnlineLearner::Run(const std::vector<Dataset>& tasks) {
         "OnlineLearner: model input_dim does not match task dimension");
   }
   Dataset pool(dim);
+  // One arena for the whole run: TrainClassifier is called up to three
+  // times per task and its batch/gradient temporaries are shape-stable, so
+  // the buffers are allocated on the first round and reused ever after.
+  Workspace train_workspace;
 
   RunResult result;
   result.strategy_name = strategy_->name();
@@ -92,7 +97,8 @@ Result<RunResult> OnlineLearner::Run(const std::vector<Dataset>& tasks) {
         FACTION_RETURN_IF_ERROR(pool.Append(e));
       }
       FACTION_RETURN_IF_ERROR(
-          TrainClassifier(&model, pool, train, &rng).status());
+          TrainClassifier(&model, pool, train, &rng, &train_workspace)
+              .status());
     }
 
     // Line 4 of Algorithm 1: record performance of theta_{t-1} on D_t^U.
@@ -104,7 +110,8 @@ Result<RunResult> OnlineLearner::Run(const std::vector<Dataset>& tasks) {
     while (oracle.budget_remaining() >= 1 && oracle.num_unlabeled() > 0) {
       if (!pool.empty()) {
         FACTION_RETURN_IF_ERROR(
-            TrainClassifier(&model, pool, train, &rng).status());
+            TrainClassifier(&model, pool, train, &rng, &train_workspace)
+                .status());
       }
       const std::vector<std::size_t> unlabeled = oracle.UnlabeledIndices();
       Matrix cand_features;
@@ -152,7 +159,8 @@ Result<RunResult> OnlineLearner::Run(const std::vector<Dataset>& tasks) {
     // the next task is met with everything learned from this one.
     if (!pool.empty()) {
       FACTION_RETURN_IF_ERROR(
-          TrainClassifier(&model, pool, train, &rng).status());
+          TrainClassifier(&model, pool, train, &rng, &train_workspace)
+              .status());
     }
 
     metrics.queries_used = oracle.queries_used();

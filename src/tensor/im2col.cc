@@ -1,0 +1,140 @@
+#include "tensor/im2col.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace faction {
+
+namespace {
+
+using std::ptrdiff_t;
+
+// Input row index for output row `orow` at kernel offset `dr`, or negative /
+// >= height when the tap lands in the padding band. Signed arithmetic: with
+// large pads the offset can be negative.
+inline ptrdiff_t InRow(std::size_t orow, std::size_t dr, std::size_t stride,
+                       std::size_t pad) {
+  return static_cast<ptrdiff_t>(orow * stride + dr) -
+         static_cast<ptrdiff_t>(pad);
+}
+
+}  // namespace
+
+void Im2Col(const double* img, const ConvGeometry& g, double* col) {
+  FACTION_DCHECK(g.Valid());
+  const std::size_t oh = g.OutHeight();
+  const std::size_t ow = g.OutWidth();
+  const std::size_t ohw = oh * ow;
+  const ptrdiff_t h = static_cast<ptrdiff_t>(g.height);
+  const ptrdiff_t w = static_cast<ptrdiff_t>(g.width);
+  std::size_t k = 0;
+  for (std::size_t ic = 0; ic < g.in_channels; ++ic) {
+    const double* plane = img + ic * g.height * g.width;
+    for (std::size_t dr = 0; dr < g.kernel; ++dr) {
+      for (std::size_t dc = 0; dc < g.kernel; ++dc, ++k) {
+        double* crow = col + k * ohw;
+        for (std::size_t orow = 0; orow < oh; ++orow) {
+          double* dst = crow + orow * ow;
+          const ptrdiff_t rr = InRow(orow, dr, g.stride, g.pad);
+          if (rr < 0 || rr >= h) {
+            std::fill(dst, dst + ow, 0.0);
+            continue;
+          }
+          const double* srow = plane + static_cast<std::size_t>(rr) * g.width;
+          if (g.stride == 1) {
+            // cc = ocol + dc - pad; valid while 0 <= cc < w.
+            const ptrdiff_t shift = static_cast<ptrdiff_t>(dc) -
+                                    static_cast<ptrdiff_t>(g.pad);
+            const ptrdiff_t c0 = std::max<ptrdiff_t>(0, -shift);
+            const ptrdiff_t c1 = std::min<ptrdiff_t>(
+                static_cast<ptrdiff_t>(ow), w - shift);
+            ptrdiff_t c = 0;
+            for (; c < c0; ++c) dst[c] = 0.0;
+            if (c1 > c0) {
+              std::copy(srow + c0 + shift, srow + c1 + shift, dst + c0);
+              c = c1;
+            }
+            for (; c < static_cast<ptrdiff_t>(ow); ++c) dst[c] = 0.0;
+          } else {
+            for (std::size_t ocol = 0; ocol < ow; ++ocol) {
+              const ptrdiff_t cc =
+                  static_cast<ptrdiff_t>(ocol * g.stride + dc) -
+                  static_cast<ptrdiff_t>(g.pad);
+              dst[ocol] = (cc < 0 || cc >= w)
+                              ? 0.0
+                              : srow[static_cast<std::size_t>(cc)];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Im2ColRows(const double* img, const ConvGeometry& g, double* col) {
+  FACTION_DCHECK(g.Valid());
+  const std::size_t oh = g.OutHeight();
+  const std::size_t ow = g.OutWidth();
+  const std::size_t patch = g.PatchSize();
+  const ptrdiff_t h = static_cast<ptrdiff_t>(g.height);
+  const ptrdiff_t w = static_cast<ptrdiff_t>(g.width);
+  for (std::size_t orow = 0; orow < oh; ++orow) {
+    for (std::size_t ocol = 0; ocol < ow; ++ocol) {
+      double* dst = col + (orow * ow + ocol) * patch;
+      std::size_t k = 0;
+      for (std::size_t ic = 0; ic < g.in_channels; ++ic) {
+        const double* plane = img + ic * g.height * g.width;
+        for (std::size_t dr = 0; dr < g.kernel; ++dr) {
+          const ptrdiff_t rr = InRow(orow, dr, g.stride, g.pad);
+          if (rr < 0 || rr >= h) {
+            for (std::size_t dc = 0; dc < g.kernel; ++dc) dst[k++] = 0.0;
+            continue;
+          }
+          const double* srow = plane + static_cast<std::size_t>(rr) * g.width;
+          for (std::size_t dc = 0; dc < g.kernel; ++dc, ++k) {
+            const ptrdiff_t cc =
+                static_cast<ptrdiff_t>(ocol * g.stride + dc) -
+                static_cast<ptrdiff_t>(g.pad);
+            dst[k] = (cc < 0 || cc >= w) ? 0.0
+                                         : srow[static_cast<std::size_t>(cc)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void Col2Im(const double* col, const ConvGeometry& g, double* img) {
+  FACTION_DCHECK(g.Valid());
+  const std::size_t oh = g.OutHeight();
+  const std::size_t ow = g.OutWidth();
+  const std::size_t ohw = oh * ow;
+  const ptrdiff_t h = static_cast<ptrdiff_t>(g.height);
+  const ptrdiff_t w = static_cast<ptrdiff_t>(g.width);
+  std::fill(img, img + g.InFlat(), 0.0);
+  std::size_t k = 0;
+  for (std::size_t ic = 0; ic < g.in_channels; ++ic) {
+    double* plane = img + ic * g.height * g.width;
+    for (std::size_t dr = 0; dr < g.kernel; ++dr) {
+      for (std::size_t dc = 0; dc < g.kernel; ++dc, ++k) {
+        const double* crow = col + k * ohw;
+        for (std::size_t orow = 0; orow < oh; ++orow) {
+          const ptrdiff_t rr = InRow(orow, dr, g.stride, g.pad);
+          if (rr < 0 || rr >= h) continue;
+          double* drow = plane + static_cast<std::size_t>(rr) * g.width;
+          const double* src = crow + orow * ow;
+          for (std::size_t ocol = 0; ocol < ow; ++ocol) {
+            const ptrdiff_t cc =
+                static_cast<ptrdiff_t>(ocol * g.stride + dc) -
+                static_cast<ptrdiff_t>(g.pad);
+            if (cc < 0 || cc >= w) continue;
+            drow[static_cast<std::size_t>(cc)] += src[ocol];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace faction

@@ -45,6 +45,12 @@ void Matrix::Resize(std::size_t rows, std::size_t cols) {
   data_.assign(rows * cols, 0.0);
 }
 
+void Matrix::ResizeForOverwrite(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 Matrix Matrix::Identity(std::size_t n) {
   Matrix m(n, n);
   for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;

@@ -80,6 +80,14 @@ class Matrix {
   /// Resizes to rows x cols, zero-filling (previous contents discarded).
   void Resize(std::size_t rows, std::size_t cols);
 
+  /// Resizes to rows x cols without zero-filling: element values are
+  /// unspecified (stale) until written. For scratch buffers whose every
+  /// element the caller overwrites before reading — skips the O(rows*cols)
+  /// clear that Resize() pays. Capacity is retained across calls, so
+  /// repeated ResizeForOverwrite to the same-or-smaller shape allocates
+  /// nothing.
+  void ResizeForOverwrite(std::size_t rows, std::size_t cols);
+
   /// Identity matrix of order n.
   static Matrix Identity(std::size_t n);
 

@@ -20,11 +20,26 @@ constexpr std::size_t kColGrain = 64;      // cols per chunk, columnwise ops
 constexpr std::size_t kElemGrain = 1 << 14;  // flat elements per chunk
 constexpr std::size_t kTransposeTile = 32;
 
+// The *Into ops hand out caller-owned buffers; writing through an aliased
+// output would corrupt the inputs mid-kernel, so the overlap is a
+// programmer error checked at entry.
+inline void CheckNoAlias(const Matrix& in, const Matrix* out) {
+  FACTION_CHECK(&in != out);
+}
+
 }  // namespace
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  MatMulInto(a, b, &out);
+  return out;
+}
+
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
   FACTION_CHECK_EQ(a.cols(), b.rows());
-  Matrix out(a.rows(), b.cols());
+  CheckNoAlias(a, out);
+  CheckNoAlias(b, out);
+  out->Resize(a.rows(), b.cols());  // kernel accumulates: needs zeros
   const std::size_t kk = a.cols();
   const std::size_t nn = b.cols();
   // Cache-blocked ikj kernel, parallel over row panels: each output row is
@@ -38,7 +53,7 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
       const std::size_t k1 = std::min(kk, k0 + kGemmKBlock);
       for (std::size_t i = r0; i < r1; ++i) {
         const double* arow = a.row_data(i);
-        double* orow = out.row_data(i);
+        double* orow = out->row_data(i);
         std::size_t k = k0;
         for (; k + 4 <= k1; k += 4) {
           const double a0 = arow[k];
@@ -62,18 +77,25 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
       }
     }
   });
-  return out;
 }
 
 Matrix MatMulBt(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  MatMulBtInto(a, b, &out);
+  return out;
+}
+
+void MatMulBtInto(const Matrix& a, const Matrix& b, Matrix* out) {
   FACTION_CHECK_EQ(a.cols(), b.cols());
-  Matrix out(a.rows(), b.rows());
+  CheckNoAlias(a, out);
+  CheckNoAlias(b, out);
+  out->ResizeForOverwrite(a.rows(), b.rows());  // every element assigned
   const std::size_t kk = a.cols();
   ParallelFor(0, a.rows(), kGemmRowGrain,
               [&](std::size_t r0, std::size_t r1) {
     for (std::size_t i = r0; i < r1; ++i) {
       const double* arow = a.row_data(i);
-      double* orow = out.row_data(i);
+      double* orow = out->row_data(i);
       for (std::size_t j = 0; j < b.rows(); ++j) {
         const double* brow = b.row_data(j);
         // Four partial dot products combined in a fixed order.
@@ -91,12 +113,19 @@ Matrix MatMulBt(const Matrix& a, const Matrix& b) {
       }
     }
   });
-  return out;
 }
 
 Matrix MatMulAt(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  MatMulAtInto(a, b, &out);
+  return out;
+}
+
+void MatMulAtInto(const Matrix& a, const Matrix& b, Matrix* out) {
   FACTION_CHECK_EQ(a.rows(), b.rows());
-  Matrix out(a.cols(), b.cols());
+  CheckNoAlias(a, out);
+  CheckNoAlias(b, out);
+  out->Resize(a.cols(), b.cols());  // kernel accumulates: needs zeros
   const std::size_t mm = a.rows();
   const std::size_t nn = b.cols();
   // Parallel over panels of output rows (= columns of a). Within a panel k
@@ -110,28 +139,37 @@ Matrix MatMulAt(const Matrix& a, const Matrix& b) {
       const double* brow = b.row_data(k);
       for (std::size_t i = r0; i < r1; ++i) {
         const double aki = arow[i];
-        double* orow = out.row_data(i);
+        double* orow = out->row_data(i);
         for (std::size_t j = 0; j < nn; ++j) orow[j] += aki * brow[j];
       }
     }
   });
-  return out;
 }
 
 Matrix Transpose(const Matrix& m) {
-  Matrix out(m.cols(), m.rows());
-  // Tiled transpose, parallel over output row panels.
+  Matrix out;
+  TransposeInto(m, &out);
+  return out;
+}
+
+void TransposeInto(const Matrix& m, Matrix* out) {
+  CheckNoAlias(m, out);
+  out->ResizeForOverwrite(m.cols(), m.rows());
+  const std::size_t rows = m.rows();
+  double* dst = out->data();
+  // Tiled transpose, parallel over output row panels. Raw row-pointer
+  // writes: the per-element bounds DCHECKs of operator() are hoisted into
+  // the shape setup above.
   ParallelFor(0, m.cols(), kTransposeTile,
               [&](std::size_t c0, std::size_t c1) {
-    for (std::size_t i0 = 0; i0 < m.rows(); i0 += kTransposeTile) {
-      const std::size_t i1 = std::min(m.rows(), i0 + kTransposeTile);
+    for (std::size_t i0 = 0; i0 < rows; i0 += kTransposeTile) {
+      const std::size_t i1 = std::min(rows, i0 + kTransposeTile);
       for (std::size_t i = i0; i < i1; ++i) {
         const double* row = m.row_data(i);
-        for (std::size_t j = c0; j < c1; ++j) out(j, i) = row[j];
+        for (std::size_t j = c0; j < c1; ++j) dst[j * rows + i] = row[j];
       }
     }
   });
-  return out;
 }
 
 Matrix Add(const Matrix& a, const Matrix& b) {
@@ -202,10 +240,16 @@ void AddRowBroadcast(Matrix* m, const std::vector<double>& row) {
 }
 
 std::vector<double> ColSums(const Matrix& m) {
-  std::vector<double> out(m.cols(), 0.0);
+  std::vector<double> out;
+  ColSumsInto(m, &out);
+  return out;
+}
+
+void ColSumsInto(const Matrix& m, std::vector<double>* out) {
+  out->assign(m.cols(), 0.0);
   // Parallel over column panels: each column's sum is accumulated by one
   // chunk in ascending row order, exactly as the serial loop did.
-  double* sums = out.data();
+  double* sums = out->data();
   ParallelFor(0, m.cols(), kColGrain,
               [&](std::size_t c0, std::size_t c1) {
     for (std::size_t i = 0; i < m.rows(); ++i) {
@@ -213,7 +257,6 @@ std::vector<double> ColSums(const Matrix& m) {
       for (std::size_t j = c0; j < c1; ++j) sums[j] += r[j];
     }
   });
-  return out;
 }
 
 std::vector<double> RowSums(const Matrix& m) {
@@ -265,39 +308,53 @@ double SquaredDistance(const std::vector<double>& a,
 }
 
 Matrix SoftmaxRows(const Matrix& logits) {
-  Matrix out = logits;
-  ParallelFor(0, out.rows(), kRowGrain,
-              [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t i = r0; i < r1; ++i) {
-      double* r = out.row_data(i);
-      double mx = r[0];
-      for (std::size_t j = 1; j < out.cols(); ++j) mx = std::max(mx, r[j]);
-      double sum = 0.0;
-      for (std::size_t j = 0; j < out.cols(); ++j) {
-        r[j] = std::exp(r[j] - mx);
-        sum += r[j];
-      }
-      for (std::size_t j = 0; j < out.cols(); ++j) r[j] /= sum;
-    }
-  });
+  Matrix out;
+  SoftmaxRowsInto(logits, &out);
   return out;
 }
 
-Matrix LogSoftmaxRows(const Matrix& logits) {
-  Matrix out = logits;
-  ParallelFor(0, out.rows(), kRowGrain,
+void SoftmaxRowsInto(const Matrix& logits, Matrix* out) {
+  CheckNoAlias(logits, out);
+  out->ResizeForOverwrite(logits.rows(), logits.cols());
+  std::copy(logits.data(), logits.data() + logits.size(), out->data());
+  ParallelFor(0, out->rows(), kRowGrain,
               [&](std::size_t r0, std::size_t r1) {
     for (std::size_t i = r0; i < r1; ++i) {
-      double* r = out.row_data(i);
+      double* r = out->row_data(i);
       double mx = r[0];
-      for (std::size_t j = 1; j < out.cols(); ++j) mx = std::max(mx, r[j]);
+      for (std::size_t j = 1; j < out->cols(); ++j) mx = std::max(mx, r[j]);
       double sum = 0.0;
-      for (std::size_t j = 0; j < out.cols(); ++j) sum += std::exp(r[j] - mx);
-      const double lse = mx + std::log(sum);
-      for (std::size_t j = 0; j < out.cols(); ++j) r[j] -= lse;
+      for (std::size_t j = 0; j < out->cols(); ++j) {
+        r[j] = std::exp(r[j] - mx);
+        sum += r[j];
+      }
+      for (std::size_t j = 0; j < out->cols(); ++j) r[j] /= sum;
     }
   });
+}
+
+Matrix LogSoftmaxRows(const Matrix& logits) {
+  Matrix out;
+  LogSoftmaxRowsInto(logits, &out);
   return out;
+}
+
+void LogSoftmaxRowsInto(const Matrix& logits, Matrix* out) {
+  CheckNoAlias(logits, out);
+  out->ResizeForOverwrite(logits.rows(), logits.cols());
+  std::copy(logits.data(), logits.data() + logits.size(), out->data());
+  ParallelFor(0, out->rows(), kRowGrain,
+              [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      double* r = out->row_data(i);
+      double mx = r[0];
+      for (std::size_t j = 1; j < out->cols(); ++j) mx = std::max(mx, r[j]);
+      double sum = 0.0;
+      for (std::size_t j = 0; j < out->cols(); ++j) sum += std::exp(r[j] - mx);
+      const double lse = mx + std::log(sum);
+      for (std::size_t j = 0; j < out->cols(); ++j) r[j] -= lse;
+    }
+  });
 }
 
 double LogSumExp(const double* xs, std::size_t n) {

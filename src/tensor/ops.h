@@ -14,16 +14,26 @@ namespace faction {
 /// thread pool (common/parallel.h). Results are bitwise identical for any
 /// FACTION_NUM_THREADS setting: every output element is produced by exactly
 /// one chunk in an order fixed by the problem shape.
+///
+/// Each GEMM/rowwise op also has an *Into output-parameter variant that
+/// writes into a caller-owned Matrix (resized as needed, capacity
+/// retained). These are the allocation-free hot-path entry points used with
+/// Workspace buffers (common/workspace.h); the value-returning forms are
+/// thin wrappers and numerically identical. `out` must not alias an input.
 Matrix MatMul(const Matrix& a, const Matrix& b);
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// a * b^T without materializing the transpose.
 Matrix MatMulBt(const Matrix& a, const Matrix& b);
+void MatMulBtInto(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// a^T * b without materializing the transpose.
 Matrix MatMulAt(const Matrix& a, const Matrix& b);
+void MatMulAtInto(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// Transpose.
 Matrix Transpose(const Matrix& m);
+void TransposeInto(const Matrix& m, Matrix* out);
 
 /// Elementwise sum. Shapes must match.
 Matrix Add(const Matrix& a, const Matrix& b);
@@ -45,6 +55,7 @@ void AddRowBroadcast(Matrix* m, const std::vector<double>& row);
 
 /// Column-wise sums: returns a vector of length m.cols().
 std::vector<double> ColSums(const Matrix& m);
+void ColSumsInto(const Matrix& m, std::vector<double>* out);
 
 /// Row-wise sums: returns a vector of length m.rows().
 std::vector<double> RowSums(const Matrix& m);
@@ -67,9 +78,11 @@ double SquaredDistance(const std::vector<double>& a,
 
 /// Row-wise softmax of a logits matrix (numerically stable).
 Matrix SoftmaxRows(const Matrix& logits);
+void SoftmaxRowsInto(const Matrix& logits, Matrix* out);
 
 /// Row-wise log-softmax of a logits matrix (numerically stable).
 Matrix LogSoftmaxRows(const Matrix& logits);
+void LogSoftmaxRowsInto(const Matrix& logits, Matrix* out);
 
 /// log(sum(exp(xs))) computed stably.
 double LogSumExp(const std::vector<double>& xs);

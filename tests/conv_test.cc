@@ -1,10 +1,12 @@
 #include <cmath>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/presets.h"
 #include "data/images.h"
 #include "gtest/gtest.h"
 #include "nn/conv.h"
+#include "nn/conv_kernels.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "stream/online_learner.h"
@@ -392,6 +394,144 @@ TEST(ConvNetIntegrationTest, FactionWithCnnBackbone) {
     EXPECT_GE(m.accuracy, 0.0);
     EXPECT_LE(m.accuracy, 1.0);
   }
+}
+
+
+// ------------------------------------------------- GEMM lowering parity
+
+struct GeometryCase {
+  std::size_t ic, h, w, k, stride, pad, oc;
+};
+
+// Odd shapes, strides, paddings, and channel counts; first entry is the
+// exact Conv2d configuration.
+constexpr GeometryCase kGeometryCases[] = {
+    {1, 4, 4, 3, 1, 1, 2}, {3, 7, 5, 3, 2, 1, 4}, {2, 5, 9, 5, 2, 2, 3},
+    {1, 1, 8, 1, 1, 0, 2}, {2, 6, 6, 3, 3, 0, 1}, {1, 3, 3, 3, 1, 2, 2},
+};
+
+ConvGeometry MakeGeometry(const GeometryCase& c) {
+  ConvGeometry g;
+  g.in_channels = c.ic;
+  g.height = c.h;
+  g.width = c.w;
+  g.kernel = c.k;
+  g.stride = c.stride;
+  g.pad = c.pad;
+  return g;
+}
+
+TEST(ConvKernelsTest, GemmForwardMatchesNaiveBitwise) {
+  Rng rng(77);
+  for (const GeometryCase& c : kGeometryCases) {
+    const ConvGeometry g = MakeGeometry(c);
+    ASSERT_TRUE(g.Valid());
+    std::vector<double> x(g.InFlat()), w(c.oc * g.PatchSize()), bias(c.oc);
+    for (double& v : x) v = rng.Gaussian();
+    for (double& v : w) v = rng.Gaussian();
+    for (double& v : bias) v = rng.Gaussian();
+    const std::size_t ysz = c.oc * g.OutPositions();
+    std::vector<double> y_naive(ysz), y_gemm(ysz);
+    ConvScratch scratch;
+    NaiveConvForward(g, c.oc, x.data(), w.data(), bias.data(),
+                     y_naive.data());
+    GemmConvForward(g, c.oc, x.data(), w.data(), bias.data(), y_gemm.data(),
+                    &scratch);
+    for (std::size_t i = 0; i < ysz; ++i) {
+      ASSERT_EQ(y_naive[i], y_gemm[i])
+          << "geometry " << c.h << "x" << c.w << " k=" << c.k
+          << " s=" << c.stride << " p=" << c.pad << " output " << i;
+    }
+  }
+}
+
+TEST(ConvKernelsTest, GemmBackwardMatchesNaiveBitwise) {
+  Rng rng(78);
+  for (const GeometryCase& c : kGeometryCases) {
+    const ConvGeometry g = MakeGeometry(c);
+    std::vector<double> x(g.InFlat()), w(c.oc * g.PatchSize());
+    for (double& v : x) v = rng.Gaussian();
+    for (double& v : w) v = rng.Gaussian();
+    const std::size_t ysz = c.oc * g.OutPositions();
+    // Zeros sprinkled into dy exercise the sparse-gradient skip both paths
+    // share (post-ReLU gradients are mostly zero in practice).
+    std::vector<double> dy(ysz);
+    for (std::size_t i = 0; i < ysz; ++i) {
+      dy[i] = i % 3 == 0 ? 0.0 : rng.Gaussian();
+    }
+    std::vector<double> dx_naive(g.InFlat()), dx_gemm(g.InFlat());
+    std::vector<double> gw_naive(w.size(), 0.0), gw_gemm(w.size(), 0.0);
+    std::vector<double> gb_naive(c.oc, 0.0), gb_gemm(c.oc, 0.0);
+    ConvScratch scratch;
+    NaiveConvBackward(g, c.oc, x.data(), w.data(), dy.data(),
+                      dx_naive.data(), gw_naive.data(), gb_naive.data());
+    GemmConvBackward(g, c.oc, x.data(), w.data(), dy.data(), dx_gemm.data(),
+                     gw_gemm.data(), gb_gemm.data(), &scratch);
+    for (std::size_t i = 0; i < dx_naive.size(); ++i) {
+      ASSERT_EQ(dx_naive[i], dx_gemm[i]) << "dx element " << i;
+    }
+    for (std::size_t i = 0; i < gw_naive.size(); ++i) {
+      ASSERT_EQ(gw_naive[i], gw_gemm[i]) << "gw element " << i;
+    }
+    for (std::size_t i = 0; i < gb_naive.size(); ++i) {
+      ASSERT_EQ(gb_naive[i], gb_gemm[i]) << "gb element " << i;
+    }
+  }
+}
+
+TEST(ConvKernelsTest, Im2ColRowsIsTransposeOfIm2Col) {
+  Rng rng(79);
+  for (const GeometryCase& c : kGeometryCases) {
+    const ConvGeometry g = MakeGeometry(c);
+    std::vector<double> img(g.InFlat());
+    for (double& v : img) v = rng.Gaussian();
+    std::vector<double> col(g.PatchSize() * g.OutPositions());
+    std::vector<double> rows(col.size());
+    Im2Col(img.data(), g, col.data());
+    Im2ColRows(img.data(), g, rows.data());
+    for (std::size_t k = 0; k < g.PatchSize(); ++k) {
+      for (std::size_t o = 0; o < g.OutPositions(); ++o) {
+        ASSERT_EQ(col[k * g.OutPositions() + o],
+                  rows[o * g.PatchSize() + k])
+            << "k=" << k << " o=" << o;
+      }
+    }
+  }
+}
+
+TEST(ConvKernelsTest, Col2ImIsAdjointOfIm2Col) {
+  // <Im2Col(x), c> == <x, Col2Im(c)>: the defining identity of an adjoint
+  // gather/scatter pair. Exact up to summation order, so compare with a
+  // tight relative tolerance.
+  Rng rng(80);
+  for (const GeometryCase& c : kGeometryCases) {
+    const ConvGeometry g = MakeGeometry(c);
+    std::vector<double> x(g.InFlat());
+    std::vector<double> coef(g.PatchSize() * g.OutPositions());
+    for (double& v : x) v = rng.Gaussian();
+    for (double& v : coef) v = rng.Gaussian();
+    std::vector<double> col(coef.size());
+    Im2Col(x.data(), g, col.data());
+    std::vector<double> img(g.InFlat());
+    Col2Im(coef.data(), g, img.data());
+    double lhs = 0.0, rhs = 0.0;
+    for (std::size_t i = 0; i < col.size(); ++i) lhs += col[i] * coef[i];
+    for (std::size_t i = 0; i < x.size(); ++i) rhs += x[i] * img[i];
+    EXPECT_NEAR(lhs, rhs, 1e-9 * (1.0 + std::fabs(lhs)));
+  }
+}
+
+TEST(Conv2dTest, ForwardMatchesApplyNaiveBitwise) {
+  Rng rng(81);
+  const ImageShape shape{2, 5, 5};
+  Conv2d conv(shape, 3, &rng);
+  Matrix x(7, shape.Flat());
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Gaussian();
+  const Matrix gemm = conv.Forward(x);
+  const Matrix naive = conv.ApplyNaive(x);
+  ASSERT_EQ(gemm.rows(), naive.rows());
+  ASSERT_EQ(gemm.cols(), naive.cols());
+  EXPECT_EQ(MaxAbsDiff(gemm, naive), 0.0);
 }
 
 }  // namespace

@@ -1,4 +1,7 @@
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <vector>
 
 #include "common/rng.h"
 #include "density/fair_density.h"
@@ -322,6 +325,198 @@ TEST(ClassDensityTest, OodDetection) {
 TEST(ClassDensityTest, RejectsEmpty) {
   CovarianceConfig config;
   EXPECT_FALSE(ClassDensityEstimator::Fit(Matrix(0, 2), {}, config).ok());
+}
+
+
+// ---------------------------------------------------- incremental refits
+
+// Builds a mildly anisotropic random batch.
+Matrix RandomBatch(std::size_t n, std::size_t d, Rng* rng) {
+  Matrix m(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      m(i, j) = rng->Gaussian() * (1.0 + 0.2 * static_cast<double>(j));
+    }
+  }
+  return m;
+}
+
+Matrix RowRange(const Matrix& m, std::size_t r0, std::size_t r1) {
+  Matrix out(r1 - r0, m.cols());
+  for (std::size_t i = r0; i < r1; ++i) {
+    std::copy(m.row_data(i), m.row_data(i) + m.cols(), out.row_data(i - r0));
+  }
+  return out;
+}
+
+TEST(GaussianIncrementalTest, UpdateMatchesBatchFit) {
+  Rng rng(101);
+  const std::size_t d = 6;
+  const Matrix all = RandomBatch(400, d, &rng);
+  CovarianceConfig config;
+
+  Result<Gaussian> inc = Gaussian::Fit(RowRange(all, 0, 100), config);
+  ASSERT_TRUE(inc.ok());
+  // Fold the remaining rows in uneven chunks.
+  const std::size_t cuts[] = {100, 130, 131, 250, 400};
+  for (std::size_t c = 0; c + 1 < 5; ++c) {
+    ASSERT_TRUE(inc.value()
+                    .Update(RowRange(all, cuts[c], cuts[c + 1]), config)
+                    .ok());
+  }
+  const Result<Gaussian> batch = Gaussian::Fit(all, config);
+  ASSERT_TRUE(batch.ok());
+
+  EXPECT_EQ(inc.value().count(), 400u);
+  // Means come from identical row-ordered sums: bitwise equal.
+  for (std::size_t j = 0; j < d; ++j) {
+    EXPECT_EQ(inc.value().mean()[j], batch.value().mean()[j]) << "dim " << j;
+  }
+  // Covariances differ only in summation association (raw-moment vs
+  // two-pass centered): log-dets and densities agree to rounding.
+  EXPECT_NEAR(inc.value().log_det(), batch.value().log_det(),
+              1e-6 * (1.0 + std::fabs(batch.value().log_det())));
+  std::vector<double> probe(d);
+  for (std::size_t j = 0; j < d; ++j) probe[j] = 0.3 * static_cast<double>(j);
+  EXPECT_NEAR(inc.value().LogPdf(probe), batch.value().LogPdf(probe),
+              1e-6 * (1.0 + std::fabs(batch.value().LogPdf(probe))));
+}
+
+TEST(GaussianIncrementalTest, UpdateFromSingleSampleLeavesFallback) {
+  Rng rng(102);
+  CovarianceConfig config;
+  Matrix one = RandomBatch(1, 4, &rng);
+  Result<Gaussian> g = Gaussian::Fit(one, config, 2.0);
+  ASSERT_TRUE(g.ok());
+  // Growing a single-sample fit re-derives a real covariance from moments.
+  ASSERT_TRUE(g.value().Update(RandomBatch(60, 4, &rng), config).ok());
+  EXPECT_EQ(g.value().count(), 61u);
+  const Result<Gaussian> fresh = Gaussian::Fit(RandomBatch(61, 4, &rng), config);
+  ASSERT_TRUE(fresh.ok());  // sanity: same machinery still fits
+}
+
+TEST(GaussianIncrementalTest, UpdateRejectsBadInputs) {
+  Gaussian unfitted;
+  CovarianceConfig config;
+  EXPECT_FALSE(unfitted.Update(Matrix(3, 2), config).ok());
+  Rng rng(103);
+  Result<Gaussian> g = Gaussian::Fit(RandomBatch(10, 3, &rng), config);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(g.value().Update(Matrix(2, 4), config).ok());  // wrong dim
+  EXPECT_TRUE(g.value().Update(Matrix(0, 3), config).ok());   // no-op
+  EXPECT_EQ(g.value().count(), 10u);
+}
+
+TEST(FairDensityIncrementalTest, InterleavedUpdatesMatchBatchFit) {
+  Rng rng(104);
+  const std::size_t d = 4;
+  const std::size_t n = 240;
+  Matrix z(n, d);
+  std::vector<int> labels(n), sensitive(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<int>(i % 2);
+    sensitive[i] = i % 3 == 0 ? -1 : 1;
+    for (std::size_t j = 0; j < d; ++j) {
+      z(i, j) = rng.Gaussian() + (labels[i] == 1 ? 1.5 : 0.0) +
+                (sensitive[i] == 1 ? 0.5 : 0.0);
+    }
+  }
+  CovarianceConfig config;
+
+  auto slice = [&](std::size_t r0, std::size_t r1, Matrix* zs,
+                   std::vector<int>* ys, std::vector<int>* ss) {
+    *zs = RowRange(z, r0, r1);
+    ys->assign(labels.begin() + static_cast<std::ptrdiff_t>(r0),
+               labels.begin() + static_cast<std::ptrdiff_t>(r1));
+    ss->assign(sensitive.begin() + static_cast<std::ptrdiff_t>(r0),
+               sensitive.begin() + static_cast<std::ptrdiff_t>(r1));
+  };
+
+  Matrix zs;
+  std::vector<int> ys, ss;
+  slice(0, 80, &zs, &ys, &ss);
+  Result<FairDensityEstimator> inc =
+      FairDensityEstimator::Fit(zs, ys, ss, config);
+  ASSERT_TRUE(inc.ok());
+  const std::size_t cuts[] = {80, 81, 140, 200, 240};
+  for (std::size_t c = 0; c + 1 < 5; ++c) {
+    slice(cuts[c], cuts[c + 1], &zs, &ys, &ss);
+    ASSERT_TRUE(inc.value().Update(zs, ys, ss, config).ok());
+  }
+  const Result<FairDensityEstimator> batch =
+      FairDensityEstimator::Fit(z, labels, sensitive, config);
+  ASSERT_TRUE(batch.ok());
+
+  EXPECT_EQ(inc.value().total_count(), n);
+  // Weights count the same rows: exactly equal.
+  for (int y = 0; y < FairDensityEstimator::kNumClasses; ++y) {
+    for (int s : {-1, 1}) {
+      EXPECT_EQ(inc.value().Weight(y, s), batch.value().Weight(y, s));
+      EXPECT_EQ(inc.value().HasComponent(y, s),
+                batch.value().HasComponent(y, s));
+    }
+  }
+  // Densities agree to rounding everywhere that matters.
+  Rng probe_rng(105);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<double> probe(d);
+    for (double& v : probe) v = probe_rng.Gaussian() * 2.0;
+    const double a = inc.value().LogMarginalDensity(probe);
+    const double b = batch.value().LogMarginalDensity(probe);
+    EXPECT_NEAR(a, b, 1e-6 * (1.0 + std::fabs(b))) << "probe " << t;
+  }
+}
+
+TEST(FairDensityIncrementalTest, UpdateCreatesMissingComponent) {
+  Rng rng(106);
+  const std::size_t d = 3;
+  Matrix z(40, d);
+  std::vector<int> labels(40, 0), sensitive(40, 1);
+  for (std::size_t i = 0; i < z.size(); ++i) z.data()[i] = rng.Gaussian();
+  CovarianceConfig config;
+  Result<FairDensityEstimator> est =
+      FairDensityEstimator::Fit(z, labels, sensitive, config);
+  ASSERT_TRUE(est.ok());
+  EXPECT_FALSE(est.value().HasComponent(1, -1));
+
+  Matrix fresh(12, d);
+  std::vector<int> fy(12, 1), fs(12, -1);
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    fresh.data()[i] = rng.Gaussian() + 3.0;
+  }
+  ASSERT_TRUE(est.value().Update(fresh, fy, fs, config).ok());
+  EXPECT_TRUE(est.value().HasComponent(1, -1));
+  EXPECT_NEAR(est.value().Weight(1, -1), 12.0 / 52.0, 1e-12);
+}
+
+TEST(ClassDensityIncrementalTest, UpdatesMatchBatchFit) {
+  Rng rng(107);
+  const std::size_t d = 3;
+  const std::size_t n = 160;
+  Matrix z(n, d);
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<int>(i % 2);
+    for (std::size_t j = 0; j < d; ++j) {
+      z(i, j) = rng.Gaussian() + (labels[i] == 1 ? 2.0 : 0.0);
+    }
+  }
+  CovarianceConfig config;
+  Matrix head = RowRange(z, 0, 60);
+  std::vector<int> head_y(labels.begin(), labels.begin() + 60);
+  Result<ClassDensityEstimator> inc =
+      ClassDensityEstimator::Fit(head, head_y, config);
+  ASSERT_TRUE(inc.ok());
+  Matrix tail = RowRange(z, 60, n);
+  std::vector<int> tail_y(labels.begin() + 60, labels.end());
+  ASSERT_TRUE(inc.value().Update(tail, tail_y, config).ok());
+  const Result<ClassDensityEstimator> batch =
+      ClassDensityEstimator::Fit(z, labels, config);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(inc.value().total_count(), n);
+  std::vector<double> probe(d, 0.7);
+  EXPECT_NEAR(inc.value().LogMarginalDensity(probe),
+              batch.value().LogMarginalDensity(probe), 1e-6);
 }
 
 }  // namespace

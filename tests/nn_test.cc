@@ -9,6 +9,7 @@
 #include "nn/mlp.h"
 #include "nn/optimizer.h"
 #include "nn/trainer.h"
+#include "common/workspace.h"
 #include "tensor/linalg.h"
 #include "tensor/ops.h"
 
@@ -594,6 +595,134 @@ TEST(TrainerTest, RejectsBadHyperparameters) {
   tconfig.epochs = 1;
   tconfig.batch_size = 0;
   EXPECT_FALSE(TrainClassifier(&model, pool, tconfig, &rng).ok());
+}
+
+
+// ------------------------------------------------------ fused loss parity
+
+TEST(LossTest, FusedMatchesTwoPassBitwise) {
+  Rng rng(901);
+  const std::size_t n = 37, c = 5;
+  Matrix logits(n, c);
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<int>(i % c);
+    for (std::size_t j = 0; j < c; ++j) logits(i, j) = 3.0 * rng.Gaussian();
+  }
+  Matrix d_ref, d_fused;
+  const double ref = SoftmaxCrossEntropy(logits, labels, &d_ref);
+  std::vector<double> row_loss;
+  const double fused =
+      FusedSoftmaxCrossEntropy(logits, labels, &d_fused, &row_loss);
+  EXPECT_EQ(ref, fused);
+  ASSERT_EQ(d_ref.rows(), d_fused.rows());
+  ASSERT_EQ(d_ref.cols(), d_fused.cols());
+  EXPECT_EQ(MaxAbsDiff(d_ref, d_fused), 0.0);
+  ASSERT_EQ(row_loss.size(), n);
+}
+
+TEST(LossTest, FusedScratchIsOptional) {
+  Rng rng(902);
+  Matrix logits(4, 3);
+  std::vector<int> labels = {0, 1, 2, 1};
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    logits.data()[i] = rng.Gaussian();
+  }
+  Matrix with_scratch, without_scratch;
+  std::vector<double> scratch;
+  const double a =
+      FusedSoftmaxCrossEntropy(logits, labels, &with_scratch, &scratch);
+  const double b =
+      FusedSoftmaxCrossEntropy(logits, labels, &without_scratch);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(MaxAbsDiff(with_scratch, without_scratch), 0.0);
+}
+
+// ------------------------------------------------- workspace-reuse trainer
+
+// Deterministic synthetic binary dataset with both sensitive groups.
+Dataset TrainerDataset(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    Example e;
+    e.x.resize(dim);
+    e.label = static_cast<int>(i % 2);
+    e.sensitive = i % 3 == 0 ? -1 : 1;
+    for (std::size_t j = 0; j < dim; ++j) {
+      e.x[j] = rng.Gaussian() + (e.label == 1 ? 1.0 : -1.0);
+    }
+    EXPECT_TRUE(data.Append(e).ok());
+  }
+  return data;
+}
+
+TEST(TrainerTest, SharedWorkspaceDoesNotChangeResults) {
+  const Dataset data = TrainerDataset(90, 5, 31);
+  MlpConfig mconfig;
+  mconfig.input_dim = 5;
+  mconfig.hidden_dims = {8};
+  TrainConfig tconfig;
+  tconfig.epochs = 3;
+  tconfig.batch_size = 16;
+
+  auto run = [&](Workspace* ws) {
+    Rng model_rng(7);
+    MlpClassifier model(mconfig, &model_rng);
+    Rng train_rng(9);
+    const Result<TrainReport> report =
+        TrainClassifier(&model, data, tconfig, &train_rng, ws);
+    EXPECT_TRUE(report.ok());
+    std::vector<Matrix> params;
+    for (Matrix* p : model.Parameters()) params.push_back(*p);
+    return params;
+  };
+
+  const std::vector<Matrix> fresh = run(nullptr);
+  Workspace shared;
+  // Dirty the arena with a different training run first: reuse must not
+  // leak state between calls.
+  const Dataset other = TrainerDataset(40, 5, 77);
+  {
+    Rng model_rng(3);
+    MlpClassifier model(mconfig, &model_rng);
+    Rng train_rng(4);
+    ASSERT_TRUE(
+        TrainClassifier(&model, other, tconfig, &train_rng, &shared).ok());
+  }
+  const std::vector<Matrix> reused = run(&shared);
+  ASSERT_EQ(fresh.size(), reused.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(MaxAbsDiff(fresh[i], reused[i]), 0.0) << "parameter " << i;
+  }
+  EXPECT_GT(shared.buffer_count(), 0u);
+}
+
+TEST(TrainerTest, RepeatedSharedWorkspaceRunsAreIdentical) {
+  const Dataset data = TrainerDataset(60, 4, 13);
+  MlpConfig mconfig;
+  mconfig.input_dim = 4;
+  mconfig.hidden_dims = {6};
+  TrainConfig tconfig;
+  tconfig.epochs = 2;
+  tconfig.batch_size = 8;
+  Workspace shared;
+  auto run = [&]() {
+    Rng model_rng(21);
+    MlpClassifier model(mconfig, &model_rng);
+    Rng train_rng(22);
+    EXPECT_TRUE(
+        TrainClassifier(&model, data, tconfig, &train_rng, &shared).ok());
+    std::vector<Matrix> params;
+    for (Matrix* p : model.Parameters()) params.push_back(*p);
+    return params;
+  };
+  const std::vector<Matrix> first = run();
+  const std::vector<Matrix> second = run();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(MaxAbsDiff(first[i], second[i]), 0.0) << "parameter " << i;
+  }
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "density/grouped_density.h"
 #include "gtest/gtest.h"
 #include "nn/conv.h"
+#include "nn/loss.h"
 #include "tensor/image.h"
 #include "tensor/matrix.h"
 #include "tensor/ops.h"
@@ -454,6 +455,51 @@ TEST(BatchedDensityTest, FactionScoresBitwiseIdenticalAcrossThreadCounts) {
       EXPECT_EQ(parallel.value()[i].log_unfairness,
                 serial.value()[i].log_unfairness);
     }
+  }
+}
+
+
+TEST(ParallelDeterminismTest, FusedLossBitwiseIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  Rng rng(311);
+  const std::size_t n = 500, c = 4;
+  Matrix logits = RandomMatrix(n, c, &rng);
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = static_cast<int>(i % c);
+
+  SetParallelThreadCount(1);
+  Matrix d1;
+  const double l1 = FusedSoftmaxCrossEntropy(logits, labels, &d1);
+  SetParallelThreadCount(8);
+  Matrix d8;
+  const double l8 = FusedSoftmaxCrossEntropy(logits, labels, &d8);
+  EXPECT_EQ(l1, l8);
+  ExpectBitwiseEqual(d1, d8);
+  // And both match the serial two-pass reference exactly.
+  Matrix d_ref;
+  const double ref = SoftmaxCrossEntropy(logits, labels, &d_ref);
+  EXPECT_EQ(ref, l8);
+  ExpectBitwiseEqual(d_ref, d8);
+}
+
+TEST(ParallelDeterminismTest,
+     IncrementalDensityBitwiseIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  Rng rng(312);
+  const std::size_t d = 5;
+  CovarianceConfig config;
+  Result<Gaussian> g = Gaussian::Fit(RandomMatrix(300, d, &rng), config);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(g.value().Update(RandomMatrix(40, d, &rng), config).ok());
+  const Matrix probes = RandomMatrix(700, d, &rng);
+
+  SetParallelThreadCount(1);
+  const std::vector<double> one = g.value().LogPdfBatch(probes);
+  SetParallelThreadCount(8);
+  const std::vector<double> eight = g.value().LogPdfBatch(probes);
+  ASSERT_EQ(one.size(), eight.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    ASSERT_EQ(one[i], eight[i]) << "probe " << i;
   }
 }
 

@@ -1,20 +1,31 @@
 #!/usr/bin/env bash
-# bench.sh — parallel-layer benchmark driver (PR 2).
+# bench.sh — benchmark driver (PR 3).
 #
 # Builds bench/micro_components in a dedicated native-tuned Release tree
-# (build/bench), runs the parallel-layer benchmarks at FACTION_NUM_THREADS=1
-# and at the default thread count, and merges both runs plus the derived
-# speedups into BENCH_PR2.json at the repo root.
+# (build/bench), runs the PR 3 benchmarks at FACTION_NUM_THREADS=1 and at
+# the default thread count, and merges both runs plus the derived speedups
+# into BENCH_PR3.json at the repo root, stamped with the current git SHA.
 #
-# Reported speedups:
-#   * BM_MatMul        — blocked parallel kernel at default threads vs the
-#                        seed serial kernel (BM_MatMulSeed) at 1 thread.
-#   * BM_Conv2dApply   — default threads vs 1 thread (pure thread scaling).
-#   * BM_PoolScoring   — batched scoring at default threads vs the legacy
-#                        per-sample loop (BM_PoolScoringPerSample) at 1
-#                        thread.
+# Reported pair speedups (baseline at 1 thread vs new path at default
+# threads — the ratios the acceptance floors are defined on):
+#   * conv_gemm_vs_naive              — BM_Conv2dNaive / BM_Conv2dIm2col
+#   * density_refit_incremental_vs_batch
+#                                     — BM_DensityRefitBatch/2400 /
+#                                       BM_DensityRefitIncremental/2400
 #
-# Usage: tools/bench.sh [--min-time SECONDS]
+# If the output file already exists, its medians are compared against the
+# fresh run and regressions above 25% are reported.
+#
+# Usage: tools/bench.sh [--min-time SECONDS] [--binary PATH]
+#                       [--check-against JSON] [--out FILE]
+#   --binary PATH         use an existing micro_components binary instead
+#                         of configuring/building build/bench (CI smoke).
+#   --check-against JSON  compare the fresh pair speedups against the
+#                         "speedups" section of a committed BENCH_*.json;
+#                         exit 1 if any fresh speedup falls below
+#                         committed/1.25. Ratio-vs-ratio comparison, so it
+#                         is portable across machines of different speeds.
+#   --out FILE            output path (default BENCH_PR3.json).
 
 set -euo pipefail
 
@@ -22,44 +33,54 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
 MIN_TIME="0.2"
-if [[ "${1:-}" == "--min-time" ]]; then
-  MIN_TIME="$2"
-fi
+BINARY=""
+CHECK_AGAINST=""
+OUT="BENCH_PR3.json"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --min-time) MIN_TIME="$2"; shift 2 ;;
+    --binary) BINARY="$2"; shift 2 ;;
+    --check-against) CHECK_AGAINST="$2"; shift 2 ;;
+    --out) OUT="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 BUILD_DIR="build/bench"
-FILTER='BM_MatMul|BM_Conv2dApply|BM_PoolScoring'
+FILTER='BM_Conv2dNaive|BM_Conv2dIm2col|BM_TrainStep|BM_DensityRefit'
+GIT_SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 
-printf '\n\033[1m== configure+build [bench: Release, native arch] ==\033[0m\n'
-cmake -B "$BUILD_DIR" -S . \
-  -DCMAKE_BUILD_TYPE=Release \
-  -DFACTION_NATIVE_ARCH=ON \
-  >/dev/null
-cmake --build "$BUILD_DIR" --target micro_components -j "$JOBS" >/dev/null
+if [[ -z "$BINARY" ]]; then
+  printf '\n\033[1m== configure+build [bench: Release, native arch] ==\033[0m\n'
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DFACTION_NATIVE_ARCH=ON \
+    >/dev/null
+  cmake --build "$BUILD_DIR" --target micro_components -j "$JOBS" >/dev/null
+  BINARY="$BUILD_DIR/bench/micro_components"
+fi
+mkdir -p "$BUILD_DIR"
 
 run_bench() {
   local threads="$1" out="$2"
   printf '\033[1m== run [FACTION_NUM_THREADS=%s] ==\033[0m\n' "$threads"
-  if [[ "$threads" == "default" ]]; then
-    "$BUILD_DIR/bench/micro_components" \
-      --benchmark_filter="$FILTER" \
-      --benchmark_min_time="$MIN_TIME" \
-      --benchmark_out="$out" --benchmark_out_format=json \
-      --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
-  else
-    FACTION_NUM_THREADS="$threads" "$BUILD_DIR/bench/micro_components" \
-      --benchmark_filter="$FILTER" \
-      --benchmark_min_time="$MIN_TIME" \
-      --benchmark_out="$out" --benchmark_out_format=json \
-      --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
+  local env_prefix=()
+  if [[ "$threads" != "default" ]]; then
+    env_prefix=(env "FACTION_NUM_THREADS=$threads")
   fi
+  "${env_prefix[@]}" "$BINARY" \
+    --benchmark_filter="$FILTER" \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_out="$out" --benchmark_out_format=json \
+    --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
 }
 
 run_bench 1 "$BUILD_DIR/bench_t1.json"
 run_bench default "$BUILD_DIR/bench_tdefault.json"
 
-python3 - "$BUILD_DIR/bench_t1.json" "$BUILD_DIR/bench_tdefault.json" \
-  BENCH_PR2.json <<'EOF'
+GIT_SHA="$GIT_SHA" CHECK_AGAINST="$CHECK_AGAINST" python3 - \
+  "$BUILD_DIR/bench_t1.json" "$BUILD_DIR/bench_tdefault.json" "$OUT" <<'EOF'
 import json
 import os
 import sys
@@ -85,38 +106,81 @@ def speedup(base, new):
     return round(base / new, 3) if new else None
 
 
+pair_speedups = {
+    "conv_gemm_vs_naive": speedup(t1["BM_Conv2dNaive"],
+                                  tdef["BM_Conv2dIm2col"]),
+    "density_refit_incremental_vs_batch": speedup(
+        t1["BM_DensityRefitBatch/2400"],
+        tdef["BM_DensityRefitIncremental/2400"],
+    ),
+}
+
 report = {
     "meta": {
+        "git_sha": os.environ.get("GIT_SHA", "unknown"),
         "date": ctxd.get("date"),
         "host_cpus": ctxd.get("num_cpus"),
         "mhz_per_cpu": ctxd.get("mhz_per_cpu"),
         "build": "Release + FACTION_NATIVE_ARCH",
         "time_unit": "ns (median of 3 repetitions, real time)",
         "note": (
-            "Speedups marked 'vs seed'/'vs per-sample' compare the new "
-            "kernel at default threads against the retained baseline "
-            "implementation at 1 thread; 'thread_scaling' isolates the "
-            "1-thread vs default-thread ratio of the same kernel. On a "
-            "single-CPU host thread_scaling is ~1 by construction."
+            "Pair speedups compare the retained baseline implementation "
+            "at 1 thread against the new path at default threads: the "
+            "naive conv loops vs the im2col/GEMM lowering, and a full "
+            "batch GDA refit of a 2400-row pool vs incrementally folding "
+            "one 25-row acquisition round into the sufficient statistics. "
+            "The incremental refit's per-round cost is independent of the "
+            "pool size, so its speedup grows with the pool."
         ),
     },
     "threads_1": {k: round(v, 1) for k, v in sorted(t1.items())},
     "threads_default": {k: round(v, 1) for k, v in sorted(tdef.items())},
-    "speedups": {
-        "BM_MatMul_vs_seed": speedup(t1["BM_MatMulSeed"], tdef["BM_MatMul"]),
-        "BM_PoolScoring_vs_per_sample": speedup(
-            t1["BM_PoolScoringPerSample"], tdef["BM_PoolScoring"]
-        ),
-        "thread_scaling": {
-            name: speedup(t1[name], tdef[name])
-            for name in ("BM_MatMul", "BM_Conv2dApply", "BM_PoolScoring")
-        },
-    },
+    "speedups": pair_speedups,
 }
+
+# Compare against the previous report at the same path, if any: flag any
+# benchmark whose median regressed by more than 25%.
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        previous = json.load(f)
+    print(f"comparison vs previous {out_path} "
+          f"(sha {previous.get('meta', {}).get('git_sha', '?')[:12]}):")
+    for section in ("threads_1", "threads_default"):
+        old = previous.get(section, {})
+        for name, fresh_ns in sorted(report[section].items()):
+            if name not in old or not old[name]:
+                continue
+            ratio = fresh_ns / old[name]
+            flag = "  REGRESSION >25%" if ratio > 1.25 else ""
+            print(f"  {section:16s} {name:40s} "
+                  f"{old[name]:>12.1f} -> {fresh_ns:>12.1f} ns "
+                  f"({ratio:5.2f}x){flag}")
 
 with open(out_path, "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
 print(f"wrote {out_path}")
 print(json.dumps(report["speedups"], indent=2))
+
+# --check-against: fail when a fresh pair speedup drops below the
+# committed one by more than 25%. Speedups are within-machine ratios, so
+# this check is meaningful on any host.
+check_path = os.environ.get("CHECK_AGAINST", "")
+if check_path:
+    with open(check_path) as f:
+        committed = json.load(f).get("speedups", {})
+    failures = []
+    for key, fresh in pair_speedups.items():
+        want = committed.get(key)
+        if not isinstance(want, (int, float)) or fresh is None:
+            continue
+        floor = want / 1.25
+        status = "ok" if fresh >= floor else "FAIL"
+        print(f"check {key}: fresh {fresh:.2f}x vs committed {want:.2f}x "
+              f"(floor {floor:.2f}x) {status}")
+        if fresh < floor:
+            failures.append(key)
+    if failures:
+        print(f"benchmark regression gate failed: {', '.join(failures)}")
+        sys.exit(1)
 EOF
