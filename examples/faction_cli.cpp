@@ -2,6 +2,7 @@
 //
 //   $ ./build/examples/faction_cli --dataset nysf --method FACTION
 //         --budget 200 --acquisition 50 --samples 600 --seed 42 [--csv]
+//         [--trace run.jsonl] [--telemetry]
 //
 // Prints the per-task metric table (and optionally CSV for plotting).
 // This is the "downstream user" entry point: every knob of the experiment
@@ -10,11 +11,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "common/table.h"
+#include "common/telemetry.h"
 #include "core/presets.h"
 #include "data/streams.h"
+#include "stream/trace.h"
 
 namespace {
 
@@ -32,6 +36,11 @@ struct CliOptions {
   double alpha = 3.0;
   bool csv = false;
   bool help = false;
+  /// When non-empty, write a JSONL event trace (stream/trace.h) here.
+  /// Implies --telemetry so the counter-derived trace fields populate.
+  std::string trace_path;
+  /// Enable the process-wide metrics registry and print it after the run.
+  bool telemetry = false;
 };
 
 void PrintUsage() {
@@ -49,7 +58,10 @@ void PrintUsage() {
       "  --mu <v>              fairness regularizer weight (default 0.6)\n"
       "  --lambda <v>          Eq. 6 trade-off (default 0.5)\n"
       "  --alpha <v>           query-rate multiplier (default 3.0)\n"
-      "  --csv                 emit CSV instead of an aligned table\n");
+      "  --csv                 emit CSV instead of an aligned table\n"
+      "  --trace <path>        write a JSONL event trace of the run\n"
+      "                        (one record per task; implies --telemetry)\n"
+      "  --telemetry           collect and print run telemetry counters\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -68,6 +80,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     }
     if (arg == "--csv") {
       options->csv = true;
+    } else if (arg == "--telemetry") {
+      options->telemetry = true;
+    } else if (arg == "--trace") {
+      const char* v = next("--trace");
+      if (v == nullptr) return false;
+      options->trace_path = v;
+      options->telemetry = true;
     } else if (arg == "--dataset") {
       const char* v = next("--dataset");
       if (v == nullptr) return false;
@@ -112,6 +131,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
   return true;
 }
 
+/// "n/a" for metrics the task could not define (e.g. a single-group task).
+std::string MetricOrNa(double value, bool defined, int decimals) {
+  if (!defined) return "n/a";
+  return FormatCell(value, decimals);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -123,6 +148,19 @@ int main(int argc, char** argv) {
   if (options.help) {
     PrintUsage();
     return 0;
+  }
+
+  if (options.telemetry) Telemetry::Enable();
+  std::unique_ptr<TraceWriter> trace;
+  if (!options.trace_path.empty()) {
+    Result<std::unique_ptr<TraceWriter>> opened =
+        TraceWriter::Create(options.trace_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "trace: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    trace = std::move(opened).value();
   }
 
   StreamScale scale;
@@ -141,6 +179,7 @@ int main(int argc, char** argv) {
   defaults.mu = options.mu;
   defaults.lambda = options.lambda;
   defaults.alpha = options.alpha;
+  defaults.trace = trace.get();
 
   const Result<RunResult> run = RunMethodOnStream(
       options.method, stream.value(), defaults, options.seed);
@@ -154,9 +193,10 @@ int main(int argc, char** argv) {
   for (const TaskMetrics& m : run.value().per_task) {
     table.AddRow({std::to_string(m.task_index + 1),
                   std::to_string(m.environment), FormatCell(m.accuracy, 3),
-                  FormatCell(m.ddp, 3), FormatCell(m.eod, 3),
-                  FormatCell(m.mi, 3), std::to_string(m.queries_used),
-                  FormatCell(m.seconds, 2)});
+                  MetricOrNa(m.ddp, m.ddp_defined, 3),
+                  MetricOrNa(m.eod, m.eod_defined, 3),
+                  MetricOrNa(m.mi, m.mi_defined, 3),
+                  std::to_string(m.queries_used), FormatCell(m.seconds, 2)});
   }
   if (options.csv) {
     table.PrintCsv(std::cout);
@@ -172,6 +212,22 @@ int main(int argc, char** argv) {
         "(%zu queries, %.1fs)\n",
         s.mean_accuracy, s.mean_ddp, s.mean_eod, s.mean_mi,
         s.total_queries, run.value().total_seconds);
+    if (s.undefined_metric_tasks > 0) {
+      std::printf(
+          "note: %zu task(s) had undefined fairness metrics "
+          "(excluded from the means above)\n",
+          s.undefined_metric_tasks);
+    }
+  }
+  if (!options.trace_path.empty()) {
+    std::fprintf(stderr, "trace written to %s\n",
+                 options.trace_path.c_str());
+  }
+  if (options.telemetry && !options.csv) {
+    if (const Telemetry* telemetry = Telemetry::Get()) {
+      std::printf("\n");
+      telemetry->WriteMarkdown(std::cout);
+    }
   }
   return 0;
 }

@@ -1,0 +1,142 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+
+#include "common/table.h"
+
+namespace faction {
+
+std::atomic<Telemetry*> Telemetry::instance_{nullptr};
+
+Telemetry* Telemetry::Enable() {
+  // Function-local static: the registry outlives every user and is never
+  // destroyed mid-run; Enable/Disable only flips the published pointer.
+  static Telemetry global;
+  instance_.store(&global, std::memory_order_release);
+  return &global;
+}
+
+void Telemetry::Disable() {
+  instance_.store(nullptr, std::memory_order_release);
+}
+
+int Telemetry::BucketIndex(double value) {
+  if (!(value >= kFirstBound)) return 0;  // underflow (incl. NaN/negative)
+  double bound = kFirstBound;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    bound *= 2.0;
+    if (value < bound) return i + 1;
+  }
+  return kNumBuckets + 1;  // overflow
+}
+
+void Telemetry::AddCounter(const std::string& name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void Telemetry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+void Telemetry::Observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Histogram& h = histograms_[name];
+  if (h.snap.buckets.empty()) {
+    h.snap.buckets.assign(static_cast<std::size_t>(kNumBuckets) + 2, 0);
+  }
+  if (h.snap.count == 0 || value < h.snap.min) h.snap.min = value;
+  if (h.snap.count == 0 || value > h.snap.max) h.snap.max = value;
+  ++h.snap.count;
+  h.snap.sum += value;
+  ++h.snap.buckets[static_cast<std::size_t>(BucketIndex(value))];
+}
+
+std::uint64_t Telemetry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Telemetry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+Telemetry::HistogramSnapshot Telemetry::HistogramFor(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    HistogramSnapshot empty;
+    empty.buckets.assign(static_cast<std::size_t>(kNumBuckets) + 2, 0);
+    return empty;
+  }
+  return it->second.snap;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Telemetry::Counters()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::vector<std::pair<std::string, double>> Telemetry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+std::vector<std::string> Telemetry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& kv : histograms_) names.push_back(kv.first);
+  return names;
+}
+
+void Telemetry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void Telemetry::WriteMarkdown(std::ostream& os) const {
+  os << "## Telemetry\n\n";
+  const auto counters = Counters();
+  if (!counters.empty()) {
+    Table table({"counter", "value"});
+    for (const auto& kv : counters) {
+      table.AddRow({kv.first, std::to_string(kv.second)});
+    }
+    table.Print(os);
+    os << "\n";
+  }
+  const auto gauges = Gauges();
+  if (!gauges.empty()) {
+    Table table({"gauge", "value"});
+    for (const auto& kv : gauges) {
+      table.AddRow({kv.first, FormatCell(kv.second, 6)});
+    }
+    table.Print(os);
+    os << "\n";
+  }
+  const auto names = HistogramNames();
+  if (!names.empty()) {
+    Table table({"histogram", "count", "mean", "min", "max"});
+    for (const std::string& name : names) {
+      const HistogramSnapshot snap = HistogramFor(name);
+      const double mean =
+          snap.count > 0 ? snap.sum / static_cast<double>(snap.count) : 0.0;
+      table.AddRow({name, std::to_string(snap.count), FormatCell(mean, 6),
+                    FormatCell(snap.count > 0 ? snap.min : 0.0, 6),
+                    FormatCell(snap.count > 0 ? snap.max : 0.0, 6)});
+    }
+    table.Print(os);
+    os << "\n";
+  }
+}
+
+}  // namespace faction

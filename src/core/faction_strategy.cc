@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/telemetry.h"
 #include "stream/selection.h"
 
 namespace faction {
@@ -46,6 +47,7 @@ const FairDensityEstimator* FactionStrategy::EstimatorFor(
     if (updated.ok()) {
       fitted_rows_ = pool.size();
       ++updates_since_fit_;
+      TelemetryCount("faction.density_incremental_refit");
       return &estimator_.value();
     }
     // A failed update leaves the statistics partially folded: discard the
@@ -63,6 +65,7 @@ const FairDensityEstimator* FactionStrategy::EstimatorFor(
     FACTION_LOG(kWarning) << "FACTION density fit failed ("
                           << fit.status().ToString()
                           << "); falling back to random batch";
+    TelemetryCount("faction.density_fit_failed");
     estimator_.reset();
     fitted_rows_ = 0;
     updates_since_fit_ = 0;
@@ -71,11 +74,13 @@ const FairDensityEstimator* FactionStrategy::EstimatorFor(
   estimator_ = std::move(fit).value();
   fitted_rows_ = pool.size();
   updates_since_fit_ = 0;
+  TelemetryCount("faction.density_full_refit");
   return &estimator_.value();
 }
 
 Result<std::vector<std::size_t>> FactionStrategy::SelectBatch(
     const SelectionContext& context, std::size_t batch) {
+  ScopedTimer select_timer("faction.select.seconds");
   const Dataset& pool = *context.labeled_pool;
   const Matrix& candidates = *context.candidate_features;
   const std::size_t n = candidates.rows();

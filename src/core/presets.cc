@@ -125,6 +125,7 @@ OnlineLearnerConfig MakeLearnerConfig(const ExperimentDefaults& defaults,
   config.oracle_train = config.train;
   config.oracle_train.use_fairness_penalty = false;
   config.oracle_train.epochs = defaults.epochs * 2;
+  config.trace = defaults.trace;
   return config;
 }
 

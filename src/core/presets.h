@@ -49,6 +49,10 @@ struct ExperimentDefaults {
   double falcur_beta = 0.5;               ///< FAL-CUR's beta
   double decoupled_threshold = 0.2;       ///< Decoupled's alpha
   double qufur_alpha = 3.0;
+
+  /// Optional JSONL event trace (stream/trace.h), forwarded into
+  /// OnlineLearnerConfig::trace. Borrowed; must outlive the run.
+  TraceWriter* trace = nullptr;
 };
 
 /// The eight methods of Fig. 2, in the paper's order.

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/telemetry.h"
 #include "tensor/ops.h"
 
 namespace faction {
@@ -69,16 +70,23 @@ Result<bool> StreamingFaction::ShouldQuery(const Example& example) {
         "StreamingFaction: sample dimension mismatch");
   }
   ++seen_;
+  TelemetryCount("streaming.arrivals");
   // Warm start: always acquire until the pool can support the machinery.
   if (queried_ < config_.warm_start) {
     ++queried_;
+    TelemetryCount("streaming.queries");
+    TelemetryCount("streaming.warm_start_queries");
     return true;
   }
   if (!estimator_.has_value()) {
     // Machinery not ready (e.g. refit failed on a degenerate pool): fall
     // back to a fixed-rate coin matching alpha's scale.
+    TelemetryCount("streaming.fallback_coin");
     const bool take = rng_.Bernoulli(std::min(1.0, config_.alpha * 0.25));
-    if (take) ++queried_;
+    if (take) {
+      ++queried_;
+      TelemetryCount("streaming.queries");
+    }
     return take;
   }
   const double u = ScoreSample(example.x);
@@ -88,7 +96,10 @@ Result<bool> StreamingFaction::ShouldQuery(const Example& example) {
   if (!warmed) return false;
   const bool take =
       rng_.Bernoulli(std::min(config_.alpha * omega, 1.0));
-  if (take) ++queried_;
+  if (take) {
+    ++queried_;
+    TelemetryCount("streaming.queries");
+  }
   return take;
 }
 
@@ -110,7 +121,10 @@ Status StreamingFaction::ProvideLabel(const Example& example) {
     const Status updated =
         estimator_->Update(z, {example.label}, {example.sensitive},
                            config_.covariance);
-    if (!updated.ok()) {
+    if (updated.ok()) {
+      TelemetryCount("streaming.incremental_fold");
+    } else {
+      TelemetryCount("streaming.incremental_fold_failed");
       // Partially folded statistics are unusable; drop the estimator and
       // let the next scheduled Refit rebuild it.
       FACTION_LOG(kWarning)
@@ -123,6 +137,8 @@ Status StreamingFaction::ProvideLabel(const Example& example) {
 }
 
 Status StreamingFaction::Refit() {
+  ScopedTimer refit_timer("streaming.refit.seconds");
+  TelemetryCount("streaming.refit");
   FACTION_RETURN_IF_ERROR(
       TrainClassifier(model_.get(), pool_, config_.train, &rng_,
                       train_workspace_.get())
@@ -136,6 +152,7 @@ Status StreamingFaction::Refit() {
     // Scores live in the new feature space: the old range is stale.
     normalizer_.Reset();
   } else {
+    TelemetryCount("streaming.refit_density_failed");
     FACTION_LOG(kWarning) << "StreamingFaction: density refit failed ("
                           << fit.status().ToString() << ")";
   }

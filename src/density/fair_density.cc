@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/telemetry.h"
 #include "tensor/ops.h"
 
 namespace faction {
@@ -75,6 +76,8 @@ Result<FairDensityEstimator> FairDensityEstimator::Fit(
         "FairDensityEstimator: no component has samples");
   }
   est.RefreshWeights();
+  TelemetryCount("density.fair_fit");
+  TelemetryCount("density.class_fit", fitted);
   return est;
 }
 
@@ -115,6 +118,7 @@ Status FairDensityEstimator::Update(const Matrix& features,
     buckets[ComponentIndex(labels[i], sensitive[i])].push_back(i);
   }
   total_ += n;
+  std::uint64_t touched = 0;
   for (std::size_t idx = 0; idx < components_.size(); ++idx) {
     const std::vector<std::size_t>& bucket = buckets[idx];
     if (bucket.empty()) continue;  // untouched: cached factor stays valid
@@ -128,8 +132,11 @@ Status FairDensityEstimator::Update(const Matrix& features,
       components_[idx] = std::move(g);
       present_[idx] = true;
     }
+    ++touched;
   }
   RefreshWeights();
+  TelemetryCount("density.fair_update");
+  TelemetryCount("density.class_update", touched);
   return Status::Ok();
 }
 

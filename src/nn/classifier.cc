@@ -6,8 +6,7 @@
 namespace faction {
 
 void FeatureClassifier::CopyParametersFrom(const FeatureClassifier& other) {
-  auto* src = const_cast<FeatureClassifier*>(&other);
-  std::vector<Matrix*> from = src->Parameters();
+  const std::vector<const Matrix*> from = other.Parameters();
   std::vector<Matrix*> to = Parameters();
   FACTION_CHECK_LEN(from, to.size());
   for (std::size_t i = 0; i < from.size(); ++i) {
@@ -35,9 +34,8 @@ std::vector<int> FeatureClassifier::Predict(const Matrix& x) const {
 }
 
 std::size_t FeatureClassifier::ParameterCount() const {
-  auto* self = const_cast<FeatureClassifier*>(this);
   std::size_t count = 0;
-  for (Matrix* p : self->Parameters()) count += p->size();
+  for (const Matrix* p : Parameters()) count += p->size();
   return count;
 }
 

@@ -39,6 +39,9 @@ class FeatureClassifier {
 
   virtual void ZeroGrad() = 0;
   virtual std::vector<Matrix*> Parameters() = 0;
+  /// Read-only parameter access (serialization, checksums, inspection);
+  /// same tensors in the same stable order as the mutable overload.
+  virtual std::vector<const Matrix*> Parameters() const = 0;
   virtual std::vector<Matrix*> Gradients() = 0;
 
   /// Fresh instance with the same architecture and new random weights.

@@ -272,6 +272,15 @@ std::vector<Matrix*> ConvNetClassifier::Parameters() {
           head_->weight(),  head_->bias()};
 }
 
+std::vector<const Matrix*> ConvNetClassifier::Parameters() const {
+  const Conv2d& c1 = *conv1_;
+  const Conv2d& c2 = *conv2_;
+  const Linear& fc = *fc_;
+  const Linear& head = *head_;
+  return {&c1.weight(), &c1.bias(), &c2.weight(), &c2.bias(),
+          &fc.weight(), &fc.bias(), &head.weight(), &head.bias()};
+}
+
 std::vector<Matrix*> ConvNetClassifier::Gradients() {
   return {conv1_->weight_grad(), conv1_->bias_grad(),
           conv2_->weight_grad(), conv2_->bias_grad(),

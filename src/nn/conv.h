@@ -44,6 +44,8 @@ class Conv2d {
   Matrix* bias() { return &b_; }
   Matrix* weight_grad() { return &gw_; }
   Matrix* bias_grad() { return &gb_; }
+  const Matrix& weight() const { return w_; }
+  const Matrix& bias() const { return b_; }
 
   /// Serial naive-loop forward, retained as the bitwise-parity reference
   /// for the GEMM-lowered path (parity pinned by tests and benchmarked as
@@ -127,6 +129,7 @@ class ConvNetClassifier : public FeatureClassifier {
   void Backward(const Matrix& dlogits) override;
   void ZeroGrad() override;
   std::vector<Matrix*> Parameters() override;
+  std::vector<const Matrix*> Parameters() const override;
   std::vector<Matrix*> Gradients() override;
   std::unique_ptr<FeatureClassifier> CloneArchitecture(
       Rng* rng) const override;

@@ -80,6 +80,19 @@ std::vector<Matrix*> MlpClassifier::Parameters() {
   return out;
 }
 
+std::vector<const Matrix*> MlpClassifier::Parameters() const {
+  std::vector<const Matrix*> out;
+  for (const auto& lin : hidden_) {
+    const Linear& layer = *lin;
+    out.push_back(&layer.weight());
+    out.push_back(&layer.bias());
+  }
+  const Linear& head = *head_;
+  out.push_back(&head.weight());
+  out.push_back(&head.bias());
+  return out;
+}
+
 std::vector<Matrix*> MlpClassifier::Gradients() {
   std::vector<Matrix*> out;
   for (auto& lin : hidden_) {

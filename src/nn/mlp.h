@@ -71,6 +71,7 @@ class MlpClassifier : public FeatureClassifier {
 
   /// Parameters and matching gradients, in a stable order.
   std::vector<Matrix*> Parameters() override;
+  std::vector<const Matrix*> Parameters() const override;
   std::vector<Matrix*> Gradients() override;
 
   std::unique_ptr<FeatureClassifier> CloneArchitecture(

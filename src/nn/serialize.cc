@@ -1,5 +1,8 @@
 #include "nn/serialize.h"
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -9,31 +12,73 @@ namespace faction {
 
 namespace {
 
-constexpr int kFormatVersion = 1;
+// v1 printed decimal (max_digits10) tensor payloads; v2 prints hexfloat,
+// which round-trips every finite double bit-for-bit on any conforming
+// strtod. Loaders accept both.
+constexpr int kFormatVersion = 2;
+constexpr int kOldestReadableVersion = 1;
 constexpr char kMagic[] = "faction-mlp";
+
+/// Parses one whitespace-delimited double token: decimal for v1 payloads,
+/// hexfloat (or decimal) for v2. Rejects trailing garbage and — matching
+/// SaveModel's contract — non-finite values.
+Status ReadDoubleToken(std::istream& is, double* out) {
+  std::string token;
+  if (!(is >> token)) {
+    return Status::InvalidArgument("LoadModel: truncated tensor data");
+  }
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || token.empty()) {
+    return Status::InvalidArgument("LoadModel: bad tensor value '" + token +
+                                   "'");
+  }
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument(
+        "LoadModel: non-finite tensor value '" + token + "'");
+  }
+  *out = value;
+  return Status::Ok();
+}
 
 }  // namespace
 
 Status SaveModel(const MlpClassifier& model, std::ostream& os) {
   const MlpConfig& config = model.config();
+  const std::vector<const Matrix*> params = model.Parameters();
+  // Reject non-finite parameters up front: a NaN/Inf weight would
+  // serialize as "nan"/"inf", which no loader accepts — the checkpoint
+  // would save "successfully" and then be unreadable.
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    const Matrix& p = *params[t];
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (!std::isfinite(p.data()[i])) {
+        return Status::NumericalError(
+            "SaveModel: non-finite parameter in tensor " + std::to_string(t) +
+            " at element " + std::to_string(i));
+      }
+    }
+  }
   os << kMagic << " v" << kFormatVersion << "\n";
   os << "input_dim " << config.input_dim << "\n";
   os << "num_classes " << config.num_classes << "\n";
   os << "hidden";
   for (std::size_t width : config.hidden_dims) os << ' ' << width;
   os << "\n";
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
   os << "spectral " << (config.spectral.enabled ? 1 : 0) << ' '
      << config.spectral.coeff << ' ' << config.spectral.power_iterations
      << "\n";
-  os << std::setprecision(std::numeric_limits<double>::max_digits10);
-  auto* mutable_model = const_cast<MlpClassifier*>(&model);
-  const std::vector<Matrix*> params = mutable_model->Parameters();
   os << "tensors " << params.size() << "\n";
+  // Hexfloat payload: exact binary round-trip for every finite double,
+  // including denormals and signed zeros.
+  os << std::hexfloat;
   for (const Matrix* p : params) {
     os << p->rows() << ' ' << p->cols();
     for (std::size_t i = 0; i < p->size(); ++i) os << ' ' << p->data()[i];
     os << "\n";
   }
+  os << std::defaultfloat;
   if (!os.good()) return Status::Internal("SaveModel: stream write failed");
   return Status::Ok();
 }
@@ -43,7 +88,11 @@ Result<MlpClassifier> LoadModel(std::istream& is) {
   if (!(is >> magic >> version) || magic != kMagic) {
     return Status::InvalidArgument("LoadModel: bad magic header");
   }
-  if (version != "v" + std::to_string(kFormatVersion)) {
+  bool known_version = false;
+  for (int v = kOldestReadableVersion; v <= kFormatVersion; ++v) {
+    if (version == "v" + std::to_string(v)) known_version = true;
+  }
+  if (!known_version) {
     return Status::InvalidArgument("LoadModel: unsupported version " +
                                    version);
   }
@@ -92,20 +141,44 @@ Result<MlpClassifier> LoadModel(std::istream& is) {
       return Status::InvalidArgument("LoadModel: tensor shape mismatch");
     }
     for (std::size_t i = 0; i < p->size(); ++i) {
-      if (!(is >> p->data()[i])) {
-        return Status::InvalidArgument("LoadModel: truncated tensor data");
-      }
+      // strtod-based parse handles both the v1 decimal and the v2 hexfloat
+      // payloads (istream operator>> cannot parse hexfloat portably).
+      FACTION_RETURN_IF_ERROR(ReadDoubleToken(is, &p->data()[i]));
     }
   }
   return model;
 }
 
 Status SaveModelToFile(const MlpClassifier& model, const std::string& path) {
-  std::ofstream os(path);
-  if (!os.is_open()) {
-    return Status::NotFound("SaveModelToFile: cannot open " + path);
+  // Crash-safe save: serialize into a sibling temp file and rename it over
+  // the target, so a failed or interrupted save never truncates an
+  // existing good checkpoint.
+  const std::string tmp_path = path + ".tmp";
+  Status save_status;
+  {
+    std::ofstream os(tmp_path, std::ios::trunc);
+    if (!os.is_open()) {
+      return Status::NotFound("SaveModelToFile: cannot open " + tmp_path);
+    }
+    save_status = SaveModel(model, os);
+    if (save_status.ok()) {
+      os.flush();
+      if (!os.good()) {
+        save_status = Status::Internal("SaveModelToFile: flush failed for " +
+                                       tmp_path);
+      }
+    }
   }
-  return SaveModel(model, os);
+  if (!save_status.ok()) {
+    std::remove(tmp_path.c_str());
+    return save_status;
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("SaveModelToFile: cannot rename " + tmp_path +
+                            " to " + path);
+  }
+  return Status::Ok();
 }
 
 Result<MlpClassifier> LoadModelFromFile(const std::string& path) {

@@ -12,17 +12,24 @@
 namespace faction {
 
 /// Serializes the classifier (architecture + parameters) to a versioned
-/// text format. Deployed online learners use this to checkpoint theta_t
+/// text format (current: v2, hexfloat tensor payload for bitwise-exact
+/// round-trips). Deployed online learners use this to checkpoint theta_t
 /// between tasks or hand a trained model to a serving process.
+///
+/// Models with non-finite (NaN/Inf) parameters are rejected with
+/// kNumericalError *before* anything is written: a non-finite weight would
+/// serialize into a checkpoint no loader can read.
 Status SaveModel(const MlpClassifier& model, std::ostream& os);
 
-/// Reads a model back. Fails with a descriptive status on format or
-/// version mismatches; the parameters are restored bit-for-bit modulo
-/// decimal round-trip (the format prints with max_digits10 precision, so
-/// doubles survive exactly).
+/// Reads a model back; accepts the current v2 (hexfloat) and the legacy v1
+/// (decimal) payloads. Fails with a descriptive status on format or
+/// version mismatches and on non-finite tensor values; v2 parameters are
+/// restored bit-for-bit.
 Result<MlpClassifier> LoadModel(std::istream& is);
 
-/// Convenience wrappers over files.
+/// Crash-safe file save: writes to `path + ".tmp"` and renames it over
+/// `path` on success, so a failed save (I/O error, non-finite model) never
+/// truncates or clobbers an existing good checkpoint.
 Status SaveModelToFile(const MlpClassifier& model, const std::string& path);
 Result<MlpClassifier> LoadModelFromFile(const std::string& path);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/telemetry.h"
 #include "nn/optimizer.h"
 
 namespace faction {
@@ -22,6 +23,8 @@ Result<TrainReport> TrainClassifier(FeatureClassifier* model,
   if (config.epochs <= 0 || config.batch_size == 0) {
     return Status::InvalidArgument("epochs and batch_size must be positive");
   }
+  TelemetryCount("trainer.calls");
+  ScopedTimer train_timer("trainer.seconds");
 
   SgdOptimizer opt(config.learning_rate, config.momentum,
                    config.weight_decay);
@@ -72,7 +75,11 @@ Result<TrainReport> TrainClassifier(FeatureClassifier* model,
             AddFairnessPenalty(logits, *y, *s, config.fairness, dlogits);
         // Batches lacking a sensitive group cannot support the notion; the
         // penalty is simply skipped for them.
-        if (pen.ok()) penalty = pen.value();
+        if (pen.ok()) {
+          penalty = pen.value();
+        } else {
+          TelemetryCount("trainer.fairness_penalty_skipped");
+        }
       }
       if (config.use_individual_penalty) {
         const Result<double> pen = AddIndividualFairnessPenalty(
@@ -94,6 +101,7 @@ Result<TrainReport> TrainClassifier(FeatureClassifier* model,
       report.final_penalty = epoch_pen / static_cast<double>(batches);
     }
   }
+  TelemetryCount("trainer.steps", static_cast<std::uint64_t>(report.steps));
   return report;
 }
 

@@ -2,13 +2,17 @@
 
 #include <cmath>
 
+#include "common/telemetry.h"
+
 namespace faction {
 
 bool DriftDetector::Observe(double value) {
+  TelemetryCount("drift.observed");
   if (stats_.count() >= config_.min_history) {
     const double spread =
         stats_.stddev() > config_.min_std ? stats_.stddev() : config_.min_std;
     if (value < stats_.mean() - config_.threshold * spread) {
+      TelemetryCount("drift.fired");
       return true;  // drift: keep the pre-drift statistics intact
     }
   }

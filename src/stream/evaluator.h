@@ -12,36 +12,60 @@ namespace faction {
 
 /// Metrics recorded for one task, mirroring the panels of Fig. 2 plus the
 /// quantities Theorem 1 bounds.
+///
+/// Fairness metrics can be *undefined* on degenerate tasks (e.g. a task
+/// whose samples all share one sensitive group leaves DDP meaningless).
+/// Undefined metrics carry value NaN with the matching *_defined flag
+/// cleared; they are excluded from every mean and counted separately —
+/// never coerced to 0.0, which would make a failed computation look like
+/// perfect fairness. The flags default to true so hand-assembled metrics
+/// (tests, adapters) keep their plain-struct ergonomics.
 struct TaskMetrics {
   int task_index = 0;
   int environment = 0;
   double accuracy = 0.0;
-  double ddp = 0.0;  ///< demographic parity difference
-  double eod = 0.0;  ///< equalized odds difference
-  double mi = 0.0;   ///< mutual information I(yhat; s)
+  double ddp = 0.0;  ///< demographic parity difference; NaN when undefined
+  double eod = 0.0;  ///< equalized odds difference; NaN when undefined
+  double mi = 0.0;   ///< mutual information I(yhat; s); NaN when undefined
+  bool ddp_defined = true;
+  bool eod_defined = true;
+  bool mi_defined = true;
   double nll = 0.0;  ///< mean negative log-likelihood (instantaneous loss)
   /// [v(D_t, theta_t)]_+ with the relaxed DDP notion — the per-task term of
   /// the cumulative fairness violation V in Theorem 1.
   double fairness_violation = 0.0;
   std::size_t queries_used = 0;
   double seconds = 0.0;  ///< wall-clock spent on this task
+
+  /// True when at least one fairness metric is undefined on this task.
+  bool AnyMetricUndefined() const {
+    return !ddp_defined || !eod_defined || !mi_defined;
+  }
 };
 
 /// Evaluates the model on a full task (the paper evaluates each incoming
 /// task on all of its samples before adaptation). `notion` instantiates the
 /// violation term. Fairness metrics that are undefined on the task (e.g. a
-/// single-group task) are reported as 0.
+/// single-group task) are reported as NaN with the *_defined flag cleared
+/// and counted in telemetry ("evaluator.*_undefined").
 Result<TaskMetrics> EvaluateOnTask(const FeatureClassifier& model,
                                    const Dataset& task,
                                    FairnessNotion notion);
 
 /// Aggregates per-task metrics into stream-level means (Table I reports
-/// the mean across all tasks).
+/// the mean across all tasks). Fairness means are taken over the tasks on
+/// which the metric is defined ("*_defined_tasks"); when no task defines a
+/// metric its mean is NaN.
 struct StreamSummary {
   double mean_accuracy = 0.0;
   double mean_ddp = 0.0;
   double mean_eod = 0.0;
   double mean_mi = 0.0;
+  std::size_t ddp_defined_tasks = 0;
+  std::size_t eod_defined_tasks = 0;
+  std::size_t mi_defined_tasks = 0;
+  /// Tasks with at least one undefined fairness metric.
+  std::size_t undefined_metric_tasks = 0;
   double total_seconds = 0.0;
   std::size_t total_queries = 0;
 };

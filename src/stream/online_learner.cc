@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/telemetry.h"
 #include "common/timer.h"
 #include "common/workspace.h"
 #include "nn/loss.h"
 #include "stream/oracle.h"
+#include "stream/trace.h"
 
 namespace faction {
 
@@ -29,6 +31,36 @@ void BuildCandidateView(const Dataset& task,
     (*sensitive)[i] = task.sensitive()[idx];
     (*environments)[i] = task.environments()[idx];
   }
+}
+
+// Snapshot of the strategy/drift counters taken at a task boundary;
+// per-task deltas feed the trace record. All zeros when telemetry is off.
+struct CounterSnapshot {
+  std::uint64_t density_full = 0;
+  std::uint64_t density_incremental = 0;
+  std::uint64_t drift_fired = 0;
+
+  static CounterSnapshot Take() {
+    CounterSnapshot s;
+    s.density_full = TelemetryCounterValue("faction.density_full_refit");
+    s.density_incremental =
+        TelemetryCounterValue("faction.density_incremental_refit");
+    s.drift_fired = TelemetryCounterValue("drift.fired");
+    return s;
+  }
+};
+
+// Names the density-refresh mode a task experienced from counter deltas.
+std::string RefitMode(const CounterSnapshot& before,
+                      const CounterSnapshot& after) {
+  if (Telemetry::Get() == nullptr) return "unknown";
+  const std::uint64_t full = after.density_full - before.density_full;
+  const std::uint64_t incremental =
+      after.density_incremental - before.density_incremental;
+  if (full > 0 && incremental > 0) return "mixed";
+  if (full > 0) return "batch";
+  if (incremental > 0) return "incremental";
+  return "none";
 }
 
 }  // namespace
@@ -69,6 +101,11 @@ Result<RunResult> OnlineLearner::Run(const std::vector<Dataset>& tasks) {
   RunResult result;
   result.strategy_name = strategy_->name();
   Timer total_timer;
+  if (config_.trace != nullptr) {
+    FACTION_RETURN_IF_ERROR(
+        config_.trace->WriteRunStart(result.strategy_name));
+  }
+  std::size_t undefined_metric_tasks = 0;
 
   TrainConfig train = config_.train;
   const double base_lr = train.learning_rate;
@@ -84,6 +121,12 @@ Result<RunResult> OnlineLearner::Run(const std::vector<Dataset>& tasks) {
     }
     Timer task_timer;
     LabelOracle oracle(task, config_.budget_per_task);
+    TelemetryCount("learner.tasks");
+    const CounterSnapshot counters_before = CounterSnapshot::Take();
+    std::size_t task_train_steps = 0;
+    std::size_t acquisition_batches = 0;
+    double train_seconds = 0.0;
+    double acquire_seconds = 0.0;
 
     if (t == 0 && config_.warm_start > 0) {
       // Free warm-start labels, identical protocol for every method.
@@ -96,23 +139,32 @@ Result<RunResult> OnlineLearner::Run(const std::vector<Dataset>& tasks) {
         e.label = label;
         FACTION_RETURN_IF_ERROR(pool.Append(e));
       }
-      FACTION_RETURN_IF_ERROR(
-          TrainClassifier(&model, pool, train, &rng, &train_workspace)
-              .status());
+      Timer train_timer;
+      FACTION_ASSIGN_OR_RETURN(
+          TrainReport warm_report,
+          TrainClassifier(&model, pool, train, &rng, &train_workspace));
+      task_train_steps += static_cast<std::size_t>(warm_report.steps);
+      train_seconds += train_timer.ElapsedSeconds();
     }
 
     // Line 4 of Algorithm 1: record performance of theta_{t-1} on D_t^U.
+    Timer evaluate_timer;
     FACTION_ASSIGN_OR_RETURN(TaskMetrics metrics,
                              EvaluateOnTask(model, task, config_.notion));
+    const double evaluate_seconds = evaluate_timer.ElapsedSeconds();
     metrics.task_index = static_cast<int>(t);
 
     // AL iterations: train, score, acquire A labels, repeat until B used.
     while (oracle.budget_remaining() >= 1 && oracle.num_unlabeled() > 0) {
       if (!pool.empty()) {
-        FACTION_RETURN_IF_ERROR(
-            TrainClassifier(&model, pool, train, &rng, &train_workspace)
-                .status());
+        Timer train_timer;
+        FACTION_ASSIGN_OR_RETURN(
+            TrainReport train_report,
+            TrainClassifier(&model, pool, train, &rng, &train_workspace));
+        task_train_steps += static_cast<std::size_t>(train_report.steps);
+        train_seconds += train_timer.ElapsedSeconds();
       }
+      Timer acquire_timer;
       const std::vector<std::size_t> unlabeled = oracle.UnlabeledIndices();
       Matrix cand_features;
       std::vector<int> cand_sensitive, cand_envs;
@@ -130,7 +182,12 @@ Result<RunResult> OnlineLearner::Run(const std::vector<Dataset>& tasks) {
                     unlabeled.size()});
       FACTION_ASSIGN_OR_RETURN(std::vector<std::size_t> picked,
                                strategy_->SelectBatch(ctx, want));
-      if (picked.empty()) break;  // strategy declined; avoid spinning
+      ++acquisition_batches;
+      TelemetryCount("learner.acquisition_batches");
+      if (picked.empty()) {
+        acquire_seconds += acquire_timer.ElapsedSeconds();
+        break;  // strategy declined; avoid spinning
+      }
       if (picked.size() > want) picked.resize(want);
       for (std::size_t pos : picked) {
         if (pos >= unlabeled.size()) {
@@ -143,6 +200,7 @@ Result<RunResult> OnlineLearner::Run(const std::vector<Dataset>& tasks) {
         e.label = label;
         FACTION_RETURN_IF_ERROR(pool.Append(e));
       }
+      acquire_seconds += acquire_timer.ElapsedSeconds();
     }
     // Sliding-window eviction keeps the pool (and the per-iteration
     // training cost) bounded on long streams.
@@ -158,14 +216,19 @@ Result<RunResult> OnlineLearner::Run(const std::vector<Dataset>& tasks) {
     // theta_t <- theta_temp (line 39): fold in the final acquisitions so
     // the next task is met with everything learned from this one.
     if (!pool.empty()) {
-      FACTION_RETURN_IF_ERROR(
-          TrainClassifier(&model, pool, train, &rng, &train_workspace)
-              .status());
+      Timer train_timer;
+      FACTION_ASSIGN_OR_RETURN(
+          TrainReport final_report,
+          TrainClassifier(&model, pool, train, &rng, &train_workspace));
+      task_train_steps += static_cast<std::size_t>(final_report.steps);
+      train_seconds += train_timer.ElapsedSeconds();
     }
 
     metrics.queries_used = oracle.queries_used();
     metrics.seconds = task_timer.ElapsedSeconds();
     result.cumulative_violation += metrics.fairness_violation;
+    TelemetryCount("learner.queries", metrics.queries_used);
+    if (metrics.AnyMetricUndefined()) ++undefined_metric_tasks;
 
     if (config_.dual_ascent && train.use_fairness_penalty) {
       // Long-term-constraints dual update: the multiplier grows while the
@@ -193,12 +256,43 @@ Result<RunResult> OnlineLearner::Run(const std::vector<Dataset>& tasks) {
       result.cumulative_regret += increment;
     }
 
+    if (config_.trace != nullptr) {
+      const CounterSnapshot counters_after = CounterSnapshot::Take();
+      TaskTraceRecord record;
+      record.task_index = metrics.task_index;
+      record.environment = metrics.environment;
+      record.queries_spent = metrics.queries_used;
+      record.acquisition_batches = acquisition_batches;
+      record.train_steps = task_train_steps;
+      record.density_refit_mode = RefitMode(counters_before, counters_after);
+      record.drift_fired =
+          counters_after.drift_fired - counters_before.drift_fired;
+      record.accuracy = metrics.accuracy;
+      record.nll = metrics.nll;
+      record.ddp = metrics.ddp;
+      record.eod = metrics.eod;
+      record.mi = metrics.mi;
+      record.ddp_defined = metrics.ddp_defined;
+      record.eod_defined = metrics.eod_defined;
+      record.mi_defined = metrics.mi_defined;
+      record.wall_evaluate_seconds = evaluate_seconds;
+      record.wall_acquire_seconds = acquire_seconds;
+      record.wall_train_seconds = train_seconds;
+      record.wall_task_seconds = metrics.seconds;
+      FACTION_RETURN_IF_ERROR(config_.trace->WriteTask(record));
+    }
+
     result.per_task.push_back(metrics);
   }
 
   result.summary = Summarize(result.per_task);
   result.total_queries = result.summary.total_queries;
   result.total_seconds = total_timer.ElapsedSeconds();
+  if (config_.trace != nullptr) {
+    FACTION_RETURN_IF_ERROR(config_.trace->WriteRunEnd(
+        result.per_task.size(), result.total_queries,
+        undefined_metric_tasks));
+  }
   return result;
 }
 

@@ -14,6 +14,8 @@
 
 namespace faction {
 
+class TraceWriter;
+
 /// Configuration of the fair active online learning protocol (Sec. IV-A and
 /// Algorithm 1). Defaults follow the paper: B = 200, A = 50, warm start of
 /// 100 free random labels, constant learning rate.
@@ -52,6 +54,13 @@ struct OnlineLearnerConfig {
   /// Decaying learning-rate schedule gamma_t = gamma_0 / (1+t)^power; the
   /// theorem uses power 0.5. 0 keeps the paper's constant rate.
   double lr_decay_power = 0.0;
+  /// Optional JSONL event trace (see stream/trace.h): when set, Run()
+  /// writes a run_start record, one task record per stream task, and a
+  /// run_end record. Borrowed; must outlive Run(). Tracing never changes
+  /// results. Enable the process-wide Telemetry registry as well to
+  /// populate the counter-derived fields (density refit mode, drift
+  /// firings) — without it they degrade to "unknown"/0.
+  TraceWriter* trace = nullptr;
   std::uint64_t seed = 1;
 };
 

@@ -1,8 +1,22 @@
 #include "stream/report.h"
 
+#include <cmath>
+#include <limits>
+
 #include "common/table.h"
+#include "common/telemetry.h"
 
 namespace faction {
+
+namespace {
+
+/// Metric cell: the formatted value when defined, "n/a" otherwise.
+std::string MetricCell(double value, bool defined, int decimals) {
+  if (!defined || std::isnan(value)) return "n/a";
+  return FormatCell(value, decimals);
+}
+
+}  // namespace
 
 std::vector<EnvironmentSummary> SummarizeByEnvironment(
     const RunResult& run) {
@@ -21,43 +35,63 @@ std::vector<EnvironmentSummary> SummarizeByEnvironment(
     EnvironmentSummary& s = out[it->second];
     ++s.num_tasks;
     s.mean_accuracy += m.accuracy;
-    s.mean_ddp += m.ddp;
-    s.mean_eod += m.eod;
-    s.mean_mi += m.mi;
+    // Undefined metrics (NaN + cleared flag) stay out of the sums: one
+    // degenerate task must not poison — or flatter — its environment mean.
+    if (m.ddp_defined) {
+      s.mean_ddp += m.ddp;
+      ++s.ddp_defined_tasks;
+    }
+    if (m.eod_defined) {
+      s.mean_eod += m.eod;
+      ++s.eod_defined_tasks;
+    }
+    if (m.mi_defined) {
+      s.mean_mi += m.mi;
+      ++s.mi_defined_tasks;
+    }
     s.last_task_accuracy = m.accuracy;
   }
+  constexpr double kUndefined = std::numeric_limits<double>::quiet_NaN();
   for (EnvironmentSummary& s : out) {
-    const double n = static_cast<double>(s.num_tasks);
-    s.mean_accuracy /= n;
-    s.mean_ddp /= n;
-    s.mean_eod /= n;
-    s.mean_mi /= n;
+    s.mean_accuracy /= static_cast<double>(s.num_tasks);
+    s.mean_ddp = s.ddp_defined_tasks > 0
+                     ? s.mean_ddp / static_cast<double>(s.ddp_defined_tasks)
+                     : kUndefined;
+    s.mean_eod = s.eod_defined_tasks > 0
+                     ? s.mean_eod / static_cast<double>(s.eod_defined_tasks)
+                     : kUndefined;
+    s.mean_mi = s.mi_defined_tasks > 0
+                    ? s.mean_mi / static_cast<double>(s.mi_defined_tasks)
+                    : kUndefined;
   }
   return out;
 }
 
 void WriteMarkdownReport(const RunResult& run, std::ostream& os) {
+  const StreamSummary& sum = run.summary;
   os << "# Run report: " << run.strategy_name << "\n\n";
   os << "- tasks: " << run.per_task.size() << "\n";
   os << "- total queries: " << run.total_queries << "\n";
   os << "- wall clock: " << FormatCell(run.total_seconds, 2) << " s\n";
-  os << "- stream means: accuracy "
-     << FormatCell(run.summary.mean_accuracy, 3) << ", DDP "
-     << FormatCell(run.summary.mean_ddp, 3) << ", EOD "
-     << FormatCell(run.summary.mean_eod, 3) << ", MI "
-     << FormatCell(run.summary.mean_mi, 3) << "\n\n";
+  os << "- undefined-metric tasks: " << sum.undefined_metric_tasks << "\n";
+  os << "- stream means: accuracy " << FormatCell(sum.mean_accuracy, 3)
+     << ", DDP " << MetricCell(sum.mean_ddp, sum.ddp_defined_tasks > 0, 3)
+     << ", EOD " << MetricCell(sum.mean_eod, sum.eod_defined_tasks > 0, 3)
+     << ", MI " << MetricCell(sum.mean_mi, sum.mi_defined_tasks > 0, 3)
+     << "\n\n";
 
   os << "## Per environment\n\n";
   Table env_table({"env", "tasks", "acc", "DDP", "EOD", "MI",
                    "on-shift acc", "recovered acc"});
   for (const EnvironmentSummary& s : SummarizeByEnvironment(run)) {
-    env_table.AddRow({std::to_string(s.environment),
-                      std::to_string(s.num_tasks),
-                      FormatCell(s.mean_accuracy, 3),
-                      FormatCell(s.mean_ddp, 3), FormatCell(s.mean_eod, 3),
-                      FormatCell(s.mean_mi, 3),
-                      FormatCell(s.first_task_accuracy, 3),
-                      FormatCell(s.last_task_accuracy, 3)});
+    env_table.AddRow(
+        {std::to_string(s.environment), std::to_string(s.num_tasks),
+         FormatCell(s.mean_accuracy, 3),
+         MetricCell(s.mean_ddp, s.ddp_defined_tasks > 0, 3),
+         MetricCell(s.mean_eod, s.eod_defined_tasks > 0, 3),
+         MetricCell(s.mean_mi, s.mi_defined_tasks > 0, 3),
+         FormatCell(s.first_task_accuracy, 3),
+         FormatCell(s.last_task_accuracy, 3)});
   }
   env_table.Print(os);
 
@@ -66,11 +100,18 @@ void WriteMarkdownReport(const RunResult& run, std::ostream& os) {
   for (const TaskMetrics& m : run.per_task) {
     task_table.AddRow({std::to_string(m.task_index + 1),
                        std::to_string(m.environment),
-                       FormatCell(m.accuracy, 3), FormatCell(m.ddp, 3),
-                       FormatCell(m.eod, 3), FormatCell(m.mi, 3),
+                       FormatCell(m.accuracy, 3),
+                       MetricCell(m.ddp, m.ddp_defined, 3),
+                       MetricCell(m.eod, m.eod_defined, 3),
+                       MetricCell(m.mi, m.mi_defined, 3),
                        std::to_string(m.queries_used)});
   }
   task_table.Print(os);
+
+  if (const Telemetry* telemetry = Telemetry::Get()) {
+    os << "\n";
+    telemetry->WriteMarkdown(os);
+  }
 }
 
 void WriteComparisonReport(const std::vector<RunResult>& runs,
@@ -78,11 +119,11 @@ void WriteComparisonReport(const std::vector<RunResult>& runs,
   os << "# Method comparison\n\n";
   Table table({"method", "acc", "DDP", "EOD", "MI", "queries", "seconds"});
   for (const RunResult& run : runs) {
-    table.AddRow({run.strategy_name,
-                  FormatCell(run.summary.mean_accuracy, 3),
-                  FormatCell(run.summary.mean_ddp, 3),
-                  FormatCell(run.summary.mean_eod, 3),
-                  FormatCell(run.summary.mean_mi, 3),
+    const StreamSummary& s = run.summary;
+    table.AddRow({run.strategy_name, FormatCell(s.mean_accuracy, 3),
+                  MetricCell(s.mean_ddp, s.ddp_defined_tasks > 0, 3),
+                  MetricCell(s.mean_eod, s.eod_defined_tasks > 0, 3),
+                  MetricCell(s.mean_mi, s.mi_defined_tasks > 0, 3),
                   std::to_string(run.total_queries),
                   FormatCell(run.total_seconds, 2)});
   }

@@ -12,7 +12,9 @@ namespace faction {
 
 /// Per-environment aggregate of a run: the changing-environments view of
 /// the results (Fig. 2's per-task curves collapse within each
-/// environment).
+/// environment). Fairness means are taken over the tasks on which the
+/// metric is defined ("*_defined_tasks"); a metric defined on no task in
+/// the environment has mean NaN (rendered "n/a" in reports).
 struct EnvironmentSummary {
   int environment = 0;
   std::size_t num_tasks = 0;
@@ -20,6 +22,9 @@ struct EnvironmentSummary {
   double mean_ddp = 0.0;
   double mean_eod = 0.0;
   double mean_mi = 0.0;
+  std::size_t ddp_defined_tasks = 0;
+  std::size_t eod_defined_tasks = 0;
+  std::size_t mi_defined_tasks = 0;
   /// Accuracy on the first task after entering the environment (the
   /// "on-shift" number) versus the last task within it ("recovered").
   double first_task_accuracy = 0.0;
@@ -27,13 +32,15 @@ struct EnvironmentSummary {
 };
 
 /// Groups a run's per-task metrics by environment, preserving first
-/// appearance order.
+/// appearance order. Tasks with undefined fairness metrics are excluded
+/// from the affected means.
 std::vector<EnvironmentSummary> SummarizeByEnvironment(
     const RunResult& run);
 
-/// Renders a markdown report of a run: stream-level summary, per-
-/// environment table, and per-task series. Suitable for dropping into a
-/// results log or issue.
+/// Renders a markdown report of a run: stream-level summary (including the
+/// count of metric-undefined tasks), per-environment table, per-task
+/// series, and — when the process-wide telemetry registry is enabled — a
+/// telemetry section. Suitable for dropping into a results log or issue.
 void WriteMarkdownReport(const RunResult& run, std::ostream& os);
 
 /// Compares several runs (e.g. different methods on the same stream) into

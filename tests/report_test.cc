@@ -1,3 +1,5 @@
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "fairness/metrics.h"
@@ -63,6 +65,50 @@ TEST(ReportTest, MarkdownReportContainsSections) {
   EXPECT_NE(out.find("## Per task"), std::string::npos);
   EXPECT_NE(out.find("on-shift acc"), std::string::npos);
   EXPECT_NE(out.find("total queries: 500"), std::string::npos);
+}
+
+TEST(ReportTest, EnvironmentMeansExcludeUndefinedTasks) {
+  RunResult run = MakeRun();
+  // Make the first env-1 task (per-task index 2, ddp 0.30) undefined.
+  run.per_task[2].ddp = std::numeric_limits<double>::quiet_NaN();
+  run.per_task[2].ddp_defined = false;
+  run.per_task[2].eod = std::numeric_limits<double>::quiet_NaN();
+  run.per_task[2].eod_defined = false;
+  run.summary = Summarize(run.per_task);
+  const std::vector<EnvironmentSummary> envs = SummarizeByEnvironment(run);
+  ASSERT_EQ(envs.size(), 2u);
+  // Env 1 still counts 3 tasks but averages DDP over the 2 defined ones.
+  EXPECT_EQ(envs[1].num_tasks, 3u);
+  EXPECT_EQ(envs[1].ddp_defined_tasks, 2u);
+  EXPECT_NEAR(envs[1].mean_ddp, (0.20 + 0.10) / 2.0, 1e-12);
+  EXPECT_NEAR(envs[1].mean_eod, (0.10 + 0.05) / 2.0, 1e-12);
+  // MI stayed defined everywhere.
+  EXPECT_EQ(envs[1].mi_defined_tasks, 3u);
+  // An environment where the metric is defined nowhere has a NaN mean.
+  RunResult all_undefined = MakeRun();
+  for (TaskMetrics& m : all_undefined.per_task) {
+    m.ddp = std::numeric_limits<double>::quiet_NaN();
+    m.ddp_defined = false;
+  }
+  const std::vector<EnvironmentSummary> none =
+      SummarizeByEnvironment(all_undefined);
+  EXPECT_TRUE(std::isnan(none[0].mean_ddp));
+  EXPECT_EQ(none[0].ddp_defined_tasks, 0u);
+}
+
+TEST(ReportTest, MarkdownRendersUndefinedMetricsAsNa) {
+  RunResult run = MakeRun();
+  run.per_task[2].ddp = std::numeric_limits<double>::quiet_NaN();
+  run.per_task[2].ddp_defined = false;
+  run.summary = Summarize(run.per_task);
+  std::ostringstream os;
+  WriteMarkdownReport(run, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("n/a"), std::string::npos);
+  EXPECT_NE(out.find("undefined-metric tasks: 1"), std::string::npos);
+  // The stream DDP mean is over the 4 defined tasks, not dragged toward 0
+  // by the degenerate one.
+  EXPECT_NE(out.find("DDP 0.150"), std::string::npos);
 }
 
 TEST(ReportTest, ComparisonReportListsMethods) {

@@ -57,9 +57,24 @@ TEST_P(AllMethodsRobustness, SingleGroupTaskSurvives) {
       RunMethodOnStream(GetParam(), tasks, TinyDefaults(), 7);
   ASSERT_TRUE(run.ok()) << GetParam() << ": " << run.status().ToString();
   EXPECT_EQ(run.value().per_task.size(), 3u);
-  // Fairness metrics on the degenerate task are reported as 0, not NaN.
-  EXPECT_EQ(run.value().per_task[1].ddp, 0.0);
-  EXPECT_FALSE(std::isnan(run.value().per_task[1].mi));
+  // Group-comparison metrics on the degenerate task are *undefined* (NaN +
+  // cleared flag), not silently coerced to a perfect-fairness 0.0. MI stays
+  // defined: the joint distribution factorizes trivially with one group.
+  const TaskMetrics& degenerate = run.value().per_task[1];
+  EXPECT_FALSE(degenerate.ddp_defined);
+  EXPECT_TRUE(std::isnan(degenerate.ddp));
+  EXPECT_FALSE(degenerate.eod_defined);
+  EXPECT_TRUE(std::isnan(degenerate.eod));
+  EXPECT_TRUE(degenerate.mi_defined);
+  EXPECT_FALSE(std::isnan(degenerate.mi));
+  // The healthy tasks stay fully defined.
+  EXPECT_TRUE(run.value().per_task[0].ddp_defined);
+  EXPECT_TRUE(run.value().per_task[2].ddp_defined);
+  // The stream summary counts the degenerate task and keeps it out of the
+  // means (which therefore stay finite).
+  EXPECT_EQ(run.value().summary.undefined_metric_tasks, 1u);
+  EXPECT_EQ(run.value().summary.ddp_defined_tasks, 2u);
+  EXPECT_FALSE(std::isnan(run.value().summary.mean_ddp));
 }
 
 TEST_P(AllMethodsRobustness, HeavyClassImbalanceSurvives) {

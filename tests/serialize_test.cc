@@ -1,0 +1,197 @@
+// Serializer v2 guarantees: bitwise-exact hexfloat round-trips (including
+// denormals and signed zeros), rejection of non-finite parameters before a
+// byte is written, legacy v1 (decimal) payloads still loading, and the
+// crash-safe file save that never clobbers a good checkpoint.
+#include <cfloat>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "nn/serialize.h"
+
+namespace faction {
+namespace {
+
+MlpClassifier MakeModel(std::uint64_t seed) {
+  MlpConfig config;
+  config.input_dim = 5;
+  config.hidden_dims = {7};
+  config.spectral.enabled = true;
+  config.spectral.coeff = 2.5;
+  Rng rng(seed);
+  return MlpClassifier(config, &rng);
+}
+
+std::uint64_t Bits(double v) {
+  std::uint64_t out = 0;
+  std::memcpy(&out, &v, sizeof(out));
+  return out;
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream f(path);
+  return f.good();
+}
+
+TEST(SerializeV2Test, HexfloatRoundTripIsBitwiseExact) {
+  MlpClassifier model = MakeModel(1);
+  // Plant adversarial values a decimal printer could mangle: the smallest
+  // denormal, DBL_MAX, a negative zero, and values with long fractions.
+  const std::vector<Matrix*> params = model.Parameters();
+  ASSERT_FALSE(params.empty());
+  Matrix& w = *params[0];
+  ASSERT_GE(w.size(), 6u);
+  w.data()[0] = 4.9406564584124654e-324;  // min denormal
+  w.data()[1] = DBL_MAX;
+  w.data()[2] = -0.0;
+  w.data()[3] = 1.0 / 3.0;
+  w.data()[4] = DBL_MIN;
+  w.data()[5] = -2.2250738585072014e-308;
+
+  std::stringstream ss;
+  ASSERT_TRUE(SaveModel(model, ss).ok());
+  Result<MlpClassifier> loaded = LoadModel(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const MlpClassifier& reloaded = loaded.value();
+  const std::vector<const Matrix*> orig =
+      static_cast<const MlpClassifier&>(model).Parameters();
+  const std::vector<const Matrix*> back =
+      static_cast<const MlpClassifier&>(reloaded).Parameters();
+  ASSERT_EQ(orig.size(), back.size());
+  for (std::size_t t = 0; t < orig.size(); ++t) {
+    ASSERT_EQ(orig[t]->size(), back[t]->size());
+    for (std::size_t i = 0; i < orig[t]->size(); ++i) {
+      EXPECT_EQ(Bits(orig[t]->data()[i]), Bits(back[t]->data()[i]))
+          << "tensor " << t << " element " << i;
+    }
+  }
+}
+
+TEST(SerializeV2Test, SaveRejectsNonFiniteParameters) {
+  for (const double poison : {std::nan(""),
+                              std::numeric_limits<double>::infinity(),
+                              -std::numeric_limits<double>::infinity()}) {
+    MlpClassifier model = MakeModel(2);
+    model.Parameters()[1]->data()[0] = poison;
+    std::stringstream ss;
+    const Status saved = SaveModel(model, ss);
+    EXPECT_EQ(saved.code(), StatusCode::kNumericalError)
+        << saved.ToString();
+    EXPECT_NE(saved.message().find("non-finite"), std::string::npos);
+    // Nothing was written: the failure happens before the header.
+    EXPECT_TRUE(ss.str().empty());
+  }
+}
+
+TEST(SerializeV2Test, LegacyV1DecimalPayloadStillLoads) {
+  // A v1 checkpoint written by the old decimal serializer: a linear model
+  // (empty hidden line) with hand-picked weights.
+  const std::string v1 =
+      "faction-mlp v1\n"
+      "input_dim 2\n"
+      "num_classes 2\n"
+      "hidden\n"
+      "spectral 0 1 1\n"
+      "tensors 2\n"
+      "2 2 0.25 -0.5 1.5 2.2999999999999998\n"
+      "1 2 0.125 -1\n";
+  std::istringstream is(v1);
+  Result<MlpClassifier> loaded = LoadModel(is);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const std::vector<const Matrix*> params =
+      static_cast<const MlpClassifier&>(loaded.value()).Parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0]->data()[0], 0.25);
+  EXPECT_EQ(params[0]->data()[1], -0.5);
+  // max_digits10 decimal round-trips exactly: 2.2999999999999998 is 2.3.
+  EXPECT_EQ(Bits(params[0]->data()[3]), Bits(2.3));
+  EXPECT_EQ(params[1]->data()[1], -1.0);
+  EXPECT_FALSE(loaded.value().config().spectral.enabled);
+}
+
+TEST(SerializeV2Test, LoadRejectsNonFiniteTensorValues) {
+  const std::string bad =
+      "faction-mlp v1\n"
+      "input_dim 2\n"
+      "num_classes 2\n"
+      "hidden\n"
+      "spectral 0 1 1\n"
+      "tensors 2\n"
+      "2 2 0.25 nan 1.5 2.0\n"
+      "1 2 0.125 -1\n";
+  std::istringstream is(bad);
+  const Result<MlpClassifier> loaded = LoadModel(is);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("non-finite"), std::string::npos);
+}
+
+TEST(SerializeV2Test, LoadRejectsMalformedTokens) {
+  const std::string bad =
+      "faction-mlp v2\n"
+      "input_dim 2\n"
+      "num_classes 2\n"
+      "hidden\n"
+      "spectral 0 1 1\n"
+      "tensors 2\n"
+      "2 2 0.25 0.5xyz 1.5 2.0\n"
+      "1 2 0.125 -1\n";
+  std::istringstream is(bad);
+  EXPECT_FALSE(LoadModel(is).ok());
+}
+
+TEST(SerializeV2Test, FailedSaveLeavesPriorCheckpointIntact) {
+  const std::string path = "/tmp/faction_serialize_crash_safe.model";
+  std::remove(path.c_str());
+  MlpClassifier good = MakeModel(3);
+  ASSERT_TRUE(SaveModelToFile(good, path).ok());
+
+  // A later save of a corrupted model fails...
+  MlpClassifier poisoned = MakeModel(4);
+  poisoned.Parameters()[0]->data()[0] = std::nan("");
+  const Status failed = SaveModelToFile(poisoned, path);
+  EXPECT_EQ(failed.code(), StatusCode::kNumericalError);
+
+  // ...but the original checkpoint still loads, bit-for-bit, and no temp
+  // file is left behind.
+  Result<MlpClassifier> reloaded = LoadModelFromFile(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  const std::vector<const Matrix*> orig =
+      static_cast<const MlpClassifier&>(good).Parameters();
+  const std::vector<const Matrix*> back =
+      static_cast<const MlpClassifier&>(reloaded.value()).Parameters();
+  ASSERT_EQ(orig.size(), back.size());
+  for (std::size_t t = 0; t < orig.size(); ++t) {
+    for (std::size_t i = 0; i < orig[t]->size(); ++i) {
+      EXPECT_EQ(Bits(orig[t]->data()[i]), Bits(back[t]->data()[i]));
+    }
+  }
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeV2Test, SaveToUnopenablePathFails) {
+  MlpClassifier model = MakeModel(5);
+  const Status saved =
+      SaveModelToFile(model, "/tmp/no_such_dir_faction/x.model");
+  EXPECT_EQ(saved.code(), StatusCode::kNotFound);
+}
+
+TEST(SerializeV2Test, ConstParametersMatchMutableParameters) {
+  MlpClassifier model = MakeModel(6);
+  const std::vector<Matrix*> mut = model.Parameters();
+  const std::vector<const Matrix*> cons =
+      static_cast<const MlpClassifier&>(model).Parameters();
+  ASSERT_EQ(mut.size(), cons.size());
+  for (std::size_t i = 0; i < mut.size(); ++i) {
+    EXPECT_EQ(static_cast<const Matrix*>(mut[i]), cons[i]);
+  }
+}
+
+}  // namespace
+}  // namespace faction

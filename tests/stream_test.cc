@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/rng.h"
@@ -247,6 +248,74 @@ TEST(EvaluatorTest, SummarizeEmpty) {
   const StreamSummary s = Summarize({});
   EXPECT_EQ(s.mean_accuracy, 0.0);
   EXPECT_EQ(s.total_queries, 0u);
+}
+
+// Regression: before the undefined-metric fix, a task whose samples all
+// share one sensitive group reported DDP = EOD = 0.0 — a failed
+// computation masquerading as perfect fairness.
+TEST(EvaluatorTest, SingleGroupTaskReportsUndefinedNotZero) {
+  Dataset task(2);
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    Example e;
+    e.label = i % 2;
+    e.sensitive = 1;  // every sample in group +1
+    e.x = {rng.Gaussian(), rng.Gaussian()};
+    ASSERT_TRUE(task.Append(e).ok());
+  }
+  Rng model_rng(4);
+  MlpConfig config;
+  config.input_dim = 2;
+  config.hidden_dims = {4};
+  MlpClassifier model(config, &model_rng);
+  const Result<TaskMetrics> metrics =
+      EvaluateOnTask(model, task, FairnessNotion::kDdp);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  const TaskMetrics& m = metrics.value();
+  EXPECT_FALSE(m.ddp_defined);
+  EXPECT_TRUE(std::isnan(m.ddp));
+  EXPECT_FALSE(m.eod_defined);
+  EXPECT_TRUE(std::isnan(m.eod));
+  // MI of a one-group task is 0 (the joint factorizes), i.e. defined.
+  EXPECT_TRUE(m.mi_defined);
+  EXPECT_EQ(m.mi, 0.0);
+  EXPECT_TRUE(m.AnyMetricUndefined());
+}
+
+// Undefined tasks are excluded from the stream means rather than dragged
+// in as zeros, and are counted explicitly.
+TEST(EvaluatorTest, SummarizeExcludesUndefinedTasks) {
+  TaskMetrics ok1, ok2, degenerate;
+  ok1.ddp = 0.2;
+  ok1.eod = 0.1;
+  ok1.mi = 0.04;
+  ok2.ddp = 0.4;
+  ok2.eod = 0.3;
+  ok2.mi = 0.08;
+  degenerate.ddp = std::numeric_limits<double>::quiet_NaN();
+  degenerate.ddp_defined = false;
+  degenerate.eod = std::numeric_limits<double>::quiet_NaN();
+  degenerate.eod_defined = false;
+  degenerate.mi = 0.0;  // MI stays defined on single-group tasks
+  const StreamSummary s = Summarize({ok1, degenerate, ok2});
+  EXPECT_NEAR(s.mean_ddp, 0.3, 1e-12);
+  EXPECT_NEAR(s.mean_eod, 0.2, 1e-12);
+  EXPECT_NEAR(s.mean_mi, 0.04, 1e-12);
+  EXPECT_EQ(s.ddp_defined_tasks, 2u);
+  EXPECT_EQ(s.eod_defined_tasks, 2u);
+  EXPECT_EQ(s.mi_defined_tasks, 3u);
+  EXPECT_EQ(s.undefined_metric_tasks, 1u);
+}
+
+// When NO task defines a metric, its mean is NaN — never a fabricated 0.
+TEST(EvaluatorTest, SummarizeAllUndefinedMeanIsNan) {
+  TaskMetrics m;
+  m.ddp = std::numeric_limits<double>::quiet_NaN();
+  m.ddp_defined = false;
+  const StreamSummary s = Summarize({m});
+  EXPECT_TRUE(std::isnan(s.mean_ddp));
+  EXPECT_EQ(s.ddp_defined_tasks, 0u);
+  EXPECT_EQ(s.undefined_metric_tasks, 1u);
 }
 
 }  // namespace

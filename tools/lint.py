@@ -9,6 +9,8 @@ Rules (each reported as file:line: message):
                   (`= delete` for deleted members is fine)
   no-assert       no bare assert(); use FACTION_CHECK* / FACTION_DCHECK*
                   from common/check.h so failures are logged before abort
+  no-const-cast   no const_cast under src/ — add a const overload instead
+                  (the serializer's const Parameters() is the pattern)
 
 Exit status: 0 when clean, 1 when any finding is reported.
 """
@@ -24,6 +26,11 @@ SOURCE_DIRS = ("src", "tests", "bench", "examples")
 EXTENSIONS = {".cc", ".h", ".cpp"}
 
 RAND_ALLOWED = {Path("src/common/rng.h"), Path("src/common/rng.cc")}
+
+# const_cast is banned in src/ (library code): every historical use has
+# been replaced by a const overload. Files may be allowlisted here only
+# with a comment explaining why no const-correct design exists.
+CONST_CAST_ALLOWED: set[Path] = set()
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -117,6 +124,7 @@ RAND_RE = re.compile(r"(?<![\w:])s?rand\s*\(")
 NEW_RE = re.compile(r"(?<![\w_])new\b")
 ASSERT_RE = re.compile(r"(?<![\w_])assert\s*\(")
 ASSERT_INCLUDE_RE = re.compile(r'#\s*include\s*[<"](cassert|assert\.h)[>"]')
+CONST_CAST_RE = re.compile(r"(?<![\w_])const_cast\s*<")
 
 
 def check_code_rules(rel: Path, code: str, findings: list) -> None:
@@ -137,6 +145,11 @@ def check_code_rules(rel: Path, code: str, findings: list) -> None:
         if ASSERT_INCLUDE_RE.search(line):
             findings.append(
                 (rel, lineno, "<cassert> include banned; use common/check.h"))
+        if (rel.parts[0] == "src" and rel not in CONST_CAST_ALLOWED
+                and CONST_CAST_RE.search(line)):
+            findings.append(
+                (rel, lineno,
+                 "const_cast banned in src/; add a const overload instead"))
 
 
 def main() -> int:

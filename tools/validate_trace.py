@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Validates a FACTION JSONL run trace against schema v1 (DESIGN.md §11).
+
+Usage: tools/validate_trace.py <trace.jsonl>
+
+Checks:
+  * every line is a standalone JSON object with a known "type"
+  * the first record is run_start (schema_version 1), the last is run_end
+  * exactly one run_start / run_end; every other record is a task
+  * task records carry all required keys with the right types;
+    metrics.{ddp,eod,mi} may be null only when metric_defined.* is false
+  * task_index values are consecutive from 0
+  * run_end totals agree with the task records
+
+Exit status: 0 when valid, 1 with a diagnostic otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+REFIT_MODES = {"batch", "incremental", "mixed", "none", "unknown"}
+
+TASK_INT_KEYS = ("task_index", "environment", "queries",
+                 "acquisition_batches", "train_steps", "drift_fired")
+METRIC_KEYS = ("accuracy", "nll", "ddp", "eod", "mi")
+DEFINED_KEYS = ("ddp", "eod", "mi")
+WALL_KEYS = ("evaluate_seconds", "acquire_seconds", "train_seconds",
+             "task_seconds")
+
+
+def fail(lineno: int, message: str) -> None:
+    print(f"validate_trace: line {lineno}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(condition: bool, lineno: int, message: str) -> None:
+    if not condition:
+        fail(lineno, message)
+
+
+def check_task(record: dict, lineno: int) -> None:
+    for key in TASK_INT_KEYS:
+        require(isinstance(record.get(key), int) and record[key] >= 0,
+                lineno, f"task record needs non-negative int '{key}'")
+    require(record.get("density_refit_mode") in REFIT_MODES, lineno,
+            f"density_refit_mode must be one of {sorted(REFIT_MODES)}")
+
+    metrics = record.get("metrics")
+    require(isinstance(metrics, dict), lineno, "task record needs 'metrics'")
+    defined = record.get("metric_defined")
+    require(isinstance(defined, dict), lineno,
+            "task record needs 'metric_defined'")
+    for key in METRIC_KEYS:
+        require(key in metrics, lineno, f"metrics.{key} missing")
+        value = metrics[key]
+        require(value is None or isinstance(value, (int, float)), lineno,
+                f"metrics.{key} must be a number or null")
+    for key in DEFINED_KEYS:
+        flag = defined.get(key)
+        require(isinstance(flag, bool), lineno,
+                f"metric_defined.{key} must be a bool")
+        if metrics[key] is None:
+            require(not flag, lineno,
+                    f"metrics.{key} is null but metric_defined.{key} is true")
+        else:
+            require(flag, lineno,
+                    f"metrics.{key} has a value but metric_defined.{key} "
+                    "is false")
+    for key in ("accuracy", "nll"):
+        require(metrics[key] is not None, lineno,
+                f"metrics.{key} must never be null")
+
+    wall = record.get("wall")
+    require(isinstance(wall, dict), lineno, "task record needs 'wall'")
+    for key in WALL_KEYS:
+        require(isinstance(wall.get(key), (int, float)) and wall[key] >= 0,
+                lineno, f"wall.{key} must be a non-negative number")
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1], encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as err:
+        print(f"validate_trace: {err}", file=sys.stderr)
+        return 1
+    if not lines:
+        print("validate_trace: empty trace", file=sys.stderr)
+        return 1
+
+    tasks = []
+    run_end = None
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as err:
+            fail(lineno, f"not valid JSON: {err}")
+        require(isinstance(record, dict), lineno, "record must be an object")
+        kind = record.get("type")
+        if lineno == 1:
+            require(kind == "run_start", lineno,
+                    "first record must be run_start")
+            require(record.get("schema_version") == SCHEMA_VERSION, lineno,
+                    f"schema_version must be {SCHEMA_VERSION}")
+            require(isinstance(record.get("strategy"), str), lineno,
+                    "run_start needs a string 'strategy'")
+            continue
+        require(kind in ("task", "run_end"), lineno,
+                f"unknown record type {kind!r}")
+        require(run_end is None, lineno, "record after run_end")
+        if kind == "task":
+            check_task(record, lineno)
+            require(record["task_index"] == len(tasks), lineno,
+                    f"task_index must be consecutive (expected {len(tasks)})")
+            tasks.append(record)
+        else:
+            run_end = (record, lineno)
+
+    if run_end is None:
+        fail(len(lines), "missing run_end record")
+    record, lineno = run_end
+    require(record.get("tasks") == len(tasks), lineno,
+            f"run_end.tasks {record.get('tasks')} != {len(tasks)} task records")
+    total_queries = sum(t["queries"] for t in tasks)
+    require(record.get("total_queries") == total_queries, lineno,
+            f"run_end.total_queries {record.get('total_queries')} != "
+            f"sum of task queries {total_queries}")
+    undefined = sum(
+        1 for t in tasks if not all(t["metric_defined"].values()))
+    require(record.get("undefined_metric_tasks") == undefined, lineno,
+            f"run_end.undefined_metric_tasks "
+            f"{record.get('undefined_metric_tasks')} != {undefined}")
+
+    print(f"validate_trace: OK ({len(tasks)} task record(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
