@@ -22,6 +22,7 @@
 #include "stream/evaluator.h"
 #include "tensor/image.h"
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 
 namespace faction {
 namespace {
@@ -410,6 +411,109 @@ void BM_DensityRefitIncremental(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kAcquisition);
 }
 BENCHMARK(BM_DensityRefitIncremental)->Arg(2400);
+
+// --------------------------- SIMD micro-kernel compute layer (PR 5)
+
+// Pins the dispatch tier for one benchmark run; range(0) indexes
+// SimdLevel. Unsupported tiers skip instead of silently measuring the
+// fallback.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level) : saved_(ActiveSimdLevel()) {
+    ok_ = SetSimdLevel(level).ok();
+  }
+  ~ScopedSimdLevel() { (void)SetSimdLevel(saved_); }
+  bool ok() const { return ok_; }
+
+ private:
+  SimdLevel saved_;
+  bool ok_ = false;
+};
+
+// Square-GEMM throughput of the packed micro-kernel per dispatch tier;
+// items processed = FLOPs, so the reported rate reads as FLOP/s.
+void BM_GemmMicroKernel(benchmark::State& state) {
+  const SimdLevel level = static_cast<SimdLevel>(state.range(0));
+  ScopedSimdLevel guard(level);
+  if (!guard.ok()) {
+    state.SkipWithError("SIMD level unsupported on this host");
+    return;
+  }
+  Rng rng(51);
+  const std::size_t n = 256;
+  const Matrix a = RandomMatrix(n, n, &rng);
+  const Matrix b = RandomMatrix(n, n, &rng);
+  Matrix c;
+  for (auto _ : state) {
+    MatMulInto(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(2 * n * n * n));
+  state.SetLabel(SimdLevelName(level));
+}
+BENCHMARK(BM_GemmMicroKernel)->Arg(0)->Arg(1)->Arg(2);
+
+// BM_PoolScoring with the dispatch tier pinned: isolates how much of the
+// scoring path rides the vectorized solve/GEMM kernels.
+void BM_PoolScoringSimd(benchmark::State& state) {
+  const SimdLevel level = static_cast<SimdLevel>(state.range(0));
+  ScopedSimdLevel guard(level);
+  if (!guard.ok()) {
+    state.SkipWithError("SIMD level unsupported on this host");
+    return;
+  }
+  const std::size_t n = 2000;
+  const Dataset pool = MakePool(400, 16, 35);
+  const Dataset candidates = MakePool(n, 16, 36);
+  CovarianceConfig config;
+  Result<FairDensityEstimator> est = FairDensityEstimator::Fit(
+      pool.features(), pool.labels(), pool.sensitive(), config);
+  FACTION_CHECK(est.ok());
+  Matrix proba(n, 2, 0.5);
+  FactionScoreScratch scratch;
+  for (auto _ : state) {
+    Result<std::vector<FactionScore>> scores = ComputeFactionScores(
+        est.value(), candidates.features(), proba, 0.5, true, &scratch);
+    benchmark::DoNotOptimize(scores);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+  state.SetLabel(SimdLevelName(level));
+}
+BENCHMARK(BM_PoolScoringSimd)->Arg(0)->Arg(1)->Arg(2);
+
+// BM_TrainStep with the dispatch tier pinned: the MLP training pass is
+// GEMM-bound, so this measures the micro-kernel end to end.
+void BM_TrainStepSimd(benchmark::State& state) {
+  const SimdLevel level = static_cast<SimdLevel>(state.range(0));
+  ScopedSimdLevel guard(level);
+  if (!guard.ok()) {
+    state.SkipWithError("SIMD level unsupported on this host");
+    return;
+  }
+  const std::size_t n = 800;
+  const Dataset pool = MakePool(n, 16, 5);
+  Rng rng(7);
+  MlpConfig mconfig;
+  mconfig.input_dim = 16;
+  mconfig.hidden_dims = {48, 16};
+  mconfig.spectral.enabled = true;
+  TrainConfig tconfig;
+  tconfig.epochs = 1;
+  Workspace workspace;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng model_rng(11);
+    MlpClassifier model(mconfig, &model_rng);
+    state.ResumeTiming();
+    Result<TrainReport> report =
+        TrainClassifier(&model, pool, tconfig, &rng, &workspace);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+  state.SetLabel(SimdLevelName(level));
+}
+BENCHMARK(BM_TrainStepSimd)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 }  // namespace faction

@@ -114,15 +114,19 @@ Result<std::vector<std::size_t>> FactionStrategy::SelectBatch(
   FACTION_ASSIGN_OR_RETURN(
       std::vector<FactionScore> scores,
       ComputeFactionScores(*est, cand_z, proba, config_.lambda,
-                           config_.fair_select));
+                           config_.fair_select, &score_scratch_));
 
   // Eq. 7: omega(x) = 1 - Normalize(u(x)); lower u = higher probability.
-  std::vector<double> u(n);
-  for (std::size_t i = 0; i < n; ++i) u[i] = scores[i].u;
-  std::vector<double> omega = MinMaxNormalize(u);
+  // All scoring/normalization buffers are member scratch, so steady-state
+  // acquisition allocates only the returned index vector.
+  u_scratch_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) u_scratch_[i] = scores[i].u;
+  MinMaxNormalizeInto(u_scratch_, &selection_scratch_.normalized);
+  std::vector<double>& omega = selection_scratch_.normalized;
   for (double& w : omega) w = 1.0 - w;
 
-  return BernoulliSelect(omega, config_.alpha, batch, context.rng);
+  return BernoulliSelect(omega, config_.alpha, batch, context.rng,
+                         &selection_scratch_);
 }
 
 }  // namespace faction

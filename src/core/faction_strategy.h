@@ -3,10 +3,12 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/fair_score.h"
 #include "density/fair_density.h"
 #include "density/gaussian.h"
+#include "stream/selection.h"
 #include "stream/strategy.h"
 
 namespace faction {
@@ -71,6 +73,11 @@ class FactionStrategy : public QueryStrategy {
   std::optional<FairDensityEstimator> estimator_;
   std::size_t fitted_rows_ = 0;
   std::size_t updates_since_fit_ = 0;
+  // Per-iteration scoring/selection buffers, reused across SelectBatch
+  // calls so steady-state acquisition allocates only the returned indices.
+  FactionScoreScratch score_scratch_;
+  SelectionScratch selection_scratch_;
+  std::vector<double> u_scratch_;
 };
 
 }  // namespace faction

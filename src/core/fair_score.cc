@@ -31,10 +31,12 @@ double LogAbsExpDiff(double a, double b) {
   return hi + std::log1p(-std::exp(-gap));
 }
 
-// Min-max normalizes `values` treating -inf entries as the minimum: they
-// map to 0. All-(-inf) or constant batches map to all-0.5 (every candidate
-// equally preferable on this term).
-std::vector<double> NormalizeLogTerm(const std::vector<double>& values) {
+// Min-max normalizes `values` into *out, treating -inf entries as the
+// minimum: they map to 0. All-(-inf) or constant batches map to all-0.5
+// (every candidate equally preferable on this term). Writes through a
+// caller-provided buffer so per-iteration pool scoring allocates nothing.
+void NormalizeLogTermInto(const std::vector<double>& values,
+                          std::vector<double>* out) {
   double mn = std::numeric_limits<double>::infinity();
   double mx = kNegInf;
   for (double v : values) {
@@ -42,26 +44,26 @@ std::vector<double> NormalizeLogTerm(const std::vector<double>& values) {
     mn = std::min(mn, v);
     mx = std::max(mx, v);
   }
-  std::vector<double> out(values.size(), 0.5);
+  out->assign(values.size(), 0.5);
+  double* o = out->data();
   if (!std::isfinite(mx) || mx - mn < 1e-300) {
     // No finite spread; but map -inf (no signal) below the rest.
     for (std::size_t i = 0; i < values.size(); ++i) {
-      if (!std::isfinite(values[i]) && std::isfinite(mx)) out[i] = 0.0;
+      if (!std::isfinite(values[i]) && std::isfinite(mx)) o[i] = 0.0;
     }
-    return out;
+    return;
   }
   for (std::size_t i = 0; i < values.size(); ++i) {
-    out[i] =
-        std::isfinite(values[i]) ? (values[i] - mn) / (mx - mn) : 0.0;
+    o[i] = std::isfinite(values[i]) ? (values[i] - mn) / (mx - mn) : 0.0;
   }
-  return out;
 }
 
 }  // namespace
 
 Result<std::vector<FactionScore>> ComputeFactionScores(
     const FairDensityEstimator& estimator, const Matrix& features,
-    const Matrix& class_proba, double lambda, bool fair_select) {
+    const Matrix& class_proba, double lambda, bool fair_select,
+    FactionScoreScratch* scratch) {
   const std::size_t n = features.rows();
   constexpr int kClasses = FairDensityEstimator::kNumClasses;
   if (class_proba.rows() != n ||
@@ -84,10 +86,15 @@ Result<std::vector<FactionScore>> ComputeFactionScores(
   // so fair selection no longer re-evaluates any Gaussian — the legacy
   // per-sample path solved every component a second time through
   // ComponentLogDensities when fair_select was on.
-  Matrix comp;
+  FactionScoreScratch local;
+  FactionScoreScratch* s = scratch != nullptr ? scratch : &local;
+  Matrix& comp = s->component_logpdf;
   estimator.ComponentLogPdfBatch(features, &comp);
 
-  std::vector<double> log_density(n), log_unfair(n, kNegInf);
+  std::vector<double>& log_density = s->log_density;
+  std::vector<double>& log_unfair = s->log_unfair;
+  log_density.resize(n);
+  log_unfair.assign(n, kNegInf);
   estimator.LogMarginalFromComponents(comp, log_density.data());
 
   if (fair_select) {
@@ -117,8 +124,10 @@ Result<std::vector<FactionScore>> ComputeFactionScores(
     out[i].log_unfairness = log_unfair[i];
   }
 
-  const std::vector<double> density_norm = NormalizeLogTerm(log_density);
-  const std::vector<double> unfair_norm = NormalizeLogTerm(log_unfair);
+  NormalizeLogTermInto(log_density, &s->density_norm);
+  NormalizeLogTermInto(log_unfair, &s->unfair_norm);
+  const std::vector<double>& density_norm = s->density_norm;
+  const std::vector<double>& unfair_norm = s->unfair_norm;
   for (std::size_t i = 0; i < n; ++i) {
     out[i].u = density_norm[i] -
                (fair_select ? lambda * unfair_norm[i] : 0.0);

@@ -32,6 +32,19 @@ struct FactionScore {
   double log_unfairness = 0.0;
 };
 
+/// Reusable intermediates for ComputeFactionScores: the per-component
+/// log-density matrix and the per-term log/normalized vectors. A strategy
+/// keeps one across AL iterations so pool scoring stops allocating
+/// O(pool * components) every round. Buffers grow on demand and keep their
+/// capacity; never share one across concurrent callers.
+struct FactionScoreScratch {
+  Matrix component_logpdf;
+  std::vector<double> log_density;
+  std::vector<double> log_unfair;
+  std::vector<double> density_norm;
+  std::vector<double> unfair_norm;
+};
+
 /// Computes FACTION scores for a batch of feature vectors.
 ///
 /// `features` holds one z per row; `class_proba` holds the softmax
@@ -42,10 +55,13 @@ struct FactionScore {
 /// The whole pool is scored in one batched pass: component log-densities
 /// are computed once per component via blocked triangular solves and shared
 /// between the marginal-density and unfairness terms. Scores are bitwise
-/// identical for any FACTION_NUM_THREADS setting.
+/// identical for any FACTION_NUM_THREADS setting. `scratch` is optional;
+/// passing one reuses its buffers instead of allocating per call (the
+/// scores themselves are unaffected).
 Result<std::vector<FactionScore>> ComputeFactionScores(
     const FairDensityEstimator& estimator, const Matrix& features,
-    const Matrix& class_proba, double lambda, bool fair_select);
+    const Matrix& class_proba, double lambda, bool fair_select,
+    FactionScoreScratch* scratch = nullptr);
 
 }  // namespace faction
 

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "tensor/linalg.h"
+#include "tensor/simd.h"
 
 namespace faction {
 
@@ -201,6 +202,7 @@ void Gaussian::LogPdfBatch(const Matrix& zs, double* out) const {
   // Samples per block: bounds the dim-major scratch to ~d * 2KB while
   // leaving enough blocks to parallelize a pool-sized batch.
   constexpr std::size_t kBlock = 256;
+  const SimdKernels& kern = ActiveSimd();
   ParallelFor(0, n, kBlock, [&](std::size_t s0, std::size_t s1) {
     const std::size_t width = s1 - s0;
     // Dim-major scratch: y[j * width + t] belongs to sample s0 + t, so the
@@ -212,27 +214,12 @@ void Gaussian::LogPdfBatch(const Matrix& zs, double* out) const {
         y[j * width + t] = zrow[j] - mean_[j];
       }
     }
-    // Forward solve L Y = C for the whole block; per sample this is the
-    // exact operation order of ForwardSolve (ascending k, then a divide).
-    for (std::size_t j = 0; j < d; ++j) {
-      const double* lrow = chol_.row_data(j);
-      double* yj = y.data() + j * width;
-      for (std::size_t k = 0; k < j; ++k) {
-        const double ljk = lrow[k];
-        const double* yk = y.data() + k * width;
-        for (std::size_t t = 0; t < width; ++t) yj[t] -= ljk * yk[t];
-      }
-      const double ljj = lrow[j];
-      for (std::size_t t = 0; t < width; ++t) yj[t] /= ljj;
-    }
-    for (std::size_t t = 0; t < width; ++t) {
-      double maha = 0.0;
-      for (std::size_t j = 0; j < d; ++j) {
-        const double v = y[j * width + t];
-        maha += v * v;
-      }
-      out[s0 + t] = -0.5 * (base + maha);
-    }
+    // Vectorized forward solve + Mahalanobis reduction across the block's
+    // sample lanes. Per sample this replays the exact operation order of
+    // ForwardSolve (ascending k, then one divide) and the ascending-j
+    // squared-norm sum, so the result is bitwise identical to per-sample
+    // LogPdf at every dispatch level (tests/simd_test.cc pins this).
+    kern.logpdf_block(chol_.data(), d, y.data(), width, base, out + s0);
     // One finiteness sweep per block instead of one check per sample in
     // the hot accumulation loop.
     FACTION_DCHECK_FINITE_ALL(out + s0, width);

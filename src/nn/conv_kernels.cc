@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "tensor/simd.h"
 
 namespace faction {
 
@@ -108,19 +109,11 @@ void GemmConvForward(const ConvGeometry& g, std::size_t out_channels,
   scratch->col.resize(patch * ohw);
   double* col = scratch->col.data();
   Im2Col(x, g, col);
-  for (std::size_t oc = 0; oc < out_channels; ++oc) {
-    const double* kernel = w + oc * patch;
-    double* dst = y + oc * ohw;
-    std::fill(dst, dst + ohw, bias[oc]);
-    // Ascending-k axpy panels reproduce the naive kernel's accumulation
-    // order per output element: acc = bias, then += w[k]*tap(k) for k
-    // ascending. Padding taps contribute exact zeros (see header).
-    for (std::size_t k = 0; k < patch; ++k) {
-      const double wk = kernel[k];
-      const double* crow = col + k * ohw;
-      for (std::size_t j = 0; j < ohw; ++j) dst[j] += wk * crow[j];
-    }
-  }
+  // The SIMD micro-kernel keeps per-register accumulators per output
+  // element, initialized to the bias and updated in ascending k — the same
+  // chain as the naive kernel's acc = bias; acc += w[k]*tap(k). Padding
+  // taps contribute exact zeros (see header).
+  ActiveSimd().conv_forward(w, col, bias, y, out_channels, patch, ohw);
 }
 
 void GemmConvBackward(const ConvGeometry& g, std::size_t out_channels,
@@ -138,6 +131,7 @@ void GemmConvBackward(const ConvGeometry& g, std::size_t out_channels,
   scratch->colt.resize(ohw * patch);
   double* colt = scratch->colt.data();
   Im2ColRows(x, g, colt);
+  const SimdKernels& kern = ActiveSimd();
   for (std::size_t oc = 0; oc < out_channels; ++oc) {
     double* gkernel = gw + oc * patch;
     const double* grad = dy + oc * ohw;
@@ -146,8 +140,7 @@ void GemmConvBackward(const ConvGeometry& g, std::size_t out_channels,
       const double gval = grad[o];
       if (gval == 0.0) continue;
       gbias += gval;
-      const double* prow = colt + o * patch;
-      for (std::size_t k = 0; k < patch; ++k) gkernel[k] += gval * prow[k];
+      kern.axpy(gval, colt + o * patch, gkernel, patch);
     }
     gb[oc] += gbias;
   }

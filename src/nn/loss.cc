@@ -6,6 +6,7 @@
 #include "common/parallel.h"
 
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 
 namespace faction {
 
@@ -65,6 +66,11 @@ double FusedSoftmaxCrossEntropy(const Matrix& logits,
   // lse = mx + log(sum exp(r[j]-mx)) with the same ascending-j sum, the
   // gradient is exp(r[j]-lse) — the same value LogSoftmaxRows would have
   // materialized — and the per-row loss is -(r[y]-lse).
+  // The SIMD row_max may pick the other sign when +0.0 and -0.0 tie for
+  // the row maximum; exp(x - mx) and mx + log(sum) are bitwise invariant
+  // to that sign flip (DESIGN.md §12), so the results stay identical. The
+  // vectorized divide performs the same one rounded division per element.
+  const SimdKernels& kern = ActiveSimd();
   ParallelFor(0, n, kLossRowGrain, [&](std::size_t r0, std::size_t r1) {
     for (std::size_t i = r0; i < r1; ++i) {
       const int y = labels[i];
@@ -72,8 +78,7 @@ double FusedSoftmaxCrossEntropy(const Matrix& logits,
       FACTION_CHECK_LT(static_cast<std::size_t>(y), c);
       const double* lrow = logits.row_data(i);
       double* drow = dlogits->row_data(i);
-      double mx = lrow[0];
-      for (std::size_t j = 1; j < c; ++j) mx = std::max(mx, lrow[j]);
+      const double mx = kern.row_max(lrow, c);
       double sum = 0.0;
       for (std::size_t j = 0; j < c; ++j) sum += std::exp(lrow[j] - mx);
       const double lse = mx + std::log(sum);
@@ -82,7 +87,7 @@ double FusedSoftmaxCrossEntropy(const Matrix& logits,
         drow[j] = std::exp(lrow[j] - lse);
       }
       drow[static_cast<std::size_t>(y)] -= 1.0;
-      for (std::size_t j = 0; j < c; ++j) drow[j] /= batch_n;
+      kern.divide(drow, c, batch_n);
     }
   });
   // Serial reduction in ascending row order — the same association the

@@ -9,6 +9,7 @@
 #include "nn/loss.h"
 #include "stream/oracle.h"
 #include "stream/trace.h"
+#include "tensor/simd.h"
 
 namespace faction {
 
@@ -101,6 +102,9 @@ Result<RunResult> OnlineLearner::Run(const std::vector<Dataset>& tasks) {
   RunResult result;
   result.strategy_name = strategy_->name();
   Timer total_timer;
+  // Record the resolved dispatch tier once per run so telemetry reports
+  // carry the same provenance as the trace's run_start record.
+  PublishSimdTelemetry();
   if (config_.trace != nullptr) {
     FACTION_RETURN_IF_ERROR(
         config_.trace->WriteRunStart(result.strategy_name));

@@ -1,34 +1,57 @@
 #include "stream/selection.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 
 namespace faction {
 
-std::vector<double> MinMaxNormalize(const std::vector<double>& scores) {
-  std::vector<double> out(scores.size(), 0.5);
-  if (scores.empty()) return out;
+namespace {
+
+// Sort key that maps NaN to -inf so the descending comparators below are a
+// strict weak ordering even on NaN-polluted scores. Raw `a > b` with NaN
+// violates transitivity of equivalence, which is UB for std::stable_sort.
+inline double SortKey(double v) {
+  return std::isnan(v) ? -std::numeric_limits<double>::infinity() : v;
+}
+
+}  // namespace
+
+void MinMaxNormalizeInto(const std::vector<double>& scores,
+                         std::vector<double>* out) {
+  out->assign(scores.size(), 0.5);
+  if (scores.empty()) return;
   const auto [mn_it, mx_it] = std::minmax_element(scores.begin(), scores.end());
   const double mn = *mn_it;
   const double mx = *mx_it;
-  if (mx - mn < 1e-300) return out;  // constant scores
+  if (mx - mn < 1e-300) return;  // constant scores
+  double* o = out->data();
   for (std::size_t i = 0; i < scores.size(); ++i) {
-    out[i] = (scores[i] - mn) / (mx - mn);
+    o[i] = (scores[i] - mn) / (mx - mn);
   }
+}
+
+std::vector<double> MinMaxNormalize(const std::vector<double>& scores) {
+  std::vector<double> out;
+  MinMaxNormalizeInto(scores, &out);
   return out;
 }
 
 std::vector<std::size_t> BernoulliSelect(const std::vector<double>& omega,
                                          double alpha, std::size_t batch,
-                                         Rng* rng) {
-  std::vector<std::size_t> order(omega.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(),
+                                         Rng* rng,
+                                         SelectionScratch* scratch) {
+  SelectionScratch local;
+  SelectionScratch* s = scratch != nullptr ? scratch : &local;
+  s->order.resize(omega.size());
+  std::iota(s->order.begin(), s->order.end(), std::size_t{0});
+  std::stable_sort(s->order.begin(), s->order.end(),
                    [&](std::size_t a, std::size_t b) {
-                     return omega[a] > omega[b];
+                     return SortKey(omega[a]) > SortKey(omega[b]);
                    });
   std::vector<std::size_t> accepted;
-  std::vector<bool> taken(omega.size(), false);
+  s->taken.assign(omega.size(), 0);
   const std::size_t want = std::min(batch, omega.size());
   // Cycle over the (sorted) pool until the acquisition batch is filled.
   // When alpha and all omegas are 0 the trials never fire; guard with a
@@ -36,12 +59,15 @@ std::vector<std::size_t> BernoulliSelect(const std::vector<double>& omega,
   int passes_without_progress = 0;
   while (accepted.size() < want && passes_without_progress < 64) {
     bool progressed = false;
-    for (std::size_t idx : order) {
+    for (std::size_t idx : s->order) {
       if (accepted.size() >= want) break;
-      if (taken[idx]) continue;
-      const double p = std::min(alpha * omega[idx], 1.0);
+      if (s->taken[idx] != 0) continue;
+      const double raw = alpha * omega[idx];
+      // NaN omega (or alpha) yields p = 0: the candidate can only enter
+      // through the exhaustion fallback, never through a Bernoulli draw.
+      const double p = std::isnan(raw) ? 0.0 : std::min(raw, 1.0);
       if (rng->Bernoulli(p)) {
-        taken[idx] = true;
+        s->taken[idx] = 1;
         accepted.push_back(idx);
         progressed = true;
       }
@@ -51,10 +77,10 @@ std::vector<std::size_t> BernoulliSelect(const std::vector<double>& omega,
   // Degenerate probabilities: fill deterministically in omega order so the
   // learner still honors its acquisition size.
   if (accepted.size() < want) {
-    for (std::size_t idx : order) {
+    for (std::size_t idx : s->order) {
       if (accepted.size() >= want) break;
-      if (!taken[idx]) {
-        taken[idx] = true;
+      if (s->taken[idx] == 0) {
+        s->taken[idx] = 1;
         accepted.push_back(idx);
       }
     }
@@ -68,7 +94,7 @@ std::vector<std::size_t> TopK(const std::vector<double>& scores,
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::stable_sort(order.begin(), order.end(),
                    [&](std::size_t a, std::size_t b) {
-                     return scores[a] > scores[b];
+                     return SortKey(scores[a]) > SortKey(scores[b]);
                    });
   if (order.size() > k) order.resize(k);
   return order;

@@ -7,11 +7,27 @@
 
 namespace faction {
 
+/// Reusable buffers for the per-iteration acquisition loop. A strategy
+/// keeps one of these across SelectBatch calls so the visit order, the
+/// taken flags, and the normalized-score vector stop being per-call
+/// allocations on the stream hot path. Buffers grow on demand and keep
+/// their capacity; never share one across concurrent callers.
+struct SelectionScratch {
+  std::vector<std::size_t> order;     ///< candidate visit order
+  std::vector<unsigned char> taken;   ///< 0/1 accepted flags, per candidate
+  std::vector<double> normalized;     ///< MinMaxNormalizeInto output
+};
+
 /// Min-max normalizes scores into [0, 1]. A constant vector maps to all
 /// 0.5 (every sample equally preferable). This is the Normalize of Eq. 7;
 /// it is invariant to positive affine transforms of the scores, which is
 /// what lets the density scorer apply a shared per-batch log-space shift.
 std::vector<double> MinMaxNormalize(const std::vector<double>& scores);
+
+/// Allocation-free variant: writes into *out (resized to scores.size(),
+/// capacity retained). `out` must not alias `scores`.
+void MinMaxNormalizeInto(const std::vector<double>& scores,
+                         std::vector<double>* out);
 
 /// The paper's probabilistic acquisition loop (Algorithm 1, lines 25-36):
 /// candidates are visited in descending probability order, each subjected
@@ -19,12 +35,19 @@ std::vector<double> MinMaxNormalize(const std::vector<double>& scores);
 /// `batch` candidates are accepted (or the pool is exhausted).
 ///
 /// `omega` holds the selection probabilities (already 1 - Normalize(u)).
-/// Returns positions into `omega` of the accepted candidates.
+/// NaN probabilities are legal: a NaN omega sorts after every finite
+/// candidate (treated as -inf, ties by index) and its trial probability is
+/// 0, so such candidates are only ever taken by the deterministic
+/// exhaustion fallback. Returns positions into `omega` of the accepted
+/// candidates. `scratch` is optional; passing one reuses its buffers
+/// instead of allocating.
 std::vector<std::size_t> BernoulliSelect(const std::vector<double>& omega,
                                          double alpha, std::size_t batch,
-                                         Rng* rng);
+                                         Rng* rng,
+                                         SelectionScratch* scratch = nullptr);
 
-/// Deterministic top-k by score (descending). Ties broken by index order.
+/// Deterministic top-k by score (descending). Ties broken by index order;
+/// NaN scores order after every finite score (treated as -inf).
 /// Used by the deterministic baselines (Entropy-AL, DDU, FAL, ...).
 std::vector<std::size_t> TopK(const std::vector<double>& scores,
                               std::size_t k);

@@ -5,6 +5,8 @@
 #include <memory>
 #include <utility>
 
+#include "tensor/simd.h"
+
 namespace faction {
 
 namespace {
@@ -83,8 +85,12 @@ Status TraceWriter::Flush() {
 }
 
 Status TraceWriter::WriteRunStart(const std::string& strategy_name) {
+  // The dispatch tier is part of the run's provenance: results are bitwise
+  // identical across tiers by contract, so a tier mismatch between two
+  // traces that differ is immediately visible evidence of a parity bug.
   *os_ << "{\"type\":\"run_start\",\"schema_version\":" << kTraceSchemaVersion
-       << ",\"strategy\":\"" << JsonEscape(strategy_name) << "\"}\n";
+       << ",\"strategy\":\"" << JsonEscape(strategy_name)
+       << "\",\"simd_level\":\"" << ActiveSimd().name << "\"}\n";
   return Flush();
 }
 

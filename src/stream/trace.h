@@ -14,7 +14,8 @@ namespace faction {
 
 /// Schema version stamped into every run_start record. Bump when a field is
 /// added, removed, or retyped; tools/validate_trace.py pins the layout.
-constexpr int kTraceSchemaVersion = 1;
+/// v2: run_start gained "simd_level" (the resolved SIMD dispatch tier).
+constexpr int kTraceSchemaVersion = 2;
 
 /// One structured trace record per stream task (see DESIGN.md §11 for the
 /// schema and determinism contract). Every field except the wall_* group is

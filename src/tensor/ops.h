@@ -9,11 +9,13 @@ namespace faction {
 
 /// Matrix product a*b. Precondition: a.cols() == b.rows().
 ///
-/// The GEMM-shaped ops (MatMul/MatMulBt/MatMulAt/Transpose) and the
-/// rowwise/elementwise ops below run as cache-blocked kernels on the shared
-/// thread pool (common/parallel.h). Results are bitwise identical for any
-/// FACTION_NUM_THREADS setting: every output element is produced by exactly
-/// one chunk in an order fixed by the problem shape.
+/// The GEMM-shaped ops (MatMul/MatMulBt/MatMulAt) run as register-blocked,
+/// panel-packed SIMD micro-kernels (tensor/simd.h) on the shared thread
+/// pool (common/parallel.h); Transpose and the rowwise/elementwise ops run
+/// as cache-blocked kernels. Results are bitwise identical for any
+/// FACTION_NUM_THREADS setting and any SIMD dispatch level: every output
+/// element is produced by exactly one chunk with a k-accumulation order
+/// fixed by the problem shape alone (see DESIGN.md §12).
 ///
 /// Each GEMM/rowwise op also has an *Into output-parameter variant that
 /// writes into a caller-owned Matrix (resized as needed, capacity
@@ -30,6 +32,13 @@ void MatMulBtInto(const Matrix& a, const Matrix& b, Matrix* out);
 /// a^T * b without materializing the transpose.
 Matrix MatMulAt(const Matrix& a, const Matrix& b);
 void MatMulAtInto(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// Retained pre-SIMD blocked kernels: the bitwise parity oracles the SIMD
+/// micro-kernels are tested against (tests/simd_test.cc). Same contracts
+/// as the dispatched entry points; not for production call sites.
+void ReferenceMatMulInto(const Matrix& a, const Matrix& b, Matrix* out);
+void ReferenceMatMulBtInto(const Matrix& a, const Matrix& b, Matrix* out);
+void ReferenceMatMulAtInto(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// Transpose.
 Matrix Transpose(const Matrix& m);

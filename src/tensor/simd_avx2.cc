@@ -1,0 +1,12 @@
+// AVX2 tier: 256-bit vectors. Compiled with -mavx2 only when the compiler
+// supports the flag (see tensor/CMakeLists.txt); executed only after the
+// runtime cpuid check in simd.cc, so no pre-dispatch code in this TU may
+// run on a non-AVX2 CPU — everything here is reached exclusively through
+// the Kernels() table.
+
+#define FACTION_SIMD_NAMESPACE simd_avx2
+#define FACTION_SIMD_LANES 4
+#define FACTION_SIMD_LEVEL_ENUM SimdLevel::kAvx2
+#define FACTION_SIMD_LEVEL_NAME "avx2"
+
+#include "tensor/simd_kernels.inc"

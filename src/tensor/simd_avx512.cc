@@ -1,0 +1,10 @@
+// AVX-512 tier: 512-bit vectors. Compiled with -mavx512f only when the
+// compiler supports the flag; executed only after the runtime cpuid check
+// in simd.cc (same contract as the AVX2 TU).
+
+#define FACTION_SIMD_NAMESPACE simd_avx512
+#define FACTION_SIMD_LANES 8
+#define FACTION_SIMD_LEVEL_ENUM SimdLevel::kAvx512
+#define FACTION_SIMD_LEVEL_NAME "avx512"
+
+#include "tensor/simd_kernels.inc"

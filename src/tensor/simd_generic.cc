@@ -1,0 +1,9 @@
+// Portable tier: 128-bit vectors, no extra -m flags. Always compiled and
+// always runnable — the dispatch fallback on any CPU.
+
+#define FACTION_SIMD_NAMESPACE simd_generic
+#define FACTION_SIMD_LANES 2
+#define FACTION_SIMD_LEVEL_ENUM SimdLevel::kGeneric
+#define FACTION_SIMD_LEVEL_NAME "generic"
+
+#include "tensor/simd_kernels.inc"

@@ -187,6 +187,56 @@ TEST(BernoulliSelectTest, EmptyPool) {
   EXPECT_TRUE(BernoulliSelect({}, 1.0, 5, &rng).empty());
 }
 
+TEST(SelectionTest, TopKNanScoresOrderLast) {
+  // NaN scores sort after every finite score (treated as -inf, stable by
+  // index). The raw `a > b` comparator was not a strict weak ordering on
+  // NaN input — this is the regression test for that sanitization.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> scores = {nan, 1.0, nan, 2.0};
+  EXPECT_EQ(TopK(scores, 3), (std::vector<std::size_t>{3, 1, 0}));
+  EXPECT_EQ(TopK(scores, 10).size(), 4u);
+}
+
+TEST(BernoulliSelectTest, NanOmegaVisitsLastAndNeverFires) {
+  Rng rng(9);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> omega = {0.2, nan, 0.9, nan, 0.5};
+  // Saturating alpha accepts every candidate with a well-defined
+  // probability on the first pass (descending omega: 2, 4, 0); the NaN
+  // candidates have trial probability 0 and only enter through the
+  // deterministic exhaustion fallback, in their sorted (index) order.
+  const std::vector<std::size_t> picked =
+      BernoulliSelect(omega, 1e9, 5, &rng);
+  EXPECT_EQ(picked, (std::vector<std::size_t>{2, 4, 0, 1, 3}));
+}
+
+TEST(BernoulliSelectTest, ScratchReuseMatchesFreshCalls) {
+  // Same seed with and without a reused scratch must pick identically.
+  const std::vector<double> omega = {0.7, 0.1, 0.9, 0.4, 0.6, 0.2};
+  SelectionScratch scratch;
+  Rng fresh(21), reused(21);
+  for (int round = 0; round < 5; ++round) {
+    const std::vector<std::size_t> a =
+        BernoulliSelect(omega, 1.5, 3, &fresh);
+    const std::vector<std::size_t> b =
+        BernoulliSelect(omega, 1.5, 3, &reused, &scratch);
+    EXPECT_EQ(a, b) << "round " << round;
+  }
+}
+
+TEST(SelectionTest, MinMaxNormalizeIntoReusesBuffer) {
+  std::vector<double> out;
+  MinMaxNormalizeInto({1.0, 3.0, 2.0}, &out);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+  const double* prev = out.data();
+  MinMaxNormalizeInto({5.0, 6.0}, &out);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.data(), prev);  // capacity retained, no reallocation
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+}
+
 // ------------------------------------------------------------- Evaluator
 
 TEST(EvaluatorTest, PerfectModelMetrics) {

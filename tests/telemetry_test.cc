@@ -13,6 +13,7 @@
 #include "data/streams.h"
 #include "gtest/gtest.h"
 #include "stream/trace.h"
+#include "tensor/simd.h"
 
 namespace faction {
 namespace {
@@ -186,8 +187,9 @@ TEST_F(TelemetryTest, TraceSchemaGolden) {
   ASSERT_TRUE(writer.WriteRunEnd(3, 48, 1).ok());
 
   const std::string expected =
-      "{\"type\":\"run_start\",\"schema_version\":1,"
-      "\"strategy\":\"FACTION \\\"quoted\\\"\"}\n"
+      "{\"type\":\"run_start\",\"schema_version\":2,"
+      "\"strategy\":\"FACTION \\\"quoted\\\"\",\"simd_level\":\"" +
+      std::string(SimdLevelName(ActiveSimdLevel())) + "\"}\n"
       "{\"type\":\"task\",\"task_index\":2,\"environment\":1,"
       "\"queries\":16,\"acquisition_batches\":2,\"train_steps\":12,"
       "\"density_refit_mode\":\"incremental\",\"drift_fired\":1,"

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
-# bench.sh — benchmark driver (PR 3).
+# bench.sh — benchmark driver (PR 3, extended for the PR 5 SIMD layer).
 #
 # Builds bench/micro_components in a dedicated native-tuned Release tree
-# (build/bench), runs the PR 3 benchmarks at FACTION_NUM_THREADS=1 and at
+# (build/bench), runs the tracked benchmarks at FACTION_NUM_THREADS=1 and at
 # the default thread count, and merges both runs plus the derived speedups
-# into BENCH_PR3.json at the repo root, stamped with the current git SHA.
+# into BENCH_PR5.json at the repo root, stamped with the current git SHA.
 #
 # Reported pair speedups (baseline at 1 thread vs new path at default
 # threads — the ratios the acceptance floors are defined on):
@@ -12,6 +12,13 @@
 #   * density_refit_incremental_vs_batch
 #                                     — BM_DensityRefitBatch/2400 /
 #                                       BM_DensityRefitIncremental/2400
+#
+# The PR 5 section adds per-dispatch-tier results (BM_GemmMicroKernel /
+# BM_TrainStepSimd / BM_PoolScoringSimd at generic/avx2/avx512) and
+# single-thread ratios of this run against the committed BENCH_PR3.json /
+# BENCH_PR2.json medians ("vs_committed"). Those ratios compare different
+# machines only when the committed file came from another host; on the same
+# host they are the SIMD speedup.
 #
 # If the output file already exists, its medians are compared against the
 # fresh run and regressions above 25% are reported.
@@ -25,7 +32,7 @@
 #                         exit 1 if any fresh speedup falls below
 #                         committed/1.25. Ratio-vs-ratio comparison, so it
 #                         is portable across machines of different speeds.
-#   --out FILE            output path (default BENCH_PR3.json).
+#   --out FILE            output path (default BENCH_PR5.json).
 
 set -euo pipefail
 
@@ -35,7 +42,7 @@ cd "$ROOT"
 MIN_TIME="0.2"
 BINARY=""
 CHECK_AGAINST=""
-OUT="BENCH_PR3.json"
+OUT="BENCH_PR5.json"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --min-time) MIN_TIME="$2"; shift 2 ;;
@@ -48,7 +55,7 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 BUILD_DIR="build/bench"
-FILTER='BM_Conv2dNaive|BM_Conv2dIm2col|BM_TrainStep|BM_DensityRefit'
+FILTER='BM_Conv2dNaive|BM_Conv2dIm2col|BM_TrainStep|BM_DensityRefit|BM_PoolScoring$|BM_GemmMicroKernel|BM_TrainStepSimd|BM_PoolScoringSimd'
 GIT_SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 
 if [[ -z "$BINARY" ]]; then
@@ -87,6 +94,10 @@ import sys
 
 t1_path, tdef_path, out_path = sys.argv[1:4]
 
+SIMD_LEVELS = {"0": "generic", "1": "avx2", "2": "avx512"}
+SIMD_BENCHES = ("BM_GemmMicroKernel", "BM_TrainStepSimd",
+                "BM_PoolScoringSimd")
+
 
 def load(path):
     with open(path) as f:
@@ -115,6 +126,30 @@ pair_speedups = {
     ),
 }
 
+# Per-dispatch-tier medians (1 thread): {bench: {generic: ns, avx2: ns, ...}}.
+# Skipped tiers (unsupported host) simply do not appear in the run output.
+per_level = {}
+for name, ns in sorted(t1.items()):
+    base, _, arg = name.partition("/")
+    if base in SIMD_BENCHES and arg in SIMD_LEVELS:
+        per_level.setdefault(base, {})[SIMD_LEVELS[arg]] = round(ns, 1)
+
+# Single-thread ratios against the committed pre-SIMD baselines. Same-host
+# runs read as the SIMD speedup on each tracked hot path.
+vs_committed = {}
+for committed_path, pairs in (
+    ("BENCH_PR3.json", (("BM_TrainStep", "simd_train_step_vs_pr3"),
+                        ("BM_Conv2dIm2col", "simd_conv_im2col_vs_pr3"))),
+    ("BENCH_PR2.json", (("BM_PoolScoring", "simd_pool_scoring_vs_pr2"),)),
+):
+    if not os.path.exists(committed_path):
+        continue
+    with open(committed_path) as f:
+        committed_t1 = json.load(f).get("threads_1", {})
+    for bench, key in pairs:
+        if bench in committed_t1 and bench in t1:
+            vs_committed[key] = speedup(committed_t1[bench], t1[bench])
+
 report = {
     "meta": {
         "git_sha": os.environ.get("GIT_SHA", "unknown"),
@@ -129,13 +164,17 @@ report = {
             "naive conv loops vs the im2col/GEMM lowering, and a full "
             "batch GDA refit of a 2400-row pool vs incrementally folding "
             "one 25-row acquisition round into the sufficient statistics. "
-            "The incremental refit's per-round cost is independent of the "
-            "pool size, so its speedup grows with the pool."
+            "per_level holds single-thread medians per SIMD dispatch tier "
+            "(FACTION_SIMD_LEVEL); vs_committed holds single-thread "
+            "ratios of committed pre-SIMD medians (BENCH_PR3/BENCH_PR2) "
+            "over this run — the SIMD speedup when produced on the same "
+            "host."
         ),
     },
     "threads_1": {k: round(v, 1) for k, v in sorted(t1.items())},
     "threads_default": {k: round(v, 1) for k, v in sorted(tdef.items())},
-    "speedups": pair_speedups,
+    "per_level": per_level,
+    "speedups": {**pair_speedups, **vs_committed},
 }
 
 # Compare against the previous report at the same path, if any: flag any
@@ -164,7 +203,8 @@ print(json.dumps(report["speedups"], indent=2))
 
 # --check-against: fail when a fresh pair speedup drops below the
 # committed one by more than 25%. Speedups are within-machine ratios, so
-# this check is meaningful on any host.
+# this check is meaningful on any host. Only keys present in BOTH reports
+# participate, so gating against BENCH_PR3.json keeps working.
 check_path = os.environ.get("CHECK_AGAINST", "")
 if check_path:
     with open(check_path) as f:

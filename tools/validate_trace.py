@@ -20,7 +20,8 @@ from __future__ import annotations
 import json
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+SIMD_LEVELS = {"generic", "avx2", "avx512"}
 REFIT_MODES = {"batch", "incremental", "mixed", "none", "unknown"}
 
 TASK_INT_KEYS = ("task_index", "environment", "queries",
@@ -110,6 +111,8 @@ def main() -> int:
                     f"schema_version must be {SCHEMA_VERSION}")
             require(isinstance(record.get("strategy"), str), lineno,
                     "run_start needs a string 'strategy'")
+            require(record.get("simd_level") in SIMD_LEVELS, lineno,
+                    f"run_start simd_level must be one of {sorted(SIMD_LEVELS)}")
             continue
         require(kind in ("task", "run_end"), lineno,
                 f"unknown record type {kind!r}")
