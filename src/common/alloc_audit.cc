@@ -1,0 +1,269 @@
+#include "common/alloc_audit.h"
+
+#include "common/telemetry.h"
+
+#if defined(FACTION_ALLOC_AUDIT)
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "common/check.h"
+
+namespace faction {
+namespace {
+
+// All state is thread-local and constant-initialized so the interposed
+// operator new is safe from the very first allocation, before any dynamic
+// initializer runs.
+struct TlAudit {
+  AllocationStats stats;
+  // Innermost active ban (nullptr: none). Nested bans shadow and restore.
+  const char* ban_site = nullptr;
+  bool ban_fatal = false;
+  // Cumulative ban violations on this thread; scopes diff against entry.
+  std::uint64_t ban_violations = 0;
+  std::uint64_t ban_violation_bytes = 0;
+  int allow_depth = 0;
+  // Set while composing the fatal diagnostic (which itself allocates).
+  bool reporting = false;
+};
+
+thread_local TlAudit tl_audit;
+
+[[noreturn]] void ReportBanViolation(const char* site, std::size_t size,
+                                     void* caller) {
+  TlAudit& tl = tl_audit;
+  tl.reporting = true;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "ScopedAllocationBan violated at site '%s': operator "
+                "new(%zu) from %p",
+                site, size, caller);
+  internal_check::CheckFailed(__FILE__, __LINE__, buf);
+}
+
+// `caller` is the return address of the interposed operator, i.e. the
+// allocating call site, captured before any inlining can fold frames.
+inline void NoteAllocation(std::size_t size, void* caller) {
+  TlAudit& tl = tl_audit;
+  ++tl.stats.allocs;
+  tl.stats.bytes += size;
+  if (size > tl.stats.peak_bytes) tl.stats.peak_bytes = size;
+  if (tl.ban_site != nullptr && tl.allow_depth == 0 && !tl.reporting) {
+    ++tl.ban_violations;
+    tl.ban_violation_bytes += size;
+    if (tl.ban_fatal) ReportBanViolation(tl.ban_site, size, caller);
+  }
+}
+
+inline void NoteFree() { ++tl_audit.stats.frees; }
+
+// Backing allocator for the interposed operators. malloc/posix_memalign
+// (not the replaced operators) so there is no recursion; free() releases
+// both shapes, so every delete variant funnels into AuditedFree.
+void* AuditedAlloc(std::size_t size, std::size_t align) {
+  const std::size_t request = size == 0 ? 1 : size;
+  if (align <= alignof(std::max_align_t)) {
+    return std::malloc(request);
+  }
+  void* ptr = nullptr;
+  const std::size_t al = align < sizeof(void*) ? sizeof(void*) : align;
+  if (posix_memalign(&ptr, al, request) != 0) return nullptr;
+  return ptr;
+}
+
+void AuditedFree(void* ptr) {
+  if (ptr == nullptr) return;
+  NoteFree();
+  std::free(ptr);
+}
+
+}  // namespace
+
+const char* AllocAuditMode() { return "on"; }
+
+AllocationStats ThreadAllocationStats() { return tl_audit.stats; }
+
+ScopedAllocationBan::ScopedAllocationBan(const char* site, Mode mode)
+    : site_(site),
+      mode_(mode),
+      prev_site_(tl_audit.ban_site),
+      prev_mode_(tl_audit.ban_fatal ? Mode::kFatal : Mode::kCount),
+      entry_violations_(tl_audit.ban_violations),
+      entry_violation_bytes_(tl_audit.ban_violation_bytes) {
+  tl_audit.ban_site = site_;
+  tl_audit.ban_fatal = mode_ == Mode::kFatal;
+}
+
+ScopedAllocationBan::~ScopedAllocationBan() {
+  TlAudit& tl = tl_audit;
+  tl.ban_site = prev_site_;
+  tl.ban_fatal = prev_site_ != nullptr && prev_mode_ == Mode::kFatal;
+  if (mode_ == Mode::kCount) {
+    const std::uint64_t v = tl.ban_violations - entry_violations_;
+    const std::uint64_t b = tl.ban_violation_bytes - entry_violation_bytes_;
+    if (v > 0) {
+      // Publishing may itself allocate (first-touch counter registration);
+      // exempt it so an enclosing ban does not trip on the report.
+      ++tl.allow_depth;
+      TelemetryCount("alloc.steady_state_allocs", v);
+      TelemetryCount("alloc.steady_state_bytes", b);
+      --tl.allow_depth;
+    }
+  }
+}
+
+std::uint64_t ScopedAllocationBan::violations() const {
+  return tl_audit.ban_violations - entry_violations_;
+}
+
+std::uint64_t ScopedAllocationBan::violation_bytes() const {
+  return tl_audit.ban_violation_bytes - entry_violation_bytes_;
+}
+
+ScopedAllocationAllow::ScopedAllocationAllow() { ++tl_audit.allow_depth; }
+
+ScopedAllocationAllow::~ScopedAllocationAllow() { --tl_audit.allow_depth; }
+
+}  // namespace faction
+
+// ---------------------------------------------------------------------------
+// Global allocator interposition: every variant the front end can emit.
+// Each captures its own return address (the allocating call site) before
+// delegating, so fatal ban reports point at the violator.
+// ---------------------------------------------------------------------------
+
+void* operator new(std::size_t size) {
+  void* ptr = faction::AuditedAlloc(size, 0);
+  if (ptr == nullptr) throw std::bad_alloc();
+  faction::NoteAllocation(size, __builtin_return_address(0));
+  return ptr;
+}
+
+void* operator new[](std::size_t size) {
+  void* ptr = faction::AuditedAlloc(size, 0);
+  if (ptr == nullptr) throw std::bad_alloc();
+  faction::NoteAllocation(size, __builtin_return_address(0));
+  return ptr;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  void* ptr = faction::AuditedAlloc(size, 0);
+  if (ptr != nullptr) {
+    faction::NoteAllocation(size, __builtin_return_address(0));
+  }
+  return ptr;
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  void* ptr = faction::AuditedAlloc(size, 0);
+  if (ptr != nullptr) {
+    faction::NoteAllocation(size, __builtin_return_address(0));
+  }
+  return ptr;
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* ptr = faction::AuditedAlloc(size, static_cast<std::size_t>(align));
+  if (ptr == nullptr) throw std::bad_alloc();
+  faction::NoteAllocation(size, __builtin_return_address(0));
+  return ptr;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* ptr = faction::AuditedAlloc(size, static_cast<std::size_t>(align));
+  if (ptr == nullptr) throw std::bad_alloc();
+  faction::NoteAllocation(size, __builtin_return_address(0));
+  return ptr;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  void* ptr = faction::AuditedAlloc(size, static_cast<std::size_t>(align));
+  if (ptr != nullptr) {
+    faction::NoteAllocation(size, __builtin_return_address(0));
+  }
+  return ptr;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  void* ptr = faction::AuditedAlloc(size, static_cast<std::size_t>(align));
+  if (ptr != nullptr) {
+    faction::NoteAllocation(size, __builtin_return_address(0));
+  }
+  return ptr;
+}
+
+void operator delete(void* ptr) noexcept { faction::AuditedFree(ptr); }
+void operator delete[](void* ptr) noexcept { faction::AuditedFree(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept {
+  faction::AuditedFree(ptr);
+}
+void operator delete[](void* ptr, std::size_t) noexcept {
+  faction::AuditedFree(ptr);
+}
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  faction::AuditedFree(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  faction::AuditedFree(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  faction::AuditedFree(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  faction::AuditedFree(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  faction::AuditedFree(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  faction::AuditedFree(ptr);
+}
+void operator delete(void* ptr, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  faction::AuditedFree(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  faction::AuditedFree(ptr);
+}
+
+#else  // !FACTION_ALLOC_AUDIT
+
+namespace faction {
+
+const char* AllocAuditMode() { return "off"; }
+
+AllocationStats ThreadAllocationStats() { return AllocationStats{}; }
+
+ScopedAllocationBan::ScopedAllocationBan(const char* site, Mode mode)
+    : site_(site),
+      mode_(mode),
+      prev_site_(nullptr),
+      prev_mode_(mode),
+      entry_violations_(0),
+      entry_violation_bytes_(0) {
+  static_cast<void>(site_);
+  static_cast<void>(mode_);
+  static_cast<void>(prev_site_);
+  static_cast<void>(prev_mode_);
+}
+
+ScopedAllocationBan::~ScopedAllocationBan() = default;
+
+std::uint64_t ScopedAllocationBan::violations() const { return 0; }
+
+std::uint64_t ScopedAllocationBan::violation_bytes() const { return 0; }
+
+ScopedAllocationAllow::ScopedAllocationAllow() = default;
+
+ScopedAllocationAllow::~ScopedAllocationAllow() = default;
+
+}  // namespace faction
+
+#endif  // FACTION_ALLOC_AUDIT

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -31,6 +32,10 @@ int DefaultThreadCount() {
   return hw == 0U ? 1 : static_cast<int>(hw);
 }
 
+// A parallel region handed to the pool: erased slot body + context. Plain
+// pointers (not std::function) so dispatching a region never allocates.
+using SlotBody = void (*)(const void* ctx, int slot);
+
 // Persistent worker pool. One parallel region runs at a time; workers park
 // on a condition variable between regions, so a region costs two broadcast
 // notifications instead of thread spawns. All shared state is guarded by
@@ -52,24 +57,25 @@ class ThreadPool {
     FACTION_CHECK(!tl_inside_parallel);
     n = std::max(1, n);
     std::unique_lock<std::mutex> lock(mu_);
-    FACTION_CHECK(region_task_ == nullptr);
+    FACTION_CHECK(region_body_ == nullptr);
     StopWorkers(&lock);
     target_threads_ = n;
     // Workers are respawned lazily by the next Run().
   }
 
-  /// Executes task(slot) for every slot in [0, n_tasks) across the caller
-  /// (slot 0) and the pool workers, then rethrows the first stored
+  /// Executes body(ctx, slot) for every slot in [0, n_tasks) across the
+  /// caller (slot 0) and the pool workers, then rethrows the first stored
   /// exception, if any.
-  void Run(int n_tasks, const std::function<void(int)>& task) {
+  void Run(int n_tasks, SlotBody body, const void* ctx) {
     // Serialize concurrent top-level regions (nested calls never reach
     // here: they run inline on the worker).
     std::lock_guard<std::mutex> run_lock(run_mu_);
     std::exception_ptr caller_error;
     std::unique_lock<std::mutex> lock(mu_);
-    FACTION_CHECK(region_task_ == nullptr);
+    FACTION_CHECK(region_body_ == nullptr);
     EnsureWorkers();
-    region_task_ = &task;
+    region_body_ = body;
+    region_ctx_ = ctx;
     region_tasks_ = n_tasks;
     arrived_ = 0;
     error_ = nullptr;
@@ -79,7 +85,7 @@ class ThreadPool {
 
     tl_inside_parallel = true;
     try {
-      task(0);
+      body(ctx, 0);
     } catch (...) {
       caller_error = std::current_exception();
     }
@@ -89,7 +95,8 @@ class ThreadPool {
     done_cv_.wait(lock, [&] {
       return arrived_ == static_cast<int>(workers_.size());
     });
-    region_task_ = nullptr;
+    region_body_ = nullptr;
+    region_ctx_ = nullptr;
     std::exception_ptr error = error_ != nullptr ? error_ : caller_error;
     error_ = nullptr;
     lock.unlock();
@@ -131,21 +138,23 @@ class ThreadPool {
   void WorkerMain(int worker_index) {
     std::uint64_t seen_epoch = 0;
     for (;;) {
-      const std::function<void(int)>* task = nullptr;
+      SlotBody body = nullptr;
+      const void* ctx = nullptr;
       int n_tasks = 0;
       {
         std::unique_lock<std::mutex> lock(mu_);
         work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
         if (stop_) return;
         seen_epoch = epoch_;
-        task = region_task_;
+        body = region_body_;
+        ctx = region_ctx_;
         n_tasks = region_tasks_;
       }
       const int slot = worker_index + 1;
       if (slot < n_tasks) {
         tl_inside_parallel = true;
         try {
-          (*task)(slot);
+          body(ctx, slot);
         } catch (...) {
           std::lock_guard<std::mutex> lock(mu_);
           if (error_ == nullptr) error_ = std::current_exception();
@@ -169,7 +178,8 @@ class ThreadPool {
   int target_threads_ = 1;
   bool stop_ = false;
   std::uint64_t epoch_ = 0;
-  const std::function<void(int)>* region_task_ = nullptr;
+  SlotBody region_body_ = nullptr;
+  const void* region_ctx_ = nullptr;
   int region_tasks_ = 0;
   int arrived_ = 0;
   std::exception_ptr error_;
@@ -190,39 +200,49 @@ std::size_t ParallelChunkCount(std::size_t begin, std::size_t end,
   return (end - begin + g - 1) / g;
 }
 
-void ParallelForChunks(
-    std::size_t begin, std::size_t end, std::size_t grain,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+namespace internal {
+
+void ParallelForChunksErased(std::size_t begin, std::size_t end,
+                             std::size_t grain, ErasedChunkBody body,
+                             const void* ctx) {
   if (end <= begin) return;
   const std::size_t g = grain == 0 ? 1 : grain;
   const std::size_t nchunks = (end - begin + g - 1) / g;
-  const auto run_chunk = [&](std::size_t c) {
-    const std::size_t lo = begin + c * g;
-    const std::size_t hi = std::min(end, lo + g);
-    fn(c, lo, hi);
-  };
   const std::size_t n_tasks = std::min(
       static_cast<std::size_t>(ParallelThreadCount()), nchunks);
   if (n_tasks <= 1 || tl_inside_parallel) {
-    for (std::size_t c = 0; c < nchunks; ++c) run_chunk(c);
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      const std::size_t lo = begin + c * g;
+      const std::size_t hi = std::min(end, lo + g);
+      body(ctx, c, lo, hi);
+    }
     return;
   }
   // Static partition: task `slot` owns a fixed contiguous run of chunks.
-  const std::function<void(int)> task = [&](int slot) {
-    const std::size_t s = static_cast<std::size_t>(slot);
-    const std::size_t lo = nchunks * s / n_tasks;
-    const std::size_t hi = nchunks * (s + 1) / n_tasks;
-    for (std::size_t c = lo; c < hi; ++c) run_chunk(c);
+  // The region descriptor lives on the caller's stack; Run() blocks until
+  // every slot retires, so borrowing it from workers is safe.
+  struct Region {
+    ErasedChunkBody body;
+    const void* ctx;
+    std::size_t begin, end, grain, nchunks, n_tasks;
   };
-  ThreadPool::Instance().Run(static_cast<int>(n_tasks), task);
+  const Region region{body, ctx, begin, end, g, nchunks, n_tasks};
+  ThreadPool::Instance().Run(
+      static_cast<int>(n_tasks),
+      [](const void* rctx, int slot) {
+        const Region& r = *static_cast<const Region*>(rctx);
+        const std::size_t s = static_cast<std::size_t>(slot);
+        const std::size_t chunk_lo = r.nchunks * s / r.n_tasks;
+        const std::size_t chunk_hi = r.nchunks * (s + 1) / r.n_tasks;
+        for (std::size_t c = chunk_lo; c < chunk_hi; ++c) {
+          const std::size_t lo = r.begin + c * r.grain;
+          const std::size_t hi = std::min(r.end, lo + r.grain);
+          r.body(r.ctx, c, lo, hi);
+        }
+      },
+      &region);
 }
 
-void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
-                 const std::function<void(std::size_t, std::size_t)>& fn) {
-  ParallelForChunks(begin, end, grain,
-                    [&fn](std::size_t, std::size_t lo, std::size_t hi) {
-                      fn(lo, hi);
-                    });
-}
+}  // namespace internal
 
 }  // namespace faction

@@ -2,7 +2,8 @@
 #define FACTION_COMMON_PARALLEL_H_
 
 #include <cstddef>
-#include <functional>
+#include <memory>
+#include <type_traits>
 
 // Deterministic parallel execution layer.
 //
@@ -28,6 +29,12 @@
 //
 // Nested ParallelFor calls are safe: a call made from inside a parallel
 // body runs serially inline on the calling worker.
+//
+// The entry points are templates that type-erase the body into a plain
+// function pointer + context pointer. Unlike std::function — whose
+// small-buffer optimisation tops out at two words on libstdc++ — this
+// never heap-allocates, no matter how much the body captures, which keeps
+// ParallelFor legal inside ScopedAllocationBan regions (alloc_audit.h).
 
 namespace faction {
 
@@ -46,19 +53,54 @@ void SetParallelThreadCount(int n);
 std::size_t ParallelChunkCount(std::size_t begin, std::size_t end,
                                std::size_t grain);
 
+namespace internal {
+
+/// Erased chunk body: body(ctx, chunk, chunk_begin, chunk_end). The ctx is
+/// const because the thunks below invoke the caller's functor through its
+/// const call operator (reference captures stay mutable through it).
+using ErasedChunkBody = void (*)(const void* ctx, std::size_t chunk,
+                                 std::size_t chunk_begin,
+                                 std::size_t chunk_end);
+
+/// Allocation-free core of ParallelFor/ParallelForChunks. Splits
+/// [begin, end) into grain-sized chunks and runs them across the pool per
+/// the determinism contract. The first exception thrown by any chunk is
+/// rethrown on the calling thread after all chunks retire.
+void ParallelForChunksErased(std::size_t begin, std::size_t end,
+                             std::size_t grain, ErasedChunkBody body,
+                             const void* ctx);
+
+}  // namespace internal
+
+/// Runs fn(chunk, chunk_begin, chunk_end) over consecutive chunks of at
+/// most `grain` indices covering [begin, end). Use when the body writes
+/// per-chunk partial results that the caller combines in chunk order.
+template <typename Fn>
+void ParallelForChunks(std::size_t begin, std::size_t end, std::size_t grain,
+                       Fn&& fn) {
+  using Body = typename std::remove_reference<Fn>::type;
+  internal::ParallelForChunksErased(
+      begin, end, grain,
+      [](const void* ctx, std::size_t chunk, std::size_t lo,
+         std::size_t hi) {
+        (*static_cast<const Body*>(ctx))(chunk, lo, hi);
+      },
+      std::addressof(fn));
+}
+
 /// Runs fn(chunk_begin, chunk_end) over consecutive chunks of at most
 /// `grain` indices covering [begin, end). See the determinism contract
-/// above. The first exception thrown by any chunk is rethrown on the
-/// calling thread after all chunks retire.
+/// above.
+template <typename Fn>
 void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
-                 const std::function<void(std::size_t, std::size_t)>& fn);
-
-/// As ParallelFor, additionally passing the chunk index:
-/// fn(chunk, chunk_begin, chunk_end). Use when the body writes per-chunk
-/// partial results that the caller combines in chunk order.
-void ParallelForChunks(
-    std::size_t begin, std::size_t end, std::size_t grain,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+                 Fn&& fn) {
+  using Body = typename std::remove_reference<Fn>::type;
+  internal::ParallelForChunksErased(
+      begin, end, grain,
+      [](const void* ctx, std::size_t /*chunk*/, std::size_t lo,
+         std::size_t hi) { (*static_cast<const Body*>(ctx))(lo, hi); },
+      std::addressof(fn));
+}
 
 }  // namespace faction
 

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/alloc_audit.h"
 #include "common/timer.h"
 
 namespace faction {
@@ -116,23 +117,38 @@ class Telemetry {
 
 /// Instrumentation helpers: no-ops (one pointer load) when telemetry is
 /// disabled. Names should be string literals so the disabled path performs
-/// no allocation.
+/// no allocation. The enabled path builds std::string keys, which is
+/// observation overhead rather than pipeline work — it runs under a
+/// ScopedAllocationAllow so a steady-state allocation ban (alloc_audit.h)
+/// measures the pipeline, not the instrumentation of it.
 inline void TelemetryCount(const char* name, std::uint64_t delta = 1) {
-  if (Telemetry* t = Telemetry::Get()) t->AddCounter(name, delta);
+  if (Telemetry* t = Telemetry::Get()) {
+    ScopedAllocationAllow allow_instrumentation;
+    t->AddCounter(name, delta);
+  }
 }
 
 inline void TelemetryGauge(const char* name, double value) {
-  if (Telemetry* t = Telemetry::Get()) t->SetGauge(name, value);
+  if (Telemetry* t = Telemetry::Get()) {
+    ScopedAllocationAllow allow_instrumentation;
+    t->SetGauge(name, value);
+  }
 }
 
 inline void TelemetryObserve(const char* name, double value) {
-  if (Telemetry* t = Telemetry::Get()) t->Observe(name, value);
+  if (Telemetry* t = Telemetry::Get()) {
+    ScopedAllocationAllow allow_instrumentation;
+    t->Observe(name, value);
+  }
 }
 
 /// Reads a counter through the enabled registry; 0 when telemetry is off.
 /// Used by trace writers to fold counter deltas into per-task records.
 inline std::uint64_t TelemetryCounterValue(const char* name) {
-  if (Telemetry* t = Telemetry::Get()) return t->CounterValue(name);
+  if (Telemetry* t = Telemetry::Get()) {
+    ScopedAllocationAllow allow_instrumentation;
+    return t->CounterValue(name);
+  }
   return 0;
 }
 

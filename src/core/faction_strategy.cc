@@ -1,21 +1,31 @@
+// FACTION_HOT: SelectBatch's scoring region runs under the count-mode
+// allocation ban every acquisition; allocating idioms here are lint
+// findings (tools/lint.py no-alloc-in-hot, DESIGN.md §13). Density
+// (re)fitting and the degenerate-pool fallbacks sit inside FACTION_COLD
+// fences — they are per-round or off the steady state by design.
 #include "core/faction_strategy.h"
 
 #include <algorithm>
 
+#include "common/alloc_audit.h"
 #include "common/logging.h"
 #include "common/telemetry.h"
 #include "stream/selection.h"
 
 namespace faction {
 
+// FACTION_COLD_BEGIN: one-time construction.
 FactionStrategy::FactionStrategy(const FactionStrategyConfig& config)
-    : config_(config) {}
+    : config_(config), workspace_(std::make_unique<Workspace>()) {}
+// FACTION_COLD_END
 
 std::string FactionStrategy::name() const {
   if (!config_.name_override.empty()) return config_.name_override;
   return config_.fair_select ? "FACTION" : "FACTION(w/o fair select)";
 }
 
+// FACTION_COLD_BEGIN: density maintenance — incremental folds amortize over
+// the resync interval and full refits over a round; both allocate.
 const FairDensityEstimator* FactionStrategy::EstimatorFor(
     const SelectionContext& context) {
   const Dataset& pool = *context.labeled_pool;
@@ -77,6 +87,7 @@ const FairDensityEstimator* FactionStrategy::EstimatorFor(
   TelemetryCount("faction.density_full_refit");
   return &estimator_.value();
 }
+// FACTION_COLD_END
 
 Result<std::vector<std::size_t>> FactionStrategy::SelectBatch(
     const SelectionContext& context, std::size_t batch) {
@@ -86,12 +97,13 @@ Result<std::vector<std::size_t>> FactionStrategy::SelectBatch(
   const std::size_t n = candidates.rows();
   if (n == 0) return std::vector<std::size_t>{};
   if (pool.empty()) {
-    // No labeled data yet: nothing to fit a density on; fall back to a
-    // uniform random batch (only reachable with warm_start = 0).
+    // FACTION_COLD_BEGIN: no labeled data yet — nothing to fit a density
+    // on; fall back to a uniform random batch (warm_start = 0 only).
     std::vector<std::size_t> perm;
     context.rng->Permutation(n, &perm);
     perm.resize(std::min(batch, n));
     return perm;
+    // FACTION_COLD_END
   }
 
   // Density estimator in the feature space of the current extractor
@@ -99,29 +111,41 @@ Result<std::vector<std::size_t>> FactionStrategy::SelectBatch(
   // on the config.
   const FairDensityEstimator* est = EstimatorFor(context);
   if (est == nullptr) {
-    // Degenerate pool (e.g. a single class so far): fall back to random
-    // acquisition for this iteration rather than failing the run.
+    // FACTION_COLD_BEGIN: degenerate pool (e.g. a single class so far) —
+    // fall back to random acquisition rather than failing the run.
     std::vector<std::size_t> perm;
     context.rng->Permutation(n, &perm);
     perm.resize(std::min(batch, n));
     return perm;
+    // FACTION_COLD_END
   }
 
-  const Matrix cand_z = context.model->ExtractFeatures(candidates);
-  const Matrix proba = context.model->PredictProba(candidates);
-  // Scores the whole candidate pool in one batched, parallel pass (see
-  // core/fair_score.cc); bitwise deterministic for any thread count.
-  FACTION_ASSIGN_OR_RETURN(
-      std::vector<FactionScore> scores,
-      ComputeFactionScores(*est, cand_z, proba, config_.lambda,
-                           config_.fair_select, &score_scratch_));
+  {
+    // Scoring is the steady-state region of a round: every temporary is
+    // member scratch or an arena buffer, so once shapes are warm this
+    // block performs no heap allocation (violations are tallied to
+    // alloc.steady_state_* by the count-mode ban). The Bernoulli draw
+    // below builds the returned index vector and stays outside the ban.
+    ScopedAllocationBan ban("faction.select",
+                            ScopedAllocationBan::Mode::kCount);
+    Workspace& ws = *workspace_;
+    Matrix* cand_z =
+        ws.MatrixFor("faction.cand_z", n, context.model->feature_dim());
+    context.model->ExtractFeaturesInto(candidates, &ws, cand_z);
+    Matrix* proba =
+        ws.MatrixFor("faction.cand_proba", n, context.model->num_classes());
+    context.model->PredictProbaInto(candidates, &ws, proba);
+    // Scores the whole candidate pool in one batched, parallel pass (see
+    // core/fair_score.cc); bitwise deterministic for any thread count.
+    FACTION_RETURN_IF_ERROR(ComputeFactionScoresInto(
+        *est, *cand_z, *proba, config_.lambda, config_.fair_select,
+        &score_scratch_, &scores_));
 
-  // Eq. 7: omega(x) = 1 - Normalize(u(x)); lower u = higher probability.
-  // All scoring/normalization buffers are member scratch, so steady-state
-  // acquisition allocates only the returned index vector.
-  u_scratch_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) u_scratch_[i] = scores[i].u;
-  MinMaxNormalizeInto(u_scratch_, &selection_scratch_.normalized);
+    // Eq. 7: omega(x) = 1 - Normalize(u(x)); lower u = higher probability.
+    u_scratch_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) u_scratch_[i] = scores_[i].u;
+    MinMaxNormalizeInto(u_scratch_, &selection_scratch_.normalized);
+  }
   std::vector<double>& omega = selection_scratch_.normalized;
   for (double& w : omega) w = 1.0 - w;
 

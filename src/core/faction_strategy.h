@@ -1,9 +1,12 @@
 #ifndef FACTION_CORE_FACTION_STRATEGY_H_
 #define FACTION_CORE_FACTION_STRATEGY_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "common/workspace.h"
 
 #include "core/fair_score.h"
 #include "density/fair_density.h"
@@ -75,9 +78,14 @@ class FactionStrategy : public QueryStrategy {
   std::size_t updates_since_fit_ = 0;
   // Per-iteration scoring/selection buffers, reused across SelectBatch
   // calls so steady-state acquisition allocates only the returned indices.
+  // The workspace arena holds the candidate feature/probability matrices
+  // (unique_ptr so the strategy stays movable); scores_ keeps its capacity
+  // across rounds.
   FactionScoreScratch score_scratch_;
   SelectionScratch selection_scratch_;
   std::vector<double> u_scratch_;
+  std::vector<FactionScore> scores_;
+  std::unique_ptr<Workspace> workspace_;
 };
 
 }  // namespace faction

@@ -1,3 +1,6 @@
+// FACTION_HOT: pool scoring runs every acquisition iteration under the
+// steady-state allocation ban; allocating idioms here are lint findings
+// (tools/lint.py no-alloc-in-hot, DESIGN.md §13).
 #include "core/fair_score.h"
 
 #include <array>
@@ -60,10 +63,13 @@ void NormalizeLogTermInto(const std::vector<double>& values,
 
 }  // namespace
 
-Result<std::vector<FactionScore>> ComputeFactionScores(
-    const FairDensityEstimator& estimator, const Matrix& features,
-    const Matrix& class_proba, double lambda, bool fair_select,
-    FactionScoreScratch* scratch) {
+Status ComputeFactionScoresInto(const FairDensityEstimator& estimator,
+                                const Matrix& features,
+                                const Matrix& class_proba, double lambda,
+                                bool fair_select,
+                                FactionScoreScratch* scratch,
+                                std::vector<FactionScore>* out_scores) {
+  FACTION_CHECK(out_scores != nullptr);
   const std::size_t n = features.rows();
   constexpr int kClasses = FairDensityEstimator::kNumClasses;
   if (class_proba.rows() != n ||
@@ -76,8 +82,9 @@ Result<std::vector<FactionScore>> ComputeFactionScores(
         "ComputeFactionScores: feature dimension mismatch");
   }
 
-  std::vector<FactionScore> out(n);
-  if (n == 0) return out;
+  std::vector<FactionScore>& out = *out_scores;
+  out.resize(n);  // every field of every element is overwritten below
+  if (n == 0) return Status::Ok();
 
   // One batched component pass for the whole pool: each present component's
   // log-densities come from a single blocked triangular solve
@@ -135,7 +142,20 @@ Result<std::vector<FactionScore>> ComputeFactionScores(
     // would silently poison the acquisition ranking.
     FACTION_DCHECK_FINITE(out[i].u);
   }
+  return Status::Ok();
+}
+
+// FACTION_COLD_BEGIN: value-returning convenience wrapper (tests, one-off
+// callers); the pipeline uses the Into variant with loop-carried storage.
+Result<std::vector<FactionScore>> ComputeFactionScores(
+    const FairDensityEstimator& estimator, const Matrix& features,
+    const Matrix& class_proba, double lambda, bool fair_select,
+    FactionScoreScratch* scratch) {
+  std::vector<FactionScore> out;
+  FACTION_RETURN_IF_ERROR(ComputeFactionScoresInto(
+      estimator, features, class_proba, lambda, fair_select, scratch, &out));
   return out;
 }
+// FACTION_COLD_END
 
 }  // namespace faction

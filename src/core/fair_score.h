@@ -63,6 +63,16 @@ Result<std::vector<FactionScore>> ComputeFactionScores(
     const Matrix& class_proba, double lambda, bool fair_select,
     FactionScoreScratch* scratch = nullptr);
 
+/// Allocation-aware variant: scores are resized into *out (capacity kept
+/// across rounds) instead of returned by value. Identical numerics; with a
+/// warm scratch and a warm *out the call performs no heap allocation.
+Status ComputeFactionScoresInto(const FairDensityEstimator& estimator,
+                                const Matrix& features,
+                                const Matrix& class_proba, double lambda,
+                                bool fair_select,
+                                FactionScoreScratch* scratch,
+                                std::vector<FactionScore>* out);
+
 }  // namespace faction
 
 #endif  // FACTION_CORE_FAIR_SCORE_H_

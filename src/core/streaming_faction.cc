@@ -1,9 +1,16 @@
+// FACTION_HOT: the per-arrival path (ShouldQuery + non-refit ProvideLabel)
+// is the hard-zero steady state of DESIGN.md §13; allocating idioms here
+// are lint findings (tools/lint.py no-alloc-in-hot). Per-round work
+// (constructor, Refit) sits inside FACTION_COLD fences.
 #include "core/streaming_faction.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
+#include <optional>
 
+#include "common/alloc_audit.h"
 #include "common/logging.h"
 #include "common/telemetry.h"
 #include "tensor/ops.h"
@@ -29,6 +36,7 @@ double LogAbsExpDiff(double a, double b) {
 
 }  // namespace
 
+// FACTION_COLD_BEGIN: one-time construction.
 StreamingFaction::StreamingFaction(const StreamingFactionConfig& config)
     : config_(config),
       rng_(config.seed),
@@ -37,25 +45,40 @@ StreamingFaction::StreamingFaction(const StreamingFactionConfig& config)
   Rng model_rng = rng_.Fork();
   model_ = std::make_unique<MlpClassifier>(config_.model, &model_rng);
 }
+// FACTION_COLD_END
 
-double StreamingFaction::ScoreSample(const std::vector<double>& x) const {
-  const Matrix z =
-      model_->ExtractFeatures(Matrix::FromRowVector(x));
-  const std::vector<double> zv = z.Row(0);
-  const double log_density = estimator_->LogMarginalDensity(zv);
+double StreamingFaction::ScoreSample(const std::vector<double>& x) {
+  // Every temporary is a named arena buffer: once the shapes are warm a
+  // call performs no heap allocation (the per-arrival zero-alloc gate of
+  // DESIGN.md §13 asserts exactly this).
+  Workspace& ws = *train_workspace_;
+  Matrix* x_row = ws.MatrixFor("streaming.x_row", 1, x.size());
+  std::copy(x.begin(), x.end(), x_row->row_data(0));
+  Matrix* z = ws.MatrixFor("streaming.z_row", 1, model_->feature_dim());
+  model_->ExtractFeaturesInto(*x_row, &ws, z);
+  const double* zv = z->row_data(0);
+  std::vector<double>* solve_scratch =
+      ws.DoublesFor("streaming.solve_scratch", estimator_->dim());
+  const double log_density =
+      estimator_->LogMarginalDensity(zv, solve_scratch->data());
   // log sum_c p_c * Delta g_c(z).
-  const Matrix proba = model_->PredictProba(Matrix::FromRowVector(x));
-  std::vector<double> terms;
+  Matrix* proba =
+      ws.MatrixFor("streaming.proba", 1, model_->num_classes());
+  model_->PredictProbaInto(*x_row, &ws, proba);
+  std::array<double, FairDensityEstimator::kNumClasses> terms;
+  std::size_t nt = 0;
   for (int c = 0; c < FairDensityEstimator::kNumClasses; ++c) {
     double lp = 0.0, ln = 0.0;
-    estimator_->ComponentLogDensities(zv, c, &lp, &ln);
+    estimator_->ComponentLogDensities(zv, c, solve_scratch->data(), &lp,
+                                      &ln);
     const double log_delta = LogAbsExpDiff(lp, ln);
-    const double pc = proba(0, static_cast<std::size_t>(c));
+    const double pc = (*proba)(0, static_cast<std::size_t>(c));
     if (std::isfinite(log_delta) && pc > 1e-12) {
-      terms.push_back(std::log(pc) + log_delta);
+      terms[nt++] = std::log(pc) + log_delta;
     }
   }
-  const double log_unfair = terms.empty() ? kNegInf : LogSumExp(terms);
+  const double log_unfair =
+      nt == 0 ? kNegInf : LogSumExp(terms.data(), nt);
   // Combine in the log domain; the incremental normalizer downstream
   // performs the range normalization Eq. 7 needs. Missing unfairness
   // signal contributes nothing.
@@ -89,8 +112,18 @@ Result<bool> StreamingFaction::ShouldQuery(const Example& example) {
     }
     return take;
   }
-  const double u = ScoreSample(example.x);
   const bool warmed = normalizer_.count() >= config_.burn_in;
+  // Post-warmup arrivals are the steady state: score -> normalize ->
+  // Bernoulli must not touch the heap. Burn-in arrivals warm the arena
+  // shapes and stay exempt; afterwards violations are tallied to
+  // alloc.steady_state_* rather than aborting (the CI gate asserts the
+  // tallies stay at zero).
+  std::optional<ScopedAllocationBan> ban;
+  if (warmed) {
+    ban.emplace("streaming.should_query",
+                ScopedAllocationBan::Mode::kCount);
+  }
+  const double u = ScoreSample(example.x);
   const double omega = 1.0 - normalizer_.Normalize(u);
   normalizer_.Observe(u);
   if (!warmed) return false;
@@ -115,15 +148,32 @@ Status StreamingFaction::ProvideLabel(const Example& example) {
   if (config_.incremental_density && estimator_.has_value()) {
     // Fold the fresh label into the density estimator right away (O(d^2)
     // sufficient-statistics update) so acquisition decisions between full
-    // refits see every label bought so far, not a frozen snapshot.
-    const Matrix z =
-        model_->ExtractFeatures(Matrix::FromRowVector(example.x));
+    // refits see every label bought so far, not a frozen snapshot. Like
+    // the scoring path, the fold is steady state: arena-backed feature
+    // extraction plus an in-place sufficient-statistics refresh, with the
+    // count-mode ban guarding against regressions. The ban shares
+    // ShouldQuery's burn-in exemption: a fold can run before any scored
+    // arrival (an early interval refit precedes warm-start completion),
+    // and that first fold legitimately creates the arena buffers the
+    // scoring path would otherwise have warmed.
+    std::optional<ScopedAllocationBan> ban;
+    if (normalizer_.count() >= config_.burn_in) {
+      ban.emplace("streaming.fold", ScopedAllocationBan::Mode::kCount);
+    }
+    Workspace& ws = *train_workspace_;
+    Matrix* x_row = ws.MatrixFor("streaming.x_row", 1, example.x.size());
+    std::copy(example.x.begin(), example.x.end(), x_row->row_data(0));
+    Matrix* z = ws.MatrixFor("streaming.z_row", 1, model_->feature_dim());
+    model_->ExtractFeaturesInto(*x_row, &ws, z);
     const Status updated =
-        estimator_->Update(z, {example.label}, {example.sensitive},
-                           config_.covariance);
+        estimator_->UpdateOne(z->row_data(0), example.label,
+                              example.sensitive, config_.covariance);
     if (updated.ok()) {
       TelemetryCount("streaming.incremental_fold");
     } else {
+      // Error reporting is off the steady-state path; exempt it from the
+      // ban so the message assembly does not count as a violation.
+      ScopedAllocationAllow allow_error_report;
       TelemetryCount("streaming.incremental_fold_failed");
       // Partially folded statistics are unusable; drop the estimator and
       // let the next scheduled Refit rebuild it.
@@ -136,6 +186,8 @@ Status StreamingFaction::ProvideLabel(const Example& example) {
   return Status::Ok();
 }
 
+// FACTION_COLD_BEGIN: Refit amortizes over refit_interval arrivals and
+// Predict is an evaluation entry point — both off the steady state.
 Status StreamingFaction::Refit() {
   ScopedTimer refit_timer("streaming.refit.seconds");
   TelemetryCount("streaming.refit");
@@ -156,6 +208,10 @@ Status StreamingFaction::Refit() {
     FACTION_LOG(kWarning) << "StreamingFaction: density refit failed ("
                           << fit.status().ToString() << ")";
   }
+  // Pre-grow the pool so the appends until the next refit stay
+  // allocation-free. This must come after the features() call above:
+  // features() compacts the matrix and would discard the spare rows.
+  pool_.Reserve(pool_.size() + config_.refit_interval + 1);
   return Status::Ok();
 }
 
@@ -165,5 +221,6 @@ Result<int> StreamingFaction::Predict(const std::vector<double>& x) const {
   }
   return model_->Predict(Matrix::FromRowVector(x))[0];
 }
+// FACTION_COLD_END
 
 }  // namespace faction

@@ -85,7 +85,9 @@ class StreamingFaction {
   /// FACTION's u(x) for one sample in the current feature space, log
   /// domain (same construction as the batch scorer, without the batch
   /// normalization — the incremental normalizer takes that role).
-  double ScoreSample(const std::vector<double>& x) const;
+  /// Allocation-free in steady state: every temporary lives in
+  /// train_workspace_ (non-const for that reason).
+  double ScoreSample(const std::vector<double>& x);
 
   StreamingFactionConfig config_;
   Rng rng_;

@@ -47,6 +47,20 @@ Status Dataset::Append(const Example& example) {
   return Status::Ok();
 }
 
+void Dataset::Reserve(std::size_t rows) {
+  labels_.reserve(rows);
+  sensitive_.reserve(rows);
+  environments_.reserve(rows);
+  if (dim_ == 0 || rows <= features_.rows()) return;
+  const std::size_t n = labels_.size();
+  Matrix grown(rows, dim_);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::copy(features_.row_data(i), features_.row_data(i) + dim_,
+              grown.row_data(i));
+  }
+  features_ = std::move(grown);
+}
+
 Status Dataset::AppendAll(const Dataset& other) {
   for (std::size_t i = 0; i < other.size(); ++i) {
     FACTION_RETURN_IF_ERROR(Append(other.Get(i)));
@@ -55,13 +69,17 @@ Status Dataset::AppendAll(const Dataset& other) {
 }
 
 Example Dataset::Get(std::size_t i) const {
-  FACTION_CHECK(i < size());
   Example e;
-  e.x.assign(features_.row_data(i), features_.row_data(i) + dim_);
-  e.label = labels_[i];
-  e.sensitive = sensitive_[i];
-  e.environment = environments_[i];
+  GetInto(i, &e);
   return e;
+}
+
+void Dataset::GetInto(std::size_t i, Example* out) const {
+  FACTION_CHECK(i < size());
+  out->x.assign(features_.row_data(i), features_.row_data(i) + dim_);
+  out->label = labels_[i];
+  out->sensitive = sensitive_[i];
+  out->environment = environments_[i];
 }
 
 Dataset Dataset::Subset(const std::vector<std::size_t>& indices) const {

@@ -46,11 +46,21 @@ class Dataset {
   /// sensitive/label encodings are out of range.
   Status Append(const Example& example);
 
+  /// Pre-grows backing storage so the next `rows - size()` Appends perform
+  /// no heap allocation. Note features() compacts the matrix back down to
+  /// size(), so reserve *after* the last features() call of a round (the
+  /// streaming pipeline reserves at the end of each refit).
+  void Reserve(std::size_t rows);
+
   /// Appends every row of `other` (dimensions must agree).
   Status AppendAll(const Dataset& other);
 
   /// Returns the i-th example by value.
   Example Get(std::size_t i) const;
+
+  /// Allocation-aware Get: fills *out in place, reusing out->x capacity —
+  /// a loop-carried Example makes repeated gets heap-free.
+  void GetInto(std::size_t i, Example* out) const;
 
   /// Returns the subset at the given row indices, in order.
   Dataset Subset(const std::vector<std::size_t>& indices) const;

@@ -1,3 +1,7 @@
+// FACTION_HOT: the mixture evaluation paths run under the per-arrival and
+// pool-scoring allocation bans; allocating idioms here are lint findings
+// (tools/lint.py no-alloc-in-hot, DESIGN.md §13). Fitting, batch updates,
+// and the baseline ClassDensityEstimator sit inside FACTION_COLD fences.
 #include "density/fair_density.h"
 
 #include <algorithm>
@@ -5,6 +9,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/alloc_audit.h"
 #include "common/check.h"
 #include "common/parallel.h"
 #include "common/telemetry.h"
@@ -16,6 +21,7 @@ namespace {
 
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
+// FACTION_COLD_BEGIN: batch fitting/refitting — per-round cadence.
 // Copies the listed rows of `features` into a dense matrix for Gaussian::Fit.
 Matrix GatherRows(const Matrix& features,
                   const std::vector<std::size_t>& idx) {
@@ -139,6 +145,43 @@ Status FairDensityEstimator::Update(const Matrix& features,
   TelemetryCount("density.class_update", touched);
   return Status::Ok();
 }
+// FACTION_COLD_END
+
+Status FairDensityEstimator::UpdateOne(const double* z, int label,
+                                       int sensitive,
+                                       const CovarianceConfig& config) {
+  if (total_ == 0) {
+    return Status::FailedPrecondition(
+        "FairDensityEstimator::UpdateOne requires a prior successful Fit");
+  }
+  FACTION_CHECK(z != nullptr);
+  total_ += 1;
+  std::uint64_t touched = 0;
+  const bool in_domain = label >= 0 && label < kNumClasses &&
+                         (sensitive == 1 || sensitive == -1);
+  if (in_domain) {
+    const int idx = ComponentIndex(label, sensitive);
+    counts_[idx] += 1;
+    if (present_[idx]) {
+      FACTION_RETURN_IF_ERROR(components_[idx].UpdateOne(z, config));
+    } else {
+      // A component seen for the first time mid-stream is fitted fresh —
+      // a once-per-component event, exempt from steady-state alloc bans.
+      ScopedAllocationAllow allow_fresh_fit;
+      Matrix row(1, dim_);  // lint-allow(no-alloc-in-hot): once per component
+      std::copy(z, z + dim_, row.row_data(0));
+      FACTION_ASSIGN_OR_RETURN(Gaussian g, Gaussian::Fit(row, config));
+      components_[idx] = std::move(g);
+      present_[idx] = true;
+    }
+    ++touched;
+  }
+  // weights_/log_weights_ keep their size, so the refresh reuses capacity.
+  RefreshWeights();
+  TelemetryCount("density.fair_update");
+  TelemetryCount("density.class_update", touched);
+  return Status::Ok();
+}
 
 bool FairDensityEstimator::HasComponent(int label, int sensitive) const {
   return present_[ComponentIndex(label, sensitive)];
@@ -157,6 +200,8 @@ double FairDensityEstimator::Weight(int label, int sensitive) const {
   return weights_[ComponentIndex(label, sensitive)];
 }
 
+// FACTION_COLD_BEGIN: scalar reference path the raw-pointer overload is
+// parity-tested against; tests and one-off callers only.
 double FairDensityEstimator::LogMarginalDensity(
     const std::vector<double>& z) const {
   FACTION_DCHECK_LEN(z, dim_);
@@ -172,15 +217,36 @@ double FairDensityEstimator::LogMarginalDensity(
   if (terms.empty()) return kNegInf;
   return LogSumExp(terms);
 }
+// FACTION_COLD_END
+
+double FairDensityEstimator::LogMarginalDensity(const double* z,
+                                                double* scratch) const {
+  // Terms in ascending component order with the precomputed log weights —
+  // bit-equal to std::log(weights_[idx]) recomputed per call, and exactly
+  // the order/combine of the vector overload above.
+  std::array<double, kNumClasses * kNumGroups> terms;
+  std::size_t nt = 0;
+  for (std::size_t idx = 0; idx < components_.size(); ++idx) {
+    if (!present_[idx] || weights_[idx] <= 0.0) continue;
+    terms[nt++] = components_[idx].LogPdf(z, scratch) + log_weights_[idx];
+  }
+  return nt == 0 ? kNegInf : LogSumExp(terms.data(), nt);
+}
 
 void FairDensityEstimator::ComponentLogPdfBatch(const Matrix& zs,
                                                 Matrix* out) const {
   FACTION_CHECK_EQ(zs.cols(), dim_);
   const std::size_t n = zs.rows();
   const std::size_t total = components_.size();
-  *out = Matrix(n, total);
+  // Every entry is written below (densities or -inf), so skip the clear
+  // and let a warm caller-owned matrix be reused allocation-free.
+  out->ResizeForOverwrite(n, total);
   if (n == 0) return;
-  std::vector<double> col(n);
+  // Per-thread, capacity-retaining column scratch: after the first batch
+  // of a given pool size the scoring path allocates nothing (every element
+  // is overwritten by LogPdfBatch before the copy reads it).
+  static thread_local std::vector<double> col;  // lint-allow(no-alloc-in-hot): per-thread warmup only
+  col.resize(n);
   for (std::size_t idx = 0; idx < total; ++idx) {
     if (!present_[idx]) {
       for (std::size_t i = 0; i < n; ++i) (*out)(i, idx) = kNegInf;
@@ -215,6 +281,9 @@ void FairDensityEstimator::LogMarginalFromComponents(const Matrix& comp,
   });
 }
 
+// FACTION_COLD_BEGIN: value-returning convenience wrapper, scalar
+// conveniences, and the baseline ClassDensityEstimator (per-task cadence —
+// never inside a steady-state ban region).
 std::vector<double> FairDensityEstimator::LogMarginalDensityBatch(
     const Matrix& zs) const {
   Matrix comp;
@@ -229,6 +298,18 @@ void FairDensityEstimator::ComponentLogDensities(const std::vector<double>& z,
                                                  double* log_neg) const {
   *log_pos = LogComponentDensity(z, label, 1);
   *log_neg = LogComponentDensity(z, label, -1);
+}
+
+void FairDensityEstimator::ComponentLogDensities(const double* z, int label,
+                                                 double* scratch,
+                                                 double* log_pos,
+                                                 double* log_neg) const {
+  const int pos = ComponentIndex(label, 1);
+  const int neg = ComponentIndex(label, -1);
+  *log_pos =
+      present_[pos] ? components_[pos].LogPdf(z, scratch) : kNegInf;
+  *log_neg =
+      present_[neg] ? components_[neg].LogPdf(z, scratch) : kNegInf;
 }
 
 double FairDensityEstimator::DeltaG(const std::vector<double>& z,
@@ -399,5 +480,6 @@ std::vector<double> ClassDensityEstimator::LogMarginalDensityBatch(
   LogMarginalDensityBatch(zs, out.data());
   return out;
 }
+// FACTION_COLD_END
 
 }  // namespace faction

@@ -60,6 +60,14 @@ class FairDensityEstimator {
                 const std::vector<int>& sensitive,
                 const CovarianceConfig& config);
 
+  /// Absorbs a single labeled feature vector (length dim()) — the
+  /// steady-state per-arrival fold. Identical numerics to Update with a
+  /// one-row batch; allocation-free once the touched component's scratch
+  /// is warm, except when `label`/`sensitive` hit a component for the
+  /// first time (fresh fit, deliberately amortized).
+  Status UpdateOne(const double* z, int label, int sensitive,
+                   const CovarianceConfig& config);
+
   /// Total samples absorbed (Fit plus every Update), including rows whose
   /// label/sensitive values fell outside the binary domain.
   std::size_t total_count() const { return total_; }
@@ -78,6 +86,12 @@ class FairDensityEstimator {
 
   /// log g(z) = log sum_{y,s} g(z|y,s) p(y,s) (Eq. 3, log space).
   double LogMarginalDensity(const std::vector<double>& z) const;
+
+  /// Allocation-free LogMarginalDensity: `z` points at dim() coordinates,
+  /// `scratch` at dim() caller-owned doubles (clobbered by the per-
+  /// component triangular solves). Same term order and combine as the
+  /// vector overload, so the result is bitwise identical.
+  double LogMarginalDensity(const double* z, double* scratch) const;
 
   /// Batched component log-densities for every row of `zs`: fills `out`
   /// (resized to zs.rows() x kNumClasses*kNumGroups) so that
@@ -98,6 +112,11 @@ class FairDensityEstimator {
   /// log-densities (log g(z|c,+1), log g(z|c,-1)). The scorer combines them
   /// after the shared batch shift. Missing components contribute -inf.
   void ComponentLogDensities(const std::vector<double>& z, int label,
+                             double* log_pos, double* log_neg) const;
+
+  /// Allocation-free ComponentLogDensities over raw pointers; `scratch`
+  /// holds dim() caller-owned doubles (clobbered).
+  void ComponentLogDensities(const double* z, int label, double* scratch,
                              double* log_pos, double* log_neg) const;
 
   /// Direct (unshifted) Delta g_c(z) = |g(z|c,+1) - g(z|c,-1)|. Convenient

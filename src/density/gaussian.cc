@@ -1,6 +1,11 @@
+// FACTION_HOT: density evaluation backs both the per-arrival score and the
+// batched pool scoring ban regions; allocating idioms here are lint
+// findings (tools/lint.py no-alloc-in-hot, DESIGN.md §13). Fitting and the
+// scalar convenience wrappers sit inside FACTION_COLD fences.
 #include "density/gaussian.h"
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -10,6 +15,8 @@
 
 namespace faction {
 
+// FACTION_COLD_BEGIN: batch fitting allocates the moment matrices once per
+// (re)fit — amortized per round, not per arrival.
 Result<Gaussian> Gaussian::Fit(const Matrix& samples,
                                const CovarianceConfig& config,
                                double fallback_scale) {
@@ -88,8 +95,17 @@ Result<Gaussian> Gaussian::Fit(const Matrix& samples,
   }
 
   FACTION_RETURN_IF_ERROR(g.FactorCovariance(cov, config));
+  // Leave the instance fold-warm: RefreshFromMoments writes cov_scratch_
+  // and CholeskyInto the trial factor, both still empty on a fresh fit
+  // (the accepted factor was swapped *out* of chol_try_). Sizing them here,
+  // in the cold batch path, keeps the first incremental UpdateOne after a
+  // (re)fit allocation-free — the steady-state gate measures that arrival
+  // like any other.
+  g.cov_scratch_.ResizeForOverwrite(d, d);
+  g.chol_try_.ResizeForOverwrite(d, d);
   return g;
 }
+// FACTION_COLD_END
 
 Status Gaussian::Update(const Matrix& new_samples,
                         const CovarianceConfig& config,
@@ -117,6 +133,30 @@ Status Gaussian::Update(const Matrix& new_samples,
     }
   }
   count_ += added;
+  return RefreshFromMoments(config, fallback_scale);
+}
+
+Status Gaussian::UpdateOne(const double* row, const CovarianceConfig& config,
+                           double fallback_scale) {
+  if (count_ == 0) {
+    return Status::FailedPrecondition(
+        "Gaussian::UpdateOne requires a prior successful Fit");
+  }
+  FACTION_CHECK(row != nullptr);
+  const std::size_t d = dim();
+  for (std::size_t a = 0; a < d; ++a) {
+    const double va = row[a];
+    sum_[a] += va;
+    double* sc_a = scatter_.row_data(a);
+    for (std::size_t b = 0; b <= a; ++b) sc_a[b] += va * row[b];
+  }
+  count_ += 1;
+  return RefreshFromMoments(config, fallback_scale);
+}
+
+Status Gaussian::RefreshFromMoments(const CovarianceConfig& config,
+                                    double fallback_scale) {
+  const std::size_t d = dim();
   const double n = static_cast<double>(count_);
   for (std::size_t j = 0; j < d; ++j) mean_[j] = sum_[j] / n;
   for (std::size_t a = 0; a < d; ++a) {
@@ -124,8 +164,11 @@ Status Gaussian::Update(const Matrix& new_samples,
     for (std::size_t b = 0; b < a; ++b) scatter_(b, a) = sc_a[b];
   }
 
-  Matrix cov(d, d);
+  Matrix& cov = cov_scratch_;
   if (count_ >= 2) {
+    // Every element is written (lower triangle then its mirror) before the
+    // shrinkage pass reads it back, so the skip-the-clear resize is exact.
+    cov.ResizeForOverwrite(d, d);
     // Covariance from the raw moments (scatter/n - mean mean^T): the same
     // estimator as the batch two-pass computation up to rounding.
     for (std::size_t a = 0; a < d; ++a) {
@@ -148,6 +191,7 @@ Status Gaussian::Update(const Matrix& new_samples,
       }
     }
   } else {
+    cov.Resize(d, d);
     for (std::size_t a = 0; a < d; ++a) cov(a, a) = fallback_scale;
   }
   return FactorCovariance(cov, config);
@@ -156,14 +200,17 @@ Status Gaussian::Update(const Matrix& new_samples,
 Status Gaussian::FactorCovariance(const Matrix& cov,
                                   const CovarianceConfig& config) {
   const std::size_t d = cov.rows();
-  // Progressive jitter until the Cholesky succeeds.
+  // Progressive jitter until the Cholesky succeeds. The jittered copy and
+  // the trial factor live in member scratch (capacity-retaining copies),
+  // and the accepted factor is swapped into chol_, so re-factorizing a
+  // warm instance allocates nothing.
   double jitter = config.jitter;
   for (int attempt = 0; attempt <= config.max_jitter_doublings; ++attempt) {
-    Matrix regularized = cov;
-    for (std::size_t a = 0; a < d; ++a) regularized(a, a) += jitter;
-    Result<Matrix> chol = Cholesky(regularized);
-    if (chol.ok()) {
-      chol_ = std::move(chol).value();
+    reg_scratch_ = cov;
+    for (std::size_t a = 0; a < d; ++a) reg_scratch_(a, a) += jitter;
+    const Status chol_status = CholeskyInto(reg_scratch_, &chol_try_);
+    if (chol_status.ok()) {
+      std::swap(chol_, chol_try_);
       log_det_ = LogDetFromCholesky(chol_);
       FACTION_DCHECK_FINITE(log_det_);
       return Status::Ok();
@@ -174,6 +221,8 @@ Status Gaussian::FactorCovariance(const Matrix& cov,
       "Gaussian: covariance not positive definite even after jitter");
 }
 
+// FACTION_COLD_BEGIN: scalar reference implementations the raw-pointer and
+// batched paths are parity-tested against; tests and one-off callers only.
 double Gaussian::MahalanobisSquared(const std::vector<double>& z) const {
   FACTION_CHECK_LEN(z, dim());
   std::vector<double> centered(dim());
@@ -191,6 +240,22 @@ double Gaussian::LogPdf(const std::vector<double>& z) const {
   const double maha = MahalanobisSquared(z);
   return -0.5 * (static_cast<double>(dim()) * kLog2Pi + log_det_ + maha);
 }
+// FACTION_COLD_END
+
+double Gaussian::LogPdf(const double* z, double* scratch) const {
+  static constexpr double kLog2Pi = 1.8378770664093453;
+  const std::size_t d = dim();
+  FACTION_DCHECK(z != nullptr);
+  FACTION_DCHECK(scratch != nullptr);
+  // Center, solve L y = (z - mu) in place, and reduce — the exact
+  // operation order of MahalanobisSquared, without its temporaries.
+  for (std::size_t j = 0; j < d; ++j) scratch[j] = z[j] - mean_[j];
+  ForwardSolveInPlace(chol_, scratch, d);
+  double acc = 0.0;
+  for (std::size_t j = 0; j < d; ++j) acc += scratch[j] * scratch[j];
+  FACTION_DCHECK_FINITE(acc);
+  return -0.5 * (static_cast<double>(d) * kLog2Pi + log_det_ + acc);
+}
 
 void Gaussian::LogPdfBatch(const Matrix& zs, double* out) const {
   static constexpr double kLog2Pi = 1.8378770664093453;
@@ -206,8 +271,12 @@ void Gaussian::LogPdfBatch(const Matrix& zs, double* out) const {
   ParallelFor(0, n, kBlock, [&](std::size_t s0, std::size_t s1) {
     const std::size_t width = s1 - s0;
     // Dim-major scratch: y[j * width + t] belongs to sample s0 + t, so the
-    // inner solve loops stream contiguously over the block.
-    std::vector<double> y(d * width);
+    // inner solve loops stream contiguously over the block. Per-thread and
+    // capacity-retaining (the arena is single-threaded, so worker scratch
+    // cannot come from it): after the first block of a given shape the
+    // batch path allocates nothing.
+    static thread_local std::vector<double> y;  // lint-allow(no-alloc-in-hot): per-thread warmup only
+    y.resize(d * width);
     for (std::size_t t = 0; t < width; ++t) {
       const double* zrow = zs.row_data(s0 + t);
       for (std::size_t j = 0; j < d; ++j) {
@@ -226,10 +295,12 @@ void Gaussian::LogPdfBatch(const Matrix& zs, double* out) const {
   });
 }
 
+// FACTION_COLD_BEGIN: value-returning convenience wrapper.
 std::vector<double> Gaussian::LogPdfBatch(const Matrix& zs) const {
   std::vector<double> out(zs.rows());
   LogPdfBatch(zs, out.data());
   return out;
 }
+// FACTION_COLD_END
 
 }  // namespace faction

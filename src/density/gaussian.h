@@ -52,11 +52,23 @@ class Gaussian {
   Status Update(const Matrix& new_samples, const CovarianceConfig& config,
                 double fallback_scale = 1.0);
 
+  /// Folds a single sample (length dim()) into the sufficient statistics —
+  /// the steady-state per-arrival path. Identical numerics to Update with
+  /// a one-row matrix, but allocation-free once the internal covariance/
+  /// factor scratch buffers are warm.
+  Status UpdateOne(const double* row, const CovarianceConfig& config,
+                   double fallback_scale = 1.0);
+
   /// Number of samples absorbed so far (via Fit plus every Update).
   std::size_t count() const { return count_; }
 
   /// log N(z; mean, cov). Precondition: z.size() == dim().
   double LogPdf(const std::vector<double>& z) const;
+
+  /// Allocation-free LogPdf: `z` points at dim() coordinates and `scratch`
+  /// at dim() caller-owned doubles (clobbered). Bitwise-identical to the
+  /// vector overload: same centering, solve, and reduction order.
+  double LogPdf(const double* z, double* scratch) const;
 
   /// Batched LogPdf over the rows of `zs` (n x dim()): one blocked
   /// triangular solve against the cached Cholesky factor per sample block
@@ -79,8 +91,14 @@ class Gaussian {
  private:
   /// Applies progressive diagonal jitter to `cov` until the Cholesky
   /// succeeds, then caches the factor and log-determinant. Shared tail of
-  /// Fit and Update.
+  /// Fit and Update. Works out of member scratch (reg_scratch_/chol_try_),
+  /// so re-factorizations of a warm instance allocate nothing.
   Status FactorCovariance(const Matrix& cov, const CovarianceConfig& config);
+
+  /// Recomputes mean/covariance from the raw moments and re-factorizes.
+  /// Shared tail of Update and UpdateOne (identical arithmetic order).
+  Status RefreshFromMoments(const CovarianceConfig& config,
+                            double fallback_scale);
 
   std::vector<double> mean_;
   Matrix chol_;  // lower Cholesky factor of the regularized covariance
@@ -92,6 +110,14 @@ class Gaussian {
   std::size_t count_ = 0;
   std::vector<double> sum_;
   Matrix scatter_;
+
+  // Warm scratch for the incremental path (covariance from moments, the
+  // jittered copy handed to the factorization, and the trial factor that
+  // is swapped into chol_ on success). Capacity is retained, so the
+  // steady-state UpdateOne performs no heap allocation.
+  Matrix cov_scratch_;
+  Matrix reg_scratch_;
+  Matrix chol_try_;
 };
 
 }  // namespace faction

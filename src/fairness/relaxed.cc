@@ -12,9 +12,12 @@ constexpr double kMinGroupMass = 1e-9;
 
 }  // namespace
 
-Result<std::vector<double>> RelaxedFairnessCoefficients(
-    FairnessNotion notion, const std::vector<int>& sensitive,
-    const std::vector<int>& labels, std::size_t* m_out) {
+Status RelaxedFairnessCoefficientsInto(FairnessNotion notion,
+                                       const std::vector<int>& sensitive,
+                                       const std::vector<int>& labels,
+                                       std::size_t* m_out,
+                                       std::vector<double>* coeffs) {
+  FACTION_CHECK(coeffs != nullptr);
   const std::size_t n = sensitive.size();
   if (n == 0) {
     return Status::InvalidArgument("relaxed fairness: empty input");
@@ -24,15 +27,13 @@ Result<std::vector<double>> RelaxedFairnessCoefficients(
         "relaxed fairness (DEO): labels required and must match size");
   }
 
-  // Which samples contribute, and the empirical p_hat_1 over them.
-  std::vector<char> active(n, 1);
-  if (notion == FairnessNotion::kDeo) {
-    for (std::size_t i = 0; i < n; ++i) active[i] = labels[i] == 1 ? 1 : 0;
-  }
+  // Which samples contribute (all for DDP, positive-label for DEO), and
+  // the empirical p_hat_1 over them.
+  const bool deo = notion == FairnessNotion::kDeo;
   std::size_t m = 0;
   std::size_t group_pos = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    if (!active[i]) continue;
+    if (deo && labels[i] != 1) continue;
     ++m;
     if (sensitive[i] == 1) ++group_pos;
   }
@@ -48,13 +49,22 @@ Result<std::vector<double>> RelaxedFairnessCoefficients(
         std::to_string(p1));
   }
 
-  std::vector<double> coeffs(n, 0.0);
+  coeffs->assign(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
-    if (!active[i]) continue;
+    if (deo && labels[i] != 1) continue;
     const double indicator = sensitive[i] == 1 ? 1.0 : 0.0;
-    coeffs[i] = (indicator - p1) / mass;
+    (*coeffs)[i] = (indicator - p1) / mass;
   }
   if (m_out != nullptr) *m_out = m;
+  return Status::Ok();
+}
+
+Result<std::vector<double>> RelaxedFairnessCoefficients(
+    FairnessNotion notion, const std::vector<int>& sensitive,
+    const std::vector<int>& labels, std::size_t* m_out) {
+  std::vector<double> coeffs;
+  FACTION_RETURN_IF_ERROR(RelaxedFairnessCoefficientsInto(
+      notion, sensitive, labels, m_out, &coeffs));
   return coeffs;
 }
 

@@ -41,6 +41,15 @@ Result<std::vector<double>> RelaxedFairnessCoefficients(
     FairnessNotion notion, const std::vector<int>& sensitive,
     const std::vector<int>& labels, std::size_t* m_out);
 
+/// Allocation-aware variant: identical numerics and error conditions, but
+/// the coefficients are assign()-ed into *coeffs so a caller-owned buffer
+/// is reused across batches (zero allocation once its capacity is warm).
+Status RelaxedFairnessCoefficientsInto(FairnessNotion notion,
+                                       const std::vector<int>& sensitive,
+                                       const std::vector<int>& labels,
+                                       std::size_t* m_out,
+                                       std::vector<double>* coeffs);
+
 }  // namespace faction
 
 #endif  // FACTION_FAIRNESS_RELAXED_H_

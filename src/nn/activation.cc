@@ -26,10 +26,15 @@ void Relu::ForwardInPlace(Matrix* x) {
 
 Matrix Relu::ForwardInference(const Matrix& x) {
   Matrix out = x;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    if (out.data()[i] < 0.0) out.data()[i] = 0.0;
-  }
+  ForwardInferenceInPlace(&out);
   return out;
+}
+
+void Relu::ForwardInferenceInPlace(Matrix* x) {
+  double* v = x->data();
+  for (std::size_t i = 0; i < x->size(); ++i) {
+    if (v[i] < 0.0) v[i] = 0.0;
+  }
 }
 
 Matrix Relu::Backward(const Matrix& dy) const {

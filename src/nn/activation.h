@@ -19,6 +19,10 @@ class Relu {
   /// Elementwise max(0, x) without caching (inference path).
   static Matrix ForwardInference(const Matrix& x);
 
+  /// In-place inference clamp: *x = max(0, *x), no mask. Value-identical
+  /// to ForwardInference; used on the allocation-free inference chain.
+  static void ForwardInferenceInPlace(Matrix* x);
+
   /// Backpropagates through the cached mask. Must follow a matching
   /// Forward.
   Matrix Backward(const Matrix& dy) const;

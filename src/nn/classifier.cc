@@ -1,9 +1,35 @@
 #include "nn/classifier.h"
 
 #include "common/check.h"
+#include "common/workspace.h"
 #include "tensor/ops.h"
 
 namespace faction {
+
+void FeatureClassifier::ForwardInto(const Matrix& x, Matrix* out) {
+  // Default: one temporary from Forward; the copy-assign into *out reuses
+  // its capacity across same-shape batches.
+  *out = Forward(x);
+}
+
+void FeatureClassifier::LogitsInto(const Matrix& x, Workspace* /*ws*/,
+                                   Matrix* out) const {
+  *out = Logits(x);
+}
+
+void FeatureClassifier::ExtractFeaturesInto(const Matrix& x,
+                                            Workspace* /*ws*/,
+                                            Matrix* out) const {
+  *out = ExtractFeatures(x);
+}
+
+void FeatureClassifier::PredictProbaInto(const Matrix& x, Workspace* ws,
+                                         Matrix* out) const {
+  Matrix* logits =
+      ws->MatrixFor("classifier.proba_logits", x.rows(), num_classes());
+  LogitsInto(x, ws, logits);
+  SoftmaxRowsInto(*logits, out);
+}
 
 void FeatureClassifier::CopyParametersFrom(const FeatureClassifier& other) {
   const std::vector<const Matrix*> from = other.Parameters();

@@ -9,6 +9,8 @@
 
 namespace faction {
 
+class Workspace;
+
 /// Abstract classifier-with-a-feature-space: the contract FACTION's
 /// machinery needs from a backbone. Two implementations ship with the
 /// library — the spectral-normalized MLP (the paper's tabular backbone)
@@ -28,11 +30,28 @@ class FeatureClassifier {
   /// for Backward.
   virtual Matrix Forward(const Matrix& x) = 0;
 
+  /// Allocation-aware training forward: writes logits into *out (resized,
+  /// capacity retained). Value-identical to Forward. The base default
+  /// delegates to Forward and copy-assigns; backbones on the zero-alloc
+  /// path override it to write directly into the caller's buffer.
+  virtual void ForwardInto(const Matrix& x, Matrix* out);
+
   /// Inference-only logits.
   virtual Matrix Logits(const Matrix& x) const = 0;
 
+  /// Allocation-aware inference logits: intermediate activations live in
+  /// the caller's Workspace, the result in *out. Bitwise-identical to
+  /// Logits. The base default delegates to Logits and copy-assigns.
+  virtual void LogitsInto(const Matrix& x, Workspace* ws, Matrix* out) const;
+
   /// Feature vectors z = r(x, theta) (n x feature_dim), inference path.
   virtual Matrix ExtractFeatures(const Matrix& x) const = 0;
+
+  /// Allocation-aware feature extraction into *out via the caller's
+  /// Workspace. Bitwise-identical to ExtractFeatures; base default
+  /// delegates and copy-assigns.
+  virtual void ExtractFeaturesInto(const Matrix& x, Workspace* ws,
+                                   Matrix* out) const;
 
   /// Backpropagates dL/dlogits from the last Forward.
   virtual void Backward(const Matrix& dlogits) = 0;
@@ -53,6 +72,11 @@ class FeatureClassifier {
 
   /// Row-wise softmax class probabilities (inference path).
   Matrix PredictProba(const Matrix& x) const;
+
+  /// Allocation-aware PredictProba: logits land in a Workspace buffer
+  /// ("classifier.proba_logits"), probabilities in *out. Bitwise-identical
+  /// to PredictProba.
+  void PredictProbaInto(const Matrix& x, Workspace* ws, Matrix* out) const;
 
   /// Argmax class predictions (inference path).
   std::vector<int> Predict(const Matrix& x) const;

@@ -29,10 +29,8 @@ void Linear::RefreshSpectralScale() {
     scale_ = 1.0;
     return;
   }
-  const SpectralEstimate est =
-      PowerIteration(w_, sn_u_, sn_.power_iterations, &sn_rng_);
-  sn_u_ = est.u;
-  sigma_ = est.sigma;
+  PowerIterationInto(w_, sn_.power_iterations, &sn_rng_, &sn_est_);
+  sigma_ = sn_est_.sigma;
   FACTION_DCHECK_FINITE(sigma_);
   scale_ = sigma_ > sn_.coeff && sigma_ > 0.0 ? sn_.coeff / sigma_ : 1.0;
 }
@@ -61,14 +59,24 @@ void Linear::ForwardInto(const Matrix& x, Matrix* y) {
 }
 
 Matrix Linear::ForwardInference(const Matrix& x) const {
+  Matrix y;
+  ForwardInferenceInto(x, &y);
+  return y;
+}
+
+void Linear::ForwardInferenceInto(const Matrix& x, Matrix* y) const {
   FACTION_CHECK_EQ(x.cols(), in_dim());
-  Matrix y = MatMulBt(x, w_);
+  MatMulBtInto(x, w_, y);
   if (scale_ != 1.0) {
-    for (std::size_t i = 0; i < y.size(); ++i) y.data()[i] *= scale_;
+    for (std::size_t i = 0; i < y->size(); ++i) y->data()[i] *= scale_;
   }
-  Matrix out = y;
-  AddRowBroadcast(&out, b_.Row(0));
-  return out;
+  // Bias broadcast straight from b_'s storage: the same per-element adds
+  // as AddRowBroadcast over a copied bias row, without the copies.
+  const double* bias = b_.row_data(0);
+  for (std::size_t i = 0; i < y->rows(); ++i) {
+    double* r = y->row_data(i);
+    for (std::size_t j = 0; j < y->cols(); ++j) r[j] += bias[j];
+  }
 }
 
 Matrix Linear::Backward(const Matrix& dy) {

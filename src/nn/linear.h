@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "tensor/linalg.h"
 #include "tensor/matrix.h"
 
 namespace faction {
@@ -48,6 +49,10 @@ class Linear {
   /// weight computed from the current persistent power-iteration state.
   Matrix ForwardInference(const Matrix& x) const;
 
+  /// Allocation-free inference forward: writes into *y (resized, capacity
+  /// retained; must not alias x). Bitwise-identical to ForwardInference.
+  void ForwardInferenceInto(const Matrix& x, Matrix* y) const;
+
   /// Backpropagates dL/dy, accumulating weight gradients, and returns
   /// dL/dx. Must follow a Forward call with the matching batch.
   Matrix Backward(const Matrix& dy);
@@ -86,7 +91,10 @@ class Linear {
   Matrix cached_input_;
   Matrix dw_scratch_;              // dy^T x temporary, reused across steps
   std::vector<double> db_scratch_;  // column sums of dy, reused across steps
-  std::vector<double> sn_u_;  // persistent power-iteration vector
+  // Persistent power-iteration state: u doubles as the classic warm-start
+  // vector, and PowerIterationInto reuses u/v as working buffers so a
+  // steady-state spectral refresh performs no heap allocation.
+  SpectralEstimate sn_est_;
   Rng sn_rng_;
   double scale_ = 1.0;
   double sigma_ = 0.0;

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/workspace.h"
 
 #include "tensor/ops.h"
 #include "tensor/simd.h"
@@ -105,7 +106,7 @@ Result<double> AddFairnessPenalty(const Matrix& logits,
                                   const std::vector<int>& labels,
                                   const std::vector<int>& sensitive,
                                   const FairnessPenaltyConfig& config,
-                                  Matrix* dlogits) {
+                                  Matrix* dlogits, Workspace* workspace) {
   FACTION_CHECK(dlogits != nullptr);
   if (logits.cols() != 2) {
     return Status::InvalidArgument(
@@ -117,15 +118,23 @@ Result<double> AddFairnessPenalty(const Matrix& logits,
   }
   const std::size_t n = logits.rows();
 
+  // Temporaries come from the caller's arena when one is supplied.
+  std::vector<double> local_coeffs;
+  Matrix local_proba;
+  std::vector<double>* coeffs = &local_coeffs;
+  Matrix* proba = &local_proba;
+  if (workspace != nullptr) {
+    coeffs = workspace->DoublesFor("loss.fair_coeffs", n);
+    proba = workspace->MatrixFor("loss.fair_proba", n, logits.cols());
+  }
   std::size_t m = 0;
-  FACTION_ASSIGN_OR_RETURN(
-      std::vector<double> coeffs,
-      RelaxedFairnessCoefficients(config.notion, sensitive, labels, &m));
+  FACTION_RETURN_IF_ERROR(RelaxedFairnessCoefficientsInto(
+      config.notion, sensitive, labels, &m, coeffs));
 
   // Scores h_i = softmax probability of class 1; v = (1/M) sum c_i h_i.
-  const Matrix proba = SoftmaxRows(logits);
+  SoftmaxRowsInto(logits, proba);
   double v = 0.0;
-  for (std::size_t i = 0; i < n; ++i) v += coeffs[i] * proba(i, 1);
+  for (std::size_t i = 0; i < n; ++i) v += (*coeffs)[i] * (*proba)(i, 1);
   v /= static_cast<double>(m);
   FACTION_DCHECK_FINITE(v);
 
@@ -151,10 +160,10 @@ Result<double> AddFairnessPenalty(const Matrix& logits,
     // dv/dlogit_{i,k} = (c_i / M) * p1_i * (delta_{1k} - p_{ik}).
     const double scale = config.mu * dpen_dv / static_cast<double>(m);
     for (std::size_t i = 0; i < n; ++i) {
-      if (coeffs[i] == 0.0) continue;
-      const double p0 = proba(i, 0);
-      const double p1 = proba(i, 1);
-      const double base = scale * coeffs[i] * p1;
+      if ((*coeffs)[i] == 0.0) continue;
+      const double p0 = (*proba)(i, 0);
+      const double p1 = (*proba)(i, 1);
+      const double base = scale * (*coeffs)[i] * p1;
       (*dlogits)(i, 0) += base * (-p0);
       (*dlogits)(i, 1) += base * (1.0 - p1);
     }

@@ -9,6 +9,8 @@
 
 namespace faction {
 
+class Workspace;
+
 /// Mean softmax cross-entropy over the batch. Writes dL/dlogits (already
 /// divided by the batch size) into *dlogits (resized to match). Returns the
 /// scalar loss.
@@ -54,11 +56,17 @@ struct FairnessPenaltyConfig {
 /// Returns the penalty value added to the total loss. Returns an error when
 /// the batch cannot support the notion (e.g. a sensitive group is absent) —
 /// callers typically skip the penalty for that batch.
+///
+/// When `workspace` is non-null the coefficient vector and the softmax
+/// probability matrix live in arena buffers ("loss.fair_coeffs" /
+/// "loss.fair_proba") and the call is allocation-free once their capacity
+/// is warm; results are bitwise identical either way.
 Result<double> AddFairnessPenalty(const Matrix& logits,
                                   const std::vector<int>& labels,
                                   const std::vector<int>& sensitive,
                                   const FairnessPenaltyConfig& config,
-                                  Matrix* dlogits);
+                                  Matrix* dlogits,
+                                  Workspace* workspace = nullptr);
 
 /// Convenience: mean negative log-likelihood of the true labels under the
 /// softmax (no gradient); used for regret tracking.

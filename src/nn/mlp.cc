@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/workspace.h"
 #include "tensor/ops.h"
 
 namespace faction {
@@ -25,6 +26,12 @@ MlpClassifier::MlpClassifier(const MlpConfig& config, Rng* rng)
 }
 
 Matrix MlpClassifier::Forward(const Matrix& x) {
+  Matrix logits;
+  ForwardInto(x, &logits);
+  return logits;
+}
+
+void MlpClassifier::ForwardInto(const Matrix& x, Matrix* out) {
   FACTION_CHECK_EQ(x.cols(), config_.input_dim);
   const Matrix* h = &x;
   for (std::size_t i = 0; i < hidden_.size(); ++i) {
@@ -33,9 +40,7 @@ Matrix MlpClassifier::Forward(const Matrix& x) {
     h = &acts_[i];
   }
   last_features_ = *h;  // reuses capacity across same-shape batches
-  Matrix logits;
-  head_->ForwardInto(*h, &logits);
-  return logits;
+  head_->ForwardInto(*h, out);
 }
 
 Matrix MlpClassifier::Logits(const Matrix& x) const {
@@ -46,12 +51,42 @@ Matrix MlpClassifier::Logits(const Matrix& x) const {
   return head_->ForwardInference(h);
 }
 
+void MlpClassifier::LogitsInto(const Matrix& x, Workspace* ws,
+                               Matrix* out) const {
+  Matrix* features = ws->MatrixFor("mlp.infer_features", x.rows(),
+                                   feature_dim());
+  ExtractFeaturesInto(x, ws, features);
+  head_->ForwardInferenceInto(*features, out);
+}
+
 Matrix MlpClassifier::ExtractFeatures(const Matrix& x) const {
   Matrix h = x;
   for (const auto& lin : hidden_) {
     h = Relu::ForwardInference(lin->ForwardInference(h));
   }
   return h;
+}
+
+void MlpClassifier::ExtractFeaturesInto(const Matrix& x, Workspace* ws,
+                                        Matrix* out) const {
+  FACTION_CHECK_EQ(x.cols(), config_.input_dim);
+  if (hidden_.empty()) {
+    *out = x;  // copy-assign: reuses capacity across same-shape batches
+    return;
+  }
+  // Hidden chain ping-pongs between two Workspace buffers; the final layer
+  // writes straight into *out. The input of each layer never aliases its
+  // output: x is the caller's matrix, and a/b alternate.
+  const Matrix* h = &x;
+  Matrix* a = ws->MatrixFor("mlp.infer_a", 0, 0);
+  Matrix* b = ws->MatrixFor("mlp.infer_b", 0, 0);
+  for (std::size_t i = 0; i < hidden_.size(); ++i) {
+    Matrix* target = i + 1 == hidden_.size() ? out : a;
+    hidden_[i]->ForwardInferenceInto(*h, target);
+    Relu::ForwardInferenceInPlace(target);
+    h = target;
+    std::swap(a, b);
+  }
 }
 
 void MlpClassifier::Backward(const Matrix& dlogits) {

@@ -52,12 +52,27 @@ class MlpClassifier : public FeatureClassifier {
   /// intermediate activations for Backward.
   Matrix Forward(const Matrix& x) override;
 
+  /// Allocation-free training forward: logits land in *out (resized,
+  /// capacity retained). Value-identical to Forward.
+  void ForwardInto(const Matrix& x, Matrix* out) override;
+
   /// Inference-only logits (no caches touched).
   Matrix Logits(const Matrix& x) const override;
+
+  /// Allocation-free inference logits: the hidden chain ping-pongs through
+  /// two Workspace buffers ("mlp.infer_a"/"mlp.infer_b", plus
+  /// "mlp.infer_features" for the final hidden activation), the result
+  /// goes to *out. Bitwise-identical to Logits.
+  void LogitsInto(const Matrix& x, Workspace* ws, Matrix* out) const override;
 
   /// Feature vectors z = r(x, theta): the last hidden activation
   /// (n x feature_dim). Inference path.
   Matrix ExtractFeatures(const Matrix& x) const override;
+
+  /// Allocation-free feature extraction into *out via the caller's
+  /// Workspace ping-pong buffers. Bitwise-identical to ExtractFeatures.
+  void ExtractFeaturesInto(const Matrix& x, Workspace* ws,
+                           Matrix* out) const override;
 
   /// The cached feature activations from the last training Forward.
   const Matrix& last_features() const { return last_features_; }

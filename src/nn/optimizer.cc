@@ -9,12 +9,16 @@ namespace faction {
 SgdOptimizer::SgdOptimizer(double lr, double momentum, double weight_decay)
     : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {}
 
+void SgdOptimizer::Prepare(const std::vector<Matrix*>& params) {
+  if (!velocity_.empty() || momentum_ == 0.0) return;
+  velocity_.reserve(params.size());
+  for (Matrix* p : params) velocity_.emplace_back(p->rows(), p->cols());
+}
+
 void SgdOptimizer::Step(const std::vector<Matrix*>& params,
                         const std::vector<Matrix*>& grads) {
   FACTION_CHECK_LEN(grads, params.size());
-  if (velocity_.empty() && momentum_ != 0.0) {
-    for (Matrix* p : params) velocity_.emplace_back(p->rows(), p->cols());
-  }
+  Prepare(params);
   for (std::size_t i = 0; i < params.size(); ++i) {
     Matrix& p = *params[i];
     const Matrix& g = *grads[i];

@@ -34,6 +34,11 @@ class SgdOptimizer : public Optimizer {
   explicit SgdOptimizer(double lr, double momentum = 0.0,
                         double weight_decay = 0.0);
 
+  /// Pre-sizes the momentum state for the given parameter list so the
+  /// first Step performs no allocation. Optional: Step self-initializes
+  /// lazily when Prepare was not called.
+  void Prepare(const std::vector<Matrix*>& params);
+
   void Step(const std::vector<Matrix*>& params,
             const std::vector<Matrix*>& grads) override;
   double learning_rate() const override { return lr_; }

@@ -30,6 +30,7 @@ Result<TrainReport> TrainClassifier(FeatureClassifier* model,
                    config.weight_decay);
   const std::vector<Matrix*> params = model->Parameters();
   const std::vector<Matrix*> grads = model->Gradients();
+  opt.Prepare(params);  // momentum state sized up front, not mid-epoch
 
   TrainReport report;
   const std::size_t n = labeled.size();
@@ -41,6 +42,8 @@ Result<TrainReport> TrainClassifier(FeatureClassifier* model,
   Workspace& arena = workspace != nullptr ? *workspace : local_workspace;
   const std::size_t max_bs = std::min(n, config.batch_size);
   Matrix* x = arena.MatrixFor("trainer.x", max_bs, labeled.dim());
+  Matrix* logits = arena.MatrixFor("trainer.logits", max_bs,
+                                   model->num_classes());
   Matrix* dlogits = arena.MatrixFor("trainer.dlogits", max_bs,
                                     model->num_classes());
   std::vector<int>* y = arena.IntsFor("trainer.y", max_bs);
@@ -66,13 +69,13 @@ Result<TrainReport> TrainClassifier(FeatureClassifier* model,
         (*y)[i] = labeled.labels()[idx];
         (*s)[i] = labeled.sensitive()[idx];
       }
-      const Matrix logits = model->Forward(*x);
-      const double ce = FusedSoftmaxCrossEntropy(logits, *y, dlogits,
+      model->ForwardInto(*x, logits);
+      const double ce = FusedSoftmaxCrossEntropy(*logits, *y, dlogits,
                                                  row_loss);
       double penalty = 0.0;
       if (config.use_fairness_penalty) {
-        const Result<double> pen =
-            AddFairnessPenalty(logits, *y, *s, config.fairness, dlogits);
+        const Result<double> pen = AddFairnessPenalty(
+            *logits, *y, *s, config.fairness, dlogits, &arena);
         // Batches lacking a sensitive group cannot support the notion; the
         // penalty is simply skipped for them.
         if (pen.ok()) {
@@ -83,7 +86,7 @@ Result<TrainReport> TrainClassifier(FeatureClassifier* model,
       }
       if (config.use_individual_penalty) {
         const Result<double> pen = AddIndividualFairnessPenalty(
-            *x, logits, config.individual, dlogits);
+            *x, *logits, config.individual, dlogits);
         if (pen.ok()) penalty += pen.value();
       }
       model->ZeroGrad();

@@ -16,12 +16,13 @@ namespace faction {
 namespace {
 
 // Builds the candidate view (features + sensitive + environment of
-// unlabeled samples) for the strategy.
+// unlabeled samples) for the strategy. Every element of the outputs is
+// overwritten, so the feature matrix keeps its capacity across calls.
 void BuildCandidateView(const Dataset& task,
                         const std::vector<std::size_t>& unlabeled,
                         Matrix* features, std::vector<int>* sensitive,
                         std::vector<int>* environments) {
-  features->Resize(unlabeled.size(), task.dim());
+  features->ResizeForOverwrite(unlabeled.size(), task.dim());
   sensitive->resize(unlabeled.size());
   environments->resize(unlabeled.size());
   for (std::size_t i = 0; i < unlabeled.size(); ++i) {
@@ -159,6 +160,13 @@ Result<RunResult> OnlineLearner::Run(const std::vector<Dataset>& tasks) {
     metrics.task_index = static_cast<int>(t);
 
     // AL iterations: train, score, acquire A labels, repeat until B used.
+    // Candidate-view buffers are loop-carried: BuildCandidateView resizes
+    // them in place, so after the first iteration (shrinking candidate
+    // pool) they never reallocate.
+    std::vector<std::size_t> unlabeled;
+    Matrix cand_features;
+    std::vector<int> cand_sensitive, cand_envs;
+    Example acquired;
     while (oracle.budget_remaining() >= 1 && oracle.num_unlabeled() > 0) {
       if (!pool.empty()) {
         Timer train_timer;
@@ -169,9 +177,7 @@ Result<RunResult> OnlineLearner::Run(const std::vector<Dataset>& tasks) {
         train_seconds += train_timer.ElapsedSeconds();
       }
       Timer acquire_timer;
-      const std::vector<std::size_t> unlabeled = oracle.UnlabeledIndices();
-      Matrix cand_features;
-      std::vector<int> cand_sensitive, cand_envs;
+      oracle.UnlabeledIndicesInto(&unlabeled);
       BuildCandidateView(task, unlabeled, &cand_features, &cand_sensitive,
                          &cand_envs);
       SelectionContext ctx;
@@ -200,9 +206,9 @@ Result<RunResult> OnlineLearner::Run(const std::vector<Dataset>& tasks) {
         }
         const std::size_t idx = unlabeled[pos];
         FACTION_ASSIGN_OR_RETURN(int label, oracle.QueryLabel(idx));
-        Example e = task.Get(idx);
-        e.label = label;
-        FACTION_RETURN_IF_ERROR(pool.Append(e));
+        task.GetInto(idx, &acquired);
+        acquired.label = label;
+        FACTION_RETURN_IF_ERROR(pool.Append(acquired));
       }
       acquire_seconds += acquire_timer.ElapsedSeconds();
     }

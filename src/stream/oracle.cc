@@ -7,11 +7,16 @@ LabelOracle::LabelOracle(const Dataset& task, std::size_t budget)
 
 std::vector<std::size_t> LabelOracle::UnlabeledIndices() const {
   std::vector<std::size_t> out;
-  out.reserve(task_->size() - num_labeled_);
-  for (std::size_t i = 0; i < labeled_.size(); ++i) {
-    if (!labeled_[i]) out.push_back(i);
-  }
+  UnlabeledIndicesInto(&out);
   return out;
+}
+
+void LabelOracle::UnlabeledIndicesInto(std::vector<std::size_t>* out) const {
+  out->clear();
+  out->reserve(task_->size() - num_labeled_);
+  for (std::size_t i = 0; i < labeled_.size(); ++i) {
+    if (!labeled_[i]) out->push_back(i);
+  }
 }
 
 Result<int> LabelOracle::QueryLabel(std::size_t index) {

@@ -25,6 +25,10 @@ class LabelOracle {
   /// Indices (into the task) still unlabeled, in ascending order.
   std::vector<std::size_t> UnlabeledIndices() const;
 
+  /// Allocation-aware variant: the indices are resized into *out so a
+  /// loop-carried buffer is reused across acquisition iterations.
+  void UnlabeledIndicesInto(std::vector<std::size_t>* out) const;
+
   std::size_t num_unlabeled() const { return task_->size() - num_labeled_; }
 
   bool IsLabeled(std::size_t index) const { return labeled_[index]; }

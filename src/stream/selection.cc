@@ -1,3 +1,6 @@
+// FACTION_HOT: selection runs on every acquisition under the steady-state
+// allocation ban; allocating idioms here are lint findings (tools/lint.py
+// no-alloc-in-hot, DESIGN.md §13).
 #include "stream/selection.h"
 
 #include <algorithm>
@@ -32,16 +35,19 @@ void MinMaxNormalizeInto(const std::vector<double>& scores,
   }
 }
 
+// FACTION_COLD_BEGIN: value-returning convenience wrapper for tests and
+// one-off callers; the pipeline uses the Into variant.
 std::vector<double> MinMaxNormalize(const std::vector<double>& scores) {
   std::vector<double> out;
   MinMaxNormalizeInto(scores, &out);
   return out;
 }
+// FACTION_COLD_END
 
-std::vector<std::size_t> BernoulliSelect(const std::vector<double>& omega,
-                                         double alpha, std::size_t batch,
-                                         Rng* rng,
-                                         SelectionScratch* scratch) {
+void BernoulliSelectInto(const std::vector<double>& omega, double alpha,
+                         std::size_t batch, Rng* rng,
+                         SelectionScratch* scratch,
+                         std::vector<std::size_t>* out) {
   SelectionScratch local;
   SelectionScratch* s = scratch != nullptr ? scratch : &local;
   s->order.resize(omega.size());
@@ -50,7 +56,8 @@ std::vector<std::size_t> BernoulliSelect(const std::vector<double>& omega,
                    [&](std::size_t a, std::size_t b) {
                      return SortKey(omega[a]) > SortKey(omega[b]);
                    });
-  std::vector<std::size_t> accepted;
+  std::vector<std::size_t>& accepted = *out;
+  accepted.clear();
   s->taken.assign(omega.size(), 0);
   const std::size_t want = std::min(batch, omega.size());
   // Cycle over the (sorted) pool until the acquisition batch is filled.
@@ -85,6 +92,17 @@ std::vector<std::size_t> BernoulliSelect(const std::vector<double>& omega,
       }
     }
   }
+}
+
+// FACTION_COLD_BEGIN: the returned index vector is the strategy interface's
+// result object — building it allocates by design; strategies keep the ban
+// scope closed before calling in. TopK is baseline-only (per-task cadence).
+std::vector<std::size_t> BernoulliSelect(const std::vector<double>& omega,
+                                         double alpha, std::size_t batch,
+                                         Rng* rng,
+                                         SelectionScratch* scratch) {
+  std::vector<std::size_t> accepted;
+  BernoulliSelectInto(omega, alpha, batch, rng, scratch, &accepted);
   return accepted;
 }
 
@@ -99,5 +117,6 @@ std::vector<std::size_t> TopK(const std::vector<double>& scores,
   if (order.size() > k) order.resize(k);
   return order;
 }
+// FACTION_COLD_END
 
 }  // namespace faction

@@ -46,6 +46,14 @@ std::vector<std::size_t> BernoulliSelect(const std::vector<double>& omega,
                                          Rng* rng,
                                          SelectionScratch* scratch = nullptr);
 
+/// Allocation-aware variant: accepted positions are written into *out
+/// (cleared first, capacity retained), so a caller-owned buffer makes the
+/// steady-state call heap-free. Identical draws and acceptance order.
+void BernoulliSelectInto(const std::vector<double>& omega, double alpha,
+                         std::size_t batch, Rng* rng,
+                         SelectionScratch* scratch,
+                         std::vector<std::size_t>* out);
+
 /// Deterministic top-k by score (descending). Ties broken by index order;
 /// NaN scores order after every finite score (treated as -inf).
 /// Used by the deterministic baselines (Entropy-AL, DDU, FAL, ...).

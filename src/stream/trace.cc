@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/alloc_audit.h"
 #include "tensor/simd.h"
 
 namespace faction {
@@ -90,7 +91,8 @@ Status TraceWriter::WriteRunStart(const std::string& strategy_name) {
   // traces that differ is immediately visible evidence of a parity bug.
   *os_ << "{\"type\":\"run_start\",\"schema_version\":" << kTraceSchemaVersion
        << ",\"strategy\":\"" << JsonEscape(strategy_name)
-       << "\",\"simd_level\":\"" << ActiveSimd().name << "\"}\n";
+       << "\",\"simd_level\":\"" << ActiveSimd().name
+       << "\",\"alloc_audit\":\"" << AllocAuditMode() << "\"}\n";
   return Flush();
 }
 

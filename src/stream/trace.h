@@ -15,7 +15,9 @@ namespace faction {
 /// Schema version stamped into every run_start record. Bump when a field is
 /// added, removed, or retyped; tools/validate_trace.py pins the layout.
 /// v2: run_start gained "simd_level" (the resolved SIMD dispatch tier).
-constexpr int kTraceSchemaVersion = 2;
+/// v3: run_start gained "alloc_audit" ("on"/"off" — whether the build
+///     interposes the allocator; see common/alloc_audit.h).
+constexpr int kTraceSchemaVersion = 3;
 
 /// One structured trace record per stream task (see DESIGN.md §11 for the
 /// schema and determinism contract). Every field except the wall_* group is

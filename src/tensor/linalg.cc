@@ -6,28 +6,38 @@
 
 namespace faction {
 
-Result<Matrix> Cholesky(const Matrix& a) {
+Status CholeskyInto(const Matrix& a, Matrix* l) {
+  FACTION_CHECK(l != nullptr);
   if (a.rows() != a.cols()) {
     return Status::InvalidArgument("Cholesky requires a square matrix");
   }
   const std::size_t n = a.rows();
-  Matrix l(n, n);
+  // Resize zero-fills while retaining capacity: the strict upper triangle
+  // stays zero exactly as in the freshly constructed Matrix of Cholesky().
+  l->Resize(n, n);
+  Matrix& lo = *l;
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j <= i; ++j) {
       double sum = a(i, j);
-      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      for (std::size_t k = 0; k < j; ++k) sum -= lo(i, k) * lo(j, k);
       if (i == j) {
         if (sum <= 0.0 || !std::isfinite(sum)) {
           return Status::NumericalError(
               "matrix is not positive definite (pivot " +
               std::to_string(sum) + " at " + std::to_string(i) + ")");
         }
-        l(i, j) = std::sqrt(sum);
+        lo(i, j) = std::sqrt(sum);
       } else {
-        l(i, j) = sum / l(j, j);
+        lo(i, j) = sum / lo(j, j);
       }
     }
   }
+  return Status::Ok();
+}
+
+Result<Matrix> Cholesky(const Matrix& a) {
+  Matrix l;
+  FACTION_RETURN_IF_ERROR(CholeskyInto(a, &l));
   return l;
 }
 
@@ -44,6 +54,17 @@ std::vector<double> ForwardSolve(const Matrix& lower,
     y[i] = sum / row[i];
   }
   return y;
+}
+
+void ForwardSolveInPlace(const Matrix& lower, double* b, std::size_t n) {
+  FACTION_DCHECK_EQ(lower.rows(), n);
+  FACTION_DCHECK_EQ(lower.cols(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    const double* row = lower.row_data(i);
+    for (std::size_t k = 0; k < i; ++k) sum -= row[k] * b[k];
+    b[i] = sum / row[i];
+  }
 }
 
 std::vector<double> BackSolveTranspose(const Matrix& lower,
@@ -89,38 +110,43 @@ Result<Matrix> SpdInverse(const Matrix& a) {
   return inv;
 }
 
-SpectralEstimate PowerIteration(const Matrix& w, const std::vector<double>& u0,
-                                int iters, Rng* rng) {
+void PowerIterationInto(const Matrix& w, int iters, Rng* rng,
+                        SpectralEstimate* est) {
   FACTION_CHECK(rng != nullptr);
+  FACTION_CHECK(est != nullptr);
   FACTION_CHECK_GE(iters, 0);
   const std::size_t rows = w.rows();
   const std::size_t cols = w.cols();
-  SpectralEstimate est;
-  est.u.assign(rows, 0.0);
-  est.v.assign(cols, 0.0);
-  if (rows == 0 || cols == 0) return est;
+  est->sigma = 0.0;
+  if (rows == 0 || cols == 0) {
+    est->u.assign(rows, 0.0);
+    est->v.assign(cols, 0.0);
+    return;
+  }
 
-  std::vector<double> u(rows);
-  if (u0.size() == rows) {
-    u = u0;
-  } else {
+  std::vector<double>& u = est->u;
+  std::vector<double>& v = est->v;
+  if (u.size() != rows) {
+    // Cold start: draw a fresh Gaussian direction (same draw sequence as
+    // the by-value PowerIteration took on its cold path).
+    u.resize(rows);
     for (auto& x : u) x = rng->Gaussian();
   }
-  auto normalize = [](std::vector<double>* v) {
+  auto normalize = [](std::vector<double>* vec) {
     double n2 = 0.0;
-    for (double x : *v) n2 += x * x;
+    for (double x : *vec) n2 += x * x;
     const double norm = std::sqrt(n2);
     if (norm < 1e-12) {
       // Degenerate direction: restart from a unit basis vector.
-      std::fill(v->begin(), v->end(), 0.0);
-      (*v)[0] = 1.0;
+      std::fill(vec->begin(), vec->end(), 0.0);
+      (*vec)[0] = 1.0;
       return;
     }
-    for (double& x : *v) x /= norm;
+    for (double& x : *vec) x /= norm;
   };
   normalize(&u);
 
-  std::vector<double> v(cols);
+  v.assign(cols, 0.0);
   for (int it = 0; it < iters; ++it) {
     // v = W^T u
     std::fill(v.begin(), v.end(), 0.0);
@@ -147,9 +173,14 @@ SpectralEstimate PowerIteration(const Matrix& w, const std::vector<double>& u0,
     for (std::size_t j = 0; j < cols; ++j) acc += row[j] * v[j];
     sigma += u[i] * acc;
   }
-  est.sigma = std::fabs(sigma);
-  est.u = std::move(u);
-  est.v = std::move(v);
+  est->sigma = std::fabs(sigma);
+}
+
+SpectralEstimate PowerIteration(const Matrix& w, const std::vector<double>& u0,
+                                int iters, Rng* rng) {
+  SpectralEstimate est;
+  est.u = u0;  // warm start iff the size matches, as before
+  PowerIterationInto(w, iters, rng, &est);
   return est;
 }
 

@@ -14,9 +14,20 @@ namespace faction {
 /// within tolerance.
 Result<Matrix> Cholesky(const Matrix& a);
 
+/// As Cholesky, writing the factor into *l (resized to n x n; capacity is
+/// retained so refactorizations of a warm buffer allocate nothing).
+/// Bitwise-identical to Cholesky: same elimination order, same pivots.
+Status CholeskyInto(const Matrix& a, Matrix* l);
+
 /// Solves L y = b for lower-triangular L (forward substitution).
 std::vector<double> ForwardSolve(const Matrix& lower,
                                  const std::vector<double>& b);
+
+/// In-place forward substitution: overwrites b[0, n) with the solution of
+/// L y = b. The update order (ascending i, inner k < i) reads only already
+/// finalized entries, so aliasing input and output is exact — the
+/// arithmetic sequence matches ForwardSolve bit for bit.
+void ForwardSolveInPlace(const Matrix& lower, double* b, std::size_t n);
 
 /// Solves L^T x = y for lower-triangular L (back substitution on the
 /// transpose).
@@ -46,6 +57,14 @@ struct SpectralEstimate {
 /// (Miyato et al., as adopted by the paper's DDU-style backbone).
 SpectralEstimate PowerIteration(const Matrix& w, const std::vector<double>& u0,
                                 int iters, Rng* rng);
+
+/// Allocation-free PowerIteration: est->u/est->v double as the working
+/// buffers. Warm-starts from est->u when its size matches w.rows()
+/// (otherwise fills it from `rng`), so a persistent SpectralEstimate gives
+/// the classic spectral-normalization warm restart without per-call heap
+/// traffic. Identical arithmetic to PowerIteration.
+void PowerIterationInto(const Matrix& w, int iters, Rng* rng,
+                        SpectralEstimate* est);
 
 }  // namespace faction
 

@@ -1,3 +1,8 @@
+// FACTION_HOT: the GEMM/softmax entry points back every training step and
+// ban-guarded scoring region; allocating idioms here are lint findings
+// (tools/lint.py no-alloc-in-hot, DESIGN.md §13). The *Into variants write
+// through caller-owned buffers; the value-returning wrappers are the
+// convenience API and sit inside FACTION_COLD fences.
 #include "tensor/ops.h"
 
 #include <algorithm>
@@ -35,7 +40,7 @@ inline void CheckNoAlias(const Matrix& in, const Matrix* out) {
 // pool workers never touch it — only the calling thread packs; workers
 // read the packed panels through a plain pointer.
 std::vector<double>& PackScratch() {
-  static thread_local std::vector<double> scratch;
+  static thread_local std::vector<double> scratch;  // lint-allow(no-alloc-in-hot): per-thread warmup only
   return scratch;
 }
 
@@ -332,11 +337,13 @@ void AddRowBroadcast(Matrix* m, const std::vector<double>& row) {
   });
 }
 
+// FACTION_COLD_BEGIN: value-returning convenience wrapper.
 std::vector<double> ColSums(const Matrix& m) {
   std::vector<double> out;
   ColSumsInto(m, &out);
   return out;
 }
+// FACTION_COLD_END
 
 void ColSumsInto(const Matrix& m, std::vector<double>* out) {
   out->assign(m.cols(), 0.0);
@@ -352,6 +359,7 @@ void ColSumsInto(const Matrix& m, std::vector<double>* out) {
   });
 }
 
+// FACTION_COLD_BEGIN: value-returning helper (metrics/tests cadence).
 std::vector<double> RowSums(const Matrix& m) {
   std::vector<double> out(m.rows(), 0.0);
   double* sums = out.data();
@@ -364,6 +372,7 @@ std::vector<double> RowSums(const Matrix& m) {
   });
   return out;
 }
+// FACTION_COLD_END
 
 double FrobeniusNorm2(const Matrix& m) {
   double acc = 0.0;

@@ -1,0 +1,207 @@
+// Allocation-audit layer tests (DESIGN.md §13).
+//
+// The centerpiece is the steady-state gate: with FACTION_ALLOC_AUDIT
+// compiled in, a StreamingFaction driven past its warm-up must serve
+// every subsequent arrival — ShouldQuery plus the non-refit ProvideLabel
+// fold — with *zero* heap allocations on the calling thread. The other
+// tests pin the audit API itself: counter tracking, count-mode ban
+// tallies, allow-scope exemption, and the fatal ban's abort.
+//
+// All audit-dependent tests GTEST_SKIP in trees built without the
+// FACTION_ALLOC_AUDIT option, so this binary is safe in every preset;
+// the dedicated CI job builds with the option ON and makes the gate
+// binding.
+#include "common/alloc_audit.h"
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/rng.h"
+#include "core/streaming_faction.h"
+#include "data/dataset.h"
+
+namespace faction {
+namespace {
+
+TEST(AllocAudit, ModeMatchesCompileTimeFlag) {
+  EXPECT_STREQ(AllocAuditEnabled() ? "on" : "off", AllocAuditMode());
+}
+
+TEST(AllocAudit, DisabledBuildReportsZeroStats) {
+  if (AllocAuditEnabled()) GTEST_SKIP() << "audit build: stats are live";
+  const AllocationStats stats = ThreadAllocationStats();
+  EXPECT_EQ(0u, stats.allocs);
+  EXPECT_EQ(0u, stats.frees);
+  EXPECT_EQ(0u, stats.bytes);
+  EXPECT_EQ(0u, stats.peak_bytes);
+}
+
+TEST(AllocAudit, CountersTrackAllocationsAndFrees) {
+  if (!AllocAuditEnabled()) GTEST_SKIP() << "built without audit";
+  constexpr std::size_t kDoubles = 1024;
+  const AllocationStats before = ThreadAllocationStats();
+  {
+    std::vector<double> v(kDoubles, 1.0);
+    const AllocationStats mid = ThreadAllocationStats();
+    EXPECT_GE(mid.allocs, before.allocs + 1);
+    EXPECT_GE(mid.bytes, before.bytes + kDoubles * sizeof(double));
+    EXPECT_GE(mid.peak_bytes, kDoubles * sizeof(double));
+  }
+  const AllocationStats after = ThreadAllocationStats();
+  EXPECT_GE(after.frees, before.frees + 1);
+}
+
+TEST(AllocAudit, CountBanTalliesViolations) {
+  if (!AllocAuditEnabled()) GTEST_SKIP() << "built without audit";
+  constexpr std::size_t kDoubles = 256;
+  ScopedAllocationBan ban("test.count",
+                          ScopedAllocationBan::Mode::kCount);
+  EXPECT_EQ(0u, ban.violations());
+  EXPECT_EQ(0u, ban.violation_bytes());
+  std::vector<double> v(kDoubles, 0.0);
+  EXPECT_GE(ban.violations(), 1u);
+  EXPECT_GE(ban.violation_bytes(), kDoubles * sizeof(double));
+}
+
+TEST(AllocAudit, AllowScopeExemptsFromBan) {
+  if (!AllocAuditEnabled()) GTEST_SKIP() << "built without audit";
+  ScopedAllocationBan ban("test.allow",
+                          ScopedAllocationBan::Mode::kCount);
+  {
+    ScopedAllocationAllow allow;
+    std::vector<double> v(64, 0.0);
+  }
+  EXPECT_EQ(0u, ban.violations());
+  // Stats still observe the exempted allocation; only the ban is waived.
+  const AllocationStats stats = ThreadAllocationStats();
+  EXPECT_GE(stats.allocs, 1u);
+}
+
+TEST(AllocAuditDeathTest, FatalBanAborts) {
+  if (!AllocAuditEnabled()) GTEST_SKIP() << "built without audit";
+  EXPECT_DEATH(
+      {
+        ScopedAllocationBan ban("test.fatal",
+                                ScopedAllocationBan::Mode::kFatal);
+        // A volatile length defeats C++14 allocation elision: the new
+        // expression must actually reach the interposed operator.
+        volatile std::size_t n = 64;
+        std::vector<double> v(n, 0.0);
+        (void)v;
+      },
+      "ScopedAllocationBan violated at site 'test.fatal'");
+}
+
+// ---------------------------------------------------------------------------
+// The steady-state zero-allocation gate.
+
+StreamingFactionConfig SmallStreamingConfig() {
+  StreamingFactionConfig config;
+  config.model.input_dim = 6;
+  config.model.hidden_dims = {8};
+  config.model.num_classes = 2;
+  config.train.epochs = 2;
+  config.train.batch_size = 16;
+  config.warm_start = 24;
+  config.burn_in = 6;
+  config.refit_interval = 20;
+  config.seed = 7;
+  return config;
+}
+
+// Pre-generates a labeled synthetic stream so the measured loop below
+// performs no allocations of its own: two Gaussian class clusters with a
+// sensitive-group shift, balanced enough that every (class x group)
+// density component exists after the first refit.
+std::vector<Example> MakeStream(std::size_t n, std::size_t dim,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Example> stream(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Example& ex = stream[i];
+    ex.label = rng.Bernoulli(0.5) ? 1 : 0;
+    ex.sensitive = rng.Bernoulli(0.5) ? 1 : -1;
+    ex.environment = 0;
+    ex.x.resize(dim);
+    const double center = ex.label == 1 ? 1.5 : -1.5;
+    const double shift = ex.sensitive == 1 ? 0.4 : -0.4;
+    for (std::size_t d = 0; d < dim; ++d) {
+      ex.x[d] = rng.Gaussian(center + shift, 1.0);
+    }
+  }
+  return stream;
+}
+
+TEST(AllocAudit, SteadyStateArrivalsAreAllocationFree) {
+  if (!AllocAuditEnabled()) GTEST_SKIP() << "built without audit";
+  const StreamingFactionConfig config = SmallStreamingConfig();
+  StreamingFaction streaming(config);
+  const std::vector<Example> stream =
+      MakeStream(600, config.model.input_dim, 17);
+
+  // Arrivals before this index warm every arena shape, scratch buffer,
+  // and density component across several refit cycles; afterwards the
+  // gate is binding.
+  constexpr std::size_t kWarmupArrivals = 400;
+
+  // Mirror of StreamingFaction's private refit trigger so the (allocating,
+  // FACTION_COLD) Refit arrivals can be excluded from the measurement:
+  // ProvideLabel refits when the post-append label count reaches
+  // refit_interval, or on the first arrival whose append brings the pool
+  // to warm_start.
+  std::size_t labels_since_refit = 0;
+  bool trained_once = false;
+  std::size_t measured_queries = 0;
+  std::size_t measured_folds = 0;
+
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const Example& ex = stream[i];
+    const bool measure = i >= kWarmupArrivals;
+
+    AllocationStats before = ThreadAllocationStats();
+    const Result<bool> take = streaming.ShouldQuery(ex);
+    AllocationStats after = ThreadAllocationStats();
+    ASSERT_TRUE(take.ok()) << take.status().ToString();
+    if (measure) {
+      EXPECT_EQ(before.allocs, after.allocs)
+          << "ShouldQuery allocated on arrival " << i << " ("
+          << after.bytes - before.bytes << " bytes)";
+      ++measured_queries;
+    }
+    if (!take.value()) continue;
+
+    const bool will_refit =
+        labels_since_refit + 1 >= config.refit_interval ||
+        (!trained_once && streaming.pool_size() + 1 >= config.warm_start);
+    if (will_refit) {
+      ASSERT_TRUE(streaming.ProvideLabel(ex).ok());
+      labels_since_refit = 0;
+      trained_once = true;
+      continue;
+    }
+    before = ThreadAllocationStats();
+    const Status fold = streaming.ProvideLabel(ex);
+    after = ThreadAllocationStats();
+    ASSERT_TRUE(fold.ok()) << fold.ToString();
+    ++labels_since_refit;
+    if (measure) {
+      EXPECT_EQ(before.allocs, after.allocs)
+          << "ProvideLabel fold allocated on arrival " << i << " ("
+          << after.bytes - before.bytes << " bytes)";
+      ++measured_folds;
+    }
+  }
+
+  // The gate must not be vacuous: the post-warmup window has to contain a
+  // healthy number of both measured operations.
+  EXPECT_GE(measured_queries, 100u);
+  EXPECT_GE(measured_folds, 10u);
+  EXPECT_TRUE(streaming.has_estimator());
+  EXPECT_GT(streaming.pool_size(), config.warm_start);
+}
+
+}  // namespace
+}  // namespace faction

@@ -7,6 +7,7 @@
 #include <limits>
 #include <sstream>
 
+#include "common/alloc_audit.h"
 #include "common/parallel.h"
 #include "common/telemetry.h"
 #include "core/presets.h"
@@ -187,9 +188,10 @@ TEST_F(TelemetryTest, TraceSchemaGolden) {
   ASSERT_TRUE(writer.WriteRunEnd(3, 48, 1).ok());
 
   const std::string expected =
-      "{\"type\":\"run_start\",\"schema_version\":2,"
+      "{\"type\":\"run_start\",\"schema_version\":3,"
       "\"strategy\":\"FACTION \\\"quoted\\\"\",\"simd_level\":\"" +
-      std::string(SimdLevelName(ActiveSimdLevel())) + "\"}\n"
+      std::string(SimdLevelName(ActiveSimdLevel())) + "\",\"alloc_audit\":\"" +
+      std::string(AllocAuditMode()) + "\"}\n"
       "{\"type\":\"task\",\"task_index\":2,\"environment\":1,"
       "\"queries\":16,\"acquisition_batches\":2,\"train_steps\":12,"
       "\"density_refit_mode\":\"incremental\",\"drift_fired\":1,"

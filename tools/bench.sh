@@ -23,6 +23,12 @@
 # If the output file already exists, its medians are compared against the
 # fresh run and regressions above 25% are reported.
 #
+# The report's "known_regressions" section records the two accepted PR 5
+# regressions (generic-tier train step vs the pre-SIMD scalar path;
+# avx512 pool scoring vs avx2) with measured slowdowns and rationale,
+# so the gate's tolerance of them is explicit rather than silent. They
+# never participate in --check-against.
+#
 # Usage: tools/bench.sh [--min-time SECONDS] [--binary PATH]
 #                       [--check-against JSON] [--out FILE]
 #   --binary PATH         use an existing micro_components binary instead
@@ -134,6 +140,39 @@ for name, ns in sorted(t1.items()):
     if base in SIMD_BENCHES and arg in SIMD_LEVELS:
         per_level.setdefault(base, {})[SIMD_LEVELS[arg]] = round(ns, 1)
 
+# Known, accepted regressions — measured and recorded explicitly so the
+# >25% --check-against gate stays honest about what it tolerates instead
+# of the numbers hiding inside per_level. slowdown > 1.0 means the first
+# path is slower on this run's host. Neither key participates in the
+# gate: they are tracked, not enforced.
+known_regressions = {}
+_train_generic = per_level.get("BM_TrainStepSimd", {}).get("generic")
+if _train_generic and os.path.exists("BENCH_PR3.json"):
+    with open("BENCH_PR3.json") as f:
+        _pre_simd = json.load(f).get("threads_1", {}).get("BM_TrainStep")
+    if _pre_simd:
+        known_regressions["train_step_generic_vs_pre_simd"] = {
+            "slowdown": round(_train_generic / _pre_simd, 3),
+            "note": (
+                "Portable GCC-vector tier vs the retired scalar train "
+                "step (BENCH_PR3). The generic tier exists for "
+                "correctness parity and hosts without AVX; runtime "
+                "dispatch never selects it when a vector tier is "
+                "available, so a slowdown here is accepted."
+            ),
+        }
+_pool = per_level.get("BM_PoolScoringSimd", {})
+if _pool.get("avx2") and _pool.get("avx512"):
+    known_regressions["pool_scoring_avx512_vs_avx2"] = {
+        "slowdown": round(_pool["avx512"] / _pool["avx2"], 3),
+        "note": (
+            "512-bit pool scoring loses to avx2 on the d=16 triangular "
+            "solves (half-empty zmm lanes plus license-based "
+            "downclocking); GEMM-bound paths still win on avx512, so "
+            "dispatch keeps preferring the highest tier."
+        ),
+    }
+
 # Single-thread ratios against the committed pre-SIMD baselines. Same-host
 # runs read as the SIMD speedup on each tracked hot path.
 vs_committed = {}
@@ -174,6 +213,7 @@ report = {
     "threads_1": {k: round(v, 1) for k, v in sorted(t1.items())},
     "threads_default": {k: round(v, 1) for k, v in sorted(tdef.items())},
     "per_level": per_level,
+    "known_regressions": known_regressions,
     "speedups": {**pair_speedups, **vs_committed},
 }
 
@@ -200,6 +240,10 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(f"wrote {out_path}")
 print(json.dumps(report["speedups"], indent=2))
+if known_regressions:
+    print("known_regressions (tracked, excluded from the gate):")
+    for key, entry in sorted(known_regressions.items()):
+        print(f"  {key}: {entry['slowdown']:.2f}x")
 
 # --check-against: fail when a fresh pair speedup drops below the
 # committed one by more than 25%. Speedups are within-machine ratios, so

@@ -35,6 +35,8 @@ run_preset() {
 }
 
 run_lint() {
+  log "repo lint self-tests (tools/lint_test.py)"
+  python3 tools/lint_test.py
   log "repo lint (tools/lint.py)"
   python3 tools/lint.py
 }

@@ -1,16 +1,36 @@
 #!/usr/bin/env python3
 """Repo lint: project-specific correctness rules for the FACTION codebase.
 
-Rules (each reported as file:line: message):
-  include-guard   every header carries the canonical FACTION_<PATH>_H_ guard
-  no-rand         rand()/srand() are banned outside src/common/rng.* — all
-                  randomness flows through the seeded faction::Rng
-  no-raw-new      no raw `new` / `delete`; use make_unique / containers
-                  (`= delete` for deleted members is fine)
-  no-assert       no bare assert(); use FACTION_CHECK* / FACTION_DCHECK*
-                  from common/check.h so failures are logged before abort
-  no-const-cast   no const_cast under src/ — add a const overload instead
-                  (the serializer's const Parameters() is the pattern)
+Rules (each reported as file:line: [rule] message):
+  include-guard    every header carries the canonical FACTION_<PATH>_H_ guard
+  no-rand          rand()/srand() are banned outside src/common/rng.* — all
+                   randomness flows through the seeded faction::Rng
+  no-raw-new       no raw `new` / `delete`; use make_unique / containers
+                   (`= delete` for deleted members is fine; the allocator
+                   interposer common/alloc_audit.cc is the one exemption)
+  no-assert        no bare assert(); use FACTION_CHECK* / FACTION_DCHECK*
+                   from common/check.h so failures are logged before abort
+  no-const-cast    no const_cast under src/ — add a const overload instead
+                   (the serializer's const Parameters() is the pattern)
+  no-alloc-in-hot  in TUs carrying a `// FACTION_HOT` marker, allocating
+                   idioms (local vector/string/Matrix construction,
+                   std::to_string, make_unique, ...) are banned outside
+                   `// FACTION_COLD_BEGIN` / `// FACTION_COLD_END` fences.
+                   Steady-state code there must draw from Workspace arenas
+                   or member scratch (DESIGN.md §13). Suppress a single
+                   line with `// lint-allow(no-alloc-in-hot): reason`.
+  ffp-contract     every TU that defines SIMD kernels (includes
+                   simd_kernels.inc) or invokes one through the dispatch
+                   table must be pinned with -ffp-contract=off in its
+                   directory's CMakeLists.txt, or FMA contraction would
+                   break the cross-tier bitwise-equality contract
+                   (DESIGN.md §12). The kernel names are parsed from the
+                   SimdKernels struct, the pinned set from the CMake
+                   set_source_files_properties calls.
+  no-wallclock     wall-clock reads (time(), clock(), gettimeofday,
+                   std::chrono::*_clock) are banned outside common/timer.h
+                   — timing flows through faction::Timer so determinism
+                   audits have a single choke point.
 
 Exit status: 0 when clean, 1 when any finding is reported.
 """
@@ -27,22 +47,78 @@ EXTENSIONS = {".cc", ".h", ".cpp"}
 
 RAND_ALLOWED = {Path("src/common/rng.h"), Path("src/common/rng.cc")}
 
+# The allocation-audit interposer must spell `operator new` / `operator
+# delete` to replace them; nothing else may.
+NEW_ALLOWED = {Path("src/common/alloc_audit.cc")}
+
 # const_cast is banned in src/ (library code): every historical use has
 # been replaced by a const overload. Files may be allowlisted here only
 # with a comment explaining why no const-correct design exists.
 CONST_CAST_ALLOWED: set[Path] = set()
+
+# Wall-clock reads live behind faction::Timer only.
+WALLCLOCK_ALLOWED = {Path("src/common/timer.h")}
+
+HOT_MARKER = "FACTION_HOT"
+COLD_BEGIN = "FACTION_COLD_BEGIN"
+COLD_END = "FACTION_COLD_END"
+LINT_ALLOW_RE = re.compile(r"lint-allow\((?P<rule>[a-z-]+)\)")
+
+
+class FileContext:
+    """Per-file inputs shared by every rule pass.
+
+    `text` is the raw file; `code` is the same text with comments and
+    string/char literals blanked (same line/column layout). Markers and
+    suppressions are read from the raw text because they live in comments.
+    """
+
+    def __init__(self, rel: Path, text: str):
+        self.rel = rel
+        self.text = text
+        self.code = strip_comments_and_strings(text)
+        self.raw_lines = text.splitlines()
+        self.code_lines = self.code.splitlines()
+        self.is_hot = any(HOT_MARKER in line and COLD_BEGIN not in line
+                          and COLD_END not in line
+                          for line in self.raw_lines)
+        self.cold = self._cold_mask()
+        self.allows = self._allow_map()
+
+    def _cold_mask(self) -> list:
+        """True for lines inside a FACTION_COLD_BEGIN/END fence."""
+        mask, depth = [], 0
+        for line in self.raw_lines:
+            if COLD_BEGIN in line:
+                depth += 1
+            mask.append(depth > 0)
+            if COLD_END in line:
+                depth = max(0, depth - 1)
+        return mask
+
+    def _allow_map(self) -> dict:
+        """Maps 1-based line number -> set of rules suppressed on it."""
+        allows: dict = {}
+        for lineno, line in enumerate(self.raw_lines, start=1):
+            for m in LINT_ALLOW_RE.finditer(line):
+                allows.setdefault(lineno, set()).add(m.group("rule"))
+        return allows
+
+    def allowed(self, lineno: int, rule: str) -> bool:
+        return rule in self.allows.get(lineno, set())
 
 
 def strip_comments_and_strings(text: str) -> str:
     """Blanks out comments and string/char literals, preserving line breaks.
 
     Keeps the remaining code at the same line/column so findings point at
-    the true location. A simple state machine is plenty for this codebase
-    (no raw strings, no trigraphs).
+    the true location. Handles // and /* */ comments, ordinary and raw
+    string literals (R"delim(...)delim"), and char literals.
     """
     out = []
     i, n = 0, len(text)
     state = "code"  # code | line_comment | block_comment | string | char
+    raw_terminator = None  # set while inside a raw string literal
     while i < n:
         ch = text[i]
         nxt = text[i + 1] if i + 1 < n else ""
@@ -57,12 +133,24 @@ def strip_comments_and_strings(text: str) -> str:
                 out.append("  ")
                 i += 2
                 continue
+            if ch == "R" and nxt == '"' and not (out and
+                                                 (out[-1].isalnum() or
+                                                  out[-1] == "_")):
+                # Raw string literal: R"delim( ... )delim". No escape
+                # processing inside; it ends only at )delim".
+                m = re.match(r'R"([^()\\ \t\n]{0,16})\(', text[i:])
+                if m:
+                    raw_terminator = ")" + m.group(1) + '"'
+                    state = "raw_string"
+                    out.append(" " * len(m.group(0)))
+                    i += len(m.group(0))
+                    continue
             if ch == '"':
                 state = "string"
                 out.append(" ")
                 i += 1
                 continue
-            if ch == "'":
+            if ch == "'" and not (out and (out[-1].isdigit())):
                 state = "char"
                 out.append(" ")
                 i += 1
@@ -81,6 +169,14 @@ def strip_comments_and_strings(text: str) -> str:
                 i += 2
                 continue
             out.append("\n" if ch == "\n" else " ")
+        elif state == "raw_string":
+            if text.startswith(raw_terminator, i):
+                out.append(" " * len(raw_terminator))
+                i += len(raw_terminator)
+                state = "code"
+                raw_terminator = None
+                continue
+            out.append("\n" if ch == "\n" else " ")
         elif state in ("string", "char"):
             quote = '"' if state == "string" else "'"
             if ch == "\\":
@@ -94,6 +190,8 @@ def strip_comments_and_strings(text: str) -> str:
     return "".join(out)
 
 
+# --------------------------------------------------------------- guards
+
 def expected_guard(rel: Path) -> str:
     parts = list(rel.parts)
     if parts[0] == "src":
@@ -104,21 +202,26 @@ def expected_guard(rel: Path) -> str:
     return f"FACTION_{token}_H_"
 
 
-def check_include_guard(rel: Path, text: str, findings: list) -> None:
-    guard = expected_guard(rel)
-    lines = text.splitlines()
+def check_include_guard(ctx: FileContext, findings: list) -> None:
+    guard = expected_guard(ctx.rel)
+    lines = ctx.raw_lines
     ifndef = f"#ifndef {guard}"
     define = f"#define {guard}"
     endif = f"#endif  // {guard}"
     if ifndef not in lines:
-        findings.append((rel, 1, f"missing or wrong include guard; want '{ifndef}'"))
+        findings.append((ctx.rel, 1, "include-guard",
+                         f"missing or wrong include guard; want '{ifndef}'"))
         return
     idx = lines.index(ifndef)
     if idx + 1 >= len(lines) or lines[idx + 1] != define:
-        findings.append((rel, idx + 2, f"'#ifndef {guard}' must be followed by '{define}'"))
+        findings.append((ctx.rel, idx + 2, "include-guard",
+                         f"'#ifndef {guard}' must be followed by '{define}'"))
     if not any(line.startswith(endif) for line in lines):
-        findings.append((rel, len(lines), f"missing closing '{endif}'"))
+        findings.append((ctx.rel, len(lines), "include-guard",
+                         f"missing closing '{endif}'"))
 
+
+# --------------------------------------------------- per-line code rules
 
 RAND_RE = re.compile(r"(?<![\w:])s?rand\s*\(")
 NEW_RE = re.compile(r"(?<![\w_])new\b")
@@ -126,34 +229,190 @@ ASSERT_RE = re.compile(r"(?<![\w_])assert\s*\(")
 ASSERT_INCLUDE_RE = re.compile(r'#\s*include\s*[<"](cassert|assert\.h)[>"]')
 CONST_CAST_RE = re.compile(r"(?<![\w_])const_cast\s*<")
 
+# Wall-clock reads. steady_clock is as banned as system_clock: Timer wraps
+# it, and a second timing source would fork the determinism audit.
+WALLCLOCK_RES = (
+    (re.compile(r"(?<![\w:.>])time\s*\("), "time()"),
+    (re.compile(r"(?<![\w:.>])clock\s*\("), "clock()"),
+    (re.compile(r"(?<![\w:.>])gettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"(?<![\w:.>])clock_gettime\s*\("), "clock_gettime()"),
+    (re.compile(r"std\s*::\s*chrono\s*::\s*\w*_clock"), "std::chrono clocks"),
+)
 
-def check_code_rules(rel: Path, code: str, findings: list) -> None:
-    for lineno, line in enumerate(code.splitlines(), start=1):
+# Allocating idioms banned in FACTION_HOT translation units. Each entry is
+# (regex, what to use instead). These are idiom-level checks, not an
+# escape-analysis: they catch the constructions that put fresh blocks on
+# the heap every call — exactly what the steady-state gate forbids.
+HOT_ALLOC_RES = (
+    (re.compile(r"(?<![\w_])std\s*::\s*make_unique\s*<"),
+     "construct once at setup time, not in a hot TU"),
+    (re.compile(r"(?<![\w_])std\s*::\s*make_shared\s*<"),
+     "construct once at setup time, not in a hot TU"),
+    (re.compile(r"(?<![\w_])std\s*::\s*to_string\s*\("),
+     "format on the cold path only"),
+    # Local declarations only: anchored to indented lines so function
+    # definitions returning these types (column 0) do not match.
+    (re.compile(r"^\s+(?:static\s+|thread_local\s+|const\s+)*"
+                r"std\s*::\s*(vector|string|deque|map|set|"
+                r"unordered_map|unordered_set|list)\s*(<[^;=]*>)?\s+"
+                r"\w+\s*[({;]"),
+     "use a Workspace arena buffer or member scratch"),
+    (re.compile(r"^\s+(?:static\s+|thread_local\s+|const\s+)*"
+                r"Matrix\s+\w+\s*[({]"),
+     "use Workspace::MatrixFor or member scratch"),
+)
+
+
+def check_code_rules(ctx: FileContext, findings: list) -> None:
+    rel = ctx.rel
+    for lineno, line in enumerate(ctx.code_lines, start=1):
         if rel not in RAND_ALLOWED and RAND_RE.search(line):
-            findings.append(
-                (rel, lineno, "rand()/srand() banned outside common/rng; use faction::Rng"))
-        m = NEW_RE.search(line)
-        if m:
-            findings.append(
-                (rel, lineno, "raw `new` banned; use std::make_unique or a container"))
-        # `= delete;` (deleted members) is legitimate; flag only delete-expressions.
-        if re.search(r"(?<![\w_=])delete\s+[\w_*(]", line) and "= delete" not in line:
-            findings.append((rel, lineno, "raw `delete` banned; use RAII owners"))
+            findings.append((rel, lineno, "no-rand",
+                             "rand()/srand() banned outside common/rng; "
+                             "use faction::Rng"))
+        if rel not in NEW_ALLOWED:
+            if NEW_RE.search(line):
+                findings.append((rel, lineno, "no-raw-new",
+                                 "raw `new` banned; use std::make_unique "
+                                 "or a container"))
+            # `= delete;` (deleted members) is legitimate; flag only
+            # delete-expressions.
+            if (re.search(r"(?<![\w_=])delete\s+[\w_*(]", line)
+                    and "= delete" not in line):
+                findings.append((rel, lineno, "no-raw-new",
+                                 "raw `delete` banned; use RAII owners"))
         if ASSERT_RE.search(line):
-            findings.append(
-                (rel, lineno, "bare assert() banned; use FACTION_CHECK*/FACTION_DCHECK*"))
+            findings.append((rel, lineno, "no-assert",
+                             "bare assert() banned; use "
+                             "FACTION_CHECK*/FACTION_DCHECK*"))
         if ASSERT_INCLUDE_RE.search(line):
-            findings.append(
-                (rel, lineno, "<cassert> include banned; use common/check.h"))
+            findings.append((rel, lineno, "no-assert",
+                             "<cassert> include banned; use common/check.h"))
         if (rel.parts[0] == "src" and rel not in CONST_CAST_ALLOWED
                 and CONST_CAST_RE.search(line)):
+            findings.append((rel, lineno, "no-const-cast",
+                             "const_cast banned in src/; add a const "
+                             "overload instead"))
+        if rel.parts[0] == "src" and rel not in WALLCLOCK_ALLOWED:
+            for pattern, what in WALLCLOCK_RES:
+                if pattern.search(line) and not ctx.allowed(lineno,
+                                                            "no-wallclock"):
+                    findings.append((rel, lineno, "no-wallclock",
+                                     f"{what} banned outside common/timer.h;"
+                                     " use faction::Timer"))
+
+
+def check_hot_allocations(ctx: FileContext, findings: list) -> None:
+    if not ctx.is_hot:
+        return
+    for lineno, line in enumerate(ctx.code_lines, start=1):
+        if ctx.cold[lineno - 1] or ctx.allowed(lineno, "no-alloc-in-hot"):
+            continue
+        for pattern, hint in HOT_ALLOC_RES:
+            m = pattern.search(line)
+            if m:
+                findings.append(
+                    (ctx.rel, lineno, "no-alloc-in-hot",
+                     f"allocating idiom `{m.group(0).strip()}` in a "
+                     f"FACTION_HOT TU; {hint} (or fence the region with "
+                     f"{COLD_BEGIN}/{COLD_END})"))
+                break  # one finding per line is enough
+
+
+# ------------------------------------------------- ffp-contract cross-check
+
+KERNEL_MEMBER_RE = re.compile(
+    r"(?:void|double|float|int)\s*\(\s*\*\s*(\w+)\s*\)\s*\(")
+
+
+def simd_kernel_names() -> set:
+    """Function-pointer member names of the SimdKernels dispatch table."""
+    header = ROOT / "src/tensor/simd.h"
+    if not header.is_file():
+        return set()
+    code = strip_comments_and_strings(header.read_text(encoding="utf-8"))
+    struct = re.search(r"struct\s+SimdKernels\s*\{(.*?)\n\};", code,
+                       re.DOTALL)
+    if not struct:
+        return set()
+    return set(KERNEL_MEMBER_RE.findall(struct.group(1)))
+
+
+CMAKE_SET_RE = re.compile(r"set\s*\(\s*(\w+)\s+\"([^\"]*)\"\s*\)",
+                          re.IGNORECASE)
+CMAKE_SSFP_RE = re.compile(
+    r"set_source_files_properties\s*\((.*?)\)", re.IGNORECASE | re.DOTALL)
+CMAKE_VAR_RE = re.compile(r"\$\{(\w+)\}")
+
+
+def cmake_expand(value: str, variables: dict, depth: int = 0) -> str:
+    if depth > 8:
+        return value
+    return CMAKE_VAR_RE.sub(
+        lambda m: cmake_expand(variables.get(m.group(1), ""), variables,
+                               depth + 1), value)
+
+
+def ffp_pinned_sources(cmake_path: Path) -> set:
+    """File names pinned with -ffp-contract=off in one CMakeLists.txt.
+
+    Resolves simple `set(VAR "...")` definitions so pins routed through a
+    flags variable (e.g. FACTION_KERNEL_FLAGS) are still recognized.
+    Conditionals are ignored: a pin inside if() counts, matching how the
+    conditional tier TUs are only compiled when the pin also applies.
+    """
+    text = cmake_path.read_text(encoding="utf-8")
+    text = re.sub(r"#[^\n]*", "", text)
+    variables = {name: value for name, value in CMAKE_SET_RE.findall(text)}
+    pinned = set()
+    for call in CMAKE_SSFP_RE.findall(text):
+        expanded = cmake_expand(call, variables)
+        if "ffp-contract=off" not in expanded:
+            continue
+        head = call.split("PROPERTIES")[0]
+        for token in head.split():
+            if Path(token).suffix in EXTENSIONS:
+                pinned.add(token)
+    return pinned
+
+
+def check_ffp_contract(contexts: list, findings: list) -> None:
+    kernels = simd_kernel_names()
+    if not kernels:
+        findings.append((Path("src/tensor/simd.h"), 1, "ffp-contract",
+                         "could not parse SimdKernels members; "
+                         "update tools/lint.py if the table moved"))
+        return
+    invoke_re = re.compile(
+        r"(?:\.|->)\s*(" + "|".join(sorted(kernels)) + r")\s*\(")
+    pinned_by_dir: dict = {}
+    for ctx in contexts:
+        if ctx.rel.parts[0] != "src" or ctx.rel.suffix not in (".cc", ".cpp"):
+            continue
+        defines = bool(re.search(r'#\s*include\s*"[^"]*simd_kernels\.inc"',
+                                 ctx.text))
+        called = invoke_re.search(ctx.code)
+        if not defines and not called:
+            continue
+        cmake = ROOT / ctx.rel.parent / "CMakeLists.txt"
+        key = ctx.rel.parent
+        if key not in pinned_by_dir:
+            pinned_by_dir[key] = (ffp_pinned_sources(cmake)
+                                  if cmake.is_file() else set())
+        if ctx.rel.name not in pinned_by_dir[key]:
+            what = ("includes simd_kernels.inc" if defines
+                    else f"calls SIMD kernel `{called.group(1)}`")
             findings.append(
-                (rel, lineno,
-                 "const_cast banned in src/; add a const overload instead"))
+                (ctx.rel, 1, "ffp-contract",
+                 f"{what} but is not pinned with -ffp-contract=off in "
+                 f"{key}/CMakeLists.txt; FMA contraction would break "
+                 "cross-tier bitwise parity (DESIGN.md §12)"))
 
 
-def main() -> int:
-    findings = []
+# -------------------------------------------------------------------- main
+
+def collect_contexts() -> list:
+    contexts = []
     for dirname in SOURCE_DIRS:
         base = ROOT / dirname
         if not base.is_dir():
@@ -162,13 +421,25 @@ def main() -> int:
             if path.suffix not in EXTENSIONS or not path.is_file():
                 continue
             rel = path.relative_to(ROOT)
-            text = path.read_text(encoding="utf-8")
-            if path.suffix == ".h":
-                check_include_guard(rel, text, findings)
-            check_code_rules(rel, strip_comments_and_strings(text), findings)
+            contexts.append(FileContext(rel, path.read_text(encoding="utf-8")))
+    return contexts
 
-    for rel, lineno, message in findings:
-        print(f"{rel}:{lineno}: {message}")
+
+def run_lint(contexts: list) -> list:
+    findings: list = []
+    for ctx in contexts:
+        if ctx.rel.suffix == ".h":
+            check_include_guard(ctx, findings)
+        check_code_rules(ctx, findings)
+        check_hot_allocations(ctx, findings)
+    check_ffp_contract(contexts, findings)
+    return findings
+
+
+def main() -> int:
+    findings = run_lint(collect_contexts())
+    for rel, lineno, rule, message in findings:
+        print(f"{rel}:{lineno}: [{rule}] {message}")
     if findings:
         print(f"\ntools/lint.py: {len(findings)} finding(s)", file=sys.stderr)
         return 1

@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint.py — run directly or via ctest (lint_test).
+
+Synthetic FileContexts exercise each rule pass in isolation; the final
+test runs the full lint over the real tree and requires it to be clean,
+so a rule regression and a repo violation both fail here first.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+_LINT_PATH = Path(__file__).resolve().parent / "lint.py"
+_SPEC = importlib.util.spec_from_file_location("faction_lint", _LINT_PATH)
+lint = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(lint)
+
+
+def ctx(text: str, rel: str = "src/core/fake_hot.cc") -> "lint.FileContext":
+    return lint.FileContext(Path(rel), text)
+
+
+def rules_of(findings: list) -> set:
+    return {rule for _, _, rule, _ in findings}
+
+
+class StripCommentsAndStrings(unittest.TestCase):
+    def test_line_and_block_comments(self):
+        out = lint.strip_comments_and_strings("int a; // new int\n/* delete x */ int b;\n")
+        self.assertNotIn("new", out)
+        self.assertNotIn("delete", out)
+        self.assertIn("int a;", out)
+        self.assertIn("int b;", out)
+
+    def test_ordinary_strings_and_chars(self):
+        out = lint.strip_comments_and_strings('auto s = "new int"; char c = \'x\';\n')
+        self.assertNotIn("new", out)
+        self.assertNotIn("x", out.split("=")[-1])
+
+    def test_raw_string_literal(self):
+        # The ( .. ) body must be blanked even across the quote characters
+        # that would confuse the ordinary string state machine.
+        src = 'auto j = R"({"key": "new int \\" delete"})"; int kept;\n'
+        out = lint.strip_comments_and_strings(src)
+        self.assertNotIn("new", out)
+        self.assertNotIn("delete", out)
+        self.assertIn("int kept;", out)
+
+    def test_raw_string_with_delimiter(self):
+        src = 'auto j = R"x(body with )" inside new)x"; int kept;\n'
+        out = lint.strip_comments_and_strings(src)
+        self.assertNotIn("new", out)
+        self.assertIn("int kept;", out)
+
+    def test_raw_string_preserves_line_count(self):
+        src = 'auto j = R"(line1\nnew int\n)"; int kept;\n'
+        out = lint.strip_comments_and_strings(src)
+        self.assertEqual(src.count("\n"), out.count("\n"))
+        self.assertNotIn("new", out)
+
+    def test_identifier_ending_in_r_is_not_raw_string(self):
+        out = lint.strip_comments_and_strings('auto s = var R; auto t = vaR"new";\n')
+        # vaR"..." is an identifier followed by a normal string.
+        self.assertNotIn("new", out)
+        self.assertIn("var R;", out)
+
+
+class CodeRules(unittest.TestCase):
+    def run_rules(self, text: str, rel: str = "src/core/fake.cc") -> list:
+        findings = []
+        lint.check_code_rules(ctx(text, rel), findings)
+        return findings
+
+    def test_raw_new_flagged(self):
+        self.assertIn("no-raw-new", rules_of(self.run_rules("int* p = new int;\n")))
+
+    def test_new_in_string_not_flagged(self):
+        self.assertEqual([], self.run_rules('auto s = "new";\n'))
+
+    def test_alloc_audit_exempt_from_raw_new(self):
+        findings = self.run_rules("void* operator new(std::size_t n);\n",
+                                  rel="src/common/alloc_audit.cc")
+        self.assertNotIn("no-raw-new", rules_of(findings))
+
+    def test_wallclock_flagged_in_src(self):
+        for snippet in ("auto t = time(nullptr);\n",
+                        "auto n = std::chrono::system_clock::now();\n",
+                        "auto n = std::chrono::steady_clock::now();\n",
+                        "clock_gettime(CLOCK_MONOTONIC, &ts);\n"):
+            self.assertIn("no-wallclock", rules_of(self.run_rules(snippet)),
+                          snippet)
+
+    def test_wallclock_allowed_in_timer(self):
+        findings = self.run_rules(
+            "using Clock = std::chrono::steady_clock;\n",
+            rel="src/common/timer.h")
+        self.assertNotIn("no-wallclock", rules_of(findings))
+
+    def test_wallclock_not_matched_on_members(self):
+        # ElapsedSeconds()-style member calls named *time( must not match.
+        self.assertEqual([], self.run_rules("x.time(3); obj->clock();\n"))
+
+    def test_wallclock_not_enforced_outside_src(self):
+        findings = self.run_rules("auto t = time(nullptr);\n",
+                                  rel="tests/fake_test.cc")
+        self.assertNotIn("no-wallclock", rules_of(findings))
+
+
+class HotAllocations(unittest.TestCase):
+    HOT = "// FACTION_HOT: steady state\n"
+
+    def run_hot(self, body: str, hot: bool = True) -> list:
+        findings = []
+        text = (self.HOT if hot else "") + body
+        lint.check_hot_allocations(ctx(text), findings)
+        return findings
+
+    def test_not_hot_not_flagged(self):
+        self.assertEqual([], self.run_hot("  std::vector<int> v;\n", hot=False))
+
+    def test_vector_declaration_flagged(self):
+        self.assertIn("no-alloc-in-hot",
+                      rules_of(self.run_hot("  std::vector<int> v;\n")))
+
+    def test_matrix_construction_flagged(self):
+        self.assertIn("no-alloc-in-hot",
+                      rules_of(self.run_hot("  Matrix m(3, 4);\n")))
+
+    def test_to_string_flagged(self):
+        self.assertIn("no-alloc-in-hot",
+                      rules_of(self.run_hot("  auto s = std::to_string(3);\n")))
+
+    def test_make_unique_flagged(self):
+        self.assertIn(
+            "no-alloc-in-hot",
+            rules_of(self.run_hot("  auto p = std::make_unique<int>(3);\n")))
+
+    def test_function_definition_not_flagged(self):
+        # Column-0 signatures returning Matrix/vector are declarations of
+        # the convenience API, not allocations.
+        self.assertEqual([], self.run_hot("Matrix MatMul(const Matrix& a) {\n"
+                                          "std::vector<double> F();\n"))
+
+    def test_reference_and_pointer_not_flagged(self):
+        self.assertEqual(
+            [], self.run_hot("  std::vector<double>& r = *out;\n"
+                             "  std::vector<double>* p = ws.DoublesFor(n);\n"))
+
+    def test_cold_fence_suppresses(self):
+        body = ("  // FACTION_COLD_BEGIN: wrapper\n"
+                "  std::vector<int> v;\n"
+                "  // FACTION_COLD_END\n"
+                "  std::vector<int> w;\n")
+        findings = self.run_hot(body)
+        self.assertEqual(1, len(findings))
+        self.assertEqual(5, findings[0][1])  # only the unfenced line
+
+    def test_lint_allow_suppresses_single_line(self):
+        body = ("  static thread_local std::vector<double> y;"
+                "  // lint-allow(no-alloc-in-hot): warmup\n"
+                "  std::vector<int> w;\n")
+        findings = self.run_hot(body)
+        self.assertEqual(1, len(findings))
+        self.assertEqual(3, findings[0][1])
+
+
+class FfpContract(unittest.TestCase):
+    def test_kernel_names_parsed_from_header(self):
+        names = lint.simd_kernel_names()
+        self.assertIn("matmul_rows", names)
+        self.assertIn("logpdf_block", names)
+        self.assertIn("row_max", names)
+
+    def test_cmake_expand_resolves_nested_vars(self):
+        variables = {"A": "-O3;${B}", "B": "-ffp-contract=off"}
+        self.assertEqual("-O3;-ffp-contract=off",
+                         lint.cmake_expand("${A}", variables))
+
+    def test_pinned_sources_through_flag_variable(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            cmake = Path(tmp) / "CMakeLists.txt"
+            cmake.write_text(
+                'set(FLAGS "-O3;-ffp-contract=off")\n'
+                "set_source_files_properties(a.cc b.cc PROPERTIES\n"
+                '                            COMPILE_OPTIONS "${FLAGS}")\n'
+                "set_source_files_properties(c.cc PROPERTIES\n"
+                '                            COMPILE_OPTIONS "-O2")\n')
+            self.assertEqual({"a.cc", "b.cc"},
+                             lint.ffp_pinned_sources(cmake))
+
+    def test_real_tree_pins_resolved(self):
+        pinned = lint.ffp_pinned_sources(
+            lint.ROOT / "src/tensor/CMakeLists.txt")
+        self.assertIn("ops.cc", pinned)
+        self.assertIn("simd_generic.cc", pinned)
+
+    def test_unpinned_caller_flagged(self):
+        # A synthetic TU in src/tensor that calls a kernel but is absent
+        # from the real CMake pin list must be reported.
+        fake = ctx("void F() { ActiveSimd().axpy(1.0, x, y, n); }\n",
+                   rel="src/tensor/fake_unpinned.cc")
+        findings = []
+        lint.check_ffp_contract([fake], findings)
+        self.assertEqual({"ffp-contract"}, rules_of(findings))
+
+    def test_unpinned_definer_flagged(self):
+        fake = ctx('#include "tensor/simd_kernels.inc"\n',
+                   rel="src/tensor/fake_tier.cc")
+        findings = []
+        lint.check_ffp_contract([fake], findings)
+        self.assertEqual({"ffp-contract"}, rules_of(findings))
+
+    def test_metadata_reader_not_flagged(self):
+        # Reading ActiveSimd().name (trace provenance) is not a kernel call.
+        fake = ctx("const char* n = ActiveSimd().name;\n",
+                   rel="src/stream/fake_trace.cc")
+        findings = []
+        lint.check_ffp_contract([fake], findings)
+        self.assertEqual([], findings)
+
+
+class IncludeGuard(unittest.TestCase):
+    def test_expected_guard(self):
+        self.assertEqual("FACTION_COMMON_ALLOC_AUDIT_H_",
+                         lint.expected_guard(Path("src/common/alloc_audit.h")))
+
+    def test_missing_guard_flagged(self):
+        findings = []
+        lint.check_include_guard(ctx("int x;\n", rel="src/a/b.h"), findings)
+        self.assertEqual({"include-guard"}, rules_of(findings))
+
+
+class RepoIsClean(unittest.TestCase):
+    def test_full_repo_lint_clean(self):
+        findings = lint.run_lint(lint.collect_contexts())
+        self.assertEqual(
+            [], findings,
+            "repo lint must be clean; run python3 tools/lint.py for detail")
+
+
+if __name__ == "__main__":
+    sys.exit(unittest.main())

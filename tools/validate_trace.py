@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
-"""Validates a FACTION JSONL run trace against schema v1 (DESIGN.md §11).
+"""Validates a FACTION JSONL run trace against the pinned schema
+(DESIGN.md §11).
 
 Usage: tools/validate_trace.py <trace.jsonl>
 
 Checks:
   * every line is a standalone JSON object with a known "type"
-  * the first record is run_start (schema_version 1), the last is run_end
+  * the first record is run_start (pinned schema_version, simd_level,
+    alloc_audit), the last is run_end
   * exactly one run_start / run_end; every other record is a task
   * task records carry all required keys with the right types;
     metrics.{ddp,eod,mi} may be null only when metric_defined.* is false
@@ -20,8 +22,9 @@ from __future__ import annotations
 import json
 import sys
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 SIMD_LEVELS = {"generic", "avx2", "avx512"}
+ALLOC_AUDIT_MODES = {"on", "off"}
 REFIT_MODES = {"batch", "incremental", "mixed", "none", "unknown"}
 
 TASK_INT_KEYS = ("task_index", "environment", "queries",
@@ -113,6 +116,9 @@ def main() -> int:
                     "run_start needs a string 'strategy'")
             require(record.get("simd_level") in SIMD_LEVELS, lineno,
                     f"run_start simd_level must be one of {sorted(SIMD_LEVELS)}")
+            require(record.get("alloc_audit") in ALLOC_AUDIT_MODES, lineno,
+                    f"run_start alloc_audit must be one of"
+                    f" {sorted(ALLOC_AUDIT_MODES)}")
             continue
         require(kind in ("task", "run_end"), lineno,
                 f"unknown record type {kind!r}")
