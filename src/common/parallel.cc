@@ -187,6 +187,15 @@ class ThreadPool {
 
 }  // namespace
 
+ScopedForceSerialParallel::ScopedForceSerialParallel()
+    : prev_(tl_inside_parallel) {
+  tl_inside_parallel = true;
+}
+
+ScopedForceSerialParallel::~ScopedForceSerialParallel() {
+  tl_inside_parallel = prev_;
+}
+
 int ParallelThreadCount() { return ThreadPool::Instance().thread_count(); }
 
 void SetParallelThreadCount(int n) {

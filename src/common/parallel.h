@@ -53,6 +53,28 @@ void SetParallelThreadCount(int n);
 std::size_t ParallelChunkCount(std::size_t begin, std::size_t end,
                                std::size_t grain);
 
+/// RAII guard forcing every ParallelFor issued by the current thread to run
+/// serially inline while the guard lives — the same code path a nested
+/// ParallelFor takes. The serve job system (src/serve) wraps each job in
+/// one: its workers multiplex many independent sessions, so intra-kernel
+/// parallelism would only serialize on the single process-wide pool, and
+/// the inline path keeps job execution allocation-free (the pool spawns
+/// its workers lazily on first use). Results are unchanged by construction:
+/// the determinism contract above makes every parallel result bitwise
+/// identical to the serial path. Guards nest.
+class ScopedForceSerialParallel {
+ public:
+  ScopedForceSerialParallel();
+  ~ScopedForceSerialParallel();
+
+  ScopedForceSerialParallel(const ScopedForceSerialParallel&) = delete;
+  ScopedForceSerialParallel& operator=(const ScopedForceSerialParallel&) =
+      delete;
+
+ private:
+  bool prev_;
+};
+
 namespace internal {
 
 /// Erased chunk body: body(ctx, chunk, chunk_begin, chunk_end). The ctx is

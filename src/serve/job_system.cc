@@ -1,0 +1,425 @@
+// FACTION_HOT: Submit/Enqueue/Execute and the deque operations run on the
+// serve steady-state path for every session step; they must not allocate.
+// One-time construction (arena, deques, worker spawn) sits inside
+// FACTION_COLD fences.
+#include "serve/job_system.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/telemetry.h"
+
+namespace faction {
+
+namespace {
+
+// Identity of the current thread inside its owning JobSystem, set once in
+// WorkerMain. Non-worker threads keep {nullptr, -1}.
+thread_local JobSystem* tl_worker_system = nullptr;
+thread_local int tl_worker_index = -1;
+
+// Minimal TTAS spinlock over std::atomic_flag. Critical sections here are
+// a handful of loads/stores (free-list pop, continuation registration), so
+// spinning beats a mutex and keeps the lock allocation-free and usable
+// under the steady-state allocation ban.
+class SpinGuard {
+ public:
+  explicit SpinGuard(std::atomic_flag* flag) : flag_(flag) {
+    while (flag_->test_and_set(std::memory_order_seq_cst)) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    }
+  }
+  ~SpinGuard() { flag_->clear(std::memory_order_seq_cst); }
+
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  std::atomic_flag* flag_;
+};
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t cap = 1;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WorkStealingDeque
+//
+// Bounded Chase-Lev deque with every atomic at seq_cst (rationale in the
+// header). top_ only ever increases; bottom_ is owner-private except for
+// the loads in Steal/SizeEstimate. A slot at ring position i can only be
+// overwritten by a Push at index b >= i + capacity, and Push refuses while
+// b - t >= capacity, so no live entry is ever clobbered.
+// ---------------------------------------------------------------------------
+
+// FACTION_COLD_BEGIN: construction only.
+WorkStealingDeque::WorkStealingDeque(std::size_t capacity)
+    : mask_(RoundUpPow2(std::max<std::size_t>(capacity, 2)) - 1),
+      slots_(mask_ + 1) {}
+// FACTION_COLD_END
+
+bool WorkStealingDeque::Push(std::uint32_t value) {
+  const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+  const std::int64_t t = top_.load(std::memory_order_seq_cst);
+  // A stale t only underestimates the free space (t never decreases), so
+  // this check can reject spuriously but never admit past capacity.
+  if (b - t >= static_cast<std::int64_t>(capacity())) return false;
+  slots_[static_cast<std::size_t>(b) & mask_].store(
+      value, std::memory_order_seq_cst);
+  bottom_.store(b + 1, std::memory_order_seq_cst);
+  return true;
+}
+
+bool WorkStealingDeque::Pop(std::uint32_t* value) {
+  const std::int64_t b = bottom_.load(std::memory_order_seq_cst) - 1;
+  // Reserve the bottom entry before reading top: after this store a thief
+  // that loads bottom_ sees the shrunken deque, so owner and thief can
+  // race only for the single remaining entry, resolved by the CAS below.
+  bottom_.store(b, std::memory_order_seq_cst);
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  if (t > b) {  // deque was empty
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return false;
+  }
+  *value =
+      slots_[static_cast<std::size_t>(b) & mask_].load(
+          std::memory_order_seq_cst);
+  if (t == b) {
+    // Last entry: win it against thieves by advancing top_ ourselves.
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst)) {
+      bottom_.store(b + 1, std::memory_order_seq_cst);  // thief took it
+      return false;
+    }
+    bottom_.store(b + 1, std::memory_order_seq_cst);  // deque now empty
+  }
+  return true;
+}
+
+bool WorkStealingDeque::Steal(std::uint32_t* value) {
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+  if (t >= b) return false;
+  // Read the slot before the CAS: winning the CAS proves no Push had
+  // recycled ring position t at read time (Push stays >= t + capacity
+  // until top_ advances past t, which only this CAS can do).
+  *value =
+      slots_[static_cast<std::size_t>(t) & mask_].load(
+          std::memory_order_seq_cst);
+  return top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst);
+}
+
+std::size_t WorkStealingDeque::SizeEstimate() const {
+  const std::int64_t t = top_.load(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+  return b > t ? static_cast<std::size_t>(b - t) : 0;
+}
+
+// ---------------------------------------------------------------------------
+// JobSystem
+// ---------------------------------------------------------------------------
+
+// FACTION_COLD_BEGIN: construction pre-sizes every arena and ring and
+// spawns the workers; nothing after this allocates.
+JobSystem::JobSystem(const Options& options)
+    : options_(options), jobs_(std::max<std::size_t>(options.max_jobs, 1)) {
+  options_.workers = std::max(0, options_.workers);
+  // Thread the free list through the arena.
+  for (std::size_t i = 0; i + 1 < jobs_.size(); ++i) {
+    jobs_[i].next_free = static_cast<std::uint32_t>(i + 1);
+  }
+  free_head_ = 0;
+  inject_ring_.assign(jobs_.size(), UINT32_MAX);
+  deques_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    deques_.push_back(
+        std::make_unique<WorkStealingDeque>(options_.deque_capacity));
+  }
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+// FACTION_COLD_END
+
+// FACTION_COLD_BEGIN: teardown.
+JobSystem::~JobSystem() {
+  WaitIdle();
+  {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    stop_ = true;
+    ++wake_epoch_;
+  }
+  park_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+// FACTION_COLD_END
+
+std::uint32_t JobSystem::Allocate(JobFn fn, void* ctx,
+                                  std::uint32_t pending) {
+  std::uint32_t index;
+  {
+    SpinGuard guard(&free_lock_);
+    FACTION_CHECK(free_head_ != UINT32_MAX);  // arena exhausted: raise
+                                              // Options::max_jobs
+    index = free_head_;
+    free_head_ = jobs_[index].next_free;
+  }
+  Job& job = jobs_[index];
+  // Bump the generation before publishing any other field: a stale handle
+  // carrying the old generation now reads "recycled == finished" no matter
+  // how it interleaves with the writes below.
+  job.generation.fetch_add(1, std::memory_order_seq_cst);
+  job.done.store(false, std::memory_order_seq_cst);
+  job.fn = fn;
+  job.ctx = ctx;
+  job.num_continuations = 0;
+  job.next_free = UINT32_MAX;
+  job.pending.store(pending, std::memory_order_seq_cst);
+  in_flight_.fetch_add(1, std::memory_order_seq_cst);
+  return index;
+}
+
+void JobSystem::Release(std::uint32_t index) {
+  SpinGuard guard(&free_lock_);
+  jobs_[index].next_free = free_head_;
+  free_head_ = index;
+}
+
+void JobSystem::NotifyWork() {
+  {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    ++wake_epoch_;
+    if (sleepers_ == 0) return;
+  }
+  park_cv_.notify_all();
+}
+
+bool JobSystem::PopInjected(std::uint32_t* index) {
+  std::lock_guard<std::mutex> lock(inject_mu_);
+  if (inject_size_ == 0) return false;
+  *index = inject_ring_[inject_head_];
+  inject_head_ = (inject_head_ + 1) % inject_ring_.size();
+  --inject_size_;
+  return true;
+}
+
+void JobSystem::Enqueue(std::uint32_t index) {
+  if (options_.workers == 0) {
+    Execute(index);  // synchronous mode: run inline, recursing through any
+    return;          // continuations this unblocks
+  }
+  if (tl_worker_system == this &&
+      deques_[static_cast<std::size_t>(tl_worker_index)]->Push(index)) {
+    // Published to our own deque; parked siblings may want to steal it.
+    NotifyWork();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(inject_mu_);
+    // Ring capacity equals the job arena size, so it cannot overflow.
+    FACTION_CHECK(inject_size_ < inject_ring_.size());
+    inject_ring_[(inject_head_ + inject_size_) % inject_ring_.size()] =
+        index;
+    ++inject_size_;
+  }
+  TelemetryCount("serve.jobs.injected", 1);
+  NotifyWork();
+}
+
+void JobSystem::Execute(std::uint32_t index) {
+  Job& job = jobs_[index];
+  {
+    // Serve workers multiplex many sessions; intra-kernel ParallelFor
+    // would serialize on the process-wide pool, so force the (bitwise
+    // identical) serial path for the job body.
+    ScopedForceSerialParallel serial;
+    job.fn(job.ctx);
+  }
+  TelemetryCount("serve.jobs.executed", 1);
+  std::uint32_t continuations[kMaxContinuations];
+  std::uint32_t num_continuations;
+  {
+    // Completion and continuation registration are mutually exclusive:
+    // after done=true is published under this lock, SubmitAfter counts
+    // this dependency as satisfied instead of registering.
+    SpinGuard guard(&job.cont_lock);
+    num_continuations = job.num_continuations;
+    for (std::uint32_t i = 0; i < num_continuations; ++i) {
+      continuations[i] = job.continuations[i];
+    }
+    job.num_continuations = 0;
+    job.done.store(true, std::memory_order_seq_cst);
+  }
+  Release(index);
+  for (std::uint32_t i = 0; i < num_continuations; ++i) {
+    const std::uint32_t c = continuations[i];
+    if (jobs_[c].pending.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+      Enqueue(c);
+    }
+  }
+  if (in_flight_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    // Transition to zero: wake WaitIdle callers. Taking idle_mu_ orders
+    // this notify after any waiter's in_flight_ re-check under the lock.
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    idle_cv_.notify_all();
+  }
+}
+
+bool JobSystem::TryAcquire(std::uint32_t* index, int self) {
+  if (PopInjected(index)) return true;
+  const int n = static_cast<int>(deques_.size());
+  for (int i = 0; i < n; ++i) {
+    if (i == self) continue;
+    if (deques_[static_cast<std::size_t>(i)]->Steal(index)) {
+      TelemetryCount("serve.jobs.stolen", 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+void JobSystem::WorkerMain(int worker_index) {
+  tl_worker_system = this;
+  tl_worker_index = worker_index;
+  WorkStealingDeque& own =
+      *deques_[static_cast<std::size_t>(worker_index)];
+  std::uint32_t index;
+  for (;;) {
+    if (own.Pop(&index) || TryAcquire(&index, worker_index)) {
+      Execute(index);
+      continue;
+    }
+    std::uint64_t epoch;
+    {
+      std::lock_guard<std::mutex> lock(park_mu_);
+      if (stop_) return;
+      epoch = wake_epoch_;
+    }
+    // Re-check with the epoch pinned: any enqueue after the read above
+    // bumps wake_epoch_ under park_mu_, so the wait below cannot sleep
+    // through it.
+    if (own.Pop(&index) || TryAcquire(&index, worker_index)) {
+      Execute(index);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(park_mu_);
+    ++sleepers_;
+    TelemetryCount("serve.workers.parked", 1);
+    park_cv_.wait(lock, [&] { return stop_ || wake_epoch_ != epoch; });
+    --sleepers_;
+    if (stop_) return;
+  }
+}
+
+JobSystem::JobHandle JobSystem::Submit(JobFn fn, void* ctx) {
+  const std::uint32_t index = Allocate(fn, ctx, /*pending=*/1);
+  // Read the generation before dropping the submission guard: in
+  // synchronous mode the job (and its recycling) completes inside
+  // Enqueue, after which the slot's generation may move on.
+  const JobHandle handle{
+      index, jobs_[index].generation.load(std::memory_order_seq_cst)};
+  if (jobs_[index].pending.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    Enqueue(index);
+  }
+  return handle;
+}
+
+JobSystem::JobHandle JobSystem::SubmitAfter(const JobHandle* deps,
+                                            std::size_t ndeps, JobFn fn,
+                                            void* ctx) {
+  // pending = ndeps + 1: the +1 submission guard keeps the job from
+  // launching while dependencies are still being registered, even if they
+  // all finish mid-loop.
+  const std::uint32_t index =
+      Allocate(fn, ctx, static_cast<std::uint32_t>(ndeps) + 1);
+  const JobHandle handle{
+      index, jobs_[index].generation.load(std::memory_order_seq_cst)};
+  std::uint32_t satisfied = 0;
+  for (std::size_t i = 0; i < ndeps; ++i) {
+    const JobHandle& dep = deps[i];
+    if (dep.index == UINT32_MAX ||
+        dep.index >= static_cast<std::uint32_t>(jobs_.size())) {
+      ++satisfied;
+      continue;
+    }
+    Job& dep_job = jobs_[dep.index];
+    bool registered = false;
+    {
+      SpinGuard guard(&dep_job.cont_lock);
+      // Same lock as completion in Execute: either we register before the
+      // dependency publishes done (and it will decrement us), or we
+      // observe done/recycled and count the dependency as satisfied.
+      if (dep_job.generation.load(std::memory_order_seq_cst) ==
+              dep.generation &&
+          !dep_job.done.load(std::memory_order_seq_cst)) {
+        FACTION_CHECK(dep_job.num_continuations < kMaxContinuations);
+        dep_job.continuations[dep_job.num_continuations++] = index;
+        registered = true;
+      }
+    }
+    if (!registered) ++satisfied;
+  }
+  if (jobs_[index].pending.fetch_sub(satisfied + 1,
+                                     std::memory_order_seq_cst) ==
+      satisfied + 1) {
+    Enqueue(index);
+  }
+  return handle;
+}
+
+bool JobSystem::Done(const JobHandle& handle) const {
+  if (handle.index == UINT32_MAX ||
+      handle.index >= static_cast<std::uint32_t>(jobs_.size())) {
+    return true;
+  }
+  const Job& job = jobs_[handle.index];
+  // A generation mismatch means the slot was recycled, which implies the
+  // job finished first.
+  if (job.generation.load(std::memory_order_seq_cst) != handle.generation) {
+    return true;
+  }
+  return job.done.load(std::memory_order_seq_cst);
+}
+
+void JobSystem::Wait(const JobHandle& handle) {
+  const int self = tl_worker_system == this ? tl_worker_index : -1;
+  std::uint32_t index;
+  while (!Done(handle)) {
+    if (self >= 0 &&
+        deques_[static_cast<std::size_t>(self)]->Pop(&index)) {
+      Execute(index);
+    } else if (TryAcquire(&index, self)) {
+      Execute(index);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void JobSystem::WaitIdle() {
+  // Would deadlock from inside a job: the caller's own job counts toward
+  // in_flight_ and can never retire while it blocks here.
+  FACTION_CHECK(tl_worker_system != this);
+  std::uint32_t index;
+  while (TryAcquire(&index, /*self=*/-1)) Execute(index);
+  std::unique_lock<std::mutex> lock(idle_mu_);
+  idle_cv_.wait(lock, [&] {
+    return in_flight_.load(std::memory_order_seq_cst) == 0;
+  });
+}
+
+std::size_t JobSystem::InFlight() const {
+  const std::int64_t n = in_flight_.load(std::memory_order_seq_cst);
+  return n > 0 ? static_cast<std::size_t>(n) : 0;
+}
+
+}  // namespace faction

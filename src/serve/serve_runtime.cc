@@ -1,0 +1,69 @@
+// FACTION_HOT: Offer/Schedule/DrainJob run once per served arrival.
+// Construction and session registration sit inside FACTION_COLD fences.
+#include "serve/serve_runtime.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/telemetry.h"
+
+namespace faction {
+
+// FACTION_COLD_BEGIN: runtime construction and session registration.
+ServeRuntime::ServeRuntime(const ServeRuntimeOptions& options)
+    : options_(options), jobs_([&] {
+        JobSystem::Options jobs;
+        jobs.workers = options.workers;
+        // One in-flight drain plus one reschedule per session, with slack
+        // for the transient overlap while both exist.
+        jobs.max_jobs = std::max<std::size_t>(options.max_sessions, 1) * 2 + 8;
+        jobs.deque_capacity =
+            std::max<std::size_t>(options.max_sessions, 1);
+        return jobs;
+      }()) {}
+
+ServeSession* ServeRuntime::CreateSession(ServeSessionOptions options) {
+  FACTION_CHECK(registry_.size() < options_.max_sessions);
+  if (options.mailbox_capacity == 0) {
+    options.mailbox_capacity = options_.mailbox_capacity;
+  }
+  ServeSession* session = registry_.Create(options);
+  session->set_runtime(this);
+  return session;
+}
+// FACTION_COLD_END
+
+void ServeRuntime::DrainJob(void* ctx) {
+  auto* session = static_cast<ServeSession*>(ctx);
+  ServeRuntime* runtime = session->runtime();
+  session->Drain(runtime->options_.record_latency ? &runtime->clock_
+                                                  : nullptr);
+  if (session->FinishSchedule()) {
+    // Arrivals raced in after the final drain pass and we re-took the
+    // schedule; requeue rather than loop inline so one hot session cannot
+    // monopolize a worker.
+    runtime->Schedule(session);
+  }
+}
+
+void ServeRuntime::Schedule(ServeSession* session) {
+  jobs_.Submit(&ServeRuntime::DrainJob, session);
+}
+
+bool ServeRuntime::Offer(ServeSession* session, const Example& example) {
+  FACTION_CHECK(session != nullptr && session->runtime() == this);
+  const double enqueue_seconds =
+      options_.record_latency ? clock_.ElapsedSeconds() : -1.0;
+  if (!session->Push(example, enqueue_seconds)) return false;
+  TelemetryCount("serve.arrivals.offered", 1);
+  // Won the idle->scheduled CAS: exactly one drain job owns the session
+  // until FinishSchedule releases it. Lost it: the current holder's
+  // FinishSchedule re-check is ordered after our Push and picks the
+  // arrival up.
+  if (session->BeginSchedule()) Schedule(session);
+  return true;
+}
+
+void ServeRuntime::Drain() { jobs_.WaitIdle(); }
+
+}  // namespace faction

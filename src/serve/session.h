@@ -1,0 +1,133 @@
+#ifndef FACTION_SERVE_SESSION_H_
+#define FACTION_SERVE_SESSION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/streaming_faction.h"
+#include "data/dataset.h"
+
+// One serving session = one independent per-cohort StreamingFaction
+// stream plus an SPSC arrival mailbox (DESIGN.md §14). Sessions share
+// nothing, which is what makes multi-worker serving bitwise deterministic:
+// a session's outputs depend only on its own arrival order, which the
+// mailbox preserves, and on its own learner state, which exactly one
+// scheduled drain at a time may touch.
+
+namespace faction {
+
+class ServeRuntime;
+
+struct ServeSessionOptions {
+  /// Registry key; also a convenient per-cohort identifier.
+  std::uint64_t stream_id = 0;
+  /// Learner configuration; the session owns the learner and all of its
+  /// scratch (Workspace lives inside StreamingFaction).
+  StreamingFactionConfig faction;
+  /// Mailbox slots. A full mailbox rejects Push — open-loop load
+  /// generators count that as a shed arrival.
+  std::size_t mailbox_capacity = 64;
+  /// When nonzero, every query decision (0/1 per arrival, in arrival
+  /// order) is recorded up to this capacity for replay comparison; the
+  /// capacity is pre-reserved so recording never allocates. Pushing past
+  /// the capacity is a FACTION_CHECK failure.
+  std::size_t decision_log_capacity = 0;
+};
+
+/// A registered stream session: learner + mailbox + scheduling flag.
+///
+/// Threading contract:
+///   * Push is called by at most one producer thread at a time per
+///     session (the serve runtime's Offer path).
+///   * Drain/FinishSchedule run on whichever job-system worker holds the
+///     session's schedule; BeginSchedule/FinishSchedule guarantee at most
+///     one holder, so learner state needs no further locking.
+class ServeSession {
+ public:
+  // FACTION_COLD_BEGIN: construction pre-sizes the mailbox (each slot's
+  // feature vector at full dimension) and the decision log.
+  explicit ServeSession(const ServeSessionOptions& options);
+  // FACTION_COLD_END
+
+  ServeSession(const ServeSession&) = delete;
+  ServeSession& operator=(const ServeSession&) = delete;
+
+  /// Producer side: copies the example into a pre-sized mailbox slot.
+  /// False when the mailbox is full (arrival shed). `enqueue_seconds` is
+  /// the serve clock at arrival, used for step-latency histograms; pass
+  /// a negative value when no latency accounting is wanted.
+  bool Push(const Example& example, double enqueue_seconds);
+
+  /// Consumer side: folds every currently-visible arrival into the
+  /// learner, in mailbox order. `clock` may be null (no latency
+  /// accounting). Caller must hold the schedule.
+  void Drain(const Timer* clock);
+
+  /// Attempts to take the schedule (idle -> scheduled). True means the
+  /// caller must arrange exactly one Drain + FinishSchedule.
+  bool BeginSchedule();
+
+  /// Releases the schedule, then re-takes it if arrivals raced in after
+  /// the final Drain. True means the caller must schedule another drain —
+  /// this is what closes the "push landed between drain and release"
+  /// window without ever losing or double-processing an arrival.
+  bool FinishSchedule();
+
+  /// Backpointer set once at registration so a drain job's context can be
+  /// just the session; never dereferenced by this class.
+  void set_runtime(ServeRuntime* runtime) { runtime_ = runtime; }
+  ServeRuntime* runtime() const { return runtime_; }
+
+  std::uint64_t stream_id() const { return stream_id_; }
+  const StreamingFaction& faction() const { return faction_; }
+  /// Query decisions in arrival order (empty unless recording was
+  /// enabled).
+  const std::vector<std::uint8_t>& decisions() const { return decisions_; }
+  /// Arrivals folded into the learner so far.
+  std::size_t steps() const {
+    return pop_count_.load(std::memory_order_seq_cst);
+  }
+  /// Arrivals rejected by a full mailbox.
+  std::size_t shed() const {
+    return shed_.load(std::memory_order_seq_cst);
+  }
+  std::size_t mailbox_capacity() const { return slots_.size(); }
+  bool MailboxEmpty() const {
+    return push_count_.load(std::memory_order_seq_cst) ==
+           pop_count_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  struct Arrival {
+    Example example;
+    double enqueue_seconds = -1.0;
+  };
+
+  enum : int { kIdle = 0, kScheduled = 1 };
+
+  void Step(const Arrival& arrival, const Timer* clock);
+
+  const std::uint64_t stream_id_;
+  ServeRuntime* runtime_ = nullptr;
+  StreamingFaction faction_;
+
+  // SPSC mailbox ring. push_count_/pop_count_ are total counts; the slot
+  // index is count % capacity. The producer owns push_count_, the
+  // schedule holder owns pop_count_.
+  std::vector<Arrival> slots_;
+  std::atomic<std::uint64_t> push_count_{0};
+  std::atomic<std::uint64_t> pop_count_{0};
+  std::atomic<std::uint64_t> shed_{0};
+
+  // kIdle or kScheduled; flipped by BeginSchedule/FinishSchedule.
+  std::atomic<int> sched_{kIdle};
+
+  std::vector<std::uint8_t> decisions_;
+};
+
+}  // namespace faction
+
+#endif  // FACTION_SERVE_SESSION_H_

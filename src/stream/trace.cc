@@ -96,6 +96,17 @@ Status TraceWriter::WriteRunStart(const std::string& strategy_name) {
   return Flush();
 }
 
+Status TraceWriter::WriteRunStart(const std::string& strategy_name,
+                                  const ServeInfo& serve) {
+  *os_ << "{\"type\":\"run_start\",\"schema_version\":" << kTraceSchemaVersion
+       << ",\"strategy\":\"" << JsonEscape(strategy_name)
+       << "\",\"simd_level\":\"" << ActiveSimd().name
+       << "\",\"alloc_audit\":\"" << AllocAuditMode()
+       << "\",\"serve\":{\"workers\":" << serve.workers
+       << ",\"sessions\":" << serve.sessions << "}}\n";
+  return Flush();
+}
+
 Status TraceWriter::WriteTask(const TaskTraceRecord& r) {
   *os_ << "{\"type\":\"task\""
        << ",\"task_index\":" << r.task_index

@@ -17,7 +17,10 @@ namespace faction {
 /// v2: run_start gained "simd_level" (the resolved SIMD dispatch tier).
 /// v3: run_start gained "alloc_audit" ("on"/"off" — whether the build
 ///     interposes the allocator; see common/alloc_audit.h).
-constexpr int kTraceSchemaVersion = 3;
+/// v4: run_start gained the optional "serve" object ({"workers":N,
+///     "sessions":N}) stamped by multi-stream serving runs (src/serve,
+///     bench/serve_loadgen); absent for single-stream runs.
+constexpr int kTraceSchemaVersion = 4;
 
 /// One structured trace record per stream task (see DESIGN.md §11 for the
 /// schema and determinism contract). Every field except the wall_* group is
@@ -73,8 +76,19 @@ class TraceWriter {
   TraceWriter(const TraceWriter&) = delete;
   TraceWriter& operator=(const TraceWriter&) = delete;
 
+  /// Serving-runtime facts stamped into run_start by multi-stream runs
+  /// (schema v4).
+  struct ServeInfo {
+    int workers = 0;
+    std::size_t sessions = 0;
+  };
+
   /// {"type":"run_start","schema_version":...,"strategy":...}
   Status WriteRunStart(const std::string& strategy_name);
+
+  /// Same, plus the "serve" object: {"workers":...,"sessions":...}.
+  Status WriteRunStart(const std::string& strategy_name,
+                       const ServeInfo& serve);
 
   /// {"type":"task",...}; see TaskTraceRecord.
   Status WriteTask(const TaskTraceRecord& record);

@@ -76,6 +76,17 @@ struct SimdKernels {
   /// dim-major block ys (d x width): in-place L y = c per sample column,
   /// then out[t] = -0.5 * (base + sum_j ys[j][t]^2). Per sample this is
   /// the exact operation order of Gaussian::ForwardSolve.
+  ///
+  /// This slot dispatches per kernel, not per table. The solve runs at
+  /// the model dimension (d=16), where 512-bit width buys nothing and
+  /// license-downclocking can tax everything nearby, so by default the
+  /// avx512 table borrows the avx2 tier's solve (measured ~1.2x faster
+  /// pool scoring) while keeping its own GEMM kernels. Setting
+  /// FACTION_SIMD_LOGPDF_LEVEL ("generic" | "avx2" | "avx512", read
+  /// once at first dispatch) pins every table's solve to that tier
+  /// instead — "avx512" restores the uniform avx512 table. Either way
+  /// the choice is bitwise-neutral by the cross-tier parity contract —
+  /// it changes speed, never results.
   void (*logpdf_block)(const double* chol, std::size_t d, double* ys,
                        std::size_t width, double base, double* out);
 };

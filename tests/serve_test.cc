@@ -1,0 +1,436 @@
+// Serve-layer tests (DESIGN.md §14): work-stealing deque semantics and a
+// multi-thread stress (the TSan target), job-system task-graph ordering,
+// and the replay gate — 64 interleaved sessions served at 1 worker and at
+// 8 workers must produce bitwise-identical per-session query decisions,
+// model parameters, and metrics to running each stream alone.
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/rng.h"
+#include "core/streaming_faction.h"
+#include "data/dataset.h"
+#include "serve/job_system.h"
+#include "serve/serve_runtime.h"
+#include "serve/session.h"
+#include "serve/session_registry.h"
+
+namespace faction {
+namespace {
+
+// ---------------------------------------------------------------------------
+// WorkStealingDeque
+
+TEST(WorkStealingDeque, OwnerLifoThiefFifo) {
+  WorkStealingDeque dq(8);
+  for (std::uint32_t v = 0; v < 4; ++v) EXPECT_TRUE(dq.Push(v));
+  EXPECT_EQ(4u, dq.SizeEstimate());
+
+  std::uint32_t v = 0;
+  EXPECT_TRUE(dq.Pop(&v));
+  EXPECT_EQ(3u, v);  // owner pops newest
+  EXPECT_TRUE(dq.Steal(&v));
+  EXPECT_EQ(0u, v);  // thief steals oldest
+  EXPECT_TRUE(dq.Pop(&v));
+  EXPECT_EQ(2u, v);
+  EXPECT_TRUE(dq.Steal(&v));
+  EXPECT_EQ(1u, v);
+  EXPECT_FALSE(dq.Pop(&v));
+  EXPECT_FALSE(dq.Steal(&v));
+  EXPECT_EQ(0u, dq.SizeEstimate());
+}
+
+TEST(WorkStealingDeque, PushRefusesWhenFull) {
+  WorkStealingDeque dq(4);  // rounds to capacity 4
+  EXPECT_EQ(4u, dq.capacity());
+  for (std::uint32_t v = 0; v < 4; ++v) EXPECT_TRUE(dq.Push(v));
+  EXPECT_FALSE(dq.Push(99));
+  std::uint32_t v = 0;
+  EXPECT_TRUE(dq.Steal(&v));
+  EXPECT_EQ(0u, v);
+  EXPECT_TRUE(dq.Push(99));  // freed slot is reusable
+}
+
+// The TSan target: one owner interleaving pushes and pops with three
+// concurrent thieves. Every pushed value must be consumed exactly once,
+// across any interleaving.
+TEST(WorkStealingDeque, StressEveryValueConsumedExactlyOnce) {
+  constexpr std::uint32_t kValues = 20000;
+  constexpr int kThieves = 3;
+  WorkStealingDeque dq(64);
+  std::vector<std::atomic<std::uint32_t>> seen(kValues);
+  std::atomic<std::uint32_t> consumed{0};
+  std::atomic<bool> done_pushing{false};
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      std::uint32_t v = 0;
+      while (!done_pushing.load(std::memory_order_seq_cst) ||
+             consumed.load(std::memory_order_seq_cst) < kValues) {
+        if (dq.Steal(&v)) {
+          seen[v].fetch_add(1, std::memory_order_seq_cst);
+          consumed.fetch_add(1, std::memory_order_seq_cst);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  // Owner: push everything (spinning past full), popping a batch every so
+  // often so the owner path races the thieves too.
+  std::uint32_t v = 0;
+  for (std::uint32_t i = 0; i < kValues; ++i) {
+    while (!dq.Push(i)) {
+      if (dq.Pop(&v)) {
+        seen[v].fetch_add(1, std::memory_order_seq_cst);
+        consumed.fetch_add(1, std::memory_order_seq_cst);
+      }
+    }
+    if (i % 7 == 0 && dq.Pop(&v)) {
+      seen[v].fetch_add(1, std::memory_order_seq_cst);
+      consumed.fetch_add(1, std::memory_order_seq_cst);
+    }
+  }
+  while (dq.Pop(&v)) {
+    seen[v].fetch_add(1, std::memory_order_seq_cst);
+    consumed.fetch_add(1, std::memory_order_seq_cst);
+  }
+  done_pushing.store(true, std::memory_order_seq_cst);
+  for (std::thread& t : thieves) t.join();
+
+  EXPECT_EQ(kValues, consumed.load());
+  for (std::uint32_t i = 0; i < kValues; ++i) {
+    EXPECT_EQ(1u, seen[i].load()) << "value " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JobSystem
+
+TEST(JobSystem, SynchronousModeRunsInline) {
+  JobSystem::Options options;
+  options.workers = 0;
+  JobSystem jobs(options);
+  int runs = 0;
+  const JobSystem::JobHandle h = jobs.Submit(
+      [](void* ctx) { ++*static_cast<int*>(ctx); }, &runs);
+  // Inline mode: already finished when Submit returns.
+  EXPECT_EQ(1, runs);
+  EXPECT_TRUE(jobs.Done(h));
+  jobs.WaitIdle();
+  EXPECT_EQ(0u, jobs.InFlight());
+}
+
+TEST(JobSystem, ManyJobsAllExecuteOnWorkers) {
+  JobSystem::Options options;
+  options.workers = 4;
+  JobSystem jobs(options);
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 2000; ++i) {
+    jobs.Submit(
+        [](void* ctx) {
+          static_cast<std::atomic<int>*>(ctx)->fetch_add(
+              1, std::memory_order_seq_cst);
+        },
+        &runs);
+  }
+  jobs.WaitIdle();
+  EXPECT_EQ(2000, runs.load());
+}
+
+struct DiamondState {
+  std::atomic<int> order{0};
+  std::atomic<int> a_rank{-1};
+  std::atomic<int> b_rank{-1};
+  std::atomic<int> c_rank{-1};
+  std::atomic<int> d_rank{-1};
+};
+
+TEST(JobSystem, DiamondDependenciesRespectOrder) {
+  for (const int workers : {0, 3}) {
+    JobSystem::Options options;
+    options.workers = workers;
+    JobSystem jobs(options);
+    DiamondState state;
+    const auto rank = [](std::atomic<int>* slot, DiamondState* s) {
+      slot->store(s->order.fetch_add(1, std::memory_order_seq_cst),
+                  std::memory_order_seq_cst);
+    };
+    struct Ctx {
+      std::atomic<int>* slot;
+      DiamondState* state;
+      void (*rank)(std::atomic<int>*, DiamondState*);
+    };
+    Ctx ca{&state.a_rank, &state, rank};
+    Ctx cb{&state.b_rank, &state, rank};
+    Ctx cc{&state.c_rank, &state, rank};
+    Ctx cd{&state.d_rank, &state, rank};
+    const auto run = [](void* ctx) {
+      auto* c = static_cast<Ctx*>(ctx);
+      c->rank(c->slot, c->state);
+    };
+
+    const JobSystem::JobHandle a = jobs.Submit(run, &ca);
+    const JobSystem::JobHandle ab[] = {a};
+    const JobSystem::JobHandle b = jobs.SubmitAfter(ab, 1, run, &cb);
+    const JobSystem::JobHandle c = jobs.SubmitAfter(ab, 1, run, &cc);
+    const JobSystem::JobHandle bc[] = {b, c};
+    const JobSystem::JobHandle d = jobs.SubmitAfter(bc, 2, run, &cd);
+    jobs.Wait(d);
+
+    EXPECT_LT(state.a_rank.load(), state.b_rank.load());
+    EXPECT_LT(state.a_rank.load(), state.c_rank.load());
+    EXPECT_LT(state.b_rank.load(), state.d_rank.load());
+    EXPECT_LT(state.c_rank.load(), state.d_rank.load());
+    jobs.WaitIdle();
+  }
+}
+
+TEST(JobSystem, DependencyOnFinishedOrDefaultHandleIsSatisfied) {
+  JobSystem::Options options;
+  options.workers = 2;
+  JobSystem jobs(options);
+  std::atomic<int> runs{0};
+  const auto bump = [](void* ctx) {
+    static_cast<std::atomic<int>*>(ctx)->fetch_add(
+        1, std::memory_order_seq_cst);
+  };
+  const JobSystem::JobHandle a = jobs.Submit(bump, &runs);
+  jobs.Wait(a);
+  // `a` is finished (possibly recycled); a default handle never existed.
+  const JobSystem::JobHandle deps[] = {a, JobSystem::JobHandle{}};
+  const JobSystem::JobHandle b = jobs.SubmitAfter(deps, 2, bump, &runs);
+  jobs.Wait(b);
+  EXPECT_EQ(2, runs.load());
+  EXPECT_TRUE(jobs.Done(a));
+  EXPECT_TRUE(jobs.Done(JobSystem::JobHandle{}));
+}
+
+// Long dependency chains exercise continuation hand-off under stealing.
+TEST(JobSystem, ChainExecutesInSequence) {
+  JobSystem::Options options;
+  options.workers = 4;
+  JobSystem jobs(options);
+  constexpr int kLinks = 500;
+  std::vector<int> sequence;
+  sequence.reserve(kLinks);
+  struct Ctx {
+    std::vector<int>* sequence;
+    int value;
+  };
+  std::vector<Ctx> ctxs(kLinks);
+  JobSystem::JobHandle prev{};
+  for (int i = 0; i < kLinks; ++i) {
+    ctxs[i] = Ctx{&sequence, i};
+    const auto run = [](void* ctx) {
+      auto* c = static_cast<Ctx*>(ctx);
+      // The chain serializes execution, so no lock is needed (TSan would
+      // object otherwise).
+      c->sequence->push_back(c->value);
+    };
+    const JobSystem::JobHandle deps[] = {prev};
+    prev = jobs.SubmitAfter(deps, 1, run, &ctxs[i]);
+  }
+  jobs.Wait(prev);
+  ASSERT_EQ(static_cast<std::size_t>(kLinks), sequence.size());
+  for (int i = 0; i < kLinks; ++i) EXPECT_EQ(i, sequence[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Session registry
+
+TEST(SessionRegistry, CreateFindErase) {
+  SessionRegistry registry;
+  ServeSessionOptions options;
+  options.stream_id = 42;
+  options.faction.model.input_dim = 4;
+  options.faction.model.hidden_dims = {4};
+  ServeSession* s = registry.Create(options);
+  ASSERT_NE(nullptr, s);
+  EXPECT_EQ(42u, s->stream_id());
+  EXPECT_EQ(s, registry.Find(42));
+  EXPECT_EQ(nullptr, registry.Find(7));
+  EXPECT_EQ(1u, registry.size());
+  EXPECT_EQ(std::vector<ServeSession*>{s}, registry.Sessions());
+  EXPECT_TRUE(registry.Erase(42));
+  EXPECT_FALSE(registry.Erase(42));
+  EXPECT_EQ(0u, registry.size());
+}
+
+// ---------------------------------------------------------------------------
+// Replay gate: bitwise-identical sessions at any worker count.
+
+StreamingFactionConfig ReplayConfig(std::uint64_t seed) {
+  StreamingFactionConfig config;
+  config.model.input_dim = 6;
+  config.model.hidden_dims = {8};
+  config.model.num_classes = 2;
+  config.train.epochs = 2;
+  config.train.batch_size = 16;
+  config.warm_start = 12;
+  config.burn_in = 6;
+  config.refit_interval = 20;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<Example> MakeStream(std::size_t n, std::size_t dim,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Example> stream(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Example& ex = stream[i];
+    ex.label = rng.Bernoulli(0.5) ? 1 : 0;
+    ex.sensitive = rng.Bernoulli(0.5) ? 1 : -1;
+    ex.environment = 0;
+    ex.x.resize(dim);
+    const double center = ex.label == 1 ? 1.5 : -1.5;
+    const double shift = ex.sensitive == 1 ? 0.4 : -0.4;
+    for (std::size_t d = 0; d < dim; ++d) {
+      ex.x[d] = rng.Gaussian(center + shift, 1.0);
+    }
+  }
+  return stream;
+}
+
+struct SessionOutput {
+  std::vector<std::uint8_t> decisions;
+  std::vector<std::uint64_t> param_bits;  // bitwise model parameters
+  std::size_t queries = 0;
+  std::size_t seen = 0;
+  std::size_t pool = 0;
+
+  bool operator==(const SessionOutput& o) const {
+    return decisions == o.decisions && param_bits == o.param_bits &&
+           queries == o.queries && seen == o.seen && pool == o.pool;
+  }
+};
+
+std::vector<std::uint64_t> ParamBits(const StreamingFaction& faction) {
+  std::vector<std::uint64_t> bits;
+  for (const Matrix* m : faction.model().Parameters()) {
+    const std::size_t n = m->rows() * m->cols();
+    const std::size_t base = bits.size();
+    bits.resize(base + n);
+    static_assert(sizeof(double) == sizeof(std::uint64_t), "");
+    std::memcpy(bits.data() + base, m->data(), n * sizeof(double));
+  }
+  return bits;
+}
+
+SessionOutput Capture(const StreamingFaction& faction,
+                      const std::vector<std::uint8_t>& decisions) {
+  SessionOutput out;
+  out.decisions = decisions;
+  out.param_bits = ParamBits(faction);
+  out.queries = faction.queries_made();
+  out.seen = faction.samples_seen();
+  out.pool = faction.pool_size();
+  return out;
+}
+
+constexpr std::size_t kReplaySessions = 64;
+constexpr std::size_t kReplaySteps = 90;
+
+// Reference: each stream folded into its own StreamingFaction alone.
+std::vector<SessionOutput> RunStandalone() {
+  std::vector<SessionOutput> outputs;
+  outputs.reserve(kReplaySessions);
+  for (std::size_t s = 0; s < kReplaySessions; ++s) {
+    const StreamingFactionConfig config = ReplayConfig(100 + s);
+    StreamingFaction faction(config);
+    const std::vector<Example> stream =
+        MakeStream(kReplaySteps, config.model.input_dim, 1000 + s);
+    std::vector<std::uint8_t> decisions;
+    decisions.reserve(kReplaySteps);
+    for (const Example& ex : stream) {
+      const bool query = faction.ShouldQuery(ex).value();
+      if (query) {
+        EXPECT_TRUE(faction.ProvideLabel(ex).ok());
+      }
+      decisions.push_back(query ? 1 : 0);
+    }
+    outputs.push_back(Capture(faction, decisions));
+  }
+  return outputs;
+}
+
+std::vector<SessionOutput> RunServed(int workers) {
+  ServeRuntimeOptions runtime_options;
+  runtime_options.workers = workers;
+  runtime_options.max_sessions = kReplaySessions;
+  runtime_options.record_latency = false;
+  ServeRuntime runtime(runtime_options);
+
+  std::vector<ServeSession*> sessions;
+  std::vector<std::vector<Example>> streams;
+  sessions.reserve(kReplaySessions);
+  streams.reserve(kReplaySessions);
+  for (std::size_t s = 0; s < kReplaySessions; ++s) {
+    ServeSessionOptions options;
+    options.stream_id = s;
+    options.faction = ReplayConfig(100 + s);
+    // Large enough that the replay never sheds (shedding would change
+    // the stream a session observes).
+    options.mailbox_capacity = kReplaySteps;
+    options.decision_log_capacity = kReplaySteps;
+    sessions.push_back(runtime.CreateSession(options));
+    streams.push_back(
+        MakeStream(kReplaySteps, options.faction.model.input_dim,
+                   1000 + s));
+  }
+
+  // Round-robin across sessions: maximally interleaved arrival order.
+  for (std::size_t i = 0; i < kReplaySteps; ++i) {
+    for (std::size_t s = 0; s < kReplaySessions; ++s) {
+      EXPECT_TRUE(runtime.Offer(sessions[s], streams[s][i]));
+    }
+  }
+  runtime.Drain();
+
+  std::vector<SessionOutput> outputs;
+  outputs.reserve(kReplaySessions);
+  for (std::size_t s = 0; s < kReplaySessions; ++s) {
+    EXPECT_TRUE(sessions[s]->MailboxEmpty());
+    EXPECT_EQ(0u, sessions[s]->shed());
+    EXPECT_EQ(kReplaySteps, sessions[s]->steps());
+    outputs.push_back(
+        Capture(sessions[s]->faction(), sessions[s]->decisions()));
+  }
+  return outputs;
+}
+
+TEST(ServeReplay, BitwiseIdenticalAcrossWorkerCounts) {
+  const std::vector<SessionOutput> standalone = RunStandalone();
+  const std::vector<SessionOutput> served1 = RunServed(1);
+  const std::vector<SessionOutput> served8 = RunServed(8);
+  ASSERT_EQ(kReplaySessions, standalone.size());
+  ASSERT_EQ(kReplaySessions, served1.size());
+  ASSERT_EQ(kReplaySessions, served8.size());
+  for (std::size_t s = 0; s < kReplaySessions; ++s) {
+    EXPECT_TRUE(standalone[s] == served1[s]) << "session " << s;
+    EXPECT_TRUE(standalone[s] == served8[s]) << "session " << s;
+    EXPECT_FALSE(standalone[s].param_bits.empty());
+    EXPECT_EQ(kReplaySteps, standalone[s].decisions.size());
+  }
+}
+
+// Synchronous mode (workers == 0) is the determinism reference the
+// allocation-audit gate runs in; it must match too.
+TEST(ServeReplay, SynchronousModeMatchesStandalone) {
+  const std::vector<SessionOutput> standalone = RunStandalone();
+  const std::vector<SessionOutput> sync = RunServed(0);
+  for (std::size_t s = 0; s < kReplaySessions; ++s) {
+    EXPECT_TRUE(standalone[s] == sync[s]) << "session " << s;
+  }
+}
+
+}  // namespace
+}  // namespace faction

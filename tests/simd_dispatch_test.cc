@@ -1,0 +1,110 @@
+// Per-kernel dispatch override (FACTION_SIMD_LOGPDF_LEVEL): its own test
+// binary because the override is read once, at the process's first
+// dispatch resolution. The static initializer below sets the variable
+// before main() — and therefore before any kernel table is resolved — so
+// every test in this binary sees the override active. simd_test.cc keeps
+// the un-overridden default covered.
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "density/gaussian.h"
+#include "tensor/matrix.h"
+#include "tensor/simd.h"
+
+#include "gtest/gtest.h"
+
+namespace {
+// Runs during static init, strictly before any SIMD dispatch.
+const bool kEnvReady = [] {
+  setenv("FACTION_SIMD_LOGPDF_LEVEL", "avx2", /*overwrite=*/1);
+  return true;
+}();
+}  // namespace
+
+namespace faction {
+namespace {
+
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level) : saved_(ActiveSimdLevel()) {
+    EXPECT_TRUE(SetSimdLevel(level).ok());
+  }
+  ~ScopedSimdLevel() { (void)SetSimdLevel(saved_); }
+
+ private:
+  SimdLevel saved_;
+};
+
+std::vector<SimdLevel> SupportedLevels() {
+  std::vector<SimdLevel> out;
+  for (SimdLevel level :
+       {SimdLevel::kGeneric, SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    if (SimdLevelSupported(level)) out.push_back(level);
+  }
+  return out;
+}
+
+// With the override pinned to avx2, every tier's table must carry the
+// avx2 solve while keeping its own identity and its own GEMM kernels.
+TEST(SimdDispatch, OverridePinsLogPdfKernelAcrossTiers) {
+  ASSERT_TRUE(kEnvReady);
+  if (!SimdLevelSupported(SimdLevel::kAvx2)) {
+    GTEST_SKIP() << "avx2 tier unavailable; override inert on this host";
+  }
+  ScopedSimdLevel avx2(SimdLevel::kAvx2);
+  const SimdKernels& avx2_table = ActiveSimd();
+  for (SimdLevel level : SupportedLevels()) {
+    ScopedSimdLevel guard(level);
+    const SimdKernels& table = ActiveSimd();
+    EXPECT_EQ(table.logpdf_block, avx2_table.logpdf_block)
+        << SimdLevelName(level);
+    // Identity fields and the GEMM slots stay the tier's own.
+    EXPECT_EQ(table.level, level) << SimdLevelName(level);
+    EXPECT_STREQ(table.name, SimdLevelName(level));
+    if (level != SimdLevel::kAvx2) {
+      EXPECT_NE(table.matmul_rows, avx2_table.matmul_rows)
+          << SimdLevelName(level);
+    }
+  }
+}
+
+// The override is a speed knob only: log-pdf outputs stay bitwise equal
+// to the scalar per-sample path at every tier, borrowed kernel or not.
+TEST(SimdDispatch, LogPdfBitwiseParityWithOverrideActive) {
+  ASSERT_TRUE(kEnvReady);
+  Rng rng(4096);
+  const std::size_t d = 16;
+  Matrix samples(64, d);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples.data()[i] = rng.Gaussian();
+  }
+  Result<Gaussian> fitted = Gaussian::Fit(samples, CovarianceConfig{});
+  ASSERT_TRUE(fitted.ok());
+  const Gaussian& g = fitted.value();
+
+  const std::size_t rows = 131;  // vector body plus scalar tail
+  Matrix zs(rows, d);
+  for (std::size_t i = 0; i < zs.size(); ++i) zs.data()[i] = rng.Gaussian();
+  std::vector<double> reference(rows);
+  std::vector<double> z(d);
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::copy(zs.row_data(i), zs.row_data(i) + d, z.begin());
+    reference[i] = g.LogPdf(z);
+  }
+
+  for (SimdLevel level : SupportedLevels()) {
+    ScopedSimdLevel guard(level);
+    std::vector<double> batch(rows, -1.0);
+    g.LogPdfBatch(zs, batch.data());
+    EXPECT_EQ(std::memcmp(reference.data(), batch.data(),
+                          rows * sizeof(double)),
+              0)
+        << SimdLevelName(level);
+  }
+}
+
+}  // namespace
+}  // namespace faction

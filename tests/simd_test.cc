@@ -99,6 +99,26 @@ TEST(SimdDispatch, HonorsEnvironmentOnFirstResolve) {
   EXPECT_EQ(ActiveSimdLevel(), want.value());
 }
 
+TEST(SimdDispatch, Avx512TableBorrowsAvx2LogPdfByDefault) {
+  if (std::getenv("FACTION_SIMD_LOGPDF_LEVEL") != nullptr) {
+    GTEST_SKIP() << "FACTION_SIMD_LOGPDF_LEVEL pins the solve kernel";
+  }
+  if (!SimdLevelSupported(SimdLevel::kAvx512) ||
+      !SimdLevelSupported(SimdLevel::kAvx2)) {
+    GTEST_SKIP() << "needs both wide tiers";
+  }
+  ScopedSimdLevel avx2(SimdLevel::kAvx2);
+  const SimdKernels& avx2_table = ActiveSimd();
+  ScopedSimdLevel avx512(SimdLevel::kAvx512);
+  const SimdKernels& avx512_table = ActiveSimd();
+  // The d=16 solve borrows the avx2 kernel (license-downclock hazard at
+  // 512-bit width, see simd.h); the GEMM slots stay the tier's own.
+  EXPECT_EQ(avx512_table.logpdf_block, avx2_table.logpdf_block);
+  EXPECT_NE(avx512_table.matmul_rows, avx2_table.matmul_rows);
+  EXPECT_EQ(avx512_table.level, SimdLevel::kAvx512);
+  EXPECT_STREQ(avx512_table.name, "avx512");
+}
+
 TEST(SimdDispatch, GenericAlwaysSupported) {
   EXPECT_TRUE(SimdLevelSupported(SimdLevel::kGeneric));
   EXPECT_FALSE(SupportedLevels().empty());

@@ -188,7 +188,7 @@ TEST_F(TelemetryTest, TraceSchemaGolden) {
   ASSERT_TRUE(writer.WriteRunEnd(3, 48, 1).ok());
 
   const std::string expected =
-      "{\"type\":\"run_start\",\"schema_version\":3,"
+      "{\"type\":\"run_start\",\"schema_version\":4,"
       "\"strategy\":\"FACTION \\\"quoted\\\"\",\"simd_level\":\"" +
       std::string(SimdLevelName(ActiveSimdLevel())) + "\",\"alloc_audit\":\"" +
       std::string(AllocAuditMode()) + "\"}\n"
@@ -202,6 +202,22 @@ TEST_F(TelemetryTest, TraceSchemaGolden) {
       "\"train_seconds\":1,\"task_seconds\":2}}\n"
       "{\"type\":\"run_end\",\"tasks\":3,\"total_queries\":48,"
       "\"undefined_metric_tasks\":1}\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST_F(TelemetryTest, TraceRunStartServeObjectGolden) {
+  std::ostringstream os;
+  TraceWriter writer(&os);
+  TraceWriter::ServeInfo serve;
+  serve.workers = 8;
+  serve.sessions = 512;
+  ASSERT_TRUE(writer.WriteRunStart("serve_loadgen", serve).ok());
+  const std::string expected =
+      "{\"type\":\"run_start\",\"schema_version\":4,"
+      "\"strategy\":\"serve_loadgen\",\"simd_level\":\"" +
+      std::string(SimdLevelName(ActiveSimdLevel())) + "\",\"alloc_audit\":\"" +
+      std::string(AllocAuditMode()) +
+      "\",\"serve\":{\"workers\":8,\"sessions\":512}}\n";
   EXPECT_EQ(os.str(), expected);
 }
 

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# bench.sh — benchmark driver (PR 3, extended for the PR 5 SIMD layer).
+# bench.sh — benchmark driver (PR 3; SIMD tiers PR 5; serve loadgen PR 7).
 #
 # Builds bench/micro_components in a dedicated native-tuned Release tree
-# (build/bench), runs the tracked benchmarks at FACTION_NUM_THREADS=1 and at
-# the default thread count, and merges both runs plus the derived speedups
-# into BENCH_PR5.json at the repo root, stamped with the current git SHA.
+# (build-bench), runs the tracked benchmarks at FACTION_NUM_THREADS=1 and at
+# the default thread count, runs bench/serve_loadgen against the serve
+# runtime, and merges everything plus the derived speedups into
+# BENCH_PR7.json at the repo root, stamped with the current git SHA.
 #
 # Reported pair speedups (baseline at 1 thread vs new path at default
 # threads — the ratios the acceptance floors are defined on):
@@ -20,25 +21,42 @@
 # machines only when the committed file came from another host; on the same
 # host they are the SIMD speedup.
 #
+# The PR 7 "serve" section records the loadgen run (open-loop Poisson +
+# burst arrivals over multiplexed sessions): calibrated single-stream
+# rate, p50/p95/p99 step latency under load, saturation throughput,
+# multiplex efficiency, and sessions/core. Three SLO floors gate the run
+# (within-run ratios plus one generous absolute, so the gate is portable
+# across hosts): achieved_fraction >= 0.95, multiplex_efficiency >= 0.25,
+# p99 <= 0.25 s.
+#
 # If the output file already exists, its medians are compared against the
 # fresh run and regressions above 25% are reported.
 #
-# The report's "known_regressions" section records the two accepted PR 5
-# regressions (generic-tier train step vs the pre-SIMD scalar path;
-# avx512 pool scoring vs avx2) with measured slowdowns and rationale,
-# so the gate's tolerance of them is explicit rather than silent. They
-# never participate in --check-against.
+# The BENCH_PR5 "known_regressions" entries are closed as of PR 7 and no
+# longer emitted: the generic train-step tier measures faster than the
+# retired pre-SIMD scalar step (0.865x, parity reached — the 4-row GEMM
+# tile was re-measured against a 2-row tile and a 16-row cache block and
+# kept as the optimum), and the avx512 table now borrows the avx2 tier's
+# d=16 log-pdf solve by default (tensor/simd.cc per-kernel dispatch;
+# FACTION_SIMD_LOGPDF_LEVEL pins it), which removes the 1.195x
+# pool-scoring deficit while keeping 512-bit GEMM. The avx2 tier TU is
+# also pinned -mno-avx256-split-unaligned-{load,store}: without it GCC's
+# generic tuning splits every unaligned 256-bit access and the avx2
+# kernels ran ~5x slower in non-native-arch builds.
 #
 # Usage: tools/bench.sh [--min-time SECONDS] [--binary PATH]
+#                       [--loadgen-binary PATH] [--skip-serve]
 #                       [--check-against JSON] [--out FILE]
 #   --binary PATH         use an existing micro_components binary instead
-#                         of configuring/building build/bench (CI smoke).
+#                         of configuring/building build-bench (CI smoke).
+#   --loadgen-binary PATH use an existing serve_loadgen binary.
+#   --skip-serve          skip the loadgen run and its SLO gate.
 #   --check-against JSON  compare the fresh pair speedups against the
 #                         "speedups" section of a committed BENCH_*.json;
 #                         exit 1 if any fresh speedup falls below
 #                         committed/1.25. Ratio-vs-ratio comparison, so it
 #                         is portable across machines of different speeds.
-#   --out FILE            output path (default BENCH_PR5.json).
+#   --out FILE            output path (default BENCH_PR7.json).
 
 set -euo pipefail
 
@@ -47,12 +65,16 @@ cd "$ROOT"
 
 MIN_TIME="0.2"
 BINARY=""
+LOADGEN_BINARY=""
+SKIP_SERVE=""
 CHECK_AGAINST=""
-OUT="BENCH_PR5.json"
+OUT="BENCH_PR7.json"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --min-time) MIN_TIME="$2"; shift 2 ;;
     --binary) BINARY="$2"; shift 2 ;;
+    --loadgen-binary) LOADGEN_BINARY="$2"; shift 2 ;;
+    --skip-serve) SKIP_SERVE=1; shift ;;
     --check-against) CHECK_AGAINST="$2"; shift 2 ;;
     --out) OUT="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
@@ -60,18 +82,29 @@ while [[ $# -gt 0 ]]; do
 done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
-BUILD_DIR="build/bench"
+# Self-contained tree outside build/: nesting it at build/bench would
+# clobber the main tree's bench/ binary dir and leak the nested tree's
+# ctest entries (31 phantom "Not Run" tests) into `ctest --test-dir build`.
+BUILD_DIR="build-bench"
 FILTER='BM_Conv2dNaive|BM_Conv2dIm2col|BM_TrainStep|BM_DensityRefit|BM_PoolScoring$|BM_GemmMicroKernel|BM_TrainStepSimd|BM_PoolScoringSimd'
 GIT_SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 
-if [[ -z "$BINARY" ]]; then
+if [[ -z "$BINARY" || ( -z "$SKIP_SERVE" && -z "$LOADGEN_BINARY" ) ]]; then
   printf '\n\033[1m== configure+build [bench: Release, native arch] ==\033[0m\n'
   cmake -B "$BUILD_DIR" -S . \
     -DCMAKE_BUILD_TYPE=Release \
     -DFACTION_NATIVE_ARCH=ON \
     >/dev/null
-  cmake --build "$BUILD_DIR" --target micro_components -j "$JOBS" >/dev/null
-  BINARY="$BUILD_DIR/bench/micro_components"
+  TARGETS=()
+  if [[ -z "$BINARY" ]]; then TARGETS+=(micro_components); fi
+  if [[ -z "$SKIP_SERVE" && -z "$LOADGEN_BINARY" ]]; then
+    TARGETS+=(serve_loadgen)
+  fi
+  cmake --build "$BUILD_DIR" --target "${TARGETS[@]}" -j "$JOBS" >/dev/null
+  if [[ -z "$BINARY" ]]; then BINARY="$BUILD_DIR/bench/micro_components"; fi
+  if [[ -z "$LOADGEN_BINARY" ]]; then
+    LOADGEN_BINARY="$BUILD_DIR/bench/serve_loadgen"
+  fi
 fi
 mkdir -p "$BUILD_DIR"
 
@@ -92,7 +125,28 @@ run_bench() {
 run_bench 1 "$BUILD_DIR/bench_t1.json"
 run_bench default "$BUILD_DIR/bench_tdefault.json"
 
-GIT_SHA="$GIT_SHA" CHECK_AGAINST="$CHECK_AGAINST" python3 - \
+# Serve loadgen: single worker on the 1-CPU CI host (the loadgen thread
+# shares the core, so utilization stays moderate; the within-run SLO
+# ratios are what the gate enforces). Utilization is set below the
+# measured multiplex efficiency (~0.30-0.36 of single-stream): the
+# target rate scales with the calibration, so a fast calibration run at
+# a utilization above sustainable capacity would shed its way under the
+# achieved_fraction floor on noise alone. The run also emits a
+# schema-v4 trace, validated in place.
+LOADGEN_JSON="$BUILD_DIR/loadgen.json"
+if [[ -z "$SKIP_SERVE" ]]; then
+  printf '\n\033[1m== run [serve_loadgen] ==\033[0m\n'
+  "$LOADGEN_BINARY" \
+    --workers 1 --sessions 64 --utilization 0.28 \
+    --duration-seconds 3 --saturation-seconds 1 --seed 7 \
+    --out "$LOADGEN_JSON" --trace "$BUILD_DIR/loadgen_trace.jsonl"
+  python3 tools/validate_trace.py "$BUILD_DIR/loadgen_trace.jsonl"
+else
+  LOADGEN_JSON=""
+fi
+
+GIT_SHA="$GIT_SHA" CHECK_AGAINST="$CHECK_AGAINST" LOADGEN_JSON="$LOADGEN_JSON" \
+  python3 - \
   "$BUILD_DIR/bench_t1.json" "$BUILD_DIR/bench_tdefault.json" "$OUT" <<'EOF'
 import json
 import os
@@ -140,38 +194,18 @@ for name, ns in sorted(t1.items()):
     if base in SIMD_BENCHES and arg in SIMD_LEVELS:
         per_level.setdefault(base, {})[SIMD_LEVELS[arg]] = round(ns, 1)
 
-# Known, accepted regressions — measured and recorded explicitly so the
-# >25% --check-against gate stays honest about what it tolerates instead
-# of the numbers hiding inside per_level. slowdown > 1.0 means the first
-# path is slower on this run's host. Neither key participates in the
-# gate: they are tracked, not enforced.
-known_regressions = {}
-_train_generic = per_level.get("BM_TrainStepSimd", {}).get("generic")
-if _train_generic and os.path.exists("BENCH_PR3.json"):
-    with open("BENCH_PR3.json") as f:
-        _pre_simd = json.load(f).get("threads_1", {}).get("BM_TrainStep")
-    if _pre_simd:
-        known_regressions["train_step_generic_vs_pre_simd"] = {
-            "slowdown": round(_train_generic / _pre_simd, 3),
-            "note": (
-                "Portable GCC-vector tier vs the retired scalar train "
-                "step (BENCH_PR3). The generic tier exists for "
-                "correctness parity and hosts without AVX; runtime "
-                "dispatch never selects it when a vector tier is "
-                "available, so a slowdown here is accepted."
-            ),
-        }
-_pool = per_level.get("BM_PoolScoringSimd", {})
-if _pool.get("avx2") and _pool.get("avx512"):
-    known_regressions["pool_scoring_avx512_vs_avx2"] = {
-        "slowdown": round(_pool["avx512"] / _pool["avx2"], 3),
-        "note": (
-            "512-bit pool scoring loses to avx2 on the d=16 triangular "
-            "solves (half-empty zmm lanes plus license-based "
-            "downclocking); GEMM-bound paths still win on avx512, so "
-            "dispatch keeps preferring the highest tier."
-        ),
-    }
+# The BENCH_PR5 known_regressions entries are closed (see the header
+# comment): per_level still carries every tier's raw medians, so a future
+# regression on either path shows up there and in the >25% comparison
+# against the previous report.
+
+# Serve loadgen report, produced by the run above. The SLO gate enforces
+# the three floors on it after the merged report is written.
+serve = None
+loadgen_path = os.environ.get("LOADGEN_JSON", "")
+if loadgen_path:
+    with open(loadgen_path) as f:
+        serve = json.load(f)
 
 # Single-thread ratios against the committed pre-SIMD baselines. Same-host
 # runs read as the SIMD speedup on each tracked hot path.
@@ -207,15 +241,19 @@ report = {
             "(FACTION_SIMD_LEVEL); vs_committed holds single-thread "
             "ratios of committed pre-SIMD medians (BENCH_PR3/BENCH_PR2) "
             "over this run — the SIMD speedup when produced on the same "
-            "host."
+            "host. serve holds the loadgen run over the PR 7 serve "
+            "runtime (open-loop Poisson+burst arrivals, then a "
+            "saturation sweep); its SLO floors are achieved_fraction >= "
+            "0.95, multiplex_efficiency >= 0.25, p99 <= 0.25 s."
         ),
     },
     "threads_1": {k: round(v, 1) for k, v in sorted(t1.items())},
     "threads_default": {k: round(v, 1) for k, v in sorted(tdef.items())},
     "per_level": per_level,
-    "known_regressions": known_regressions,
     "speedups": {**pair_speedups, **vs_committed},
 }
+if serve is not None:
+    report["serve"] = serve
 
 # Compare against the previous report at the same path, if any: flag any
 # benchmark whose median regressed by more than 25%.
@@ -240,10 +278,35 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(f"wrote {out_path}")
 print(json.dumps(report["speedups"], indent=2))
-if known_regressions:
-    print("known_regressions (tracked, excluded from the gate):")
-    for key, entry in sorted(known_regressions.items()):
-        print(f"  {key}: {entry['slowdown']:.2f}x")
+
+# Serve SLO gate. Two within-run ratios (portable across hosts of any
+# speed) plus one generous absolute latency ceiling:
+#   achieved_fraction    — the open-loop phase kept up with its offered
+#                          rate; below 0.95 the runtime shed or lagged.
+#   multiplex_efficiency — saturation throughput over the calibrated
+#                          single-stream rate; 64 interleaved sessions on
+#                          one worker must retain >= 25% of a dedicated
+#                          stream's rate (scheduling + cold-cache tax).
+#   p99_seconds          — tail step latency under the offered load.
+if serve is not None:
+    slo = (
+        ("load.achieved_fraction",
+         serve["load"]["achieved_fraction"], 0.95, "min"),
+        ("saturation.multiplex_efficiency",
+         serve["saturation"]["multiplex_efficiency"], 0.25, "min"),
+        ("load.p99_seconds", serve["load"]["p99_seconds"], 0.25, "max"),
+    )
+    slo_failures = []
+    for key, value, bound, kind in slo:
+        ok = value >= bound if kind == "min" else value <= bound
+        word = ">=" if kind == "min" else "<="
+        print(f"serve SLO {key}: {value:.4g} {word} {bound:g} "
+              f"{'ok' if ok else 'FAIL'}")
+        if not ok:
+            slo_failures.append(key)
+    if slo_failures:
+        print(f"serve SLO gate failed: {', '.join(slo_failures)}")
+        sys.exit(1)
 
 # --check-against: fail when a fresh pair speedup drops below the
 # committed one by more than 25%. Speedups are within-machine ratios, so

@@ -19,6 +19,13 @@ Rules (each reported as file:line: [rule] message):
                    Steady-state code there must draw from Workspace arenas
                    or member scratch (DESIGN.md §13). Suppress a single
                    line with `// lint-allow(no-alloc-in-hot): reason`.
+  serve-hot        every translation unit under src/serve must carry the
+                   `// FACTION_HOT` marker: the serve scheduler and
+                   session layer sit on the per-arrival dispatch path, so
+                   dropping a marker would silently lift the
+                   no-alloc-in-hot gate from steady-state serving code.
+                   Cold regions belong inside FACTION_COLD fences, not in
+                   unmarked TUs.
   ffp-contract     every TU that defines SIMD kernels (includes
                    simd_kernels.inc) or invokes one through the dispatch
                    table must be pinned with -ffp-contract=off in its
@@ -302,6 +309,21 @@ def check_code_rules(ctx: FileContext, findings: list) -> None:
                                      " use faction::Timer"))
 
 
+def check_serve_hot(ctx: FileContext, findings: list) -> None:
+    """src/serve TUs must opt into the hot-allocation gate explicitly."""
+    rel = ctx.rel
+    if rel.parts[:2] != ("src", "serve") or rel.suffix == ".h":
+        return
+    if not ctx.is_hot:
+        findings.append(
+            (rel, 1, "serve-hot",
+             f"translation units under src/serve must carry the "
+             f"// {HOT_MARKER} marker so the no-alloc-in-hot gate covers "
+             f"the serve dispatch path; put setup/teardown inside "
+             f"{COLD_BEGIN}/{COLD_END} fences instead of dropping the "
+             f"marker"))
+
+
 def check_hot_allocations(ctx: FileContext, findings: list) -> None:
     if not ctx.is_hot:
         return
@@ -431,6 +453,7 @@ def run_lint(contexts: list) -> list:
         if ctx.rel.suffix == ".h":
             check_include_guard(ctx, findings)
         check_code_rules(ctx, findings)
+        check_serve_hot(ctx, findings)
         check_hot_allocations(ctx, findings)
     check_ffp_contract(contexts, findings)
     return findings

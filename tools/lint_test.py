@@ -168,6 +168,41 @@ class HotAllocations(unittest.TestCase):
         self.assertEqual(3, findings[0][1])
 
 
+class ServeHot(unittest.TestCase):
+    def run_serve(self, text: str, rel: str) -> list:
+        findings = []
+        lint.check_serve_hot(ctx(text, rel=rel), findings)
+        return findings
+
+    def test_unmarked_serve_tu_flagged(self):
+        findings = self.run_serve("int x;\n", rel="src/serve/session.cc")
+        self.assertIn("serve-hot", rules_of(findings))
+
+    def test_marked_serve_tu_clean(self):
+        findings = self.run_serve("// FACTION_HOT: dispatch path\nint x;\n",
+                                  rel="src/serve/session.cc")
+        self.assertEqual([], findings)
+
+    def test_serve_header_exempt(self):
+        findings = self.run_serve("int x;\n", rel="src/serve/session.h")
+        self.assertEqual([], findings)
+
+    def test_non_serve_tu_exempt(self):
+        findings = self.run_serve("int x;\n", rel="src/core/faction.cc")
+        self.assertEqual([], findings)
+
+    def test_real_serve_tus_all_marked(self):
+        serve_dir = lint.ROOT / "src/serve"
+        self.assertTrue(serve_dir.is_dir())
+        ccs = sorted(serve_dir.rglob("*.cc"))
+        self.assertGreaterEqual(len(ccs), 4)
+        for path in ccs:
+            rel = path.relative_to(lint.ROOT)
+            findings = self.run_serve(path.read_text(encoding="utf-8"),
+                                      rel=str(rel))
+            self.assertEqual([], findings, msg=str(rel))
+
+
 class FfpContract(unittest.TestCase):
     def test_kernel_names_parsed_from_header(self):
         names = lint.simd_kernel_names()

@@ -7,7 +7,8 @@ Usage: tools/validate_trace.py <trace.jsonl>
 Checks:
   * every line is a standalone JSON object with a known "type"
   * the first record is run_start (pinned schema_version, simd_level,
-    alloc_audit), the last is run_end
+    alloc_audit, and — when present — the v4 serve object), the last is
+    run_end
   * exactly one run_start / run_end; every other record is a task
   * task records carry all required keys with the right types;
     metrics.{ddp,eod,mi} may be null only when metric_defined.* is false
@@ -22,7 +23,7 @@ from __future__ import annotations
 import json
 import sys
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 SIMD_LEVELS = {"generic", "avx2", "avx512"}
 ALLOC_AUDIT_MODES = {"on", "off"}
 REFIT_MODES = {"batch", "incremental", "mixed", "none", "unknown"}
@@ -119,6 +120,25 @@ def main() -> int:
             require(record.get("alloc_audit") in ALLOC_AUDIT_MODES, lineno,
                     f"run_start alloc_audit must be one of"
                     f" {sorted(ALLOC_AUDIT_MODES)}")
+            # v4: multi-stream serving runs stamp a "serve" object; it is
+            # optional (absent for single-stream runs) but pinned when
+            # present.
+            if "serve" in record:
+                serve = record["serve"]
+                require(isinstance(serve, dict), lineno,
+                        "run_start.serve must be an object")
+                require(set(serve.keys()) == {"workers", "sessions"},
+                        lineno,
+                        "run_start.serve must have exactly the keys "
+                        "'workers' and 'sessions'")
+                require(isinstance(serve.get("workers"), int)
+                        and not isinstance(serve.get("workers"), bool)
+                        and serve["workers"] >= 0, lineno,
+                        "run_start.serve.workers must be an int >= 0")
+                require(isinstance(serve.get("sessions"), int)
+                        and not isinstance(serve.get("sessions"), bool)
+                        and serve["sessions"] >= 1, lineno,
+                        "run_start.serve.sessions must be an int >= 1")
             continue
         require(kind in ("task", "run_end"), lineno,
                 f"unknown record type {kind!r}")
