@@ -515,6 +515,130 @@ void BM_TrainStepSimd(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainStepSimd)->Arg(0)->Arg(1)->Arg(2);
 
+// ---------------- sliding-window density forgetting (PR 8)
+
+// Forgetting-mode covariance (ridge regularization): the mode every
+// windowed/decayed estimator runs in, where downdates are exact O(d^2)
+// rank-1 factor updates.
+CovarianceConfig ForgettingConfig() {
+  CovarianceConfig config;
+  config.forgetting = true;
+  return config;
+}
+
+// Pure eviction cost: rank-1 downdating A=25 previously folded rows out
+// of an estimator holding `n`. The paused phase folds the same rows back
+// so the estimator is identical at every iteration's start.
+void BM_DensityDowndate(benchmark::State& state) {
+  constexpr std::size_t kAcquisition = 25;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t dim = 16;
+  const Dataset pool = MakePool(n, dim, 41);
+  const CovarianceConfig config = ForgettingConfig();
+  Result<FairDensityEstimator> est = FairDensityEstimator::Fit(
+      pool.features(), pool.labels(), pool.sensitive(), config);
+  FACTION_CHECK(est.ok());
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kAcquisition; ++i) {
+      const std::size_t idx = (cursor + i) % n;
+      const Status evicted = est.value().DowndateOne(
+          pool.features().row_data(idx), pool.labels()[idx],
+          pool.sensitive()[idx], config);
+      FACTION_CHECK(evicted.ok());
+    }
+    state.PauseTiming();
+    for (std::size_t i = 0; i < kAcquisition; ++i) {
+      const std::size_t idx = (cursor + i) % n;
+      const Status folded = est.value().UpdateOne(
+          pool.features().row_data(idx), pool.labels()[idx],
+          pool.sensitive()[idx], config);
+      FACTION_CHECK(folded.ok());
+    }
+    cursor = (cursor + kAcquisition) % n;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(est);
+  }
+  state.SetItemsProcessed(state.iterations() * kAcquisition);
+}
+BENCHMARK(BM_DensityDowndate)->Arg(2400);
+
+// Windowed batch refit: each acquisition round slides a W=2048 window by
+// A=25 over an n-row stream and refits the estimator from scratch on the
+// window contents — the parity-oracle path (FactionStrategy with
+// incremental_density=false and density_window set). O(W d^2) per round.
+void BM_WindowedTrainStepBatch(benchmark::State& state) {
+  constexpr std::size_t kAcquisition = 25;
+  constexpr std::size_t kWindow = 2048;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t dim = 16;
+  const Dataset pool = MakePool(n, dim, 43);
+  const CovarianceConfig config = ForgettingConfig();
+  Matrix window(kWindow, dim);
+  std::vector<int> ys(kWindow), ss(kWindow);
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    cursor = (cursor + kAcquisition) % n;
+    for (std::size_t i = 0; i < kWindow; ++i) {
+      const std::size_t idx = (cursor + i) % n;
+      std::copy(pool.features().row_data(idx),
+                pool.features().row_data(idx) + dim, window.row_data(i));
+      ys[i] = pool.labels()[idx];
+      ss[i] = pool.sensitive()[idx];
+    }
+    Result<FairDensityEstimator> est =
+        FairDensityEstimator::Fit(window, ys, ss, config);
+    FACTION_CHECK(est.ok());
+    benchmark::DoNotOptimize(est);
+  }
+  state.SetItemsProcessed(state.iterations() * kAcquisition);
+}
+BENCHMARK(BM_WindowedTrainStepBatch)->Arg(2400);
+
+// Incremental window slide over the same stream: the A=25 arrivals evict
+// the 25 oldest rows (rank-1 downdates) and fold the 25 newest (rank-1
+// updates) — O(A d^2) per round, independent of the window length. The
+// speedup of this over BM_WindowedTrainStepBatch is the
+// density_windowed_slide_vs_batch pair in BENCH_PR8.json.
+void BM_WindowedTrainStepIncremental(benchmark::State& state) {
+  constexpr std::size_t kAcquisition = 25;
+  constexpr std::size_t kWindow = 2048;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t dim = 16;
+  const Dataset pool = MakePool(n, dim, 43);
+  const CovarianceConfig config = ForgettingConfig();
+  Matrix window(kWindow, dim);
+  std::vector<int> ys(kWindow), ss(kWindow);
+  for (std::size_t i = 0; i < kWindow; ++i) {
+    std::copy(pool.features().row_data(i), pool.features().row_data(i) + dim,
+              window.row_data(i));
+    ys[i] = pool.labels()[i];
+    ss[i] = pool.sensitive()[i];
+  }
+  Result<FairDensityEstimator> est =
+      FairDensityEstimator::Fit(window, ys, ss, config);
+  FACTION_CHECK(est.ok());
+  std::size_t oldest = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kAcquisition; ++i) {
+      const std::size_t evict = (oldest + i) % n;
+      const std::size_t fold = (oldest + kWindow + i) % n;
+      const Status evicted = est.value().DowndateOne(
+          pool.features().row_data(evict), pool.labels()[evict],
+          pool.sensitive()[evict], config);
+      FACTION_CHECK(evicted.ok());
+      const Status folded = est.value().UpdateOne(
+          pool.features().row_data(fold), pool.labels()[fold],
+          pool.sensitive()[fold], config);
+      FACTION_CHECK(folded.ok());
+    }
+    oldest = (oldest + kAcquisition) % n;
+    benchmark::DoNotOptimize(est);
+  }
+  state.SetItemsProcessed(state.iterations() * kAcquisition);
+}
+BENCHMARK(BM_WindowedTrainStepIncremental)->Arg(2400);
+
 }  // namespace
 }  // namespace faction
 

@@ -50,11 +50,16 @@ struct LoadgenOptions {
   double burst_fraction = 0.1;
   double saturation_seconds = 1.0;
   std::uint64_t seed = 1;
+  /// Per-session density forgetting (DESIGN.md §15): sliding window over
+  /// each session's estimator (0 = off) and per-label decay (1 = off).
+  std::size_t density_window = 0;
+  double density_decay = 1.0;
   std::string out;    // JSON report path ("" = stdout only)
-  std::string trace;  // v4 run trace path ("" = none)
+  std::string trace;  // run trace path ("" = none)
 };
 
-StreamingFactionConfig SessionConfig(std::uint64_t seed) {
+StreamingFactionConfig SessionConfig(const LoadgenOptions& options,
+                                     std::uint64_t seed) {
   StreamingFactionConfig config;
   config.model.input_dim = 6;
   config.model.hidden_dims = {8};
@@ -64,6 +69,8 @@ StreamingFactionConfig SessionConfig(std::uint64_t seed) {
   config.warm_start = 12;
   config.burn_in = 6;
   config.refit_interval = 20;
+  config.density_window = options.density_window;
+  config.density_decay = options.density_decay;
   config.seed = seed;
   return config;
 }
@@ -131,7 +138,7 @@ struct LoadReport {
 };
 
 /// Phase 1: single-stream synchronous step rate (steps/second).
-double Calibrate(std::uint64_t seed) {
+double Calibrate(const LoadgenOptions& loadgen_options, std::uint64_t seed) {
   ServeRuntimeOptions options;
   options.workers = 0;
   options.max_sessions = 1;
@@ -142,7 +149,7 @@ double Calibrate(std::uint64_t seed) {
   ServeRuntime runtime(options);
   ServeSessionOptions session_options;
   session_options.stream_id = 0;
-  session_options.faction = SessionConfig(seed);
+  session_options.faction = SessionConfig(loadgen_options, seed);
   ServeSession* session = runtime.CreateSession(session_options);
   const std::vector<Example> stream =
       MakeStream(240, session_options.faction.model.input_dim, seed + 7);
@@ -261,7 +268,7 @@ SaturationReport RunSaturationPhase(
 int Run(const LoadgenOptions& options) {
   Telemetry::Enable()->Reset();
 
-  const double calibrated_rate = Calibrate(options.seed);
+  const double calibrated_rate = Calibrate(options, options.seed);
   std::cerr << "serve_loadgen: calibrated single-stream rate "
             << calibrated_rate << " steps/s\n";
 
@@ -287,7 +294,7 @@ int Run(const LoadgenOptions& options) {
   for (std::size_t s = 0; s < options.sessions; ++s) {
     ServeSessionOptions session_options;
     session_options.stream_id = s;
-    session_options.faction = SessionConfig(options.seed + 100 + s);
+    session_options.faction = SessionConfig(options, options.seed + 100 + s);
     sessions.push_back(runtime.CreateSession(session_options));
     streams.push_back(MakeStream(
         240, session_options.faction.model.input_dim, options.seed + s));
@@ -360,8 +367,11 @@ int Run(const LoadgenOptions& options) {
     TraceWriter::ServeInfo serve;
     serve.workers = options.workers;
     serve.sessions = options.sessions;
+    TraceWriter::DensityInfo density;
+    density.window = options.density_window;
+    density.decay = options.density_decay;
     FACTION_CHECK(
-        writer.value()->WriteRunStart("serve_loadgen", serve).ok());
+        writer.value()->WriteRunStart("serve_loadgen", serve, density).ok());
     FACTION_CHECK(writer.value()->WriteRunEnd(0, 0, 0).ok());
   }
   return 0;
@@ -390,6 +400,10 @@ bool ParseArgs(int argc, char** argv, LoadgenOptions* options) {
       options->saturation_seconds = std::atof(v);
     } else if (arg == "--seed" && (v = next())) {
       options->seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--density-window" && (v = next())) {
+      options->density_window = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--density-decay" && (v = next())) {
+      options->density_decay = std::atof(v);
     } else if (arg == "--out" && (v = next())) {
       options->out = v;
     } else if (arg == "--trace" && (v = next())) {
@@ -398,13 +412,15 @@ bool ParseArgs(int argc, char** argv, LoadgenOptions* options) {
       std::cerr << "usage: serve_loadgen [--workers N] [--sessions N]"
                    " [--duration-seconds S] [--utilization F]"
                    " [--burst-factor F] [--burst-fraction F]"
-                   " [--saturation-seconds S] [--seed N] [--out PATH]"
+                   " [--saturation-seconds S] [--seed N]"
+                   " [--density-window N] [--density-decay F] [--out PATH]"
                    " [--trace PATH]\n";
       return false;
     }
   }
   return options->workers >= 0 && options->sessions >= 1 &&
-         options->duration_seconds > 0.0 && options->utilization > 0.0;
+         options->duration_seconds > 0.0 && options->utilization > 0.0 &&
+         options->density_decay > 0.0 && options->density_decay <= 1.0;
 }
 
 }  // namespace

@@ -34,6 +34,10 @@ struct CliOptions {
   double mu = 0.6;
   double lambda = 0.5;
   double alpha = 3.0;
+  /// Density forgetting (DESIGN.md §15): sliding window over the GDA
+  /// estimator (0 = off) and per-fold exponential decay (1 = off).
+  std::size_t density_window = 0;
+  double density_decay = 1.0;
   bool csv = false;
   bool help = false;
   /// When non-empty, write a JSONL event trace (stream/trace.h) here.
@@ -58,6 +62,10 @@ void PrintUsage() {
       "  --mu <v>              fairness regularizer weight (default 0.6)\n"
       "  --lambda <v>          Eq. 6 trade-off (default 0.5)\n"
       "  --alpha <v>           query-rate multiplier (default 3.0)\n"
+      "  --density-window <W>  slide the density estimator over the last W\n"
+      "                        labels (rank-1 downdates; default 0 = off)\n"
+      "  --density-decay <g>   per-label exponential density decay in\n"
+      "                        (0, 1] (default 1 = off)\n"
       "  --csv                 emit CSV instead of an aligned table\n"
       "  --trace <path>        write a JSONL event trace of the run\n"
       "                        (one record per task; implies --telemetry)\n"
@@ -123,6 +131,19 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next("--alpha");
       if (v == nullptr) return false;
       options->alpha = std::strtod(v, nullptr);
+    } else if (arg == "--density-window") {
+      const char* v = next("--density-window");
+      if (v == nullptr) return false;
+      options->density_window = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--density-decay") {
+      const char* v = next("--density-decay");
+      if (v == nullptr) return false;
+      options->density_decay = std::strtod(v, nullptr);
+      if (!(options->density_decay > 0.0 &&
+            options->density_decay <= 1.0)) {
+        std::fprintf(stderr, "--density-decay must be in (0, 1]\n");
+        return false;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -179,6 +200,8 @@ int main(int argc, char** argv) {
   defaults.mu = options.mu;
   defaults.lambda = options.lambda;
   defaults.alpha = options.alpha;
+  defaults.density_window = options.density_window;
+  defaults.density_decay = options.density_decay;
   defaults.trace = trace.get();
 
   const Result<RunResult> run = RunMethodOnStream(

@@ -41,6 +41,20 @@ struct FactionStrategyConfig {
   bool incremental_density = true;
   /// Incremental rounds between full batch refits (staleness bound).
   std::size_t density_resync_interval = 8;
+  /// Sliding window over the density estimator (DESIGN.md §15): when > 0,
+  /// only the last `density_window` labeled rows contribute to the GDA
+  /// components. The incremental path evicts the oldest folded embedding
+  /// via a rank-1 Cholesky downdate (O(d^2)) per fold past the window;
+  /// full (re)fits use exactly the window's rows — so with
+  /// incremental_density = false every round is the windowed batch oracle
+  /// the incremental path is parity-tested against. Implies
+  /// forgetting-mode covariance. 0 disables.
+  std::size_t density_window = 0;
+  /// Exponential forgetting: each folded row first scales the estimator's
+  /// absorbed mass by this factor (factors untouched). In (0, 1]; 1
+  /// disables. Composes with `density_window` (evictions use decayed
+  /// weights). Also implies forgetting-mode covariance.
+  double density_decay = 1.0;
   /// Optional display-name override (used by the ablation benches).
   std::string name_override;
 };
@@ -70,12 +84,27 @@ class FactionStrategy : public QueryStrategy {
   /// random acquisition.
   const FairDensityEstimator* EstimatorFor(const SelectionContext& context);
 
+  /// Folds one embedded row into the cached estimator under the window/
+  /// decay discipline (decay, evict-if-full, fold, record). Ok-status on
+  /// the plain grow-only path too, so the incremental branch shares one
+  /// call site.
+  Status FoldOne(const double* z, int label, int sensitive);
+
   FactionStrategyConfig config_;
   // Incremental-refit state: the cached estimator, how many pool rows it
   // has absorbed, and how many incremental rounds since the last full fit.
   std::optional<FairDensityEstimator> estimator_;
   std::size_t fitted_rows_ = 0;
   std::size_t updates_since_fit_ = 0;
+  // Sliding-window state (density_window > 0): ring of folded embeddings
+  // with labels/sensitive values and decayed weights; ring_start_ is the
+  // oldest entry. Sized at the first windowed fit.
+  Matrix ring_z_;
+  std::vector<int> ring_label_;
+  std::vector<int> ring_sensitive_;
+  std::vector<double> ring_weight_;
+  std::size_t ring_start_ = 0;
+  std::size_t ring_size_ = 0;
   // Per-iteration scoring/selection buffers, reused across SelectBatch
   // calls so steady-state acquisition allocates only the returned indices.
   // The workspace arena holds the candidate feature/probability matrices

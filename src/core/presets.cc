@@ -38,6 +38,8 @@ Result<std::unique_ptr<QueryStrategy>> MakeStrategy(
     config.alpha = defaults.alpha;
     config.fair_select = true;
     config.covariance.shrinkage = defaults.covariance_shrinkage;
+    config.density_window = defaults.density_window;
+    config.density_decay = defaults.density_decay;
     config.name_override = method;
     return std::unique_ptr<QueryStrategy>(
         std::make_unique<FactionStrategy>(config));
@@ -50,6 +52,8 @@ Result<std::unique_ptr<QueryStrategy>> MakeStrategy(
     config.alpha = defaults.alpha;
     config.fair_select = false;
     config.covariance.shrinkage = defaults.covariance_shrinkage;
+    config.density_window = defaults.density_window;
+    config.density_decay = defaults.density_decay;
     config.name_override = method;
     return std::unique_ptr<QueryStrategy>(
         std::make_unique<FactionStrategy>(config));
@@ -126,6 +130,10 @@ OnlineLearnerConfig MakeLearnerConfig(const ExperimentDefaults& defaults,
   config.oracle_train.use_fairness_penalty = false;
   config.oracle_train.epochs = defaults.epochs * 2;
   config.trace = defaults.trace;
+  // Trace provenance (schema v5): record the density-forgetting settings
+  // the strategy runs with.
+  config.density_window = defaults.density_window;
+  config.density_decay = defaults.density_decay;
   return config;
 }
 

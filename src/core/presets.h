@@ -43,6 +43,12 @@ struct ExperimentDefaults {
   bool symmetric_penalty = true;
   /// Covariance shrinkage of FACTION's GDA components.
   double covariance_shrinkage = 0.1;
+  /// Density forgetting (DESIGN.md §15): sliding window over the GDA
+  /// estimator (0 = grow-only) and per-fold exponential decay (1 = none).
+  /// Either being active switches the covariance to forgetting-mode ridge
+  /// regularization. Applies to FACTION and its ablation variants.
+  std::size_t density_window = 0;
+  double density_decay = 1.0;
 
   /// Baseline hyperparameters at their mid-sweep values.
   std::size_t fal_reference_size = 128;   ///< FAL's l

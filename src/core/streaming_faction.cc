@@ -42,10 +42,54 @@ StreamingFaction::StreamingFaction(const StreamingFactionConfig& config)
       rng_(config.seed),
       pool_(config.model.input_dim),
       train_workspace_(std::make_unique<Workspace>()) {
+  FACTION_CHECK(config_.density_decay > 0.0 && config_.density_decay <= 1.0);
+  if (config_.density_window > 0 || config_.density_decay < 1.0) {
+    // Windowed/decayed estimators need the rank-1-maintainable ridge
+    // regularization (DESIGN.md §15); shrinkage would force a refactor
+    // per eviction.
+    config_.covariance.forgetting = true;
+  }
   Rng model_rng = rng_.Fork();
   model_ = std::make_unique<MlpClassifier>(config_.model, &model_rng);
+  if (config_.density_window > 0) {
+    // Pre-size the eviction ring once: the steady-state evict ->
+    // downdate -> fold path then never touches the heap.
+    ring_z_ = Matrix(config_.density_window, model_->feature_dim());
+    ring_label_.assign(config_.density_window, 0);
+    ring_sensitive_.assign(config_.density_window, 0);
+    ring_weight_.assign(config_.density_window, 0.0);
+  }
 }
 // FACTION_COLD_END
+
+void StreamingFaction::EvictOldest() {
+  const std::size_t slot = ring_start_;
+  const Status evicted = estimator_->DowndateOne(
+      ring_z_.row_data(slot), ring_label_[slot], ring_sensitive_[slot],
+      config_.covariance, ring_weight_[slot]);
+  ring_start_ = (ring_start_ + 1) % config_.density_window;
+  --ring_size_;
+  if (evicted.ok()) {
+    TelemetryCount("streaming.window_evictions");
+  } else {
+    // Error reporting is off the steady-state path.
+    ScopedAllocationAllow allow_error_report;
+    TelemetryCount("streaming.window_evict_failed");
+    FACTION_LOG(kWarning) << "StreamingFaction: window eviction failed ("
+                          << evicted.ToString() << "); awaiting full refit";
+    estimator_.reset();
+  }
+}
+
+void StreamingFaction::RingPush(const double* z, int label, int sensitive) {
+  const std::size_t slot =
+      (ring_start_ + ring_size_) % config_.density_window;
+  std::copy(z, z + ring_z_.cols(), ring_z_.row_data(slot));
+  ring_label_[slot] = label;
+  ring_sensitive_[slot] = sensitive;
+  ring_weight_[slot] = 1.0;
+  ++ring_size_;
+}
 
 double StreamingFaction::ScoreSample(const std::vector<double>& x) {
   // Every temporary is a named arena buffer: once the shapes are warm a
@@ -165,11 +209,32 @@ Status StreamingFaction::ProvideLabel(const Example& example) {
     std::copy(example.x.begin(), example.x.end(), x_row->row_data(0));
     Matrix* z = ws.MatrixFor("streaming.z_row", 1, model_->feature_dim());
     model_->ExtractFeaturesInto(*x_row, &ws, z);
+    if (config_.density_decay < 1.0) {
+      // Exponential forgetting: fade every absorbed label (an O(d)
+      // statistics rescale per component — factors untouched) and the
+      // ring's per-row weights, so a later eviction removes exactly the
+      // mass the row still carries.
+      estimator_->Decay(config_.density_decay);
+      for (std::size_t i = 0; i < ring_size_; ++i) {
+        ring_weight_[(ring_start_ + i) % config_.density_window] *=
+            config_.density_decay;
+      }
+    }
+    if (config_.density_window > 0 &&
+        ring_size_ >= config_.density_window) {
+      // Sliding window: evict the oldest folded embedding (rank-1
+      // downdate) before absorbing the new one.
+      EvictOldest();
+      if (!estimator_.has_value()) return Status::Ok();
+    }
     const Status updated =
         estimator_->UpdateOne(z->row_data(0), example.label,
                               example.sensitive, config_.covariance);
     if (updated.ok()) {
       TelemetryCount("streaming.incremental_fold");
+      if (config_.density_window > 0) {
+        RingPush(z->row_data(0), example.label, example.sensitive);
+      }
     } else {
       // Error reporting is off the steady-state path; exempt it from the
       // ban so the message assembly does not count as a violation.
@@ -196,9 +261,39 @@ Status StreamingFaction::Refit() {
                       train_workspace_.get())
           .status());
   trained_once_ = true;
-  const Matrix pool_z = model_->ExtractFeatures(pool_.features());
-  Result<FairDensityEstimator> fit = FairDensityEstimator::Fit(
-      pool_z, pool_.labels(), pool_.sensitive(), config_.covariance);
+  Result<FairDensityEstimator> fit = [&]() -> Result<FairDensityEstimator> {
+    if (config_.density_window == 0) {
+      const Matrix pool_z = model_->ExtractFeatures(pool_.features());
+      return FairDensityEstimator::Fit(pool_z, pool_.labels(),
+                                       pool_.sensitive(), config_.covariance);
+    }
+    // Windowed: the density sees only the last min(W, pool) labels,
+    // embedded fresh by the retrained extractor. The ring re-seeds from
+    // the same embeddings at unit weight — the batch fit re-absorbs each
+    // window row at weight 1, which resets any accumulated decay.
+    const std::size_t wn = std::min(config_.density_window, pool_.size());
+    const std::size_t first = pool_.size() - wn;
+    Matrix wx(wn, pool_.dim());
+    std::vector<int> wlabels(wn), wsensitive(wn);
+    for (std::size_t i = 0; i < wn; ++i) {
+      std::copy(pool_.features().row_data(first + i),
+                pool_.features().row_data(first + i) + pool_.dim(),
+                wx.row_data(i));
+      wlabels[i] = pool_.labels()[first + i];
+      wsensitive[i] = pool_.sensitive()[first + i];
+    }
+    const Matrix wz = model_->ExtractFeatures(wx);
+    Result<FairDensityEstimator> windowed = FairDensityEstimator::Fit(
+        wz, wlabels, wsensitive, config_.covariance);
+    if (windowed.ok()) {
+      ring_start_ = 0;
+      ring_size_ = 0;
+      for (std::size_t i = 0; i < wn; ++i) {
+        RingPush(wz.row_data(i), wlabels[i], wsensitive[i]);
+      }
+    }
+    return windowed;
+  }();
   if (fit.ok()) {
     estimator_ = std::move(fit).value();
     // Scores live in the new feature space: the old range is stale.

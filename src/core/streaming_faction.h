@@ -37,6 +37,21 @@ struct StreamingFactionConfig {
   /// estimator frozen until the next refit. The periodic full Refit still
   /// resyncs everything against the retrained extractor.
   bool incremental_density = true;
+  /// Sliding window over the density estimator (DESIGN.md §15): when > 0,
+  /// only the last `density_window` labeled arrivals contribute to the GDA
+  /// components. Each fold past the window evicts the oldest folded
+  /// embedding via a rank-1 Cholesky downdate (O(d^2)) before absorbing
+  /// the new one, and the periodic full Refit fits on exactly the window's
+  /// rows. Implies forgetting-mode covariance (CovarianceConfig::
+  /// forgetting, ridge regularization). 0 disables (grow-only estimator).
+  std::size_t density_window = 0;
+  /// Exponential forgetting: every labeled arrival first scales the
+  /// density estimator's absorbed mass by this factor (Gaussian::Decay —
+  /// an O(d) statistics rescale that leaves the cached factors untouched),
+  /// so older labels fade geometrically. In (0, 1]; 1 disables. Also
+  /// implies forgetting-mode covariance. Composes with `density_window`:
+  /// evicted rows are downdated at their decayed weight.
+  double density_decay = 1.0;
   std::uint64_t seed = 1;
 };
 
@@ -89,10 +104,28 @@ class StreamingFaction {
   /// train_workspace_ (non-const for that reason).
   double ScoreSample(const std::vector<double>& x);
 
+  /// Evicts the oldest ring entry through the estimator's rank-1 downdate
+  /// path. On failure the estimator is dropped (next Refit rebuilds).
+  void EvictOldest();
+  /// Appends a folded embedding (weight 1) to the ring; caller guarantees
+  /// a free slot.
+  void RingPush(const double* z, int label, int sensitive);
+
   StreamingFactionConfig config_;
   Rng rng_;
   std::unique_ptr<MlpClassifier> model_;
   Dataset pool_;
+  // Sliding-window state (density_window > 0): a pre-sized ring of the
+  // embeddings folded into the estimator, their labels/sensitive values,
+  // and their current decayed weights. `ring_start_` is the oldest entry;
+  // the ring is allocated once in the constructor so the steady-state
+  // evict -> downdate -> fold path never touches the heap.
+  Matrix ring_z_;
+  std::vector<int> ring_label_;
+  std::vector<int> ring_sensitive_;
+  std::vector<double> ring_weight_;
+  std::size_t ring_start_ = 0;
+  std::size_t ring_size_ = 0;
   /// Persistent arena for TrainClassifier's per-step temporaries; owned
   /// via unique_ptr so StreamingFaction stays movable.
   std::unique_ptr<Workspace> train_workspace_;

@@ -54,6 +54,9 @@ Result<FairDensityEstimator> FairDensityEstimator::Fit(
   est.present_.assign(total, false);
   est.counts_.assign(total, 0);
   est.total_ = n;
+  est.forgetting_ = config.forgetting;
+  est.wcounts_.assign(total, 0.0);
+  est.wtotal_ = static_cast<double>(n);
 
   // Single pass over the samples: bucket each usable row by component
   // instead of re-scanning all n rows once per component. Rows with labels
@@ -70,6 +73,7 @@ Result<FairDensityEstimator> FairDensityEstimator::Fit(
   for (int idx = 0; idx < total; ++idx) {
     const std::vector<std::size_t>& bucket = buckets[idx];
     est.counts_[idx] = bucket.size();
+    est.wcounts_[idx] = static_cast<double>(bucket.size());
     if (bucket.empty()) continue;
     FACTION_ASSIGN_OR_RETURN(
         Gaussian g, Gaussian::Fit(GatherRows(features, bucket), config));
@@ -92,8 +96,13 @@ void FairDensityEstimator::RefreshWeights() {
   weights_.assign(total, 0.0);
   log_weights_.assign(total, kNegInf);
   for (std::size_t idx = 0; idx < total; ++idx) {
+    // Legacy mode keeps the integer-count ratio (bitwise-identical weights
+    // to before forgetting existed); forgetting mode weighs by the decayed
+    // masses so evictions and decay release exactly the mass still carried.
     weights_[idx] =
-        static_cast<double>(counts_[idx]) / static_cast<double>(total_);
+        forgetting_
+            ? wcounts_[idx] / wtotal_
+            : static_cast<double>(counts_[idx]) / static_cast<double>(total_);
     if (weights_[idx] > 0.0) log_weights_[idx] = std::log(weights_[idx]);
   }
 }
@@ -124,11 +133,13 @@ Status FairDensityEstimator::Update(const Matrix& features,
     buckets[ComponentIndex(labels[i], sensitive[i])].push_back(i);
   }
   total_ += n;
+  wtotal_ += static_cast<double>(n);
   std::uint64_t touched = 0;
   for (std::size_t idx = 0; idx < components_.size(); ++idx) {
     const std::vector<std::size_t>& bucket = buckets[idx];
     if (bucket.empty()) continue;  // untouched: cached factor stays valid
     counts_[idx] += bucket.size();
+    wcounts_[idx] += static_cast<double>(bucket.size());
     const Matrix rows = GatherRows(features, bucket);
     if (present_[idx]) {
       FACTION_RETURN_IF_ERROR(components_[idx].Update(rows, config));
@@ -156,12 +167,14 @@ Status FairDensityEstimator::UpdateOne(const double* z, int label,
   }
   FACTION_CHECK(z != nullptr);
   total_ += 1;
+  wtotal_ += 1.0;
   std::uint64_t touched = 0;
   const bool in_domain = label >= 0 && label < kNumClasses &&
                          (sensitive == 1 || sensitive == -1);
   if (in_domain) {
     const int idx = ComponentIndex(label, sensitive);
     counts_[idx] += 1;
+    wcounts_[idx] += 1.0;
     if (present_[idx]) {
       FACTION_RETURN_IF_ERROR(components_[idx].UpdateOne(z, config));
     } else {
@@ -181,6 +194,55 @@ Status FairDensityEstimator::UpdateOne(const double* z, int label,
   TelemetryCount("density.fair_update");
   TelemetryCount("density.class_update", touched);
   return Status::Ok();
+}
+
+Status FairDensityEstimator::DowndateOne(const double* z, int label,
+                                         int sensitive,
+                                         const CovarianceConfig& config,
+                                         double row_weight) {
+  FACTION_CHECK(z != nullptr);
+  // Evicting from an empty estimator means the window handed back a row it
+  // never folded — a caller bug, not a recoverable state.
+  FACTION_CHECK_GT(total_, std::size_t{0});
+  total_ -= 1;
+  wtotal_ -= row_weight;
+  const bool in_domain = label >= 0 && label < kNumClasses &&
+                         (sensitive == 1 || sensitive == -1);
+  if (in_domain) {
+    const int idx = ComponentIndex(label, sensitive);
+    // Same caller-bug contract per component: the evicted (label,
+    // sensitive) must have absorbed at least this row.
+    FACTION_CHECK(present_[idx]);
+    FACTION_CHECK_GT(counts_[idx], std::size_t{0});
+    counts_[idx] -= 1;
+    wcounts_[idx] -= row_weight;
+    if (counts_[idx] == 0) {
+      // Evicting a component's last row drops it from the mixture —
+      // exactly what a batch fit on the remaining window produces — and
+      // re-arms the fresh-fit path should the component reappear.
+      present_[idx] = false;
+      wcounts_[idx] = 0.0;
+    } else {
+      FACTION_RETURN_IF_ERROR(
+          components_[idx].DowndateOne(z, config, row_weight));
+    }
+  }
+  RefreshWeights();
+  TelemetryCount("density.fair_downdate");
+  return Status::Ok();
+}
+
+void FairDensityEstimator::Decay(double gamma) {
+  FACTION_CHECK(forgetting_);
+  FACTION_CHECK(gamma > 0.0 && gamma <= 1.0);
+  for (std::size_t idx = 0; idx < components_.size(); ++idx) {
+    if (present_[idx]) components_[idx].Decay(gamma);
+    wcounts_[idx] *= gamma;
+  }
+  wtotal_ *= gamma;
+  // No RefreshWeights: uniform scaling cancels in every wcount/wtotal
+  // ratio, so the weights are left literally (bitwise) untouched rather
+  // than recomputed with fresh rounding.
 }
 
 bool FairDensityEstimator::HasComponent(int label, int sensitive) const {
@@ -344,6 +406,9 @@ Result<ClassDensityEstimator> ClassDensityEstimator::Fit(
   est.present_.assign(FairDensityEstimator::kNumClasses, false);
   est.counts_.assign(FairDensityEstimator::kNumClasses, 0);
   est.total_ = n;
+  est.forgetting_ = config.forgetting;
+  est.wcounts_.assign(FairDensityEstimator::kNumClasses, 0.0);
+  est.wtotal_ = static_cast<double>(n);
   std::array<std::vector<std::size_t>, FairDensityEstimator::kNumClasses>
       buckets;
   for (std::size_t i = 0; i < n; ++i) {
@@ -356,6 +421,7 @@ Result<ClassDensityEstimator> ClassDensityEstimator::Fit(
   for (int y = 0; y < FairDensityEstimator::kNumClasses; ++y) {
     const std::vector<std::size_t>& bucket = buckets[y];
     est.counts_[y] = bucket.size();
+    est.wcounts_[y] = static_cast<double>(bucket.size());
     if (bucket.empty()) continue;
     FACTION_ASSIGN_OR_RETURN(
         Gaussian g, Gaussian::Fit(GatherRows(features, bucket), config));
@@ -376,8 +442,12 @@ void ClassDensityEstimator::RefreshWeights() {
   weights_.assign(total, 0.0);
   log_weights_.assign(total, kNegInf);
   for (std::size_t idx = 0; idx < total; ++idx) {
+    // Same branch as FairDensityEstimator::RefreshWeights: decayed masses
+    // in forgetting mode, the bitwise-stable integer ratio otherwise.
     weights_[idx] =
-        static_cast<double>(counts_[idx]) / static_cast<double>(total_);
+        forgetting_
+            ? wcounts_[idx] / wtotal_
+            : static_cast<double>(counts_[idx]) / static_cast<double>(total_);
     if (weights_[idx] > 0.0) log_weights_[idx] = std::log(weights_[idx]);
   }
 }
@@ -408,10 +478,12 @@ Status ClassDensityEstimator::Update(const Matrix& features,
     buckets[labels[i]].push_back(i);
   }
   total_ += n;
+  wtotal_ += static_cast<double>(n);
   for (std::size_t y = 0; y < components_.size(); ++y) {
     const std::vector<std::size_t>& bucket = buckets[y];
     if (bucket.empty()) continue;
     counts_[y] += bucket.size();
+    wcounts_[y] += static_cast<double>(bucket.size());
     const Matrix rows = GatherRows(features, bucket);
     if (present_[y]) {
       FACTION_RETURN_IF_ERROR(components_[y].Update(rows, config));
@@ -423,6 +495,40 @@ Status ClassDensityEstimator::Update(const Matrix& features,
   }
   RefreshWeights();
   return Status::Ok();
+}
+
+Status ClassDensityEstimator::DowndateOne(const double* z, int label,
+                                          const CovarianceConfig& config,
+                                          double row_weight) {
+  FACTION_CHECK(z != nullptr);
+  FACTION_CHECK_GT(total_, std::size_t{0});
+  total_ -= 1;
+  wtotal_ -= row_weight;
+  if (label >= 0 && label < FairDensityEstimator::kNumClasses) {
+    FACTION_CHECK(present_[label]);
+    FACTION_CHECK_GT(counts_[label], std::size_t{0});
+    counts_[label] -= 1;
+    wcounts_[label] -= row_weight;
+    if (counts_[label] == 0) {
+      present_[label] = false;
+      wcounts_[label] = 0.0;
+    } else {
+      FACTION_RETURN_IF_ERROR(
+          components_[label].DowndateOne(z, config, row_weight));
+    }
+  }
+  RefreshWeights();
+  return Status::Ok();
+}
+
+void ClassDensityEstimator::Decay(double gamma) {
+  FACTION_CHECK(forgetting_);
+  FACTION_CHECK(gamma > 0.0 && gamma <= 1.0);
+  for (std::size_t y = 0; y < components_.size(); ++y) {
+    if (present_[y]) components_[y].Decay(gamma);
+    wcounts_[y] *= gamma;
+  }
+  wtotal_ *= gamma;
 }
 
 double ClassDensityEstimator::LogClassDensity(const std::vector<double>& z,

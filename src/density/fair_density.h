@@ -68,8 +68,28 @@ class FairDensityEstimator {
   Status UpdateOne(const double* z, int label, int sensitive,
                    const CovarianceConfig& config);
 
-  /// Total samples absorbed (Fit plus every Update), including rows whose
-  /// label/sensitive values fell outside the binary domain.
+  /// Evicts one previously folded feature vector — the sliding-window
+  /// forgetting path. In-domain rows route to their component's rank-1
+  /// Gaussian::DowndateOne; evicting a component's last row drops the
+  /// component from the mixture entirely (exactly what a batch fit on the
+  /// remaining window produces). Off-domain rows only release their share
+  /// of the total mass. `row_weight` is the evicted row's decayed
+  /// effective weight (1 without decay). Evicting a row from a component
+  /// that never absorbed one is a checked abort — the window must only
+  /// hand back rows it folded.
+  Status DowndateOne(const double* z, int label, int sensitive,
+                     const CovarianceConfig& config, double row_weight = 1.0);
+
+  /// Exponentially down-weights every component and the mixture masses by
+  /// `gamma` in (0, 1]. Mixture weights are ratios of uniformly scaled
+  /// masses, so they are left literally untouched (as are every
+  /// component's mean/factor — see Gaussian::Decay); only the raw masses
+  /// scale. Forgetting mode (CovarianceConfig::forgetting) only.
+  void Decay(double gamma);
+
+  /// Total samples currently absorbed: Fit plus every Update, minus every
+  /// eviction; includes rows whose label/sensitive values fell outside the
+  /// binary domain.
   std::size_t total_count() const { return total_; }
 
   std::size_t dim() const { return dim_; }
@@ -136,7 +156,14 @@ class FairDensityEstimator {
   std::vector<double> weights_;      // empirical p(y, s)
   std::vector<double> log_weights_;  // log(weights_), -inf at zero weight
   std::vector<std::size_t> counts_;  // per-component sample counts
-  std::size_t total_ = 0;            // all samples seen, incl. off-domain
+  std::size_t total_ = 0;            // rows currently absorbed
+  // Forgetting mode: decayed effective masses mirroring counts_/total_.
+  // Weights come from these so decayed and evicted rows release exactly
+  // the mass they still carry; in legacy mode the integer counts stay
+  // authoritative (bitwise-identical weights to before this mode existed).
+  bool forgetting_ = false;
+  std::vector<double> wcounts_;
+  double wtotal_ = 0.0;
 };
 
 /// Per-class density estimator used by the DDU baseline (Mukhoti et al.):
@@ -150,6 +177,13 @@ class ClassDensityEstimator {
   /// Per-class analogue of FairDensityEstimator::Update.
   Status Update(const Matrix& features, const std::vector<int>& labels,
                 const CovarianceConfig& config);
+
+  /// Per-class analogue of FairDensityEstimator::DowndateOne.
+  Status DowndateOne(const double* z, int label,
+                     const CovarianceConfig& config, double row_weight = 1.0);
+
+  /// Per-class analogue of FairDensityEstimator::Decay.
+  void Decay(double gamma);
 
   std::size_t total_count() const { return total_; }
 
@@ -176,6 +210,9 @@ class ClassDensityEstimator {
   std::vector<double> log_weights_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  bool forgetting_ = false;
+  std::vector<double> wcounts_;
+  double wtotal_ = 0.0;
 };
 
 }  // namespace faction

@@ -10,10 +10,20 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/telemetry.h"
 #include "tensor/linalg.h"
 #include "tensor/simd.h"
 
 namespace faction {
+
+namespace {
+
+// Rank-1 downdate guard margin: p^T p above 1 - kDowndateGuardTol means
+// the downdated covariance would sit too close to the positive-definite
+// boundary for the hyperbolic sweep to be trustworthy — refactor instead.
+constexpr double kDowndateGuardTol = 1e-8;
+
+}  // namespace
 
 // FACTION_COLD_BEGIN: batch fitting allocates the moment matrices once per
 // (re)fit — amortized per round, not per arrival.
@@ -25,8 +35,15 @@ Result<Gaussian> Gaussian::Fit(const Matrix& samples,
   if (n == 0 || d == 0) {
     return Status::InvalidArgument("Gaussian::Fit requires samples");
   }
+  if (config.forgetting && !(config.ridge > 0.0)) {
+    return Status::InvalidArgument(
+        "Gaussian::Fit: forgetting mode requires ridge > 0");
+  }
   Gaussian g;
   g.count_ = n;
+  g.forgetting_ = config.forgetting;
+  g.weight_ = static_cast<double>(n);
+  g.ridge_ = config.ridge;
   g.sum_.assign(d, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     const double* row = samples.row_data(i);
@@ -62,23 +79,39 @@ Result<Gaussian> Gaussian::Fit(const Matrix& samples,
         g.scatter_(b, a) = sc_a[b];
       }
     }
-    for (std::size_t a = 0; a < d; ++a) {
-      double* cov_a = cov.row_data(a);
-      for (std::size_t b = 0; b <= a; ++b) {
-        cov_a[b] /= static_cast<double>(n);
-        cov(b, a) = cov_a[b];
+    if (config.forgetting) {
+      // Ridge regularization: Sigma = (M + ridge * I) / n on the centered
+      // scatter M still sitting in cov's lower triangle. No shrinkage, no
+      // jitter — the exact matrix the rank-1 update/downdate path
+      // maintains.
+      for (std::size_t a = 0; a < d; ++a) {
+        double* cov_a = cov.row_data(a);
+        for (std::size_t b = 0; b <= a; ++b) {
+          double m = cov_a[b];
+          if (a == b) m += config.ridge;
+          cov_a[b] = m / static_cast<double>(n);
+          cov(b, a) = cov_a[b];
+        }
       }
-    }
-    // Shrinkage toward the scaled identity.
-    double trace = 0.0;
-    for (std::size_t a = 0; a < d; ++a) trace += cov(a, a);
-    const double iso = trace / static_cast<double>(d);
-    const double rho = config.shrinkage;
-    for (std::size_t a = 0; a < d; ++a) {
-      double* cov_a = cov.row_data(a);
-      for (std::size_t b = 0; b < d; ++b) {
-        cov_a[b] *= 1.0 - rho;
-        if (a == b) cov_a[b] += rho * iso;
+    } else {
+      for (std::size_t a = 0; a < d; ++a) {
+        double* cov_a = cov.row_data(a);
+        for (std::size_t b = 0; b <= a; ++b) {
+          cov_a[b] /= static_cast<double>(n);
+          cov(b, a) = cov_a[b];
+        }
+      }
+      // Shrinkage toward the scaled identity.
+      double trace = 0.0;
+      for (std::size_t a = 0; a < d; ++a) trace += cov(a, a);
+      const double iso = trace / static_cast<double>(d);
+      const double rho = config.shrinkage;
+      for (std::size_t a = 0; a < d; ++a) {
+        double* cov_a = cov.row_data(a);
+        for (std::size_t b = 0; b < d; ++b) {
+          cov_a[b] *= 1.0 - rho;
+          if (a == b) cov_a[b] += rho * iso;
+        }
       }
     }
   } else {
@@ -91,10 +124,20 @@ Result<Gaussian> Gaussian::Fit(const Matrix& samples,
         g.scatter_(b, a) = sc_a[b];
       }
     }
-    for (std::size_t a = 0; a < d; ++a) cov(a, a) = fallback_scale;
+    for (std::size_t a = 0; a < d; ++a) {
+      cov(a, a) = config.forgetting ? config.ridge : fallback_scale;
+    }
   }
 
-  FACTION_RETURN_IF_ERROR(g.FactorCovariance(cov, config));
+  if (config.forgetting) {
+    FACTION_RETURN_IF_ERROR(g.FactorRidgeCovariance(cov, config));
+    // Rank-1 scratch sized here, in the cold batch path, so the first
+    // steady-state update/evict after a (re)fit allocates nothing.
+    g.down_v_.assign(d, 0.0);
+    g.down_p_.assign(d, 0.0);
+  } else {
+    FACTION_RETURN_IF_ERROR(g.FactorCovariance(cov, config));
+  }
   // Leave the instance fold-warm: RefreshFromMoments writes cov_scratch_
   // and CholeskyInto the trial factor, both still empty on a fresh fit
   // (the accepted factor was swapped *out* of chol_try_). Sizing them here,
@@ -121,6 +164,16 @@ Status Gaussian::Update(const Matrix& new_samples,
   const std::size_t added = new_samples.rows();
   if (added == 0) return Status::Ok();
 
+  if (forgetting_) {
+    // Per-row rank-1 factor updates: O(added * d^2) total, no
+    // refactorization at all.
+    for (std::size_t i = 0; i < added; ++i) {
+      FACTION_RETURN_IF_ERROR(
+          UpdateOne(new_samples.row_data(i), config, fallback_scale));
+    }
+    return Status::Ok();
+  }
+
   // Fold the new rows into the raw moments: O(added * d^2), independent of
   // how many samples were absorbed before.
   for (std::size_t i = 0; i < added; ++i) {
@@ -144,6 +197,37 @@ Status Gaussian::UpdateOne(const double* row, const CovarianceConfig& config,
   }
   FACTION_CHECK(row != nullptr);
   const std::size_t d = dim();
+  if (forgetting_) {
+    // Rank-1 factor update, O(d^2): with w' = w + 1 and v = x - mu_old,
+    //   Sigma' = (w/w') Sigma + (w/w'^2) v v^T,
+    // so the new factor is the old one scaled by sqrt(w/w') then updated
+    // with u = v * sqrt(w)/w'. Adding v v^T keeps Sigma' positive
+    // definite, so no guard is needed on this side.
+    const double w = weight_;
+    const double w2 = w + 1.0;
+    double* v = down_v_.data();
+    for (std::size_t j = 0; j < d; ++j) v[j] = row[j] - mean_[j];
+    for (std::size_t a = 0; a < d; ++a) {
+      const double va = row[a];
+      sum_[a] += va;
+      double* sc_a = scatter_.row_data(a);
+      for (std::size_t b = 0; b <= a; ++b) sc_a[b] += va * row[b];
+    }
+    count_ += 1;
+    weight_ = w2;
+    for (std::size_t j = 0; j < d; ++j) mean_[j] = sum_[j] / w2;
+    const double scale = std::sqrt(w / w2);
+    for (std::size_t a = 0; a < d; ++a) {
+      double* ch_a = chol_.row_data(a);
+      for (std::size_t b = 0; b <= a; ++b) ch_a[b] *= scale;
+    }
+    const double vs = std::sqrt(w) / w2;
+    for (std::size_t j = 0; j < d; ++j) v[j] *= vs;
+    CholeskyRank1UpdateInPlace(&chol_, v, d);
+    log_det_ = LogDetFromCholesky(chol_);
+    FACTION_DCHECK_FINITE(log_det_);
+    return Status::Ok();
+  }
   for (std::size_t a = 0; a < d; ++a) {
     const double va = row[a];
     sum_[a] += va;
@@ -154,8 +238,167 @@ Status Gaussian::UpdateOne(const double* row, const CovarianceConfig& config,
   return RefreshFromMoments(config, fallback_scale);
 }
 
+Status Gaussian::Downdate(const Matrix& old_rows,
+                          const CovarianceConfig& config,
+                          double fallback_scale) {
+  if (count_ == 0) {
+    return Status::FailedPrecondition(
+        "Gaussian::Downdate requires a prior successful Fit");
+  }
+  if (old_rows.cols() != dim()) {
+    return Status::InvalidArgument("Gaussian::Downdate: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < old_rows.rows(); ++i) {
+    FACTION_RETURN_IF_ERROR(
+        DowndateOne(old_rows.row_data(i), config, 1.0, fallback_scale));
+  }
+  return Status::Ok();
+}
+
+Status Gaussian::DowndateOne(const double* row, const CovarianceConfig& config,
+                             double row_weight, double fallback_scale) {
+  FACTION_CHECK(row != nullptr);
+  // Evicting the last sample would leave nothing to estimate from; the
+  // mixture layer drops the component instead of downdating it to zero.
+  FACTION_CHECK_GT(count_, std::size_t{1});
+  const std::size_t d = dim();
+  TelemetryCount("density.downdates");
+  if (!forgetting_) {
+    FACTION_CHECK(row_weight == 1.0);
+    for (std::size_t a = 0; a < d; ++a) {
+      const double va = row[a];
+      sum_[a] -= va;
+      double* sc_a = scatter_.row_data(a);
+      for (std::size_t b = 0; b <= a; ++b) sc_a[b] -= va * row[b];
+    }
+    count_ -= 1;
+    // Legacy regularization cannot be maintained rank-1 (see
+    // CovarianceConfig::forgetting): every legacy downdate is a refactor.
+    TelemetryCount("density.downdate_fallback_refactors");
+    return RefreshFromMoments(config, fallback_scale);
+  }
+  FACTION_CHECK(row_weight > 0.0);
+  const double w = weight_;
+  const double omega = row_weight;
+  const double w2 = w - omega;
+  // Moments first: wherever the guard trips below, the fallback refactor
+  // reads fully downdated statistics.
+  for (std::size_t a = 0; a < d; ++a) {
+    const double va = omega * row[a];
+    sum_[a] -= va;
+    double* sc_a = scatter_.row_data(a);
+    for (std::size_t b = 0; b <= a; ++b) sc_a[b] -= va * row[b];
+  }
+  count_ -= 1;
+  weight_ = w2;
+  if (!(w2 >= static_cast<double>(d) + 1.0)) {
+    // Below d + 1 effective samples the downdated covariance sits too
+    // close to rank deficiency for a guarded rank-1 sweep.
+    TelemetryCount("density.downdate_fallback_refactors");
+    return RefreshRidge(config);
+  }
+  for (std::size_t j = 0; j < d; ++j) mean_[j] = sum_[j] / w2;
+  // Positive-definiteness guard against the *unmodified* factor: with
+  // v = x - mu', the downdated covariance is
+  //   Sigma' = (w/w') Sigma - (omega/w) v v^T = S S^T - u u^T
+  // for S = sqrt(w/w') L and u = v sqrt(omega/w); Sigma' stays positive
+  // definite iff |S^-1 u|^2 = (omega w' / w^2) |L^-1 v|^2 < 1. The solve
+  // runs through the dispatched kernel — bitwise-identical across tiers,
+  // so the guard's branch is too.
+  double* v = down_v_.data();
+  double* p = down_p_.data();
+  for (std::size_t j = 0; j < d; ++j) {
+    v[j] = row[j] - mean_[j];
+    p[j] = v[j];
+  }
+  double pnorm2 = 0.0;
+  ActiveSimd().downdate_solve(chol_.data(), d, p, 1, &pnorm2);
+  const double guard = (omega * w2 / (w * w)) * pnorm2;
+  if (!(guard < 1.0 - kDowndateGuardTol)) {
+    TelemetryCount("density.downdate_fallback_refactors");
+    return RefreshRidge(config);
+  }
+  const double scale = std::sqrt(w / w2);
+  for (std::size_t a = 0; a < d; ++a) {
+    double* ch_a = chol_.row_data(a);
+    for (std::size_t b = 0; b <= a; ++b) ch_a[b] *= scale;
+  }
+  const double vs = std::sqrt(omega / w);
+  for (std::size_t j = 0; j < d; ++j) v[j] *= vs;
+  const Status downdated = CholeskyRank1DowndateInPlace(&chol_, v, d);
+  if (!downdated.ok()) {
+    // Pivot lost mid-sweep despite the guard: the factor is partially
+    // mutated, but the refactor below overwrites it entirely from the
+    // already-downdated moments.
+    TelemetryCount("density.downdate_fallback_refactors");
+    return RefreshRidge(config);
+  }
+  log_det_ = LogDetFromCholesky(chol_);
+  FACTION_DCHECK_FINITE(log_det_);
+  return Status::Ok();
+}
+
+void Gaussian::Decay(double gamma) {
+  FACTION_CHECK(forgetting_);
+  FACTION_CHECK(gamma > 0.0 && gamma <= 1.0);
+  // Sigma = (gamma*M + gamma*ridge*I) / (gamma*w) is invariant: only the
+  // raw statistics scale; mean_, chol_, and log_det_ stay bitwise
+  // untouched (tests pin this). The decay's effect surfaces at the next
+  // Update/Downdate, whose sample meets a lighter history.
+  weight_ *= gamma;
+  ridge_ *= gamma;
+  const std::size_t d = dim();
+  for (std::size_t j = 0; j < d; ++j) sum_[j] *= gamma;
+  double* sc = scatter_.data();
+  for (std::size_t i = 0; i < d * d; ++i) sc[i] *= gamma;
+  TelemetryCount("density.decays");
+}
+
+Status Gaussian::RefreshRidge(const CovarianceConfig& config) {
+  const std::size_t d = dim();
+  const double w = weight_;
+  FACTION_CHECK(w > 0.0);
+  for (std::size_t j = 0; j < d; ++j) mean_[j] = sum_[j] / w;
+  for (std::size_t a = 0; a < d; ++a) {
+    const double* sc_a = scatter_.row_data(a);
+    for (std::size_t b = 0; b < a; ++b) scatter_(b, a) = sc_a[b];
+  }
+  Matrix& cov = cov_scratch_;
+  // Every element is written (lower triangle then mirror) before the
+  // factorization reads it, so the skip-the-clear resize is exact.
+  cov.ResizeForOverwrite(d, d);
+  for (std::size_t a = 0; a < d; ++a) {
+    const double* sc_a = scatter_.row_data(a);
+    double* cov_a = cov.row_data(a);
+    for (std::size_t b = 0; b <= a; ++b) {
+      double m = sc_a[b] - sum_[a] * sum_[b] / w;
+      if (a == b) m += ridge_;
+      cov_a[b] = m / w;
+      cov(b, a) = cov_a[b];
+    }
+  }
+  return FactorRidgeCovariance(cov, config);
+}
+
+Status Gaussian::FactorRidgeCovariance(const Matrix& cov,
+                                       const CovarianceConfig& config) {
+  // The ridge keeps cov positive definite by construction, so factor it
+  // directly — the incremental factor and a refactor then describe the
+  // same matrix, jitter-free. The progressive-jitter loop is a rescue for
+  // numerical failure only.
+  const Status direct = CholeskyInto(cov, &chol_try_);
+  if (direct.ok()) {
+    std::swap(chol_, chol_try_);
+    log_det_ = LogDetFromCholesky(chol_);
+    FACTION_DCHECK_FINITE(log_det_);
+    return Status::Ok();
+  }
+  return FactorCovariance(cov, config);
+}
+
 Status Gaussian::RefreshFromMoments(const CovarianceConfig& config,
                                     double fallback_scale) {
+  if (forgetting_) return RefreshRidge(config);
   const std::size_t d = dim();
   const double n = static_cast<double>(count_);
   for (std::size_t j = 0; j < d; ++j) mean_[j] = sum_[j] / n;

@@ -19,6 +19,19 @@ struct CovarianceConfig {
   /// to max_jitter_doublings times.
   double jitter = 1e-6;
   int max_jitter_doublings = 20;
+  /// Forgetting mode (DESIGN.md §15): replaces the shrinkage/jitter
+  /// regularization with a fixed ridge, Sigma = (M + ridge * I) / w for
+  /// the centered scatter M and effective weight w. Shrinkage mixes in a
+  /// full-rank diagonal term whose coefficient moves with the trace and
+  /// count, which makes exact O(d^2) rank-1 factor maintenance impossible;
+  /// the ridge keeps Sigma an affine function of rank-1-maintainable
+  /// statistics, so Update/Downdate become exact factor updates and
+  /// Decay a pure statistics rescale that leaves the factor untouched.
+  /// `ridge` must be > 0 in this mode — it also keeps Sigma positive
+  /// definite at any weight, so the single-sample fallback_scale identity
+  /// never applies.
+  bool forgetting = false;
+  double ridge = 1.0;
 };
 
 /// Multivariate Gaussian fitted by maximum likelihood with shrinkage, used
@@ -59,8 +72,45 @@ class Gaussian {
   Status UpdateOne(const double* row, const CovarianceConfig& config,
                    double fallback_scale = 1.0);
 
+  /// Removes previously absorbed rows from the fit — the sliding-window
+  /// eviction path. Each row is removed via DowndateOne (unit weight), so
+  /// in forgetting mode the whole call is O(rows * d^2) with no
+  /// refactorization unless a positive-definiteness guard trips.
+  Status Downdate(const Matrix& old_rows, const CovarianceConfig& config,
+                  double fallback_scale = 1.0);
+
+  /// Removes one previously absorbed sample with effective weight
+  /// `row_weight` (1 unless the row has been decayed since it was folded).
+  /// In forgetting mode this is an O(d^2) rank-1 Cholesky downdate: the
+  /// positive-definiteness guard solves L q = (x - mu') against the
+  /// *unmodified* factor (through the dispatched downdate_solve kernel)
+  /// and falls back to a full refactor from the downdated moments when the
+  /// guard trips, the remaining effective weight drops below dim() + 1, or
+  /// the hyperbolic sweep loses a pivot. In legacy mode every downdate is
+  /// a moment subtraction plus refactor (and `row_weight` must be 1).
+  /// Requires count() > 1: evicting the last absorbed sample is the
+  /// caller's responsibility (drop the component instead).
+  Status DowndateOne(const double* row, const CovarianceConfig& config,
+                     double row_weight = 1.0, double fallback_scale = 1.0);
+
+  /// Exponentially down-weights the absorbed statistics: the effective
+  /// weight, sums, scatter, and tracked ridge all scale by `gamma` in
+  /// (0, 1]. Sigma = (gamma*M + gamma*ridge*I) / (gamma*w) is invariant,
+  /// so the cached mean, factor, and log-determinant are left bitwise
+  /// untouched — decay changes no density until the next Update/Downdate,
+  /// which sees its sample at relatively higher weight. Forgetting mode
+  /// only.
+  void Decay(double gamma);
+
   /// Number of samples absorbed so far (via Fit plus every Update).
   std::size_t count() const { return count_; }
+
+  /// Effective absorbed mass: count() in legacy mode; in forgetting mode
+  /// the decayed weight, which Decay shrinks and Downdate reduces by the
+  /// evicted row's weight.
+  double weight() const {
+    return forgetting_ ? weight_ : static_cast<double>(count_);
+  }
 
   /// log N(z; mean, cov). Precondition: z.size() == dim().
   double LogPdf(const std::vector<double>& z) const;
@@ -100,6 +150,20 @@ class Gaussian {
   Status RefreshFromMoments(const CovarianceConfig& config,
                             double fallback_scale);
 
+  /// Forgetting-mode refactor: mean from sums, covariance
+  /// (scatter - sum sum^T / w + ridge * I) / w, factored without jitter
+  /// (the ridge keeps it positive definite); the progressive-jitter rescue
+  /// only runs on numerical failure. The fallback target of every guarded
+  /// downdate — it overwrites the factor entirely, so a partially mutated
+  /// hyperbolic sweep leaves no residue.
+  Status RefreshRidge(const CovarianceConfig& config);
+
+  /// Factors `cov` directly (no jitter), falling back to the progressive-
+  /// jitter loop on failure. Shared tail of the forgetting-mode Fit and
+  /// RefreshRidge.
+  Status FactorRidgeCovariance(const Matrix& cov,
+                               const CovarianceConfig& config);
+
   std::vector<double> mean_;
   Matrix chol_;  // lower Cholesky factor of the regularized covariance
   double log_det_ = 0.0;
@@ -111,6 +175,13 @@ class Gaussian {
   std::vector<double> sum_;
   Matrix scatter_;
 
+  // Forgetting-mode state: the exponentially decayed effective weight and
+  // ridge (both scale under Decay; weight_ == count_ until the first
+  // Decay), plus the mode flag captured at Fit.
+  bool forgetting_ = false;
+  double weight_ = 0.0;
+  double ridge_ = 0.0;
+
   // Warm scratch for the incremental path (covariance from moments, the
   // jittered copy handed to the factorization, and the trial factor that
   // is swapped into chol_ on success). Capacity is retained, so the
@@ -118,6 +189,12 @@ class Gaussian {
   Matrix cov_scratch_;
   Matrix reg_scratch_;
   Matrix chol_try_;
+
+  // Rank-1 scratch (forgetting mode): the update/downdate vector and the
+  // guard-solve copy the dispatched kernel clobbers. Pre-sized at Fit so
+  // the steady-state evict -> downdate path allocates nothing.
+  std::vector<double> down_v_;
+  std::vector<double> down_p_;
 };
 
 }  // namespace faction

@@ -71,6 +71,11 @@ Result<GroupedDensityEstimator> GroupedDensityEstimator::Fit(
   est.present_.assign(total, false);
   est.weights_.assign(total, 0.0);
   est.log_weights_.assign(total, kNegInf);
+  est.counts_.assign(total, 0);
+  est.total_ = n;
+  est.forgetting_ = config.forgetting;
+  est.wcounts_.assign(total, 0.0);
+  est.wtotal_ = static_cast<double>(n);
 
   // Validate inputs and bucket row indices per component.
   std::vector<std::vector<std::size_t>> buckets(total);
@@ -91,6 +96,8 @@ Result<GroupedDensityEstimator> GroupedDensityEstimator::Fit(
 
   std::size_t fitted = 0;
   for (std::size_t idx = 0; idx < total; ++idx) {
+    est.counts_[idx] = buckets[idx].size();
+    est.wcounts_[idx] = static_cast<double>(buckets[idx].size());
     est.weights_[idx] = static_cast<double>(buckets[idx].size()) /
                         static_cast<double>(n);
     if (est.weights_[idx] > 0.0) {
@@ -113,6 +120,101 @@ Result<GroupedDensityEstimator> GroupedDensityEstimator::Fit(
         "GroupedDensityEstimator: no component has samples");
   }
   return est;
+}
+
+void GroupedDensityEstimator::RefreshWeights() {
+  const std::size_t total = counts_.size();
+  weights_.assign(total, 0.0);
+  log_weights_.assign(total, kNegInf);
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    weights_[idx] =
+        forgetting_
+            ? wcounts_[idx] / wtotal_
+            : static_cast<double>(counts_[idx]) / static_cast<double>(total_);
+    if (weights_[idx] > 0.0) log_weights_[idx] = std::log(weights_[idx]);
+  }
+}
+
+Status GroupedDensityEstimator::UpdateOne(const double* z, int label,
+                                          int sensitive,
+                                          const CovarianceConfig& config) {
+  if (total_ == 0) {
+    return Status::FailedPrecondition(
+        "GroupedDensityEstimator::UpdateOne requires a prior successful Fit");
+  }
+  FACTION_CHECK(z != nullptr);
+  if (label < 0 || label >= num_classes_) {
+    return Status::OutOfRange("GroupedDensityEstimator: label " +
+                              std::to_string(label) + " outside [0, C)");
+  }
+  const std::size_t group = GroupPosition(sensitive);
+  if (group == sensitive_values_.size()) {
+    return Status::OutOfRange("GroupedDensityEstimator: sensitive value " +
+                              std::to_string(sensitive) +
+                              " not in the declared set");
+  }
+  total_ += 1;
+  wtotal_ += 1.0;
+  const int idx = ComponentIndex(label, group);
+  counts_[idx] += 1;
+  wcounts_[idx] += 1.0;
+  if (present_[idx]) {
+    FACTION_RETURN_IF_ERROR(components_[idx].UpdateOne(z, config));
+  } else {
+    Matrix row(1, dim_);
+    std::copy(z, z + dim_, row.row_data(0));
+    FACTION_ASSIGN_OR_RETURN(Gaussian g, Gaussian::Fit(row, config));
+    components_[idx] = std::move(g);
+    present_[idx] = true;
+  }
+  RefreshWeights();
+  return Status::Ok();
+}
+
+Status GroupedDensityEstimator::DowndateOne(const double* z, int label,
+                                            int sensitive,
+                                            const CovarianceConfig& config,
+                                            double row_weight) {
+  FACTION_CHECK(z != nullptr);
+  FACTION_CHECK_GT(total_, std::size_t{0});
+  if (label < 0 || label >= num_classes_) {
+    return Status::OutOfRange("GroupedDensityEstimator: label " +
+                              std::to_string(label) + " outside [0, C)");
+  }
+  const std::size_t group = GroupPosition(sensitive);
+  if (group == sensitive_values_.size()) {
+    return Status::OutOfRange("GroupedDensityEstimator: sensitive value " +
+                              std::to_string(sensitive) +
+                              " not in the declared set");
+  }
+  const int idx = ComponentIndex(label, group);
+  // Evicting a row the component never absorbed is a caller bug.
+  FACTION_CHECK(present_[idx]);
+  FACTION_CHECK_GT(counts_[idx], std::size_t{0});
+  total_ -= 1;
+  wtotal_ -= row_weight;
+  counts_[idx] -= 1;
+  wcounts_[idx] -= row_weight;
+  if (counts_[idx] == 0) {
+    present_[idx] = false;
+    wcounts_[idx] = 0.0;
+  } else {
+    FACTION_RETURN_IF_ERROR(
+        components_[idx].DowndateOne(z, config, row_weight));
+  }
+  RefreshWeights();
+  return Status::Ok();
+}
+
+void GroupedDensityEstimator::Decay(double gamma) {
+  FACTION_CHECK(forgetting_);
+  FACTION_CHECK(gamma > 0.0 && gamma <= 1.0);
+  for (std::size_t idx = 0; idx < components_.size(); ++idx) {
+    if (present_[idx]) components_[idx].Decay(gamma);
+    wcounts_[idx] *= gamma;
+  }
+  wtotal_ *= gamma;
+  // Uniform scaling cancels in every weight ratio — no RefreshWeights.
 }
 
 bool GroupedDensityEstimator::HasComponent(int label, int sensitive) const {

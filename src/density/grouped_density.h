@@ -35,6 +35,29 @@ class GroupedDensityEstimator {
       const std::vector<int>& sensitive, int num_classes,
       std::vector<int> sensitive_values, const CovarianceConfig& config);
 
+  /// Absorbs one labeled feature vector (length dim()) — the grouped
+  /// analogue of FairDensityEstimator::UpdateOne. Unlike the binary
+  /// estimator, out-of-domain rows are errors here, matching Fit's strict
+  /// validation.
+  Status UpdateOne(const double* z, int label, int sensitive,
+                   const CovarianceConfig& config);
+
+  /// Evicts one previously folded feature vector with effective weight
+  /// `row_weight` — the grouped analogue of
+  /// FairDensityEstimator::DowndateOne (rank-1 Gaussian downdate;
+  /// last-row evictions drop the component; evicting a row never folded
+  /// into its component is a checked abort).
+  Status DowndateOne(const double* z, int label, int sensitive,
+                     const CovarianceConfig& config, double row_weight = 1.0);
+
+  /// Exponentially down-weights every component and the mixture masses by
+  /// `gamma` in (0, 1]; mixture weights and component factors stay
+  /// literally untouched. Forgetting mode only.
+  void Decay(double gamma);
+
+  /// Rows currently absorbed (Fit plus updates, minus evictions).
+  std::size_t total_count() const { return total_; }
+
   std::size_t dim() const { return dim_; }
   int num_classes() const { return num_classes_; }
   const std::vector<int>& sensitive_values() const {
@@ -89,6 +112,9 @@ class GroupedDensityEstimator {
   std::size_t GroupPosition(int sensitive) const;
   /// Rebuilds group_lookup_ from sensitive_values_.
   void BuildGroupLookup();
+  /// Recomputes weights_/log_weights_ from the running counts (legacy) or
+  /// decayed masses (forgetting).
+  void RefreshWeights();
 
   std::size_t dim_ = 0;
   int num_classes_ = 0;
@@ -99,6 +125,13 @@ class GroupedDensityEstimator {
   std::vector<bool> present_;
   std::vector<double> weights_;
   std::vector<double> log_weights_;  // log(weights_), -inf at zero weight
+  std::vector<std::size_t> counts_;  // per-component sample counts
+  std::size_t total_ = 0;            // rows currently absorbed
+  // Forgetting mode: decayed effective masses mirroring counts_/total_
+  // (see FairDensityEstimator for the weight-derivation contract).
+  bool forgetting_ = false;
+  std::vector<double> wcounts_;
+  double wtotal_ = 0.0;
 };
 
 }  // namespace faction

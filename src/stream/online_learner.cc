@@ -107,8 +107,11 @@ Result<RunResult> OnlineLearner::Run(const std::vector<Dataset>& tasks) {
   // carry the same provenance as the trace's run_start record.
   PublishSimdTelemetry();
   if (config_.trace != nullptr) {
+    TraceWriter::DensityInfo density;
+    density.window = config_.density_window;
+    density.decay = config_.density_decay;
     FACTION_RETURN_IF_ERROR(
-        config_.trace->WriteRunStart(result.strategy_name));
+        config_.trace->WriteRunStart(result.strategy_name, density));
   }
   std::size_t undefined_metric_tasks = 0;
 

@@ -61,6 +61,12 @@ struct OnlineLearnerConfig {
   /// populate the counter-derived fields (density refit mode, drift
   /// firings) — without it they degrade to "unknown"/0.
   TraceWriter* trace = nullptr;
+  /// Density-forgetting provenance stamped into the trace's run_start
+  /// record (schema v5). The behavior itself lives in the strategy's
+  /// config (FactionStrategyConfig::density_window/density_decay); these
+  /// mirror it so the trace records what the strategy actually ran with.
+  std::size_t density_window = 0;
+  double density_decay = 1.0;
   std::uint64_t seed = 1;
 };
 

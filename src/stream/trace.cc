@@ -85,24 +85,32 @@ Status TraceWriter::Flush() {
   return Status::Ok();
 }
 
-Status TraceWriter::WriteRunStart(const std::string& strategy_name) {
+Status TraceWriter::WriteRunStart(const std::string& strategy_name,
+                                  const DensityInfo& density) {
   // The dispatch tier is part of the run's provenance: results are bitwise
   // identical across tiers by contract, so a tier mismatch between two
   // traces that differ is immediately visible evidence of a parity bug.
-  *os_ << "{\"type\":\"run_start\",\"schema_version\":" << kTraceSchemaVersion
-       << ",\"strategy\":\"" << JsonEscape(strategy_name)
-       << "\",\"simd_level\":\"" << ActiveSimd().name
-       << "\",\"alloc_audit\":\"" << AllocAuditMode() << "\"}\n";
-  return Flush();
-}
-
-Status TraceWriter::WriteRunStart(const std::string& strategy_name,
-                                  const ServeInfo& serve) {
+  // The density object likewise: a window/decay mismatch explains a
+  // divergence before any numeric diffing.
   *os_ << "{\"type\":\"run_start\",\"schema_version\":" << kTraceSchemaVersion
        << ",\"strategy\":\"" << JsonEscape(strategy_name)
        << "\",\"simd_level\":\"" << ActiveSimd().name
        << "\",\"alloc_audit\":\"" << AllocAuditMode()
-       << "\",\"serve\":{\"workers\":" << serve.workers
+       << "\",\"density\":{\"window\":" << density.window
+       << ",\"decay\":" << JsonNumber(density.decay) << "}}\n";
+  return Flush();
+}
+
+Status TraceWriter::WriteRunStart(const std::string& strategy_name,
+                                  const ServeInfo& serve,
+                                  const DensityInfo& density) {
+  *os_ << "{\"type\":\"run_start\",\"schema_version\":" << kTraceSchemaVersion
+       << ",\"strategy\":\"" << JsonEscape(strategy_name)
+       << "\",\"simd_level\":\"" << ActiveSimd().name
+       << "\",\"alloc_audit\":\"" << AllocAuditMode()
+       << "\",\"density\":{\"window\":" << density.window
+       << ",\"decay\":" << JsonNumber(density.decay)
+       << "},\"serve\":{\"workers\":" << serve.workers
        << ",\"sessions\":" << serve.sessions << "}}\n";
   return Flush();
 }

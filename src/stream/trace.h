@@ -20,7 +20,11 @@ namespace faction {
 /// v4: run_start gained the optional "serve" object ({"workers":N,
 ///     "sessions":N}) stamped by multi-stream serving runs (src/serve,
 ///     bench/serve_loadgen); absent for single-stream runs.
-constexpr int kTraceSchemaVersion = 4;
+/// v5: run_start gained the always-present "density" object
+///     ({"window":N,"decay":g}) — the run's density-forgetting
+///     configuration (DESIGN.md §15). {"window":0,"decay":1} when the
+///     estimator is grow-only.
+constexpr int kTraceSchemaVersion = 5;
 
 /// One structured trace record per stream task (see DESIGN.md §11 for the
 /// schema and determinism contract). Every field except the wall_* group is
@@ -57,6 +61,17 @@ struct TaskTraceRecord {
   double wall_task_seconds = 0.0;
 };
 
+/// Density-forgetting configuration stamped into every run_start (schema
+/// v5): the sliding-window length (0 = grow-only) and per-arrival decay
+/// factor (1 = none). See FactionStrategyConfig/StreamingFactionConfig.
+/// Namespace-scope (not nested in TraceWriter) so it can serve as a
+/// defaulted `{}` argument — a nested aggregate's member initializers are
+/// not parsed until the enclosing class is complete.
+struct TraceDensityInfo {
+  std::size_t window = 0;
+  double decay = 1.0;
+};
+
 /// JSONL event trace for streaming runs: a run_start line, one task line
 /// per stream task, and a run_end line. The writer is sequential and
 /// non-owning of borrowed sinks; it never throws — I/O failures surface as
@@ -83,12 +98,18 @@ class TraceWriter {
     std::size_t sessions = 0;
   };
 
+  /// See TraceDensityInfo; aliased here so call sites read
+  /// TraceWriter::DensityInfo.
+  using DensityInfo = TraceDensityInfo;
+
   /// {"type":"run_start","schema_version":...,"strategy":...}
-  Status WriteRunStart(const std::string& strategy_name);
+  Status WriteRunStart(const std::string& strategy_name,
+                       const DensityInfo& density = {});
 
   /// Same, plus the "serve" object: {"workers":...,"sessions":...}.
   Status WriteRunStart(const std::string& strategy_name,
-                       const ServeInfo& serve);
+                       const ServeInfo& serve,
+                       const DensityInfo& density = {});
 
   /// {"type":"task",...}; see TaskTraceRecord.
   Status WriteTask(const TaskTraceRecord& record);

@@ -96,6 +96,53 @@ double LogDetFromCholesky(const Matrix& lower) {
   return 2.0 * acc;
 }
 
+void CholeskyRank1UpdateInPlace(Matrix* l, double* v, std::size_t n) {
+  FACTION_CHECK(l != nullptr);
+  FACTION_DCHECK_EQ(l->rows(), n);
+  FACTION_DCHECK_EQ(l->cols(), n);
+  FACTION_DCHECK(v != nullptr);
+  Matrix& lo = *l;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double lkk = lo(k, k);
+    const double r = std::sqrt(lkk * lkk + v[k] * v[k]);
+    const double c = r / lkk;
+    const double s = v[k] / lkk;
+    lo(k, k) = r;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      lo(i, k) = (lo(i, k) + s * v[i]) / c;
+      v[i] = c * v[i] - s * lo(i, k);
+    }
+  }
+}
+
+Status CholeskyRank1DowndateInPlace(Matrix* l, double* v, std::size_t n) {
+  FACTION_CHECK(l != nullptr);
+  FACTION_DCHECK_EQ(l->rows(), n);
+  FACTION_DCHECK_EQ(l->cols(), n);
+  FACTION_DCHECK(v != nullptr);
+  Matrix& lo = *l;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double lkk = lo(k, k);
+    // (lkk - v)(lkk + v) is lkk^2 - v^2 with better cancellation behavior
+    // near the positive-definiteness boundary.
+    const double r2 = (lkk - v[k]) * (lkk + v[k]);
+    if (r2 <= 0.0 || !std::isfinite(r2)) {
+      return Status::NumericalError(
+          "rank-1 downdate would lose positive definiteness (pivot " +
+          std::to_string(r2) + " at " + std::to_string(k) + ")");
+    }
+    const double r = std::sqrt(r2);
+    const double c = r / lkk;
+    const double s = v[k] / lkk;
+    lo(k, k) = r;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      lo(i, k) = (lo(i, k) - s * v[i]) / c;
+      v[i] = c * v[i] - s * lo(i, k);
+    }
+  }
+  return Status::Ok();
+}
+
 Result<Matrix> SpdInverse(const Matrix& a) {
   FACTION_ASSIGN_OR_RETURN(Matrix l, Cholesky(a));
   const std::size_t n = a.rows();

@@ -41,6 +41,22 @@ std::vector<double> CholeskySolve(const Matrix& lower,
 /// log(det(A)) from the Cholesky factor: 2 * sum(log(L_ii)).
 double LogDetFromCholesky(const Matrix& lower);
 
+/// Rank-1 Cholesky update: given lower-triangular L with A = L L^T,
+/// rewrites L in place so that L L^T = A + v v^T. O(n^2) Givens-style
+/// sweep (ascending column k, then ascending row i within the column — a
+/// fixed scalar operation order, so results are bitwise identical across
+/// builds and thread counts). `v` (length n) is clobbered. Cannot fail:
+/// adding v v^T keeps A positive definite.
+void CholeskyRank1UpdateInPlace(Matrix* l, double* v, std::size_t n);
+
+/// Rank-1 Cholesky downdate: rewrites L in place so that L L^T = A - v v^T,
+/// via the LINPACK-style hyperbolic sweep (same fixed operation order as
+/// the update). Fails with NumericalError when A - v v^T is not positive
+/// definite within tolerance — a pivot would go non-positive. On failure L
+/// is partially mutated and must be refactored by the caller. `v` (length
+/// n) is clobbered.
+Status CholeskyRank1DowndateInPlace(Matrix* l, double* v, std::size_t n);
+
 /// Inverse of an SPD matrix via its Cholesky factorization.
 Result<Matrix> SpdInverse(const Matrix& a);
 

@@ -136,7 +136,11 @@ const SimdKernels* TableFor(SimdLevel level) {
   const int idx = static_cast<int>(level);
   std::call_once(once[idx], [base, solve_level, idx] {
     patched[idx] = *base;
+    // The two triangular-solve kernels travel together: both run at the
+    // model dimension, so whatever tier wins (or is pinned) for the
+    // log-pdf solve is right for the downdate guard solve too.
     patched[idx].logpdf_block = BaseTableFor(solve_level)->logpdf_block;
+    patched[idx].downdate_solve = BaseTableFor(solve_level)->downdate_solve;
   });
   return &patched[idx];
 }

@@ -89,6 +89,18 @@ struct SimdKernels {
   /// it changes speed, never results.
   void (*logpdf_block)(const double* chol, std::size_t d, double* ys,
                        std::size_t width, double base, double* out);
+  /// Blocked lower-triangular forward solve + squared norm for a dim-major
+  /// block vs (d x width): in-place L p = v per guard-vector column, then
+  /// pnorm2[t] = sum_j vs[j][t]^2 in ascending j. The first half of a
+  /// rank-1 Cholesky downdate: the norm drives the positive-definiteness
+  /// guard (Gaussian::DowndateOne), so the cross-tier bitwise contract is
+  /// load-bearing — the guard's *branch* must be identical at every tier.
+  /// Shares logpdf_block's per-kernel dispatch (the same triangular-solve
+  /// shape at the model dimension): by default the avx512 table borrows
+  /// the avx2 kernel, and FACTION_SIMD_LOGPDF_LEVEL pins both solve slots
+  /// together.
+  void (*downdate_solve)(const double* chol, std::size_t d, double* vs,
+                         std::size_t width, double* pnorm2);
 };
 
 /// Number of doubles a pack_b/pack_bt destination buffer must hold.

@@ -205,6 +205,72 @@ TEST(AllocAudit, SteadyStateArrivalsAreAllocationFree) {
   EXPECT_GT(streaming.pool_size(), config.warm_start);
 }
 
+// The sliding-window variant of the same gate (PR 8): with density_window
+// set, every steady-state fold past the window first evicts the oldest
+// ring entry through the rank-1 Cholesky downdate before absorbing the
+// new embedding. The ring is pre-sized in the constructor and the
+// downdate works entirely in the estimator's cached factors plus the
+// caller's scratch, so the evict -> downdate -> fold arrival must stay
+// exactly as allocation-free as the grow-only path.
+TEST(AllocAudit, WindowedSteadyStateArrivalsAreAllocationFree) {
+  if (!AllocAuditEnabled()) GTEST_SKIP() << "built without audit";
+  StreamingFactionConfig config = SmallStreamingConfig();
+  config.density_window = 30;  // smaller than the warmed pool: evictions fire
+  config.density_decay = 0.98;
+  StreamingFaction streaming(config);
+  const std::vector<Example> stream =
+      MakeStream(600, config.model.input_dim, 17);
+
+  constexpr std::size_t kWarmupArrivals = 400;
+
+  std::size_t labels_since_refit = 0;
+  bool trained_once = false;
+  std::size_t measured_queries = 0;
+  std::size_t measured_folds = 0;
+
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const Example& ex = stream[i];
+    const bool measure = i >= kWarmupArrivals;
+
+    AllocationStats before = ThreadAllocationStats();
+    const Result<bool> take = streaming.ShouldQuery(ex);
+    AllocationStats after = ThreadAllocationStats();
+    ASSERT_TRUE(take.ok()) << take.status().ToString();
+    if (measure) {
+      EXPECT_EQ(before.allocs, after.allocs)
+          << "windowed ShouldQuery allocated on arrival " << i << " ("
+          << after.bytes - before.bytes << " bytes)";
+      ++measured_queries;
+    }
+    if (!take.value()) continue;
+
+    const bool will_refit =
+        labels_since_refit + 1 >= config.refit_interval ||
+        (!trained_once && streaming.pool_size() + 1 >= config.warm_start);
+    if (will_refit) {
+      ASSERT_TRUE(streaming.ProvideLabel(ex).ok());
+      labels_since_refit = 0;
+      trained_once = true;
+      continue;
+    }
+    before = ThreadAllocationStats();
+    const Status fold = streaming.ProvideLabel(ex);
+    after = ThreadAllocationStats();
+    ASSERT_TRUE(fold.ok()) << fold.ToString();
+    ++labels_since_refit;
+    if (measure) {
+      EXPECT_EQ(before.allocs, after.allocs)
+          << "windowed evict+fold allocated on arrival " << i << " ("
+          << after.bytes - before.bytes << " bytes)";
+      ++measured_folds;
+    }
+  }
+
+  EXPECT_GE(measured_queries, 100u);
+  EXPECT_GE(measured_folds, 10u);
+  EXPECT_TRUE(streaming.has_estimator());
+}
+
 // The same gate through the serve layer: with the job system in
 // synchronous mode (workers = 0) the entire Offer path — mailbox push,
 // schedule CAS, job submit, drain, ShouldQuery + fold — runs on the

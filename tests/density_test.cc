@@ -1,13 +1,17 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "density/fair_density.h"
 #include "density/gaussian.h"
 #include "gtest/gtest.h"
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 
 namespace faction {
 namespace {
@@ -517,6 +521,301 @@ TEST(ClassDensityIncrementalTest, UpdatesMatchBatchFit) {
   std::vector<double> probe(d, 0.7);
   EXPECT_NEAR(inc.value().LogMarginalDensity(probe),
               batch.value().LogMarginalDensity(probe), 1e-6);
+}
+
+// ------------------------------- sliding-window forgetting (PR 8)
+
+CovarianceConfig Forgetting() {
+  CovarianceConfig config;
+  config.forgetting = true;
+  return config;
+}
+
+std::uint64_t Bits(double v) {
+  std::uint64_t out = 0;
+  std::memcpy(&out, &v, sizeof(out));
+  return out;
+}
+
+// Restores the dispatch tier (and, via Disable, the telemetry default)
+// the surrounding tests run under.
+class ScopedSimdLevelGuard {
+ public:
+  ScopedSimdLevelGuard() : saved_(ActiveSimdLevel()) {}
+  ~ScopedSimdLevelGuard() { (void)SetSimdLevel(saved_); }
+
+ private:
+  SimdLevel saved_;
+};
+
+// Sliding a window one row at a time (evict the oldest via a rank-1
+// downdate, fold the newest) must agree with a batch Fit on the final
+// window contents to rounding — and the incremental path itself must be
+// bitwise identical across every supported SIMD dispatch tier (the
+// downdate guard solve is the only dispatched kernel on the path).
+TEST(GaussianForgettingTest, WindowedSlideMatchesBatchFitAcrossTiers) {
+  ScopedSimdLevelGuard guard;
+  Rng rng(201);
+  const std::size_t n = 300, window = 120, d = 6;
+  const Matrix all = RandomBatch(n, d, &rng);
+  const CovarianceConfig config = Forgetting();
+
+  const Result<Gaussian> batch =
+      Gaussian::Fit(RowRange(all, n - window, n), config);
+  ASSERT_TRUE(batch.ok());
+  std::vector<double> probe(d);
+  for (std::size_t j = 0; j < d; ++j) probe[j] = 0.4 * static_cast<double>(j);
+
+  std::vector<std::uint64_t> signature;  // tier 0 (generic) reference
+  for (int l = 0; l < 3; ++l) {
+    const SimdLevel level = static_cast<SimdLevel>(l);
+    if (!SetSimdLevel(level).ok()) continue;
+
+    Result<Gaussian> inc = Gaussian::Fit(RowRange(all, 0, window), config);
+    ASSERT_TRUE(inc.ok());
+    for (std::size_t t = window; t < n; ++t) {
+      ASSERT_TRUE(
+          inc.value().DowndateOne(all.row_data(t - window), config).ok());
+      ASSERT_TRUE(inc.value().UpdateOne(all.row_data(t), config).ok());
+    }
+
+    EXPECT_EQ(inc.value().count(), window);
+    EXPECT_DOUBLE_EQ(inc.value().weight(), static_cast<double>(window));
+    for (std::size_t j = 0; j < d; ++j) {
+      EXPECT_NEAR(inc.value().mean()[j], batch.value().mean()[j], 1e-9)
+          << "tier " << l << " dim " << j;
+    }
+    EXPECT_NEAR(inc.value().log_det(), batch.value().log_det(),
+                1e-6 * (1.0 + std::fabs(batch.value().log_det())));
+    EXPECT_NEAR(inc.value().LogPdf(probe), batch.value().LogPdf(probe),
+                1e-6 * (1.0 + std::fabs(batch.value().LogPdf(probe))));
+
+    std::vector<std::uint64_t> tier_signature;
+    tier_signature.push_back(Bits(inc.value().LogPdf(probe)));
+    tier_signature.push_back(Bits(inc.value().log_det()));
+    for (std::size_t j = 0; j < d; ++j) {
+      tier_signature.push_back(Bits(inc.value().mean()[j]));
+    }
+    if (signature.empty()) {
+      signature = tier_signature;
+    } else {
+      EXPECT_EQ(signature, tier_signature)
+          << "incremental slide diverged at tier " << l;
+    }
+  }
+  ASSERT_FALSE(signature.empty());
+}
+
+// Decay rescales the statistics and the effective weight but leaves the
+// cached mean/factor/log-det literally untouched: the density is bitwise
+// identical until the next Update/Downdate.
+TEST(GaussianForgettingTest, DecayLeavesDensityBitwiseUntouched) {
+  Rng rng(202);
+  const std::size_t d = 5;
+  Result<Gaussian> g = Gaussian::Fit(RandomBatch(80, d, &rng), Forgetting());
+  ASSERT_TRUE(g.ok());
+  std::vector<double> probe(d, 0.3);
+  const std::uint64_t pdf_bits = Bits(g.value().LogPdf(probe));
+  const std::uint64_t det_bits = Bits(g.value().log_det());
+  const std::vector<double> mean = g.value().mean();
+
+  g.value().Decay(0.9);
+  EXPECT_EQ(Bits(g.value().LogPdf(probe)), pdf_bits);
+  EXPECT_EQ(Bits(g.value().log_det()), det_bits);
+  EXPECT_EQ(g.value().mean(), mean);
+  EXPECT_EQ(g.value().count(), 80u);
+  EXPECT_DOUBLE_EQ(g.value().weight(), 80.0 * 0.9);
+  g.value().Decay(0.9);
+  EXPECT_DOUBLE_EQ(g.value().weight(), 80.0 * 0.9 * 0.9);
+}
+
+// Downdating a component below d + 1 effective samples must trip the
+// positive-definiteness guard and fall back to the refactor path (counted
+// by density.downdate_fallback_refactors) instead of producing a broken
+// factor.
+TEST(GaussianForgettingTest, DowndateBelowDimPlusOneFallsBackToRefactor) {
+  Telemetry::Enable()->Reset();
+  Rng rng(203);
+  const std::size_t d = 4;
+  const Matrix rows = RandomBatch(d + 2, d, &rng);
+  Result<Gaussian> g = Gaussian::Fit(rows, Forgetting());
+  ASSERT_TRUE(g.ok());
+
+  // 6 -> 5 -> 4 effective samples: the second eviction lands below d + 1.
+  ASSERT_TRUE(g.value().DowndateOne(rows.row_data(0), Forgetting()).ok());
+  ASSERT_TRUE(g.value().DowndateOne(rows.row_data(1), Forgetting()).ok());
+  EXPECT_GE(TelemetryCounterValue("density.downdate_fallback_refactors"), 1u);
+  EXPECT_GT(TelemetryCounterValue("density.downdates"), 0u);
+
+  // The fallback refactor leaves a usable fit that matches a batch fit on
+  // the surviving rows.
+  const Result<Gaussian> batch =
+      Gaussian::Fit(RowRange(rows, 2, d + 2), Forgetting());
+  ASSERT_TRUE(batch.ok());
+  std::vector<double> probe(d, 0.5);
+  EXPECT_NEAR(g.value().LogPdf(probe), batch.value().LogPdf(probe),
+              1e-6 * (1.0 + std::fabs(batch.value().LogPdf(probe))));
+  Telemetry::Enable()->Reset();
+  Telemetry::Disable();
+}
+
+// Labeled pool for the mixture-level window tests: labels alternate,
+// sensitive splits 1/3 vs 2/3, light class/group shifts.
+void BuildLabeledRows(std::size_t n, std::size_t d, Rng* rng, Matrix* z,
+                      std::vector<int>* labels, std::vector<int>* sensitive) {
+  z->Resize(n, d);
+  labels->resize(n);
+  sensitive->resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (*labels)[i] = static_cast<int>(i % 2);
+    (*sensitive)[i] = i % 3 == 0 ? -1 : 1;
+    for (std::size_t j = 0; j < d; ++j) {
+      (*z)(i, j) = rng->Gaussian() + ((*labels)[i] == 1 ? 1.5 : 0.0) +
+                   ((*sensitive)[i] == 1 ? 0.5 : 0.0);
+    }
+  }
+}
+
+TEST(FairDensityForgettingTest, WindowedSlideMatchesBatchFit) {
+  Rng rng(204);
+  const std::size_t n = 240, window = 120, d = 4;
+  Matrix z;
+  std::vector<int> labels, sensitive;
+  BuildLabeledRows(n, d, &rng, &z, &labels, &sensitive);
+  const CovarianceConfig config = Forgetting();
+
+  Matrix head = RowRange(z, 0, window);
+  std::vector<int> hy(labels.begin(),
+                      labels.begin() + static_cast<std::ptrdiff_t>(window));
+  std::vector<int> hs(sensitive.begin(),
+                      sensitive.begin() + static_cast<std::ptrdiff_t>(window));
+  Result<FairDensityEstimator> inc =
+      FairDensityEstimator::Fit(head, hy, hs, config);
+  ASSERT_TRUE(inc.ok());
+  for (std::size_t t = window; t < n; ++t) {
+    ASSERT_TRUE(inc.value()
+                    .DowndateOne(z.row_data(t - window), labels[t - window],
+                                 sensitive[t - window], config)
+                    .ok());
+    ASSERT_TRUE(
+        inc.value().UpdateOne(z.row_data(t), labels[t], sensitive[t], config)
+            .ok());
+  }
+
+  Matrix tail = RowRange(z, n - window, n);
+  std::vector<int> ty(labels.begin() + static_cast<std::ptrdiff_t>(n - window),
+                      labels.end());
+  std::vector<int> ts(
+      sensitive.begin() + static_cast<std::ptrdiff_t>(n - window),
+      sensitive.end());
+  const Result<FairDensityEstimator> batch =
+      FairDensityEstimator::Fit(tail, ty, ts, config);
+  ASSERT_TRUE(batch.ok());
+
+  EXPECT_EQ(inc.value().total_count(), window);
+  // Window masses are exact small integers in both paths: the mixture
+  // weights agree bitwise.
+  for (int y = 0; y < FairDensityEstimator::kNumClasses; ++y) {
+    for (int s : {-1, 1}) {
+      EXPECT_EQ(inc.value().Weight(y, s), batch.value().Weight(y, s));
+      EXPECT_EQ(inc.value().HasComponent(y, s),
+                batch.value().HasComponent(y, s));
+    }
+  }
+  Rng probe_rng(205);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<double> probe(d);
+    for (double& v : probe) v = probe_rng.Gaussian() * 2.0;
+    const double a = inc.value().LogMarginalDensity(probe);
+    const double b = batch.value().LogMarginalDensity(probe);
+    EXPECT_NEAR(a, b, 1e-6 * (1.0 + std::fabs(b))) << "probe " << t;
+  }
+}
+
+// Evicting a component's last remaining row drops the component from the
+// mixture — exactly what a batch fit on the remaining window produces —
+// and a later arrival re-creates it through the fresh-fit path.
+TEST(FairDensityForgettingTest, EvictingLastRowDropsComponent) {
+  Rng rng(206);
+  const std::size_t d = 3;
+  Matrix z(41, d);
+  std::vector<int> labels(41, 0), sensitive(41, 1);
+  for (std::size_t i = 0; i < z.size(); ++i) z.data()[i] = rng.Gaussian();
+  labels[40] = 1;
+  sensitive[40] = -1;  // the only (1, -1) row
+  const CovarianceConfig config = Forgetting();
+  Result<FairDensityEstimator> est =
+      FairDensityEstimator::Fit(z, labels, sensitive, config);
+  ASSERT_TRUE(est.ok());
+  ASSERT_TRUE(est.value().HasComponent(1, -1));
+
+  ASSERT_TRUE(est.value().DowndateOne(z.row_data(40), 1, -1, config).ok());
+  EXPECT_FALSE(est.value().HasComponent(1, -1));
+  EXPECT_EQ(est.value().Weight(1, -1), 0.0);
+  EXPECT_EQ(est.value().total_count(), 40u);
+  const std::vector<double> probe(d, 0.0);
+  EXPECT_TRUE(std::isinf(est.value().LogComponentDensity(probe, 1, -1)));
+
+  // The fresh-fit path re-arms: folding a (1, -1) row re-creates it.
+  ASSERT_TRUE(est.value().UpdateOne(z.row_data(40), 1, -1, config).ok());
+  EXPECT_TRUE(est.value().HasComponent(1, -1));
+}
+
+// Evicting a row from a component that never absorbed one is a checked
+// abort: the window must only hand back rows it folded.
+TEST(FairDensityForgettingDeathTest, EvictingNeverFoldedRowDies) {
+  Rng rng(207);
+  const std::size_t d = 3;
+  Matrix z(40, d);
+  std::vector<int> labels(40, 0), sensitive(40, 1);
+  for (std::size_t i = 0; i < z.size(); ++i) z.data()[i] = rng.Gaussian();
+  const CovarianceConfig config = Forgetting();
+  Result<FairDensityEstimator> est =
+      FairDensityEstimator::Fit(z, labels, sensitive, config);
+  ASSERT_TRUE(est.ok());
+  ASSERT_FALSE(est.value().HasComponent(1, -1));
+  const std::vector<double> row(d, 0.0);
+  EXPECT_DEATH(
+      (void)est.value().DowndateOne(row.data(), 1, -1, config),
+      "CHECK failed");
+}
+
+// Mixture weights are ratios of uniformly decayed masses: Decay leaves
+// them (and every component density) bitwise untouched; only subsequent
+// arrivals tip the balance.
+TEST(FairDensityForgettingTest, DecayPreservesMixtureWeightsBitwise) {
+  Rng rng(208);
+  const std::size_t n = 120, d = 4;
+  Matrix z;
+  std::vector<int> labels, sensitive;
+  BuildLabeledRows(n, d, &rng, &z, &labels, &sensitive);
+  const CovarianceConfig config = Forgetting();
+  Result<FairDensityEstimator> est =
+      FairDensityEstimator::Fit(z, labels, sensitive, config);
+  ASSERT_TRUE(est.ok());
+
+  const std::vector<double> probe(d, 0.2);
+  std::vector<std::uint64_t> before;
+  for (int y = 0; y < FairDensityEstimator::kNumClasses; ++y) {
+    for (int s : {-1, 1}) before.push_back(Bits(est.value().Weight(y, s)));
+  }
+  before.push_back(Bits(est.value().LogMarginalDensity(probe)));
+
+  est.value().Decay(0.8);
+  std::vector<std::uint64_t> after;
+  for (int y = 0; y < FairDensityEstimator::kNumClasses; ++y) {
+    for (int s : {-1, 1}) after.push_back(Bits(est.value().Weight(y, s)));
+  }
+  after.push_back(Bits(est.value().LogMarginalDensity(probe)));
+  EXPECT_EQ(before, after);
+
+  // A post-decay arrival carries relatively more mass than an undecayed
+  // one would: its bucket's weight moves past the undecayed ratio.
+  const double w0 = est.value().Weight(labels[0], sensitive[0]);
+  ASSERT_TRUE(
+      est.value().UpdateOne(z.row_data(0), labels[0], sensitive[0], config)
+          .ok());
+  EXPECT_GT(est.value().Weight(labels[0], sensitive[0]), w0);
 }
 
 }  // namespace

@@ -61,6 +61,10 @@ TEST(SimdDispatch, OverridePinsLogPdfKernelAcrossTiers) {
     const SimdKernels& table = ActiveSimd();
     EXPECT_EQ(table.logpdf_block, avx2_table.logpdf_block)
         << SimdLevelName(level);
+    // The override pins both triangular-solve slots together: the
+    // downdate guard solve follows the log-pdf solve's tier.
+    EXPECT_EQ(table.downdate_solve, avx2_table.downdate_solve)
+        << SimdLevelName(level);
     // Identity fields and the GEMM slots stay the tier's own.
     EXPECT_EQ(table.level, level) << SimdLevelName(level);
     EXPECT_STREQ(table.name, SimdLevelName(level));

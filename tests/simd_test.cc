@@ -112,8 +112,11 @@ TEST(SimdDispatch, Avx512TableBorrowsAvx2LogPdfByDefault) {
   ScopedSimdLevel avx512(SimdLevel::kAvx512);
   const SimdKernels& avx512_table = ActiveSimd();
   // The d=16 solve borrows the avx2 kernel (license-downclock hazard at
-  // 512-bit width, see simd.h); the GEMM slots stay the tier's own.
+  // 512-bit width, see simd.h); the GEMM slots stay the tier's own. The
+  // two triangular-solve kernels travel together: the downdate guard
+  // solve borrows whenever the log-pdf solve does.
   EXPECT_EQ(avx512_table.logpdf_block, avx2_table.logpdf_block);
+  EXPECT_EQ(avx512_table.downdate_solve, avx2_table.downdate_solve);
   EXPECT_NE(avx512_table.matmul_rows, avx2_table.matmul_rows);
   EXPECT_EQ(avx512_table.level, SimdLevel::kAvx512);
   EXPECT_STREQ(avx512_table.name, "avx512");
@@ -354,6 +357,78 @@ TEST(SimdDensity, LogPdfBatchBitwiseParityAcrossLevels) {
                   0)
             << "d=" << d << " at " << SimdLevelName(level) << " threads "
             << nthreads;
+      }
+    }
+  }
+}
+
+// The downdate guard solve (L p = v per column + ascending squared norm)
+// must be bitwise identical across tiers: Gaussian::DowndateOne branches
+// on the norm, so a single ulp of divergence would flip the PD-guard
+// decision on some input and fork the estimator state between tiers.
+TEST(SimdDensity, DowndateSolveBitwiseParityAcrossLevels) {
+  Rng rng(909);
+  for (const std::size_t d : {1u, 3u, 16u}) {
+    // Well-conditioned lower factor: positive diagonal, modest fill.
+    Matrix chol(d, d, 0.0);
+    for (std::size_t j = 0; j < d; ++j) {
+      chol(j, j) = 1.5 + 0.1 * static_cast<double>(j);
+      for (std::size_t k = 0; k < j; ++k) {
+        chol(j, k) = 0.3 * rng.Gaussian();
+      }
+    }
+    for (const std::size_t width : {1u, 4u, 7u}) {
+      const Matrix vs0 = TrickyMatrix(d, width, &rng);  // dim-major d x width
+      // Naive per-column forward solve + ascending norm: the semantic
+      // reference (tolerance), while the generic tier anchors bitwise.
+      std::vector<double> want_p(d * width), want_norm(width, 0.0);
+      for (std::size_t t = 0; t < width; ++t) {
+        for (std::size_t j = 0; j < d; ++j) {
+          double acc = vs0.data()[j * width + t];
+          for (std::size_t k = 0; k < j; ++k) {
+            acc -= chol(j, k) * want_p[k * width + t];
+          }
+          want_p[j * width + t] = acc / chol(j, j);
+        }
+        for (std::size_t j = 0; j < d; ++j) {
+          const double p = want_p[j * width + t];
+          want_norm[t] += p * p;
+        }
+      }
+
+      std::vector<double> generic_p, generic_norm;
+      for (SimdLevel level : SupportedLevels()) {
+        ScopedSimdLevel guard(level);
+        std::vector<double> vs(vs0.data(), vs0.data() + vs0.size());
+        std::vector<double> pnorm2(width, -1.0);
+        ActiveSimd().downdate_solve(chol.data(), d, vs.data(), width,
+                                    pnorm2.data());
+        for (std::size_t i = 0; i < vs.size(); ++i) {
+          EXPECT_NEAR(vs[i], want_p[i], 1e-12 * (1.0 + std::fabs(want_p[i])))
+              << "d=" << d << " width=" << width << " at "
+              << SimdLevelName(level);
+        }
+        for (std::size_t t = 0; t < width; ++t) {
+          EXPECT_NEAR(pnorm2[t], want_norm[t],
+                      1e-12 * (1.0 + want_norm[t]))
+              << "d=" << d << " width=" << width << " at "
+              << SimdLevelName(level);
+        }
+        if (generic_p.empty()) {
+          generic_p = vs;
+          generic_norm = pnorm2;
+        } else {
+          ASSERT_EQ(std::memcmp(generic_p.data(), vs.data(),
+                                vs.size() * sizeof(double)),
+                    0)
+              << "d=" << d << " width=" << width << " at "
+              << SimdLevelName(level);
+          ASSERT_EQ(std::memcmp(generic_norm.data(), pnorm2.data(),
+                                pnorm2.size() * sizeof(double)),
+                    0)
+              << "d=" << d << " width=" << width << " at "
+              << SimdLevelName(level);
+        }
       }
     }
   }

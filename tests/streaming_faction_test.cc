@@ -1,6 +1,8 @@
 #include <cmath>
 
+#include "common/parallel.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "core/streaming_faction.h"
 #include "data/streams.h"
 #include "data/synthetic.h"
@@ -163,6 +165,117 @@ TEST(StreamingFactionTest, DeterministicGivenSeed) {
   };
   EXPECT_EQ(run_once(42), run_once(42));
   EXPECT_NE(run_once(42), run_once(43));
+}
+
+// ---------------------------------------------------------------------------
+// Density forgetting (PR 8): sliding-window and decayed configurations.
+
+TEST(StreamingFactionWindowTest, WindowedStreamEvictsAndKeepsLearning) {
+  Telemetry::Enable()->Reset();
+  StreamingFactionConfig config = SmallConfig();
+  config.density_window = 40;
+  config.density_decay = 0.98;
+  StreamingFaction streaming(config);
+  Rng rng(11);
+  const EnvironmentSpec env = SmallEnv(6, &rng);
+  for (int i = 0; i < 500; ++i) {
+    Example e = SampleFromEnvironment(env, 0, &rng);
+    if (streaming.ShouldQuery(e).value_or(false)) {
+      ASSERT_TRUE(streaming.ProvideLabel(e).ok());
+    }
+  }
+  // Far more than `density_window` labels were folded, so the ring must
+  // have evicted through the rank-1 downdate path; the estimator survives.
+  EXPECT_GT(TelemetryCounterValue("streaming.window_evictions"), 0u);
+  EXPECT_EQ(TelemetryCounterValue("streaming.window_evict_failed"), 0u);
+  EXPECT_TRUE(streaming.has_estimator());
+  std::size_t hits = 0;
+  const std::size_t eval_n = 400;
+  for (std::size_t i = 0; i < eval_n; ++i) {
+    const Example e = SampleFromEnvironment(env, 0, &rng);
+    const Result<int> pred = streaming.Predict(e.x);
+    ASSERT_TRUE(pred.ok());
+    if (pred.value() == e.label) ++hits;
+  }
+  EXPECT_GT(static_cast<double>(hits) / eval_n, 0.7);
+  Telemetry::Enable()->Reset();
+  Telemetry::Disable();
+}
+
+TEST(StreamingFactionWindowTest, WindowImpliesForgettingCovariance) {
+  // A windowed or decayed run silently flips to forgetting-mode ridge
+  // covariance (shrinkage cannot be rank-1 maintained); the stream must
+  // stay functional from the very first refit.
+  StreamingFactionConfig config = SmallConfig();
+  config.density_window = 32;
+  StreamingFaction streaming(config);
+  Rng rng(12);
+  const EnvironmentSpec env = SmallEnv(6, &rng);
+  for (int i = 0; i < 80; ++i) {
+    Example e = SampleFromEnvironment(env, 0, &rng);
+    if (streaming.ShouldQuery(e).value_or(false)) {
+      ASSERT_TRUE(streaming.ProvideLabel(e).ok());
+    }
+  }
+  EXPECT_TRUE(streaming.has_estimator());
+}
+
+TEST(StreamingFactionWindowTest, WindowedDecisionsDeterministicAcrossThreads) {
+  // The windowed evict -> downdate -> score path rides the dispatched
+  // triangular-solve kernels; decisions must not depend on the worker
+  // count (DESIGN.md §15's bitwise-determinism contract).
+  auto run_once = [](int nthreads) {
+    const std::size_t saved = ParallelThreadCount();
+    SetParallelThreadCount(nthreads);
+    StreamingFactionConfig config = SmallConfig();
+    config.density_window = 36;
+    config.density_decay = 0.95;
+    StreamingFaction streaming(config);
+    Rng rng(13);
+    EnvironmentSpec env;
+    Rng env_rng(14);
+    env = SmallEnv(6, &env_rng);
+    std::vector<bool> decisions;
+    for (int i = 0; i < 300; ++i) {
+      Example e = SampleFromEnvironment(env, 0, &rng);
+      const bool q = streaming.ShouldQuery(e).value_or(false);
+      decisions.push_back(q);
+      if (q) streaming.ProvideLabel(e).ok();
+    }
+    SetParallelThreadCount(saved);
+    return decisions;
+  };
+  EXPECT_EQ(run_once(1), run_once(8));
+}
+
+TEST(StreamingFactionWindowTest, WindowedDeterministicGivenSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    StreamingFactionConfig config = SmallConfig();
+    config.seed = seed;
+    config.density_window = 36;
+    config.density_decay = 0.9;
+    StreamingFaction streaming(config);
+    Rng rng(15);
+    EnvironmentSpec env;
+    Rng env_rng(16);
+    env = SmallEnv(6, &env_rng);
+    std::vector<bool> decisions;
+    for (int i = 0; i < 250; ++i) {
+      Example e = SampleFromEnvironment(env, 0, &rng);
+      const bool q = streaming.ShouldQuery(e).value_or(false);
+      decisions.push_back(q);
+      if (q) streaming.ProvideLabel(e).ok();
+    }
+    return decisions;
+  };
+  EXPECT_EQ(run_once(21), run_once(21));
+  EXPECT_NE(run_once(21), run_once(22));
+}
+
+TEST(StreamingFactionWindowTest, RejectsInvalidDecay) {
+  StreamingFactionConfig config = SmallConfig();
+  config.density_decay = 0.0;
+  EXPECT_DEATH(StreamingFaction streaming(config), "CHECK failed");
 }
 
 }  // namespace

@@ -188,10 +188,11 @@ TEST_F(TelemetryTest, TraceSchemaGolden) {
   ASSERT_TRUE(writer.WriteRunEnd(3, 48, 1).ok());
 
   const std::string expected =
-      "{\"type\":\"run_start\",\"schema_version\":4,"
+      "{\"type\":\"run_start\",\"schema_version\":5,"
       "\"strategy\":\"FACTION \\\"quoted\\\"\",\"simd_level\":\"" +
       std::string(SimdLevelName(ActiveSimdLevel())) + "\",\"alloc_audit\":\"" +
-      std::string(AllocAuditMode()) + "\"}\n"
+      std::string(AllocAuditMode()) +
+      "\",\"density\":{\"window\":0,\"decay\":1}}\n"
       "{\"type\":\"task\",\"task_index\":2,\"environment\":1,"
       "\"queries\":16,\"acquisition_batches\":2,\"train_steps\":12,"
       "\"density_refit_mode\":\"incremental\",\"drift_fired\":1,"
@@ -211,13 +212,17 @@ TEST_F(TelemetryTest, TraceRunStartServeObjectGolden) {
   TraceWriter::ServeInfo serve;
   serve.workers = 8;
   serve.sessions = 512;
-  ASSERT_TRUE(writer.WriteRunStart("serve_loadgen", serve).ok());
+  TraceWriter::DensityInfo density;
+  density.window = 256;
+  density.decay = 0.875;
+  ASSERT_TRUE(writer.WriteRunStart("serve_loadgen", serve, density).ok());
   const std::string expected =
-      "{\"type\":\"run_start\",\"schema_version\":4,"
+      "{\"type\":\"run_start\",\"schema_version\":5,"
       "\"strategy\":\"serve_loadgen\",\"simd_level\":\"" +
       std::string(SimdLevelName(ActiveSimdLevel())) + "\",\"alloc_audit\":\"" +
       std::string(AllocAuditMode()) +
-      "\",\"serve\":{\"workers\":8,\"sessions\":512}}\n";
+      "\",\"density\":{\"window\":256,\"decay\":0.875},"
+      "\"serve\":{\"workers\":8,\"sessions\":512}}\n";
   EXPECT_EQ(os.str(), expected);
 }
 

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# bench.sh — benchmark driver (PR 3; SIMD tiers PR 5; serve loadgen PR 7).
+# bench.sh — benchmark driver (PR 3; SIMD tiers PR 5; serve loadgen PR 7;
+# density forgetting PR 8).
 #
 # Builds bench/micro_components in a dedicated native-tuned Release tree
 # (build-bench), runs the tracked benchmarks at FACTION_NUM_THREADS=1 and at
 # the default thread count, runs bench/serve_loadgen against the serve
 # runtime, and merges everything plus the derived speedups into
-# BENCH_PR7.json at the repo root, stamped with the current git SHA.
+# BENCH_PR8.json at the repo root, stamped with the current git SHA and a
+# report schema version (meta.bench_schema).
 #
 # Reported pair speedups (baseline at 1 thread vs new path at default
 # threads — the ratios the acceptance floors are defined on):
@@ -13,6 +15,11 @@
 #   * density_refit_incremental_vs_batch
 #                                     — BM_DensityRefitBatch/2400 /
 #                                       BM_DensityRefitIncremental/2400
+#   * density_windowed_slide_vs_batch — BM_WindowedTrainStepBatch/2400 /
+#                                       BM_WindowedTrainStepIncremental/2400
+#                                       (PR 8: sliding a W=2048 window by
+#                                       A=25 via rank-1 downdates vs
+#                                       refitting the window from scratch)
 #
 # The PR 5 section adds per-dispatch-tier results (BM_GemmMicroKernel /
 # BM_TrainStepSimd / BM_PoolScoringSimd at generic/avx2/avx512) and
@@ -56,7 +63,12 @@
 #                         exit 1 if any fresh speedup falls below
 #                         committed/1.25. Ratio-vs-ratio comparison, so it
 #                         is portable across machines of different speeds.
-#   --out FILE            output path (default BENCH_PR7.json).
+#                         The committed report's meta.bench_schema must
+#                         match this script's (reports predating the stamp
+#                         count as version 1): a mismatched baseline fails
+#                         loudly instead of silently skipping whatever
+#                         speedup keys the old layout happens to lack.
+#   --out FILE            output path (default BENCH_PR8.json).
 
 set -euo pipefail
 
@@ -68,7 +80,7 @@ BINARY=""
 LOADGEN_BINARY=""
 SKIP_SERVE=""
 CHECK_AGAINST=""
-OUT="BENCH_PR7.json"
+OUT="BENCH_PR8.json"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --min-time) MIN_TIME="$2"; shift 2 ;;
@@ -86,7 +98,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 # clobber the main tree's bench/ binary dir and leak the nested tree's
 # ctest entries (31 phantom "Not Run" tests) into `ctest --test-dir build`.
 BUILD_DIR="build-bench"
-FILTER='BM_Conv2dNaive|BM_Conv2dIm2col|BM_TrainStep|BM_DensityRefit|BM_PoolScoring$|BM_GemmMicroKernel|BM_TrainStepSimd|BM_PoolScoringSimd'
+FILTER='BM_Conv2dNaive|BM_Conv2dIm2col|BM_TrainStep|BM_DensityRefit|BM_PoolScoring$|BM_GemmMicroKernel|BM_TrainStepSimd|BM_PoolScoringSimd|BM_DensityDowndate|BM_WindowedTrainStep'
 GIT_SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 
 if [[ -z "$BINARY" || ( -z "$SKIP_SERVE" && -z "$LOADGEN_BINARY" ) ]]; then
@@ -154,6 +166,14 @@ import sys
 
 t1_path, tdef_path, out_path = sys.argv[1:4]
 
+# Report layout version stamped into meta.bench_schema. Bump when the
+# tracked benchmark set or the speedup keys change shape; --check-against
+# refuses a baseline stamped with a different version (absent == 1, the
+# pre-stamp layout) instead of silently comparing whatever keys overlap.
+# v2: PR 8 — density forgetting pair (density_windowed_slide_vs_batch,
+#     BM_DensityDowndate / BM_WindowedTrainStep*).
+BENCH_SCHEMA = 2
+
 SIMD_LEVELS = {"0": "generic", "1": "avx2", "2": "avx512"}
 SIMD_BENCHES = ("BM_GemmMicroKernel", "BM_TrainStepSimd",
                 "BM_PoolScoringSimd")
@@ -183,6 +203,10 @@ pair_speedups = {
     "density_refit_incremental_vs_batch": speedup(
         t1["BM_DensityRefitBatch/2400"],
         tdef["BM_DensityRefitIncremental/2400"],
+    ),
+    "density_windowed_slide_vs_batch": speedup(
+        t1["BM_WindowedTrainStepBatch/2400"],
+        tdef["BM_WindowedTrainStepIncremental/2400"],
     ),
 }
 
@@ -225,6 +249,7 @@ for committed_path, pairs in (
 
 report = {
     "meta": {
+        "bench_schema": BENCH_SCHEMA,
         "git_sha": os.environ.get("GIT_SHA", "unknown"),
         "date": ctxd.get("date"),
         "host_cpus": ctxd.get("num_cpus"),
@@ -310,12 +335,24 @@ if serve is not None:
 
 # --check-against: fail when a fresh pair speedup drops below the
 # committed one by more than 25%. Speedups are within-machine ratios, so
-# this check is meaningful on any host. Only keys present in BOTH reports
-# participate, so gating against BENCH_PR3.json keeps working.
+# this check is meaningful on any host. The baseline must carry the same
+# bench_schema as this script: an old layout would silently lack the newer
+# speedup keys and the gate would pass while checking nothing, so a
+# mismatch is an explicit failure telling the operator to regenerate.
 check_path = os.environ.get("CHECK_AGAINST", "")
 if check_path:
     with open(check_path) as f:
-        committed = json.load(f).get("speedups", {})
+        committed_report = json.load(f)
+    committed_schema = committed_report.get("meta", {}).get(
+        "bench_schema", 1)
+    if committed_schema != BENCH_SCHEMA:
+        print(f"check-against schema mismatch: {check_path} has "
+              f"bench_schema {committed_schema}, this script writes "
+              f"{BENCH_SCHEMA}; the regression comparison would silently "
+              f"skip the speedup keys the old layout lacks. Regenerate "
+              f"the baseline with tools/bench.sh --out {check_path}.")
+        sys.exit(1)
+    committed = committed_report.get("speedups", {})
     failures = []
     for key, fresh in pair_speedups.items():
         want = committed.get(key)

@@ -7,8 +7,8 @@ Usage: tools/validate_trace.py <trace.jsonl>
 Checks:
   * every line is a standalone JSON object with a known "type"
   * the first record is run_start (pinned schema_version, simd_level,
-    alloc_audit, and — when present — the v4 serve object), the last is
-    run_end
+    alloc_audit, the v5 density object, and — when present — the v4
+    serve object), the last is run_end
   * exactly one run_start / run_end; every other record is a task
   * task records carry all required keys with the right types;
     metrics.{ddp,eod,mi} may be null only when metric_defined.* is false
@@ -23,7 +23,7 @@ from __future__ import annotations
 import json
 import sys
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 SIMD_LEVELS = {"generic", "avx2", "avx512"}
 ALLOC_AUDIT_MODES = {"on", "off"}
 REFIT_MODES = {"batch", "incremental", "mixed", "none", "unknown"}
@@ -120,6 +120,22 @@ def main() -> int:
             require(record.get("alloc_audit") in ALLOC_AUDIT_MODES, lineno,
                     f"run_start alloc_audit must be one of"
                     f" {sorted(ALLOC_AUDIT_MODES)}")
+            # v5: every run stamps its density-forgetting configuration.
+            density = record.get("density")
+            require(isinstance(density, dict), lineno,
+                    "run_start needs a 'density' object (schema v5)")
+            require(set(density.keys()) == {"window", "decay"}, lineno,
+                    "run_start.density must have exactly the keys "
+                    "'window' and 'decay'")
+            require(isinstance(density.get("window"), int)
+                    and not isinstance(density.get("window"), bool)
+                    and density["window"] >= 0, lineno,
+                    "run_start.density.window must be an int >= 0")
+            decay = density.get("decay")
+            require(isinstance(decay, (int, float))
+                    and not isinstance(decay, bool)
+                    and 0.0 < decay <= 1.0, lineno,
+                    "run_start.density.decay must be a number in (0, 1]")
             # v4: multi-stream serving runs stamp a "serve" object; it is
             # optional (absent for single-stream runs) but pinned when
             # present.
