@@ -1,0 +1,58 @@
+// Strategy x scenario matrix (EXPERIMENTS.md): every query strategy driven
+// across the scenario-engine preset cells — recurring adversarial drift,
+// gradual transitions, shuffled order with label noise, supervision lag
+// with group imbalance — each cell reproducible bitwise from its spec and
+// the world seed. Quick scale runs the four-headline-method subset;
+// FACTION_BENCH_SCALE=full runs the full extended method list.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "data/scenario.h"
+
+namespace {
+
+using namespace faction;
+using namespace faction::bench;
+
+int Run() {
+  const BenchScale scale = GetBenchScale();
+  const std::vector<std::string> methods =
+      scale.full ? ExtendedMethodNames()
+                 : std::vector<std::string>{"FACTION", "Random", "Bandit",
+                                            "Disentangled"};
+
+  for (const std::string& spec : ScenarioPresetSpecs()) {
+    // Paired comparisons: within a repetition every method sees the same
+    // materialized stream; across repetitions the world seed advances.
+    std::vector<std::vector<Dataset>> streams;
+    streams.reserve(scale.repetitions);
+    for (std::size_t rep = 0; rep < scale.repetitions; ++rep) {
+      StreamScale stream_scale;
+      stream_scale.samples_per_task = scale.samples_per_task;
+      stream_scale.seed = 1000 + rep;
+      Result<std::vector<Dataset>> stream =
+          MakeScenarioStream(spec, stream_scale);
+      if (!stream.ok()) {
+        std::fprintf(stderr, "scenario '%s': %s\n", spec.c_str(),
+                     stream.status().ToString().c_str());
+        return 1;
+      }
+      streams.push_back(std::move(stream).value());
+    }
+    const Result<std::vector<MethodResult>> results =
+        RunMethods(methods, streams, scale.defaults);
+    if (!results.ok()) {
+      std::fprintf(stderr, "scenario '%s': %s\n", spec.c_str(),
+                   results.status().ToString().c_str());
+      return 1;
+    }
+    PrintSummary("scenario: " + spec, results.value());
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -2,11 +2,14 @@
 //
 //   $ ./build/examples/faction_cli --dataset nysf --method FACTION
 //         --budget 200 --acquisition 50 --samples 600 --seed 42 [--csv]
-//         [--trace run.jsonl] [--telemetry]
+//         [--scenario "rcmnist;drift=recurring:2"] [--trace run.jsonl]
+//         [--telemetry]
 //
 // Prints the per-task metric table (and optionally CSV for plotting).
 // This is the "downstream user" entry point: every knob of the experiment
 // defaults is reachable without writing C++.
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +20,7 @@
 #include "common/table.h"
 #include "common/telemetry.h"
 #include "core/presets.h"
+#include "data/scenario.h"
 #include "data/streams.h"
 #include "stream/trace.h"
 
@@ -26,6 +30,10 @@ using namespace faction;
 
 struct CliOptions {
   std::string dataset = "nysf";
+  /// When non-empty, a scenario DSL spec (data/scenario.h) that builds the
+  /// stream instead of --dataset, with full provenance stamped into the
+  /// trace's run_start record.
+  std::string scenario;
   std::string method = "FACTION";
   std::size_t budget = 200;
   std::size_t acquisition = 50;
@@ -52,9 +60,13 @@ void PrintUsage() {
       "usage: faction_cli [options]\n"
       "  --dataset <name>      rcmnist|celeba|fairface|ffhq|nysf "
       "(default nysf)\n"
+      "  --scenario <spec>     scenario DSL spec overriding --dataset, e.g.\n"
+      "                        \"rcmnist;drift=recurring:2;order="
+      "adversarial\"\n"
+      "                        (see DESIGN.md §16 for the grammar)\n"
       "  --method <name>       FACTION|FAL|FAL-CUR|Decoupled|QuFUR|DDU|\n"
-      "                        Entropy-AL|Random, or an ablation variant\n"
-      "                        (default FACTION)\n"
+      "                        Entropy-AL|Random|Bandit|Disentangled, or an\n"
+      "                        ablation variant (default FACTION)\n"
       "  --budget <B>          per-task label budget (default 200)\n"
       "  --acquisition <A>     acquisition batch size (default 50)\n"
       "  --samples <n>         samples per task (default 600)\n"
@@ -70,6 +82,56 @@ void PrintUsage() {
       "  --trace <path>        write a JSONL event trace of the run\n"
       "                        (one record per task; implies --telemetry)\n"
       "  --telemetry           collect and print run telemetry counters\n");
+}
+
+/// Strict strtod wrapper: the whole token must parse, to a finite value.
+/// On failure prints the offending flag and token and returns false.
+bool ParseDoubleFlag(const char* flag, const char* token, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token, &end);
+  if (end == token || *end != '\0') {
+    std::fprintf(stderr, "%s: not a number: '%s'\n", flag, token);
+    return false;
+  }
+  if (errno == ERANGE || !std::isfinite(value)) {
+    std::fprintf(stderr, "%s: out of range: '%s'\n", flag, token);
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+/// Strict strtoull wrapper: digits only (no sign, no trailing junk), no
+/// overflow. strtoull on its own accepts "-1" by wrapping it to 2^64-1 and
+/// silently stops at the first non-digit, so "200x" would read as 200.
+bool ParseUintFlag(const char* flag, const char* token, std::uint64_t* out) {
+  if (token[0] == '\0' || token[0] == '+' || token[0] == '-') {
+    std::fprintf(stderr, "%s: not a non-negative integer: '%s'\n", flag,
+                 token);
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token, &end, 10);
+  if (end == token || *end != '\0') {
+    std::fprintf(stderr, "%s: not a non-negative integer: '%s'\n", flag,
+                 token);
+    return false;
+  }
+  if (errno == ERANGE) {
+    std::fprintf(stderr, "%s: out of range: '%s'\n", flag, token);
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(value);
+  return true;
+}
+
+bool ParseSizeFlag(const char* flag, const char* token, std::size_t* out) {
+  std::uint64_t value = 0;
+  if (!ParseUintFlag(flag, token, &value)) return false;
+  *out = static_cast<std::size_t>(value);
+  return true;
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -99,46 +161,62 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next("--dataset");
       if (v == nullptr) return false;
       options->dataset = v;
+    } else if (arg == "--scenario") {
+      const char* v = next("--scenario");
+      if (v == nullptr) return false;
+      options->scenario = v;
     } else if (arg == "--method") {
       const char* v = next("--method");
       if (v == nullptr) return false;
       options->method = v;
     } else if (arg == "--budget") {
       const char* v = next("--budget");
-      if (v == nullptr) return false;
-      options->budget = std::strtoull(v, nullptr, 10);
+      if (v == nullptr || !ParseSizeFlag("--budget", v, &options->budget)) {
+        return false;
+      }
     } else if (arg == "--acquisition") {
       const char* v = next("--acquisition");
-      if (v == nullptr) return false;
-      options->acquisition = std::strtoull(v, nullptr, 10);
+      if (v == nullptr ||
+          !ParseSizeFlag("--acquisition", v, &options->acquisition)) {
+        return false;
+      }
     } else if (arg == "--samples") {
       const char* v = next("--samples");
-      if (v == nullptr) return false;
-      options->samples = std::strtoull(v, nullptr, 10);
+      if (v == nullptr || !ParseSizeFlag("--samples", v, &options->samples)) {
+        return false;
+      }
     } else if (arg == "--seed") {
       const char* v = next("--seed");
-      if (v == nullptr) return false;
-      options->seed = std::strtoull(v, nullptr, 10);
+      if (v == nullptr || !ParseUintFlag("--seed", v, &options->seed)) {
+        return false;
+      }
     } else if (arg == "--mu") {
       const char* v = next("--mu");
-      if (v == nullptr) return false;
-      options->mu = std::strtod(v, nullptr);
+      if (v == nullptr || !ParseDoubleFlag("--mu", v, &options->mu)) {
+        return false;
+      }
     } else if (arg == "--lambda") {
       const char* v = next("--lambda");
-      if (v == nullptr) return false;
-      options->lambda = std::strtod(v, nullptr);
+      if (v == nullptr || !ParseDoubleFlag("--lambda", v, &options->lambda)) {
+        return false;
+      }
     } else if (arg == "--alpha") {
       const char* v = next("--alpha");
-      if (v == nullptr) return false;
-      options->alpha = std::strtod(v, nullptr);
+      if (v == nullptr || !ParseDoubleFlag("--alpha", v, &options->alpha)) {
+        return false;
+      }
     } else if (arg == "--density-window") {
       const char* v = next("--density-window");
-      if (v == nullptr) return false;
-      options->density_window = std::strtoull(v, nullptr, 10);
+      if (v == nullptr ||
+          !ParseSizeFlag("--density-window", v, &options->density_window)) {
+        return false;
+      }
     } else if (arg == "--density-decay") {
       const char* v = next("--density-decay");
-      if (v == nullptr) return false;
-      options->density_decay = std::strtod(v, nullptr);
+      if (v == nullptr ||
+          !ParseDoubleFlag("--density-decay", v, &options->density_decay)) {
+        return false;
+      }
       if (!(options->density_decay > 0.0 &&
             options->density_decay <= 1.0)) {
         std::fprintf(stderr, "--density-decay must be in (0, 1]\n");
@@ -187,8 +265,21 @@ int main(int argc, char** argv) {
   StreamScale scale;
   scale.samples_per_task = options.samples;
   scale.seed = options.seed + 1000;
-  const Result<std::vector<Dataset>> stream =
-      MakePaperStream(options.dataset, scale);
+
+  std::string scenario_spec = "none";
+  Result<std::vector<Dataset>> stream = Status::Internal("unbuilt");
+  if (!options.scenario.empty()) {
+    const Result<ScenarioConfig> parsed = ParseScenario(options.scenario);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--scenario: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    scenario_spec = CanonicalScenarioSpec(parsed.value());
+    stream = MakeScenarioStream(parsed.value(), scale);
+  } else {
+    stream = MakePaperStream(options.dataset, scale);
+  }
   if (!stream.ok()) {
     std::fprintf(stderr, "stream: %s\n", stream.status().ToString().c_str());
     return 1;
@@ -203,6 +294,10 @@ int main(int argc, char** argv) {
   defaults.density_window = options.density_window;
   defaults.density_decay = options.density_decay;
   defaults.trace = trace.get();
+  if (!options.scenario.empty()) {
+    defaults.scenario_spec = scenario_spec;
+    defaults.scenario_world_seed = scale.seed;
+  }
 
   const Result<RunResult> run = RunMethodOnStream(
       options.method, stream.value(), defaults, options.seed);
@@ -225,7 +320,9 @@ int main(int argc, char** argv) {
     table.PrintCsv(std::cout);
   } else {
     std::printf("%s on %s (B=%zu, A=%zu, seed=%llu)\n",
-                options.method.c_str(), options.dataset.c_str(),
+                options.method.c_str(),
+                options.scenario.empty() ? options.dataset.c_str()
+                                         : scenario_spec.c_str(),
                 options.budget, options.acquisition,
                 static_cast<unsigned long long>(options.seed));
     table.Print(std::cout);

@@ -1,0 +1,79 @@
+#include "baselines/bandit_strategy.h"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "baselines/uncertainty.h"
+#include "stream/selection.h"
+
+namespace faction {
+
+Result<std::vector<std::size_t>> BanditStrategy::SelectBatch(
+    const SelectionContext& context, std::size_t batch) {
+  const Matrix& candidates = *context.candidate_features;
+  const std::size_t n = candidates.rows();
+  if (n == 0) return std::vector<std::size_t>{};
+
+  const Matrix proba = context.model->PredictProba(candidates);
+  const std::vector<double> reward = MinMaxNormalize(PredictiveEntropy(proba));
+
+  // Per-arm candidate queues, most informative first. TopK is descending
+  // with index tie-breaks, so the whole selection is deterministic.
+  std::array<std::vector<std::size_t>, 2> queue;
+  {
+    std::array<std::vector<std::size_t>, 2> members;
+    std::array<std::vector<double>, 2> scores;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int arm = (*context.candidate_sensitive)[i] == 1 ? 0 : 1;
+      members[arm].push_back(i);
+      scores[arm].push_back(reward[i]);
+    }
+    for (int arm = 0; arm < 2; ++arm) {
+      for (const std::size_t k : TopK(scores[arm], members[arm].size())) {
+        queue[arm].push_back(members[arm][k]);
+      }
+    }
+  }
+
+  // Age the arm statistics once per acquisition iteration so a regime
+  // where one group stopped being informative decays out of the estimates.
+  for (int arm = 0; arm < 2; ++arm) {
+    pulls_[arm] *= config_.discount;
+    reward_sum_[arm] *= config_.discount;
+  }
+
+  std::vector<std::size_t> picked;
+  picked.reserve(std::min(batch, n));
+  std::array<std::size_t, 2> next = {0, 0};
+  while (picked.size() < std::min(batch, n)) {
+    const double total = pulls_[0] + pulls_[1];
+    int best_arm = -1;
+    double best_ucb = 0.0;
+    for (int arm = 0; arm < 2; ++arm) {
+      if (next[arm] >= queue[arm].size()) continue;  // arm exhausted
+      double ucb;
+      if (pulls_[arm] <= 1e-12) {
+        // Never pulled (or fully decayed): explore unconditionally.
+        ucb = std::numeric_limits<double>::infinity();
+      } else {
+        ucb = reward_sum_[arm] / pulls_[arm] +
+              config_.exploration *
+                  std::sqrt(std::log(total + 1.0) / pulls_[arm]);
+      }
+      if (best_arm < 0 || ucb > best_ucb) {  // ties keep the s=+1 arm
+        best_arm = arm;
+        best_ucb = ucb;
+      }
+    }
+    if (best_arm < 0) break;  // both queues exhausted
+    const std::size_t idx = queue[best_arm][next[best_arm]++];
+    picked.push_back(idx);
+    pulls_[best_arm] += 1.0;
+    reward_sum_[best_arm] += reward[idx];
+  }
+  return picked;
+}
+
+}  // namespace faction

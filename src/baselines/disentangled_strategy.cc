@@ -1,0 +1,121 @@
+#include "baselines/disentangled_strategy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stream/selection.h"
+
+namespace faction {
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) return 1.0 / (1.0 + std::exp(-z));
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+/// Logit of the composed model (weights + delta) on row i; the last weight
+/// slot is the bias.
+double ComposedLogit(const Matrix& x, std::size_t i,
+                     const std::vector<double>& w,
+                     const std::vector<double>* delta) {
+  const std::size_t d = x.cols();
+  double z = w[d] + (delta != nullptr ? (*delta)[d] : 0.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    const double wj = w[j] + (delta != nullptr ? (*delta)[j] : 0.0);
+    z += wj * x(i, j);
+  }
+  return z;
+}
+
+}  // namespace
+
+Result<std::vector<std::size_t>> DisentangledStrategy::SelectBatch(
+    const SelectionContext& context, std::size_t batch) {
+  const Matrix& candidates = *context.candidate_features;
+  const std::size_t n = candidates.rows();
+  if (n == 0) return std::vector<std::size_t>{};
+  const Dataset& pool = *context.labeled_pool;
+  if (pool.empty()) {
+    std::vector<std::size_t> perm;
+    context.rng->Permutation(n, &perm);
+    perm.resize(std::min(batch, n));
+    return perm;
+  }
+
+  const Matrix& px = pool.features();
+  const std::size_t d = px.cols();
+  if (global_.size() != d + 1) {
+    // First call (or feature-dimension change): start from zero weights;
+    // stale deltas from another dimension are meaningless.
+    global_.assign(d + 1, 0.0);
+    deltas_.clear();
+  }
+  for (const int env : pool.environments()) {
+    auto it = deltas_.find(env);
+    if (it == deltas_.end()) deltas_.emplace(env, std::vector<double>(d + 1));
+  }
+
+  // Joint full-batch gradient descent: every sample's error updates the
+  // global weights; only samples from environment e update delta_e, which
+  // additionally shrinks toward zero. Full-batch keeps the probe
+  // deterministic (no draw-order dependence).
+  const std::size_t m = pool.size();
+  const double inv_m = 1.0 / static_cast<double>(m);
+  std::vector<double> grad_global(d + 1);
+  std::map<int, std::vector<double>> grad_delta;
+  for (const auto& [env, unused] : deltas_) {
+    (void)unused;
+    grad_delta.emplace(env, std::vector<double>(d + 1));
+  }
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::fill(grad_global.begin(), grad_global.end(), 0.0);
+    for (auto& [env, g] : grad_delta) std::fill(g.begin(), g.end(), 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const int env = pool.environments()[i];
+      const std::vector<double>& delta = deltas_.at(env);
+      const double p = Sigmoid(ComposedLogit(px, i, global_, &delta));
+      const double err = p - static_cast<double>(pool.labels()[i]);
+      std::vector<double>& gd = grad_delta.at(env);
+      for (std::size_t j = 0; j < d; ++j) {
+        const double g = err * px(i, j);
+        grad_global[j] += g;
+        gd[j] += g;
+      }
+      grad_global[d] += err;
+      gd[d] += err;
+    }
+    for (std::size_t j = 0; j <= d; ++j) {
+      global_[j] -= config_.learning_rate * inv_m * grad_global[j];
+    }
+    for (auto& [env, delta] : deltas_) {
+      const std::vector<double>& gd = grad_delta.at(env);
+      for (std::size_t j = 0; j <= d; ++j) {
+        delta[j] -= config_.learning_rate *
+                    (inv_m * gd[j] + config_.delta_l2 * delta[j]);
+      }
+    }
+  }
+
+  // Group-rebalancing multiplier: candidates from the group the labeled
+  // pool underrepresents get their uncertainty boosted.
+  const double pool_pos_frac = pool.GroupFraction();
+  std::vector<double> scores(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int env = (*context.candidate_environments)[i];
+    const auto it = deltas_.find(env);
+    const std::vector<double>* delta =
+        it != deltas_.end() ? &it->second : nullptr;
+    const double p = Sigmoid(ComposedLogit(candidates, i, global_, delta));
+    const double uncertainty = 1.0 - std::fabs(2.0 * p - 1.0);
+    const double group_frac =
+        (*context.candidate_sensitive)[i] == 1 ? pool_pos_frac
+                                               : 1.0 - pool_pos_frac;
+    const double underrep = std::max(0.0, 0.5 - group_frac) * 2.0;
+    scores[i] = uncertainty * (1.0 + config_.fairness_boost * underrep);
+  }
+  return TopK(scores, batch);
+}
+
+}  // namespace faction

@@ -20,6 +20,21 @@ inline std::uint64_t SplitMix64(std::uint64_t* x) {
 
 }  // namespace
 
+std::uint64_t SubSeed(std::uint64_t world_seed, std::string_view tag) {
+  // FNV-1a over the tag bytes, with the world seed XOR-folded into the
+  // offset basis (the FactionGenerator::sub_seed construction). The result
+  // is passed through Rng's splitmix64 expansion on use, so consecutive
+  // tags need no extra avalanche here.
+  constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+  constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+  std::uint64_t h = kFnvOffsetBasis ^ world_seed;
+  for (const char c : tag) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t s = seed;
   for (auto& w : state_) w = SplitMix64(&s);

@@ -2,9 +2,19 @@
 #define FACTION_COMMON_RNG_H_
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 namespace faction {
+
+/// Derives a component sub-seed from a world seed and a textual tag by
+/// folding the tag into an FNV-1a hash of the seed. Every independently
+/// seeded component of a stream or scenario (prototype draws, group
+/// offsets, each task's sample draws, label-noise layers, ...) takes its
+/// own tag, so changing how much one component consumes — or whether it
+/// runs at all — cannot perturb any other component's draws. Equal
+/// (seed, tag) pairs always map to the same sub-seed.
+std::uint64_t SubSeed(std::uint64_t world_seed, std::string_view tag);
 
 /// Deterministic pseudo-random number generator (xoshiro256**).
 ///

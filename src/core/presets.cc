@@ -2,7 +2,9 @@
 
 #include <memory>
 
+#include "baselines/bandit_strategy.h"
 #include "baselines/decoupled_strategy.h"
+#include "baselines/disentangled_strategy.h"
 #include "baselines/fal_strategy.h"
 #include "baselines/falcur_strategy.h"
 #include "baselines/simple_strategies.h"
@@ -13,6 +15,16 @@ const std::vector<std::string>& AllMethodNames() {
   static const std::vector<std::string> names = {
       "FACTION", "FAL",        "FAL-CUR", "Decoupled",
       "QuFUR",   "DDU",        "Entropy-AL", "Random"};
+  return names;
+}
+
+const std::vector<std::string>& ExtendedMethodNames() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> all = AllMethodNames();
+    all.push_back("Bandit");
+    all.push_back("Disentangled");
+    return all;
+  }();
   return names;
 }
 
@@ -89,6 +101,20 @@ Result<std::unique_ptr<QueryStrategy>> MakeStrategy(
   if (method == "Random") {
     return std::unique_ptr<QueryStrategy>(std::make_unique<RandomStrategy>());
   }
+  if (method == "Bandit") {
+    BanditConfig config;
+    config.exploration = defaults.bandit_exploration;
+    config.discount = defaults.bandit_discount;
+    return std::unique_ptr<QueryStrategy>(
+        std::make_unique<BanditStrategy>(config));
+  }
+  if (method == "Disentangled") {
+    DisentangledConfig config;
+    config.delta_l2 = defaults.disentangled_delta_l2;
+    config.fairness_boost = defaults.disentangled_boost;
+    return std::unique_ptr<QueryStrategy>(
+        std::make_unique<DisentangledStrategy>(config));
+  }
   return Status::NotFound("unknown method: " + method);
 }
 
@@ -130,10 +156,12 @@ OnlineLearnerConfig MakeLearnerConfig(const ExperimentDefaults& defaults,
   config.oracle_train.use_fairness_penalty = false;
   config.oracle_train.epochs = defaults.epochs * 2;
   config.trace = defaults.trace;
-  // Trace provenance (schema v5): record the density-forgetting settings
-  // the strategy runs with.
+  // Trace provenance (schema v5/v6): record the density-forgetting
+  // settings the strategy runs with and the scenario the stream came from.
   config.density_window = defaults.density_window;
   config.density_decay = defaults.density_decay;
+  config.scenario_spec = defaults.scenario_spec;
+  config.scenario_world_seed = defaults.scenario_world_seed;
   return config;
 }
 

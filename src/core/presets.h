@@ -55,14 +55,29 @@ struct ExperimentDefaults {
   double falcur_beta = 0.5;               ///< FAL-CUR's beta
   double decoupled_threshold = 0.2;       ///< Decoupled's alpha
   double qufur_alpha = 3.0;
+  double bandit_exploration = 1.0;        ///< Bandit's UCB coefficient
+  double bandit_discount = 0.98;          ///< Bandit's per-call decay
+  double disentangled_delta_l2 = 0.05;    ///< Disentangled's delta shrinkage
+  double disentangled_boost = 0.5;        ///< Disentangled's fairness boost
 
   /// Optional JSONL event trace (stream/trace.h), forwarded into
   /// OnlineLearnerConfig::trace. Borrowed; must outlive the run.
   TraceWriter* trace = nullptr;
+  /// Scenario provenance (trace schema v6) forwarded into
+  /// OnlineLearnerConfig: the canonical scenario DSL spec the stream was
+  /// generated from and its world seed ("none"/0 outside the scenario
+  /// engine).
+  std::string scenario_spec = "none";
+  std::uint64_t scenario_world_seed = 0;
 };
 
 /// The eight methods of Fig. 2, in the paper's order.
 const std::vector<std::string>& AllMethodNames();
+
+/// AllMethodNames plus the post-paper strategies ("Bandit",
+/// "Disentangled") — the strategy axis of the scenario matrix
+/// (EXPERIMENTS.md).
+const std::vector<std::string>& ExtendedMethodNames();
 
 /// The four fairness-aware methods of Fig. 3 / Fig. 5a.
 const std::vector<std::string>& FairnessAwareMethodNames();
@@ -71,9 +86,9 @@ const std::vector<std::string>& FairnessAwareMethodNames();
 const std::vector<std::string>& AblationVariantNames();
 
 /// Builds the query strategy for a method name ("FACTION", "FAL",
-/// "FAL-CUR", "Decoupled", "QuFUR", "DDU", "Entropy-AL", "Random", and the
-/// ablation variants "w/o fair select", "w/o fair reg",
-/// "w/o fair select & fair reg"). Fails on unknown names.
+/// "FAL-CUR", "Decoupled", "QuFUR", "DDU", "Entropy-AL", "Random",
+/// "Bandit", "Disentangled", and the ablation variants "w/o fair select",
+/// "w/o fair reg", "w/o fair select & fair reg"). Fails on unknown names.
 Result<std::unique_ptr<QueryStrategy>> MakeStrategy(
     const std::string& method, const ExperimentDefaults& defaults);
 

@@ -1,0 +1,98 @@
+#ifndef FACTION_DATA_SCENARIO_H_
+#define FACTION_DATA_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/streams.h"
+
+namespace faction {
+
+/// Scenario engine (DESIGN.md §16): a composable DSL layering changing-
+/// environment stressors over the paper's five generators (plus the
+/// stationary control). A scenario is written as a compact spec string:
+///
+///   <base>[;<key>=<value>]*
+///
+///   rcmnist;drift=recurring:3;order=adversarial;label_noise=0.05
+///   nysf;drift=gradual:2;label_delay=1;imbalance=0.3
+///
+/// Layers (all optional, any combination):
+///   drift=abrupt              task-to-task environment switches as the
+///                             base generator emits them (default)
+///   drift=gradual[:K]         K interpolated transition tasks inserted at
+///                             every environment boundary (default K=1)
+///   drift=recurring[:C]       the whole task plan repeats for C cycles so
+///                             every environment recurs (default C=2)
+///   order=plan                the base generator's task order (default)
+///   order=adversarial         greedy max-distance environment walk — each
+///                             next task comes from the environment most
+///                             distant from the current one
+///   order=shuffle             sub-seeded random permutation of the plan
+///   label_noise=p             each label flips with probability p,
+///                             p in [0, 0.5]
+///   label_delay=k             supervision lag: task i's label-coupling
+///                             fields (bias, positive fraction) come from
+///                             the environment of task i-k while its
+///                             covariates stay current — labels arriving k
+///                             tasks late, as seen by a drift adapter
+///   imbalance=f               group imbalance: P(s=+1|y) scaled by (1-f),
+///                             f in [0, 0.9]
+///
+/// Every stochastic layer derives its own FNV-1a sub-seed from the world
+/// seed (common/rng.h SubSeed), so any scenario cell is reproducible
+/// bitwise from (spec, StreamScale) alone, and layers never perturb each
+/// other's draws: adding label noise leaves the features bit-identical.
+struct ScenarioConfig {
+  enum class DriftShape { kAbrupt, kGradual, kRecurring };
+  enum class TaskOrder { kPlan, kAdversarial, kShuffle };
+
+  /// Base generator: "rcmnist", "celeba", "fairface", "ffhq", "nysf", or
+  /// "stationary".
+  std::string base = "nysf";
+  DriftShape drift = DriftShape::kAbrupt;
+  /// Transition tasks inserted per environment boundary (gradual drift).
+  std::size_t gradual_steps = 1;
+  /// Total passes over the task plan (recurring drift); >= 1.
+  std::size_t recurring_cycles = 2;
+  TaskOrder order = TaskOrder::kPlan;
+  double label_noise = 0.0;
+  std::size_t label_delay = 0;
+  double group_imbalance = 0.0;
+};
+
+/// Parses a scenario spec string. Strict: unknown bases, unknown keys,
+/// duplicate keys, malformed or out-of-range values are all
+/// InvalidArgument with the offending token in the message.
+Result<ScenarioConfig> ParseScenario(const std::string& spec);
+
+/// Canonical spec string of a config (base first, layers in a fixed order,
+/// defaults omitted). Parsing the result reproduces the config; this is
+/// the provenance string stamped into trace run_start records (schema v6).
+std::string CanonicalScenarioSpec(const ScenarioConfig& config);
+
+/// Builds the scenario's blueprint: base blueprint -> task ordering ->
+/// drift shape -> label delay -> group imbalance. Label noise is applied
+/// at materialization (it transforms samples, not specs).
+Result<StreamBlueprint> BuildScenarioBlueprint(const ScenarioConfig& config,
+                                               const StreamScale& scale);
+
+/// Materializes the scenario stream: blueprint tasks plus the sub-seeded
+/// label-noise layer. Same (config, scale) always yields bitwise-identical
+/// streams.
+Result<std::vector<Dataset>> MakeScenarioStream(const ScenarioConfig& config,
+                                                const StreamScale& scale);
+
+/// Convenience: parse + materialize.
+Result<std::vector<Dataset>> MakeScenarioStream(const std::string& spec,
+                                                const StreamScale& scale);
+
+/// Representative scenario cells of the strategy x scenario matrix
+/// (EXPERIMENTS.md): one spec per drift/ordering/corruption axis.
+const std::vector<std::string>& ScenarioPresetSpecs();
+
+}  // namespace faction
+
+#endif  // FACTION_DATA_SCENARIO_H_

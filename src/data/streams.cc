@@ -35,28 +35,47 @@ std::vector<TaskPlan> RepeatEnvironments(std::size_t num_envs,
   return plan;
 }
 
+// Each stochastic component of a blueprint draws from its own sub-seeded
+// generator: "<tag>/<component>" under the world seed. Changing how much
+// one component consumes (e.g. more environments drawing more shift
+// prototypes) can then never perturb another component's draws — the
+// seed-coupling bug the tag scheme replaces.
+Rng ComponentRng(const StreamScale& scale, const std::string& tag,
+                 const std::string& component) {
+  return Rng(SubSeed(scale.seed, tag + "/" + component));
+}
+
 }  // namespace
 
-Result<std::vector<Dataset>> MakeRcmnistStream(const RcmnistConfig& config) {
+Result<std::vector<Dataset>> MaterializeStream(
+    const StreamBlueprint& blueprint) {
+  return GenerateStreamSeeded(blueprint.environments, blueprint.plan,
+                              blueprint.world_seed, blueprint.tag);
+}
+
+Result<StreamBlueprint> MakeRcmnistBlueprint(const RcmnistConfig& config) {
   if (config.biases.size() != config.rotations_deg.size()) {
     return Status::InvalidArgument(
         "rcmnist: biases and rotations must align");
   }
-  Rng rng(config.scale.seed);
+  StreamBlueprint bp;
+  bp.tag = "rcmnist";
+  bp.world_seed = config.scale.seed;
   // Ten digit prototypes; digits 0-4 map to label 0, digits 5-9 to label 1.
   // The binary-class means are the centroids of each digit group, which
   // keeps within-class multimodality (as real digit features would have).
-  const auto protos = DrawPrototypes(10, config.dim, 2.2, &rng);
+  Rng proto_rng = ComponentRng(config.scale, bp.tag, "prototypes");
+  const auto protos = DrawPrototypes(10, config.dim, 2.2, &proto_rng);
   std::vector<double> mean0(config.dim, 0.0), mean1(config.dim, 0.0);
   for (std::size_t k = 0; k < 10; ++k) {
     for (std::size_t j = 0; j < config.dim; ++j) {
       (k < 5 ? mean0 : mean1)[j] += protos[k][j] / 5.0;
     }
   }
+  Rng offset_rng = ComponentRng(config.scale, bp.tag, "group_offset");
   const std::vector<double> group_offset =
-      MakeGroupOffset(config.dim, 0.8, &rng);
+      MakeGroupOffset(config.dim, 0.8, &offset_rng);
 
-  std::vector<EnvironmentSpec> envs;
   for (std::size_t e = 0; e < config.biases.size(); ++e) {
     EnvironmentSpec env;
     env.class0_mean = mean0;
@@ -69,24 +88,32 @@ Result<std::vector<Dataset>> MakeRcmnistStream(const RcmnistConfig& config) {
     env.sensitive_channel = static_cast<int>(config.dim) - 1;
     env.channel_noise = 0.1;
     env.rotation = PairwiseRotation(config.dim, config.rotations_deg[e]);
-    envs.push_back(std::move(env));
+    bp.environments.push_back(std::move(env));
   }
-  return GenerateStream(envs,
-                        RepeatEnvironments(envs.size(),
-                                           config.tasks_per_environment,
-                                           config.scale.samples_per_task),
-                        &rng);
+  bp.plan = RepeatEnvironments(bp.environments.size(),
+                               config.tasks_per_environment,
+                               config.scale.samples_per_task);
+  return bp;
 }
 
-Result<std::vector<Dataset>> MakeCelebaStream(const CelebaConfig& config) {
-  Rng rng(config.scale.seed);
-  const auto base = DrawPrototypes(2, config.dim, 1.8, &rng);
+Result<std::vector<Dataset>> MakeRcmnistStream(const RcmnistConfig& config) {
+  FACTION_ASSIGN_OR_RETURN(StreamBlueprint bp, MakeRcmnistBlueprint(config));
+  return MaterializeStream(bp);
+}
+
+Result<StreamBlueprint> MakeCelebaBlueprint(const CelebaConfig& config) {
+  StreamBlueprint bp;
+  bp.tag = "celeba";
+  bp.world_seed = config.scale.seed;
+  Rng proto_rng = ComponentRng(config.scale, bp.tag, "prototypes");
+  const auto base = DrawPrototypes(2, config.dim, 1.8, &proto_rng);
+  Rng offset_rng = ComponentRng(config.scale, bp.tag, "group_offset");
   const std::vector<double> group_offset =
-      MakeGroupOffset(config.dim, 1.0, &rng);
+      MakeGroupOffset(config.dim, 1.0, &offset_rng);
   // Two latent binary factors (Young, Smiling) define 4 environments, each
   // shifting the feature distribution along its own direction.
-  const auto factors = DrawPrototypes(2, config.dim, 1.2, &rng);
-  std::vector<EnvironmentSpec> envs;
+  Rng factor_rng = ComponentRng(config.scale, bp.tag, "factors");
+  const auto factors = DrawPrototypes(2, config.dim, 1.2, &factor_rng);
   for (int young : {0, 1}) {
     for (int smiling : {0, 1}) {
       EnvironmentSpec env;
@@ -100,24 +127,32 @@ Result<std::vector<Dataset>> MakeCelebaStream(const CelebaConfig& config) {
         env.shift[j] = (young != 0 ? factors[0][j] : -factors[0][j]) +
                        (smiling != 0 ? factors[1][j] : -factors[1][j]);
       }
-      envs.push_back(std::move(env));
+      bp.environments.push_back(std::move(env));
     }
   }
-  return GenerateStream(envs,
-                        RepeatEnvironments(envs.size(),
-                                           config.tasks_per_environment,
-                                           config.scale.samples_per_task),
-                        &rng);
+  bp.plan = RepeatEnvironments(bp.environments.size(),
+                               config.tasks_per_environment,
+                               config.scale.samples_per_task);
+  return bp;
 }
 
-Result<std::vector<Dataset>> MakeFairfaceStream(const FairfaceConfig& config) {
-  Rng rng(config.scale.seed);
-  const auto base = DrawPrototypes(2, config.dim, 1.6, &rng);
+Result<std::vector<Dataset>> MakeCelebaStream(const CelebaConfig& config) {
+  FACTION_ASSIGN_OR_RETURN(StreamBlueprint bp, MakeCelebaBlueprint(config));
+  return MaterializeStream(bp);
+}
+
+Result<StreamBlueprint> MakeFairfaceBlueprint(const FairfaceConfig& config) {
+  StreamBlueprint bp;
+  bp.tag = "fairface";
+  bp.world_seed = config.scale.seed;
+  Rng proto_rng = ComponentRng(config.scale, bp.tag, "prototypes");
+  const auto base = DrawPrototypes(2, config.dim, 1.6, &proto_rng);
+  Rng offset_rng = ComponentRng(config.scale, bp.tag, "group_offset");
   const std::vector<double> group_offset =
-      MakeGroupOffset(config.dim, 0.9, &rng);
+      MakeGroupOffset(config.dim, 0.9, &offset_rng);
+  Rng shift_rng = ComponentRng(config.scale, bp.tag, "race_shifts");
   const auto race_shifts =
-      DrawPrototypes(config.num_environments, config.dim, 1.5, &rng);
-  std::vector<EnvironmentSpec> envs;
+      DrawPrototypes(config.num_environments, config.dim, 1.5, &shift_rng);
   for (std::size_t e = 0; e < config.num_environments; ++e) {
     EnvironmentSpec env;
     env.class0_mean = base[0];
@@ -128,23 +163,31 @@ Result<std::vector<Dataset>> MakeFairfaceStream(const FairfaceConfig& config) {
     // Age>50 is the minority class in face datasets.
     env.positive_fraction = 0.35;
     env.shift = race_shifts[e];
-    envs.push_back(std::move(env));
+    bp.environments.push_back(std::move(env));
   }
-  return GenerateStream(envs,
-                        RepeatEnvironments(envs.size(),
-                                           config.tasks_per_environment,
-                                           config.scale.samples_per_task),
-                        &rng);
+  bp.plan = RepeatEnvironments(bp.environments.size(),
+                               config.tasks_per_environment,
+                               config.scale.samples_per_task);
+  return bp;
 }
 
-Result<std::vector<Dataset>> MakeFfhqStream(const FfhqConfig& config) {
-  Rng rng(config.scale.seed);
-  const auto base = DrawPrototypes(2, config.dim, 1.7, &rng);
+Result<std::vector<Dataset>> MakeFairfaceStream(const FairfaceConfig& config) {
+  FACTION_ASSIGN_OR_RETURN(StreamBlueprint bp, MakeFairfaceBlueprint(config));
+  return MaterializeStream(bp);
+}
+
+Result<StreamBlueprint> MakeFfhqBlueprint(const FfhqConfig& config) {
+  StreamBlueprint bp;
+  bp.tag = "ffhq";
+  bp.world_seed = config.scale.seed;
+  Rng proto_rng = ComponentRng(config.scale, bp.tag, "prototypes");
+  const auto base = DrawPrototypes(2, config.dim, 1.7, &proto_rng);
+  Rng offset_rng = ComponentRng(config.scale, bp.tag, "group_offset");
   const std::vector<double> group_offset =
-      MakeGroupOffset(config.dim, 0.9, &rng);
+      MakeGroupOffset(config.dim, 0.9, &offset_rng);
   // Four facial-expression environments.
-  const auto expr_shifts = DrawPrototypes(4, config.dim, 1.3, &rng);
-  std::vector<EnvironmentSpec> envs;
+  Rng shift_rng = ComponentRng(config.scale, bp.tag, "expression_shifts");
+  const auto expr_shifts = DrawPrototypes(4, config.dim, 1.3, &shift_rng);
   for (std::size_t e = 0; e < 4; ++e) {
     EnvironmentSpec env;
     env.class0_mean = base[0];
@@ -154,27 +197,35 @@ Result<std::vector<Dataset>> MakeFfhqStream(const FfhqConfig& config) {
     env.bias = config.bias;
     env.positive_fraction = 0.4;
     env.shift = expr_shifts[e];
-    envs.push_back(std::move(env));
+    bp.environments.push_back(std::move(env));
   }
-  return GenerateStream(envs,
-                        RepeatEnvironments(envs.size(),
-                                           config.tasks_per_environment,
-                                           config.scale.samples_per_task),
-                        &rng);
+  bp.plan = RepeatEnvironments(bp.environments.size(),
+                               config.tasks_per_environment,
+                               config.scale.samples_per_task);
+  return bp;
 }
 
-Result<std::vector<Dataset>> MakeNysfStream(const NysfConfig& config) {
-  Rng rng(config.scale.seed);
-  const auto base = DrawPrototypes(2, config.dim, 1.4, &rng);
-  const std::vector<double> group_offset =
-      MakeGroupOffset(config.dim, 1.1, &rng);
-  const auto area_shifts =
-      DrawPrototypes(config.num_areas, config.dim, 1.4, &rng);
-  // Quarterly drift direction, applied incrementally within each area.
-  const auto drift = DrawPrototypes(1, config.dim, 0.5, &rng)[0];
+Result<std::vector<Dataset>> MakeFfhqStream(const FfhqConfig& config) {
+  FACTION_ASSIGN_OR_RETURN(StreamBlueprint bp, MakeFfhqBlueprint(config));
+  return MaterializeStream(bp);
+}
 
-  std::vector<EnvironmentSpec> envs;
-  std::vector<TaskPlan> plan;
+Result<StreamBlueprint> MakeNysfBlueprint(const NysfConfig& config) {
+  StreamBlueprint bp;
+  bp.tag = "nysf";
+  bp.world_seed = config.scale.seed;
+  Rng proto_rng = ComponentRng(config.scale, bp.tag, "prototypes");
+  const auto base = DrawPrototypes(2, config.dim, 1.4, &proto_rng);
+  Rng offset_rng = ComponentRng(config.scale, bp.tag, "group_offset");
+  const std::vector<double> group_offset =
+      MakeGroupOffset(config.dim, 1.1, &offset_rng);
+  Rng area_rng = ComponentRng(config.scale, bp.tag, "area_shifts");
+  const auto area_shifts =
+      DrawPrototypes(config.num_areas, config.dim, 1.4, &area_rng);
+  // Quarterly drift direction, applied incrementally within each area.
+  Rng drift_rng = ComponentRng(config.scale, bp.tag, "drift");
+  const auto drift = DrawPrototypes(1, config.dim, 0.5, &drift_rng)[0];
+
   for (std::size_t area = 0; area < config.num_areas; ++area) {
     for (std::size_t quarter = 0; quarter < config.num_quarters; ++quarter) {
       EnvironmentSpec env;
@@ -190,27 +241,44 @@ Result<std::vector<Dataset>> MakeNysfStream(const NysfConfig& config) {
         env.shift[j] = area_shifts[area][j] +
                        static_cast<double>(quarter) * drift[j];
       }
-      plan.push_back(TaskPlan{static_cast<int>(envs.size()),
-                              config.scale.samples_per_task});
-      envs.push_back(std::move(env));
+      bp.plan.push_back(TaskPlan{static_cast<int>(bp.environments.size()),
+                                 config.scale.samples_per_task});
+      bp.environments.push_back(std::move(env));
     }
   }
-  return GenerateStream(envs, plan, &rng);
+  return bp;
+}
+
+Result<std::vector<Dataset>> MakeNysfStream(const NysfConfig& config) {
+  FACTION_ASSIGN_OR_RETURN(StreamBlueprint bp, MakeNysfBlueprint(config));
+  return MaterializeStream(bp);
+}
+
+Result<StreamBlueprint> MakeStationaryBlueprint(
+    const StationaryConfig& config) {
+  StreamBlueprint bp;
+  bp.tag = "stationary";
+  bp.world_seed = config.scale.seed;
+  Rng proto_rng = ComponentRng(config.scale, bp.tag, "prototypes");
+  const auto base = DrawPrototypes(2, config.dim, 1.6, &proto_rng);
+  EnvironmentSpec env;
+  env.class0_mean = base[0];
+  env.class1_mean = base[1];
+  Rng offset_rng = ComponentRng(config.scale, bp.tag, "group_offset");
+  env.group_offset = MakeGroupOffset(config.dim, 0.9, &offset_rng);
+  env.noise = 0.8;
+  env.bias = config.bias;
+  bp.environments.push_back(std::move(env));
+  bp.plan.assign(config.num_tasks,
+                 TaskPlan{0, config.scale.samples_per_task});
+  return bp;
 }
 
 Result<std::vector<Dataset>> MakeStationaryStream(
     const StationaryConfig& config) {
-  Rng rng(config.scale.seed);
-  const auto base = DrawPrototypes(2, config.dim, 1.6, &rng);
-  EnvironmentSpec env;
-  env.class0_mean = base[0];
-  env.class1_mean = base[1];
-  env.group_offset = MakeGroupOffset(config.dim, 0.9, &rng);
-  env.noise = 0.8;
-  env.bias = config.bias;
-  std::vector<TaskPlan> plan(config.num_tasks,
-                             TaskPlan{0, config.scale.samples_per_task});
-  return GenerateStream({env}, plan, &rng);
+  FACTION_ASSIGN_OR_RETURN(StreamBlueprint bp,
+                           MakeStationaryBlueprint(config));
+  return MaterializeStream(bp);
 }
 
 const std::vector<std::string>& PaperDatasetNames() {
@@ -219,34 +287,46 @@ const std::vector<std::string>& PaperDatasetNames() {
   return names;
 }
 
-Result<std::vector<Dataset>> MakePaperStream(const std::string& name,
-                                             const StreamScale& scale) {
+Result<StreamBlueprint> MakePaperBlueprint(const std::string& name,
+                                           const StreamScale& scale) {
   if (name == "rcmnist") {
     RcmnistConfig c;
     c.scale = scale;
-    return MakeRcmnistStream(c);
+    return MakeRcmnistBlueprint(c);
   }
   if (name == "celeba") {
     CelebaConfig c;
     c.scale = scale;
-    return MakeCelebaStream(c);
+    return MakeCelebaBlueprint(c);
   }
   if (name == "fairface") {
     FairfaceConfig c;
     c.scale = scale;
-    return MakeFairfaceStream(c);
+    return MakeFairfaceBlueprint(c);
   }
   if (name == "ffhq") {
     FfhqConfig c;
     c.scale = scale;
-    return MakeFfhqStream(c);
+    return MakeFfhqBlueprint(c);
   }
   if (name == "nysf") {
     NysfConfig c;
     c.scale = scale;
-    return MakeNysfStream(c);
+    return MakeNysfBlueprint(c);
+  }
+  if (name == "stationary") {
+    StationaryConfig c;
+    c.scale = scale;
+    return MakeStationaryBlueprint(c);
   }
   return Status::NotFound("unknown dataset: " + name);
+}
+
+Result<std::vector<Dataset>> MakePaperStream(const std::string& name,
+                                             const StreamScale& scale) {
+  FACTION_ASSIGN_OR_RETURN(StreamBlueprint bp,
+                           MakePaperBlueprint(name, scale));
+  return MaterializeStream(bp);
 }
 
 }  // namespace faction

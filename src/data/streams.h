@@ -1,11 +1,13 @@
 #ifndef FACTION_DATA_STREAMS_H_
 #define FACTION_DATA_STREAMS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "data/dataset.h"
+#include "data/synthetic.h"
 
 namespace faction {
 
@@ -16,6 +18,33 @@ struct StreamScale {
   std::size_t samples_per_task = 600;
   std::uint64_t seed = 7;
 };
+
+/// A stream before materialization: the environment specs, the task plan,
+/// and the seed-derivation namespace. Every stochastic component of a
+/// blueprint — each prototype draw, the group offset, and each task's
+/// samples — is seeded via SubSeed(world_seed, "<tag>/<component>"), so no
+/// component's draws depend on any other component's consumption. The
+/// scenario engine (data/scenario.h) transforms blueprints (reordering,
+/// recurring environments, gradual transitions, label delay, imbalance)
+/// before materializing them.
+struct StreamBlueprint {
+  std::vector<EnvironmentSpec> environments;
+  std::vector<TaskPlan> plan;
+  /// Sub-seed namespace, e.g. "rcmnist"; per-task draws use
+  /// "<tag>/env/<e>/task/<k>".
+  std::string tag;
+  std::uint64_t world_seed = 0;
+};
+
+/// Materializes a blueprint via GenerateStreamSeeded: one Dataset per plan
+/// entry, each task's draws independent of every other task's.
+Result<std::vector<Dataset>> MaterializeStream(
+    const StreamBlueprint& blueprint);
+
+/// Builds the blueprint of a paper dataset by name ("rcmnist", "celeba",
+/// "fairface", "ffhq", "nysf") or "stationary", at the given scale.
+Result<StreamBlueprint> MakePaperBlueprint(const std::string& name,
+                                           const StreamScale& scale);
 
 /// Rotated Colored MNIST substitute (Sec. V-A1): 4 environments — feature
 /// rotations of {0, 15, 30, 45} degrees — with label-color correlation
@@ -31,6 +60,7 @@ struct RcmnistConfig {
   std::size_t tasks_per_environment = 3;
 };
 Result<std::vector<Dataset>> MakeRcmnistStream(const RcmnistConfig& config);
+Result<StreamBlueprint> MakeRcmnistBlueprint(const RcmnistConfig& config);
 
 /// CelebA substitute: environments are the 4 combinations of two latent
 /// binary factors (Young x Smiling) shifting the feature distribution;
@@ -42,6 +72,7 @@ struct CelebaConfig {
   std::size_t tasks_per_environment = 3;
 };
 Result<std::vector<Dataset>> MakeCelebaStream(const CelebaConfig& config);
+Result<StreamBlueprint> MakeCelebaBlueprint(const CelebaConfig& config);
 
 /// FairFace substitute: 7 racial-group environments (cluster mean shifts),
 /// s = gender, y = age>50; 3 tasks per environment = 21 tasks.
@@ -53,6 +84,7 @@ struct FairfaceConfig {
   std::size_t tasks_per_environment = 3;
 };
 Result<std::vector<Dataset>> MakeFairfaceStream(const FairfaceConfig& config);
+Result<StreamBlueprint> MakeFairfaceBlueprint(const FairfaceConfig& config);
 
 /// FFHQ-Features substitute: 4 facial-expression environments, s = gender,
 /// y = age>50; 12 tasks.
@@ -63,6 +95,7 @@ struct FfhqConfig {
   std::size_t tasks_per_environment = 3;
 };
 Result<std::vector<Dataset>> MakeFfhqStream(const FfhqConfig& config);
+Result<StreamBlueprint> MakeFfhqBlueprint(const FfhqConfig& config);
 
 /// New York Stop-and-Frisk substitute: tabular stream over 4 geographic
 /// areas x 4 yearly quarters = 16 tasks; s = race, y = frisked, with
@@ -75,6 +108,7 @@ struct NysfConfig {
   std::size_t num_quarters = 4;
 };
 Result<std::vector<Dataset>> MakeNysfStream(const NysfConfig& config);
+Result<StreamBlueprint> MakeNysfBlueprint(const NysfConfig& config);
 
 /// Stationary single-environment stream of T tasks, used by the Theorem 1
 /// validation bench (m = 1, |I_u| = T).
@@ -86,6 +120,7 @@ struct StationaryConfig {
 };
 Result<std::vector<Dataset>> MakeStationaryStream(
     const StationaryConfig& config);
+Result<StreamBlueprint> MakeStationaryBlueprint(const StationaryConfig& config);
 
 /// Names of the five paper datasets, in the order Fig. 2 reports them.
 const std::vector<std::string>& PaperDatasetNames();

@@ -1,6 +1,7 @@
 #include "data/synthetic.h"
 
 #include <cmath>
+#include <string>
 
 namespace faction {
 
@@ -10,7 +11,8 @@ Example SampleFromEnvironment(const EnvironmentSpec& env, int env_id,
   Example e;
   e.environment = env_id;
   e.label = rng->Bernoulli(env.positive_fraction) ? 1 : 0;
-  const double p_pos = e.label == 1 ? env.bias : 1.0 - env.bias;
+  const double p_pos =
+      (e.label == 1 ? env.bias : 1.0 - env.bias) * env.group_rate_scale;
   e.sensitive = rng->Bernoulli(p_pos) ? 1 : -1;
 
   const std::vector<double>& mean =
@@ -46,9 +48,11 @@ Example SampleFromEnvironment(const EnvironmentSpec& env, int env_id,
   return e;
 }
 
-Result<std::vector<Dataset>> GenerateStream(
-    const std::vector<EnvironmentSpec>& environments,
-    const std::vector<TaskPlan>& plan, Rng* rng) {
+namespace {
+
+// Shared precondition checks of both generator entry points.
+Status ValidateStreamInputs(const std::vector<EnvironmentSpec>& environments,
+                            const std::vector<TaskPlan>& plan) {
   if (environments.empty()) {
     return Status::InvalidArgument("GenerateStream: no environments");
   }
@@ -61,27 +65,84 @@ Result<std::vector<Dataset>> GenerateStream(
     if (env.bias < 0.0 || env.bias > 1.0) {
       return Status::InvalidArgument("GenerateStream: bias must be in [0,1]");
     }
+    if (!(env.group_rate_scale > 0.0 && env.group_rate_scale <= 1.0)) {
+      return Status::InvalidArgument(
+          "GenerateStream: group_rate_scale must be in (0, 1]");
+    }
     if (!env.rotation.empty() &&
         (env.rotation.rows() != d || env.rotation.cols() != d)) {
       return Status::InvalidArgument(
           "GenerateStream: rotation must be d x d");
     }
   }
-  std::vector<Dataset> tasks;
-  tasks.reserve(plan.size());
   for (const TaskPlan& tp : plan) {
     if (tp.environment < 0 ||
         static_cast<std::size_t>(tp.environment) >= environments.size()) {
       return Status::OutOfRange("GenerateStream: unknown environment " +
                                 std::to_string(tp.environment));
     }
-    Dataset task(d);
+  }
+  return Status::Ok();
+}
+
+// The environment id stamped into a task's examples.
+int RecordedEnvironment(const TaskPlan& tp) {
+  return tp.record_environment >= 0 ? tp.record_environment : tp.environment;
+}
+
+Result<Dataset> MaterializeTask(const EnvironmentSpec& env, const TaskPlan& tp,
+                                std::size_t dim, Rng* rng) {
+  Dataset task(dim);
+  const int env_id = RecordedEnvironment(tp);
+  for (std::size_t i = 0; i < tp.num_samples; ++i) {
+    FACTION_RETURN_IF_ERROR(
+        task.Append(SampleFromEnvironment(env, env_id, rng)));
+  }
+  return task;
+}
+
+}  // namespace
+
+Result<std::vector<Dataset>> GenerateStream(
+    const std::vector<EnvironmentSpec>& environments,
+    const std::vector<TaskPlan>& plan, Rng* rng) {
+  FACTION_RETURN_IF_ERROR(ValidateStreamInputs(environments, plan));
+  const std::size_t d = environments[0].class0_mean.size();
+  std::vector<Dataset> tasks;
+  tasks.reserve(plan.size());
+  for (const TaskPlan& tp : plan) {
     const EnvironmentSpec& env =
         environments[static_cast<std::size_t>(tp.environment)];
-    for (std::size_t i = 0; i < tp.num_samples; ++i) {
-      FACTION_RETURN_IF_ERROR(
-          task.Append(SampleFromEnvironment(env, tp.environment, rng)));
-    }
+    FACTION_ASSIGN_OR_RETURN(Dataset task,
+                             MaterializeTask(env, tp, d, rng));
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+Result<std::vector<Dataset>> GenerateStreamSeeded(
+    const std::vector<EnvironmentSpec>& environments,
+    const std::vector<TaskPlan>& plan, std::uint64_t world_seed,
+    const std::string& tag) {
+  FACTION_RETURN_IF_ERROR(ValidateStreamInputs(environments, plan));
+  const std::size_t d = environments[0].class0_mean.size();
+  // Occurrence counter per recorded environment: the k-th task of
+  // environment e draws from SubSeed(seed, "<tag>/env/<e>/task/<k>")
+  // regardless of where in the plan it sits.
+  std::vector<std::size_t> occurrence;
+  std::vector<Dataset> tasks;
+  tasks.reserve(plan.size());
+  for (const TaskPlan& tp : plan) {
+    const EnvironmentSpec& env =
+        environments[static_cast<std::size_t>(tp.environment)];
+    const std::size_t env_id = static_cast<std::size_t>(RecordedEnvironment(tp));
+    if (env_id >= occurrence.size()) occurrence.resize(env_id + 1, 0);
+    const std::string task_tag = tag + "/env/" + std::to_string(env_id) +
+                                 "/task/" +
+                                 std::to_string(occurrence[env_id]++);
+    Rng task_rng(SubSeed(world_seed, task_tag));
+    FACTION_ASSIGN_OR_RETURN(Dataset task,
+                             MaterializeTask(env, tp, d, &task_rng));
     tasks.push_back(std::move(task));
   }
   return tasks;

@@ -1,6 +1,8 @@
 #ifndef FACTION_DATA_SYNTHETIC_H_
 #define FACTION_DATA_SYNTHETIC_H_
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -32,6 +34,11 @@ struct EnvironmentSpec {
   double noise = 0.6;
   double bias = 0.7;                 ///< P(s=+1 | y=1); 1-bias for y=0
   double positive_fraction = 0.5;
+  /// Multiplies P(s=+1 | y) uniformly, shrinking the s=+1 group's
+  /// prevalence without touching the label-sensitive correlation shape —
+  /// the scenario engine's group-imbalance layer. 1 = balanced as per
+  /// `bias`; must stay in (0, 1].
+  double group_rate_scale = 1.0;
   int sensitive_channel = -1;        ///< feature index carrying s, or -1
   double channel_noise = 0.1;        ///< flip probability of that channel
   Matrix rotation;                   ///< d x d; empty = identity
@@ -43,6 +50,11 @@ struct EnvironmentSpec {
 struct TaskPlan {
   int environment = 0;
   std::size_t num_samples = 600;
+  /// Environment id recorded in the generated examples; -1 (default) means
+  /// record `environment` itself. The scenario engine's label-delay layer
+  /// materializes hybrid specs appended past the original environments but
+  /// must keep the examples' covariate-environment ids intact.
+  int record_environment = -1;
 };
 
 /// Draws one example from the environment. `env_id` is recorded in the
@@ -53,9 +65,26 @@ Example SampleFromEnvironment(const EnvironmentSpec& env, int env_id,
 /// Materializes a full task sequence: one Dataset per TaskPlan entry.
 /// Fails when a plan references an unknown environment or dimensions are
 /// inconsistent across environments.
+///
+/// All tasks draw sequentially from the single `rng`, so a task's content
+/// depends on every draw before it. Prefer GenerateStreamSeeded for
+/// streams whose reproducibility must survive plan edits.
 Result<std::vector<Dataset>> GenerateStream(
     const std::vector<EnvironmentSpec>& environments,
     const std::vector<TaskPlan>& plan, Rng* rng);
+
+/// Like GenerateStream, but every task draws from its own generator seeded
+/// via SubSeed(world_seed, "<tag>/env/<e>/task/<k>"), where e is the
+/// task's (recorded) environment and k counts that environment's prior
+/// occurrences in the plan. A task's samples therefore depend only on the
+/// world seed, the tag, its environment spec, and its occurrence index —
+/// never on how many other tasks surround it. This is what lets a 3- and a
+/// 4-tasks-per-environment stream agree bitwise on their shared tasks, and
+/// what makes every scenario cell reproducible from one world seed.
+Result<std::vector<Dataset>> GenerateStreamSeeded(
+    const std::vector<EnvironmentSpec>& environments,
+    const std::vector<TaskPlan>& plan, std::uint64_t world_seed,
+    const std::string& tag);
 
 /// Returns a d x d rotation matrix rotating consecutive coordinate pairs
 /// (0,1), (2,3), ... by `degrees`. Used by the RCMNIST substitute.

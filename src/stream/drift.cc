@@ -8,19 +8,46 @@ namespace faction {
 
 bool DriftDetector::Observe(double value) {
   TelemetryCount("drift.observed");
+  if (cooldown_remaining_ > 0) {
+    // Post-fire suppression window (kCooldown): absorb the shifted regime
+    // without re-firing.
+    --cooldown_remaining_;
+    stats_.Add(value);
+    return false;
+  }
   if (stats_.count() >= config_.min_history) {
     const double spread =
         stats_.stddev() > config_.min_std ? stats_.stddev() : config_.min_std;
     if (value < stats_.mean() - config_.threshold * spread) {
       TelemetryCount("drift.fired");
-      return true;  // drift: keep the pre-drift statistics intact
+      switch (config_.rearm) {
+        case DriftReArm::kResetOnFire:
+          // The triggering value is the first observation of the new
+          // regime: restart the statistics from it so a sustained shift
+          // fires exactly once.
+          stats_ = RunningStat();
+          stats_.Add(value);
+          break;
+        case DriftReArm::kCooldown:
+          stats_.Add(value);
+          cooldown_remaining_ = config_.cooldown;
+          break;
+        case DriftReArm::kManual:
+          // Keep the pre-drift statistics intact; the caller re-arms via
+          // Reset().
+          break;
+      }
+      return true;
     }
   }
   stats_.Add(value);
   return false;
 }
 
-void DriftDetector::Reset() { stats_ = RunningStat(); }
+void DriftDetector::Reset() {
+  stats_ = RunningStat();
+  cooldown_remaining_ = 0;
+}
 
 double MeanLogDensity(const FairDensityEstimator& estimator,
                       const Matrix& features) {

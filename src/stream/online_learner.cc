@@ -110,8 +110,11 @@ Result<RunResult> OnlineLearner::Run(const std::vector<Dataset>& tasks) {
     TraceWriter::DensityInfo density;
     density.window = config_.density_window;
     density.decay = config_.density_decay;
+    TraceWriter::ScenarioInfo scenario;
+    scenario.spec = config_.scenario_spec;
+    scenario.world_seed = config_.scenario_world_seed;
     FACTION_RETURN_IF_ERROR(
-        config_.trace->WriteRunStart(result.strategy_name, density));
+        config_.trace->WriteRunStart(result.strategy_name, density, scenario));
   }
   std::size_t undefined_metric_tasks = 0;
 

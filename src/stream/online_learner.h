@@ -67,6 +67,13 @@ struct OnlineLearnerConfig {
   /// mirror it so the trace records what the strategy actually ran with.
   std::size_t density_window = 0;
   double density_decay = 1.0;
+  /// Scenario provenance stamped into the trace's run_start record (schema
+  /// v6): the canonical scenario DSL spec the stream was generated from and
+  /// its world seed. "none"/0 when the stream was built outside the
+  /// scenario engine. Mirrors, like the density fields: the stream itself
+  /// is already materialized by the time Run() sees it.
+  std::string scenario_spec = "none";
+  std::uint64_t scenario_world_seed = 0;
   std::uint64_t seed = 1;
 };
 

@@ -86,30 +86,36 @@ Status TraceWriter::Flush() {
 }
 
 Status TraceWriter::WriteRunStart(const std::string& strategy_name,
-                                  const DensityInfo& density) {
+                                  const DensityInfo& density,
+                                  const ScenarioInfo& scenario) {
   // The dispatch tier is part of the run's provenance: results are bitwise
   // identical across tiers by contract, so a tier mismatch between two
   // traces that differ is immediately visible evidence of a parity bug.
-  // The density object likewise: a window/decay mismatch explains a
-  // divergence before any numeric diffing.
-  *os_ << "{\"type\":\"run_start\",\"schema_version\":" << kTraceSchemaVersion
-       << ",\"strategy\":\"" << JsonEscape(strategy_name)
-       << "\",\"simd_level\":\"" << ActiveSimd().name
-       << "\",\"alloc_audit\":\"" << AllocAuditMode()
-       << "\",\"density\":{\"window\":" << density.window
-       << ",\"decay\":" << JsonNumber(density.decay) << "}}\n";
-  return Flush();
-}
-
-Status TraceWriter::WriteRunStart(const std::string& strategy_name,
-                                  const ServeInfo& serve,
-                                  const DensityInfo& density) {
+  // The density and scenario objects likewise: a window/decay or spec/seed
+  // mismatch explains a divergence before any numeric diffing.
   *os_ << "{\"type\":\"run_start\",\"schema_version\":" << kTraceSchemaVersion
        << ",\"strategy\":\"" << JsonEscape(strategy_name)
        << "\",\"simd_level\":\"" << ActiveSimd().name
        << "\",\"alloc_audit\":\"" << AllocAuditMode()
        << "\",\"density\":{\"window\":" << density.window
        << ",\"decay\":" << JsonNumber(density.decay)
+       << "},\"scenario\":{\"spec\":\"" << JsonEscape(scenario.spec)
+       << "\",\"world_seed\":" << scenario.world_seed << "}}\n";
+  return Flush();
+}
+
+Status TraceWriter::WriteRunStart(const std::string& strategy_name,
+                                  const ServeInfo& serve,
+                                  const DensityInfo& density,
+                                  const ScenarioInfo& scenario) {
+  *os_ << "{\"type\":\"run_start\",\"schema_version\":" << kTraceSchemaVersion
+       << ",\"strategy\":\"" << JsonEscape(strategy_name)
+       << "\",\"simd_level\":\"" << ActiveSimd().name
+       << "\",\"alloc_audit\":\"" << AllocAuditMode()
+       << "\",\"density\":{\"window\":" << density.window
+       << ",\"decay\":" << JsonNumber(density.decay)
+       << "},\"scenario\":{\"spec\":\"" << JsonEscape(scenario.spec)
+       << "\",\"world_seed\":" << scenario.world_seed
        << "},\"serve\":{\"workers\":" << serve.workers
        << ",\"sessions\":" << serve.sessions << "}}\n";
   return Flush();

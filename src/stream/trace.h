@@ -24,7 +24,12 @@ namespace faction {
 ///     ({"window":N,"decay":g}) — the run's density-forgetting
 ///     configuration (DESIGN.md §15). {"window":0,"decay":1} when the
 ///     estimator is grow-only.
-constexpr int kTraceSchemaVersion = 5;
+/// v6: run_start gained the always-present "scenario" object
+///     ({"spec":"...","world_seed":N}) — the canonical scenario DSL spec
+///     the stream was generated from and the world seed every sub-seed
+///     derives from (DESIGN.md §16). {"spec":"none","world_seed":0} for
+///     streams built outside the scenario engine.
+constexpr int kTraceSchemaVersion = 6;
 
 /// One structured trace record per stream task (see DESIGN.md §11 for the
 /// schema and determinism contract). Every field except the wall_* group is
@@ -72,6 +77,16 @@ struct TraceDensityInfo {
   double decay = 1.0;
 };
 
+/// Scenario provenance stamped into every run_start (schema v6): the
+/// canonical DSL spec (data/scenario.h CanonicalScenarioSpec) and the world
+/// seed all per-layer sub-seeds derive from. "none"/0 identify a stream
+/// built outside the scenario engine. Namespace-scope for the same reason
+/// as TraceDensityInfo.
+struct TraceScenarioInfo {
+  std::string spec = "none";
+  std::uint64_t world_seed = 0;
+};
+
 /// JSONL event trace for streaming runs: a run_start line, one task line
 /// per stream task, and a run_end line. The writer is sequential and
 /// non-owning of borrowed sinks; it never throws — I/O failures surface as
@@ -102,14 +117,19 @@ class TraceWriter {
   /// TraceWriter::DensityInfo.
   using DensityInfo = TraceDensityInfo;
 
+  /// See TraceScenarioInfo; aliased like DensityInfo.
+  using ScenarioInfo = TraceScenarioInfo;
+
   /// {"type":"run_start","schema_version":...,"strategy":...}
   Status WriteRunStart(const std::string& strategy_name,
-                       const DensityInfo& density = {});
+                       const DensityInfo& density = {},
+                       const ScenarioInfo& scenario = {});
 
   /// Same, plus the "serve" object: {"workers":...,"sessions":...}.
   Status WriteRunStart(const std::string& strategy_name,
                        const ServeInfo& serve,
-                       const DensityInfo& density = {});
+                       const DensityInfo& density = {},
+                       const ScenarioInfo& scenario = {});
 
   /// {"type":"task",...}; see TaskTraceRecord.
   Status WriteTask(const TaskTraceRecord& record);

@@ -1,6 +1,8 @@
 #include <cmath>
+#include <cstdint>
 
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "data/streams.h"
 #include "gtest/gtest.h"
 #include "stream/drift.h"
@@ -28,8 +30,78 @@ TEST(DriftDetectorTest, FlagsAbruptDrop) {
     ASSERT_FALSE(detector.Observe(rng.Gaussian(-10.0, 0.5)));
   }
   EXPECT_TRUE(detector.Observe(-40.0));
-  // The drift value is excluded from the history.
-  EXPECT_EQ(detector.history(), 20u);
+  // Default re-arm (kResetOnFire): the pre-drift history is dropped and the
+  // statistics restart from the triggering value.
+  EXPECT_EQ(detector.history(), 1u);
+  EXPECT_DOUBLE_EQ(detector.mean(), -40.0);
+}
+
+TEST(DriftDetectorTest, SustainedShiftFiresOnceUnderResetOnFire) {
+  // Regression: without re-arm semantics the detector kept its pre-shift
+  // statistics forever, so a sustained distribution shift fired on every
+  // arrival after the first. Count drift.fired to pin single-firing.
+  Telemetry::Enable();  // drift.fired only counts through the registry
+  DriftDetector detector;  // default rearm = kResetOnFire
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_FALSE(detector.Observe(rng.Gaussian(-10.0, 0.5)));
+  }
+  const std::uint64_t fired_before = TelemetryCounterValue("drift.fired");
+  int flagged = 0;
+  // Sustained shift: the statistic settles at a new, much lower level.
+  for (int i = 0; i < 40; ++i) {
+    if (detector.Observe(-40.0)) ++flagged;
+  }
+  EXPECT_EQ(flagged, 1);
+  EXPECT_EQ(TelemetryCounterValue("drift.fired") - fired_before, 1u);
+  // The detector has adapted to the new regime...
+  EXPECT_NEAR(detector.mean(), -40.0, 1.0);
+  // ...and still fires on the *next* shift.
+  EXPECT_TRUE(detector.Observe(-80.0));
+}
+
+TEST(DriftDetectorTest, SustainedShiftFiresEveryArrivalUnderManual) {
+  // The pre-fix behavior, now opt-in: with kManual the caller owns
+  // re-arming, and forgetting Reset() means every post-shift arrival fires.
+  DriftDetectorConfig config;
+  config.rearm = DriftReArm::kManual;
+  DriftDetector detector(config);
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_FALSE(detector.Observe(rng.Gaussian(-10.0, 0.5)));
+  }
+  int flagged = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (detector.Observe(-40.0)) ++flagged;
+  }
+  EXPECT_EQ(flagged, 40);
+  // History froze at the pre-shift regime.
+  EXPECT_EQ(detector.history(), 30u);
+}
+
+TEST(DriftDetectorTest, CooldownSuppressesAndAbsorbs) {
+  DriftDetectorConfig config;
+  config.rearm = DriftReArm::kCooldown;
+  config.cooldown = 5;
+  DriftDetector detector(config);
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_FALSE(detector.Observe(rng.Gaussian(-10.0, 0.5)));
+  }
+  EXPECT_TRUE(detector.Observe(-40.0));
+  EXPECT_EQ(detector.cooldown_remaining(), 5u);
+  // Within the window, shifted values are absorbed without firing.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(detector.Observe(-40.0));
+  }
+  EXPECT_EQ(detector.cooldown_remaining(), 0u);
+  // The folded shift widened the spread enough that the settled regime no
+  // longer trips the threshold.
+  int flagged = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (detector.Observe(-40.0)) ++flagged;
+  }
+  EXPECT_EQ(flagged, 0);
 }
 
 TEST(DriftDetectorTest, NoDetectionBeforeMinHistory) {

@@ -188,11 +188,12 @@ TEST_F(TelemetryTest, TraceSchemaGolden) {
   ASSERT_TRUE(writer.WriteRunEnd(3, 48, 1).ok());
 
   const std::string expected =
-      "{\"type\":\"run_start\",\"schema_version\":5,"
+      "{\"type\":\"run_start\",\"schema_version\":6,"
       "\"strategy\":\"FACTION \\\"quoted\\\"\",\"simd_level\":\"" +
       std::string(SimdLevelName(ActiveSimdLevel())) + "\",\"alloc_audit\":\"" +
       std::string(AllocAuditMode()) +
-      "\",\"density\":{\"window\":0,\"decay\":1}}\n"
+      "\",\"density\":{\"window\":0,\"decay\":1},"
+      "\"scenario\":{\"spec\":\"none\",\"world_seed\":0}}\n"
       "{\"type\":\"task\",\"task_index\":2,\"environment\":1,"
       "\"queries\":16,\"acquisition_batches\":2,\"train_steps\":12,"
       "\"density_refit_mode\":\"incremental\",\"drift_fired\":1,"
@@ -217,12 +218,31 @@ TEST_F(TelemetryTest, TraceRunStartServeObjectGolden) {
   density.decay = 0.875;
   ASSERT_TRUE(writer.WriteRunStart("serve_loadgen", serve, density).ok());
   const std::string expected =
-      "{\"type\":\"run_start\",\"schema_version\":5,"
+      "{\"type\":\"run_start\",\"schema_version\":6,"
       "\"strategy\":\"serve_loadgen\",\"simd_level\":\"" +
       std::string(SimdLevelName(ActiveSimdLevel())) + "\",\"alloc_audit\":\"" +
       std::string(AllocAuditMode()) +
       "\",\"density\":{\"window\":256,\"decay\":0.875},"
+      "\"scenario\":{\"spec\":\"none\",\"world_seed\":0},"
       "\"serve\":{\"workers\":8,\"sessions\":512}}\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST_F(TelemetryTest, TraceRunStartScenarioObjectGolden) {
+  std::ostringstream os;
+  TraceWriter writer(&os);
+  TraceWriter::ScenarioInfo scenario;
+  scenario.spec = "rcmnist;drift=recurring:2;order=adversarial";
+  scenario.world_seed = 1042;
+  ASSERT_TRUE(writer.WriteRunStart("Bandit", {}, scenario).ok());
+  const std::string expected =
+      "{\"type\":\"run_start\",\"schema_version\":6,"
+      "\"strategy\":\"Bandit\",\"simd_level\":\"" +
+      std::string(SimdLevelName(ActiveSimdLevel())) + "\",\"alloc_audit\":\"" +
+      std::string(AllocAuditMode()) +
+      "\",\"density\":{\"window\":0,\"decay\":1},"
+      "\"scenario\":{\"spec\":\"rcmnist;drift=recurring:2;order=adversarial\","
+      "\"world_seed\":1042}}\n";
   EXPECT_EQ(os.str(), expected);
 }
 

@@ -7,8 +7,8 @@ Usage: tools/validate_trace.py <trace.jsonl>
 Checks:
   * every line is a standalone JSON object with a known "type"
   * the first record is run_start (pinned schema_version, simd_level,
-    alloc_audit, the v5 density object, and — when present — the v4
-    serve object), the last is run_end
+    alloc_audit, the v5 density object, the v6 scenario object, and —
+    when present — the v4 serve object), the last is run_end
   * exactly one run_start / run_end; every other record is a task
   * task records carry all required keys with the right types;
     metrics.{ddp,eod,mi} may be null only when metric_defined.* is false
@@ -23,7 +23,7 @@ from __future__ import annotations
 import json
 import sys
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 SIMD_LEVELS = {"generic", "avx2", "avx512"}
 ALLOC_AUDIT_MODES = {"on", "off"}
 REFIT_MODES = {"batch", "incremental", "mixed", "none", "unknown"}
@@ -136,6 +136,22 @@ def main() -> int:
                     and not isinstance(decay, bool)
                     and 0.0 < decay <= 1.0, lineno,
                     "run_start.density.decay must be a number in (0, 1]")
+            # v6: every run stamps its scenario provenance — the canonical
+            # scenario DSL spec ("none" outside the scenario engine) and
+            # the world seed the sub-seeds derive from.
+            scenario = record.get("scenario")
+            require(isinstance(scenario, dict), lineno,
+                    "run_start needs a 'scenario' object (schema v6)")
+            require(set(scenario.keys()) == {"spec", "world_seed"}, lineno,
+                    "run_start.scenario must have exactly the keys "
+                    "'spec' and 'world_seed'")
+            spec = scenario.get("spec")
+            require(isinstance(spec, str) and spec != "", lineno,
+                    "run_start.scenario.spec must be a non-empty string")
+            require(isinstance(scenario.get("world_seed"), int)
+                    and not isinstance(scenario.get("world_seed"), bool)
+                    and scenario["world_seed"] >= 0, lineno,
+                    "run_start.scenario.world_seed must be an int >= 0")
             # v4: multi-stream serving runs stamp a "serve" object; it is
             # optional (absent for single-stream runs) but pinned when
             # present.
