@@ -8,6 +8,8 @@
 
 namespace faction {
 
+struct StateCodecAccess;  // serve/state_codec.cc checkpoint accessor
+
 /// Configuration of the FALCON-style bandit acquisition strategy.
 struct BanditConfig {
   /// UCB exploration coefficient (the bonus weight in front of
@@ -45,6 +47,8 @@ class BanditStrategy : public QueryStrategy {
   double arm_pulls(int arm) const { return pulls_[arm]; }
 
  private:
+  friend struct StateCodecAccess;
+
   BanditConfig config_;
   /// Discounted arm statistics; index 0 = group s=+1, 1 = group s=-1.
   std::array<double, 2> pulls_ = {0.0, 0.0};

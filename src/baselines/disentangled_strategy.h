@@ -10,6 +10,8 @@
 
 namespace faction {
 
+struct StateCodecAccess;  // serve/state_codec.cc checkpoint accessor
+
 /// Configuration of the disentangled global/environment-specific probe.
 struct DisentangledConfig {
   /// Full-batch gradient-descent passes over the labeled pool per
@@ -52,6 +54,8 @@ class DisentangledStrategy : public QueryStrategy {
   std::size_t num_environment_deltas() const { return deltas_.size(); }
 
  private:
+  friend struct StateCodecAccess;
+
   DisentangledConfig config_;
   /// Global weights, size dim + 1 (last entry is the bias). Empty until
   /// the first SelectBatch with a non-empty pool.

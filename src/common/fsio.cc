@@ -1,0 +1,86 @@
+#include "common/fsio.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace faction {
+
+namespace {
+
+std::atomic<std::uint64_t> g_fsync_calls{0};
+
+/// Opens `path` read-only (O_DIRECTORY when `directory`), fsyncs the
+/// descriptor, and closes it. Linux permits fsync on an O_RDONLY
+/// descriptor, which syncs data written through any other descriptor.
+Status FsyncPath(const std::string& path, bool directory) {
+  int flags = O_RDONLY;
+#ifdef O_DIRECTORY
+  if (directory) flags |= O_DIRECTORY;
+#endif
+  const int fd = ::open(path.c_str(), flags);  // NOLINT(*-vararg)
+  if (fd < 0) {
+    return Status::NotFound("fsio: cannot open " + path + " for fsync: " +
+                            std::strerror(errno));
+  }
+  g_fsync_calls.fetch_add(1, std::memory_order_relaxed);
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("fsio: fsync failed for " + path + ": " +
+                            std::strerror(saved_errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+bool FsyncEnabled() {
+  // Read per call (not cached): tests toggle the escape hatch with setenv
+  // around individual saves, and saves are cold control-plane operations.
+  return std::getenv("FACTION_NO_FSYNC") == nullptr;
+}
+
+Status SyncFile(const std::string& path) {
+  if (!FsyncEnabled()) return Status::Ok();
+  return FsyncPath(path, /*directory=*/false);
+}
+
+Status SyncParentDir(const std::string& path) {
+  if (!FsyncEnabled()) return Status::Ok();
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : (slash == 0 ? "/" : path.substr(0, slash));
+  return FsyncPath(dir, /*directory=*/true);
+}
+
+Status CommitFileDurable(const std::string& tmp_path,
+                         const std::string& final_path) {
+  Status synced = SyncFile(tmp_path);
+  if (!synced.ok()) {
+    std::remove(tmp_path.c_str());
+    return synced;
+  }
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("fsio: cannot rename " + tmp_path + " to " +
+                            final_path + ": " + std::strerror(errno));
+  }
+  // The rename itself must reach disk: sync the directory that now holds
+  // the final entry. Failure here leaves a consistent (already renamed)
+  // file; report it so callers relying on durability see the problem.
+  return SyncParentDir(final_path);
+}
+
+std::uint64_t FsyncCallsForTest() {
+  return g_fsync_calls.load(std::memory_order_relaxed);
+}
+
+}  // namespace faction

@@ -59,6 +59,20 @@ class Rng {
   /// an experiment its own stream without coupling their consumption order.
   Rng Fork();
 
+  /// Complete generator position: the four xoshiro256** state words plus
+  /// the Box-Muller cached-draw latch. Capturing and restoring a State
+  /// makes the future output sequence bitwise identical to the captured
+  /// generator's — the primitive the session checkpoint codec
+  /// (serve/state_codec.h) builds its replay-free restores on.
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool have_cached_gaussian = false;
+    double cached_gaussian = 0.0;
+  };
+
+  State SaveState() const;
+  void RestoreState(const State& state);
+
  private:
   std::uint64_t state_[4];
   bool have_cached_gaussian_ = false;

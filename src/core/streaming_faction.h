@@ -14,6 +14,11 @@
 
 namespace faction {
 
+/// Defined in serve/state_codec.cc: the single befriended accessor through
+/// which the session checkpoint codec captures and restores private
+/// learner state (DESIGN.md §17).
+struct StateCodecAccess;
+
 /// Configuration of the single-sample-arrival FACTION variant.
 struct StreamingFactionConfig {
   MlpConfig model;
@@ -93,6 +98,8 @@ class StreamingFaction {
   bool has_estimator() const { return estimator_.has_value(); }
 
  private:
+  friend struct StateCodecAccess;
+
   /// Retrains the classifier on the pool and refits the density estimator
   /// in the new feature space.
   Status Refit();

@@ -9,6 +9,8 @@
 
 namespace faction {
 
+struct StateCodecAccess;  // serve/state_codec.cc checkpoint accessor
+
 /// A single example in the data space P = X x S x Y x E of the paper:
 /// features x in R^d, binary sensitive attribute s in {-1,+1}, binary label
 /// y in {0,1}, and an environment id e.
@@ -82,6 +84,11 @@ class Dataset {
   bool HasAllGroups() const;
 
  private:
+  // The checkpoint codec reads features_ directly: calling features()
+  // during a snapshot capture would compact the matrix and discard the
+  // spare pre-reserved rows the zero-alloc steady state depends on.
+  friend struct StateCodecAccess;
+
   std::size_t dim_ = 0;
   /// Backing storage; may hold spare capacity rows beyond size(). Mutable so
   /// features() can compact lazily without breaking const-correct callers.

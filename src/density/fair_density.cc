@@ -588,4 +588,46 @@ std::vector<double> ClassDensityEstimator::LogMarginalDensityBatch(
 }
 // FACTION_COLD_END
 
+// FACTION_COLD_BEGIN: cross-shard sufficient-stats merge (ROADMAP item 1)
+// — aggregation cadence, never per arrival.
+Status FairDensityEstimator::MergeFrom(const FairDensityEstimator& other,
+                                       const CovarianceConfig& config) {
+  if (other.total_ == 0) return Status::Ok();
+  if (total_ == 0) {
+    *this = other;
+    TelemetryCount("density.fair_merge");
+    return Status::Ok();
+  }
+  if (other.dim_ != dim_) {
+    return Status::InvalidArgument(
+        "FairDensityEstimator::MergeFrom: dimension mismatch");
+  }
+  if (other.forgetting_ != forgetting_) {
+    return Status::InvalidArgument(
+        "FairDensityEstimator::MergeFrom: forgetting-mode mismatch");
+  }
+  const int cells = kNumClasses * kNumGroups;
+  for (int idx = 0; idx < cells; ++idx) {
+    if (other.present_[idx]) {
+      if (present_[idx]) {
+        FACTION_RETURN_IF_ERROR(
+            components_[idx].MergeFrom(other.components_[idx], config));
+      } else {
+        // Only one shard saw this (y, s) cell: its fitted component *is*
+        // the union fit — copy it wholesale, factor included.
+        components_[idx] = other.components_[idx];
+        present_[idx] = true;
+      }
+    }
+    counts_[idx] += other.counts_[idx];
+    wcounts_[idx] += other.wcounts_[idx];
+  }
+  total_ += other.total_;
+  wtotal_ += other.wtotal_;
+  RefreshWeights();
+  TelemetryCount("density.fair_merge");
+  return Status::Ok();
+}
+// FACTION_COLD_END
+
 }  // namespace faction

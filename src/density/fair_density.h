@@ -9,6 +9,8 @@
 
 namespace faction {
 
+struct StateCodecAccess;  // serve/state_codec.cc checkpoint accessor
+
 /// The paper's fairness-aware density estimator G(z) (Sec. IV-B): a
 /// GDA-fitted Gaussian mixture with one component per (class y, sensitive s)
 /// combination, weighted by the empirical joint p(y, s) (Eq. 3).
@@ -146,7 +148,19 @@ class FairDensityEstimator {
   /// Direct (unshifted) marginal density g(z).
   double MarginalDensity(const std::vector<double>& z) const;
 
+  /// Folds another shard's estimator into this one — the cross-shard
+  /// sufficient-stats merge (ROADMAP item 1). Per (class, sensitive) cell:
+  /// components present on both sides merge via Gaussian::MergeFrom (O(d^2)
+  /// additions + one re-factorization per touched component), components
+  /// present only on `other` are copied wholesale, and the mixture masses
+  /// (counts, decayed weights, totals) add before one RefreshWeights.
+  /// Both sides must share dim() and the forgetting mode.
+  Status MergeFrom(const FairDensityEstimator& other,
+                   const CovarianceConfig& config);
+
  private:
+  friend struct StateCodecAccess;
+
   /// Recomputes weights_/log_weights_ from counts_/total_.
   void RefreshWeights();
 

@@ -8,6 +8,8 @@
 
 namespace faction {
 
+struct StateCodecAccess;  // serve/state_codec.cc checkpoint accessor
+
 /// Regularization for covariance estimates fitted from few samples — the
 /// situation FACTION is always in early in the stream, when a (class,
 /// sensitive) component may hold only a handful of labeled examples.
@@ -138,7 +140,22 @@ class Gaussian {
   const std::vector<double>& mean() const { return mean_; }
   double log_det() const { return log_det_; }
 
+  /// Folds another Gaussian's additive sufficient statistics (count, sums,
+  /// scatter, effective weight, tracked ridge) into this one — the
+  /// cross-shard merge (ROADMAP item 1): O(d^2) statistic additions plus a
+  /// single re-factorization, regardless of how many samples either side
+  /// absorbed. Both sides must share the dimension and the forgetting
+  /// mode. Ridges add because each shard's ridge is a Wishart-style
+  /// pseudo-observation mass: the merged covariance
+  /// (M_a + M_b + (r_a + r_b) I) / (w_a + w_b) weights each shard's
+  /// regularizer by the mass it contributed, and Decay keeps scaling the
+  /// merged ridge consistently.
+  Status MergeFrom(const Gaussian& other, const CovarianceConfig& config,
+                   double fallback_scale = 1.0);
+
  private:
+  friend struct StateCodecAccess;
+
   /// Applies progressive diagonal jitter to `cov` until the Cholesky
   /// succeeds, then caches the factor and log-determinant. Shared tail of
   /// Fit and Update. Works out of member scratch (reg_scratch_/chol_try_),

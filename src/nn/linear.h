@@ -10,6 +10,8 @@
 
 namespace faction {
 
+struct StateCodecAccess;  // serve/state_codec.cc checkpoint accessor
+
 /// Configuration for spectral normalization of a Linear layer's weight
 /// (Miyato et al., used by the paper's feature extractor to keep the feature
 /// space smooth and sensitive — the property the density-based epistemic
@@ -81,6 +83,11 @@ class Linear {
   double last_sigma() const { return sigma_; }
 
  private:
+  // The codec checkpoints the persistent spectral state (sn_est_, sn_rng_,
+  // scale_, sigma_): ForwardInference applies scale_ and each training
+  // Forward draws from sn_rng_, so restore-time parity needs them exact.
+  friend struct StateCodecAccess;
+
   void RefreshSpectralScale();
 
   SpectralNormConfig sn_;

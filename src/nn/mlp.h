@@ -13,6 +13,8 @@
 
 namespace faction {
 
+struct StateCodecAccess;  // serve/state_codec.cc checkpoint accessor
+
 /// Architecture of the classifier/feature-extractor. The paper uses a
 /// spectral-normalized ResNet-18 for images and a 2-layer MLP for tabular
 /// data; this library's backbone is the MLP (see DESIGN.md for the
@@ -95,6 +97,8 @@ class MlpClassifier : public FeatureClassifier {
   }
 
  private:
+  friend struct StateCodecAccess;
+
   MlpConfig config_;
   std::vector<std::unique_ptr<Linear>> hidden_;
   std::vector<Relu> relus_;

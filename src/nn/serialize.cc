@@ -7,6 +7,9 @@
 #include <iomanip>
 #include <limits>
 #include <sstream>
+#include <utility>
+
+#include "common/fsio.h"
 
 namespace faction {
 
@@ -19,23 +22,37 @@ constexpr int kFormatVersion = 2;
 constexpr int kOldestReadableVersion = 1;
 constexpr char kMagic[] = "faction-mlp";
 
+/// Builds a LoadModel error naming what failed, the stream's source label
+/// (when one was given), and the byte offset where reading stopped — a
+/// truncated or corrupted checkpoint points at its own damage.
+Status LoadFail(std::istream& is, const std::string& source,
+                const std::string& what) {
+  // A failed extraction sets failbit, under which tellg() returns -1;
+  // clear first so the offset reflects the position actually reached.
+  is.clear();
+  const std::streamoff pos = static_cast<std::streamoff>(is.tellg());
+  std::string msg = "LoadModel: " + what;
+  if (!source.empty()) msg += " in " + source;
+  if (pos >= 0) msg += " @byte " + std::to_string(static_cast<long long>(pos));
+  return Status::InvalidArgument(std::move(msg));
+}
+
 /// Parses one whitespace-delimited double token: decimal for v1 payloads,
 /// hexfloat (or decimal) for v2. Rejects trailing garbage and — matching
 /// SaveModel's contract — non-finite values.
-Status ReadDoubleToken(std::istream& is, double* out) {
+Status ReadDoubleToken(std::istream& is, const std::string& source,
+                       double* out) {
   std::string token;
   if (!(is >> token)) {
-    return Status::InvalidArgument("LoadModel: truncated tensor data");
+    return LoadFail(is, source, "truncated tensor data");
   }
   char* end = nullptr;
   const double value = std::strtod(token.c_str(), &end);
   if (end != token.c_str() + token.size() || token.empty()) {
-    return Status::InvalidArgument("LoadModel: bad tensor value '" + token +
-                                   "'");
+    return LoadFail(is, source, "bad tensor value '" + token + "'");
   }
   if (!std::isfinite(value)) {
-    return Status::InvalidArgument(
-        "LoadModel: non-finite tensor value '" + token + "'");
+    return LoadFail(is, source, "non-finite tensor value '" + token + "'");
   }
   *out = value;
   return Status::Ok();
@@ -83,29 +100,28 @@ Status SaveModel(const MlpClassifier& model, std::ostream& os) {
   return Status::Ok();
 }
 
-Result<MlpClassifier> LoadModel(std::istream& is) {
+Result<MlpClassifier> LoadModel(std::istream& is, const std::string& source) {
   std::string magic, version;
   if (!(is >> magic >> version) || magic != kMagic) {
-    return Status::InvalidArgument("LoadModel: bad magic header");
+    return LoadFail(is, source, "bad magic header");
   }
   bool known_version = false;
   for (int v = kOldestReadableVersion; v <= kFormatVersion; ++v) {
     if (version == "v" + std::to_string(v)) known_version = true;
   }
   if (!known_version) {
-    return Status::InvalidArgument("LoadModel: unsupported version " +
-                                   version);
+    return LoadFail(is, source, "unsupported version " + version);
   }
   MlpConfig config;
   std::string key;
   if (!(is >> key >> config.input_dim) || key != "input_dim") {
-    return Status::InvalidArgument("LoadModel: missing input_dim");
+    return LoadFail(is, source, "missing input_dim");
   }
   if (!(is >> key >> config.num_classes) || key != "num_classes") {
-    return Status::InvalidArgument("LoadModel: missing num_classes");
+    return LoadFail(is, source, "missing num_classes");
   }
   if (!(is >> key) || key != "hidden") {
-    return Status::InvalidArgument("LoadModel: missing hidden widths");
+    return LoadFail(is, source, "missing hidden widths");
   }
   config.hidden_dims.clear();
   // Hidden widths run to the end of the line.
@@ -118,32 +134,32 @@ Result<MlpClassifier> LoadModel(std::istream& is) {
   if (!(is >> key >> spectral_enabled >> config.spectral.coeff >>
         config.spectral.power_iterations) ||
       key != "spectral") {
-    return Status::InvalidArgument("LoadModel: missing spectral config");
+    return LoadFail(is, source, "missing spectral config");
   }
   config.spectral.enabled = spectral_enabled != 0;
 
   std::size_t tensor_count = 0;
   if (!(is >> key >> tensor_count) || key != "tensors") {
-    return Status::InvalidArgument("LoadModel: missing tensor count");
+    return LoadFail(is, source, "missing tensor count");
   }
   Rng rng(0);  // initialization is immediately overwritten
   MlpClassifier model(config, &rng);
   const std::vector<Matrix*> params = model.Parameters();
   if (params.size() != tensor_count) {
-    return Status::InvalidArgument(
-        "LoadModel: tensor count " + std::to_string(tensor_count) +
-        " does not match architecture (" + std::to_string(params.size()) +
-        ")");
+    return LoadFail(is, source,
+                    "tensor count " + std::to_string(tensor_count) +
+                        " does not match architecture (" +
+                        std::to_string(params.size()) + ")");
   }
   for (Matrix* p : params) {
     std::size_t rows = 0, cols = 0;
     if (!(is >> rows >> cols) || rows != p->rows() || cols != p->cols()) {
-      return Status::InvalidArgument("LoadModel: tensor shape mismatch");
+      return LoadFail(is, source, "tensor shape mismatch");
     }
     for (std::size_t i = 0; i < p->size(); ++i) {
       // strtod-based parse handles both the v1 decimal and the v2 hexfloat
       // payloads (istream operator>> cannot parse hexfloat portably).
-      FACTION_RETURN_IF_ERROR(ReadDoubleToken(is, &p->data()[i]));
+      FACTION_RETURN_IF_ERROR(ReadDoubleToken(is, source, &p->data()[i]));
     }
   }
   return model;
@@ -173,12 +189,11 @@ Status SaveModelToFile(const MlpClassifier& model, const std::string& path) {
     std::remove(tmp_path.c_str());
     return save_status;
   }
-  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    std::remove(tmp_path.c_str());
-    return Status::Internal("SaveModelToFile: cannot rename " + tmp_path +
-                            " to " + path);
-  }
-  return Status::Ok();
+  // Durable commit (fsync tmp -> rename -> fsync parent): rename alone is
+  // atomic but not durable — on power loss the filesystem may persist the
+  // rename before the data blocks, leaving a correctly-named torn
+  // checkpoint. CommitFileDurable removes the tmp file on failure.
+  return CommitFileDurable(tmp_path, path);
 }
 
 Result<MlpClassifier> LoadModelFromFile(const std::string& path) {
@@ -186,7 +201,7 @@ Result<MlpClassifier> LoadModelFromFile(const std::string& path) {
   if (!is.is_open()) {
     return Status::NotFound("LoadModelFromFile: cannot open " + path);
   }
-  return LoadModel(is);
+  return LoadModel(is, path);
 }
 
 }  // namespace faction

@@ -24,13 +24,22 @@ Status SaveModel(const MlpClassifier& model, std::ostream& os);
 /// Reads a model back; accepts the current v2 (hexfloat) and the legacy v1
 /// (decimal) payloads. Fails with a descriptive status on format or
 /// version mismatches and on non-finite tensor values; v2 parameters are
-/// restored bit-for-bit.
-Result<MlpClassifier> LoadModel(std::istream& is);
+/// restored bit-for-bit. `source` names the stream in error messages (the
+/// file path, or any logical label); every parse failure also reports the
+/// byte offset where reading stopped, so a truncated or corrupted
+/// checkpoint points at its own damage.
+Result<MlpClassifier> LoadModel(std::istream& is,
+                                const std::string& source = "");
 
-/// Crash-safe file save: writes to `path + ".tmp"` and renames it over
-/// `path` on success, so a failed save (I/O error, non-finite model) never
-/// truncates or clobbers an existing good checkpoint.
+/// Crash-safe, durable file save: writes to `path + ".tmp"`, fsyncs it,
+/// renames it over `path`, and fsyncs the parent directory
+/// (common/fsio.h), so a failed save never truncates an existing good
+/// checkpoint and a completed save survives power loss. Set the
+/// FACTION_NO_FSYNC environment variable to skip the fsyncs (bulk
+/// experiment runs where durability does not matter); atomicity is
+/// unaffected.
 Status SaveModelToFile(const MlpClassifier& model, const std::string& path);
+/// Opens and loads `path`; decode errors carry the path and byte offset.
 Result<MlpClassifier> LoadModelFromFile(const std::string& path);
 
 }  // namespace faction

@@ -14,9 +14,10 @@ ServeRuntime::ServeRuntime(const ServeRuntimeOptions& options)
     : options_(options), jobs_([&] {
         JobSystem::Options jobs;
         jobs.workers = options.workers;
-        // One in-flight drain plus one reschedule per session, with slack
-        // for the transient overlap while both exist.
-        jobs.max_jobs = std::max<std::size_t>(options.max_sessions, 1) * 2 + 8;
+        // One in-flight drain plus one reschedule per session, plus up to
+        // two queued checkpoint-serializer jobs (one per snapshot buffer),
+        // with slack for the transient overlaps.
+        jobs.max_jobs = std::max<std::size_t>(options.max_sessions, 1) * 4 + 16;
         jobs.deque_capacity =
             std::max<std::size_t>(options.max_sessions, 1);
         return jobs;
@@ -29,7 +30,60 @@ ServeSession* ServeRuntime::CreateSession(ServeSessionOptions options) {
   }
   ServeSession* session = registry_.Create(options);
   session->set_runtime(this);
+  if (checkpoints_) {
+    session->set_checkpoint_slot(checkpoints_->Attach(session));
+  }
   return session;
+}
+
+CheckpointManager* ServeRuntime::EnableCheckpoints(
+    const CheckpointOptions& options) {
+  FACTION_CHECK(checkpoints_ == nullptr);
+  checkpoints_ = std::make_unique<CheckpointManager>(options, &jobs_);
+  for (ServeSession* session : registry_.Sessions()) {
+    session->set_checkpoint_slot(checkpoints_->Attach(session));
+  }
+  return checkpoints_.get();
+}
+
+Result<WarmStartReport> ServeRuntime::WarmStart(
+    const std::string& manifest_path, const WarmStartOptions& options) {
+  FACTION_ASSIGN_OR_RETURN(std::vector<CheckpointManifestEntry> entries,
+                           CheckpointManager::ReadManifest(manifest_path));
+  const std::size_t slash = manifest_path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string(".")
+                                 : manifest_path.substr(0, slash);
+  WarmStartReport report;
+  SessionState state;
+  for (const CheckpointManifestEntry& entry : entries) {
+    FACTION_RETURN_IF_ERROR(
+        DecodeSessionStateFromFile(dir + "/" + entry.filename, &state));
+    if (state.stream_id != entry.stream_id) {
+      return Status::InvalidArgument(
+          "WarmStart: checkpoint " + entry.filename +
+          " does not belong to the manifest's stream id");
+    }
+    ServeSessionOptions session_options;
+    session_options.stream_id = state.stream_id;
+    session_options.faction = state.config;
+    session_options.mailbox_capacity = options.mailbox_capacity;
+    session_options.decision_log_capacity = options.decision_log_capacity;
+    ServeSession* session = CreateSession(session_options);
+    FACTION_RETURN_IF_ERROR(
+        RestoreSessionState(state, session->mutable_faction()));
+    session->set_restored_steps(state.steps);
+    if (CheckpointSlot* slot = session->checkpoint_slot()) {
+      // Resume the generation sequence where the checkpointed session
+      // left off, so rotation and the manifest stay monotone.
+      slot->next_generation = state.generation + 1;
+      slot->last_snapshot_steps = state.steps;
+    }
+    ++report.sessions;
+    report.max_generation = std::max(report.max_generation, state.generation);
+    report.total_steps += state.steps;
+  }
+  return report;
 }
 // FACTION_COLD_END
 
@@ -38,6 +92,11 @@ void ServeRuntime::DrainJob(void* ctx) {
   ServeRuntime* runtime = session->runtime();
   session->Drain(runtime->options_.record_latency ? &runtime->clock_
                                                   : nullptr);
+  // Snapshot while still holding the schedule: the capture reads learner
+  // state, and the holder is the only writer. Interval-gated and
+  // double-buffered, so this flips a pre-sized buffer (or skips) — it
+  // never serializes or touches a file on this thread.
+  if (runtime->checkpoints_) runtime->checkpoints_->MaybeSnapshot(session);
   if (session->FinishSchedule()) {
     // Arrivals raced in after the final drain pass and we re-took the
     // schedule; requeue rather than loop inline so one hot session cannot

@@ -3,8 +3,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <string>
 
+#include "common/status.h"
 #include "common/timer.h"
+#include "serve/checkpoint.h"
 #include "serve/job_system.h"
 #include "serve/session.h"
 #include "serve/session_registry.h"
@@ -62,6 +66,23 @@ class ServeRuntime {
   /// has finished. Quiescent once no producer is offering concurrently.
   void Drain();
 
+  /// Enables background checkpointing (cold; call before serving starts).
+  /// Every current and future session gets a checkpoint slot; drain
+  /// holders snapshot eligible sessions off the hot path and serializer
+  /// jobs stream them to `options.dir`. Returns the manager (owned by the
+  /// runtime) for Flush/inspection.
+  CheckpointManager* EnableCheckpoints(const CheckpointOptions& options);
+  CheckpointManager* checkpoints() { return checkpoints_.get(); }
+
+  /// Rebuilds the session registry from a checkpoint manifest: one session
+  /// per manifest entry, constructed from its checkpointed config and
+  /// restored to bitwise parity with the captured learner (no replay).
+  /// When checkpointing is enabled, restored sessions resume their
+  /// generation sequence. Call on a freshly constructed runtime before any
+  /// Offer.
+  Result<WarmStartReport> WarmStart(const std::string& manifest_path,
+                                    const WarmStartOptions& options = {});
+
   SessionRegistry& registry() { return registry_; }
   const SessionRegistry& registry() const { return registry_; }
   int workers() const { return jobs_.workers(); }
@@ -79,6 +100,9 @@ class ServeRuntime {
   Timer clock_;
   SessionRegistry registry_;
   JobSystem jobs_;
+  /// Background checkpointing; null until EnableCheckpoints. Destroyed
+  /// before jobs_ (member order), flushing serializer jobs first.
+  std::unique_ptr<CheckpointManager> checkpoints_;
 };
 
 }  // namespace faction

@@ -20,6 +20,7 @@
 namespace faction {
 
 class ServeRuntime;
+struct CheckpointSlot;
 
 struct ServeSessionOptions {
   /// Registry key; also a convenient per-cohort identifier.
@@ -83,13 +84,24 @@ class ServeSession {
 
   std::uint64_t stream_id() const { return stream_id_; }
   const StreamingFaction& faction() const { return faction_; }
+  /// Restore-path access (ServeRuntime::WarmStart): the caller must hold
+  /// the same exclusivity a drain holder has (no concurrent Offer/Drain).
+  StreamingFaction* mutable_faction() { return &faction_; }
   /// Query decisions in arrival order (empty unless recording was
   /// enabled).
   const std::vector<std::uint8_t>& decisions() const { return decisions_; }
-  /// Arrivals folded into the learner so far.
+  /// Arrivals folded into the learner so far, including the arrivals the
+  /// learner had already absorbed before a warm-start restore.
   std::size_t steps() const {
-    return pop_count_.load(std::memory_order_seq_cst);
+    return restored_steps_ + pop_count_.load(std::memory_order_seq_cst);
   }
+
+  /// Checkpoint wiring (serve/checkpoint.h). The slot pointer is set once
+  /// at registration; the restored-steps base once during warm-start,
+  /// before any Offer.
+  void set_checkpoint_slot(CheckpointSlot* slot) { checkpoint_slot_ = slot; }
+  CheckpointSlot* checkpoint_slot() const { return checkpoint_slot_; }
+  void set_restored_steps(std::size_t steps) { restored_steps_ = steps; }
   /// Arrivals rejected by a full mailbox.
   std::size_t shed() const {
     return shed_.load(std::memory_order_seq_cst);
@@ -112,6 +124,9 @@ class ServeSession {
 
   const std::uint64_t stream_id_;
   ServeRuntime* runtime_ = nullptr;
+  CheckpointSlot* checkpoint_slot_ = nullptr;
+  /// Step-count base carried over from a restored checkpoint.
+  std::size_t restored_steps_ = 0;
   StreamingFaction faction_;
 
   // SPSC mailbox ring. push_count_/pop_count_ are total counts; the slot

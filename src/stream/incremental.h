@@ -29,6 +29,16 @@ class IncrementalNormalizer {
   /// Forgets the range (e.g. on an explicit environment-change signal).
   void Reset();
 
+  /// Overwrites the running range wholesale — the checkpoint-restore path
+  /// (serve/state_codec.h): a restored normalizer must resume from exactly
+  /// the captured count/min/max so future Normalize calls are bitwise
+  /// identical to the uninterrupted session's.
+  void RestoreState(std::size_t count, double min, double max) {
+    count_ = count;
+    min_ = min;
+    max_ = max;
+  }
+
  private:
   std::size_t count_ = 0;
   double min_ = 0.0;

@@ -87,27 +87,14 @@ Status TraceWriter::Flush() {
 
 Status TraceWriter::WriteRunStart(const std::string& strategy_name,
                                   const DensityInfo& density,
-                                  const ScenarioInfo& scenario) {
+                                  const ScenarioInfo& scenario,
+                                  const CheckpointInfo& checkpoint) {
   // The dispatch tier is part of the run's provenance: results are bitwise
   // identical across tiers by contract, so a tier mismatch between two
   // traces that differ is immediately visible evidence of a parity bug.
-  // The density and scenario objects likewise: a window/decay or spec/seed
-  // mismatch explains a divergence before any numeric diffing.
-  *os_ << "{\"type\":\"run_start\",\"schema_version\":" << kTraceSchemaVersion
-       << ",\"strategy\":\"" << JsonEscape(strategy_name)
-       << "\",\"simd_level\":\"" << ActiveSimd().name
-       << "\",\"alloc_audit\":\"" << AllocAuditMode()
-       << "\",\"density\":{\"window\":" << density.window
-       << ",\"decay\":" << JsonNumber(density.decay)
-       << "},\"scenario\":{\"spec\":\"" << JsonEscape(scenario.spec)
-       << "\",\"world_seed\":" << scenario.world_seed << "}}\n";
-  return Flush();
-}
-
-Status TraceWriter::WriteRunStart(const std::string& strategy_name,
-                                  const ServeInfo& serve,
-                                  const DensityInfo& density,
-                                  const ScenarioInfo& scenario) {
+  // The density, scenario, and checkpoint objects likewise: a window/decay,
+  // spec/seed, or snapshot-cadence mismatch explains a divergence before
+  // any numeric diffing.
   *os_ << "{\"type\":\"run_start\",\"schema_version\":" << kTraceSchemaVersion
        << ",\"strategy\":\"" << JsonEscape(strategy_name)
        << "\",\"simd_level\":\"" << ActiveSimd().name
@@ -116,6 +103,28 @@ Status TraceWriter::WriteRunStart(const std::string& strategy_name,
        << ",\"decay\":" << JsonNumber(density.decay)
        << "},\"scenario\":{\"spec\":\"" << JsonEscape(scenario.spec)
        << "\",\"world_seed\":" << scenario.world_seed
+       << "},\"checkpoint\":{\"enabled\":"
+       << (checkpoint.enabled ? "true" : "false")
+       << ",\"interval_steps\":" << checkpoint.interval_steps << "}}\n";
+  return Flush();
+}
+
+Status TraceWriter::WriteRunStart(const std::string& strategy_name,
+                                  const ServeInfo& serve,
+                                  const DensityInfo& density,
+                                  const ScenarioInfo& scenario,
+                                  const CheckpointInfo& checkpoint) {
+  *os_ << "{\"type\":\"run_start\",\"schema_version\":" << kTraceSchemaVersion
+       << ",\"strategy\":\"" << JsonEscape(strategy_name)
+       << "\",\"simd_level\":\"" << ActiveSimd().name
+       << "\",\"alloc_audit\":\"" << AllocAuditMode()
+       << "\",\"density\":{\"window\":" << density.window
+       << ",\"decay\":" << JsonNumber(density.decay)
+       << "},\"scenario\":{\"spec\":\"" << JsonEscape(scenario.spec)
+       << "\",\"world_seed\":" << scenario.world_seed
+       << "},\"checkpoint\":{\"enabled\":"
+       << (checkpoint.enabled ? "true" : "false")
+       << ",\"interval_steps\":" << checkpoint.interval_steps
        << "},\"serve\":{\"workers\":" << serve.workers
        << ",\"sessions\":" << serve.sessions << "}}\n";
   return Flush();

@@ -29,7 +29,11 @@ namespace faction {
 ///     the stream was generated from and the world seed every sub-seed
 ///     derives from (DESIGN.md §16). {"spec":"none","world_seed":0} for
 ///     streams built outside the scenario engine.
-constexpr int kTraceSchemaVersion = 6;
+/// v7: run_start gained the always-present "checkpoint" object
+///     ({"enabled":b,"interval_steps":N}) — whether background
+///     checkpointing (DESIGN.md §17) was active for the run and its
+///     snapshot cadence. {"enabled":false,"interval_steps":0} when off.
+constexpr int kTraceSchemaVersion = 7;
 
 /// One structured trace record per stream task (see DESIGN.md §11 for the
 /// schema and determinism contract). Every field except the wall_* group is
@@ -87,6 +91,16 @@ struct TraceScenarioInfo {
   std::uint64_t world_seed = 0;
 };
 
+/// Checkpointing provenance stamped into every run_start (schema v7):
+/// whether background state streaming (serve/checkpoint.h, DESIGN.md §17)
+/// was active and the steps-between-snapshots cadence. false/0 for runs
+/// without checkpointing. Namespace-scope for the same reason as
+/// TraceDensityInfo.
+struct TraceCheckpointInfo {
+  bool enabled = false;
+  std::size_t interval_steps = 0;
+};
+
 /// JSONL event trace for streaming runs: a run_start line, one task line
 /// per stream task, and a run_end line. The writer is sequential and
 /// non-owning of borrowed sinks; it never throws — I/O failures surface as
@@ -120,16 +134,21 @@ class TraceWriter {
   /// See TraceScenarioInfo; aliased like DensityInfo.
   using ScenarioInfo = TraceScenarioInfo;
 
+  /// See TraceCheckpointInfo; aliased like DensityInfo.
+  using CheckpointInfo = TraceCheckpointInfo;
+
   /// {"type":"run_start","schema_version":...,"strategy":...}
   Status WriteRunStart(const std::string& strategy_name,
                        const DensityInfo& density = {},
-                       const ScenarioInfo& scenario = {});
+                       const ScenarioInfo& scenario = {},
+                       const CheckpointInfo& checkpoint = {});
 
   /// Same, plus the "serve" object: {"workers":...,"sessions":...}.
   Status WriteRunStart(const std::string& strategy_name,
                        const ServeInfo& serve,
                        const DensityInfo& density = {},
-                       const ScenarioInfo& scenario = {});
+                       const ScenarioInfo& scenario = {},
+                       const CheckpointInfo& checkpoint = {});
 
   /// {"type":"task",...}; see TaskTraceRecord.
   Status WriteTask(const TaskTraceRecord& record);

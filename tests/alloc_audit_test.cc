@@ -24,6 +24,7 @@
 #include "data/dataset.h"
 #include "serve/serve_runtime.h"
 #include "serve/session.h"
+#include "serve/state_codec.h"
 
 namespace faction {
 namespace {
@@ -342,6 +343,55 @@ TEST(AllocAudit, ServeOfferPathIsAllocationFreeInSteadyState) {
   EXPECT_TRUE(session->faction().has_estimator());
   EXPECT_EQ(stream.size(), session->steps());
   EXPECT_EQ(stream.size(), session->decisions().size());
+}
+
+// Checkpoint capture (serve/state_codec.h) runs on the hot drain path:
+// once the destination SessionState has been warmed by one capture of the
+// same shapes, every subsequent capture must be pure copy-assignment into
+// retained capacity — zero allocations, even with the sliding window and
+// forgetting-mode Gaussians in play.
+TEST(AllocAudit, SnapshotCaptureIsAllocationFreeOnceWarm) {
+  if (!AllocAuditEnabled()) GTEST_SKIP() << "built without audit";
+  StreamingFactionConfig config = SmallStreamingConfig();
+  config.density_window = 30;
+  config.density_decay = 0.98;
+  StreamingFaction streaming(config);
+  const std::vector<Example> stream =
+      MakeStream(600, config.model.input_dim, 17);
+  for (std::size_t i = 0; i < 400; ++i) {
+    if (streaming.ShouldQuery(stream[i]).value()) {
+      ASSERT_TRUE(streaming.ProvideLabel(stream[i]).ok());
+    }
+  }
+
+  SessionState state;
+  CaptureSessionState(streaming, &state);  // warm the destination buffers
+
+  // More arrivals between captures, as on the serve path, then a re-warm
+  // capture: a pool that grew since the last capture may legitimately
+  // extend the destination (amortized-rare, like any pool append)...
+  for (std::size_t i = 400; i < 410; ++i) {
+    if (streaming.ShouldQuery(stream[i]).value()) {
+      ASSERT_TRUE(streaming.ProvideLabel(stream[i]).ok());
+    }
+  }
+  CaptureSessionState(streaming, &state);
+
+  // ...but a capture whose shapes match the previous one (the dominant
+  // steady-state case) must be pure copies into retained capacity.
+  {
+    ScopedAllocationBan ban("checkpoint.capture",
+                            ScopedAllocationBan::Mode::kCount);
+    const AllocationStats before = ThreadAllocationStats();
+    CaptureSessionState(streaming, &state);
+    const AllocationStats after = ThreadAllocationStats();
+    EXPECT_EQ(before.allocs, after.allocs)
+        << "warm snapshot capture allocated "
+        << after.bytes - before.bytes << " bytes";
+  }
+  EXPECT_EQ(streaming.pool_size(), state.pool_size);
+  EXPECT_TRUE(state.density.has_value);
+  EXPECT_GT(state.ring_size, 0u);
 }
 
 }  // namespace

